@@ -1,0 +1,55 @@
+// Ablation (paper future work 1): influence of the ASB overflow-buffer
+// size. Sweeps the overflow fraction while keeping the total buffer fixed,
+// on one set where the spatial criterion wins (U-P), one where it loses
+// (INT-W-100) and one in between (S-W-100). A larger overflow section
+// observes more eviction mistakes (faster adaptation) but shrinks the main
+// section that actually exploits the learned policy.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace sdb;
+  const sim::Scenario scenario =
+      bench::BuildBenchDatabase(sim::DatabaseKind::kUsLike);
+  const std::vector<double> overflow_fractions{0.05, 0.10, 0.20, 0.30, 0.40};
+  const std::vector<bench::SetSpec> sets{
+      {workload::QueryFamily::kUniform, 0},
+      {workload::QueryFamily::kSimilar, 100},
+      {workload::QueryFamily::kIntensified, 100}};
+
+  for (const double buffer_fraction : {0.012, 0.047}) {
+    std::vector<std::string> header{"query set"};
+    for (const double f : overflow_fractions) {
+      header.push_back("ovfl " + sim::FormatPercent(f));
+    }
+    sim::Table table(header);
+    for (const bench::SetSpec& spec : sets) {
+      const workload::QuerySet queries =
+          sim::StandardQuerySet(scenario, spec.family, spec.ex);
+      sim::RunOptions options;
+      options.buffer_frames = scenario.BufferFrames(buffer_fraction);
+      const sim::RunResult lru = sim::RunQuerySet(
+          scenario.disk.get(), scenario.tree_meta, "LRU", queries, options);
+      std::vector<std::string> row{queries.name};
+      for (const double f : overflow_fractions) {
+        char spec_buf[64];
+        std::snprintf(spec_buf, sizeof(spec_buf), "ASB:A:%g:0.25:0.01", f);
+        const sim::RunResult result =
+            sim::RunQuerySet(scenario.disk.get(), scenario.tree_meta,
+                             spec_buf, queries, options);
+        row.push_back(sim::FormatGain(sim::GainVersus(lru, result)));
+      }
+      table.AddRow(std::move(row));
+    }
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Ablation — ASB overflow-size sweep, buffer %.1f%%, "
+                  "gain vs LRU",
+                  buffer_fraction * 100.0);
+    table.Print(title);
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ablation: how the tree-construction method (dynamic R* insertion vs STR
+// packing vs z-order packing) affects query I/O and the policy gains. STR
+// and insertion produce compact pages; z-order pages straddle curve jumps
+// and cover more area, which inflates I/O — and changes what criterion A
+// can exploit.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/policy_lru.h"
+#include "rtree/bulk_load.h"
+
+int main() {
+  using namespace sdb;
+  workload::MapParams params = workload::UsLikeParams(bench::kBenchScale *
+                                                      sim::DefaultScale());
+  const workload::GeneratedMap map = workload::GenerateMap(params);
+
+  struct Method {
+    const char* name;
+    bool insert;
+    rtree::PackingOrder order;
+  };
+  const std::vector<Method> methods{
+      {"R* insertion", true, rtree::PackingOrder::kStr},
+      {"STR packing", false, rtree::PackingOrder::kStr},
+      {"z-order packing", false, rtree::PackingOrder::kZOrder},
+  };
+  const std::vector<std::string> policies{"LRU-2", "A", "ASB"};
+
+  for (const Method& method : methods) {
+    storage::DiskManager disk;
+    storage::PageId meta;
+    rtree::TreeStats stats;
+    {
+      core::BufferManager build(&disk, 1u << 15,
+                                std::make_unique<core::LruPolicy>());
+      rtree::RTree tree(&disk, &build);
+      if (method.insert) {
+        for (const workload::SpatialObject& object : map.dataset.objects) {
+          rtree::Entry e;
+          e.id = object.id;
+          e.rect = object.rect;
+          tree.Insert(e, core::AccessContext{});
+        }
+        tree.PersistMeta();
+      } else {
+        std::vector<rtree::Entry> entries;
+        entries.reserve(map.dataset.objects.size());
+        for (const workload::SpatialObject& object : map.dataset.objects) {
+          rtree::Entry e;
+          e.id = object.id;
+          e.rect = object.rect;
+          entries.push_back(e);
+        }
+        rtree::BulkLoadOptions options;
+        options.order = method.order;
+        rtree::BulkLoad(&tree, std::move(entries), core::AccessContext{},
+                        options);
+      }
+      build.FlushAll();
+      meta = tree.meta_page();
+      stats = tree.ComputeStats();
+    }
+
+    sim::Scenario shim;
+    shim.dataset = map.dataset;
+    shim.places = map.places;
+    shim.tree_stats = stats;
+
+    std::printf("\n%s: %u pages, height %u, avg data fill %.1f\n",
+                method.name, stats.total_pages(), stats.height,
+                stats.avg_data_fill);
+    sim::Table table({"query set", "LRU reads", "LRU-2", "A", "ASB"});
+    for (const bench::SetSpec spec :
+         {bench::SetSpec{workload::QueryFamily::kUniform, 100},
+          bench::SetSpec{workload::QueryFamily::kIntensified, 100}}) {
+      const workload::QuerySet queries =
+          sim::StandardQuerySet(shim, spec.family, spec.ex);
+      sim::RunOptions run;
+      run.buffer_frames = shim.BufferFrames(0.047);
+      const sim::RunResult lru =
+          sim::RunQuerySet(&disk, meta, "LRU", queries, run);
+      std::vector<std::string> row{queries.name,
+                                   std::to_string(lru.disk_reads)};
+      for (const std::string& policy : policies) {
+        const sim::RunResult result =
+            sim::RunQuerySet(&disk, meta, policy, queries, run);
+        row.push_back(sim::FormatGain(sim::GainVersus(lru, result)));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::string("Ablation — construction: ") + method.name +
+                ", 4.7% buffer, gain vs LRU");
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: the ASB adaptation step size (the paper fixes it at 1% of the
+// main section). Small steps adapt slowly but smoothly; large steps react
+// fast but overshoot. The sweep runs the Fig. 14 mixed workload and reports
+// both the I/O gain and how far the candidate set travels per phase.
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace sdb;
+  const sim::Scenario scenario =
+      bench::BuildBenchDatabase(sim::DatabaseKind::kUsLike);
+
+  const workload::QuerySet mixed = workload::ConcatQuerySets(
+      {sim::StandardQuerySet(scenario, workload::QueryFamily::kIntensified,
+                             33),
+       sim::StandardQuerySet(scenario, workload::QueryFamily::kUniform, 33),
+       sim::StandardQuerySet(scenario, workload::QueryFamily::kSimilar,
+                             33)});
+
+  sim::RunOptions options;
+  options.buffer_frames = scenario.BufferFrames(0.047);
+  options.trace_candidate_size = true;
+  const sim::RunResult lru = sim::RunQuerySet(
+      scenario.disk.get(), scenario.tree_meta, "LRU", mixed, options);
+
+  sim::Table table({"step", "gain vs LRU", "min c", "max c", "mean c"});
+  for (const double step : {0.01, 0.02, 0.04, 0.08, 0.16}) {
+    char spec[64];
+    std::snprintf(spec, sizeof(spec), "ASB:A:0.2:0.25:%g", step);
+    const sim::RunResult result = sim::RunQuerySet(
+        scenario.disk.get(), scenario.tree_meta, spec, mixed, options);
+    const auto& trace = result.candidate_trace;
+    const size_t min_c = *std::min_element(trace.begin(), trace.end());
+    const size_t max_c = *std::max_element(trace.begin(), trace.end());
+    const double mean_c =
+        std::accumulate(trace.begin(), trace.end(), 0.0) / trace.size();
+    table.AddRow({sim::FormatPercent(step),
+                  sim::FormatGain(sim::GainVersus(lru, result)),
+                  std::to_string(min_c), std::to_string(max_c),
+                  sim::FormatDouble(mean_c, 1)});
+  }
+  table.Print("Ablation — ASB adaptation step size (mixed workload " +
+              mixed.name + ")");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces the database/tree statistics the paper reports in Sec. 3:
+// object counts, page counts, directory share (~2.8%), and tree height for
+// both databases. Absolute counts scale with SDB_SCALE; the directory share
+// and height behaviour are the comparable quantities.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace sdb;
+  std::printf("== Database statistics (paper Sec. 3) ==\n");
+  std::printf(
+      "paper database 1: 1,641,079 objects, 58,405 pages "
+      "(1,660 directory = 2.84%%), height 4\n");
+  std::printf(
+      "paper database 2: 572,694 objects, 21,501 pages "
+      "(617 directory = 2.87%%), height n/a\n\n");
+
+  for (const sim::DatabaseKind kind :
+       {sim::DatabaseKind::kUsLike, sim::DatabaseKind::kWorldLike}) {
+    const sim::Scenario scenario = bench::BuildBenchDatabase(kind);
+    const rtree::TreeStats& stats = scenario.tree_stats;
+    std::printf(
+        "  avg fill: %.1f / %u directory entries, %.1f / %u data entries\n",
+        stats.avg_dir_fill, scenario.dataset.objects.empty() ? 0 : 51,
+        stats.avg_data_fill, 42);
+    std::printf("  coverage of the data space: %.1f%%\n\n",
+                100.0 * workload::CoverageFraction(scenario.dataset));
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Extension: the spatial replacement criteria on the quadtree, the third
+// access method the paper names ("in a quadtree, the quadtree cells match
+// these entries"). Quadrant cells halve per level, so dense (hot) regions
+// live in geometrically small pages — the intensified-distribution
+// robustness problem is structural here, which makes the quadtree a sharp
+// test for ASB's self-tuning.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/policy_factory.h"
+#include "quadtree/quadtree.h"
+
+namespace {
+
+using namespace sdb;
+
+uint64_t RunQuadQueries(storage::DiskManager* disk, storage::PageId meta,
+                        const std::string& policy,
+                        const workload::QuerySet& queries, size_t frames) {
+  core::BufferManager buffer(disk, frames, core::CreatePolicy(policy));
+  const quadtree::QuadTree tree =
+      quadtree::QuadTree::Open(disk, &buffer, meta);
+  disk->ResetStats();
+  uint64_t query_id = 0;
+  for (const geom::Rect& window : queries.queries) {
+    tree.WindowQueryVisit(window, core::AccessContext{++query_id},
+                          [](const quadtree::QuadPoint&) {});
+  }
+  return disk->stats().reads;
+}
+
+}  // namespace
+
+int main() {
+  workload::MapParams params = workload::UsLikeParams(bench::kBenchScale *
+                                                      sim::DefaultScale());
+  const workload::GeneratedMap map = workload::GenerateMap(params);
+
+  auto disk = std::make_unique<storage::DiskManager>();
+  storage::PageId meta;
+  quadtree::QuadTreeStats stats;
+  {
+    core::BufferManager build(disk.get(), 1u << 15,
+                              core::CreatePolicy("LRU"));
+    quadtree::QuadTree tree(disk.get(), &build);
+    for (const workload::SpatialObject& object : map.dataset.objects) {
+      tree.Insert(object.rect.Center(), object.id, core::AccessContext{});
+    }
+    tree.PersistMeta();
+    build.FlushAll();
+    meta = tree.meta_page();
+    stats = tree.ComputeStats();
+  }
+  std::printf(
+      "quadtree: %llu points, %u pages (%u directory), max depth %u\n",
+      static_cast<unsigned long long>(stats.point_count),
+      stats.total_pages(), stats.directory_pages, stats.max_depth_used);
+
+  sim::Scenario shim;
+  shim.dataset = map.dataset;
+  shim.places = map.places;
+  shim.tree_stats.data_pages = stats.leaf_pages;
+  shim.tree_stats.directory_pages = stats.directory_pages;
+
+  const std::vector<std::string> policies{"LRU", "LRU-P", "LRU-2", "A",
+                                          "SLRU:A:0.25", "ASB"};
+  for (const double fraction : {0.012, 0.047}) {
+    const size_t frames = shim.BufferFrames(fraction);
+    std::vector<std::string> header{"query set"};
+    for (const auto& p : policies) header.push_back(p);
+    sim::Table table(header);
+    for (const bench::SetSpec spec :
+         {bench::SetSpec{workload::QueryFamily::kUniform, 100},
+          bench::SetSpec{workload::QueryFamily::kUniform, 33},
+          bench::SetSpec{workload::QueryFamily::kSimilar, 100},
+          bench::SetSpec{workload::QueryFamily::kIntensified, 100},
+          bench::SetSpec{workload::QueryFamily::kIntensified, 33}}) {
+      const workload::QuerySet queries =
+          sim::StandardQuerySet(shim, spec.family, spec.ex);
+      uint64_t lru = 0;
+      std::vector<std::string> row{queries.name};
+      for (const std::string& policy : policies) {
+        const uint64_t reads =
+            RunQuadQueries(disk.get(), meta, policy, queries, frames);
+        if (lru == 0) lru = reads;
+        row.push_back(sim::FormatGain(
+            static_cast<double>(lru) / static_cast<double>(reads) - 1.0));
+      }
+      table.AddRow(std::move(row));
+    }
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Extension — policies on the quadtree, buffer %.1f%% "
+                  "(%zu frames)",
+                  fraction * 100.0, frames);
+    table.Print(title);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 4: performance gain of priority-based LRU (LRU-P) versus LRU for
+// the uniform and intensified query sets on both databases, across the
+// buffer-size ladder. Expected shape: clear gains for small buffers (the
+// upper index levels are worth protecting), shrinking — and for point/small
+// window queries on database 1 sometimes turning negative — as the buffer
+// grows.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+/// Sec. 3.2's textual claim: "no differences between both approaches in
+/// the case of larger buffers ... Using small buffer sizes, LRU-P has
+/// beaten LRU-T for all investigated query sets."
+void CompareTypeVsPriority(const sdb::sim::Scenario& scenario) {
+  using namespace sdb;
+  sim::Table table({"query set", "buffer", "LRU-T", "LRU-P"});
+  for (const bench::SetSpec& spec :
+       {bench::SetSpec{workload::QueryFamily::kUniform, 333},
+        bench::SetSpec{workload::QueryFamily::kSimilar, 100},
+        bench::SetSpec{workload::QueryFamily::kIntensified, 0}}) {
+    const workload::QuerySet queries =
+        sim::StandardQuerySet(scenario, spec.family, spec.ex);
+    for (const double fraction : {0.003, 0.047}) {
+      sim::RunOptions options;
+      options.buffer_frames = scenario.BufferFrames(fraction);
+      const sim::RunResult lru = sim::RunQuerySet(
+          scenario.disk.get(), scenario.tree_meta, "LRU", queries, options);
+      const sim::RunResult lru_t = sim::RunQuerySet(
+          scenario.disk.get(), scenario.tree_meta, "LRU-T", queries,
+          options);
+      const sim::RunResult lru_p = sim::RunQuerySet(
+          scenario.disk.get(), scenario.tree_meta, "LRU-P", queries,
+          options);
+      table.AddRow({queries.name, sim::FormatPercent(fraction),
+                    sim::FormatGain(sim::GainVersus(lru, lru_t)),
+                    sim::FormatGain(sim::GainVersus(lru, lru_p))});
+    }
+  }
+  table.Print("Sec. 3.2 — type-based vs priority-based LRU, " +
+              scenario.name);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sdb;
+  using bench::SetSpec;
+
+  for (const sim::DatabaseKind kind :
+       {sim::DatabaseKind::kUsLike, sim::DatabaseKind::kWorldLike}) {
+    const sim::Scenario scenario = bench::BuildBenchDatabase(kind);
+    if (kind == sim::DatabaseKind::kUsLike) {
+      CompareTypeVsPriority(scenario);
+    }
+    // Rows = query sets, one gain column per buffer size.
+    for (const std::vector<SetSpec>& sets :
+         {bench::UniformSets(), bench::IntensifiedSets()}) {
+      std::vector<std::string> header{"query set"};
+      for (const double fraction : sim::kBufferFractions) {
+        header.push_back(sim::FormatPercent(fraction) + " buf");
+      }
+      sim::Table table(header);
+      for (const SetSpec& spec : sets) {
+        const workload::QuerySet queries =
+            sim::StandardQuerySet(scenario, spec.family, spec.ex);
+        std::vector<std::string> row{queries.name};
+        for (const double fraction : sim::kBufferFractions) {
+          sim::RunOptions options;
+          options.buffer_frames = scenario.BufferFrames(fraction);
+          const sim::RunResult lru =
+              sim::RunQuerySet(scenario.disk.get(), scenario.tree_meta,
+                               "LRU", queries, options);
+          const sim::RunResult lru_p =
+              sim::RunQuerySet(scenario.disk.get(), scenario.tree_meta,
+                               "LRU-P", queries, options);
+          row.push_back(sim::FormatGain(sim::GainVersus(lru, lru_p)));
+        }
+        table.AddRow(std::move(row));
+      }
+      table.Print("Fig. 4 — LRU-P gain vs LRU, " + scenario.name);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 6: the five spatial page-replacement criteria compared against
+// each other. For every query set the disk accesses of criterion A define
+// 100%; the other criteria are reported relative to that base. Expected
+// shape: A best at the small buffer (EO clearly worst); A and M on par at
+// the large buffer with EA/EM/EO losing more clearly.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace sdb;
+  const sim::Scenario scenario =
+      bench::BuildBenchDatabase(sim::DatabaseKind::kUsLike);
+  const std::vector<std::string> criteria{"A", "EA", "M", "EM", "EO"};
+
+  for (const double fraction : {0.003, 0.047}) {
+    std::vector<std::string> header{"query set"};
+    for (const std::string& c : criteria) header.push_back(c);
+    sim::Table table(header);
+    for (const bench::SetSpec& spec : bench::AllSets()) {
+      const workload::QuerySet queries =
+          sim::StandardQuerySet(scenario, spec.family, spec.ex);
+      sim::RunOptions options;
+      options.buffer_frames = scenario.BufferFrames(fraction);
+      std::vector<std::string> row{queries.name};
+      uint64_t base = 0;
+      for (const std::string& criterion : criteria) {
+        const sim::RunResult result =
+            sim::RunQuerySet(scenario.disk.get(), scenario.tree_meta,
+                             criterion, queries, options);
+        if (base == 0) base = result.disk_reads;
+        row.push_back(sim::FormatPercent(
+            static_cast<double>(result.disk_reads) /
+            static_cast<double>(base)));
+      }
+      table.AddRow(std::move(row));
+    }
+    char title[160];
+    std::snprintf(title, sizeof(title),
+                  "Fig. 6 — disk accesses relative to criterion A (=100%%), "
+                  "buffer %.1f%%",
+                  fraction * 100.0);
+    table.Print(title);
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 12: the static LRU+spatial combination (SLRU) with candidate sets
+// of 50% and 25% of the buffer, against the pure spatial strategy A (all as
+// gains versus LRU). Expected shape: the combination shifts A toward LRU —
+// it gives up part of A's wins and recovers most of A's losses, more so
+// with the smaller (25%) candidate set.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace sdb;
+  const sim::Scenario scenario =
+      bench::BuildBenchDatabase(sim::DatabaseKind::kUsLike);
+  bench::PrintGainTables(scenario, bench::AllSets(),
+                         {"A", "SLRU:A:0.5", "SLRU:A:0.25"}, {0.006, 0.047},
+                         "Fig. 12 — static candidate sets");
+  return 0;
+}

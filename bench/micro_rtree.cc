@@ -1,0 +1,157 @@
+// Microbenchmark (google-benchmark): R*-tree operation throughput on the
+// paged tree — insertion, point/window queries, STR bulk loading, and the
+// synchronized-traversal join — all through a large (all-resident) buffer,
+// i.e. measuring CPU cost rather than I/O.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/buffer_manager.h"
+#include "core/policy_lru.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "rtree/spatial_join.h"
+
+namespace {
+
+using namespace sdb;
+
+std::vector<rtree::Entry> RandomEntries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<rtree::Entry> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i].id = i + 1;
+    const double x = rng.NextDouble(), y = rng.NextDouble();
+    const double w = rng.NextDouble() * 0.005;
+    const double h = rng.NextDouble() * 0.005;
+    entries[i].rect = geom::Rect(x, y, x + w, y + h);
+  }
+  return entries;
+}
+
+struct TreeFixture {
+  explicit TreeFixture(size_t n, bool bulk = true)
+      : buffer(&disk, n / 8 + 1024, std::make_unique<core::LruPolicy>()),
+        tree(&disk, &buffer) {
+    auto entries = RandomEntries(n, 7);
+    if (bulk) {
+      rtree::BulkLoad(&tree, std::move(entries), core::AccessContext{});
+    } else {
+      for (const rtree::Entry& e : entries) {
+        tree.Insert(e, core::AccessContext{});
+      }
+    }
+  }
+  storage::DiskManager disk;
+  core::BufferManager buffer;
+  rtree::RTree tree;
+};
+
+void BM_Insert(benchmark::State& state) {
+  storage::DiskManager disk;
+  core::BufferManager buffer(&disk, 1u << 16,
+                             std::make_unique<core::LruPolicy>());
+  rtree::RTree tree(&disk, &buffer);
+  Rng rng(3);
+  uint64_t id = 0;
+  for (auto _ : state) {
+    rtree::Entry e;
+    e.id = ++id;
+    const double x = rng.NextDouble(), y = rng.NextDouble();
+    e.rect = geom::Rect(x, y, x + 0.001, y + 0.001);
+    tree.Insert(e, core::AccessContext{});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Insert);
+
+void BM_PointQuery(benchmark::State& state) {
+  TreeFixture fixture(static_cast<size_t>(state.range(0)));
+  Rng rng(9);
+  uint64_t query = 0;
+  for (auto _ : state) {
+    const geom::Point p{rng.NextDouble(), rng.NextDouble()};
+    const auto hits =
+        fixture.tree.PointQuery(p, core::AccessContext{++query});
+    benchmark::DoNotOptimize(hits.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointQuery)->Arg(10'000)->Arg(100'000);
+
+void BM_WindowQuery(benchmark::State& state) {
+  TreeFixture fixture(static_cast<size_t>(state.range(0)));
+  Rng rng(11);
+  uint64_t query = 0;
+  size_t results = 0;
+  for (auto _ : state) {
+    const geom::Rect window = geom::Rect::Centered(
+        {rng.NextDouble(), rng.NextDouble()}, 1.0 / 33, 1.0 / 33);
+    fixture.tree.WindowQueryVisit(window, core::AccessContext{++query},
+                                  [&results](const rtree::Entry&) {
+                                    ++results;
+                                  });
+  }
+  benchmark::DoNotOptimize(results);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowQuery)->Arg(10'000)->Arg(100'000);
+
+void BM_BulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto entries = RandomEntries(n, 13);
+  for (auto _ : state) {
+    storage::DiskManager disk;
+    core::BufferManager buffer(&disk, n / 8 + 1024,
+                               std::make_unique<core::LruPolicy>());
+    rtree::RTree tree(&disk, &buffer);
+    auto copy = entries;
+    rtree::BulkLoad(&tree, std::move(copy), core::AccessContext{});
+    benchmark::DoNotOptimize(tree.root());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BulkLoad)->Arg(100'000);
+
+void BM_SpatialJoin(benchmark::State& state) {
+  TreeFixture left(static_cast<size_t>(state.range(0)));
+  TreeFixture right(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    const rtree::JoinStats stats = rtree::SpatialJoinCount(
+        left.tree, right.tree, core::AccessContext{1});
+    benchmark::DoNotOptimize(stats.result_pairs);
+  }
+}
+BENCHMARK(BM_SpatialJoin)->Arg(20'000);
+
+void BM_Delete(benchmark::State& state) {
+  // Rebuild periodically; measure delete amortized over fresh trees.
+  const size_t n = 20'000;
+  auto entries = RandomEntries(n, 21);
+  TreeFixture fixture(n);
+  size_t next = 0;
+  for (auto _ : state) {
+    if (next >= entries.size()) {
+      state.PauseTiming();
+      for (const auto& e :
+           std::vector<rtree::Entry>(entries.begin(),
+                                     entries.begin() + next)) {
+        fixture.tree.Insert(e, core::AccessContext{});
+      }
+      next = 0;
+      state.ResumeTiming();
+    }
+    fixture.tree.Delete(entries[next].id, entries[next].rect,
+                        core::AccessContext{});
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Delete);
+
+}  // namespace
+
+BENCHMARK_MAIN();

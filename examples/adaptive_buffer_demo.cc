@@ -1,0 +1,63 @@
+// Adaptive-buffer demo: drives the ASB through a workload that changes
+// character mid-stream (hot-spot traffic -> uniform scans -> hot-spot
+// traffic) and renders the candidate-set size as an ASCII chart, making the
+// self-tuning loop of the paper's Sec. 4.2 visible.
+//
+//   ./examples/adaptive_buffer_demo
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace sdb;
+
+  sim::ScenarioOptions options;
+  options.kind = sim::DatabaseKind::kUsLike;
+  options.build = sim::BuildMode::kBulkLoad;
+  options.scale = 0.25;
+  const sim::Scenario scenario = sim::BuildScenario(options);
+
+  const workload::QuerySet hot1 = sim::StandardQuerySet(
+      scenario, workload::QueryFamily::kIntensified, 33);
+  const workload::QuerySet scan =
+      sim::StandardQuerySet(scenario, workload::QueryFamily::kUniform, 33);
+  const workload::QuerySet hot2 = sim::StandardQuerySet(
+      scenario, workload::QueryFamily::kIntensified, 100);
+  const workload::QuerySet mixed =
+      workload::ConcatQuerySets({hot1, scan, hot2});
+
+  sim::RunOptions run;
+  run.buffer_frames = scenario.BufferFrames(0.047);
+  run.trace_candidate_size = true;
+  const sim::RunResult result = sim::RunQuerySet(
+      scenario.disk.get(), scenario.tree_meta, "ASB", mixed, run);
+
+  const auto& trace = result.candidate_trace;
+  const size_t max_c = *std::max_element(trace.begin(), trace.end());
+  std::printf("workload: %s (%zu queries), buffer %zu frames\n",
+              mixed.name.c_str(), trace.size(), run.buffer_frames);
+  std::printf("candidate-set size over time (each row = %zu queries):\n\n",
+              std::max<size_t>(1, trace.size() / 40));
+
+  const size_t rows = 40;
+  const size_t step = std::max<size_t>(1, trace.size() / rows);
+  const size_t p1 = hot1.queries.size();
+  const size_t p2 = p1 + scan.queries.size();
+  for (size_t i = 0; i < trace.size(); i += step) {
+    const size_t bar =
+        (trace[i] * 60 + max_c - 1) / std::max<size_t>(1, max_c);
+    const char* phase = i < p1 ? "hot " : (i < p2 ? "scan" : "hot ");
+    std::printf("%6zu %s c=%4zu |", i, phase, trace[i]);
+    for (size_t b = 0; b < bar; ++b) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf(
+      "\nLRU dominates during hot-spot phases (small c); the spatial\n"
+      "criterion dominates during uniform scans (large c). No manual\n"
+      "tuning: the overflow buffer supplies the feedback.\n");
+  return 0;
+}

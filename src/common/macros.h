@@ -1,0 +1,36 @@
+#ifndef SPATIALBUFFER_COMMON_MACROS_H_
+#define SPATIALBUFFER_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// SDB_CHECK: always-on invariant check. Violations indicate programming
+/// errors (corrupted state, broken caller contract) and abort the process
+/// with a source location. Used on cold paths and at module boundaries.
+#define SDB_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SDB_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// SDB_CHECK_MSG: SDB_CHECK with an explanatory message.
+#define SDB_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SDB_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// SDB_DCHECK: debug-only check for hot paths. Compiled out under NDEBUG.
+#ifdef NDEBUG
+#define SDB_DCHECK(cond) ((void)0)
+#else
+#define SDB_DCHECK(cond) SDB_CHECK(cond)
+#endif
+
+#endif  // SPATIALBUFFER_COMMON_MACROS_H_

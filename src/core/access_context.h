@@ -1,0 +1,22 @@
+#ifndef SPATIALBUFFER_CORE_ACCESS_CONTEXT_H_
+#define SPATIALBUFFER_CORE_ACCESS_CONTEXT_H_
+
+#include <cstdint>
+
+namespace sdb::core {
+
+/// Context of one page request. The query id drives the correlated-reference
+/// detection of LRU-K: following the paper, "two page accesses will be
+/// regarded as correlated if they belong to the same query".
+struct AccessContext {
+  /// Identifier of the query (or other operation, e.g. an insertion) issuing
+  /// the request. Queries must use distinct ids; `kNoQuery` marks accesses
+  /// outside any query (bulk build, maintenance).
+  uint64_t query_id = kNoQuery;
+
+  static constexpr uint64_t kNoQuery = 0;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_ACCESS_CONTEXT_H_

@@ -1,0 +1,186 @@
+#include "core/buffer_manager.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace sdb::core {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = std::exchange(other.manager_, nullptr);
+    frame_ = std::exchange(other.frame_, kInvalidFrameId);
+    page_id_ = std::exchange(other.page_id_, storage::kInvalidPageId);
+  }
+  return *this;
+}
+
+std::span<std::byte> PageHandle::bytes() {
+  SDB_CHECK(valid());
+  return {manager_->FrameData(frame_), manager_->page_size_};
+}
+
+std::span<const std::byte> PageHandle::bytes() const {
+  SDB_CHECK(valid());
+  return {manager_->FrameData(frame_), manager_->page_size_};
+}
+
+storage::PageHeaderView PageHandle::header() {
+  SDB_CHECK(valid());
+  return storage::PageHeaderView(manager_->FrameData(frame_));
+}
+
+storage::ConstPageHeaderView PageHandle::header() const {
+  SDB_CHECK(valid());
+  return storage::ConstPageHeaderView(manager_->FrameData(frame_));
+}
+
+void PageHandle::MarkDirty() {
+  SDB_CHECK(valid());
+  manager_->frames_[frame_].dirty = true;
+}
+
+void PageHandle::Release() {
+  if (manager_ != nullptr) {
+    manager_->Unpin(frame_, /*dirty=*/false);
+    manager_ = nullptr;
+    frame_ = kInvalidFrameId;
+    page_id_ = storage::kInvalidPageId;
+  }
+}
+
+BufferManager::BufferManager(storage::DiskManager* disk, size_t frames,
+                             std::unique_ptr<ReplacementPolicy> policy)
+    : disk_(disk),
+      policy_(std::move(policy)),
+      page_size_(disk->page_size()) {
+  SDB_CHECK(disk_ != nullptr);
+  SDB_CHECK(policy_ != nullptr);
+  SDB_CHECK_MSG(frames > 0, "buffer needs at least one frame");
+  frame_data_ = std::make_unique<std::byte[]>(frames * page_size_);
+  frames_.assign(frames, Frame{});
+  free_frames_.reserve(frames);
+  // Hand out low frame ids first (cosmetic; makes traces easier to read).
+  for (size_t f = frames; f > 0; --f) {
+    free_frames_.push_back(static_cast<FrameId>(f - 1));
+  }
+  policy_->Bind(this, frames);
+}
+
+BufferManager::~BufferManager() { FlushAll(); }
+
+PageHandle BufferManager::Fetch(storage::PageId page,
+                                const AccessContext& ctx) {
+  ++stats_.requests;
+  if (auto it = page_table_.find(page); it != page_table_.end()) {
+    ++stats_.hits;
+    const FrameId f = it->second;
+    Frame& frame = frames_[f];
+    if (frame.pin_count++ == 0) {
+      policy_->SetEvictable(f, false);
+    }
+    policy_->OnPageAccessed(f, ctx);
+    return PageHandle(this, f, page);
+  }
+
+  ++stats_.misses;
+  const FrameId f = AcquireFrame(ctx, page);
+  disk_->Read(page, {FrameData(f), page_size_});
+  Frame& frame = frames_[f];
+  frame.page = page;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  page_table_.emplace(page, f);
+  policy_->OnPageLoaded(f, page, ctx);
+  return PageHandle(this, f, page);
+}
+
+PageHandle BufferManager::New(const AccessContext& ctx) {
+  ++stats_.requests;
+  ++stats_.misses;  // a new page is never a hit
+  const storage::PageId page = disk_->Allocate();
+  const FrameId f = AcquireFrame(ctx, page);
+  std::memset(FrameData(f), 0, page_size_);
+  Frame& frame = frames_[f];
+  frame.page = page;
+  frame.pin_count = 1;
+  frame.dirty = true;  // must reach disk eventually even if never modified
+  page_table_.emplace(page, f);
+  policy_->OnPageLoaded(f, page, ctx);
+  return PageHandle(this, f, page);
+}
+
+bool BufferManager::Contains(storage::PageId page) const {
+  return page_table_.contains(page);
+}
+
+std::span<const std::byte> BufferManager::Peek(storage::PageId page) const {
+  const auto it = page_table_.find(page);
+  if (it == page_table_.end()) return {};
+  return {FrameData(it->second), page_size_};
+}
+
+void BufferManager::FlushAll() {
+  for (FrameId f = 0; f < frames_.size(); ++f) {
+    Frame& frame = frames_[f];
+    if (frame.page != storage::kInvalidPageId && frame.dirty) {
+      disk_->Write(frame.page, {FrameData(f), page_size_});
+      frame.dirty = false;
+    }
+  }
+}
+
+storage::PageMeta BufferManager::GetMeta(FrameId frame) const {
+  SDB_DCHECK(frame < frames_.size());
+  SDB_DCHECK(frames_[frame].page != storage::kInvalidPageId);
+  return storage::ConstPageHeaderView(FrameData(frame)).ToMeta();
+}
+
+std::byte* BufferManager::FrameData(FrameId f) {
+  return frame_data_.get() + static_cast<size_t>(f) * page_size_;
+}
+
+const std::byte* BufferManager::FrameData(FrameId f) const {
+  return frame_data_.get() + static_cast<size_t>(f) * page_size_;
+}
+
+FrameId BufferManager::AcquireFrame(const AccessContext& ctx,
+                                    storage::PageId incoming) {
+  if (!free_frames_.empty()) {
+    const FrameId f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  const std::optional<FrameId> victim =
+      policy_->ChooseVictim(ctx, incoming);
+  SDB_CHECK_MSG(victim.has_value(),
+                "no evictable frame: all pages are pinned");
+  const FrameId f = *victim;
+  Frame& frame = frames_[f];
+  SDB_CHECK_MSG(frame.pin_count == 0, "policy evicted a pinned page");
+  SDB_CHECK(frame.page != storage::kInvalidPageId);
+  if (frame.dirty) {
+    disk_->Write(frame.page, {FrameData(f), page_size_});
+    ++stats_.dirty_writebacks;
+    frame.dirty = false;
+  }
+  ++stats_.evictions;
+  page_table_.erase(frame.page);
+  policy_->OnPageEvicted(f, frame.page);
+  frame.page = storage::kInvalidPageId;
+  return f;
+}
+
+void BufferManager::Unpin(FrameId f, bool dirty) {
+  SDB_DCHECK(f < frames_.size());
+  Frame& frame = frames_[f];
+  SDB_CHECK_MSG(frame.pin_count > 0, "unpin without pin");
+  if (dirty) frame.dirty = true;
+  if (--frame.pin_count == 0) {
+    policy_->SetEvictable(f, true);
+  }
+}
+
+}  // namespace sdb::core

@@ -1,0 +1,147 @@
+#ifndef SPATIALBUFFER_CORE_BUFFER_MANAGER_H_
+#define SPATIALBUFFER_CORE_BUFFER_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/access_context.h"
+#include "core/replacement_policy.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace sdb::core {
+
+class BufferManager;
+
+/// RAII pin on one buffered page. While a handle is alive the page cannot be
+/// evicted; the pin is released on destruction. Obtain handles only from
+/// BufferManager::Fetch / ::New.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle() { Release(); }
+
+  bool valid() const { return manager_ != nullptr; }
+  storage::PageId page_id() const { return page_id_; }
+
+  /// Whole page image, including the header.
+  std::span<std::byte> bytes();
+  std::span<const std::byte> bytes() const;
+
+  /// Header accessors over the live frame bytes.
+  storage::PageHeaderView header();
+  storage::ConstPageHeaderView header() const;
+
+  /// Marks the page dirty; it will be written back before eviction.
+  void MarkDirty();
+
+  /// Unpins early (idempotent).
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PageHandle(BufferManager* manager, FrameId frame, storage::PageId page)
+      : manager_(manager), frame_(frame), page_id_(page) {}
+
+  BufferManager* manager_ = nullptr;
+  FrameId frame_ = kInvalidFrameId;
+  storage::PageId page_id_ = storage::kInvalidPageId;
+};
+
+/// Hit/miss accounting of one buffer instance.
+struct BufferStats {
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double HitRate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(requests);
+  }
+};
+
+/// Page buffer with a pluggable replacement policy — the experimental
+/// apparatus of the paper. Frames hold page images read from one
+/// DiskManager; every miss costs exactly one disk read (plus a write-back if
+/// the victim is dirty).
+class BufferManager : public FrameMetaSource {
+ public:
+  /// `frames` is the buffer capacity in pages. The policy is bound to this
+  /// buffer and must not be shared.
+  BufferManager(storage::DiskManager* disk, size_t frames,
+                std::unique_ptr<ReplacementPolicy> policy);
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Returns a pinned handle on the page, reading it from disk on a miss.
+  PageHandle Fetch(storage::PageId page, const AccessContext& ctx);
+
+  /// Allocates a fresh zeroed page on disk and pins it (no disk read).
+  PageHandle New(const AccessContext& ctx);
+
+  /// True if the page is currently resident.
+  bool Contains(storage::PageId page) const;
+
+  /// Current in-buffer image of a resident page (which may be newer than
+  /// the disk copy), or an empty span if the page is not resident. Does not
+  /// count as an access and must not be used by query execution.
+  std::span<const std::byte> Peek(storage::PageId page) const;
+
+  /// Writes back all dirty resident pages (without evicting them).
+  void FlushAll();
+
+  size_t frame_count() const { return frames_.size(); }
+  size_t resident_count() const { return page_table_.size(); }
+  storage::DiskManager& disk() { return *disk_; }
+  ReplacementPolicy& policy() { return *policy_; }
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats{}; }
+
+  /// FrameMetaSource: decodes the header of the page resident in `frame`.
+  storage::PageMeta GetMeta(FrameId frame) const override;
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    storage::PageId page = storage::kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+  };
+
+  std::byte* FrameData(FrameId f);
+  const std::byte* FrameData(FrameId f) const;
+
+  /// Finds a frame for an incoming page: free list first, else victim
+  /// eviction. Aborts if every frame is pinned (caller bug).
+  FrameId AcquireFrame(const AccessContext& ctx,
+                       storage::PageId incoming);
+
+  void Unpin(FrameId frame, bool dirty);
+
+  storage::DiskManager* disk_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  size_t page_size_;
+  std::unique_ptr<std::byte[]> frame_data_;
+  std::vector<Frame> frames_;
+  std::vector<FrameId> free_frames_;
+  std::unordered_map<storage::PageId, FrameId> page_table_;
+  BufferStats stats_;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_BUFFER_MANAGER_H_

@@ -1,0 +1,124 @@
+#include "core/policy_arc.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace sdb::core {
+
+void ArcPolicy::Bind(const FrameMetaSource* meta, size_t frame_count) {
+  PolicyBase::Bind(meta, frame_count);
+  p_ = 0;
+  t1_.clear();
+  t2_.clear();
+  in_t2_.assign(frame_count, 0);
+  b1_.clear();
+  b2_.clear();
+  b1_set_.clear();
+  b2_set_.clear();
+}
+
+void ArcPolicy::OnPageLoaded(FrameId f, storage::PageId page,
+                             const AccessContext& ctx) {
+  PolicyBase::OnPageLoaded(f, page, ctx);
+  const int64_t c = static_cast<int64_t>(frame_count());
+  if (b1_set_.erase(page) > 0) {
+    // Ghost hit in B1: recency was undervalued — grow p.
+    std::erase(b1_, page);
+    const int64_t delta = std::max<int64_t>(
+        1, static_cast<int64_t>(b2_.size()) /
+               std::max<int64_t>(1, static_cast<int64_t>(b1_.size() + 1)));
+    p_ = std::min(c, p_ + delta);
+    in_t2_[f] = 1;
+    t2_.push_back(f);
+  } else if (b2_set_.erase(page) > 0) {
+    // Ghost hit in B2: frequency was undervalued — shrink p.
+    std::erase(b2_, page);
+    const int64_t delta = std::max<int64_t>(
+        1, static_cast<int64_t>(b1_.size()) /
+               std::max<int64_t>(1, static_cast<int64_t>(b2_.size() + 1)));
+    p_ = std::max<int64_t>(0, p_ - delta);
+    in_t2_[f] = 1;
+    t2_.push_back(f);
+  } else {
+    // Case IV: the page is new to the whole directory; make room in the
+    // ghost lists (trimming must NOT happen on ghost refaults, or a ghost
+    // would be forgotten in the instant it proves its worth).
+    in_t2_[f] = 0;
+    t1_.push_back(f);
+    TrimGhosts();
+  }
+}
+
+void ArcPolicy::OnPageAccessed(FrameId f, const AccessContext& ctx) {
+  PolicyBase::OnPageAccessed(f, ctx);
+  // Any re-reference moves the page to the MRU end of T2.
+  RemoveResident(f);
+  in_t2_[f] = 1;
+  t2_.push_back(f);
+}
+
+std::optional<FrameId> ArcPolicy::ChooseVictim(const AccessContext&,
+                                               storage::PageId incoming) {
+  // REPLACE(p, x): evict from T1 if it exceeds the target (or meets it while
+  // the incoming page returns from B2), else from T2.
+  const bool incoming_from_b2 = b2_set_.contains(incoming);
+  const bool take_t1 =
+      !t1_.empty() &&
+      (static_cast<int64_t>(t1_.size()) > p_ ||
+       (incoming_from_b2 && static_cast<int64_t>(t1_.size()) == p_));
+  if (take_t1) {
+    if (auto victim = ListVictim(t1_)) return victim;
+    if (auto victim = ListVictim(t2_)) return victim;
+  } else {
+    if (auto victim = ListVictim(t2_)) return victim;
+    if (auto victim = ListVictim(t1_)) return victim;
+  }
+  return LruScan();
+}
+
+void ArcPolicy::OnPageEvicted(FrameId f, storage::PageId page) {
+  if (in_t2_[f]) {
+    b2_.push_back(page);
+    b2_set_.insert(page);
+  } else {
+    b1_.push_back(page);
+    b1_set_.insert(page);
+  }
+  RemoveResident(f);
+  in_t2_[f] = 0;
+  PolicyBase::OnPageEvicted(f, page);
+}
+
+void ArcPolicy::RemoveResident(FrameId f) {
+  if (in_t2_[f]) {
+    std::erase(t2_, f);
+  } else {
+    std::erase(t1_, f);
+  }
+}
+
+std::optional<FrameId> ArcPolicy::ListVictim(
+    const std::deque<FrameId>& list) const {
+  for (const FrameId f : list) {
+    const FrameState& s = frame(f);
+    if (s.valid && s.evictable) return f;
+  }
+  return std::nullopt;
+}
+
+void ArcPolicy::TrimGhosts() {
+  const size_t c = frame_count();
+  // Standard ARC bounds: |T1|+|B1| <= c and total directory <= 2c.
+  while (t1_.size() + b1_.size() > c && !b1_.empty()) {
+    b1_set_.erase(b1_.front());
+    b1_.pop_front();
+  }
+  while (t1_.size() + t2_.size() + b1_.size() + b2_.size() > 2 * c &&
+         !b2_.empty()) {
+    b2_set_.erase(b2_.front());
+    b2_.pop_front();
+  }
+}
+
+}  // namespace sdb::core

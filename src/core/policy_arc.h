@@ -1,0 +1,64 @@
+#ifndef SPATIALBUFFER_CORE_POLICY_ARC_H_
+#define SPATIALBUFFER_CORE_POLICY_ARC_H_
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "core/replacement_policy.h"
+
+namespace sdb::core {
+
+/// ARC — the Adaptive Replacement Cache [Megiddo & Modha, FAST 2003].
+///
+/// Included as the classic *self-tuning* comparison point for the paper's
+/// adaptable spatial buffer: ARC balances recency against frequency by
+/// moving a target boundary `p` between two resident lists, learning from
+/// ghost hits — structurally the same feedback idea as the ASB's overflow
+/// buffer, but without any spatial knowledge. (ARC postdates the paper by a
+/// year; it is an extension here, not one of the paper's contenders.)
+///
+/// Lists: T1 holds pages seen once recently, T2 pages seen at least twice;
+/// B1/B2 are their ghost extensions (page ids only). A hit in B1 grows the
+/// recency target p, a hit in B2 shrinks it. Victims come from T1 while
+/// |T1| exceeds p, otherwise from T2.
+class ArcPolicy : public PolicyBase {
+ public:
+  ArcPolicy() = default;
+
+  std::string_view name() const override { return "ARC"; }
+
+  void Bind(const FrameMetaSource* meta, size_t frame_count) override;
+  void OnPageLoaded(FrameId frame, storage::PageId page,
+                    const AccessContext& ctx) override;
+  void OnPageAccessed(FrameId frame, const AccessContext& ctx) override;
+  std::optional<FrameId> ChooseVictim(const AccessContext& ctx,
+                                      storage::PageId incoming) override;
+  void OnPageEvicted(FrameId frame, storage::PageId page) override;
+
+  /// Current recency target p (in frames), the self-tuned knob.
+  size_t target_t1() const { return static_cast<size_t>(p_); }
+  size_t t1_size() const { return t1_.size(); }
+  size_t t2_size() const { return t2_.size(); }
+  size_t ghost_size() const { return b1_set_.size() + b2_set_.size(); }
+  bool InT2(FrameId f) const { return in_t2_[f]; }
+
+ private:
+  /// Removes a frame from whichever resident list holds it.
+  void RemoveResident(FrameId f);
+
+  /// LRU-most evictable frame of a list, or nullopt.
+  std::optional<FrameId> ListVictim(const std::deque<FrameId>& list) const;
+
+  void TrimGhosts();
+
+  int64_t p_ = 0;                       // target size of T1
+  std::deque<FrameId> t1_, t2_;         // LRU at front, MRU at back
+  std::vector<char> in_t2_;             // frame -> resident in T2?
+  std::deque<storage::PageId> b1_, b2_;  // ghost lists, LRU at front
+  std::unordered_set<storage::PageId> b1_set_, b2_set_;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_POLICY_ARC_H_

@@ -1,0 +1,31 @@
+#ifndef SPATIALBUFFER_CORE_POLICY_CLOCK_H_
+#define SPATIALBUFFER_CORE_POLICY_CLOCK_H_
+
+#include <vector>
+
+#include "core/replacement_policy.h"
+
+namespace sdb::core {
+
+/// Second-chance (CLOCK) replacement: an approximation of LRU with one
+/// reference bit per frame and a sweeping hand. Included as an additional
+/// baseline beyond the paper's contenders.
+class ClockPolicy : public PolicyBase {
+ public:
+  std::string_view name() const override { return "CLOCK"; }
+
+  void Bind(const FrameMetaSource* meta, size_t frame_count) override;
+  void OnPageLoaded(FrameId frame, storage::PageId page,
+                    const AccessContext& ctx) override;
+  void OnPageAccessed(FrameId frame, const AccessContext& ctx) override;
+  std::optional<FrameId> ChooseVictim(const AccessContext& ctx,
+                                      storage::PageId incoming) override;
+
+ private:
+  std::vector<char> referenced_;
+  FrameId hand_ = 0;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_POLICY_CLOCK_H_

@@ -1,0 +1,55 @@
+#include "core/policy_domain.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace sdb::core {
+
+DomainPolicy::DomainPolicy(double directory_quota)
+    : quota_(directory_quota),
+      name_("DOM:" + std::to_string(static_cast<int>(
+                         std::lround(directory_quota * 100))) +
+            "%") {
+  SDB_CHECK(directory_quota >= 0.0 && directory_quota <= 1.0);
+}
+
+std::optional<FrameId> DomainPolicy::ChooseVictim(const AccessContext&,
+                                                  storage::PageId) {
+  // Count resident directory pages to evaluate the quota.
+  size_t directory_pages = 0;
+  for (FrameId f = 0; f < frame_count(); ++f) {
+    const FrameState& s = frame(f);
+    if (!s.valid) continue;
+    if (MetaOf(f).type == storage::PageType::kDirectory) ++directory_pages;
+  }
+  const bool over_quota =
+      static_cast<double>(directory_pages) >
+      quota_ * static_cast<double>(frame_count());
+
+  if (over_quota) {
+    if (auto victim = DomainVictim(/*directory=*/true)) return victim;
+    return DomainVictim(/*directory=*/false);
+  }
+  if (auto victim = DomainVictim(/*directory=*/false)) return victim;
+  return DomainVictim(/*directory=*/true);
+}
+
+std::optional<FrameId> DomainPolicy::DomainVictim(bool directory) const {
+  std::optional<FrameId> best;
+  uint64_t best_time = 0;
+  for (FrameId f = 0; f < frame_count(); ++f) {
+    const FrameState& s = frame(f);
+    if (!s.valid || !s.evictable) continue;
+    const bool is_directory =
+        MetaOf(f).type == storage::PageType::kDirectory;
+    if (is_directory != directory) continue;
+    if (!best || s.last_access < best_time) {
+      best = f;
+      best_time = s.last_access;
+    }
+  }
+  return best;
+}
+
+}  // namespace sdb::core

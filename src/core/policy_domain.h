@@ -1,0 +1,43 @@
+#ifndef SPATIALBUFFER_CORE_POLICY_DOMAIN_H_
+#define SPATIALBUFFER_CORE_POLICY_DOMAIN_H_
+
+#include <string>
+
+#include "core/replacement_policy.h"
+
+namespace sdb::core {
+
+/// Domain separation (after Reiter's DBMIN-era scheme, described in the
+/// Härder/Rahm survey the paper cites as [6]): the buffer is logically
+/// partitioned by page *domain* — here directory pages vs. everything else —
+/// and each domain runs its own LRU under a quota. Unlike LRU-T (which
+/// always sacrifices the lower category first), the directory is protected
+/// only up to its quota, so a directory-heavy working set cannot starve the
+/// data pages.
+///
+/// Victim selection: if the directory domain exceeds its quota, evict its
+/// LRU page; otherwise evict the LRU non-directory page (falling back to
+/// the other domain when one is empty or fully pinned).
+class DomainPolicy : public PolicyBase {
+ public:
+  /// `directory_quota`: maximum share of the buffer the directory domain
+  /// may hold before it has to evict from itself.
+  explicit DomainPolicy(double directory_quota = 0.1);
+
+  std::string_view name() const override { return name_; }
+  double directory_quota() const { return quota_; }
+
+  std::optional<FrameId> ChooseVictim(const AccessContext& ctx,
+                                      storage::PageId incoming) override;
+
+ private:
+  /// LRU-most evictable frame, restricted to (non-)directory pages.
+  std::optional<FrameId> DomainVictim(bool directory) const;
+
+  const double quota_;
+  std::string name_;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_POLICY_DOMAIN_H_

@@ -1,0 +1,150 @@
+#include "core/policy_factory.h"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "core/policy_arc.h"
+#include "core/policy_asb.h"
+#include "core/policy_clock.h"
+#include "core/policy_domain.h"
+#include "core/policy_fifo.h"
+#include "core/policy_gclock.h"
+#include "core/policy_lru.h"
+#include "core/policy_lru_k.h"
+#include "core/policy_lru_priority.h"
+#include "core/policy_lru_type.h"
+#include "core/policy_pin_levels.h"
+#include "core/policy_slru.h"
+#include "core/policy_spatial.h"
+#include "core/policy_two_queue.h"
+#include "core/spatial_criterion.h"
+
+namespace sdb::core {
+
+namespace {
+
+/// Splits "a:b:c" into tokens.
+std::vector<std::string_view> SplitSpec(std::string_view spec) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const size_t pos = spec.find(':');
+    if (pos == std::string_view::npos) {
+      parts.push_back(spec);
+      return parts;
+    }
+    parts.push_back(spec.substr(0, pos));
+    spec.remove_prefix(pos + 1);
+  }
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  // std::from_chars<double> is not available on all libstdc++ versions in
+  // the field; strtod on a bounded copy is portable and sufficient here.
+  char buf[64];
+  if (s.empty() || s.size() >= sizeof(buf)) return false;
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  *out = std::strtod(buf, &end);
+  return end == buf + s.size();
+}
+
+bool ParseInt(std::string_view s, int* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> CreatePolicy(std::string_view spec) {
+  const std::vector<std::string_view> parts = SplitSpec(spec);
+  const std::string_view head = parts[0];
+
+  if (head == "LRU") return std::make_unique<LruPolicy>();
+  if (head == "FIFO") return std::make_unique<FifoPolicy>();
+  if (head == "CLOCK") return std::make_unique<ClockPolicy>();
+  if (head == "GCLOCK") return std::make_unique<GClockPolicy>();
+  if (head == "2Q") return std::make_unique<TwoQueuePolicy>();
+  if (head == "ARC") return std::make_unique<ArcPolicy>();
+  if (head == "LRU-T") return std::make_unique<LruTypePolicy>();
+  if (head == "LRU-P") return std::make_unique<LruPriorityPolicy>();
+
+  if (head == "DOM") {
+    double quota = 0.1;
+    if (parts.size() >= 2 && !ParseDouble(parts[1], &quota)) return nullptr;
+    if (parts.size() > 2 || quota < 0.0 || quota > 1.0) return nullptr;
+    return std::make_unique<DomainPolicy>(quota);
+  }
+
+  if (head.starts_with("PIN-")) {
+    int level = 0;
+    if (ParseInt(head.substr(4), &level) && level >= 1) {
+      return std::make_unique<PinLevelsPolicy>(level);
+    }
+    return nullptr;
+  }
+
+  if (head.starts_with("LRU-")) {
+    int k = 0;
+    if (!ParseInt(head.substr(4), &k) || k < 1) return nullptr;
+    if (parts.size() == 1) return std::make_unique<LruKPolicy>(k);
+    // "LRU-2:T50": time-window correlation with a 50-access period.
+    if (parts.size() == 2 && parts[1].size() > 1 && parts[1][0] == 'T') {
+      int period = 0;
+      if (ParseInt(parts[1].substr(1), &period) && period >= 0) {
+        return std::make_unique<LruKPolicy>(
+            k, CorrelationMode::kByPeriod,
+            static_cast<uint64_t>(period));
+      }
+    }
+    return nullptr;
+  }
+
+  if (auto crit = ParseCriterion(head)) {
+    return std::make_unique<SpatialPolicy>(*crit);
+  }
+
+  if (head == "SLRU") {
+    SpatialCriterion crit = SpatialCriterion::kArea;
+    double fraction = 0.25;
+    if (parts.size() >= 2) {
+      auto parsed = ParseCriterion(parts[1]);
+      if (!parsed) return nullptr;
+      crit = *parsed;
+    }
+    if (parts.size() >= 3 && !ParseDouble(parts[2], &fraction)) return nullptr;
+    if (parts.size() > 3 || fraction <= 0.0 || fraction > 1.0) return nullptr;
+    return std::make_unique<SlruPolicy>(crit, fraction);
+  }
+
+  if (head == "ASB") {
+    AsbConfig config;
+    if (parts.size() >= 2) {
+      auto parsed = ParseCriterion(parts[1]);
+      if (!parsed) return nullptr;
+      config.criterion = *parsed;
+    }
+    if (parts.size() >= 3 && !ParseDouble(parts[2], &config.overflow_fraction))
+      return nullptr;
+    if (parts.size() >= 4 &&
+        !ParseDouble(parts[3], &config.initial_candidate_fraction))
+      return nullptr;
+    if (parts.size() >= 5 && !ParseDouble(parts[4], &config.step_fraction))
+      return nullptr;
+    if (parts.size() > 5) return nullptr;
+    return std::make_unique<AsbPolicy>(config);
+  }
+
+  return nullptr;
+}
+
+std::vector<std::string> KnownPolicySpecs() {
+  return {
+      "LRU",   "FIFO",  "CLOCK", "GCLOCK", "2Q",    "ARC",   "PIN-1",
+      "DOM:0.1",       "LRU-T",
+      "LRU-P", "LRU-2", "LRU-3", "LRU-5",  "A",     "EA",    "M",
+      "EM",    "EO",    "SLRU:A:0.25",     "SLRU:A:0.5",     "ASB",
+  };
+}
+
+}  // namespace sdb::core

@@ -1,0 +1,31 @@
+#ifndef SPATIALBUFFER_CORE_POLICY_FACTORY_H_
+#define SPATIALBUFFER_CORE_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/replacement_policy.h"
+
+namespace sdb::core {
+
+/// Creates a replacement policy from a textual specification — the single
+/// entry point used by the experiment harness, benches, and example CLIs.
+///
+/// Accepted specs:
+///   "LRU" | "FIFO" | "CLOCK" | "LRU-T" | "LRU-P"
+///   "LRU-<k>"            e.g. "LRU-2", "LRU-3", "LRU-5"
+///   "A" | "EA" | "M" | "EM" | "EO"            pure spatial policies
+///   "SLRU[:<crit>][:<fraction>]"              e.g. "SLRU:A:0.25"
+///   "ASB[:<crit>][:<overflow>[:<init>[:<step>]]]"
+///                                             e.g. "ASB:A:0.2:0.25:0.01"
+/// Returns nullptr for an unrecognized spec.
+std::unique_ptr<ReplacementPolicy> CreatePolicy(std::string_view spec);
+
+/// The specs of all predefined policies, for help texts and sweeps.
+std::vector<std::string> KnownPolicySpecs();
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_POLICY_FACTORY_H_

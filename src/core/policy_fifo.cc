@@ -1,0 +1,20 @@
+#include "core/policy_fifo.h"
+
+namespace sdb::core {
+
+std::optional<FrameId> FifoPolicy::ChooseVictim(const AccessContext&,
+                                        storage::PageId) {
+  std::optional<FrameId> best;
+  uint64_t best_time = 0;
+  for (FrameId f = 0; f < frame_count(); ++f) {
+    const FrameState& s = frame(f);
+    if (!s.valid || !s.evictable) continue;
+    if (!best || s.load_time < best_time) {
+      best = f;
+      best_time = s.load_time;
+    }
+  }
+  return best;
+}
+
+}  // namespace sdb::core

@@ -1,0 +1,21 @@
+#ifndef SPATIALBUFFER_CORE_POLICY_FIFO_H_
+#define SPATIALBUFFER_CORE_POLICY_FIFO_H_
+
+#include "core/replacement_policy.h"
+
+namespace sdb::core {
+
+/// First-in-first-out replacement: the victim is the evictable page that has
+/// been resident longest, regardless of how often it was referenced. Not one
+/// of the paper's contenders, but the strategy used inside the ASB overflow
+/// buffer, and a useful lower-bound baseline.
+class FifoPolicy : public PolicyBase {
+ public:
+  std::string_view name() const override { return "FIFO"; }
+  std::optional<FrameId> ChooseVictim(const AccessContext& ctx,
+                                      storage::PageId incoming) override;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_POLICY_FIFO_H_

@@ -1,0 +1,48 @@
+#include "core/policy_gclock.h"
+
+#include "common/macros.h"
+
+namespace sdb::core {
+
+GClockPolicy::GClockPolicy(int initial_count, int max_count)
+    : initial_count_(initial_count), max_count_(max_count) {
+  SDB_CHECK(initial_count >= 0 && max_count >= initial_count);
+}
+
+void GClockPolicy::Bind(const FrameMetaSource* meta, size_t frame_count) {
+  PolicyBase::Bind(meta, frame_count);
+  counters_.assign(frame_count, 0);
+  hand_ = 0;
+}
+
+void GClockPolicy::OnPageLoaded(FrameId f, storage::PageId page,
+                                const AccessContext& ctx) {
+  PolicyBase::OnPageLoaded(f, page, ctx);
+  counters_[f] = initial_count_;
+}
+
+void GClockPolicy::OnPageAccessed(FrameId f, const AccessContext& ctx) {
+  PolicyBase::OnPageAccessed(f, ctx);
+  if (counters_[f] < max_count_) ++counters_[f];
+}
+
+std::optional<FrameId> GClockPolicy::ChooseVictim(const AccessContext&,
+                                        storage::PageId) {
+  const size_t n = frame_count();
+  // Enough sweeps to drain the largest possible counter.
+  for (size_t step = 0; step < n * static_cast<size_t>(max_count_ + 1);
+       ++step) {
+    const FrameId f = hand_;
+    hand_ = static_cast<FrameId>((hand_ + 1) % n);
+    const FrameState& s = frame(f);
+    if (!s.valid || !s.evictable) continue;
+    if (counters_[f] > 0) {
+      --counters_[f];
+    } else {
+      return f;
+    }
+  }
+  return LruScan();
+}
+
+}  // namespace sdb::core

@@ -1,0 +1,40 @@
+#ifndef SPATIALBUFFER_CORE_POLICY_GCLOCK_H_
+#define SPATIALBUFFER_CORE_POLICY_GCLOCK_H_
+
+#include <vector>
+
+#include "core/replacement_policy.h"
+
+namespace sdb::core {
+
+/// Generalized CLOCK (GCLOCK): each frame carries a reference *counter*
+/// instead of CLOCK's single bit. Hits increment the counter (up to a cap);
+/// the sweeping hand decrements and evicts at zero, so frequently used
+/// pages survive several sweeps. A classic frequency-aware baseline from
+/// the buffer-management literature surveyed by Effelsberg/Härder.
+class GClockPolicy : public PolicyBase {
+ public:
+  /// `initial_count` is granted on load, `max_count` caps the counter.
+  explicit GClockPolicy(int initial_count = 1, int max_count = 7);
+
+  std::string_view name() const override { return "GCLOCK"; }
+
+  void Bind(const FrameMetaSource* meta, size_t frame_count) override;
+  void OnPageLoaded(FrameId frame, storage::PageId page,
+                    const AccessContext& ctx) override;
+  void OnPageAccessed(FrameId frame, const AccessContext& ctx) override;
+  std::optional<FrameId> ChooseVictim(const AccessContext& ctx,
+                                      storage::PageId incoming) override;
+
+  int CountOf(FrameId f) const { return counters_[f]; }
+
+ private:
+  const int initial_count_;
+  const int max_count_;
+  std::vector<int> counters_;
+  FrameId hand_ = 0;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_POLICY_GCLOCK_H_

@@ -1,0 +1,10 @@
+#include "core/policy_lru.h"
+
+namespace sdb::core {
+
+std::optional<FrameId> LruPolicy::ChooseVictim(const AccessContext&,
+                                        storage::PageId) {
+  return LruScan();
+}
+
+}  // namespace sdb::core

@@ -1,0 +1,20 @@
+#ifndef SPATIALBUFFER_CORE_POLICY_LRU_H_
+#define SPATIALBUFFER_CORE_POLICY_LRU_H_
+
+#include "core/replacement_policy.h"
+
+namespace sdb::core {
+
+/// Plain least-recently-used replacement: the victim is the evictable page
+/// whose last reference is oldest. The baseline of every experiment in the
+/// paper.
+class LruPolicy : public PolicyBase {
+ public:
+  std::string_view name() const override { return "LRU"; }
+  std::optional<FrameId> ChooseVictim(const AccessContext& ctx,
+                                      storage::PageId incoming) override;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_POLICY_LRU_H_

@@ -1,0 +1,98 @@
+#include "core/policy_lru_k.h"
+
+#include "common/macros.h"
+
+namespace sdb::core {
+
+LruKPolicy::LruKPolicy(int k, CorrelationMode mode,
+                       uint64_t correlation_period)
+    : k_(k),
+      mode_(mode),
+      period_(correlation_period),
+      name_("LRU-" + std::to_string(k) +
+            (mode == CorrelationMode::kByPeriod
+                 ? ":T" + std::to_string(correlation_period)
+                 : "")) {
+  SDB_CHECK(k >= 1);
+}
+
+void LruKPolicy::Bind(const FrameMetaSource* meta, size_t frame_count) {
+  PolicyBase::Bind(meta, frame_count);
+  frame_hist_.assign(frame_count, History{});
+  retained_.clear();
+}
+
+void LruKPolicy::OnPageLoaded(FrameId f, storage::PageId page,
+                              const AccessContext& ctx) {
+  PolicyBase::OnPageLoaded(f, page, ctx);
+  History& h = frame_hist_[f];
+  h.stamps.clear();
+  // Restore the history collected during an earlier residence, if any.
+  if (auto it = retained_.find(page); it != retained_.end()) {
+    h = std::move(it->second);
+    retained_.erase(it);
+  }
+  // "The value of the current time is added to HIST(p) as new HIST(p,1)."
+  h.stamps.insert(h.stamps.begin(), frame(f).last_access);
+  if (h.stamps.size() > static_cast<size_t>(k_)) h.stamps.resize(k_);
+}
+
+void LruKPolicy::OnPageAccessed(FrameId f, const AccessContext& ctx) {
+  const uint64_t previous_query = frame(f).last_query;
+  const uint64_t previous_time = frame(f).last_access;
+  PolicyBase::OnPageAccessed(f, ctx);
+  History& h = frame_hist_[f];
+  SDB_DCHECK(!h.stamps.empty());
+  if (Correlated(ctx.query_id, frame(f).last_access, previous_query,
+                 previous_time)) {
+    // Correlated with the most recent reference: HIST(p,1) is refreshed in
+    // place, so a burst within one query counts as a single reference.
+    h.stamps.front() = frame(f).last_access;
+  } else {
+    h.stamps.insert(h.stamps.begin(), frame(f).last_access);
+    if (h.stamps.size() > static_cast<size_t>(k_)) h.stamps.resize(k_);
+  }
+}
+
+std::optional<FrameId> LruKPolicy::ChooseVictim(const AccessContext& ctx,
+                                        storage::PageId) {
+  std::optional<FrameId> best;
+  uint64_t best_backward = 0;
+  uint64_t best_recent = 0;
+  for (FrameId f = 0; f < frame_count(); ++f) {
+    const FrameState& s = frame(f);
+    if (!s.valid || !s.evictable) continue;
+    // Only pages whose most recent reference is not correlated with the
+    // current access are candidates.
+    if (Correlated(ctx.query_id, clock(), s.last_query, s.last_access)) {
+      continue;
+    }
+    const History& h = frame_hist_[f];
+    const uint64_t backward = h.Backward(k_);  // 0 == infinitely old
+    const uint64_t recent = h.Backward(1);
+    if (!best || backward < best_backward ||
+        (backward == best_backward && recent < best_recent)) {
+      best = f;
+      best_backward = backward;
+      best_recent = recent;
+    }
+  }
+  if (best) return best;
+  // Degenerate case the original paper leaves open: every evictable page was
+  // just touched by the current query. Fall back to plain LRU.
+  return LruScan();
+}
+
+void LruKPolicy::OnPageEvicted(FrameId f, storage::PageId page) {
+  // Keep the history so a reload continues where the page left off.
+  retained_[page] = std::move(frame_hist_[f]);
+  frame_hist_[f] = History{};
+  PolicyBase::OnPageEvicted(f, page);
+}
+
+uint64_t LruKPolicy::HistOf(FrameId f, int i) const {
+  SDB_CHECK(i >= 1);
+  return frame_hist_[f].Backward(i);
+}
+
+}  // namespace sdb::core

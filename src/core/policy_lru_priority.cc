@@ -1,0 +1,37 @@
+#include "core/policy_lru_priority.h"
+
+namespace sdb::core {
+
+int LruPriorityPolicy::Priority(const storage::PageMeta& meta) {
+  switch (meta.type) {
+    case storage::PageType::kData:
+    case storage::PageType::kDirectory:
+      // Data pages (level 0) get priority 1; each directory level above adds
+      // one; the root ends up with the highest priority in the tree.
+      return 1 + meta.level;
+    case storage::PageType::kObject:
+    default:
+      return 0;
+  }
+}
+
+std::optional<FrameId> LruPriorityPolicy::ChooseVictim(const AccessContext&,
+                                        storage::PageId) {
+  std::optional<FrameId> best;
+  int best_priority = 0;
+  uint64_t best_time = 0;
+  for (FrameId f = 0; f < frame_count(); ++f) {
+    const FrameState& s = frame(f);
+    if (!s.valid || !s.evictable) continue;
+    const int priority = Priority(MetaOf(f));
+    if (!best || priority < best_priority ||
+        (priority == best_priority && s.last_access < best_time)) {
+      best = f;
+      best_priority = priority;
+      best_time = s.last_access;
+    }
+  }
+  return best;
+}
+
+}  // namespace sdb::core

@@ -1,0 +1,26 @@
+#ifndef SPATIALBUFFER_CORE_POLICY_LRU_PRIORITY_H_
+#define SPATIALBUFFER_CORE_POLICY_LRU_PRIORITY_H_
+
+#include "core/replacement_policy.h"
+
+namespace sdb::core {
+
+/// Priority-based LRU (LRU-P, paper Sec. 2.1): the generalization of LRU-T.
+/// Every page has a priority — the higher, the longer it should stay. Object
+/// pages have priority 0; index pages have priority 1 + their tree level, so
+/// the root carries the highest priority. This generalizes pinning the top
+/// levels of the SAM in the buffer (Leutenegger & Lopez). Victim: the least
+/// recently used page among those of minimal priority.
+class LruPriorityPolicy : public PolicyBase {
+ public:
+  std::string_view name() const override { return "LRU-P"; }
+  std::optional<FrameId> ChooseVictim(const AccessContext& ctx,
+                                      storage::PageId incoming) override;
+
+  /// Priority assignment; exposed for testing.
+  static int Priority(const storage::PageMeta& meta);
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_POLICY_LRU_PRIORITY_H_

@@ -1,0 +1,37 @@
+#include "core/policy_lru_type.h"
+
+namespace sdb::core {
+
+int LruTypePolicy::CategoryRank(storage::PageType type) {
+  switch (type) {
+    case storage::PageType::kObject:
+      return 0;  // dropped immediately
+    case storage::PageType::kData:
+      return 1;
+    case storage::PageType::kDirectory:
+      return 2;  // kept as long as possible
+    default:
+      return 0;  // free/meta pages have no reason to stay
+  }
+}
+
+std::optional<FrameId> LruTypePolicy::ChooseVictim(const AccessContext&,
+                                        storage::PageId) {
+  std::optional<FrameId> best;
+  int best_rank = 0;
+  uint64_t best_time = 0;
+  for (FrameId f = 0; f < frame_count(); ++f) {
+    const FrameState& s = frame(f);
+    if (!s.valid || !s.evictable) continue;
+    const int rank = CategoryRank(MetaOf(f).type);
+    if (!best || rank < best_rank ||
+        (rank == best_rank && s.last_access < best_time)) {
+      best = f;
+      best_rank = rank;
+      best_time = s.last_access;
+    }
+  }
+  return best;
+}
+
+}  // namespace sdb::core

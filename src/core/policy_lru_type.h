@@ -1,0 +1,25 @@
+#ifndef SPATIALBUFFER_CORE_POLICY_LRU_TYPE_H_
+#define SPATIALBUFFER_CORE_POLICY_LRU_TYPE_H_
+
+#include "core/replacement_policy.h"
+
+namespace sdb::core {
+
+/// Type-based LRU (LRU-T, paper Sec. 2.1): pages are ranked by category —
+/// object pages are dropped first, then data pages, then directory pages —
+/// and plain LRU breaks ties within a category. The assumption is that
+/// directory pages are requested far more often than data or object pages.
+class LruTypePolicy : public PolicyBase {
+ public:
+  std::string_view name() const override { return "LRU-T"; }
+  std::optional<FrameId> ChooseVictim(const AccessContext& ctx,
+                                      storage::PageId incoming) override;
+
+  /// Category rank used for victim selection; lower leaves the buffer first.
+  /// Exposed for testing.
+  static int CategoryRank(storage::PageType type);
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_POLICY_LRU_TYPE_H_

@@ -1,0 +1,36 @@
+#include "core/policy_pin_levels.h"
+
+#include "common/macros.h"
+
+namespace sdb::core {
+
+PinLevelsPolicy::PinLevelsPolicy(int min_protected_level)
+    : min_protected_level_(min_protected_level),
+      name_("PIN-" + std::to_string(min_protected_level)) {
+  SDB_CHECK(min_protected_level >= 1);
+}
+
+std::optional<FrameId> PinLevelsPolicy::ChooseVictim(const AccessContext&,
+                                        storage::PageId) {
+  std::optional<FrameId> best;
+  uint64_t best_time = 0;
+  for (FrameId f = 0; f < frame_count(); ++f) {
+    const FrameState& s = frame(f);
+    if (!s.valid || !s.evictable) continue;
+    const storage::PageMeta meta = MetaOf(f);
+    const bool protected_page =
+        (meta.type == storage::PageType::kDirectory ||
+         meta.type == storage::PageType::kData) &&
+        meta.level >= min_protected_level_;
+    if (protected_page) continue;
+    if (!best || s.last_access < best_time) {
+      best = f;
+      best_time = s.last_access;
+    }
+  }
+  if (best) return best;
+  // Everything evictable is protected: degrade gracefully to LRU.
+  return LruScan();
+}
+
+}  // namespace sdb::core

@@ -1,0 +1,39 @@
+#ifndef SPATIALBUFFER_CORE_POLICY_PIN_LEVELS_H_
+#define SPATIALBUFFER_CORE_POLICY_PIN_LEVELS_H_
+
+#include <string>
+
+#include "core/replacement_policy.h"
+
+namespace sdb::core {
+
+/// Level-pinning LRU after Leutenegger & Lopez ("The Effect of Buffering on
+/// the Performance of R-Trees", ICDE 1998 — reference [8] of the paper):
+/// index pages at or above a fixed tree level are held in the buffer as a
+/// block ("pinned"); all remaining pages are managed by plain LRU. LRU-P is
+/// the paper's generalization of this policy; having the original makes
+/// that lineage measurable.
+///
+/// Pinning is best-effort: if *only* protected pages are evictable, the
+/// least recently used protected page is sacrificed rather than failing.
+class PinLevelsPolicy : public PolicyBase {
+ public:
+  /// Pages with tree level >= `min_protected_level` are protected; e.g. 1
+  /// protects the whole directory + nothing else in a tree whose data
+  /// pages are level 0... level 1 protects all directory levels.
+  explicit PinLevelsPolicy(int min_protected_level);
+
+  std::string_view name() const override { return name_; }
+  int min_protected_level() const { return min_protected_level_; }
+
+  std::optional<FrameId> ChooseVictim(const AccessContext& ctx,
+                                      storage::PageId incoming) override;
+
+ private:
+  const int min_protected_level_;
+  std::string name_;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_POLICY_PIN_LEVELS_H_

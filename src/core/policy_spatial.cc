@@ -1,0 +1,27 @@
+#include "core/policy_spatial.h"
+
+namespace sdb::core {
+
+SpatialPolicy::SpatialPolicy(SpatialCriterion criterion)
+    : criterion_(criterion) {}
+
+std::optional<FrameId> SpatialPolicy::ChooseVictim(const AccessContext&,
+                                        storage::PageId) {
+  std::optional<FrameId> best;
+  double best_crit = 0.0;
+  uint64_t best_time = 0;
+  for (FrameId f = 0; f < frame_count(); ++f) {
+    const FrameState& s = frame(f);
+    if (!s.valid || !s.evictable) continue;
+    const double crit = EvaluateCriterion(criterion_, MetaOf(f));
+    if (!best || crit < best_crit ||
+        (crit == best_crit && s.last_access < best_time)) {
+      best = f;
+      best_crit = crit;
+      best_time = s.last_access;
+    }
+  }
+  return best;
+}
+
+}  // namespace sdb::core

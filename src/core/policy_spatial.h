@@ -1,0 +1,32 @@
+#ifndef SPATIALBUFFER_CORE_POLICY_SPATIAL_H_
+#define SPATIALBUFFER_CORE_POLICY_SPATIAL_H_
+
+#include "core/replacement_policy.h"
+#include "core/spatial_criterion.h"
+
+namespace sdb::core {
+
+/// Pure spatial page replacement (paper Sec. 2.3): the victim is the
+/// evictable page with the *smallest* spatial criterion value — e.g. under
+/// criterion A, the page covering the least area, because pages with large
+/// regions are assumed to be requested most frequently. Ties are broken by
+/// LRU, exactly as in the paper's two-step victim definition.
+class SpatialPolicy : public PolicyBase {
+ public:
+  explicit SpatialPolicy(SpatialCriterion criterion);
+
+  std::string_view name() const override {
+    return CriterionName(criterion_);
+  }
+  SpatialCriterion criterion() const { return criterion_; }
+
+  std::optional<FrameId> ChooseVictim(const AccessContext& ctx,
+                                      storage::PageId incoming) override;
+
+ private:
+  const SpatialCriterion criterion_;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_POLICY_SPATIAL_H_

@@ -1,0 +1,88 @@
+#include "core/policy_two_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace sdb::core {
+
+TwoQueuePolicy::TwoQueuePolicy(double a1in_fraction, double a1out_factor)
+    : a1in_fraction_(a1in_fraction), a1out_factor_(a1out_factor) {
+  SDB_CHECK(a1in_fraction > 0.0 && a1in_fraction <= 1.0);
+  SDB_CHECK(a1out_factor >= 0.0);
+}
+
+void TwoQueuePolicy::Bind(const FrameMetaSource* meta, size_t frame_count) {
+  PolicyBase::Bind(meta, frame_count);
+  a1in_capacity_ = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(a1in_fraction_ *
+                                         static_cast<double>(frame_count))));
+  a1out_capacity_ = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(a1out_factor_ *
+                                         static_cast<double>(frame_count))));
+  a1in_.clear();
+  in_am_.assign(frame_count, 0);
+  a1out_fifo_.clear();
+  a1out_.clear();
+}
+
+void TwoQueuePolicy::OnPageLoaded(FrameId f, storage::PageId page,
+                                  const AccessContext& ctx) {
+  PolicyBase::OnPageLoaded(f, page, ctx);
+  if (a1out_.erase(page) > 0) {
+    // Remembered from an earlier residence: proven reuse, straight into Am.
+    std::erase(a1out_fifo_, page);
+    in_am_[f] = 1;
+  } else {
+    in_am_[f] = 0;
+    a1in_.push_back(f);
+  }
+}
+
+std::optional<FrameId> TwoQueuePolicy::ChooseVictim(const AccessContext&,
+                                        storage::PageId) {
+  // Prefer the probation queue while it exceeds its share.
+  if (a1in_.size() > a1in_capacity_ ||
+      (!a1in_.empty() && a1in_.size() >= frame_count())) {
+    for (const FrameId f : a1in_) {
+      const FrameState& s = frame(f);
+      if (s.valid && s.evictable) return f;
+    }
+  }
+  // Otherwise the least recently used Am page.
+  std::optional<FrameId> best;
+  uint64_t best_time = 0;
+  for (FrameId f = 0; f < frame_count(); ++f) {
+    const FrameState& s = frame(f);
+    if (!s.valid || !s.evictable || !in_am_[f]) continue;
+    if (!best || s.last_access < best_time) {
+      best = f;
+      best_time = s.last_access;
+    }
+  }
+  if (best) return best;
+  // Am is empty (warm-up): fall back to the head of A1in, then plain LRU.
+  for (const FrameId f : a1in_) {
+    const FrameState& s = frame(f);
+    if (s.valid && s.evictable) return f;
+  }
+  return LruScan();
+}
+
+void TwoQueuePolicy::OnPageEvicted(FrameId f, storage::PageId page) {
+  if (!in_am_[f]) {
+    // Leaving the probation queue: remember the page id as a ghost.
+    std::erase(a1in_, f);
+    a1out_.insert(page);
+    a1out_fifo_.push_back(page);
+    while (a1out_fifo_.size() > a1out_capacity_) {
+      a1out_.erase(a1out_fifo_.front());
+      a1out_fifo_.pop_front();
+    }
+  }
+  in_am_[f] = 0;
+  PolicyBase::OnPageEvicted(f, page);
+}
+
+}  // namespace sdb::core

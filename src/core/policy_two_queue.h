@@ -1,0 +1,59 @@
+#ifndef SPATIALBUFFER_CORE_POLICY_TWO_QUEUE_H_
+#define SPATIALBUFFER_CORE_POLICY_TWO_QUEUE_H_
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "core/replacement_policy.h"
+
+namespace sdb::core {
+
+/// The 2Q page-replacement algorithm [Johnson & Shasha, VLDB 1994]
+/// (simplified 2Q): an additional baseline from the classic buffer
+/// literature, solving the same weakness of LRU that motivates LRU-K —
+/// pages touched once should not displace pages with proven reuse.
+///
+/// Structure: newly faulted pages enter the FIFO queue A1in. Pages evicted
+/// from A1in leave only a *ghost* entry (their page id) in A1out. A fault
+/// on a page remembered in A1out proves reuse and admits the page into the
+/// LRU-managed main queue Am. Victims come from A1in while it exceeds its
+/// share (default 25% of the buffer), otherwise from Am.
+///
+/// Like LRU-K — and unlike ASB — 2Q keeps state (the ghost queue) for pages
+/// that are no longer buffered, although bounded.
+class TwoQueuePolicy : public PolicyBase {
+ public:
+  /// `a1in_fraction`: share of the buffer operated FIFO; `a1out_factor`:
+  /// ghost-queue capacity as a multiple of the buffer size.
+  explicit TwoQueuePolicy(double a1in_fraction = 0.25,
+                          double a1out_factor = 0.5);
+
+  std::string_view name() const override { return "2Q"; }
+
+  void Bind(const FrameMetaSource* meta, size_t frame_count) override;
+  void OnPageLoaded(FrameId frame, storage::PageId page,
+                    const AccessContext& ctx) override;
+  std::optional<FrameId> ChooseVictim(const AccessContext& ctx,
+                                      storage::PageId incoming) override;
+  void OnPageEvicted(FrameId frame, storage::PageId page) override;
+
+  size_t a1in_size() const { return a1in_.size(); }
+  size_t ghost_size() const { return a1out_.size(); }
+  bool InMainQueue(FrameId f) const { return in_am_[f]; }
+  bool IsGhost(storage::PageId page) const { return a1out_.contains(page); }
+
+ private:
+  const double a1in_fraction_;
+  const double a1out_factor_;
+  size_t a1in_capacity_ = 1;
+  size_t a1out_capacity_ = 1;
+  std::deque<FrameId> a1in_;              // FIFO of probation frames
+  std::vector<char> in_am_;               // frame -> member of Am?
+  std::deque<storage::PageId> a1out_fifo_;  // ghost ids, FIFO order
+  std::unordered_set<storage::PageId> a1out_;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_POLICY_TWO_QUEUE_H_

@@ -1,0 +1,64 @@
+#include "core/replacement_policy.h"
+
+#include "common/macros.h"
+
+namespace sdb::core {
+
+void PolicyBase::Bind(const FrameMetaSource* meta, size_t frame_count) {
+  SDB_CHECK(meta != nullptr);
+  SDB_CHECK(frame_count > 0);
+  meta_ = meta;
+  frames_.assign(frame_count, FrameState{});
+  clock_ = 0;
+}
+
+void PolicyBase::OnPageLoaded(FrameId f, storage::PageId page,
+                              const AccessContext& ctx) {
+  SDB_DCHECK(f < frames_.size());
+  FrameState& s = frames_[f];
+  SDB_CHECK_MSG(!s.valid, "frame loaded twice without eviction");
+  s.page = page;
+  s.valid = true;
+  s.evictable = false;  // loaded pages are pinned by the caller
+  s.load_time = Tick();
+  s.last_access = s.load_time;
+  s.last_query = ctx.query_id;
+}
+
+void PolicyBase::OnPageAccessed(FrameId f, const AccessContext& ctx) {
+  SDB_DCHECK(f < frames_.size());
+  FrameState& s = frames_[f];
+  SDB_DCHECK(s.valid);
+  s.last_access = Tick();
+  s.last_query = ctx.query_id;
+}
+
+void PolicyBase::SetEvictable(FrameId f, bool evictable) {
+  SDB_DCHECK(f < frames_.size());
+  SDB_DCHECK(frames_[f].valid);
+  frames_[f].evictable = evictable;
+}
+
+void PolicyBase::OnPageEvicted(FrameId f, storage::PageId page) {
+  SDB_DCHECK(f < frames_.size());
+  FrameState& s = frames_[f];
+  SDB_CHECK(s.valid);
+  SDB_CHECK(s.page == page);
+  s = FrameState{};
+}
+
+std::optional<FrameId> PolicyBase::LruScan() const {
+  std::optional<FrameId> best;
+  uint64_t best_time = 0;
+  for (FrameId f = 0; f < frames_.size(); ++f) {
+    const FrameState& s = frames_[f];
+    if (!s.valid || !s.evictable) continue;
+    if (!best || s.last_access < best_time) {
+      best = f;
+      best_time = s.last_access;
+    }
+  }
+  return best;
+}
+
+}  // namespace sdb::core

@@ -1,0 +1,109 @@
+#ifndef SPATIALBUFFER_CORE_REPLACEMENT_POLICY_H_
+#define SPATIALBUFFER_CORE_REPLACEMENT_POLICY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/access_context.h"
+#include "storage/page.h"
+
+namespace sdb::core {
+
+/// Index of a buffer frame.
+using FrameId = uint32_t;
+
+inline constexpr FrameId kInvalidFrameId = 0xffffffffu;
+
+/// Supplies the *current* metadata of the page resident in a frame. The
+/// buffer manager implements this by decoding the page header straight from
+/// frame memory, so spatial criteria always see up-to-date values even when
+/// the page was modified in place.
+class FrameMetaSource {
+ public:
+  virtual ~FrameMetaSource() = default;
+  virtual storage::PageMeta GetMeta(FrameId frame) const = 0;
+};
+
+/// Strategy deciding which resident page leaves the buffer on a miss.
+///
+/// Lifecycle as driven by BufferManager:
+///  * Bind() once, with the frame count and metadata source;
+///  * OnPageLoaded() when a page becomes resident in a frame (after a miss
+///    or page creation) — the frame is pinned at that moment;
+///  * OnPageAccessed() on every buffer hit;
+///  * SetEvictable() whenever the frame's pin count transitions 0 <-> >0;
+///  * ChooseVictim() on a miss with no free frame — must return an evictable
+///    frame, or nullopt if every frame is pinned;
+///  * OnPageEvicted() after the victim's page has left the buffer.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Short identifier used in reports ("LRU", "LRU-2", "A", "ASB", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Called once before use.
+  virtual void Bind(const FrameMetaSource* meta, size_t frame_count) = 0;
+
+  virtual void OnPageLoaded(FrameId frame, storage::PageId page,
+                            const AccessContext& ctx) = 0;
+  virtual void OnPageAccessed(FrameId frame, const AccessContext& ctx) = 0;
+  virtual void SetEvictable(FrameId frame, bool evictable) = 0;
+  virtual std::optional<FrameId> ChooseVictim(
+      const AccessContext& ctx, storage::PageId incoming) = 0;
+  virtual void OnPageEvicted(FrameId frame, storage::PageId page) = 0;
+};
+
+/// Shared bookkeeping for all concrete policies: a logical access clock plus
+/// per-frame state (validity, evictability, last/load access times, the
+/// query id of the most recent reference). Subclasses implement victim
+/// selection on top; most do a linear scan over the frames, which is exact,
+/// obviously faithful to the paper's definitions, and cheap at realistic
+/// buffer sizes.
+class PolicyBase : public ReplacementPolicy {
+ public:
+  void Bind(const FrameMetaSource* meta, size_t frame_count) override;
+  void OnPageLoaded(FrameId frame, storage::PageId page,
+                    const AccessContext& ctx) override;
+  void OnPageAccessed(FrameId frame, const AccessContext& ctx) override;
+  void SetEvictable(FrameId frame, bool evictable) override;
+  void OnPageEvicted(FrameId frame, storage::PageId page) override;
+
+ protected:
+  struct FrameState {
+    storage::PageId page = storage::kInvalidPageId;
+    bool valid = false;
+    bool evictable = false;
+    uint64_t load_time = 0;    ///< clock value when the page entered
+    uint64_t last_access = 0;  ///< clock value of the latest reference
+    uint64_t last_query = AccessContext::kNoQuery;
+  };
+
+  /// Monotone logical time; advanced on every load/access.
+  uint64_t Tick() { return ++clock_; }
+  uint64_t clock() const { return clock_; }
+
+  const FrameMetaSource& meta_source() const { return *meta_; }
+  storage::PageMeta MetaOf(FrameId frame) const {
+    return meta_->GetMeta(frame);
+  }
+
+  size_t frame_count() const { return frames_.size(); }
+  FrameState& frame(FrameId f) { return frames_[f]; }
+  const FrameState& frame(FrameId f) const { return frames_[f]; }
+
+  /// Least-recently-used evictable frame, or nullopt if none: the universal
+  /// fallback and tie-breaker.
+  std::optional<FrameId> LruScan() const;
+
+ private:
+  const FrameMetaSource* meta_ = nullptr;
+  std::vector<FrameState> frames_;
+  uint64_t clock_ = 0;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_REPLACEMENT_POLICY_H_

@@ -1,0 +1,48 @@
+#include "core/spatial_criterion.h"
+
+#include "common/macros.h"
+
+namespace sdb::core {
+
+double EvaluateCriterion(SpatialCriterion crit,
+                         const storage::PageMeta& meta) {
+  switch (crit) {
+    case SpatialCriterion::kArea:
+      return meta.mbr.Area();
+    case SpatialCriterion::kEntryArea:
+      return meta.sum_entry_area;
+    case SpatialCriterion::kMargin:
+      return meta.mbr.Margin();
+    case SpatialCriterion::kEntryMargin:
+      return meta.sum_entry_margin;
+    case SpatialCriterion::kEntryOverlap:
+      return meta.entry_overlap;
+  }
+  SDB_CHECK_MSG(false, "unknown criterion");
+  return 0.0;
+}
+
+std::string_view CriterionName(SpatialCriterion crit) {
+  switch (crit) {
+    case SpatialCriterion::kArea:
+      return "A";
+    case SpatialCriterion::kEntryArea:
+      return "EA";
+    case SpatialCriterion::kMargin:
+      return "M";
+    case SpatialCriterion::kEntryMargin:
+      return "EM";
+    case SpatialCriterion::kEntryOverlap:
+      return "EO";
+  }
+  return "?";
+}
+
+std::optional<SpatialCriterion> ParseCriterion(std::string_view name) {
+  for (SpatialCriterion c : kAllCriteria) {
+    if (CriterionName(c) == name) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sdb::core

@@ -1,0 +1,42 @@
+#ifndef SPATIALBUFFER_CORE_SPATIAL_CRITERION_H_
+#define SPATIALBUFFER_CORE_SPATIAL_CRITERION_H_
+
+#include <optional>
+#include <string_view>
+
+#include "storage/page.h"
+
+namespace sdb::core {
+
+/// The five spatial page-replacement criteria of the paper (Sec. 2.3),
+/// derived from the R*-tree optimization goals O1–O4. A page whose criterion
+/// value is *largest* should stay in the buffer longest; the page with the
+/// *smallest* value is the eviction victim.
+enum class SpatialCriterion {
+  kArea,          ///< A: area of the page MBR (optimization goal O1)
+  kEntryArea,     ///< EA: Σ area of entry MBRs (O1 + O4, not normalized)
+  kMargin,        ///< M: margin of the page MBR (O3)
+  kEntryMargin,   ///< EM: Σ margin of entry MBRs (O3 + O4)
+  kEntryOverlap,  ///< EO: total pairwise overlap of entry MBRs (O2)
+};
+
+/// spatialCrit(p) for the given criterion, evaluated on a page's header
+/// metadata.
+double EvaluateCriterion(SpatialCriterion crit, const storage::PageMeta& meta);
+
+/// Short name as used in the paper: "A", "EA", "M", "EM", "EO".
+std::string_view CriterionName(SpatialCriterion crit);
+
+/// Inverse of CriterionName; nullopt for unknown names.
+std::optional<SpatialCriterion> ParseCriterion(std::string_view name);
+
+/// All criteria, for sweeps.
+inline constexpr SpatialCriterion kAllCriteria[] = {
+    SpatialCriterion::kArea, SpatialCriterion::kEntryArea,
+    SpatialCriterion::kMargin, SpatialCriterion::kEntryMargin,
+    SpatialCriterion::kEntryOverlap,
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_SPATIAL_CRITERION_H_

@@ -1,0 +1,22 @@
+#include "geom/entry_aggregates.h"
+
+namespace sdb::geom {
+
+EntryAggregates ComputeEntryAggregates(std::span<const Rect> entries) {
+  EntryAggregates agg;
+  for (const Rect& e : entries) {
+    agg.mbr.Extend(e);
+    agg.sum_entry_area += e.Area();
+    agg.sum_entry_margin += e.Margin();
+  }
+  // The paper defines EO as the sum over ordered pairs divided by two, i.e.
+  // each unordered pair counts once.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      agg.entry_overlap += IntersectionArea(entries[i], entries[j]);
+    }
+  }
+  return agg;
+}
+
+}  // namespace sdb::geom

@@ -1,0 +1,20 @@
+#ifndef SPATIALBUFFER_GEOM_POINT_H_
+#define SPATIALBUFFER_GEOM_POINT_H_
+
+namespace sdb::geom {
+
+/// A point in the two-dimensional data space. The whole system works in an
+/// abstract unit square [0,1]² by convention, but nothing in the geometry
+/// layer depends on that.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+}  // namespace sdb::geom
+
+#endif  // SPATIALBUFFER_GEOM_POINT_H_

@@ -1,0 +1,48 @@
+#include "geom/rect.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sdb::geom {
+
+Rect Union(const Rect& a, const Rect& b) {
+  Rect r = a;
+  r.Extend(b);
+  return r;
+}
+
+Rect Intersection(const Rect& a, const Rect& b) {
+  Rect r(std::max(a.xmin, b.xmin), std::max(a.ymin, b.ymin),
+         std::min(a.xmax, b.xmax), std::min(a.ymax, b.ymax));
+  if (r.IsEmpty()) return Rect();
+  return r;
+}
+
+double IntersectionArea(const Rect& a, const Rect& b) {
+  const double w =
+      std::min(a.xmax, b.xmax) - std::max(a.xmin, b.xmin);
+  if (w <= 0.0) return 0.0;
+  const double h =
+      std::min(a.ymax, b.ymax) - std::max(a.ymin, b.ymin);
+  if (h <= 0.0) return 0.0;
+  return w * h;
+}
+
+double AreaEnlargement(const Rect& base, const Rect& add) {
+  return Union(base, add).Area() - base.Area();
+}
+
+double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+std::string ToString(const Rect& r) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%g,%g..%g,%g]", r.xmin, r.ymin, r.xmax,
+                r.ymax);
+  return buf;
+}
+
+}  // namespace sdb::geom

@@ -1,0 +1,112 @@
+#ifndef SPATIALBUFFER_GEOM_RECT_H_
+#define SPATIALBUFFER_GEOM_RECT_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geom/point.h"
+
+namespace sdb::geom {
+
+/// Axis-aligned rectangle — the minimum bounding rectangle (MBR) used
+/// throughout the R*-tree and the spatial replacement criteria.
+///
+/// A default-constructed Rect is *empty*: it contains nothing, extending any
+/// rectangle by it is a no-op, and extending it by a point yields the
+/// degenerate rectangle at that point. Empty rectangles are the identity of
+/// `Extend`, which makes incremental MBR computation branch-free.
+struct Rect {
+  double xmin = std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+
+  Rect() = default;
+  Rect(double x0, double y0, double x1, double y1)
+      : xmin(x0), ymin(y0), xmax(x1), ymax(y1) {}
+
+  /// Degenerate rectangle covering exactly one point.
+  static Rect FromPoint(const Point& p) { return Rect(p.x, p.y, p.x, p.y); }
+
+  /// Rectangle of the given width/height centered at `c`, used for window
+  /// queries.
+  static Rect Centered(const Point& c, double width, double height) {
+    return Rect(c.x - width / 2, c.y - height / 2, c.x + width / 2,
+                c.y + height / 2);
+  }
+
+  /// True for the additive identity (default-constructed) state and for any
+  /// inverted rectangle.
+  bool IsEmpty() const { return xmin > xmax || ymin > ymax; }
+
+  double width() const { return IsEmpty() ? 0.0 : xmax - xmin; }
+  double height() const { return IsEmpty() ? 0.0 : ymax - ymin; }
+
+  /// Area of the rectangle; 0 for empty and degenerate rectangles.
+  double Area() const { return width() * height(); }
+
+  /// Margin (half-perimeter: width + height), the R* criterion (O3).
+  double Margin() const { return width() + height(); }
+
+  Point Center() const {
+    return Point{(xmin + xmax) / 2, (ymin + ymax) / 2};
+  }
+
+  /// True if the rectangles share at least one point (closed-set semantics:
+  /// touching edges intersect).
+  bool Intersects(const Rect& o) const {
+    return xmin <= o.xmax && o.xmin <= xmax && ymin <= o.ymax &&
+           o.ymin <= ymax;
+  }
+
+  bool Contains(const Point& p) const {
+    return xmin <= p.x && p.x <= xmax && ymin <= p.y && p.y <= ymax;
+  }
+
+  /// True if `o` lies entirely inside (or on the boundary of) this rect.
+  bool Contains(const Rect& o) const {
+    return !o.IsEmpty() && xmin <= o.xmin && o.xmax <= xmax &&
+           ymin <= o.ymin && o.ymax <= ymax;
+  }
+
+  /// Grows this rectangle to cover `o`. Extending by an empty rect is a
+  /// no-op; extending an empty rect yields `o`.
+  void Extend(const Rect& o) {
+    xmin = std::min(xmin, o.xmin);
+    ymin = std::min(ymin, o.ymin);
+    xmax = std::max(xmax, o.xmax);
+    ymax = std::max(ymax, o.ymax);
+  }
+
+  void Extend(const Point& p) { Extend(FromPoint(p)); }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.xmin == b.xmin && a.ymin == b.ymin && a.xmax == b.xmax &&
+           a.ymax == b.ymax;
+  }
+};
+
+/// Smallest rectangle covering both arguments.
+Rect Union(const Rect& a, const Rect& b);
+
+/// Common region of `a` and `b`; empty if they do not intersect.
+Rect Intersection(const Rect& a, const Rect& b);
+
+/// Area of the intersection; 0 if disjoint. This is the pairwise term of the
+/// EO replacement criterion and the R* split overlap measure.
+double IntersectionArea(const Rect& a, const Rect& b);
+
+/// How much `base` must grow (in area) to accommodate `add` — the R*
+/// ChooseSubtree cost.
+double AreaEnlargement(const Rect& base, const Rect& add);
+
+/// Squared Euclidean distance between two points.
+double SquaredDistance(const Point& a, const Point& b);
+
+/// Debug representation "[xmin,ymin..xmax,ymax]".
+std::string ToString(const Rect& r);
+
+}  // namespace sdb::geom
+
+#endif  // SPATIALBUFFER_GEOM_RECT_H_

@@ -1,0 +1,211 @@
+#include "objstore/object_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+#include "geom/entry_aggregates.h"
+
+namespace sdb::objstore {
+
+namespace {
+
+using storage::PageHeaderView;
+
+// Object encoding: u64 id, 4 x f64 mbr, u32 vertex count, then the
+// vertices as pairs of f64.
+constexpr size_t kObjectHeaderSize = 8 + 32 + 4;
+// One slot directory entry: u16 offset, u16 length.
+constexpr size_t kSlotSize = 4;
+
+size_t SlotArrayOffset(size_t page_size, uint16_t slot) {
+  return page_size - kSlotSize * (static_cast<size_t>(slot) + 1);
+}
+
+void WriteSlot(std::span<std::byte> page, uint16_t slot, uint16_t offset,
+               uint16_t length) {
+  std::byte* p = page.data() + SlotArrayOffset(page.size(), slot);
+  std::memcpy(p, &offset, 2);
+  std::memcpy(p + 2, &length, 2);
+}
+
+void ReadSlot(std::span<const std::byte> page, uint16_t slot,
+              uint16_t* offset, uint16_t* length) {
+  const std::byte* p = page.data() + SlotArrayOffset(page.size(), slot);
+  std::memcpy(offset, p, 2);
+  std::memcpy(length, p + 2, 2);
+}
+
+void EncodeObject(const ExactObject& object, std::byte* out) {
+  std::memcpy(out, &object.id, 8);
+  out += 8;
+  const double mbr[4] = {object.mbr.xmin, object.mbr.ymin, object.mbr.xmax,
+                         object.mbr.ymax};
+  std::memcpy(out, mbr, 32);
+  out += 32;
+  const uint32_t n = static_cast<uint32_t>(object.vertices.size());
+  std::memcpy(out, &n, 4);
+  out += 4;
+  for (const geom::Point& v : object.vertices) {
+    std::memcpy(out, &v.x, 8);
+    std::memcpy(out + 8, &v.y, 8);
+    out += 16;
+  }
+}
+
+ExactObject DecodeObject(const std::byte* in) {
+  ExactObject object;
+  std::memcpy(&object.id, in, 8);
+  in += 8;
+  double mbr[4];
+  std::memcpy(mbr, in, 32);
+  in += 32;
+  object.mbr = geom::Rect(mbr[0], mbr[1], mbr[2], mbr[3]);
+  uint32_t n = 0;
+  std::memcpy(&n, in, 4);
+  in += 4;
+  object.vertices.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::memcpy(&object.vertices[i].x, in, 8);
+    std::memcpy(&object.vertices[i].y, in + 8, 8);
+    in += 16;
+  }
+  return object;
+}
+
+/// Recomputes the page header aggregates from the MBRs of all objects on
+/// the page, so replacement policies can rank object pages spatially.
+void RefreshObjectPageAggregates(std::span<std::byte> page, uint16_t slots) {
+  std::vector<geom::Rect> rects;
+  rects.reserve(slots);
+  for (uint16_t s = 0; s < slots; ++s) {
+    uint16_t offset = 0, length = 0;
+    ReadSlot(page, s, &offset, &length);
+    double mbr[4];
+    std::memcpy(mbr, page.data() + offset + 8, 32);
+    rects.emplace_back(mbr[0], mbr[1], mbr[2], mbr[3]);
+  }
+  PageHeaderView header(page.data());
+  header.set_entry_count(slots);
+  header.set_aggregates(geom::ComputeEntryAggregates(rects));
+}
+
+/// True if the segment a-b intersects the (closed) rectangle, via
+/// Liang-Barsky parametric clipping.
+bool SegmentIntersectsRect(const geom::Point& a, const geom::Point& b,
+                           const geom::Rect& r) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  double t0 = 0.0, t1 = 1.0;
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {a.x - r.xmin, r.xmax - a.x, a.y - r.ymin,
+                       r.ymax - a.y};
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0.0) {
+      if (q[i] < 0.0) return false;  // parallel and outside
+    } else {
+      const double t = q[i] / p[i];
+      if (p[i] < 0.0) {
+        t0 = std::max(t0, t);
+      } else {
+        t1 = std::min(t1, t);
+      }
+      if (t0 > t1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ObjectStore::ObjectStore(storage::DiskManager* disk,
+                         core::BufferManager* buffer)
+    : disk_(disk), buffer_(buffer) {
+  SDB_CHECK(disk != nullptr && buffer != nullptr);
+  SDB_CHECK(&buffer->disk() == disk);
+}
+
+size_t ObjectStore::EncodedSize(const ExactObject& object) {
+  return kObjectHeaderSize + 16 * object.vertices.size();
+}
+
+rtree::ObjectRef ObjectStore::Append(const ExactObject& object,
+                                     const core::AccessContext& ctx) {
+  const size_t need = EncodedSize(object);
+  const size_t page_size = disk_->page_size();
+  SDB_CHECK_MSG(
+      need + kSlotSize + PageHeaderView::kHeaderSize <= page_size,
+      "object too large for one page");
+
+  const bool fits =
+      open_page_ != storage::kInvalidPageId &&
+      open_data_end_ + need + kSlotSize * (open_slots_ + 1u) <= page_size;
+  if (!fits) {
+    core::PageHandle page = buffer_->New(ctx);
+    open_page_ = page.page_id();
+    open_data_end_ = PageHeaderView::kHeaderSize;
+    open_slots_ = 0;
+    PageHeaderView header = page.header();
+    header.set_type(storage::PageType::kObject);
+    header.set_level(0);
+    page.MarkDirty();
+    ++page_counter_;
+  }
+
+  core::PageHandle page = buffer_->Fetch(open_page_, ctx);
+  std::span<std::byte> bytes = page.bytes();
+  EncodeObject(object, bytes.data() + open_data_end_);
+  WriteSlot(bytes, open_slots_, static_cast<uint16_t>(open_data_end_),
+            static_cast<uint16_t>(need));
+  const rtree::ObjectRef ref{open_page_, open_slots_};
+  open_data_end_ += need;
+  ++open_slots_;
+  RefreshObjectPageAggregates(bytes, open_slots_);
+  page.MarkDirty();
+  return ref;
+}
+
+std::optional<ExactObject> ObjectStore::Get(
+    rtree::ObjectRef ref, const core::AccessContext& ctx) const {
+  if (ref.page == storage::kInvalidPageId ||
+      ref.page >= disk_->page_count()) {
+    return std::nullopt;
+  }
+  core::PageHandle page = buffer_->Fetch(ref.page, ctx);
+  const std::span<const std::byte> bytes{page.bytes().data(),
+                                         page.bytes().size()};
+  storage::ConstPageHeaderView header(bytes.data());
+  if (header.type() != storage::PageType::kObject ||
+      ref.slot >= header.entry_count()) {
+    return std::nullopt;
+  }
+  uint16_t offset = 0, length = 0;
+  ReadSlot(bytes, ref.slot, &offset, &length);
+  return DecodeObject(bytes.data() + offset);
+}
+
+bool ObjectStore::GeometryIntersectsWindow(const ExactObject& object,
+                                           const geom::Rect& window) {
+  if (object.vertices.empty()) {
+    return object.mbr.Intersects(window);
+  }
+  if (object.vertices.size() == 1) {
+    return window.Contains(object.vertices[0]);
+  }
+  for (size_t i = 0; i + 1 < object.vertices.size(); ++i) {
+    if (SegmentIntersectsRect(object.vertices[i], object.vertices[i + 1],
+                              window)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ObjectStore::RefineWindow(rtree::ObjectRef ref, const geom::Rect& window,
+                               const core::AccessContext& ctx) const {
+  const std::optional<ExactObject> object = Get(ref, ctx);
+  if (!object) return false;
+  return GeometryIntersectsWindow(*object, window);
+}
+
+}  // namespace sdb::objstore

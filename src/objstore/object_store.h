@@ -1,0 +1,80 @@
+#ifndef SPATIALBUFFER_OBJSTORE_OBJECT_STORE_H_
+#define SPATIALBUFFER_OBJSTORE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "rtree/node_view.h"
+
+namespace sdb::objstore {
+
+/// Exact representation of one spatial object: its MBR plus the vertex
+/// sequence (a point for |vertices| == 1, otherwise a polyline/polygon
+/// outline).
+struct ExactObject {
+  uint64_t id = 0;
+  geom::Rect mbr;
+  std::vector<geom::Point> vertices;
+};
+
+/// Storage for the exact object geometries, kept in *object pages* separate
+/// from the spatial access method (paper Sec. 2.1 / Fig. 1; following the
+/// paper's setup, object pages live in their own file and their own buffer).
+/// Data-page entries of the R*-tree reference objects by (page, slot).
+///
+/// Pages are slotted: objects are packed front-to-back, the slot directory
+/// (offset, length) grows from the back. The standard page header carries
+/// the spatial aggregates over the stored objects' MBRs, so object pages
+/// participate in spatial replacement criteria like any other page.
+class ObjectStore {
+ public:
+  /// The store appends through `buffer`, which must wrap `disk`.
+  ObjectStore(storage::DiskManager* disk, core::BufferManager* buffer);
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Swaps the buffer used for reads (e.g. a fresh one per experiment).
+  void set_buffer(core::BufferManager* buffer) { buffer_ = buffer; }
+
+  /// Stores an object and returns its locator. The encoded object must fit
+  /// in one page.
+  rtree::ObjectRef Append(const ExactObject& object,
+                          const core::AccessContext& ctx);
+
+  /// Loads an object; nullopt if the locator is invalid.
+  std::optional<ExactObject> Get(rtree::ObjectRef ref,
+                                 const core::AccessContext& ctx) const;
+
+  /// Refinement step of window-query processing: loads the exact geometry
+  /// and tests it against the window (point containment for point objects,
+  /// segment/window intersection for polylines).
+  bool RefineWindow(rtree::ObjectRef ref, const geom::Rect& window,
+                    const core::AccessContext& ctx) const;
+
+  /// Number of object pages written so far.
+  uint32_t page_count() const { return page_counter_; }
+
+  /// Encoded size of an object in bytes (for capacity planning).
+  static size_t EncodedSize(const ExactObject& object);
+
+  /// Exact geometry/window test used by RefineWindow; exposed for testing.
+  static bool GeometryIntersectsWindow(const ExactObject& object,
+                                       const geom::Rect& window);
+
+ private:
+  storage::DiskManager* disk_;
+  core::BufferManager* buffer_;
+  storage::PageId open_page_ = storage::kInvalidPageId;
+  size_t open_data_end_ = 0;    ///< byte offset of free space start
+  uint16_t open_slots_ = 0;     ///< slots used on the open page
+  uint32_t page_counter_ = 0;
+};
+
+}  // namespace sdb::objstore
+
+#endif  // SPATIALBUFFER_OBJSTORE_OBJECT_STORE_H_

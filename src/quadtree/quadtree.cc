@@ -1,0 +1,458 @@
+#include "quadtree/quadtree.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/macros.h"
+#include "geom/entry_aggregates.h"
+#include "storage/page.h"
+
+namespace sdb::quadtree {
+
+namespace {
+
+using core::AccessContext;
+using core::BufferManager;
+using core::PageHandle;
+using geom::Point;
+using geom::Rect;
+using storage::PageHeaderView;
+using storage::PageId;
+
+constexpr size_t kHeader = PageHeaderView::kHeaderSize;
+
+/// On-page point record.
+struct PointRecord {
+  double x, y;
+  uint64_t id;
+};
+static_assert(sizeof(PointRecord) == 24);
+
+struct MetaRecord {
+  PageId root;
+  uint32_t bucket_capacity;
+  uint32_t max_depth;
+  uint32_t pad;
+  uint64_t size;
+};
+
+/// Quadrant index of a point within a cell: bit 0 = east, bit 1 = north.
+int QuadrantOf(const Rect& cell, const Point& p) {
+  const Point center = cell.Center();
+  return (p.x >= center.x ? 1 : 0) | (p.y >= center.y ? 2 : 0);
+}
+
+Rect QuadrantCell(const Rect& cell, int quadrant) {
+  const Point center = cell.Center();
+  const double x0 = (quadrant & 1) ? center.x : cell.xmin;
+  const double x1 = (quadrant & 1) ? cell.xmax : center.x;
+  const double y0 = (quadrant & 2) ? center.y : cell.ymin;
+  const double y1 = (quadrant & 2) ? cell.ymax : center.y;
+  return Rect(x0, y0, x1, y1);
+}
+
+std::vector<PointRecord> LoadPoints(std::span<const std::byte> page) {
+  const uint16_t n = storage::ConstPageHeaderView(page.data()).entry_count();
+  std::vector<PointRecord> records(n);
+  std::memcpy(records.data(), page.data() + kHeader,
+              n * sizeof(PointRecord));
+  return records;
+}
+
+/// (Re)writes a leaf page. The header MBR is the node's *cell* — quadtree
+/// cells are the entries the spatial criteria rank (paper Sec. 2.3) — and
+/// the entry aggregates are zero (point entries are degenerate).
+void WriteLeaf(PageHandle& page, const Rect& cell,
+               const std::vector<PointRecord>& records, PageId overflow) {
+  PageHeaderView header = page.header();
+  header.set_type(storage::PageType::kData);
+  header.set_level(0);
+  header.set_entry_count(static_cast<uint16_t>(records.size()));
+  header.set_aux(overflow);
+  std::memcpy(page.bytes().data() + kHeader, records.data(),
+              records.size() * sizeof(PointRecord));
+  geom::EntryAggregates agg;
+  agg.mbr = cell;
+  header.set_aggregates(agg);
+  page.MarkDirty();
+}
+
+std::array<PageId, 4> LoadChildren(std::span<const std::byte> page) {
+  std::array<PageId, 4> children;
+  std::memcpy(children.data(), page.data() + kHeader, sizeof(children));
+  return children;
+}
+
+/// Writes a directory page: four children, aggregates over the child cells.
+void WriteDirectory(PageHandle& page, const Rect& cell, uint8_t level,
+                    const std::array<PageId, 4>& children) {
+  PageHeaderView header = page.header();
+  header.set_type(storage::PageType::kDirectory);
+  header.set_level(level);
+  header.set_entry_count(4);
+  header.set_aux(0);
+  std::memcpy(page.bytes().data() + kHeader, children.data(),
+              sizeof(children));
+  std::vector<Rect> cells;
+  for (int q = 0; q < 4; ++q) cells.push_back(QuadrantCell(cell, q));
+  geom::EntryAggregates agg = geom::ComputeEntryAggregates(cells);
+  agg.mbr = cell;
+  header.set_aggregates(agg);
+  page.MarkDirty();
+}
+
+}  // namespace
+
+QuadTree::QuadTree(storage::DiskManager* disk, core::BufferManager* buffer,
+                   const QuadTreeConfig& config)
+    : disk_(disk), buffer_(buffer), config_(config) {
+  SDB_CHECK(disk != nullptr && buffer != nullptr);
+  SDB_CHECK(&buffer->disk() == disk);
+  SDB_CHECK(config.bucket_capacity >= 1 && config.max_depth >= 1);
+  SDB_CHECK_MSG(kHeader + config.bucket_capacity * sizeof(PointRecord) <=
+                    disk->page_size(),
+                "bucket too large for the page size");
+
+  const AccessContext ctx;
+  PageHandle meta = buffer_->New(ctx);
+  meta_page_ = meta.page_id();
+  meta.header().set_type(storage::PageType::kMeta);
+  meta.MarkDirty();
+  meta.Release();
+
+  PageHandle root = buffer_->New(ctx);
+  root_ = root.page_id();
+  WriteLeaf(root, Rect(0, 0, 1, 1), {}, storage::kInvalidPageId);
+  root.Release();
+  size_ = 0;
+  PersistMeta();
+}
+
+QuadTree::QuadTree(storage::DiskManager* disk, core::BufferManager* buffer,
+                   const QuadTreeConfig& config, storage::PageId meta_page)
+    : disk_(disk), buffer_(buffer), config_(config), meta_page_(meta_page) {}
+
+QuadTree QuadTree::Open(storage::DiskManager* disk,
+                        core::BufferManager* buffer,
+                        storage::PageId meta_page) {
+  SDB_CHECK(disk != nullptr && buffer != nullptr);
+  std::span<const std::byte> page = disk->PeekPage(meta_page);
+  const std::span<const std::byte> resident = buffer->Peek(meta_page);
+  if (!resident.empty()) page = resident;
+  SDB_CHECK_MSG(storage::ConstPageHeaderView(page.data()).type() ==
+                    storage::PageType::kMeta,
+                "not a quadtree meta page");
+  MetaRecord record;
+  std::memcpy(&record, page.data() + kHeader, sizeof(record));
+  QuadTreeConfig config;
+  config.bucket_capacity = record.bucket_capacity;
+  config.max_depth = record.max_depth;
+  QuadTree tree(disk, buffer, config, meta_page);
+  tree.root_ = record.root;
+  tree.size_ = record.size;
+  return tree;
+}
+
+void QuadTree::PersistMeta() {
+  MetaRecord record;
+  record.root = root_;
+  record.bucket_capacity = config_.bucket_capacity;
+  record.max_depth = config_.max_depth;
+  record.pad = 0;
+  record.size = size_;
+  const AccessContext ctx;
+  PageHandle meta = buffer_->Fetch(meta_page_, ctx);
+  std::memcpy(meta.bytes().data() + kHeader, &record, sizeof(record));
+  meta.MarkDirty();
+}
+
+void QuadTree::Insert(const Point& point, uint64_t id,
+                      const AccessContext& ctx) {
+  SDB_CHECK_MSG(Rect(0, 0, 1, 1).Contains(point),
+                "point outside the unit square");
+  while (true) {
+    // Descend to the leaf for the point.
+    PageId current = root_;
+    Rect cell(0, 0, 1, 1);
+    uint32_t depth = 0;
+    while (true) {
+      PageHandle page = buffer_->Fetch(current, ctx);
+      if (page.header().type() == storage::PageType::kDirectory) {
+        const int quadrant = QuadrantOf(cell, point);
+        const std::array<PageId, 4> children =
+            LoadChildren(std::span<const std::byte>(page.bytes().data(),
+                                                    page.bytes().size()));
+        cell = QuadrantCell(cell, quadrant);
+        current = children[quadrant];
+        ++depth;
+        continue;
+      }
+      // Leaf reached.
+      std::vector<PointRecord> records = LoadPoints(
+          std::span<const std::byte>(page.bytes().data(),
+                                     page.bytes().size()));
+      if (records.size() < config_.bucket_capacity) {
+        records.push_back({point.x, point.y, id});
+        WriteLeaf(page, cell, records, page.header().aux());
+        ++size_;
+        return;
+      }
+      if (depth >= config_.max_depth) {
+        // Chain an overflow page at maximum depth.
+        PageId overflow = page.header().aux();
+        page.Release();
+        PageId chain_tail = current;
+        while (overflow != storage::kInvalidPageId) {
+          PageHandle link = buffer_->Fetch(overflow, ctx);
+          std::vector<PointRecord> link_records = LoadPoints(
+              std::span<const std::byte>(link.bytes().data(),
+                                         link.bytes().size()));
+          if (link_records.size() < config_.bucket_capacity) {
+            link_records.push_back({point.x, point.y, id});
+            WriteLeaf(link, cell, link_records, link.header().aux());
+            ++size_;
+            return;
+          }
+          chain_tail = overflow;
+          overflow = link.header().aux();
+        }
+        PageHandle fresh = buffer_->New(ctx);
+        WriteLeaf(fresh, cell, {{point.x, point.y, id}},
+                  storage::kInvalidPageId);
+        const PageId fresh_id = fresh.page_id();
+        fresh.Release();
+        PageHandle tail = buffer_->Fetch(chain_tail, ctx);
+        tail.header().set_aux(fresh_id);
+        tail.MarkDirty();
+        ++size_;
+        return;
+      }
+      // Split and retry from the top (the split may cascade on retry).
+      page.Release();
+      SplitLeaf(current, cell, depth, ctx);
+      break;
+    }
+  }
+}
+
+void QuadTree::SplitLeaf(PageId page_id, const Rect& cell, uint32_t depth,
+                         const AccessContext& ctx) {
+  PageHandle page = buffer_->Fetch(page_id, ctx);
+  SDB_DCHECK(page.header().type() == storage::PageType::kData);
+  const std::vector<PointRecord> records = LoadPoints(
+      std::span<const std::byte>(page.bytes().data(), page.bytes().size()));
+
+  std::array<std::vector<PointRecord>, 4> parts;
+  for (const PointRecord& r : records) {
+    parts[QuadrantOf(cell, Point{r.x, r.y})].push_back(r);
+  }
+  std::array<PageId, 4> children;
+  for (int q = 0; q < 4; ++q) {
+    PageHandle child = buffer_->New(ctx);
+    WriteLeaf(child, QuadrantCell(cell, q), parts[q],
+              storage::kInvalidPageId);
+    children[q] = child.page_id();
+  }
+  // Directory level counts distance from max depth so the priority-based
+  // policies treat shallow (large-cell) pages as more valuable.
+  const uint8_t level = static_cast<uint8_t>(
+      std::min<uint32_t>(config_.max_depth - depth, 255));
+  WriteDirectory(page, cell, level, children);
+}
+
+bool QuadTree::Delete(const Point& point, uint64_t id,
+                      const AccessContext& ctx) {
+  PageId current = root_;
+  Rect cell(0, 0, 1, 1);
+  while (true) {
+    PageHandle page = buffer_->Fetch(current, ctx);
+    if (page.header().type() == storage::PageType::kDirectory) {
+      const int quadrant = QuadrantOf(cell, point);
+      const std::array<PageId, 4> children = LoadChildren(
+          std::span<const std::byte>(page.bytes().data(),
+                                     page.bytes().size()));
+      cell = QuadrantCell(cell, quadrant);
+      current = children[quadrant];
+      continue;
+    }
+    // Leaf: search the page and its overflow chain.
+    while (true) {
+      std::vector<PointRecord> records = LoadPoints(
+          std::span<const std::byte>(page.bytes().data(),
+                                     page.bytes().size()));
+      for (size_t i = 0; i < records.size(); ++i) {
+        if (records[i].id == id && records[i].x == point.x &&
+            records[i].y == point.y) {
+          records.erase(records.begin() + i);
+          WriteLeaf(page, cell, records, page.header().aux());
+          --size_;
+          return true;
+        }
+      }
+      const PageId next = page.header().aux();
+      if (next == storage::kInvalidPageId) return false;
+      page = buffer_->Fetch(next, ctx);
+    }
+  }
+}
+
+void QuadTree::WindowQueryVisit(
+    const Rect& window, const AccessContext& ctx,
+    const std::function<void(const QuadPoint&)>& visit) const {
+  struct Task {
+    PageId page;
+    Rect cell;
+  };
+  std::vector<Task> stack{{root_, Rect(0, 0, 1, 1)}};
+  while (!stack.empty()) {
+    const Task task = stack.back();
+    stack.pop_back();
+    if (!task.cell.Intersects(window)) continue;
+    PageHandle page = buffer_->Fetch(task.page, ctx);
+    if (page.header().type() == storage::PageType::kDirectory) {
+      const std::array<PageId, 4> children = LoadChildren(
+          std::span<const std::byte>(page.bytes().data(),
+                                     page.bytes().size()));
+      for (int q = 0; q < 4; ++q) {
+        stack.push_back({children[q], QuadrantCell(task.cell, q)});
+      }
+      continue;
+    }
+    // Leaf plus overflow chain.
+    while (true) {
+      for (const PointRecord& r : LoadPoints(std::span<const std::byte>(
+               page.bytes().data(), page.bytes().size()))) {
+        const Point p{r.x, r.y};
+        if (window.Contains(p)) visit(QuadPoint{p, r.id});
+      }
+      const PageId next = page.header().aux();
+      if (next == storage::kInvalidPageId) break;
+      page = buffer_->Fetch(next, ctx);
+    }
+  }
+}
+
+std::vector<QuadPoint> QuadTree::WindowQuery(
+    const Rect& window, const AccessContext& ctx) const {
+  std::vector<QuadPoint> out;
+  WindowQueryVisit(window, ctx,
+                   [&out](const QuadPoint& p) { out.push_back(p); });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Offline inspection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::span<const std::byte> PeekImage(const storage::DiskManager& disk,
+                                     const BufferManager* buffer, PageId id) {
+  if (buffer != nullptr) {
+    const std::span<const std::byte> resident = buffer->Peek(id);
+    if (!resident.empty()) return resident;
+  }
+  return disk.PeekPage(id);
+}
+
+struct QuadWalk {
+  uint64_t points = 0;
+  uint32_t directories = 0;
+  uint32_t leaves = 0;
+  uint32_t max_depth_seen = 0;
+  std::string error;
+};
+
+void WalkQuad(const storage::DiskManager& disk, const BufferManager* buffer,
+              const QuadTreeConfig& config, PageId id, const Rect& cell,
+              uint32_t depth, QuadWalk* out) {
+  if (!out->error.empty()) return;
+  auto fail = [&](const std::string& what) {
+    out->error = "quad-page " + std::to_string(id) + ": " + what;
+  };
+  out->max_depth_seen = std::max(out->max_depth_seen, depth);
+  if (depth > config.max_depth) {
+    fail("deeper than max_depth");
+    return;
+  }
+  const std::span<const std::byte> raw = PeekImage(disk, buffer, id);
+  const storage::ConstPageHeaderView header(raw.data());
+  if (!(header.mbr() == cell)) {
+    fail("header MBR differs from the node cell");
+    return;
+  }
+  if (header.type() == storage::PageType::kDirectory) {
+    ++out->directories;
+    if (header.entry_count() != 4) {
+      fail("directory without 4 children");
+      return;
+    }
+    const std::array<PageId, 4> children = LoadChildren(raw);
+    for (int q = 0; q < 4; ++q) {
+      WalkQuad(disk, buffer, config, children[q], QuadrantCell(cell, q),
+               depth + 1, out);
+      if (!out->error.empty()) return;
+    }
+    return;
+  }
+  if (header.type() != storage::PageType::kData) {
+    fail("unexpected page type");
+    return;
+  }
+  // Leaf and its overflow chain.
+  PageId link = id;
+  while (link != storage::kInvalidPageId) {
+    const std::span<const std::byte> link_raw =
+        PeekImage(disk, buffer, link);
+    const storage::ConstPageHeaderView link_header(link_raw.data());
+    if (!(link_header.mbr() == cell)) {
+      fail("overflow page cell mismatch");
+      return;
+    }
+    const std::vector<PointRecord> records = LoadPoints(link_raw);
+    if (records.size() > config.bucket_capacity) {
+      fail("bucket over capacity");
+      return;
+    }
+    if (link != id && depth < config.max_depth) {
+      fail("overflow chain below max depth");
+      return;
+    }
+    for (const PointRecord& r : records) {
+      if (!cell.Contains(Point{r.x, r.y})) {
+        fail("point outside its cell");
+        return;
+      }
+    }
+    out->points += records.size();
+    ++out->leaves;
+    link = link_header.aux();
+  }
+}
+
+}  // namespace
+
+std::string QuadTree::Validate() const {
+  QuadWalk walk;
+  WalkQuad(*disk_, buffer_, config_, root_, Rect(0, 0, 1, 1), 0, &walk);
+  if (!walk.error.empty()) return walk.error;
+  if (walk.points != size_) {
+    return "point count mismatch: tree holds " +
+           std::to_string(walk.points) + ", size() reports " +
+           std::to_string(size_);
+  }
+  return "";
+}
+
+QuadTreeStats QuadTree::ComputeStats() const {
+  QuadWalk walk;
+  WalkQuad(*disk_, buffer_, config_, root_, Rect(0, 0, 1, 1), 0, &walk);
+  QuadTreeStats stats;
+  stats.point_count = walk.points;
+  stats.directory_pages = walk.directories;
+  stats.leaf_pages = walk.leaves;
+  stats.max_depth_used = walk.max_depth_seen;
+  return stats;
+}
+
+}  // namespace sdb::quadtree

@@ -1,0 +1,169 @@
+#include "rtree/bulk_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace sdb::rtree {
+
+namespace {
+
+/// Splits n items into groups whose sizes are as equal as possible while
+/// respecting [min_size, max_size]; aims for `target` items per group.
+/// Returns the group sizes (summing to n). n may be smaller than min_size
+/// only when a single group results (the root exemption).
+std::vector<size_t> BalancedGroupSizes(size_t n, size_t target,
+                                       size_t min_size, size_t max_size) {
+  SDB_CHECK(n > 0 && target > 0 && min_size <= max_size);
+  size_t groups = (n + target - 1) / target;
+  // Too many groups would underfill them; too few would overflow pages.
+  if (groups > 1 && n / groups < min_size) {
+    groups = std::max<size_t>(1, n / min_size);
+  }
+  groups = std::max(groups, (n + max_size - 1) / max_size);
+  std::vector<size_t> sizes(groups, n / groups);
+  for (size_t i = 0; i < n % groups; ++i) ++sizes[i];
+  return sizes;
+}
+
+double CenterX(const Entry& e) { return (e.rect.xmin + e.rect.xmax) / 2; }
+double CenterY(const Entry& e) { return (e.rect.ymin + e.rect.ymax) / 2; }
+
+/// Morton code of an entry center on a 2^20 grid over the unit square
+/// (matching zbtree/zcurve.h; duplicated locally to keep the R-tree module
+/// independent of the z-B+-tree module).
+uint64_t MortonOf(const Entry& e) {
+  auto spread = [](uint64_t v) {
+    v &= 0xffffffffull;
+    v = (v | (v << 16)) & 0x0000ffff0000ffffull;
+    v = (v | (v << 8)) & 0x00ff00ff00ff00ffull;
+    v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0full;
+    v = (v | (v << 2)) & 0x3333333333333333ull;
+    v = (v | (v << 1)) & 0x5555555555555555ull;
+    return v;
+  };
+  constexpr double kGrid = 1024.0 * 1024.0;
+  auto coord = [](double value) {
+    const int64_t cell = static_cast<int64_t>(value * kGrid);
+    return static_cast<uint64_t>(
+        std::clamp<int64_t>(cell, 0, static_cast<int64_t>(kGrid) - 1));
+  };
+  return spread(coord(CenterX(e))) | (spread(coord(CenterY(e))) << 1);
+}
+
+}  // namespace
+
+/// Friend of RTree; performs the actual load.
+void BulkLoadInternal(RTree* tree, std::vector<Entry>&& entries,
+                      const core::AccessContext& ctx, double fill_fraction,
+                      PackingOrder order) {
+  SDB_CHECK_MSG(tree->size() == 0, "bulk load requires an empty tree");
+  SDB_CHECK(fill_fraction > 0.0 && fill_fraction <= 1.0);
+  if (entries.empty()) return;
+
+  const uint64_t object_count = entries.size();
+  std::vector<Entry> items = std::move(entries);
+  uint8_t level = 0;
+
+  while (true) {
+    const uint32_t max_entries = tree->MaxEntries(level);
+    const uint32_t min_entries = tree->MinEntries(level);
+    const size_t target = std::clamp<size_t>(
+        static_cast<size_t>(std::lround(fill_fraction * max_entries)),
+        min_entries, max_entries);
+
+    if (items.size() <= max_entries) {
+      // Final level: one node becomes the root.
+      core::PageHandle page = tree->buffer_->New(ctx);
+      NodeView node(page.bytes());
+      node.Init(level);
+      node.WriteEntries(items);
+      page.MarkDirty();
+      tree->root_ = page.page_id();
+      tree->height_ = level + 1;
+      tree->size_ = object_count;
+      tree->PersistMeta();
+      return;
+    }
+
+    if (order == PackingOrder::kZOrder) {
+      // One global Morton sort, then sequential packing.
+      std::stable_sort(items.begin(), items.end(),
+                       [](const Entry& a, const Entry& b) {
+                         return MortonOf(a) < MortonOf(b);
+                       });
+      std::vector<Entry> parents;
+      size_t pos = 0;
+      for (const size_t group :
+           BalancedGroupSizes(items.size(), target, min_entries,
+                              max_entries)) {
+        core::PageHandle page = tree->buffer_->New(ctx);
+        NodeView node(page.bytes());
+        node.Init(level);
+        node.WriteEntries(std::span<const Entry>(&items[pos], group));
+        page.MarkDirty();
+        Entry parent;
+        parent.rect = node.mbr();
+        parent.id = page.page_id();
+        parents.push_back(parent);
+        pos += group;
+      }
+      items = std::move(parents);
+      ++level;
+      continue;
+    }
+
+    // Sort-Tile-Recursive: slice by x, tile by y within each slice.
+    const size_t node_count_estimate = (items.size() + target - 1) / target;
+    const size_t slice_count = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::lround(std::ceil(std::sqrt(
+                   static_cast<double>(node_count_estimate))))));
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return CenterX(a) < CenterX(b);
+                     });
+
+    std::vector<Entry> parents;
+    std::vector<size_t> slice_sizes(slice_count, items.size() / slice_count);
+    for (size_t i = 0; i < items.size() % slice_count; ++i) ++slice_sizes[i];
+
+    size_t offset = 0;
+    for (const size_t slice_size : slice_sizes) {
+      if (slice_size == 0) continue;
+      const auto begin = items.begin() + offset;
+      const auto end = begin + slice_size;
+      std::stable_sort(begin, end, [](const Entry& a, const Entry& b) {
+        return CenterY(a) < CenterY(b);
+      });
+      size_t pos = 0;
+      for (const size_t group :
+           BalancedGroupSizes(slice_size, target, min_entries, max_entries)) {
+        core::PageHandle page = tree->buffer_->New(ctx);
+        NodeView node(page.bytes());
+        node.Init(level);
+        node.WriteEntries(
+            std::span<const Entry>(&*(begin + pos), group));
+        page.MarkDirty();
+        Entry parent;
+        parent.rect = node.mbr();
+        parent.id = page.page_id();
+        parents.push_back(parent);
+        pos += group;
+      }
+      offset += slice_size;
+    }
+    items = std::move(parents);
+    ++level;
+  }
+}
+
+void BulkLoad(RTree* tree, std::vector<Entry> entries,
+              const core::AccessContext& ctx,
+              const BulkLoadOptions& options) {
+  BulkLoadInternal(tree, std::move(entries), ctx, options.fill_fraction,
+                   options.order);
+}
+
+}  // namespace sdb::rtree

@@ -1,0 +1,41 @@
+#ifndef SPATIALBUFFER_RTREE_BULK_LOAD_H_
+#define SPATIALBUFFER_RTREE_BULK_LOAD_H_
+
+#include <vector>
+
+#include "rtree/rtree.h"
+
+namespace sdb::rtree {
+
+/// How the bulk loader orders entries before packing them into pages.
+enum class PackingOrder {
+  /// Sort-Tile-Recursive [Leutenegger et al., ICDE 1997]: sort by x, tile
+  /// into vertical slices, sort each slice by y. Compact, square-ish pages.
+  kStr,
+  /// Z-order (Morton) packing: one global sort by the Morton code of the
+  /// entry centers. Simpler and fully incremental-friendly, but pages can
+  /// straddle curve jumps and cover large areas.
+  kZOrder,
+};
+
+/// Options of the bulk loader.
+struct BulkLoadOptions {
+  /// Target fill of the produced pages relative to the fanout, mirroring the
+  /// typical fill of a dynamically built R*-tree.
+  double fill_fraction = 0.7;
+  PackingOrder order = PackingOrder::kStr;
+};
+
+/// Builds an R-tree bottom-up by packing sorted entries into pages (STR or
+/// z-order, see PackingOrder). Produces a well-clustered tree orders of
+/// magnitude faster than one-by-one insertion; used to stand up the large
+/// experiment databases quickly.
+///
+/// The tree must be empty. After loading, the tree is persisted and valid.
+void BulkLoad(RTree* tree, std::vector<Entry> entries,
+              const core::AccessContext& ctx,
+              const BulkLoadOptions& options = BulkLoadOptions{});
+
+}  // namespace sdb::rtree
+
+#endif  // SPATIALBUFFER_RTREE_BULK_LOAD_H_

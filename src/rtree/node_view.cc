@@ -1,0 +1,106 @@
+#include "rtree/node_view.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+#include "geom/entry_aggregates.h"
+
+namespace sdb::rtree {
+
+namespace {
+
+/// On-page POD image of one entry.
+struct EntryRecord {
+  double xmin, ymin, xmax, ymax;
+  uint64_t id;
+  uint32_t obj_page;
+  uint16_t obj_slot;
+  uint16_t pad;
+};
+static_assert(sizeof(EntryRecord) == NodeView::kEntrySize);
+
+EntryRecord ToRecord(const Entry& e) {
+  return EntryRecord{e.rect.xmin, e.rect.ymin, e.rect.xmax, e.rect.ymax,
+                     e.id,        e.ref.page,  e.ref.slot,  0};
+}
+
+Entry FromRecord(const EntryRecord& r) {
+  Entry e;
+  e.rect = geom::Rect(r.xmin, r.ymin, r.xmax, r.ymax);
+  e.id = r.id;
+  e.ref.page = r.obj_page;
+  e.ref.slot = r.obj_slot;
+  return e;
+}
+
+}  // namespace
+
+void NodeView::Init(uint8_t level) {
+  std::memset(page_.data(), 0, page_.size());
+  storage::PageHeaderView h = header();
+  h.set_type(level == 0 ? storage::PageType::kData
+                        : storage::PageType::kDirectory);
+  h.set_level(level);
+  h.set_entry_count(0);
+  h.set_aggregates(geom::EntryAggregates{});
+}
+
+Entry NodeView::GetEntry(uint16_t i) const {
+  SDB_DCHECK(i < count());
+  EntryRecord r;
+  std::memcpy(&r, EntryPtr(i), sizeof(r));
+  return FromRecord(r);
+}
+
+void NodeView::SetEntry(uint16_t i, const Entry& e) {
+  SDB_DCHECK(i < count());
+  const EntryRecord r = ToRecord(e);
+  std::memcpy(EntryPtr(i), &r, sizeof(r));
+}
+
+void NodeView::Append(const Entry& e) {
+  const uint16_t i = count();
+  SDB_CHECK_MSG(i < Capacity(page_.size()), "node page overflow");
+  header().set_entry_count(i + 1);
+  SetEntry(i, e);
+}
+
+std::vector<Entry> NodeView::LoadEntries() const {
+  const uint16_t n = count();
+  std::vector<Entry> entries;
+  entries.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) entries.push_back(GetEntry(i));
+  return entries;
+}
+
+void NodeView::WriteEntries(std::span<const Entry> entries) {
+  SDB_CHECK_MSG(entries.size() <= Capacity(page_.size()),
+                "node page overflow");
+  header().set_entry_count(static_cast<uint16_t>(entries.size()));
+  for (uint16_t i = 0; i < entries.size(); ++i) SetEntry(i, entries[i]);
+  RefreshAggregates();
+}
+
+void NodeView::RefreshAggregates() {
+  const uint16_t n = count();
+  std::vector<geom::Rect> rects;
+  rects.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    EntryRecord r;
+    std::memcpy(&r, EntryPtr(i), sizeof(r));
+    rects.emplace_back(r.xmin, r.ymin, r.xmax, r.ymax);
+  }
+  header().set_aggregates(geom::ComputeEntryAggregates(rects));
+}
+
+std::byte* NodeView::EntryPtr(uint16_t i) {
+  return page_.data() + storage::PageHeaderView::kHeaderSize +
+         static_cast<size_t>(i) * kEntrySize;
+}
+
+const std::byte* NodeView::EntryPtr(uint16_t i) const {
+  return page_.data() + storage::PageHeaderView::kHeaderSize +
+         static_cast<size_t>(i) * kEntrySize;
+}
+
+}  // namespace sdb::rtree

@@ -1,0 +1,99 @@
+#ifndef SPATIALBUFFER_RTREE_NODE_VIEW_H_
+#define SPATIALBUFFER_RTREE_NODE_VIEW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/rect.h"
+#include "storage/page.h"
+
+namespace sdb::rtree {
+
+/// Reference from a data-page entry to the exact object representation in
+/// the object store (object page id + slot).
+struct ObjectRef {
+  storage::PageId page = storage::kInvalidPageId;
+  uint16_t slot = 0;
+
+  friend bool operator==(const ObjectRef&, const ObjectRef&) = default;
+};
+
+/// One R*-tree node entry. In a directory page, `id` is the child page id;
+/// in a data page, `id` is the object id and `ref` points into the object
+/// store.
+struct Entry {
+  geom::Rect rect;
+  uint64_t id = 0;
+  ObjectRef ref;
+
+  storage::PageId child() const {
+    return static_cast<storage::PageId>(id);
+  }
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+/// Structured accessor over the byte image of one R*-tree page (a directory
+/// or data node). The node owns no memory — it wraps a pinned buffer frame
+/// (or any page-sized byte span) and reads/writes the page in place.
+///
+/// On-page layout: the standard 64-byte storage header (which carries the
+/// spatial aggregates used by the replacement policies), followed by an
+/// array of fixed 48-byte entry records:
+///   f64 xmin, ymin, xmax, ymax; u64 id; u32 obj_page; u16 obj_slot; u16 pad
+class NodeView {
+ public:
+  static constexpr size_t kEntrySize = 48;
+
+  /// Largest entry count a page of `page_size` bytes can hold.
+  static constexpr uint32_t Capacity(size_t page_size) {
+    return static_cast<uint32_t>(
+        (page_size - storage::PageHeaderView::kHeaderSize) / kEntrySize);
+  }
+
+  explicit NodeView(std::span<std::byte> page) : page_(page) {}
+
+  storage::PageHeaderView header() {
+    return storage::PageHeaderView(page_.data());
+  }
+  storage::ConstPageHeaderView header() const {
+    return storage::ConstPageHeaderView(page_.data());
+  }
+
+  /// Initializes an empty node of the given kind. `level` 0 = data page.
+  void Init(uint8_t level);
+
+  bool is_leaf() const { return header().type() == storage::PageType::kData; }
+  uint8_t level() const { return header().level(); }
+  uint16_t count() const { return header().entry_count(); }
+  geom::Rect mbr() const { return header().mbr(); }
+
+  Entry GetEntry(uint16_t i) const;
+  void SetEntry(uint16_t i, const Entry& e);
+
+  /// Appends without refreshing aggregates; call RefreshAggregates (or
+  /// WriteEntries) once the batch of modifications is complete.
+  void Append(const Entry& e);
+
+  /// Copies all entries out.
+  std::vector<Entry> LoadEntries() const;
+
+  /// Replaces the entry array and refreshes the header aggregates.
+  void WriteEntries(std::span<const Entry> entries);
+
+  /// Recomputes MBR / Σarea / Σmargin / pairwise overlap from the current
+  /// entries and stores them in the header, keeping the replacement
+  /// policies' view of the page accurate.
+  void RefreshAggregates();
+
+ private:
+  std::byte* EntryPtr(uint16_t i);
+  const std::byte* EntryPtr(uint16_t i) const;
+
+  std::span<std::byte> page_;
+};
+
+}  // namespace sdb::rtree
+
+#endif  // SPATIALBUFFER_RTREE_NODE_VIEW_H_

@@ -1,0 +1,59 @@
+#ifndef SPATIALBUFFER_RTREE_RTREE_CONFIG_H_
+#define SPATIALBUFFER_RTREE_RTREE_CONFIG_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace sdb::rtree {
+
+/// Which R-tree construction algorithm drives ChooseSubtree, splits, and
+/// overflow handling.
+enum class TreeVariant : uint32_t {
+  /// Beckmann et al. 1990: overlap-aware ChooseSubtree at the leaf level,
+  /// margin/overlap-driven topological split, forced reinsertion. The
+  /// paper's trees.
+  kRStar = 0,
+  /// Guttman 1984 with the quadratic split (PickSeeds/PickNext) and pure
+  /// area-enlargement ChooseSubtree; no reinsertion. Produces sloppier
+  /// (more overlapping) pages — a structure baseline for the policies.
+  kGuttmanQuadratic = 1,
+  /// Guttman 1984 with the linear split.
+  kGuttmanLinear = 2,
+};
+
+/// Structural parameters of the R-tree family. The defaults reproduce the
+/// paper's trees: the R* variant, at most 51 entries per directory page and
+/// 42 per data page (Sec. 3), the R* minimum fill of 40%, and forced
+/// reinsertion of 30% of the entries on the first overflow per level.
+struct RTreeConfig {
+  TreeVariant variant = TreeVariant::kRStar;
+  uint32_t max_dir_entries = 51;
+  uint32_t max_data_entries = 42;
+  double min_fill_fraction = 0.4;
+  double reinsert_fraction = 0.3;
+
+  uint32_t min_dir_entries() const {
+    return std::max<uint32_t>(
+        2, static_cast<uint32_t>(std::lround(min_fill_fraction *
+                                             max_dir_entries)));
+  }
+  uint32_t min_data_entries() const {
+    return std::max<uint32_t>(
+        2, static_cast<uint32_t>(std::lround(min_fill_fraction *
+                                             max_data_entries)));
+  }
+  /// Number of entries removed by one forced reinsertion of a node with
+  /// `max + 1` entries; at least 1, and small enough that the node keeps its
+  /// minimum fill.
+  uint32_t reinsert_count(uint32_t max_entries) const {
+    return std::clamp<uint32_t>(
+        static_cast<uint32_t>(std::lround(reinsert_fraction *
+                                          (max_entries + 1))),
+        1, max_entries + 1 - 2);
+  }
+};
+
+}  // namespace sdb::rtree
+
+#endif  // SPATIALBUFFER_RTREE_RTREE_CONFIG_H_

@@ -1,0 +1,86 @@
+#include "rtree/spatial_join.h"
+
+#include <vector>
+
+namespace sdb::rtree {
+
+namespace {
+
+using core::AccessContext;
+using storage::PageId;
+
+struct JoinContext {
+  const RTree* left;
+  const RTree* right;
+  const AccessContext* ctx;
+  const std::function<void(const Entry&, const Entry&)>* visit;
+  JoinStats stats;
+};
+
+void JoinNodes(JoinContext& jc, PageId left_id, PageId right_id) {
+  ++jc.stats.node_pairs_visited;
+  core::PageHandle left_page = jc.left->buffer()->Fetch(left_id, *jc.ctx);
+  core::PageHandle right_page = jc.right->buffer()->Fetch(right_id, *jc.ctx);
+  const NodeView left(left_page.bytes());
+  const NodeView right(right_page.bytes());
+  const std::vector<Entry> a = left.LoadEntries();
+  const std::vector<Entry> b = right.LoadEntries();
+  const bool left_leaf = left.is_leaf();
+  const bool right_leaf = right.is_leaf();
+  // Release the pins before recursing so deep descents never exhaust small
+  // buffers.
+  const geom::Rect left_mbr = left.mbr();
+  const geom::Rect right_mbr = right.mbr();
+  left_page.Release();
+  right_page.Release();
+
+  if (left_leaf && right_leaf) {
+    for (const Entry& ea : a) {
+      for (const Entry& eb : b) {
+        if (ea.rect.Intersects(eb.rect)) {
+          ++jc.stats.result_pairs;
+          if (*jc.visit) (*jc.visit)(ea, eb);
+        }
+      }
+    }
+    return;
+  }
+  if (left_leaf) {
+    // Descend only the right tree; restrict to children meeting the left
+    // node's region.
+    for (const Entry& eb : b) {
+      if (eb.rect.Intersects(left_mbr)) JoinNodes(jc, left_id, eb.child());
+    }
+    return;
+  }
+  if (right_leaf) {
+    for (const Entry& ea : a) {
+      if (ea.rect.Intersects(right_mbr)) JoinNodes(jc, ea.child(), right_id);
+    }
+    return;
+  }
+  for (const Entry& ea : a) {
+    for (const Entry& eb : b) {
+      if (ea.rect.Intersects(eb.rect)) {
+        JoinNodes(jc, ea.child(), eb.child());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+JoinStats SpatialJoin(
+    const RTree& left, const RTree& right, const AccessContext& ctx,
+    const std::function<void(const Entry&, const Entry&)>& visit) {
+  JoinContext jc{&left, &right, &ctx, &visit, JoinStats{}};
+  JoinNodes(jc, left.root(), right.root());
+  return jc.stats;
+}
+
+JoinStats SpatialJoinCount(const RTree& left, const RTree& right,
+                           const AccessContext& ctx) {
+  return SpatialJoin(left, right, ctx, nullptr);
+}
+
+}  // namespace sdb::rtree

@@ -1,0 +1,34 @@
+#ifndef SPATIALBUFFER_RTREE_SPATIAL_JOIN_H_
+#define SPATIALBUFFER_RTREE_SPATIAL_JOIN_H_
+
+#include <functional>
+
+#include "rtree/rtree.h"
+
+namespace sdb::rtree {
+
+/// Counters of one spatial-join execution.
+struct JoinStats {
+  uint64_t result_pairs = 0;
+  uint64_t node_pairs_visited = 0;
+};
+
+/// R-tree spatial join by synchronized traversal [Brinkhoff, Kriegel &
+/// Seeger, SIGMOD 1993]: descends both trees simultaneously, only into pairs
+/// of subtrees whose directory rectangles intersect, and reports every pair
+/// of data entries with intersecting rectangles.
+///
+/// This implements the paper's future-work item 2 ("study the influence of
+/// the strategies on ... spatial joins"): each tree performs its page I/O
+/// through its own buffer manager, so join I/O can be measured per policy.
+JoinStats SpatialJoin(
+    const RTree& left, const RTree& right, const core::AccessContext& ctx,
+    const std::function<void(const Entry&, const Entry&)>& visit);
+
+/// Convenience overload that only counts result pairs.
+JoinStats SpatialJoinCount(const RTree& left, const RTree& right,
+                           const core::AccessContext& ctx);
+
+}  // namespace sdb::rtree
+
+#endif  // SPATIALBUFFER_RTREE_SPATIAL_JOIN_H_

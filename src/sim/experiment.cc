@@ -1,0 +1,66 @@
+#include "sim/experiment.h"
+
+#include "common/macros.h"
+#include "core/buffer_manager.h"
+#include "core/policy_asb.h"
+#include "core/policy_lru_k.h"
+#include "core/policy_factory.h"
+#include "rtree/rtree.h"
+
+namespace sdb::sim {
+
+double GainVersus(const RunResult& baseline, const RunResult& result) {
+  SDB_CHECK(result.disk_reads > 0);
+  return static_cast<double>(baseline.disk_reads) /
+             static_cast<double>(result.disk_reads) -
+         1.0;
+}
+
+RunResult RunQuerySet(storage::DiskManager* disk,
+                      storage::PageId tree_meta,
+                      const std::string& policy_spec,
+                      const workload::QuerySet& queries,
+                      const RunOptions& options) {
+  std::unique_ptr<core::ReplacementPolicy> policy =
+      core::CreatePolicy(policy_spec);
+  SDB_CHECK_MSG(policy != nullptr, "unknown policy spec");
+
+  core::BufferManager buffer(disk, options.buffer_frames, std::move(policy));
+  const rtree::RTree tree = rtree::RTree::Open(disk, &buffer, tree_meta);
+  auto* asb = options.trace_candidate_size
+                  ? dynamic_cast<core::AsbPolicy*>(&buffer.policy())
+                  : nullptr;
+
+  RunResult result;
+  result.policy = std::string(buffer.policy().name());
+  result.query_set = queries.name;
+  result.buffer_frames = options.buffer_frames;
+  if (asb != nullptr) result.candidate_trace.reserve(queries.queries.size());
+
+  disk->ResetStats();
+  uint64_t query_id = 0;
+  for (const geom::Rect& window : queries.queries) {
+    const core::AccessContext ctx{++query_id};
+    tree.WindowQueryVisit(window, ctx,
+                          [&result](const rtree::Entry&) {
+                            ++result.result_objects;
+                          });
+    if (asb != nullptr) {
+      result.candidate_trace.push_back(asb->candidate_size());
+    }
+  }
+
+  if (const auto* lru_k =
+          dynamic_cast<const core::LruKPolicy*>(&buffer.policy())) {
+    result.retained_history_records = lru_k->retained_history_size();
+  }
+  result.disk_reads = disk->stats().reads;
+  result.sequential_reads = disk->stats().sequential_reads;
+  result.buffer_requests = buffer.stats().requests;
+  result.buffer_hits = buffer.stats().hits;
+  SDB_CHECK_MSG(disk->stats().writes == 0,
+                "read-only replay must not write");
+  return result;
+}
+
+}  // namespace sdb::sim

@@ -1,0 +1,64 @@
+#ifndef SPATIALBUFFER_SIM_EXPERIMENT_H_
+#define SPATIALBUFFER_SIM_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "workload/query_generator.h"
+
+namespace sdb::sim {
+
+/// Options of one measured run.
+struct RunOptions {
+  size_t buffer_frames = 64;
+  /// Record the ASB candidate-set size after every query (Fig. 14). Ignored
+  /// for other policies.
+  bool trace_candidate_size = false;
+};
+
+/// Result of replaying one query set through one buffer configuration.
+struct RunResult {
+  std::string policy;
+  std::string query_set;
+  size_t buffer_frames = 0;
+  uint64_t disk_reads = 0;      ///< the paper's metric
+  uint64_t sequential_reads = 0;  ///< reads at previous-page + 1
+  uint64_t buffer_requests = 0;
+  uint64_t buffer_hits = 0;
+  uint64_t result_objects = 0;  ///< total query results (answer checksum)
+  /// LRU-K only: history records retained for pages no longer buffered at
+  /// the end of the run — the unbounded memory overhead the paper holds
+  /// against LRU-K (0 for every other policy).
+  uint64_t retained_history_records = 0;
+  std::vector<size_t> candidate_trace;  ///< per query, if traced
+
+  double hit_rate() const {
+    return buffer_requests == 0
+               ? 0.0
+               : static_cast<double>(buffer_hits) /
+                     static_cast<double>(buffer_requests);
+  }
+};
+
+/// Relative performance gain as reported throughout the paper:
+/// |disk accesses of LRU| / |disk accesses of policy| - 1.
+double GainVersus(const RunResult& baseline, const RunResult& result);
+
+/// Replays `queries` against the persisted tree on `disk` (meta page
+/// `tree_meta`) through a *fresh* buffer of `options.buffer_frames` frames
+/// managed by the policy created from `policy_spec` ("LRU", "LRU-2", "A",
+/// "SLRU:A:0.25", "ASB", ...). The buffer starts cold (the paper clears the
+/// buffer before each query set); every query gets its own query id so
+/// LRU-K's correlation detection works as specified. Aborts on an unknown
+/// policy spec.
+RunResult RunQuerySet(storage::DiskManager* disk,
+                      storage::PageId tree_meta,
+                      const std::string& policy_spec,
+                      const workload::QuerySet& queries,
+                      const RunOptions& options);
+
+}  // namespace sdb::sim
+
+#endif  // SPATIALBUFFER_SIM_EXPERIMENT_H_

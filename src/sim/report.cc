@@ -1,0 +1,87 @@
+#include "sim/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/macros.h"
+
+namespace sdb::sim {
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  SDB_CHECK_MSG(row.size() == rows_.front().size(),
+                "row width differs from header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::Print(const std::string& title) const {
+  if (!title.empty()) {
+    std::printf("\n== %s ==\n", title.c_str());
+  }
+  std::vector<size_t> widths(rows_.front().size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c == 0) {
+        std::printf("%-*s", static_cast<int>(widths[c]), row[c].c_str());
+      } else {
+        std::printf("  %*s", static_cast<int>(widths[c]), row[c].c_str());
+      }
+    }
+    std::printf("\n");
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c == 0 ? 0 : 2);
+      }
+      for (size_t i = 0; i < total; ++i) std::printf("-");
+      std::printf("\n");
+    }
+  }
+  const char* csv = std::getenv("SDB_CSV");
+  if (csv != nullptr && csv[0] != '\0') {
+    PrintCsv(title);
+  }
+}
+
+void Table::PrintCsv(const std::string& title) const {
+  std::printf("# csv%s%s\n", title.empty() ? "" : ": ", title.c_str());
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      // Quote cells containing separators; the data here never contains
+      // quotes themselves.
+      const bool quote = row[c].find(',') != std::string::npos;
+      std::printf("%s%s%s%s", c == 0 ? "" : ",", quote ? "\"" : "",
+                  row[c].c_str(), quote ? "\"" : "");
+    }
+    std::printf("\n");
+  }
+}
+
+std::string FormatGain(double gain) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", gain * 100.0);
+  return buf;
+}
+
+std::string FormatPercent(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", value * 100.0);
+  return buf;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace sdb::sim

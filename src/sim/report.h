@@ -1,0 +1,41 @@
+#ifndef SPATIALBUFFER_SIM_REPORT_H_
+#define SPATIALBUFFER_SIM_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace sdb::sim {
+
+/// Minimal fixed-width table printer used by the benchmark binaries to emit
+/// the paper's figures as text. The first row is the header; cells are
+/// right-aligned except the first column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders to stdout with column separators, plus an optional title line.
+  /// When the SDB_CSV environment variable is set (non-empty), a
+  /// machine-readable CSV block follows the table, for plotting pipelines.
+  void Print(const std::string& title = "") const;
+
+  /// Writes the rows (header first) as CSV to stdout.
+  void PrintCsv(const std::string& title = "") const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "+12.3%" / "-4.2%" formatting for relative gains.
+std::string FormatGain(double gain);
+
+/// "97.3%" formatting for ratios.
+std::string FormatPercent(double value);
+
+/// Fixed-precision double.
+std::string FormatDouble(double value, int precision = 2);
+
+}  // namespace sdb::sim
+
+#endif  // SPATIALBUFFER_SIM_REPORT_H_

@@ -1,0 +1,92 @@
+#include "sim/trace.h"
+
+#include "common/macros.h"
+#include "core/policy_factory.h"
+#include "rtree/rtree.h"
+
+namespace sdb::sim {
+
+RecordingPolicy::RecordingPolicy(
+    std::unique_ptr<core::ReplacementPolicy> inner, AccessTrace* sink)
+    : inner_(std::move(inner)), sink_(sink) {
+  SDB_CHECK(inner_ != nullptr && sink_ != nullptr);
+}
+
+void RecordingPolicy::Bind(const core::FrameMetaSource* meta,
+                           size_t frame_count) {
+  inner_->Bind(meta, frame_count);
+  frame_page_.assign(frame_count, storage::kInvalidPageId);
+}
+
+void RecordingPolicy::OnPageLoaded(core::FrameId frame, storage::PageId page,
+                                   const core::AccessContext& ctx) {
+  frame_page_[frame] = page;
+  sink_->accesses.push_back({page, ctx.query_id});
+  inner_->OnPageLoaded(frame, page, ctx);
+}
+
+void RecordingPolicy::OnPageAccessed(core::FrameId frame,
+                                     const core::AccessContext& ctx) {
+  sink_->accesses.push_back({frame_page_[frame], ctx.query_id});
+  inner_->OnPageAccessed(frame, ctx);
+}
+
+void RecordingPolicy::SetEvictable(core::FrameId frame, bool evictable) {
+  inner_->SetEvictable(frame, evictable);
+}
+
+std::optional<core::FrameId> RecordingPolicy::ChooseVictim(
+    const core::AccessContext& ctx, storage::PageId incoming) {
+  return inner_->ChooseVictim(ctx, incoming);
+}
+
+void RecordingPolicy::OnPageEvicted(core::FrameId frame,
+                                    storage::PageId page) {
+  frame_page_[frame] = storage::kInvalidPageId;
+  inner_->OnPageEvicted(frame, page);
+}
+
+AccessTrace RecordQueryTrace(storage::DiskManager* disk,
+                             storage::PageId tree_meta,
+                             const workload::QuerySet& queries,
+                             size_t buffer_frames,
+                             const std::string& policy_spec) {
+  std::unique_ptr<core::ReplacementPolicy> inner =
+      core::CreatePolicy(policy_spec);
+  SDB_CHECK_MSG(inner != nullptr, "unknown policy spec");
+  AccessTrace trace;
+  trace.name = queries.name;
+  core::BufferManager buffer(
+      disk, buffer_frames,
+      std::make_unique<RecordingPolicy>(std::move(inner), &trace));
+  const rtree::RTree tree = rtree::RTree::Open(disk, &buffer, tree_meta);
+  uint64_t query_id = 0;
+  for (const geom::Rect& window : queries.queries) {
+    const core::AccessContext ctx{++query_id};
+    tree.WindowQueryVisit(window, ctx, [](const rtree::Entry&) {});
+  }
+  return trace;
+}
+
+ReplayResult ReplayTrace(storage::DiskManager* disk, const AccessTrace& trace,
+                         const std::string& policy_spec,
+                         size_t buffer_frames) {
+  std::unique_ptr<core::ReplacementPolicy> policy =
+      core::CreatePolicy(policy_spec);
+  SDB_CHECK_MSG(policy != nullptr, "unknown policy spec");
+  core::BufferManager buffer(disk, buffer_frames, std::move(policy));
+  ReplayResult result;
+  result.policy = std::string(buffer.policy().name());
+  disk->ResetStats();
+  for (const PageAccess& access : trace.accesses) {
+    const core::AccessContext ctx{access.query_id};
+    core::PageHandle handle = buffer.Fetch(access.page, ctx);
+    handle.Release();
+  }
+  result.requests = buffer.stats().requests;
+  result.disk_reads = disk->stats().reads;
+  result.hits = buffer.stats().hits;
+  return result;
+}
+
+}  // namespace sdb::sim

@@ -1,0 +1,84 @@
+#ifndef SPATIALBUFFER_SIM_TRACE_H_
+#define SPATIALBUFFER_SIM_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/replacement_policy.h"
+#include "storage/disk_manager.h"
+#include "workload/query_generator.h"
+
+namespace sdb::sim {
+
+/// One logical page request, as the buffer pool sees it.
+struct PageAccess {
+  storage::PageId page = storage::kInvalidPageId;
+  uint64_t query_id = 0;
+};
+
+/// A recorded page-access trace. Traces decouple workload execution from
+/// policy evaluation: record the request stream once, then replay it
+/// against any number of policies/buffer sizes — the standard methodology
+/// of the buffer-management literature, and much faster than re-running
+/// the queries per configuration (query CPU cost is paid once).
+struct AccessTrace {
+  std::string name;
+  std::vector<PageAccess> accesses;
+};
+
+/// Policy decorator that records every page request passing through a
+/// buffer while delegating all decisions to the wrapped policy. The
+/// recorded stream is independent of the wrapped policy (requests are
+/// logical), but wrapping the intended policy keeps the run usable.
+class RecordingPolicy : public core::ReplacementPolicy {
+ public:
+  RecordingPolicy(std::unique_ptr<core::ReplacementPolicy> inner,
+                  AccessTrace* sink);
+
+  std::string_view name() const override { return inner_->name(); }
+  void Bind(const core::FrameMetaSource* meta, size_t frame_count) override;
+  void OnPageLoaded(core::FrameId frame, storage::PageId page,
+                    const core::AccessContext& ctx) override;
+  void OnPageAccessed(core::FrameId frame,
+                      const core::AccessContext& ctx) override;
+  void SetEvictable(core::FrameId frame, bool evictable) override;
+  std::optional<core::FrameId> ChooseVictim(
+      const core::AccessContext& ctx, storage::PageId incoming) override;
+  void OnPageEvicted(core::FrameId frame, storage::PageId page) override;
+
+ private:
+  std::unique_ptr<core::ReplacementPolicy> inner_;
+  AccessTrace* sink_;
+  std::vector<storage::PageId> frame_page_;  // for hit page-id recovery
+};
+
+/// Records the page requests that executing `queries` against the tree
+/// issues. The recording buffer uses the given policy (default LRU); the
+/// trace itself is policy-independent.
+AccessTrace RecordQueryTrace(storage::DiskManager* disk,
+                             storage::PageId tree_meta,
+                             const workload::QuerySet& queries,
+                             size_t buffer_frames,
+                             const std::string& policy_spec = "LRU");
+
+/// Result of replaying a trace.
+struct ReplayResult {
+  std::string policy;
+  uint64_t requests = 0;
+  uint64_t disk_reads = 0;
+  uint64_t hits = 0;
+};
+
+/// Replays a trace through a fresh buffer with the given policy: each
+/// access is a Fetch+Release with the recorded query id. Disk reads equal
+/// what the original workload would have cost under this policy.
+ReplayResult ReplayTrace(storage::DiskManager* disk, const AccessTrace& trace,
+                         const std::string& policy_spec,
+                         size_t buffer_frames);
+
+}  // namespace sdb::sim
+
+#endif  // SPATIALBUFFER_SIM_TRACE_H_

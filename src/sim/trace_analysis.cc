@@ -1,0 +1,119 @@
+#include "sim/trace_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace sdb::sim {
+
+namespace {
+
+/// Fenwick (binary indexed) tree over access positions; used to count the
+/// number of "most recent occurrences" inside a position interval.
+class FenwickTree {
+ public:
+  explicit FenwickTree(size_t n) : tree_(n + 1, 0) {}
+
+  void Add(size_t index, int delta) {
+    for (size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum of the first `count` positions [0, count).
+  int64_t PrefixSum(size_t count) const {
+    int64_t sum = 0;
+    for (size_t i = count; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<int64_t> tree_;
+};
+
+}  // namespace
+
+TraceProfile AnalyzeTrace(const AccessTrace& trace) {
+  TraceProfile profile;
+  const size_t n = trace.accesses.size();
+  profile.total_accesses = n;
+  profile.distances.reserve(n);
+
+  // Mattson stack distances: mark the latest position of every page in the
+  // Fenwick tree; the stack distance of an access is the number of marked
+  // positions after the page's previous position.
+  FenwickTree marks(n);
+  std::unordered_map<storage::PageId, size_t> last_position;
+  last_position.reserve(1024);
+
+  for (size_t i = 0; i < n; ++i) {
+    const storage::PageId page = trace.accesses[i].page;
+    const auto it = last_position.find(page);
+    uint64_t distance = UINT64_MAX;
+    if (it == last_position.end()) {
+      ++profile.unique_pages;
+    } else {
+      const size_t prev = it->second;
+      // Marked positions in (prev, i): distinct pages touched in between,
+      // excluding this page itself.
+      distance = static_cast<uint64_t>(marks.PrefixSum(i) -
+                                       marks.PrefixSum(prev + 1)) +
+                 1;  // +1: the page itself re-enters the stack top
+      marks.Add(prev, -1);
+    }
+    marks.Add(i, +1);
+    last_position[page] = i;
+    profile.distances.push_back(distance);
+
+    if (distance != UINT64_MAX) {
+      size_t bucket = 0;
+      for (uint64_t d = distance; d > 1; d >>= 1) ++bucket;
+      if (profile.distance_histogram.size() <= bucket) {
+        profile.distance_histogram.resize(bucket + 1, 0);
+      }
+      ++profile.distance_histogram[bucket];
+    }
+  }
+  return profile;
+}
+
+uint64_t TraceProfile::LruMisses(size_t frames) const {
+  SDB_CHECK(frames > 0);
+  uint64_t misses = 0;
+  for (const uint64_t d : distances) {
+    if (d == UINT64_MAX || d > frames) ++misses;
+  }
+  return misses;
+}
+
+std::optional<size_t> RecommendBufferSize(const TraceProfile& profile,
+                                          double target_hit_rate) {
+  SDB_CHECK(target_hit_rate >= 0.0 && target_hit_rate <= 1.0);
+  if (profile.total_accesses == 0) return std::nullopt;
+  // Hits at size C = #(finite distances <= C): sort the finite distances
+  // once, then the smallest sufficient C is the k-th order statistic.
+  std::vector<uint64_t> finite;
+  finite.reserve(profile.distances.size());
+  for (const uint64_t d : profile.distances) {
+    if (d != UINT64_MAX) finite.push_back(d);
+  }
+  const uint64_t needed_hits = static_cast<uint64_t>(
+      std::ceil(target_hit_rate *
+                static_cast<double>(profile.total_accesses)));
+  if (needed_hits == 0) return 1;
+  if (needed_hits > finite.size()) return std::nullopt;  // cold misses win
+  std::sort(finite.begin(), finite.end());
+  return static_cast<size_t>(finite[needed_hits - 1]);
+}
+
+double TraceProfile::LocalityAt(size_t frames) const {
+  if (total_accesses == 0) return 0.0;
+  return 1.0 - static_cast<double>(LruMisses(frames)) /
+                   static_cast<double>(total_accesses);
+}
+
+}  // namespace sdb::sim

@@ -1,0 +1,121 @@
+#include "storage/disk_manager.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace sdb::storage {
+
+DiskManager::DiskManager(size_t page_size) : page_size_(page_size) {
+  SDB_CHECK_MSG(page_size >= PageHeaderView::kHeaderSize,
+                "page must fit its header");
+}
+
+PageId DiskManager::Allocate() {
+  SDB_CHECK_MSG(pages_.size() < kInvalidPageId, "disk full");
+  auto page = std::make_unique<std::byte[]>(page_size_);
+  std::memset(page.get(), 0, page_size_);
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void DiskManager::Read(PageId id, std::span<std::byte> out) {
+  SDB_CHECK(out.size() == page_size_);
+  std::memcpy(out.data(), PagePtr(id), page_size_);
+  ++stats_.reads;
+  if (last_read_ != kInvalidPageId && id == last_read_ + 1) {
+    ++stats_.sequential_reads;
+  }
+  last_read_ = id;
+}
+
+void DiskManager::Write(PageId id, std::span<const std::byte> in) {
+  SDB_CHECK(in.size() == page_size_);
+  std::memcpy(PagePtr(id), in.data(), page_size_);
+  ++stats_.writes;
+  if (last_write_ != kInvalidPageId && id == last_write_ + 1) {
+    ++stats_.sequential_writes;
+  }
+  last_write_ = id;
+}
+
+PageMeta DiskManager::PeekMeta(PageId id) const {
+  return ConstPageHeaderView(PagePtr(id)).ToMeta();
+}
+
+std::span<const std::byte> DiskManager::PeekPage(PageId id) const {
+  return {PagePtr(id), page_size_};
+}
+
+namespace {
+/// Image file magic ("SDBDISK1").
+constexpr uint64_t kImageMagic = 0x53444244'49534b31ull;
+
+struct ImageHeader {
+  uint64_t magic;
+  uint64_t page_size;
+  uint64_t page_count;
+};
+
+/// Owns a FILE* for exception-free early returns.
+struct FileCloser {
+  std::FILE* file;
+  ~FileCloser() {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+}  // namespace
+
+bool DiskManager::SaveImage(const std::string& path) const {
+  FileCloser out{std::fopen(path.c_str(), "wb")};
+  if (out.file == nullptr) return false;
+  const ImageHeader header{kImageMagic, page_size_, pages_.size()};
+  if (std::fwrite(&header, sizeof(header), 1, out.file) != 1) return false;
+  for (const auto& page : pages_) {
+    if (std::fwrite(page.get(), 1, page_size_, out.file) != page_size_) {
+      return false;
+    }
+  }
+  return std::fflush(out.file) == 0;
+}
+
+std::optional<DiskManager> DiskManager::LoadImage(const std::string& path) {
+  FileCloser in{std::fopen(path.c_str(), "rb")};
+  if (in.file == nullptr) return std::nullopt;
+  ImageHeader header;
+  if (std::fread(&header, sizeof(header), 1, in.file) != 1 ||
+      header.magic != kImageMagic ||
+      header.page_size < PageHeaderView::kHeaderSize) {
+    return std::nullopt;
+  }
+  DiskManager disk(header.page_size);
+  disk.pages_.reserve(header.page_count);
+  for (uint64_t i = 0; i < header.page_count; ++i) {
+    auto page = std::make_unique<std::byte[]>(header.page_size);
+    if (std::fread(page.get(), 1, header.page_size, in.file) !=
+        header.page_size) {
+      return std::nullopt;
+    }
+    disk.pages_.push_back(std::move(page));
+  }
+  return disk;
+}
+
+void DiskManager::ResetStats() {
+  stats_ = IoStats{};
+  last_read_ = kInvalidPageId;
+  last_write_ = kInvalidPageId;
+}
+
+std::byte* DiskManager::PagePtr(PageId id) {
+  SDB_CHECK_MSG(id < pages_.size(), "page id out of range");
+  return pages_[id].get();
+}
+
+const std::byte* DiskManager::PagePtr(PageId id) const {
+  SDB_CHECK_MSG(id < pages_.size(), "page id out of range");
+  return pages_[id].get();
+}
+
+}  // namespace sdb::storage

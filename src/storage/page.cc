@@ -1,0 +1,21 @@
+#include "storage/page.h"
+
+namespace sdb::storage {
+
+std::string_view PageTypeName(PageType type) {
+  switch (type) {
+    case PageType::kFree:
+      return "free";
+    case PageType::kDirectory:
+      return "directory";
+    case PageType::kData:
+      return "data";
+    case PageType::kObject:
+      return "object";
+    case PageType::kMeta:
+      return "meta";
+  }
+  return "unknown";
+}
+
+}  // namespace sdb::storage

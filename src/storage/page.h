@@ -1,0 +1,188 @@
+#ifndef SPATIALBUFFER_STORAGE_PAGE_H_
+#define SPATIALBUFFER_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+#include "geom/entry_aggregates.h"
+#include "geom/rect.h"
+
+namespace sdb::storage {
+
+/// Identifier of a page within one simulated disk file.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// Default page size. The paper's trees have fanout 51 (directory) / 42
+/// (data); we reproduce those fanouts via explicit entry caps, so the byte
+/// size only has to be large enough.
+inline constexpr size_t kDefaultPageSize = 4096;
+
+/// The three page categories a spatial DBMS distinguishes (paper Sec. 2.1,
+/// Fig. 1): directory pages and data pages of the spatial access method, and
+/// object pages holding exact object representations.
+enum class PageType : uint8_t {
+  kFree = 0,       ///< unallocated / zeroed page
+  kDirectory = 1,  ///< inner node of the SAM
+  kData = 2,       ///< leaf node of the SAM
+  kObject = 3,     ///< exact-geometry object page
+  kMeta = 4,       ///< file metadata (tree header etc.)
+};
+
+/// Human-readable page-type name.
+std::string_view PageTypeName(PageType type);
+
+/// Everything a replacement policy may want to know about a resident page.
+/// Mirrors the on-page header; read via PageHeaderView so the values always
+/// reflect the current page content.
+struct PageMeta {
+  PageType type = PageType::kFree;
+  uint8_t level = 0;        ///< SAM level; 0 = data page / object page.
+  uint16_t entry_count = 0; ///< number of entries on the page.
+  geom::Rect mbr;           ///< MBR over all entries (empty if none).
+  double sum_entry_area = 0.0;
+  double sum_entry_margin = 0.0;
+  double entry_overlap = 0.0;
+};
+
+/// Fixed 64-byte header at the start of every page.
+///
+/// layout (little-endian, 8-byte aligned doubles):
+///   [0]   u8   type
+///   [1]   u8   level
+///   [2]   u16  entry_count
+///   [4]   u32  reserved
+///   [8]   f64  mbr.xmin
+///   [16]  f64  mbr.ymin
+///   [24]  f64  mbr.xmax
+///   [32]  f64  mbr.ymax
+///   [40]  f64  sum_entry_area
+///   [48]  f64  sum_entry_margin
+///   [56]  f64  entry_overlap
+///
+/// The spatial aggregates are maintained by whoever writes the page (the
+/// R*-tree recomputes them whenever a node changes), so the replacement
+/// policies can evaluate any spatial criterion from the header alone.
+class PageHeaderView {
+ public:
+  static constexpr size_t kHeaderSize = 64;
+
+  /// Wraps (does not own) the first kHeaderSize bytes of a page buffer.
+  explicit PageHeaderView(std::byte* data) : data_(data) {}
+
+  PageType type() const {
+    return static_cast<PageType>(LoadU8(0));
+  }
+  void set_type(PageType t) { StoreU8(0, static_cast<uint8_t>(t)); }
+
+  uint8_t level() const { return LoadU8(1); }
+  void set_level(uint8_t level) { StoreU8(1, level); }
+
+  uint16_t entry_count() const { return LoadU16(2); }
+  void set_entry_count(uint16_t n) { StoreU16(2, n); }
+
+  /// Access-method-specific auxiliary field (bytes 4..7); the z-order
+  /// B+-tree stores its next-leaf pointer here, the R*-tree leaves it 0.
+  uint32_t aux() const { return LoadU32(4); }
+  void set_aux(uint32_t v) { StoreU32(4, v); }
+
+  geom::Rect mbr() const {
+    return geom::Rect(LoadF64(8), LoadF64(16), LoadF64(24), LoadF64(32));
+  }
+  void set_mbr(const geom::Rect& r) {
+    StoreF64(8, r.xmin);
+    StoreF64(16, r.ymin);
+    StoreF64(24, r.xmax);
+    StoreF64(32, r.ymax);
+  }
+
+  double sum_entry_area() const { return LoadF64(40); }
+  double sum_entry_margin() const { return LoadF64(48); }
+  double entry_overlap() const { return LoadF64(56); }
+
+  /// Writes the precomputed spatial aggregates.
+  void set_aggregates(const geom::EntryAggregates& agg) {
+    set_mbr(agg.mbr);
+    StoreF64(40, agg.sum_entry_area);
+    StoreF64(48, agg.sum_entry_margin);
+    StoreF64(56, agg.entry_overlap);
+  }
+
+  /// Decodes the whole header into a PageMeta value.
+  PageMeta ToMeta() const {
+    PageMeta m;
+    m.type = type();
+    m.level = level();
+    m.entry_count = entry_count();
+    m.mbr = mbr();
+    m.sum_entry_area = sum_entry_area();
+    m.sum_entry_margin = sum_entry_margin();
+    m.entry_overlap = entry_overlap();
+    return m;
+  }
+
+ private:
+  uint8_t LoadU8(size_t off) const {
+    return static_cast<uint8_t>(data_[off]);
+  }
+  void StoreU8(size_t off, uint8_t v) {
+    data_[off] = static_cast<std::byte>(v);
+  }
+  uint16_t LoadU16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, data_ + off, sizeof(v));
+    return v;
+  }
+  void StoreU16(size_t off, uint16_t v) {
+    std::memcpy(data_ + off, &v, sizeof(v));
+  }
+  uint32_t LoadU32(size_t off) const {
+    uint32_t v;
+    std::memcpy(&v, data_ + off, sizeof(v));
+    return v;
+  }
+  void StoreU32(size_t off, uint32_t v) {
+    std::memcpy(data_ + off, &v, sizeof(v));
+  }
+  double LoadF64(size_t off) const {
+    double v;
+    std::memcpy(&v, data_ + off, sizeof(v));
+    return v;
+  }
+  void StoreF64(size_t off, double v) {
+    std::memcpy(data_ + off, &v, sizeof(v));
+  }
+
+  std::byte* data_;
+};
+
+/// Read-only variant of PageHeaderView.
+class ConstPageHeaderView {
+ public:
+  explicit ConstPageHeaderView(const std::byte* data)
+      // PageHeaderView only mutates through the setters, which this wrapper
+      // does not expose; the const_cast is confined here.
+      : view_(const_cast<std::byte*>(data)) {}
+
+  PageType type() const { return view_.type(); }
+  uint8_t level() const { return view_.level(); }
+  uint16_t entry_count() const { return view_.entry_count(); }
+  uint32_t aux() const { return view_.aux(); }
+  geom::Rect mbr() const { return view_.mbr(); }
+  double sum_entry_area() const { return view_.sum_entry_area(); }
+  double sum_entry_margin() const { return view_.sum_entry_margin(); }
+  double entry_overlap() const { return view_.entry_overlap(); }
+  PageMeta ToMeta() const { return view_.ToMeta(); }
+
+ private:
+  PageHeaderView view_;
+};
+
+}  // namespace sdb::storage
+
+#endif  // SPATIALBUFFER_STORAGE_PAGE_H_

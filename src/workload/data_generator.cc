@@ -1,0 +1,171 @@
+#include "workload/data_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace sdb::workload {
+
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+/// Clamps a point into a rectangle.
+Point ClampInto(const Point& p, const Rect& r) {
+  return Point{std::clamp(p.x, r.xmin, r.xmax),
+               std::clamp(p.y, r.ymin, r.ymax)};
+}
+
+Point UniformIn(Rng& rng, const Rect& r) {
+  return Point{rng.Uniform(r.xmin, r.xmax), rng.Uniform(r.ymin, r.ymax)};
+}
+
+/// Builds the exact geometry of one object around an anchor point and
+/// returns it together with its MBR.
+SpatialObject MakeObject(Rng& rng, uint64_t id, const Point& anchor,
+                         bool extended, double max_extent) {
+  SpatialObject object;
+  object.id = id;
+  if (!extended) {
+    object.vertices = {anchor};
+    object.rect = Rect::FromPoint(anchor);
+    return object;
+  }
+  // A short polyline wandering from the anchor: 3..8 vertices within the
+  // extent box, like a road/river/boundary fragment.
+  const int n = 3 + static_cast<int>(rng.NextBelow(6));
+  Point cursor = anchor;
+  object.vertices.reserve(n);
+  Rect mbr;
+  for (int i = 0; i < n; ++i) {
+    object.vertices.push_back(cursor);
+    mbr.Extend(cursor);
+    cursor.x += rng.Uniform(-max_extent / 2, max_extent / 2);
+    cursor.y += rng.Uniform(-max_extent / 2, max_extent / 2);
+  }
+  object.rect = mbr;
+  return object;
+}
+
+}  // namespace
+
+MapParams UsLikeParams(double scale, uint64_t seed) {
+  MapParams params;
+  params.name = "us-like";
+  params.seed = seed;
+  params.object_count =
+      static_cast<size_t>(std::llround(200'000.0 * scale));
+  params.cluster_count = 400;
+  params.place_count = 5'000;
+  // GNIS-like: features everywhere on the mainland, with strong clustering
+  // around populated places.
+  params.background_fraction = 0.25;
+  // One mainland block spanning nearly the whole square: mirroring a point
+  // at x = 0.5 lands on the mainland again.
+  params.land = {Rect(0.04, 0.08, 0.96, 0.92)};
+  return params;
+}
+
+MapParams WorldLikeParams(double scale, uint64_t seed) {
+  MapParams params;
+  params.name = "world-like";
+  params.seed = seed;
+  params.object_count =
+      static_cast<size_t>(std::llround(120'000.0 * scale));
+  params.cluster_count = 300;
+  params.place_count = 4'000;
+  params.cluster_sigma = 0.010;
+  // Disjoint continents covering roughly a quarter of the space, placed so
+  // their x-mirror images fall mostly onto water.
+  params.land = {
+      Rect(0.05, 0.55, 0.33, 0.93),  // "north-west continent"
+      Rect(0.10, 0.08, 0.30, 0.42),  // "south-west continent"
+      Rect(0.42, 0.58, 0.58, 0.88),  // small central landmass
+      Rect(0.47, 0.12, 0.61, 0.34),  // southern island group
+      Rect(0.70, 0.62, 0.88, 0.90),  // "north-east continent"
+  };
+  return params;
+}
+
+GeneratedMap GenerateMap(const MapParams& params) {
+  SDB_CHECK(!params.land.empty());
+  SDB_CHECK(params.object_count > 0);
+  SDB_CHECK(params.cluster_count > 0);
+  Rng rng(params.seed);
+
+  GeneratedMap out;
+  out.dataset.name = params.name;
+  out.dataset.data_space = Rect(0.0, 0.0, 1.0, 1.0);
+  out.dataset.objects.reserve(params.object_count);
+
+  // Land patches are sampled proportionally to their area.
+  std::vector<double> land_weights;
+  land_weights.reserve(params.land.size());
+  for (const Rect& patch : params.land) land_weights.push_back(patch.Area());
+  const WeightedSampler land_sampler(land_weights);
+
+  // Cluster centers with Zipf-skewed weights; the weight doubles as the
+  // relative population of the cluster's main place.
+  struct Cluster {
+    Point center;
+    Rect patch;
+    double weight;
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(params.cluster_count);
+  std::vector<double> cluster_weights;
+  cluster_weights.reserve(params.cluster_count);
+  for (size_t i = 0; i < params.cluster_count; ++i) {
+    const Rect& patch = params.land[land_sampler.Sample(rng)];
+    const double weight =
+        1.0 / std::pow(static_cast<double>(i + 1), params.zipf_exponent);
+    clusters.push_back({UniformIn(rng, patch), patch, weight});
+    cluster_weights.push_back(weight);
+  }
+  const WeightedSampler cluster_sampler(cluster_weights);
+
+  // Objects: clustered around the centers plus a uniform background.
+  for (size_t i = 0; i < params.object_count; ++i) {
+    Point anchor;
+    if (rng.NextDouble() < params.background_fraction) {
+      anchor = UniformIn(rng, params.land[land_sampler.Sample(rng)]);
+    } else {
+      const Cluster& cluster = clusters[cluster_sampler.Sample(rng)];
+      anchor = ClampInto(
+          Point{cluster.center.x + rng.NextGaussian() * params.cluster_sigma,
+                cluster.center.y + rng.NextGaussian() * params.cluster_sigma},
+          cluster.patch);
+    }
+    const bool extended = rng.NextDouble() < params.extended_fraction;
+    out.dataset.objects.push_back(MakeObject(
+        rng, static_cast<uint64_t>(i + 1), anchor, extended,
+        params.max_object_extent));
+  }
+
+  // Places: the cluster centers themselves (population proportional to the
+  // cluster weight) plus secondary places scattered within clusters.
+  const double population_unit = 1'000'000.0;
+  out.places.places.reserve(params.cluster_count + params.place_count);
+  for (const Cluster& cluster : clusters) {
+    out.places.places.push_back(
+        Place{cluster.center, cluster.weight * population_unit});
+  }
+  for (size_t i = 0; i < params.place_count; ++i) {
+    const Cluster& cluster = clusters[cluster_sampler.Sample(rng)];
+    const Point location = ClampInto(
+        Point{cluster.center.x + rng.NextGaussian() * params.cluster_sigma,
+              cluster.center.y + rng.NextGaussian() * params.cluster_sigma},
+        cluster.patch);
+    // Secondary places are small towns: a random fraction of the cluster's
+    // population, skewed toward small values.
+    const double share = std::pow(rng.NextDouble(), 3.0) * 0.2 + 0.0005;
+    out.places.places.push_back(
+        Place{location, cluster.weight * population_unit * share});
+  }
+  return out;
+}
+
+}  // namespace sdb::workload

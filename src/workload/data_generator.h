@@ -1,0 +1,58 @@
+#ifndef SPATIALBUFFER_WORKLOAD_DATA_GENERATOR_H_
+#define SPATIALBUFFER_WORKLOAD_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/dataset.h"
+
+namespace sdb::workload {
+
+/// Parameters of the clustered synthetic-map generator.
+///
+/// Real geographic feature sets (the paper uses USGS GNIS features of the US
+/// mainland and a world atlas) are strongly clustered: most features sit
+/// near populated places, a minority is spread as background, and a share of
+/// the features are extended (lines/areas) rather than points. The generator
+/// reproduces those properties inside configurable "land" regions.
+struct MapParams {
+  std::string name = "synthetic";
+  uint64_t seed = 1;
+  size_t object_count = 200'000;
+  size_t cluster_count = 400;
+  size_t place_count = 5'000;     ///< populated places derived from clusters
+  double cluster_sigma = 0.012;   ///< std-dev of a cluster (data space units)
+  double background_fraction = 0.15;  ///< objects spread uniformly over land
+  double extended_fraction = 0.45;    ///< polyline objects (rest are points)
+  double max_object_extent = 0.004;   ///< max edge length of an object MBR
+  double zipf_exponent = 0.9;     ///< skew of cluster weights/populations
+  /// Land regions; clusters and background objects fall only inside these.
+  std::vector<geom::Rect> land;
+};
+
+/// Result of a generation run: the dataset plus the correlated places table
+/// (one place per cluster and `place_count` secondary places).
+struct GeneratedMap {
+  Dataset dataset;
+  PlacesTable places;
+};
+
+/// Parameters mimicking database 1 (US mainland, paper Sec. 3): one large
+/// land region covering most of the unit square, so that x-mirrored query
+/// points still fall onto land. `scale` multiplies the object count
+/// (1.0 = 200k objects).
+MapParams UsLikeParams(double scale = 1.0, uint64_t seed = 42);
+
+/// Parameters mimicking database 2 (world atlas): several disjoint
+/// "continents" covering only ~1/4 of the space and placed x-asymmetric, so
+/// most x-mirrored query points fall into empty "water" — the property
+/// driving the paper's Fig. 9 result for the independent distribution.
+MapParams WorldLikeParams(double scale = 1.0, uint64_t seed = 77);
+
+/// Runs the generator. Deterministic in params.seed.
+GeneratedMap GenerateMap(const MapParams& params);
+
+}  // namespace sdb::workload
+
+#endif  // SPATIALBUFFER_WORKLOAD_DATA_GENERATOR_H_

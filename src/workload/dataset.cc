@@ -1,0 +1,53 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdb::workload {
+
+geom::Rect DatasetMbr(const Dataset& dataset) {
+  geom::Rect mbr;
+  for (const SpatialObject& object : dataset.objects) {
+    mbr.Extend(object.rect);
+  }
+  return mbr;
+}
+
+double TotalPopulation(const PlacesTable& places) {
+  double total = 0.0;
+  for (const Place& place : places.places) total += place.population;
+  return total;
+}
+
+double CoverageFraction(const Dataset& dataset, size_t grid) {
+  if (grid == 0) return 0.0;
+  const geom::Rect space = dataset.data_space;
+  // For each grid cell, test whether any object MBR (dilated by half a cell
+  // via cell-rect intersection) meets it. O(objects * hit cells) via
+  // rasterizing each object into the grid.
+  std::vector<char> hit(grid * grid, 0);
+  const double cell_w = space.width() / static_cast<double>(grid);
+  const double cell_h = space.height() / static_cast<double>(grid);
+  if (cell_w <= 0.0 || cell_h <= 0.0) return 0.0;
+  const auto cell_index = [grid](double value, double origin, double cell) {
+    const long idx = static_cast<long>(std::floor((value - origin) / cell));
+    return static_cast<size_t>(
+        std::clamp(idx, 0L, static_cast<long>(grid) - 1));
+  };
+  for (const SpatialObject& object : dataset.objects) {
+    const size_t x0 = cell_index(object.rect.xmin, space.xmin, cell_w);
+    const size_t x1 = cell_index(object.rect.xmax, space.xmin, cell_w);
+    const size_t y0 = cell_index(object.rect.ymin, space.ymin, cell_h);
+    const size_t y1 = cell_index(object.rect.ymax, space.ymin, cell_h);
+    for (size_t y = y0; y <= y1; ++y) {
+      for (size_t x = x0; x <= x1; ++x) {
+        hit[y * grid + x] = 1;
+      }
+    }
+  }
+  size_t covered = 0;
+  for (char c : hit) covered += c;
+  return static_cast<double>(covered) / static_cast<double>(grid * grid);
+}
+
+}  // namespace sdb::workload

@@ -1,0 +1,55 @@
+#ifndef SPATIALBUFFER_WORKLOAD_DATASET_H_
+#define SPATIALBUFFER_WORKLOAD_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace sdb::workload {
+
+/// One spatial object of a synthetic dataset: an MBR plus the exact vertex
+/// geometry (one vertex = point feature, several = polyline feature).
+struct SpatialObject {
+  uint64_t id = 0;
+  geom::Rect rect;
+  std::vector<geom::Point> vertices;
+};
+
+/// A generated spatial database.
+struct Dataset {
+  std::string name;
+  geom::Rect data_space;           ///< full query space (the unit square)
+  std::vector<SpatialObject> objects;
+};
+
+/// A populated place (city/town) — the basis of the similar, intensified and
+/// independent query distributions, standing in for the paper's US places
+/// file from the USGS GNIS.
+struct Place {
+  geom::Point location;
+  double population = 0.0;
+};
+
+struct PlacesTable {
+  std::vector<Place> places;
+};
+
+/// MBR over all objects of the dataset.
+geom::Rect DatasetMbr(const Dataset& dataset);
+
+/// Sum of the place populations (normalization constant of the intensified
+/// distribution).
+double TotalPopulation(const PlacesTable& places);
+
+/// Fraction of `probe` sample points (on a regular grid over the data
+/// space) that hit at least one object MBR — a cheap coverage measure used
+/// to verify that the US-like dataset covers most of the space while the
+/// world-like dataset leaves most of it empty.
+double CoverageFraction(const Dataset& dataset, size_t grid = 64);
+
+}  // namespace sdb::workload
+
+#endif  // SPATIALBUFFER_WORKLOAD_DATASET_H_

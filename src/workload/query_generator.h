@@ -1,0 +1,62 @@
+#ifndef SPATIALBUFFER_WORKLOAD_QUERY_GENERATOR_H_
+#define SPATIALBUFFER_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/dataset.h"
+
+namespace sdb::workload {
+
+/// The five query-distribution families of the paper (Sec. 3.1).
+enum class QueryFamily {
+  kUniform,      ///< U: uniform over the whole data space (incl. empty areas)
+  kIdentical,    ///< ID: randomly selected database objects
+  kSimilar,      ///< S: populated places, selected uniformly
+  kIntensified,  ///< INT: places, probability ~ sqrt(population)
+  kIndependent,  ///< IND: like S but with x-coordinates flipped
+};
+
+/// One ready-to-run query set: window rectangles (point queries are
+/// degenerate windows), plus its paper-style name such as "U-W-33" or
+/// "INT-P".
+struct QuerySet {
+  std::string name;
+  QueryFamily family = QueryFamily::kUniform;
+  /// 0 for point queries, otherwise the reciprocal extent: the window's
+  /// x-extension is 1/ex of the data space's x-extension.
+  int ex = 0;
+  std::vector<geom::Rect> queries;
+
+  bool is_point() const { return ex == 0; }
+};
+
+/// Specification of a query set to generate.
+struct QuerySpec {
+  QueryFamily family = QueryFamily::kUniform;
+  /// 0 = point queries; otherwise window queries with x-extent 1/ex of the
+  /// data space (the paper uses ex in {33, 100, 333, 1000}).
+  int ex = 0;
+  size_t count = 1000;
+  uint64_t seed = 1;
+};
+
+/// Paper-style name, e.g. {kUniform, 33} -> "U-W-33", {kIntensified, 0} ->
+/// "INT-P".
+std::string QuerySetName(QueryFamily family, int ex);
+
+/// Generates a query set over the given database and places table.
+/// For the identical family, window queries reuse the selected object's MBR
+/// ("the size of the objects is maintained"); for every other family,
+/// windows are squares of the spec'd extent centered at the sampled point.
+QuerySet MakeQuerySet(const QuerySpec& spec, const Dataset& dataset,
+                      const PlacesTable& places);
+
+/// Concatenates query sets into one (for the Fig. 14 mixed workload). The
+/// result's name joins the inputs with '+'.
+QuerySet ConcatQuerySets(const std::vector<QuerySet>& sets);
+
+}  // namespace sdb::workload
+
+#endif  // SPATIALBUFFER_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,58 @@
+#include "workload/session_generator.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace sdb::workload {
+
+QuerySet MakeSessionQuerySet(const SessionParams& params,
+                             const PlacesTable& places) {
+  SDB_CHECK(params.steps > 0);
+  SDB_CHECK_MSG(!places.places.empty(), "sessions need jump targets");
+  SDB_CHECK(params.pan_probability + params.zoom_probability <= 1.0);
+  SDB_CHECK(params.min_extent > 0 &&
+            params.min_extent <= params.max_extent);
+
+  // Bookmark targets: the most populated places.
+  std::vector<const Place*> ranked;
+  ranked.reserve(places.places.size());
+  for (const Place& place : places.places) ranked.push_back(&place);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Place* a, const Place* b) {
+              return a->population > b->population;
+            });
+  const size_t bookmarks =
+      std::min(std::max<size_t>(1, params.bookmark_count), ranked.size());
+
+  Rng rng(params.seed);
+  QuerySet session;
+  session.name = "SESSION";
+  session.family = QueryFamily::kSimilar;  // closest family semantically
+  session.ex = 0;
+  session.queries.reserve(params.steps);
+
+  geom::Point center{0.5, 0.5};
+  double extent = params.initial_extent;
+  for (size_t i = 0; i < params.steps; ++i) {
+    const double action = rng.NextDouble();
+    if (action < params.pan_probability) {
+      center.x += rng.Uniform(-extent / 2, extent / 2);
+      center.y += rng.Uniform(-extent / 2, extent / 2);
+    } else if (action < params.pan_probability + params.zoom_probability) {
+      extent *= (rng.NextDouble() < 0.5 ? 0.5 : 2.0);
+      extent = std::clamp(extent, params.min_extent, params.max_extent);
+    } else {
+      center = ranked[rng.NextBelow(bookmarks)]->location;
+      extent = std::clamp(params.initial_extent / 4, params.min_extent,
+                          params.max_extent);
+    }
+    center.x = std::clamp(center.x, 0.0, 1.0);
+    center.y = std::clamp(center.y, 0.0, 1.0);
+    session.queries.push_back(geom::Rect::Centered(center, extent, extent));
+  }
+  return session;
+}
+
+}  // namespace sdb::workload

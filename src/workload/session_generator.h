@@ -1,0 +1,39 @@
+#ifndef SPATIALBUFFER_WORKLOAD_SESSION_GENERATOR_H_
+#define SPATIALBUFFER_WORKLOAD_SESSION_GENERATOR_H_
+
+#include <cstdint>
+
+#include "workload/dataset.h"
+#include "workload/query_generator.h"
+
+namespace sdb::workload {
+
+/// Parameters of an interactive map-browsing session: a Markov mixture of
+/// viewport pans, zoom steps, and jumps to popular places ("bookmarks").
+///
+/// The paper's five query distributions are i.i.d. draws; real GIS clients
+/// issue *sessions* whose consecutive viewports overlap heavily (pans) but
+/// occasionally teleport (jumps). Sessions therefore mix strong spatial
+/// locality with hot-spot revisits — a workload class none of the paper's
+/// sets covers, and a natural stress test for the adaptable buffer.
+struct SessionParams {
+  size_t steps = 2000;
+  double pan_probability = 0.65;   ///< small viewport move
+  double zoom_probability = 0.20;  ///< halve/double the viewport edge
+  /// remaining probability: jump to one of the `bookmark_count` most
+  /// populated places
+  size_t bookmark_count = 20;
+  double initial_extent = 1.0 / 20;  ///< viewport edge length
+  double min_extent = 1.0 / 320;
+  double max_extent = 1.0 / 10;
+  uint64_t seed = 1;
+};
+
+/// Generates one browsing session as a query set (name "SESSION"). Requires
+/// a non-empty places table for the jump targets.
+QuerySet MakeSessionQuerySet(const SessionParams& params,
+                             const PlacesTable& places);
+
+}  // namespace sdb::workload
+
+#endif  // SPATIALBUFFER_WORKLOAD_SESSION_GENERATOR_H_

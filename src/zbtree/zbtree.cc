@@ -1,0 +1,567 @@
+#include "zbtree/zbtree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/macros.h"
+#include "geom/entry_aggregates.h"
+#include "storage/page.h"
+
+namespace sdb::zbtree {
+
+namespace {
+
+using core::AccessContext;
+using core::BufferManager;
+using core::PageHandle;
+using geom::Point;
+using geom::Rect;
+using storage::PageHeaderView;
+using storage::PageId;
+
+/// On-page leaf record: z-value, object id and the exact coordinates (so
+/// window refinement needs no second lookup). 32 bytes.
+struct LeafRecord {
+  ZValue z;
+  uint64_t id;
+  double x, y;
+};
+static_assert(sizeof(LeafRecord) == 32);
+
+/// On-page inner record: separator key (composite z-value + id, so that
+/// duplicate z-values split cleanly across leaves), child page and the
+/// child's MBR (carrying the MBR keeps the spatial criteria O(1) per page).
+struct InnerRecord {
+  ZValue sep;
+  uint64_t sep_id;
+  uint32_t child;
+  uint32_t pad;
+  double xmin, ymin, xmax, ymax;
+};
+static_assert(sizeof(InnerRecord) == 56);
+
+/// Composite record key: records are ordered by (z, id), which makes every
+/// key unique and duplicate positions unambiguous.
+struct Key {
+  ZValue z;
+  uint64_t id;
+
+  friend bool operator<(const Key& a, const Key& b) {
+    return a.z != b.z ? a.z < b.z : a.id < b.id;
+  }
+  friend bool operator<=(const Key& a, const Key& b) { return !(b < a); }
+};
+
+Key KeyOf(const LeafRecord& r) { return Key{r.z, r.id}; }
+
+constexpr size_t kHeader = PageHeaderView::kHeaderSize;
+
+struct MetaRecord {
+  PageId root;
+  PageId first_leaf;
+  uint32_t height;
+  uint32_t pad;
+  uint64_t size;
+  uint32_t max_leaf_entries;
+  uint32_t max_inner_entries;
+};
+
+template <typename Record>
+std::vector<Record> LoadRecords(std::span<const std::byte> page) {
+  const uint16_t n = storage::ConstPageHeaderView(page.data()).entry_count();
+  std::vector<Record> records(n);
+  std::memcpy(records.data(), page.data() + kHeader, n * sizeof(Record));
+  return records;
+}
+
+/// Writes leaf records and refreshes the spatial aggregates (cell rects).
+void WriteLeaf(PageHandle& page, const std::vector<LeafRecord>& records) {
+  PageHeaderView header = page.header();
+  header.set_type(storage::PageType::kData);
+  header.set_level(0);
+  header.set_entry_count(static_cast<uint16_t>(records.size()));
+  std::memcpy(page.bytes().data() + kHeader, records.data(),
+              records.size() * sizeof(LeafRecord));
+  std::vector<Rect> cells;
+  cells.reserve(records.size());
+  for (const LeafRecord& r : records) cells.push_back(CellOf(r.z));
+  header.set_aggregates(geom::ComputeEntryAggregates(cells));
+  page.MarkDirty();
+}
+
+/// Writes inner records and refreshes the aggregates (child MBRs).
+void WriteInner(PageHandle& page, uint8_t level,
+                const std::vector<InnerRecord>& records) {
+  PageHeaderView header = page.header();
+  header.set_type(storage::PageType::kDirectory);
+  header.set_level(level);
+  header.set_entry_count(static_cast<uint16_t>(records.size()));
+  std::memcpy(page.bytes().data() + kHeader, records.data(),
+              records.size() * sizeof(InnerRecord));
+  std::vector<Rect> rects;
+  rects.reserve(records.size());
+  for (const InnerRecord& r : records) {
+    rects.emplace_back(r.xmin, r.ymin, r.xmax, r.ymax);
+  }
+  header.set_aggregates(geom::ComputeEntryAggregates(rects));
+  page.MarkDirty();
+}
+
+/// Index of the child covering `key`: the last entry whose separator is
+/// <= key (entry 0 covers everything below its separator as well).
+size_t ChildIndex(const std::vector<InnerRecord>& records, const Key& key) {
+  size_t index = 0;
+  for (size_t i = 1; i < records.size(); ++i) {
+    if (Key{records[i].sep, records[i].sep_id} <= key) {
+      index = i;
+    } else {
+      break;
+    }
+  }
+  return index;
+}
+
+InnerRecord MakeInnerRecord(const Key& sep, PageId child, const Rect& mbr) {
+  InnerRecord r;
+  r.sep = sep.z;
+  r.sep_id = sep.id;
+  r.child = child;
+  r.pad = 0;
+  r.xmin = mbr.xmin;
+  r.ymin = mbr.ymin;
+  r.xmax = mbr.xmax;
+  r.ymax = mbr.ymax;
+  return r;
+}
+
+}  // namespace
+
+ZBTree::ZBTree(storage::DiskManager* disk, core::BufferManager* buffer,
+               const ZBTreeConfig& config)
+    : disk_(disk), buffer_(buffer), config_(config) {
+  SDB_CHECK(disk != nullptr && buffer != nullptr);
+  SDB_CHECK(&buffer->disk() == disk);
+  const size_t page_size = disk->page_size();
+  SDB_CHECK_MSG(kHeader + config.max_leaf_entries * sizeof(LeafRecord) <=
+                    page_size,
+                "leaf fanout too large for the page size");
+  SDB_CHECK_MSG(kHeader + config.max_inner_entries * sizeof(InnerRecord) <=
+                    page_size,
+                "inner fanout too large for the page size");
+  SDB_CHECK(config.max_leaf_entries >= 4 && config.max_inner_entries >= 4);
+
+  const AccessContext ctx;
+  PageHandle meta = buffer_->New(ctx);
+  meta_page_ = meta.page_id();
+  meta.header().set_type(storage::PageType::kMeta);
+  meta.MarkDirty();
+  meta.Release();
+
+  PageHandle root = buffer_->New(ctx);
+  root_ = root.page_id();
+  first_leaf_ = root_;
+  WriteLeaf(root, {});
+  root.header().set_aux(storage::kInvalidPageId);  // no next leaf
+  root.Release();
+  height_ = 1;
+  size_ = 0;
+  PersistMeta();
+}
+
+ZBTree::ZBTree(storage::DiskManager* disk, core::BufferManager* buffer,
+               const ZBTreeConfig& config, storage::PageId meta_page)
+    : disk_(disk), buffer_(buffer), config_(config), meta_page_(meta_page) {}
+
+ZBTree ZBTree::Open(storage::DiskManager* disk, core::BufferManager* buffer,
+                    storage::PageId meta_page) {
+  SDB_CHECK(disk != nullptr && buffer != nullptr);
+  MetaRecord record;
+  std::span<const std::byte> page = disk->PeekPage(meta_page);
+  const std::span<const std::byte> resident = buffer->Peek(meta_page);
+  if (!resident.empty()) page = resident;
+  SDB_CHECK_MSG(storage::ConstPageHeaderView(page.data()).type() ==
+                    storage::PageType::kMeta,
+                "not a z-tree meta page");
+  std::memcpy(&record, page.data() + kHeader, sizeof(record));
+  ZBTreeConfig config;
+  config.max_leaf_entries = record.max_leaf_entries;
+  config.max_inner_entries = record.max_inner_entries;
+  ZBTree tree(disk, buffer, config, meta_page);
+  tree.root_ = record.root;
+  tree.first_leaf_ = record.first_leaf;
+  tree.height_ = record.height;
+  tree.size_ = record.size;
+  return tree;
+}
+
+void ZBTree::PersistMeta() {
+  MetaRecord record;
+  record.root = root_;
+  record.first_leaf = first_leaf_;
+  record.height = height_;
+  record.pad = 0;
+  record.size = size_;
+  record.max_leaf_entries = config_.max_leaf_entries;
+  record.max_inner_entries = config_.max_inner_entries;
+  const AccessContext ctx;
+  PageHandle meta = buffer_->Fetch(meta_page_, ctx);
+  std::memcpy(meta.bytes().data() + kHeader, &record, sizeof(record));
+  meta.MarkDirty();
+}
+
+void ZBTree::Insert(const Point& point, uint64_t id,
+                    const AccessContext& ctx) {
+  const ZValue z = EncodeZ(point);
+  const Key key{z, id};
+  const Rect cell = CellOf(z);
+
+  // Descend, remembering (page, entry index) per inner level.
+  std::vector<std::pair<PageId, size_t>> path;
+  PageId current = root_;
+  for (uint32_t level = height_; level > 1; --level) {
+    PageHandle page = buffer_->Fetch(current, ctx);
+    const std::vector<InnerRecord> records =
+        LoadRecords<InnerRecord>(page.bytes());
+    const size_t index = ChildIndex(records, key);
+    path.emplace_back(current, index);
+    current = records[index].child;
+  }
+
+  // Insert into the leaf, keeping (z, id) order.
+  PageHandle leaf_page = buffer_->Fetch(current, ctx);
+  std::vector<LeafRecord> records = LoadRecords<LeafRecord>(
+      leaf_page.bytes());
+  LeafRecord record{z, id, point.x, point.y};
+  const auto pos = std::upper_bound(
+      records.begin(), records.end(), key,
+      [](const Key& value, const LeafRecord& r) { return value < KeyOf(r); });
+  records.insert(pos, record);
+  ++size_;
+
+  // Pending split entry for the parent level (if any).
+  std::optional<InnerRecord> pending;
+
+  if (records.size() <= config_.max_leaf_entries) {
+    WriteLeaf(leaf_page, records);
+    leaf_page.Release();
+  } else {
+    // Leaf split at the midpoint.
+    const size_t mid = records.size() / 2;
+    std::vector<LeafRecord> right(records.begin() + mid, records.end());
+    records.resize(mid);
+
+    const uint32_t old_next = leaf_page.header().aux();
+    PageHandle fresh = buffer_->New(ctx);
+    const PageId right_id = fresh.page_id();
+    WriteLeaf(fresh, right);
+    fresh.header().set_aux(old_next);
+    const Rect right_region = fresh.header().mbr();
+    fresh.Release();
+
+    WriteLeaf(leaf_page, records);
+    leaf_page.header().set_aux(right_id);
+    const Rect left_region = leaf_page.header().mbr();
+    leaf_page.Release();
+
+    pending = MakeInnerRecord(KeyOf(right.front()), right_id, right_region);
+
+    if (path.empty()) {
+      // The leaf was the root: grow.
+      PageHandle new_root = buffer_->New(ctx);
+      std::vector<InnerRecord> root_records{
+          MakeInnerRecord(Key{0, 0}, current, left_region), *pending};
+      WriteInner(new_root, 1, root_records);
+      root_ = new_root.page_id();
+      height_ = 2;
+      return;
+    }
+  }
+
+  // Walk the path upward: extend MBRs by the new cell, apply a pending
+  // split entry, split inner nodes as needed.
+  for (size_t depth = path.size(); depth > 0; --depth) {
+    const auto [page_id, child_index] = path[depth - 1];
+    PageHandle page = buffer_->Fetch(page_id, ctx);
+    std::vector<InnerRecord> records =
+        LoadRecords<InnerRecord>(page.bytes());
+
+    // Extend the taken child's MBR by the inserted cell.
+    InnerRecord& taken = records[child_index];
+    Rect mbr(taken.xmin, taken.ymin, taken.xmax, taken.ymax);
+    mbr.Extend(cell);
+    taken.xmin = mbr.xmin;
+    taken.ymin = mbr.ymin;
+    taken.xmax = mbr.xmax;
+    taken.ymax = mbr.ymax;
+
+    if (pending) {
+      records.insert(records.begin() + child_index + 1, *pending);
+      pending.reset();
+    }
+
+    if (records.size() <= config_.max_inner_entries) {
+      WriteInner(page, page.header().level(), records);
+      page.Release();
+      continue;
+    }
+
+    // Inner split.
+    const uint8_t level = page.header().level();
+    const size_t mid = records.size() / 2;
+    std::vector<InnerRecord> right(records.begin() + mid, records.end());
+    records.resize(mid);
+
+    PageHandle fresh = buffer_->New(ctx);
+    const PageId right_id = fresh.page_id();
+    WriteInner(fresh, level, right);
+    const Rect right_region = fresh.header().mbr();
+    fresh.Release();
+
+    WriteInner(page, level, records);
+    const Rect left_region = page.header().mbr();
+    page.Release();
+
+    pending = MakeInnerRecord(Key{right.front().sep, right.front().sep_id},
+                              right_id, right_region);
+
+    if (depth == 1) {
+      // Split reached the root.
+      PageHandle new_root = buffer_->New(ctx);
+      std::vector<InnerRecord> root_records{
+          MakeInnerRecord(Key{0, 0}, page_id, left_region), *pending};
+      WriteInner(new_root, static_cast<uint8_t>(level + 1), root_records);
+      root_ = new_root.page_id();
+      ++height_;
+      return;
+    }
+  }
+  SDB_CHECK_MSG(!pending.has_value(), "unapplied split entry");
+}
+
+bool ZBTree::Delete(const Point& point, uint64_t id,
+                    const AccessContext& ctx) {
+  const ZValue z = EncodeZ(point);
+  const Key key{z, id};
+  PageId current = root_;
+  for (uint32_t level = height_; level > 1; --level) {
+    PageHandle page = buffer_->Fetch(current, ctx);
+    const std::vector<InnerRecord> records =
+        LoadRecords<InnerRecord>(page.bytes());
+    current = records[ChildIndex(records, key)].child;
+  }
+  // The composite key is unique, so the record lives in exactly this leaf.
+  PageHandle page = buffer_->Fetch(current, ctx);
+  std::vector<LeafRecord> records = LoadRecords<LeafRecord>(page.bytes());
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].z != z || records[i].id != id) continue;
+    if (records[i].x != point.x || records[i].y != point.y) continue;
+    records.erase(records.begin() + i);
+    // Lazy deletion: no merging; MBRs keep over-approximating.
+    WriteLeaf(page, records);
+    --size_;
+    return true;
+  }
+  return false;
+}
+
+void ZBTree::RangeScan(
+    ZValue lo, ZValue hi, const AccessContext& ctx,
+    const std::function<void(ZValue, const ZPoint&)>& visit) const {
+  if (lo > hi) return;
+  // Descend to the leaf that may contain lo.
+  PageId current = root_;
+  for (uint32_t level = height_; level > 1; --level) {
+    PageHandle page = buffer_->Fetch(current, ctx);
+    const std::vector<InnerRecord> records =
+        LoadRecords<InnerRecord>(page.bytes());
+    current = records[ChildIndex(records, Key{lo, 0})].child;
+  }
+  while (current != storage::kInvalidPageId) {
+    PageHandle page = buffer_->Fetch(current, ctx);
+    const std::vector<LeafRecord> records =
+        LoadRecords<LeafRecord>(page.bytes());
+    const auto begin = std::lower_bound(
+        records.begin(), records.end(), lo,
+        [](const LeafRecord& r, ZValue value) { return r.z < value; });
+    for (auto it = begin; it != records.end(); ++it) {
+      if (it->z > hi) return;
+      ZPoint zp;
+      zp.point = Point{it->x, it->y};
+      zp.id = it->id;
+      visit(it->z, zp);
+    }
+    if (!records.empty() && records.back().z > hi) return;
+    current = page.header().aux();
+  }
+}
+
+void ZBTree::WindowQueryVisit(
+    const Rect& window, const AccessContext& ctx,
+    const std::function<void(const ZPoint&)>& visit) const {
+  for (const ZRange& range : DecomposeWindow(window)) {
+    RangeScan(range.lo, range.hi, ctx,
+              [&window, &visit](ZValue, const ZPoint& zp) {
+                if (window.Contains(zp.point)) visit(zp);
+              });
+  }
+}
+
+std::vector<ZPoint> ZBTree::WindowQuery(const Rect& window,
+                                        const AccessContext& ctx) const {
+  std::vector<ZPoint> out;
+  WindowQueryVisit(window, ctx,
+                   [&out](const ZPoint& zp) { out.push_back(zp); });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Offline inspection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::span<const std::byte> PeekImage(const storage::DiskManager& disk,
+                                     const BufferManager* buffer, PageId id) {
+  if (buffer != nullptr) {
+    const std::span<const std::byte> resident = buffer->Peek(id);
+    if (!resident.empty()) return resident;
+  }
+  return disk.PeekPage(id);
+}
+
+struct ZWalk {
+  uint64_t points = 0;
+  uint32_t leaves = 0;
+  uint32_t inners = 0;
+  PageId leftmost_leaf = storage::kInvalidPageId;
+  std::string error;
+};
+
+/// Validates the subtree under `id`, which must cover keys in [lo, hi).
+void WalkZ(const storage::DiskManager& disk, const BufferManager* buffer,
+           PageId id, uint32_t level, Key lo, bool has_hi, Key hi,
+           ZWalk* out) {
+  if (!out->error.empty()) return;
+  const std::span<const std::byte> raw = PeekImage(disk, buffer, id);
+  const storage::ConstPageHeaderView header(raw.data());
+  auto fail = [&](const std::string& what) {
+    out->error = "z-page " + std::to_string(id) + ": " + what;
+  };
+
+  if (level == 1) {
+    if (header.type() != storage::PageType::kData) {
+      fail("leaf with non-data type");
+      return;
+    }
+    const std::vector<LeafRecord> records = LoadRecords<LeafRecord>(raw);
+    Key previous = lo;
+    Rect region;
+    for (const LeafRecord& r : records) {
+      if (KeyOf(r) < previous) {
+        fail("records out of order");
+        return;
+      }
+      if (KeyOf(r) < lo || (has_hi && hi <= KeyOf(r))) {
+        fail("record outside separator bounds");
+        return;
+      }
+      previous = KeyOf(r);
+      region.Extend(CellOf(r.z));
+    }
+    if (!records.empty() && !header.mbr().Contains(region)) {
+      fail("leaf MBR does not cover its records");
+      return;
+    }
+    ++out->leaves;
+    out->points += records.size();
+    if (out->leftmost_leaf == storage::kInvalidPageId) {
+      out->leftmost_leaf = id;
+    }
+    return;
+  }
+
+  if (header.type() != storage::PageType::kDirectory) {
+    fail("inner with non-directory type");
+    return;
+  }
+  const std::vector<InnerRecord> records = LoadRecords<InnerRecord>(raw);
+  if (records.empty()) {
+    fail("empty inner node");
+    return;
+  }
+  ++out->inners;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Key sep{records[i].sep, records[i].sep_id};
+    if (i > 0 && sep <= Key{records[i - 1].sep, records[i - 1].sep_id}) {
+      fail("separators out of order");
+      return;
+    }
+    const Key child_lo = i == 0 ? lo : sep;
+    const bool child_has_hi = has_hi || i + 1 < records.size();
+    const Key child_hi =
+        i + 1 < records.size()
+            ? Key{records[i + 1].sep, records[i + 1].sep_id}
+            : hi;
+    // The stored child MBR must cover the child's actual region.
+    const storage::ConstPageHeaderView child_header(
+        PeekImage(disk, buffer, records[i].child).data());
+    const Rect stored(records[i].xmin, records[i].ymin, records[i].xmax,
+                      records[i].ymax);
+    if (child_header.entry_count() > 0 &&
+        !stored.Contains(child_header.mbr())) {
+      fail("entry MBR does not cover child " +
+           std::to_string(records[i].child));
+      return;
+    }
+    WalkZ(disk, buffer, records[i].child, level - 1, child_lo, child_has_hi,
+          child_hi, out);
+    if (!out->error.empty()) return;
+  }
+}
+
+}  // namespace
+
+std::string ZBTree::Validate() const {
+  ZWalk walk;
+  WalkZ(*disk_, buffer_, root_, height_, Key{0, 0}, false, Key{0, 0},
+        &walk);
+  if (!walk.error.empty()) return walk.error;
+  if (walk.points != size_) {
+    return "point count mismatch: tree holds " +
+           std::to_string(walk.points) + ", size() reports " +
+           std::to_string(size_);
+  }
+  if (walk.leftmost_leaf != first_leaf_) {
+    return "first_leaf does not match the leftmost leaf";
+  }
+  // The leaf chain must enumerate exactly the walk's points in z order.
+  uint64_t chained = 0;
+  Key previous{0, 0};
+  PageId current = first_leaf_;
+  while (current != storage::kInvalidPageId) {
+    const std::span<const std::byte> raw =
+        PeekImage(*disk_, buffer_, current);
+    for (const LeafRecord& r : LoadRecords<LeafRecord>(raw)) {
+      if (KeyOf(r) < previous) return "leaf chain out of order";
+      previous = KeyOf(r);
+      ++chained;
+    }
+    current = storage::ConstPageHeaderView(raw.data()).aux();
+  }
+  if (chained != size_) return "leaf chain misses records";
+  return "";
+}
+
+ZTreeStats ZBTree::ComputeStats() const {
+  ZWalk walk;
+  WalkZ(*disk_, buffer_, root_, height_, Key{0, 0}, false, Key{0, 0},
+        &walk);
+  ZTreeStats stats;
+  stats.point_count = walk.points;
+  stats.height = height_;
+  stats.leaf_pages = walk.leaves;
+  stats.inner_pages = walk.inners;
+  return stats;
+}
+
+}  // namespace sdb::zbtree

@@ -1,0 +1,123 @@
+#ifndef SPATIALBUFFER_ZBTREE_ZBTREE_H_
+#define SPATIALBUFFER_ZBTREE_ZBTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/access_context.h"
+#include "core/buffer_manager.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "storage/disk_manager.h"
+#include "zbtree/zcurve.h"
+
+namespace sdb::zbtree {
+
+/// Structural parameters of the z-order B+-tree.
+struct ZBTreeConfig {
+  uint32_t max_leaf_entries = 126;  ///< 32-byte records in a 4 KiB page
+  uint32_t max_inner_entries = 72;  ///< 56-byte records in a 4 KiB page
+};
+
+/// Statistics of an offline walk.
+struct ZTreeStats {
+  uint64_t point_count = 0;
+  uint32_t height = 0;
+  uint32_t leaf_pages = 0;
+  uint32_t inner_pages = 0;
+
+  uint32_t total_pages() const { return leaf_pages + inner_pages; }
+};
+
+/// One stored point with its id.
+struct ZPoint {
+  geom::Point point;
+  uint64_t id = 0;
+};
+
+/// A paged B+-tree over z-order (Morton) values — the second spatial access
+/// method of this library, after the paper's remark that its replacement
+/// criteria apply equally to "z-values stored in a B-tree" [Orenstein &
+/// Manola]. Point features are keyed by their z-value; window queries
+/// decompose the window into z-intervals and range-scan the linked leaf
+/// level, filtering on the exact coordinates stored with each record.
+///
+/// Every page carries the standard spatial-metadata header: a leaf's MBR is
+/// the bounding box of its points' grid cells, an inner page's entries
+/// store their child's MBR. The spatial replacement policies therefore work
+/// on this tree exactly as on the R*-tree.
+///
+/// Deletion is lazy, as in several production B-trees: records are removed,
+/// pages are never merged, and page MBRs are not shrunk (they stay valid
+/// over-approximations).
+class ZBTree {
+ public:
+  ZBTree(storage::DiskManager* disk, core::BufferManager* buffer,
+         const ZBTreeConfig& config = ZBTreeConfig{});
+
+  static ZBTree Open(storage::DiskManager* disk, core::BufferManager* buffer,
+                     storage::PageId meta_page);
+
+  ZBTree(ZBTree&&) = default;
+  ZBTree& operator=(ZBTree&&) = delete;
+  ZBTree(const ZBTree&) = delete;
+  ZBTree& operator=(const ZBTree&) = delete;
+
+  void set_buffer(core::BufferManager* buffer) { buffer_ = buffer; }
+  core::BufferManager* buffer() const { return buffer_; }
+
+  /// Inserts a point feature.
+  void Insert(const geom::Point& point, uint64_t id,
+              const core::AccessContext& ctx);
+
+  /// Removes one record with this exact position and id; false if absent.
+  bool Delete(const geom::Point& point, uint64_t id,
+              const core::AccessContext& ctx);
+
+  /// Visits every stored point inside the window.
+  void WindowQueryVisit(const geom::Rect& window,
+                        const core::AccessContext& ctx,
+                        const std::function<void(const ZPoint&)>& visit) const;
+
+  std::vector<ZPoint> WindowQuery(const geom::Rect& window,
+                                  const core::AccessContext& ctx) const;
+
+  /// Visits all records with z-value in [lo, hi].
+  void RangeScan(ZValue lo, ZValue hi, const core::AccessContext& ctx,
+                 const std::function<void(ZValue, const ZPoint&)>& visit)
+      const;
+
+  void PersistMeta();
+
+  /// Offline structural check (key order, leaf chain, separator bounds,
+  /// MBR containment). Empty string when valid.
+  std::string Validate() const;
+
+  ZTreeStats ComputeStats() const;
+
+  storage::PageId meta_page() const { return meta_page_; }
+  storage::PageId root() const { return root_; }
+  uint32_t height() const { return height_; }
+  uint64_t size() const { return size_; }
+  const ZBTreeConfig& config() const { return config_; }
+
+ private:
+  ZBTree(storage::DiskManager* disk, core::BufferManager* buffer,
+         const ZBTreeConfig& config, storage::PageId meta_page);
+
+  storage::DiskManager* disk_;
+  core::BufferManager* buffer_;
+  ZBTreeConfig config_;
+  storage::PageId meta_page_ = storage::kInvalidPageId;
+  storage::PageId root_ = storage::kInvalidPageId;
+  storage::PageId first_leaf_ = storage::kInvalidPageId;
+  uint32_t height_ = 1;
+  uint64_t size_ = 0;
+};
+
+}  // namespace sdb::zbtree
+
+#endif  // SPATIALBUFFER_ZBTREE_ZBTREE_H_

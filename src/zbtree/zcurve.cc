@@ -1,0 +1,148 @@
+#include "zbtree/zcurve.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdb::zbtree {
+
+namespace {
+
+constexpr uint64_t kGrid = 1ull << kZBits;
+
+/// Spreads the low kZBits bits of v to the even bit positions.
+uint64_t SpreadBits(uint64_t v) {
+  // Classic bit-twiddling expansion for up to 32 input bits.
+  v &= 0xffffffffull;
+  v = (v | (v << 16)) & 0x0000ffff0000ffffull;
+  v = (v | (v << 8)) & 0x00ff00ff00ff00ffull;
+  v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+/// Inverse of SpreadBits.
+uint64_t CompactBits(uint64_t v) {
+  v &= 0x5555555555555555ull;
+  v = (v | (v >> 1)) & 0x3333333333333333ull;
+  v = (v | (v >> 2)) & 0x0f0f0f0f0f0f0f0full;
+  v = (v | (v >> 4)) & 0x00ff00ff00ff00ffull;
+  v = (v | (v >> 8)) & 0x0000ffff0000ffffull;
+  v = (v | (v >> 16)) & 0x00000000ffffffffull;
+  return v;
+}
+
+uint64_t GridCoord(double value) {
+  const double scaled = value * static_cast<double>(kGrid);
+  const int64_t cell = static_cast<int64_t>(std::floor(scaled));
+  return static_cast<uint64_t>(
+      std::clamp<int64_t>(cell, 0, static_cast<int64_t>(kGrid) - 1));
+}
+
+struct Quadrant {
+  uint64_t x = 0, y = 0;  // grid coordinates of the lower-left corner
+  int level = kZBits;     // side length = 2^level cells
+  ZValue prefix = 0;      // z-value of the first cell in the quadrant
+};
+
+geom::Rect QuadrantRect(const Quadrant& q) {
+  const double cell = 1.0 / static_cast<double>(kGrid);
+  const double side = cell * static_cast<double>(1ull << q.level);
+  const double x0 = cell * static_cast<double>(q.x);
+  const double y0 = cell * static_cast<double>(q.y);
+  return geom::Rect(x0, y0, x0 + side, y0 + side);
+}
+
+ZRange QuadrantRange(const Quadrant& q) {
+  const ZValue span = q.level >= 32 ? ~0ull : (1ull << (2 * q.level)) - 1;
+  return ZRange{q.prefix, q.prefix + span};
+}
+
+}  // namespace
+
+ZValue EncodeZ(const geom::Point& p) {
+  return SpreadBits(GridCoord(p.x)) | (SpreadBits(GridCoord(p.y)) << 1);
+}
+
+geom::Point DecodeZ(ZValue z) {
+  const double cell = 1.0 / static_cast<double>(kGrid);
+  const double x = static_cast<double>(CompactBits(z)) * cell;
+  const double y = static_cast<double>(CompactBits(z >> 1)) * cell;
+  return geom::Point{x + cell / 2, y + cell / 2};
+}
+
+geom::Rect CellOf(ZValue z) {
+  const double cell = 1.0 / static_cast<double>(kGrid);
+  const double x = static_cast<double>(CompactBits(z)) * cell;
+  const double y = static_cast<double>(CompactBits(z >> 1)) * cell;
+  return geom::Rect(x, y, x + cell, y + cell);
+}
+
+std::vector<ZRange> DecomposeWindow(const geom::Rect& window,
+                                    size_t max_ranges) {
+  std::vector<ZRange> ranges;
+  if (window.IsEmpty()) return ranges;
+  max_ranges = std::max<size_t>(max_ranges, 1);
+
+  // Breadth-first refinement with a budget: each round splits the largest
+  // partially-overlapping quadrants; when the budget would be exceeded the
+  // remaining partials are emitted as over-approximations.
+  std::vector<Quadrant> partial{{0, 0, kZBits, 0}};
+  // A quadrant fully inside the window contributes one exact range.
+  std::vector<ZRange> exact;
+
+  while (!partial.empty() &&
+         exact.size() + 4 * partial.size() <= 4 * max_ranges) {
+    std::vector<Quadrant> next;
+    bool refined_any = false;
+    for (const Quadrant& q : partial) {
+      const geom::Rect rect = QuadrantRect(q);
+      if (!rect.Intersects(window)) continue;
+      if (window.Contains(rect) || q.level == 0) {
+        exact.push_back(QuadrantRange(q));
+        continue;
+      }
+      if (exact.size() + next.size() + 4 >= 2 * max_ranges) {
+        // Budget pressure: keep as-is.
+        next.push_back(q);
+        continue;
+      }
+      refined_any = true;
+      const int child_level = q.level - 1;
+      const uint64_t half = 1ull << child_level;
+      const ZValue child_span = 1ull << (2 * child_level);
+      for (int i = 0; i < 4; ++i) {
+        Quadrant child;
+        child.level = child_level;
+        child.x = q.x + (i & 1 ? half : 0);
+        child.y = q.y + (i & 2 ? half : 0);
+        // Z-order within a quadrant: the (y,x) bit pair selects the child,
+        // which equals i under this iteration order.
+        child.prefix = q.prefix + static_cast<ZValue>(i) * child_span;
+        next.push_back(child);
+      }
+    }
+    partial = std::move(next);
+    if (!refined_any) break;
+  }
+  // Remaining partials: over-approximate.
+  for (const Quadrant& q : partial) {
+    if (QuadrantRect(q).Intersects(window)) {
+      exact.push_back(QuadrantRange(q));
+    }
+  }
+
+  // Sort and merge adjacent/overlapping intervals.
+  std::sort(exact.begin(), exact.end(),
+            [](const ZRange& a, const ZRange& b) { return a.lo < b.lo; });
+  for (const ZRange& r : exact) {
+    if (!ranges.empty() && r.lo <= ranges.back().hi + 1) {
+      ranges.back().hi = std::max(ranges.back().hi, r.hi);
+    } else {
+      ranges.push_back(r);
+    }
+  }
+  return ranges;
+}
+
+}  // namespace sdb::zbtree

@@ -1,0 +1,47 @@
+#ifndef SPATIALBUFFER_ZBTREE_ZCURVE_H_
+#define SPATIALBUFFER_ZBTREE_ZCURVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace sdb::zbtree {
+
+/// Z-order (Morton) value of a point on a 2^kZBits x 2^kZBits grid over the
+/// unit square. Bit-interleaved x/y, x in the even (low) positions.
+using ZValue = uint64_t;
+
+/// Grid resolution per dimension.
+inline constexpr int kZBits = 20;
+
+/// Encodes a point of the unit square (values outside are clamped).
+ZValue EncodeZ(const geom::Point& p);
+
+/// Center of the grid cell addressed by a z-value.
+geom::Point DecodeZ(ZValue z);
+
+/// Rectangle of the single grid cell addressed by a z-value.
+geom::Rect CellOf(ZValue z);
+
+/// Inclusive z-value interval.
+struct ZRange {
+  ZValue lo = 0;
+  ZValue hi = 0;
+
+  friend bool operator==(const ZRange&, const ZRange&) = default;
+};
+
+/// Decomposes a query window into at most `max_ranges` z-intervals that
+/// together cover every grid cell intersecting the window (standard
+/// quadrant decomposition [Orenstein & Manola, PROBE]). When the budget is
+/// too small to describe the window exactly, partially overlapping
+/// quadrants are over-approximated by their full interval — callers filter
+/// exact coordinates anyway. Adjacent intervals are merged.
+std::vector<ZRange> DecomposeWindow(const geom::Rect& window,
+                                    size_t max_ranges = 64);
+
+}  // namespace sdb::zbtree
+
+#endif  // SPATIALBUFFER_ZBTREE_ZCURVE_H_

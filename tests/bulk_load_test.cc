@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/policy_lru.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "test_util.h"
+
+namespace sdb::rtree {
+namespace {
+
+using core::AccessContext;
+using core::BufferManager;
+using geom::Rect;
+using storage::DiskManager;
+
+std::set<uint64_t> BruteForceWindow(const std::vector<Entry>& entries,
+                                    const Rect& window) {
+  std::set<uint64_t> ids;
+  for (const Entry& e : entries) {
+    if (e.rect.Intersects(window)) ids.insert(e.id);
+  }
+  return ids;
+}
+
+std::set<uint64_t> Ids(const std::vector<Entry>& entries) {
+  std::set<uint64_t> ids;
+  for (const Entry& e : entries) ids.insert(e.id);
+  return ids;
+}
+
+std::vector<Entry> RandomEntries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < n; ++i) {
+    Entry e;
+    e.id = i + 1;
+    e.rect = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.01);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+TEST(BulkLoadTest, EmptyLoadLeavesEmptyTree) {
+  DiskManager disk;
+  BufferManager buffer(&disk, 128, std::make_unique<core::LruPolicy>());
+  RTree tree(&disk, &buffer);
+  BulkLoad(&tree, {}, AccessContext{});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Validate(), "");
+}
+
+TEST(BulkLoadTest, SingleNodeLoad) {
+  DiskManager disk;
+  BufferManager buffer(&disk, 128, std::make_unique<core::LruPolicy>());
+  RTree tree(&disk, &buffer);
+  const std::vector<Entry> entries = RandomEntries(10, 1);
+  BulkLoad(&tree, entries, AccessContext{});
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.Validate(), "");
+  EXPECT_EQ(Ids(tree.WindowQuery(Rect(0, 0, 1, 1), AccessContext{1})),
+            Ids(entries));
+}
+
+class BulkLoadPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(BulkLoadPropertyTest, LoadedTreeIsValidAndExact) {
+  const auto [seed, count] = GetParam();
+  DiskManager disk;
+  BufferManager buffer(&disk, 4096, std::make_unique<core::LruPolicy>());
+  RTree tree(&disk, &buffer);
+  const std::vector<Entry> entries = RandomEntries(count, seed);
+  BulkLoad(&tree, entries, AccessContext{});
+  EXPECT_EQ(tree.size(), count);
+  ASSERT_EQ(tree.Validate(), "");
+
+  Rng rng(seed ^ 0xabcdef);
+  const AccessContext ctx{2};
+  for (int q = 0; q < 30; ++q) {
+    const Rect window = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.2);
+    EXPECT_EQ(Ids(tree.WindowQuery(window, ctx)),
+              BruteForceWindow(entries, window));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BulkLoadPropertyTest,
+                         ::testing::Values(std::tuple{1ull, size_t{43}},
+                                           std::tuple{2ull, size_t{100}},
+                                           std::tuple{3ull, size_t{1000}},
+                                           std::tuple{4ull, size_t{5000}},
+                                           std::tuple{5ull, size_t{20000}}));
+
+TEST(BulkLoadTest, ProducesWellFilledPages) {
+  DiskManager disk;
+  BufferManager buffer(&disk, 4096, std::make_unique<core::LruPolicy>());
+  RTree tree(&disk, &buffer);
+  BulkLoad(&tree, RandomEntries(10'000, 9), AccessContext{});
+  const TreeStats stats = tree.ComputeStats();
+  // Target fill is 70% of 42 = ~29 entries per data page.
+  EXPECT_GE(stats.avg_data_fill, 0.55 * tree.config().max_data_entries);
+  EXPECT_LE(stats.avg_data_fill, 0.85 * tree.config().max_data_entries);
+  EXPECT_LT(stats.directory_share(), 0.1);
+}
+
+TEST(BulkLoadTest, LoadedTreeSupportsSubsequentUpdates) {
+  DiskManager disk;
+  BufferManager buffer(&disk, 4096, std::make_unique<core::LruPolicy>());
+  RTree tree(&disk, &buffer);
+  std::vector<Entry> entries = RandomEntries(2000, 12);
+  BulkLoad(&tree, entries, AccessContext{});
+  const AccessContext ctx{3};
+  // Insert more and delete some of the originals.
+  Rng rng(77);
+  for (size_t i = 0; i < 200; ++i) {
+    Entry e;
+    e.id = 100'000 + i;
+    e.rect = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.01);
+    tree.Insert(e, ctx);
+    entries.push_back(e);
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(tree.Delete(entries[i].id, entries[i].rect, ctx));
+  }
+  entries.erase(entries.begin(), entries.begin() + 200);
+  ASSERT_EQ(tree.Validate(), "");
+  const Rect window(0.25, 0.25, 0.75, 0.75);
+  EXPECT_EQ(Ids(tree.WindowQuery(window, ctx)),
+            BruteForceWindow(entries, window));
+}
+
+class ZOrderBulkLoadTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(ZOrderBulkLoadTest, ZOrderPackedTreeIsValidAndExact) {
+  const auto [seed, count] = GetParam();
+  DiskManager disk;
+  BufferManager buffer(&disk, 4096, std::make_unique<core::LruPolicy>());
+  RTree tree(&disk, &buffer);
+  const std::vector<Entry> entries = RandomEntries(count, seed);
+  BulkLoadOptions options;
+  options.order = PackingOrder::kZOrder;
+  BulkLoad(&tree, entries, AccessContext{}, options);
+  EXPECT_EQ(tree.size(), count);
+  ASSERT_EQ(tree.Validate(), "");
+
+  Rng rng(seed ^ 0x1234);
+  const AccessContext ctx{2};
+  for (int q = 0; q < 25; ++q) {
+    const Rect window = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.2);
+    EXPECT_EQ(Ids(tree.WindowQuery(window, ctx)),
+              BruteForceWindow(entries, window));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZOrderBulkLoadTest,
+                         ::testing::Values(std::tuple{1ull, size_t{50}},
+                                           std::tuple{2ull, size_t{2000}},
+                                           std::tuple{3ull, size_t{10000}}));
+
+TEST(BulkLoadTest, StrPagesAreMoreCompactThanZOrderPages) {
+  // STR tiles produce square-ish pages; z-order pages straddle curve jumps.
+  // Compare the total leaf-page area of both packings on the same data.
+  const std::vector<Entry> entries = RandomEntries(20'000, 5);
+  auto total_leaf_area = [&entries](PackingOrder order) {
+    DiskManager disk;
+    BufferManager buffer(&disk, 4096, std::make_unique<core::LruPolicy>());
+    RTree tree(&disk, &buffer);
+    BulkLoadOptions options;
+    options.order = order;
+    BulkLoad(&tree, entries, AccessContext{}, options);
+    buffer.FlushAll();
+    double area = 0.0;
+    for (storage::PageId id = 0; id < disk.page_count(); ++id) {
+      const storage::PageMeta meta = disk.PeekMeta(id);
+      if (meta.type == storage::PageType::kData) area += meta.mbr.Area();
+    }
+    return area;
+  };
+  EXPECT_LT(total_leaf_area(PackingOrder::kStr),
+            total_leaf_area(PackingOrder::kZOrder));
+}
+
+TEST(BulkLoadTest, RejectsNonEmptyTree) {
+  DiskManager disk;
+  BufferManager buffer(&disk, 128, std::make_unique<core::LruPolicy>());
+  RTree tree(&disk, &buffer);
+  Entry e;
+  e.id = 1;
+  e.rect = Rect(0, 0, 0.1, 0.1);
+  tree.Insert(e, AccessContext{});
+  EXPECT_DEATH(BulkLoad(&tree, RandomEntries(5, 1), AccessContext{}),
+               "empty tree");
+}
+
+}  // namespace
+}  // namespace sdb::rtree

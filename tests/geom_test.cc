@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/entry_aggregates.h"
+#include "geom/rect.h"
+#include "test_util.h"
+
+namespace sdb::geom {
+namespace {
+
+TEST(RectTest, DefaultConstructedIsEmpty) {
+  const Rect r;
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_EQ(r.Margin(), 0.0);
+  EXPECT_EQ(r.width(), 0.0);
+  EXPECT_EQ(r.height(), 0.0);
+}
+
+TEST(RectTest, DegeneratePointRect) {
+  const Rect r = Rect::FromPoint({0.5, 0.25});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_EQ(r.Margin(), 0.0);
+  EXPECT_TRUE(r.Contains(Point{0.5, 0.25}));
+}
+
+TEST(RectTest, AreaAndMargin) {
+  const Rect r(1, 2, 4, 6);
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 7.0);
+  EXPECT_EQ(r.Center().x, 2.5);
+  EXPECT_EQ(r.Center().y, 4.0);
+}
+
+TEST(RectTest, CenteredConstruction) {
+  const Rect r = Rect::Centered({0.5, 0.5}, 0.2, 0.1);
+  EXPECT_DOUBLE_EQ(r.xmin, 0.4);
+  EXPECT_DOUBLE_EQ(r.xmax, 0.6);
+  EXPECT_DOUBLE_EQ(r.ymin, 0.45);
+  EXPECT_DOUBLE_EQ(r.ymax, 0.55);
+}
+
+TEST(RectTest, IntersectsIsClosed) {
+  const Rect a(0, 0, 1, 1);
+  EXPECT_TRUE(a.Intersects(Rect(1, 0, 2, 1)));   // shared edge
+  EXPECT_TRUE(a.Intersects(Rect(1, 1, 2, 2)));   // shared corner
+  EXPECT_FALSE(a.Intersects(Rect(1.01, 0, 2, 1)));
+  EXPECT_TRUE(a.Intersects(a));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect a(0, 0, 1, 1);
+  EXPECT_TRUE(a.Contains(Rect(0.2, 0.2, 0.8, 0.8)));
+  EXPECT_TRUE(a.Contains(a));
+  EXPECT_FALSE(a.Contains(Rect(0.2, 0.2, 1.2, 0.8)));
+  EXPECT_FALSE(a.Contains(Rect()));  // empty is contained in nothing
+}
+
+TEST(RectTest, ExtendFromEmptyYieldsOther) {
+  Rect r;
+  r.Extend(Rect(1, 2, 3, 4));
+  EXPECT_EQ(r, Rect(1, 2, 3, 4));
+}
+
+TEST(RectTest, ExtendByEmptyIsNoop) {
+  Rect r(1, 2, 3, 4);
+  r.Extend(Rect());
+  EXPECT_EQ(r, Rect(1, 2, 3, 4));
+}
+
+TEST(RectTest, UnionCoversBoth) {
+  const Rect u = Union(Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5));
+  EXPECT_EQ(u, Rect(0, -1, 3, 1));
+}
+
+TEST(RectTest, IntersectionBasics) {
+  const Rect a(0, 0, 2, 2);
+  const Rect b(1, 1, 3, 3);
+  EXPECT_EQ(Intersection(a, b), Rect(1, 1, 2, 2));
+  EXPECT_TRUE(Intersection(a, Rect(5, 5, 6, 6)).IsEmpty());
+}
+
+TEST(RectTest, IntersectionAreaMatchesIntersection) {
+  const Rect a(0, 0, 2, 2);
+  const Rect b(1, 1, 3, 3);
+  EXPECT_DOUBLE_EQ(IntersectionArea(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(IntersectionArea(a, Rect(2, 2, 3, 3)), 0.0);  // corner
+  EXPECT_DOUBLE_EQ(IntersectionArea(a, Rect(5, 0, 6, 1)), 0.0);
+}
+
+TEST(RectTest, AreaEnlargement) {
+  const Rect base(0, 0, 1, 1);
+  EXPECT_DOUBLE_EQ(AreaEnlargement(base, Rect(0.2, 0.2, 0.4, 0.4)), 0.0);
+  EXPECT_DOUBLE_EQ(AreaEnlargement(base, Rect(0, 0, 2, 1)), 1.0);
+}
+
+TEST(RectTest, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(RectTest, ToStringIsReadable) {
+  EXPECT_EQ(ToString(Rect(0, 0, 1, 2)), "[0,0..1,2]");
+}
+
+// --- property tests -------------------------------------------------------
+
+class RectPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RectPropertyTest, UnionIsCommutativeAndCovering) {
+  Rng rng(GetParam());
+  const Rect space(0, 0, 1, 1);
+  for (int i = 0; i < 200; ++i) {
+    const Rect a = test::RandomRect(rng, space, 0.3);
+    const Rect b = test::RandomRect(rng, space, 0.3);
+    const Rect u = Union(a, b);
+    EXPECT_EQ(u, Union(b, a));
+    EXPECT_TRUE(u.Contains(a));
+    EXPECT_TRUE(u.Contains(b));
+    EXPECT_GE(u.Area() + 1e-12, std::max(a.Area(), b.Area()));
+  }
+}
+
+TEST_P(RectPropertyTest, IntersectionIsSymmetricAndContained) {
+  Rng rng(GetParam());
+  const Rect space(0, 0, 1, 1);
+  for (int i = 0; i < 200; ++i) {
+    const Rect a = test::RandomRect(rng, space, 0.4);
+    const Rect b = test::RandomRect(rng, space, 0.4);
+    const Rect ab = Intersection(a, b);
+    EXPECT_EQ(ab, Intersection(b, a));
+    EXPECT_DOUBLE_EQ(IntersectionArea(a, b), ab.Area());
+    if (!ab.IsEmpty()) {
+      EXPECT_TRUE(a.Contains(ab));
+      EXPECT_TRUE(b.Contains(ab));
+      EXPECT_TRUE(a.Intersects(b));
+    } else {
+      EXPECT_FALSE(a.Intersects(b));
+    }
+  }
+}
+
+TEST_P(RectPropertyTest, EnlargementIsNonNegativeAndZeroForContained) {
+  Rng rng(GetParam());
+  const Rect space(0, 0, 1, 1);
+  for (int i = 0; i < 200; ++i) {
+    const Rect a = test::RandomRect(rng, space, 0.3);
+    const Rect b = test::RandomRect(rng, space, 0.3);
+    EXPECT_GE(AreaEnlargement(a, b), -1e-12);
+    if (a.Contains(b)) {
+      EXPECT_DOUBLE_EQ(AreaEnlargement(a, b), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+// --- entry aggregates -----------------------------------------------------
+
+TEST(EntryAggregatesTest, EmptySpan) {
+  const EntryAggregates agg = ComputeEntryAggregates({});
+  EXPECT_TRUE(agg.mbr.IsEmpty());
+  EXPECT_EQ(agg.sum_entry_area, 0.0);
+  EXPECT_EQ(agg.sum_entry_margin, 0.0);
+  EXPECT_EQ(agg.entry_overlap, 0.0);
+}
+
+TEST(EntryAggregatesTest, SingleEntry) {
+  const Rect r(0, 0, 2, 3);
+  const EntryAggregates agg = ComputeEntryAggregates({{r}});
+  EXPECT_EQ(agg.mbr, r);
+  EXPECT_DOUBLE_EQ(agg.sum_entry_area, 6.0);
+  EXPECT_DOUBLE_EQ(agg.sum_entry_margin, 5.0);
+  EXPECT_EQ(agg.entry_overlap, 0.0);
+}
+
+TEST(EntryAggregatesTest, HandComputedPair) {
+  // Two unit squares overlapping in a 0.5 x 1 strip.
+  const std::vector<Rect> entries = {Rect(0, 0, 1, 1), Rect(0.5, 0, 1.5, 1)};
+  const EntryAggregates agg = ComputeEntryAggregates(entries);
+  EXPECT_EQ(agg.mbr, Rect(0, 0, 1.5, 1));
+  EXPECT_DOUBLE_EQ(agg.sum_entry_area, 2.0);
+  EXPECT_DOUBLE_EQ(agg.sum_entry_margin, 4.0);
+  EXPECT_DOUBLE_EQ(agg.entry_overlap, 0.5);
+}
+
+TEST(EntryAggregatesTest, OverlapCountsEachUnorderedPairOnce) {
+  // Three identical unit squares: 3 unordered pairs, each overlap 1.
+  const std::vector<Rect> entries = {Rect(0, 0, 1, 1), Rect(0, 0, 1, 1),
+                                     Rect(0, 0, 1, 1)};
+  const EntryAggregates agg = ComputeEntryAggregates(entries);
+  EXPECT_DOUBLE_EQ(agg.entry_overlap, 3.0);
+}
+
+TEST(EntryAggregatesTest, DisjointEntriesHaveZeroOverlap) {
+  const std::vector<Rect> entries = {Rect(0, 0, 1, 1), Rect(2, 2, 3, 3),
+                                     Rect(4, 0, 5, 1)};
+  const EntryAggregates agg = ComputeEntryAggregates(entries);
+  EXPECT_EQ(agg.entry_overlap, 0.0);
+  EXPECT_DOUBLE_EQ(agg.sum_entry_area, 3.0);
+}
+
+}  // namespace
+}  // namespace sdb::geom

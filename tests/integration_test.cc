@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/scenario.h"
+
+namespace sdb::sim {
+namespace {
+
+/// End-to-end checks on a dynamically (insert-)built tree — the full paper
+/// pipeline in miniature: synthetic map -> R*-tree -> query sets -> policy
+/// comparison. Directional assertions use deliberately robust scenarios.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioOptions options;
+    options.kind = DatabaseKind::kUsLike;
+    options.build = BuildMode::kInsert;  // the paper's construction
+    options.scale = 0.25;                // 50k objects
+    scenario_ = new Scenario(BuildScenario(options));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  static RunResult Run(const std::string& policy,
+                       const workload::QuerySet& queries, double fraction) {
+    RunOptions options;
+    options.buffer_frames = scenario_->BufferFrames(fraction);
+    return RunQuerySet(scenario_->disk.get(), scenario_->tree_meta, policy,
+                       queries, options);
+  }
+
+  static Scenario* scenario_;
+};
+
+Scenario* IntegrationTest::scenario_ = nullptr;
+
+TEST_F(IntegrationTest, InsertBuiltTreeMatchesPaperShape) {
+  const rtree::TreeStats& stats = scenario_->tree_stats;
+  EXPECT_EQ(stats.object_count, 50'000u);
+  EXPECT_GE(stats.height, 3u);
+  // The paper's trees have ~2.8% directory pages; ours must be in the same
+  // ballpark (fanout-dependent).
+  EXPECT_GT(stats.directory_share(), 0.005);
+  EXPECT_LT(stats.directory_share(), 0.10);
+  // Dynamically built R*-trees are typically ~70% full.
+  EXPECT_GT(stats.avg_data_fill, 0.55 * 42);
+  EXPECT_LT(stats.avg_data_fill, 0.95 * 42);
+}
+
+TEST_F(IntegrationTest, AllPoliciesAgreeOnQueryResults) {
+  const workload::QuerySet queries =
+      StandardQuerySet(*scenario_, workload::QueryFamily::kIdentical, 1);
+  uint64_t reference = 0;
+  for (const char* policy : {"LRU", "LRU-P", "LRU-2", "A", "SLRU:A:0.25",
+                             "ASB", "FIFO", "EO"}) {
+    const RunResult result = Run(policy, queries, 0.012);
+    if (reference == 0) reference = result.result_objects;
+    EXPECT_EQ(result.result_objects, reference) << policy;
+  }
+}
+
+TEST_F(IntegrationTest, SpatialPolicyWinsOnUniformWindows) {
+  // Fig. 7: for uniformly distributed window queries the pure spatial
+  // policy A clearly beats LRU.
+  const workload::QuerySet queries =
+      StandardQuerySet(*scenario_, workload::QueryFamily::kUniform, 100);
+  const RunResult lru = Run("LRU", queries, 0.006);
+  const RunResult a = Run("A", queries, 0.006);
+  EXPECT_LT(a.disk_reads, lru.disk_reads)
+      << "A must beat LRU on the uniform distribution";
+}
+
+TEST_F(IntegrationTest, SpatialPolicyLosesOnIntensified) {
+  // Fig. 9: areas of intensified interest have *small* pages, so the pure
+  // spatial policy backfires there.
+  const workload::QuerySet queries =
+      StandardQuerySet(*scenario_, workload::QueryFamily::kIntensified, 100);
+  const RunResult lru = Run("LRU", queries, 0.047);
+  const RunResult a = Run("A", queries, 0.047);
+  EXPECT_GT(a.disk_reads, lru.disk_reads)
+      << "A must lose against LRU on the intensified distribution";
+}
+
+TEST_F(IntegrationTest, AsbIsRobustAcrossDistributions) {
+  // The headline claim (Sec. 4.3/5): ASB never increases I/O cost
+  // meaningfully versus LRU on ANY investigated distribution, while pure A
+  // does. Allow a small tolerance for adaptation warm-up.
+  for (const auto family :
+       {workload::QueryFamily::kUniform, workload::QueryFamily::kSimilar,
+        workload::QueryFamily::kIntensified,
+        workload::QueryFamily::kIdentical}) {
+    const workload::QuerySet queries =
+        StandardQuerySet(*scenario_, family, 100);
+    const RunResult lru = Run("LRU", queries, 0.047);
+    const RunResult asb = Run("ASB", queries, 0.047);
+    EXPECT_LT(static_cast<double>(asb.disk_reads),
+              1.06 * static_cast<double>(lru.disk_reads))
+        << "ASB must stay close to LRU or better on " << queries.name;
+  }
+}
+
+TEST_F(IntegrationTest, AsbTracksTheSpatialWinnerOnUniform) {
+  // Where A wins big, ASB must capture a substantial part of that win.
+  const workload::QuerySet queries =
+      StandardQuerySet(*scenario_, workload::QueryFamily::kUniform, 0);
+  const RunResult lru = Run("LRU", queries, 0.047);
+  const RunResult asb = Run("ASB", queries, 0.047);
+  EXPECT_LT(asb.disk_reads, lru.disk_reads)
+      << "ASB must beat LRU where the spatial criterion is right";
+}
+
+TEST_F(IntegrationTest, Lru2BeatsLruOnPointQueries) {
+  // Fig. 5: LRU-2 gains 15-25% on point-query sets.
+  const workload::QuerySet queries =
+      StandardQuerySet(*scenario_, workload::QueryFamily::kSimilar, 0);
+  const RunResult lru = Run("LRU", queries, 0.047);
+  const RunResult lru2 = Run("LRU-2", queries, 0.047);
+  EXPECT_LT(lru2.disk_reads, lru.disk_reads);
+}
+
+TEST_F(IntegrationTest, LruPBeatsLruOnSmallBuffers) {
+  // Fig. 4: priority-based LRU wins for small buffers (keeping the upper
+  // tree levels resident).
+  const workload::QuerySet queries =
+      StandardQuerySet(*scenario_, workload::QueryFamily::kUniform, 333);
+  const RunResult lru = Run("LRU", queries, 0.003);
+  const RunResult lru_p = Run("LRU-P", queries, 0.003);
+  EXPECT_LT(lru_p.disk_reads, lru.disk_reads);
+}
+
+TEST_F(IntegrationTest, CandidateSetAdaptsToTheWorkloadMix) {
+  // Fig. 14 in miniature: intensified queries shrink the candidate set,
+  // uniform queries grow it again.
+  const workload::QuerySet intensified =
+      StandardQuerySet(*scenario_, workload::QueryFamily::kIntensified, 33);
+  const workload::QuerySet uniform =
+      StandardQuerySet(*scenario_, workload::QueryFamily::kUniform, 33);
+  const workload::QuerySet mixed =
+      workload::ConcatQuerySets({intensified, uniform});
+
+  RunOptions options;
+  options.buffer_frames = scenario_->BufferFrames(0.047);
+  options.trace_candidate_size = true;
+  const RunResult result = RunQuerySet(
+      scenario_->disk.get(), scenario_->tree_meta, "ASB", mixed, options);
+  ASSERT_EQ(result.candidate_trace.size(), mixed.queries.size());
+
+  const size_t phase1_end = intensified.queries.size();
+  const size_t c_after_intensified = result.candidate_trace[phase1_end - 1];
+  const size_t c_after_uniform = result.candidate_trace.back();
+  EXPECT_GT(c_after_uniform, c_after_intensified)
+      << "uniform phase must push the candidate set up";
+}
+
+TEST_F(IntegrationTest, WorldScenarioBuildsAndRuns) {
+  ScenarioOptions options;
+  options.kind = DatabaseKind::kWorldLike;
+  options.build = BuildMode::kBulkLoad;
+  options.scale = 0.05;
+  const Scenario world = BuildScenario(options);
+  EXPECT_EQ(world.name, "world-like");
+  EXPECT_GT(world.tree_stats.total_pages(), 50u);
+
+  const workload::QuerySet queries =
+      StandardQuerySet(world, workload::QueryFamily::kIndependent, 100);
+  RunOptions run;
+  run.buffer_frames = world.BufferFrames(0.012);
+  const RunResult lru = RunQuerySet(world.disk.get(), world.tree_meta, "LRU",
+                                    queries, run);
+  EXPECT_GT(lru.disk_reads, 0u);
+}
+
+}  // namespace
+}  // namespace sdb::sim

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rtree/node_view.h"
+#include "storage/page.h"
+
+namespace sdb::rtree {
+namespace {
+
+class NodeViewTest : public ::testing::Test {
+ protected:
+  NodeViewTest() : page_(storage::kDefaultPageSize, std::byte{0xEE}) {}
+
+  NodeView View() { return NodeView(page_); }
+
+  std::vector<std::byte> page_;
+};
+
+TEST_F(NodeViewTest, CapacityLeavesRoomForHeader) {
+  const uint32_t capacity = NodeView::Capacity(storage::kDefaultPageSize);
+  EXPECT_EQ(capacity, (4096u - 64u) / 48u);
+  EXPECT_GE(capacity, 51u) << "the paper's directory fanout must fit";
+}
+
+TEST_F(NodeViewTest, InitLeafClearsPage) {
+  NodeView node = View();
+  node.Init(0);
+  EXPECT_TRUE(node.is_leaf());
+  EXPECT_EQ(node.level(), 0);
+  EXPECT_EQ(node.count(), 0);
+  EXPECT_TRUE(node.mbr().IsEmpty());
+  EXPECT_EQ(node.header().type(), storage::PageType::kData);
+}
+
+TEST_F(NodeViewTest, InitDirectory) {
+  NodeView node = View();
+  node.Init(2);
+  EXPECT_FALSE(node.is_leaf());
+  EXPECT_EQ(node.level(), 2);
+  EXPECT_EQ(node.header().type(), storage::PageType::kDirectory);
+}
+
+TEST_F(NodeViewTest, AppendAndGetRoundTrip) {
+  NodeView node = View();
+  node.Init(0);
+  Entry e;
+  e.rect = geom::Rect(0.1, 0.2, 0.3, 0.4);
+  e.id = 0xDEADBEEFCAFEull;
+  e.ref = ObjectRef{1234, 56};
+  node.Append(e);
+  ASSERT_EQ(node.count(), 1);
+  EXPECT_EQ(node.GetEntry(0), e);
+}
+
+TEST_F(NodeViewTest, SetEntryOverwrites) {
+  NodeView node = View();
+  node.Init(0);
+  Entry a;
+  a.rect = geom::Rect(0, 0, 1, 1);
+  a.id = 1;
+  node.Append(a);
+  Entry b;
+  b.rect = geom::Rect(2, 2, 3, 3);
+  b.id = 2;
+  node.SetEntry(0, b);
+  EXPECT_EQ(node.GetEntry(0), b);
+}
+
+TEST_F(NodeViewTest, WriteEntriesRefreshesAggregates) {
+  NodeView node = View();
+  node.Init(1);
+  std::vector<Entry> entries(2);
+  entries[0].rect = geom::Rect(0, 0, 1, 1);
+  entries[0].id = 10;
+  entries[1].rect = geom::Rect(0.5, 0, 1.5, 1);
+  entries[1].id = 11;
+  node.WriteEntries(entries);
+  EXPECT_EQ(node.count(), 2);
+  EXPECT_EQ(node.mbr(), geom::Rect(0, 0, 1.5, 1));
+  const storage::PageMeta meta = node.header().ToMeta();
+  EXPECT_DOUBLE_EQ(meta.sum_entry_area, 2.0);
+  EXPECT_DOUBLE_EQ(meta.sum_entry_margin, 4.0);
+  EXPECT_DOUBLE_EQ(meta.entry_overlap, 0.5);
+}
+
+TEST_F(NodeViewTest, LoadEntriesReturnsAllInOrder) {
+  NodeView node = View();
+  node.Init(0);
+  std::vector<Entry> entries(5);
+  for (int i = 0; i < 5; ++i) {
+    entries[i].rect = geom::Rect(i, i, i + 1, i + 1);
+    entries[i].id = static_cast<uint64_t>(100 + i);
+  }
+  node.WriteEntries(entries);
+  EXPECT_EQ(node.LoadEntries(), entries);
+}
+
+TEST_F(NodeViewTest, WriteShrinkingEntrySetUpdatesCount) {
+  NodeView node = View();
+  node.Init(0);
+  std::vector<Entry> five(5);
+  for (int i = 0; i < 5; ++i) five[i].id = static_cast<uint64_t>(i);
+  node.WriteEntries(five);
+  std::vector<Entry> two(2);
+  two[0].id = 7;
+  two[1].id = 8;
+  node.WriteEntries(two);
+  EXPECT_EQ(node.count(), 2);
+  EXPECT_EQ(node.LoadEntries(), two);
+}
+
+TEST_F(NodeViewTest, DirEntryChildAccessor) {
+  Entry e;
+  e.id = 4711;
+  EXPECT_EQ(e.child(), 4711u);
+}
+
+TEST_F(NodeViewTest, RefreshAggregatesAfterManualAppend) {
+  NodeView node = View();
+  node.Init(0);
+  Entry e;
+  e.rect = geom::Rect(1, 1, 3, 2);
+  node.Append(e);
+  node.RefreshAggregates();
+  EXPECT_EQ(node.mbr(), geom::Rect(1, 1, 3, 2));
+  EXPECT_DOUBLE_EQ(node.header().ToMeta().sum_entry_area, 2.0);
+}
+
+TEST_F(NodeViewTest, EmptyWriteClearsAggregates) {
+  NodeView node = View();
+  node.Init(0);
+  std::vector<Entry> one(1);
+  one[0].rect = geom::Rect(0, 0, 1, 1);
+  node.WriteEntries(one);
+  node.WriteEntries({});
+  EXPECT_EQ(node.count(), 0);
+  EXPECT_TRUE(node.mbr().IsEmpty());
+  EXPECT_EQ(node.header().ToMeta().sum_entry_area, 0.0);
+}
+
+}  // namespace
+}  // namespace sdb::rtree

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/buffer_manager.h"
+#include "core/policy_lru.h"
+#include "objstore/object_store.h"
+#include "test_util.h"
+
+namespace sdb::objstore {
+namespace {
+
+using core::AccessContext;
+using core::BufferManager;
+using geom::Point;
+using geom::Rect;
+using storage::DiskManager;
+
+ExactObject MakePointObject(uint64_t id, double x, double y) {
+  ExactObject object;
+  object.id = id;
+  object.vertices = {Point{x, y}};
+  object.mbr = Rect::FromPoint({x, y});
+  return object;
+}
+
+ExactObject MakeLineObject(uint64_t id, std::vector<Point> vertices) {
+  ExactObject object;
+  object.id = id;
+  for (const Point& v : vertices) object.mbr.Extend(v);
+  object.vertices = std::move(vertices);
+  return object;
+}
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  ObjectStoreTest()
+      : buffer_(&disk_, 64, std::make_unique<core::LruPolicy>()),
+        store_(&disk_, &buffer_) {}
+
+  DiskManager disk_;
+  BufferManager buffer_;
+  ObjectStore store_;
+  AccessContext ctx_{1};
+};
+
+TEST_F(ObjectStoreTest, AppendGetRoundTrip) {
+  const ExactObject object =
+      MakeLineObject(42, {{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.2}});
+  const rtree::ObjectRef ref = store_.Append(object, ctx_);
+  const auto loaded = store_.Get(ref, ctx_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->id, 42u);
+  EXPECT_EQ(loaded->mbr, object.mbr);
+  ASSERT_EQ(loaded->vertices.size(), 3u);
+  EXPECT_EQ(loaded->vertices[2], (Point{0.5, 0.2}));
+}
+
+TEST_F(ObjectStoreTest, ManyObjectsSpillAcrossPages) {
+  std::vector<rtree::ObjectRef> refs;
+  for (uint64_t i = 0; i < 500; ++i) {
+    ExactObject object = MakeLineObject(
+        i, {{0.001 * i, 0.1}, {0.001 * i + 0.01, 0.2},
+            {0.001 * i + 0.02, 0.1}});
+    refs.push_back(store_.Append(object, ctx_));
+  }
+  EXPECT_GT(store_.page_count(), 1u);
+  for (uint64_t i = 0; i < 500; ++i) {
+    const auto loaded = store_.Get(refs[i], ctx_);
+    ASSERT_TRUE(loaded.has_value()) << i;
+    EXPECT_EQ(loaded->id, i);
+  }
+}
+
+TEST_F(ObjectStoreTest, InvalidRefsReturnNullopt) {
+  EXPECT_FALSE(store_.Get({storage::kInvalidPageId, 0}, ctx_).has_value());
+  EXPECT_FALSE(store_.Get({999, 0}, ctx_).has_value());
+  const rtree::ObjectRef ref = store_.Append(MakePointObject(1, 0.5, 0.5),
+                                             ctx_);
+  EXPECT_FALSE(store_.Get({ref.page, 55}, ctx_).has_value())
+      << "slot out of range";
+}
+
+TEST_F(ObjectStoreTest, ObjectPagesCarrySpatialAggregates) {
+  const rtree::ObjectRef ref =
+      store_.Append(MakeLineObject(1, {{0.0, 0.0}, {0.5, 0.5}}), ctx_);
+  store_.Append(MakeLineObject(2, {{0.25, 0.0}, {0.75, 0.5}}), ctx_);
+  buffer_.FlushAll();
+  const storage::PageMeta meta = disk_.PeekMeta(ref.page);
+  EXPECT_EQ(meta.type, storage::PageType::kObject);
+  EXPECT_EQ(meta.entry_count, 2);
+  EXPECT_EQ(meta.mbr, Rect(0, 0, 0.75, 0.5));
+  EXPECT_GT(meta.sum_entry_area, 0.0);
+  EXPECT_GT(meta.entry_overlap, 0.0);
+}
+
+TEST_F(ObjectStoreTest, PointRefinement) {
+  const rtree::ObjectRef ref =
+      store_.Append(MakePointObject(1, 0.5, 0.5), ctx_);
+  EXPECT_TRUE(store_.RefineWindow(ref, Rect(0.4, 0.4, 0.6, 0.6), ctx_));
+  EXPECT_FALSE(store_.RefineWindow(ref, Rect(0.6, 0.6, 0.7, 0.7), ctx_));
+}
+
+TEST_F(ObjectStoreTest, LineRefinementIsExact) {
+  // Diagonal line; its MBR covers the whole square but the geometry only
+  // passes through the diagonal strip.
+  const rtree::ObjectRef ref =
+      store_.Append(MakeLineObject(1, {{0.0, 0.0}, {1.0, 1.0}}), ctx_);
+  EXPECT_TRUE(store_.RefineWindow(ref, Rect(0.45, 0.45, 0.55, 0.55), ctx_));
+  // Window inside the MBR but away from the diagonal: the filter step would
+  // accept it, the refinement must reject it.
+  EXPECT_FALSE(store_.RefineWindow(ref, Rect(0.8, 0.0, 0.95, 0.15), ctx_));
+}
+
+TEST(GeometryIntersectTest, SegmentCrossingWindowWithoutVertexInside) {
+  const ExactObject line = MakeLineObject(1, {{0.0, 0.5}, {1.0, 0.5}});
+  // Both vertices outside; the segment passes through the window.
+  EXPECT_TRUE(ObjectStore::GeometryIntersectsWindow(
+      line, Rect(0.4, 0.4, 0.6, 0.6)));
+  EXPECT_FALSE(ObjectStore::GeometryIntersectsWindow(
+      line, Rect(0.4, 0.6, 0.6, 0.8)));
+}
+
+TEST(GeometryIntersectTest, VerticalSegment) {
+  const ExactObject line = MakeLineObject(1, {{0.5, 0.0}, {0.5, 1.0}});
+  EXPECT_TRUE(ObjectStore::GeometryIntersectsWindow(
+      line, Rect(0.45, 0.2, 0.55, 0.3)));
+  EXPECT_FALSE(ObjectStore::GeometryIntersectsWindow(
+      line, Rect(0.6, 0.2, 0.7, 0.3)));
+}
+
+TEST(GeometryIntersectTest, TouchingEndpointCounts) {
+  const ExactObject line = MakeLineObject(1, {{0.0, 0.0}, {0.4, 0.4}});
+  EXPECT_TRUE(ObjectStore::GeometryIntersectsWindow(
+      line, Rect(0.4, 0.4, 0.6, 0.6)));
+}
+
+TEST(GeometryIntersectTest, EmptyVerticesFallBackToMbr) {
+  ExactObject object;
+  object.id = 1;
+  object.mbr = Rect(0, 0, 1, 1);
+  EXPECT_TRUE(ObjectStore::GeometryIntersectsWindow(
+      object, Rect(0.5, 0.5, 2, 2)));
+  EXPECT_FALSE(ObjectStore::GeometryIntersectsWindow(
+      object, Rect(1.5, 1.5, 2, 2)));
+}
+
+TEST_F(ObjectStoreTest, EncodedSize) {
+  EXPECT_EQ(ObjectStore::EncodedSize(MakePointObject(1, 0, 0)), 44u + 16u);
+  EXPECT_EQ(
+      ObjectStore::EncodedSize(MakeLineObject(1, {{0, 0}, {1, 1}, {2, 0}})),
+      44u + 48u);
+}
+
+TEST_F(ObjectStoreTest, ReadsGoThroughTheBuffer) {
+  const rtree::ObjectRef ref =
+      store_.Append(MakePointObject(1, 0.5, 0.5), ctx_);
+  buffer_.FlushAll();
+  disk_.ResetStats();
+  // Separate read buffer simulating an experiment.
+  BufferManager read_buffer(&disk_, 8, std::make_unique<core::LruPolicy>());
+  ObjectStore reader(&disk_, &read_buffer);
+  EXPECT_TRUE(reader.Get(ref, ctx_).has_value());
+  EXPECT_EQ(disk_.stats().reads, 1u);
+  EXPECT_TRUE(reader.Get(ref, ctx_).has_value());
+  EXPECT_EQ(disk_.stats().reads, 1u) << "second read must hit the buffer";
+}
+
+}  // namespace
+}  // namespace sdb::objstore

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/buffer_manager.h"
+#include "core/policy_arc.h"
+#include "test_util.h"
+
+namespace sdb::core {
+namespace {
+
+using storage::DiskManager;
+using storage::PageId;
+using storage::PageType;
+using test::StagePage;
+using test::Touch;
+
+class ArcTest : public ::testing::Test {
+ protected:
+  ArcPolicy* MakeBuffer(size_t frames) {
+    auto owner = std::make_unique<ArcPolicy>();
+    ArcPolicy* policy = owner.get();
+    buffer_ = std::make_unique<BufferManager>(&disk_, frames,
+                                              std::move(owner));
+    return policy;
+  }
+
+  PageId Page() {
+    return StagePage(disk_, PageType::kData, 0, geom::Rect(0, 0, 1, 1));
+  }
+
+  DiskManager disk_;
+  std::unique_ptr<BufferManager> buffer_;
+};
+
+TEST_F(ArcTest, FreshPagesEnterT1) {
+  ArcPolicy* policy = MakeBuffer(4);
+  Touch(*buffer_, Page(), 1);
+  Touch(*buffer_, Page(), 2);
+  EXPECT_EQ(policy->t1_size(), 2u);
+  EXPECT_EQ(policy->t2_size(), 0u);
+}
+
+TEST_F(ArcTest, RereferenceMovesToT2) {
+  ArcPolicy* policy = MakeBuffer(4);
+  const PageId p = Page();
+  Touch(*buffer_, p, 1);
+  Touch(*buffer_, p, 2);
+  EXPECT_EQ(policy->t1_size(), 0u);
+  EXPECT_EQ(policy->t2_size(), 1u);
+}
+
+TEST_F(ArcTest, OneTimersChurnThroughT1) {
+  // A T2-resident page survives a scan of one-timers (ARC's raison d'etre).
+  MakeBuffer(3);
+  const PageId hot = Page();
+  Touch(*buffer_, hot, 1);
+  Touch(*buffer_, hot, 2);  // -> T2
+  for (int i = 0; i < 10; ++i) {
+    Touch(*buffer_, Page(), static_cast<uint64_t>(10 + i));
+  }
+  EXPECT_TRUE(buffer_->Contains(hot));
+}
+
+TEST_F(ArcTest, EvictedT1PagesBecomeB1Ghosts) {
+  // Note: with T2 empty and T1 filling the whole cache, canonical ARC
+  // evicts WITHOUT leaving a ghost (|T1| == c case); a ghost survives only
+  // while |T1| + |B1| <= c. Keep some frequency traffic in T2.
+  ArcPolicy* policy = MakeBuffer(4);
+  const PageId hot = Page();
+  Touch(*buffer_, hot, 1);
+  Touch(*buffer_, hot, 2);  // hot -> T2
+  const PageId p = Page();
+  Touch(*buffer_, p, 3);
+  Touch(*buffer_, Page(), 4);
+  Touch(*buffer_, Page(), 5);
+  Touch(*buffer_, Page(), 6);  // evicts p (T1 LRU)
+  ASSERT_FALSE(buffer_->Contains(p));
+  EXPECT_GE(policy->ghost_size(), 1u);
+}
+
+TEST_F(ArcTest, FullT1LeavesNoGhostAtTinyCache) {
+  // The |T1| == c corner of Case IV: the whole cache is one-timers, so the
+  // eviction is ghost-free.
+  ArcPolicy* policy = MakeBuffer(2);
+  Touch(*buffer_, Page(), 1);
+  Touch(*buffer_, Page(), 2);
+  Touch(*buffer_, Page(), 3);
+  EXPECT_EQ(policy->ghost_size(), 0u);
+}
+
+TEST_F(ArcTest, B1GhostHitGrowsTheRecencyTarget) {
+  ArcPolicy* policy = MakeBuffer(4);
+  const PageId hot = Page();
+  Touch(*buffer_, hot, 1);
+  Touch(*buffer_, hot, 2);     // keep T2 nonempty
+  const PageId p = Page();
+  Touch(*buffer_, p, 3);
+  Touch(*buffer_, Page(), 4);
+  Touch(*buffer_, Page(), 5);
+  Touch(*buffer_, Page(), 6);  // p -> B1
+  ASSERT_FALSE(buffer_->Contains(p));
+  const size_t before = policy->target_t1();
+  const size_t t2_before = policy->t2_size();
+  Touch(*buffer_, p, 7);       // ghost hit in B1
+  EXPECT_GT(policy->target_t1(), before);
+  EXPECT_TRUE(buffer_->Contains(p));
+  // A B1 refault is admitted directly into T2.
+  EXPECT_EQ(policy->t2_size(), t2_before + 1);
+}
+
+TEST_F(ArcTest, B2GhostHitShrinksTheRecencyTarget) {
+  ArcPolicy* policy = MakeBuffer(2);
+  const PageId p = Page();
+  // Get p into T2, then evict it into B2.
+  Touch(*buffer_, p, 1);
+  Touch(*buffer_, p, 2);       // T2
+  Touch(*buffer_, Page(), 3);  // T1 gains one
+  // Raise the target so T1 is preferred... simpler: churn until p falls out.
+  for (int i = 0; i < 6; ++i) {
+    const PageId q = Page();
+    Touch(*buffer_, q, static_cast<uint64_t>(10 + 2 * i));
+    Touch(*buffer_, q, static_cast<uint64_t>(11 + 2 * i));  // fill T2
+  }
+  ASSERT_FALSE(buffer_->Contains(p));
+  // Grow the target first so the shrink is observable.
+  const size_t grown = policy->target_t1();
+  Touch(*buffer_, p, 100);  // if p is still remembered in B2 -> shrink
+  EXPECT_LE(policy->target_t1(), grown);
+}
+
+TEST_F(ArcTest, GhostDirectoryIsBounded) {
+  ArcPolicy* policy = MakeBuffer(8);
+  for (int i = 0; i < 200; ++i) {
+    Touch(*buffer_, Page(), static_cast<uint64_t>(i + 1));
+  }
+  // |B1| + |B2| can never exceed 2c (minus residents).
+  EXPECT_LE(policy->ghost_size(), 16u);
+}
+
+TEST_F(ArcTest, AdaptsTargetUpwardUnderRecencyTraffic) {
+  // Recency-heavy traffic over a working set slightly larger than the
+  // recency share of the buffer — with some frequency traffic keeping T2
+  // alive — produces B1 hits and pushes the target p toward recency.
+  ArcPolicy* policy = MakeBuffer(6);
+  const PageId hot1 = Page(), hot2 = Page();
+  Touch(*buffer_, hot1, 1);
+  Touch(*buffer_, hot1, 2);
+  Touch(*buffer_, hot2, 3);
+  Touch(*buffer_, hot2, 4);  // T2 = {hot1, hot2}
+  std::vector<PageId> loop;
+  for (int i = 0; i < 6; ++i) loop.push_back(Page());
+  uint64_t q = 4;
+  for (int round = 0; round < 5; ++round) {
+    for (const PageId page : loop) {
+      Touch(*buffer_, page, ++q);
+    }
+  }
+  EXPECT_GT(policy->target_t1(), 0u);
+}
+
+TEST_F(ArcTest, PinnedPagesAreSkipped) {
+  MakeBuffer(3);
+  const PageId pinned_id = Page();
+  const AccessContext ctx{1};
+  PageHandle pinned = buffer_->Fetch(pinned_id, ctx);
+  for (int i = 0; i < 10; ++i) {
+    Touch(*buffer_, Page(), static_cast<uint64_t>(i + 2));
+  }
+  EXPECT_TRUE(buffer_->Contains(pinned_id));
+  pinned.Release();
+}
+
+}  // namespace
+}  // namespace sdb::core

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/buffer_manager.h"
+#include "core/policy_asb.h"
+#include "test_util.h"
+
+namespace sdb::core {
+namespace {
+
+using storage::DiskManager;
+using storage::PageId;
+using test::StageAreaPage;
+using test::Touch;
+
+/// Fixture with helpers to build an ASB buffer over pages of chosen areas.
+class AsbTest : public ::testing::Test {
+ protected:
+  /// Creates the buffer; returns the raw policy pointer for inspection.
+  AsbPolicy* MakeBuffer(size_t frames, const AsbConfig& config) {
+    auto policy_owner = std::make_unique<AsbPolicy>(config);
+    AsbPolicy* policy = policy_owner.get();
+    buffer_ =
+        std::make_unique<BufferManager>(&disk_, frames,
+                                        std::move(policy_owner));
+    return policy;
+  }
+
+  PageId Page(double area) { return StageAreaPage(disk_, area); }
+
+  void TouchAt(PageId page, uint64_t t) { Touch(*buffer_, page, t); }
+
+  DiskManager disk_;
+  std::unique_ptr<BufferManager> buffer_;
+};
+
+TEST_F(AsbTest, DefaultConfigMatchesPaper) {
+  const AsbConfig config;
+  EXPECT_EQ(config.criterion, SpatialCriterion::kArea);
+  EXPECT_DOUBLE_EQ(config.overflow_fraction, 0.20);
+  EXPECT_DOUBLE_EQ(config.initial_candidate_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(config.step_fraction, 0.01);
+}
+
+TEST_F(AsbTest, SectionCapacitiesFollowConfig) {
+  AsbConfig config;
+  config.overflow_fraction = 0.2;
+  AsbPolicy* policy = MakeBuffer(100, config);
+  EXPECT_EQ(policy->overflow_capacity(), 20u);
+  EXPECT_EQ(policy->main_capacity(), 80u);
+  EXPECT_EQ(policy->candidate_size(), 20u);  // 25% of the main section
+  EXPECT_EQ(policy->step(), 1u);             // 1% of the main section
+  EXPECT_EQ(policy->name(), "ASB");
+}
+
+TEST_F(AsbTest, TinyBufferStillHasBothSections) {
+  AsbPolicy* policy = MakeBuffer(2, AsbConfig{});
+  EXPECT_EQ(policy->overflow_capacity(), 1u);
+  EXPECT_EQ(policy->main_capacity(), 1u);
+  EXPECT_GE(policy->candidate_size(), 1u);
+}
+
+TEST_F(AsbTest, DemotionFillsOverflowFifo) {
+  AsbConfig config;
+  config.overflow_fraction = 0.4;            // 2 of 5 frames
+  config.initial_candidate_fraction = 0.2;   // candidate set = 1 -> LRU
+  config.step_fraction = 0.34;
+  AsbPolicy* policy = MakeBuffer(5, config);
+  ASSERT_EQ(policy->main_capacity(), 3u);
+
+  TouchAt(Page(1), 1);
+  TouchAt(Page(2), 2);
+  TouchAt(Page(3), 3);
+  EXPECT_EQ(policy->overflow_size(), 0u);
+  TouchAt(Page(4), 4);  // main over capacity -> one page demoted
+  EXPECT_EQ(policy->overflow_size(), 1u);
+  TouchAt(Page(5), 5);
+  EXPECT_EQ(policy->overflow_size(), 2u);
+}
+
+TEST_F(AsbTest, EvictionTakesTheOverflowFifoHead) {
+  AsbConfig config;
+  config.overflow_fraction = 0.4;
+  config.initial_candidate_fraction = 0.2;  // LRU demotion
+  config.step_fraction = 0.34;
+  MakeBuffer(5, config);
+
+  const PageId first = Page(1);
+  const PageId second = Page(2);
+  TouchAt(first, 1);
+  TouchAt(second, 2);
+  TouchAt(Page(3), 3);
+  TouchAt(Page(4), 4);  // demotes `first` (LRU)
+  TouchAt(Page(5), 5);  // demotes `second`
+  // Buffer is full; the next miss evicts the FIFO head = `first`.
+  TouchAt(Page(6), 6);
+  EXPECT_FALSE(buffer_->Contains(first));
+  EXPECT_TRUE(buffer_->Contains(second));
+}
+
+TEST_F(AsbTest, OverflowHitIsABufferHitNotADiskRead) {
+  AsbConfig config;
+  config.overflow_fraction = 0.4;
+  config.initial_candidate_fraction = 0.2;
+  config.step_fraction = 0.34;
+  AsbPolicy* policy = MakeBuffer(5, config);
+
+  const PageId first = Page(1);
+  TouchAt(first, 1);
+  TouchAt(Page(2), 2);
+  TouchAt(Page(3), 3);
+  TouchAt(Page(4), 4);  // demotes `first` into the overflow section
+  const uint64_t reads_before = disk_.stats().reads;
+  TouchAt(first, 5);  // overflow hit
+  EXPECT_EQ(disk_.stats().reads, reads_before)
+      << "an overflow page is still resident";
+  EXPECT_EQ(policy->overflow_hits(), 1u);
+  EXPECT_EQ(buffer_->stats().hits, 1u);
+}
+
+TEST_F(AsbTest, SpatialMisjudgementShrinksTheCandidateSet) {
+  // Paper case 1: more overflow pages beat the re-referenced page p under
+  // the spatial criterion than under LRU -> LRU judged better -> c shrinks.
+  AsbConfig config;
+  config.overflow_fraction = 0.4;            // overflow 2, main 3
+  config.initial_candidate_fraction = 1.0;   // demotion = pure spatial
+  config.step_fraction = 0.34;               // step 1
+  AsbPolicy* policy = MakeBuffer(5, config);
+  ASSERT_EQ(policy->candidate_size(), 3u);
+
+  const PageId big = Page(10);
+  const PageId x = Page(5);
+  const PageId y = Page(6);
+  const PageId p = Page(1);
+  const PageId z = Page(7);
+  TouchAt(big, 1);
+  TouchAt(x, 2);
+  TouchAt(y, 3);
+  TouchAt(p, 4);  // spatial demotion throws out p itself (smallest area)
+  TouchAt(z, 5);  // spatial demotion: x (area 5) joins the overflow
+  // Overflow now holds p (area 1, t4) and x (area 5, t2). Re-referencing p:
+  // x beats p spatially (1 page) but not under LRU (0 pages) -> decrease.
+  TouchAt(p, 6);
+  EXPECT_EQ(policy->candidate_size(), 2u);
+  EXPECT_EQ(policy->candidate_decreases(), 1u);
+  EXPECT_EQ(policy->candidate_increases(), 0u);
+}
+
+TEST_F(AsbTest, LruMisjudgementGrowsTheCandidateSet) {
+  // Paper case 2: fewer overflow pages beat p spatially than under LRU ->
+  // the spatial criterion would have kept p -> c grows.
+  AsbConfig config;
+  config.overflow_fraction = 0.4;
+  config.initial_candidate_fraction = 0.2;  // candidate set 1 -> LRU demotion
+  config.step_fraction = 0.34;
+  AsbPolicy* policy = MakeBuffer(5, config);
+  ASSERT_EQ(policy->candidate_size(), 1u);
+
+  const PageId big = Page(10);
+  const PageId small = Page(1);
+  TouchAt(big, 1);
+  TouchAt(small, 2);
+  TouchAt(Page(6), 3);
+  TouchAt(Page(7), 4);  // LRU demotion: big (t1) into overflow
+  TouchAt(Page(8), 5);  // LRU demotion: small (t2) into overflow
+  // Overflow: big (area 10, t1), small (area 1, t2). Re-reference big:
+  // small beats it under LRU (newer) but not spatially -> increase.
+  TouchAt(big, 6);
+  EXPECT_EQ(policy->candidate_size(), 2u);
+  EXPECT_EQ(policy->candidate_increases(), 1u);
+  EXPECT_EQ(policy->candidate_decreases(), 0u);
+}
+
+TEST_F(AsbTest, BalancedEvidenceLeavesTheCandidateSetUnchanged) {
+  // Paper case 3: equal counts -> no change. Constructed so the other
+  // overflow page is both newer AND spatially larger.
+  AsbConfig config;
+  config.overflow_fraction = 0.4;
+  config.initial_candidate_fraction = 0.2;  // LRU demotion
+  config.step_fraction = 0.34;
+  AsbPolicy* policy = MakeBuffer(5, config);
+
+  const PageId p = Page(1);   // small, demoted first
+  const PageId q = Page(9);   // big, demoted second
+  TouchAt(p, 1);
+  TouchAt(q, 2);
+  TouchAt(Page(5), 3);
+  TouchAt(Page(6), 4);  // demotes p
+  TouchAt(Page(7), 5);  // demotes q
+  // Overflow: p (area 1, t1), q (area 9, t2). Re-reference p: q beats p
+  // both spatially (1) and under LRU (1) -> unchanged.
+  TouchAt(p, 6);
+  EXPECT_EQ(policy->candidate_size(), 1u);
+  EXPECT_EQ(policy->candidate_increases(), 0u);
+  EXPECT_EQ(policy->candidate_decreases(), 0u);
+  EXPECT_EQ(policy->overflow_hits(), 1u);
+}
+
+TEST_F(AsbTest, CandidateSizeNeverDropsBelowOne) {
+  AsbConfig config;
+  config.overflow_fraction = 0.4;
+  config.initial_candidate_fraction = 1.0;  // spatial demotion, candidate 3
+  config.step_fraction = 1.0;               // huge step: 3 at once
+  AsbPolicy* policy = MakeBuffer(5, config);
+  ASSERT_EQ(policy->candidate_size(), 3u);
+
+  // Same shrink scenario as above; one decrease with step 3 must clamp at 1.
+  const PageId p = Page(1);
+  TouchAt(Page(10), 1);
+  TouchAt(Page(5), 2);
+  TouchAt(Page(6), 3);
+  TouchAt(p, 4);
+  TouchAt(Page(7), 5);
+  TouchAt(p, 6);
+  EXPECT_EQ(policy->candidate_size(), 1u);
+}
+
+TEST_F(AsbTest, CandidateSizeNeverExceedsMainCapacity) {
+  AsbConfig config;
+  config.overflow_fraction = 0.4;
+  config.initial_candidate_fraction = 1.0;  // already at the maximum (3)
+  config.step_fraction = 1.0;
+  AsbPolicy* policy = MakeBuffer(5, config);
+
+  // Grow scenario: the overflow ends up holding `big` (area 2, accessed at
+  // t1) and `small` (area 1, accessed at t2). Re-referencing `big` then
+  // finds one page that beats it under LRU but none that beats it
+  // spatially -> increase, clamped at the main capacity.
+  const PageId big = Page(2);
+  const PageId small = Page(1);
+  TouchAt(big, 1);
+  TouchAt(small, 2);
+  TouchAt(Page(5), 3);
+  TouchAt(Page(6), 4);  // spatial demotion among LRU-3: small (area 1)
+  TouchAt(Page(7), 5);  // spatial demotion among LRU-3: big (area 2)
+  TouchAt(big, 6);
+  EXPECT_EQ(policy->candidate_increases(), 1u);
+  EXPECT_EQ(policy->candidate_size(), 3u);
+}
+
+TEST_F(AsbTest, PromotedPageLeavesTheFifo) {
+  AsbConfig config;
+  config.overflow_fraction = 0.4;
+  config.initial_candidate_fraction = 0.2;
+  config.step_fraction = 0.34;
+  AsbPolicy* policy = MakeBuffer(5, config);
+
+  const PageId first = Page(1);
+  const PageId second = Page(2);
+  TouchAt(first, 1);
+  TouchAt(second, 2);
+  TouchAt(Page(3), 3);
+  TouchAt(Page(4), 4);  // demotes first
+  TouchAt(Page(5), 5);  // demotes second
+  TouchAt(first, 6);    // promotes first back to main (demoting another)
+  EXPECT_EQ(policy->overflow_size(), 2u);
+  // The next eviction must take `second` (now the FIFO head), not `first`.
+  TouchAt(Page(6), 7);
+  EXPECT_TRUE(buffer_->Contains(first));
+  EXPECT_FALSE(buffer_->Contains(second));
+}
+
+TEST_F(AsbTest, MemoryIsBoundedByTheBufferItself) {
+  // Unlike LRU-K, ASB keeps no state for evicted pages: churn many pages
+  // through a small buffer and verify the overflow section stays bounded.
+  AsbConfig config;
+  AsbPolicy* policy = MakeBuffer(10, config);
+  for (int i = 0; i < 200; ++i) {
+    TouchAt(Page(1.0 + i), static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_LE(policy->overflow_size(), policy->overflow_capacity());
+  EXPECT_EQ(buffer_->resident_count(), 10u);
+}
+
+TEST_F(AsbTest, PinnedPagesAreNeverEvicted) {
+  AsbConfig config;
+  config.overflow_fraction = 0.4;
+  MakeBuffer(5, config);
+  const PageId pinned_id = Page(0.5);  // spatially the weakest page
+  const AccessContext ctx{1};
+  PageHandle pinned = buffer_->Fetch(pinned_id, ctx);
+  for (int i = 0; i < 20; ++i) {
+    TouchAt(Page(10.0 + i), static_cast<uint64_t>(i + 2));
+  }
+  EXPECT_TRUE(buffer_->Contains(pinned_id));
+  pinned.Release();
+}
+
+}  // namespace
+}  // namespace sdb::core

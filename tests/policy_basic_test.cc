@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/buffer_manager.h"
+#include "core/policy_clock.h"
+#include "core/policy_fifo.h"
+#include "core/policy_lru.h"
+#include "core/policy_lru_priority.h"
+#include "core/policy_lru_type.h"
+#include "test_util.h"
+
+namespace sdb::core {
+namespace {
+
+using storage::DiskManager;
+using storage::PageId;
+using storage::PageMeta;
+using storage::PageType;
+using test::StagePage;
+using test::Touch;
+
+// --- LRU -------------------------------------------------------------------
+
+TEST(LruPolicyTest, EvictsLeastRecentlyUsed) {
+  DiskManager disk;
+  std::vector<PageId> p;
+  for (int i = 0; i < 4; ++i) {
+    p.push_back(StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1)));
+  }
+  BufferManager buffer(&disk, 3, std::make_unique<LruPolicy>());
+  Touch(buffer, p[0], 1);
+  Touch(buffer, p[1], 2);
+  Touch(buffer, p[2], 3);
+  Touch(buffer, p[0], 4);       // p[1] is now the LRU page
+  Touch(buffer, p[3], 5);       // evicts p[1]
+  EXPECT_TRUE(buffer.Contains(p[0]));
+  EXPECT_FALSE(buffer.Contains(p[1]));
+  EXPECT_TRUE(buffer.Contains(p[2]));
+  EXPECT_TRUE(buffer.Contains(p[3]));
+}
+
+TEST(LruPolicyTest, RepeatedAccessKeepsPageResident) {
+  DiskManager disk;
+  std::vector<PageId> p;
+  for (int i = 0; i < 10; ++i) {
+    p.push_back(StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1)));
+  }
+  BufferManager buffer(&disk, 2, std::make_unique<LruPolicy>());
+  Touch(buffer, p[0], 1);
+  for (int i = 1; i < 10; ++i) {
+    Touch(buffer, p[0], static_cast<uint64_t>(2 * i));      // keep p0 hot
+    Touch(buffer, p[i], static_cast<uint64_t>(2 * i + 1));  // churn the rest
+  }
+  EXPECT_TRUE(buffer.Contains(p[0]));
+}
+
+// --- FIFO ------------------------------------------------------------------
+
+TEST(FifoPolicyTest, EvictsOldestResidentRegardlessOfAccess) {
+  DiskManager disk;
+  std::vector<PageId> p;
+  for (int i = 0; i < 4; ++i) {
+    p.push_back(StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1)));
+  }
+  BufferManager buffer(&disk, 3, std::make_unique<FifoPolicy>());
+  Touch(buffer, p[0], 1);
+  Touch(buffer, p[1], 2);
+  Touch(buffer, p[2], 3);
+  Touch(buffer, p[0], 4);  // recency must NOT save p[0] under FIFO
+  Touch(buffer, p[3], 5);  // evicts p[0], the first in
+  EXPECT_FALSE(buffer.Contains(p[0]));
+  EXPECT_TRUE(buffer.Contains(p[1]));
+}
+
+// --- CLOCK -----------------------------------------------------------------
+
+TEST(ClockPolicyTest, SecondChanceForReferencedPage) {
+  DiskManager disk;
+  std::vector<PageId> p;
+  for (int i = 0; i < 5; ++i) {
+    p.push_back(StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1)));
+  }
+  BufferManager buffer(&disk, 3, std::make_unique<ClockPolicy>());
+  Touch(buffer, p[0], 1);
+  Touch(buffer, p[1], 2);
+  Touch(buffer, p[2], 3);
+  // All bits set: this eviction sweeps once (clearing every bit) and takes
+  // frame 0 (p[0]).
+  Touch(buffer, p[3], 4);
+  EXPECT_FALSE(buffer.Contains(p[0]));
+  // p[1] gets its bit set again; the next eviction must skip it (second
+  // chance) and take p[2], whose bit is still clear.
+  Touch(buffer, p[1], 5);
+  Touch(buffer, p[4], 6);
+  EXPECT_TRUE(buffer.Contains(p[1]));
+  EXPECT_FALSE(buffer.Contains(p[2]));
+}
+
+TEST(ClockPolicyTest, SweepsAllFramesEventually) {
+  DiskManager disk;
+  std::vector<PageId> p;
+  for (int i = 0; i < 8; ++i) {
+    p.push_back(StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1)));
+  }
+  BufferManager buffer(&disk, 2, std::make_unique<ClockPolicy>());
+  for (int i = 0; i < 8; ++i) {
+    Touch(buffer, p[i], static_cast<uint64_t>(i + 1));
+  }
+  // Exactly the last two pages are resident.
+  EXPECT_TRUE(buffer.Contains(p[7]));
+  EXPECT_TRUE(buffer.Contains(p[6]));
+  EXPECT_EQ(buffer.resident_count(), 2u);
+}
+
+// --- LRU-T -----------------------------------------------------------------
+
+TEST(LruTypePolicyTest, CategoryRankOrder) {
+  EXPECT_LT(LruTypePolicy::CategoryRank(PageType::kObject),
+            LruTypePolicy::CategoryRank(PageType::kData));
+  EXPECT_LT(LruTypePolicy::CategoryRank(PageType::kData),
+            LruTypePolicy::CategoryRank(PageType::kDirectory));
+}
+
+TEST(LruTypePolicyTest, DropsObjectPagesFirst) {
+  DiskManager disk;
+  const PageId directory =
+      StagePage(disk, PageType::kDirectory, 2, geom::Rect(0, 0, 1, 1));
+  const PageId data =
+      StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1));
+  const PageId object =
+      StagePage(disk, PageType::kObject, 0, geom::Rect(0, 0, 1, 1));
+  const PageId extra =
+      StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1));
+
+  BufferManager buffer(&disk, 3, std::make_unique<LruTypePolicy>());
+  Touch(buffer, object, 1);
+  Touch(buffer, data, 2);
+  Touch(buffer, directory, 3);
+  // The object page was referenced least recently anyway, but even a recent
+  // reference must not save it from its category.
+  Touch(buffer, object, 4);
+  Touch(buffer, extra, 5);  // object page must fall first
+  EXPECT_FALSE(buffer.Contains(object));
+  EXPECT_TRUE(buffer.Contains(data));
+  EXPECT_TRUE(buffer.Contains(directory));
+}
+
+TEST(LruTypePolicyTest, DataFallsBeforeDirectory) {
+  DiskManager disk;
+  const PageId directory =
+      StagePage(disk, PageType::kDirectory, 1, geom::Rect(0, 0, 1, 1));
+  const PageId data =
+      StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1));
+  const PageId extra =
+      StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1));
+  BufferManager buffer(&disk, 2, std::make_unique<LruTypePolicy>());
+  Touch(buffer, directory, 1);
+  Touch(buffer, data, 2);
+  Touch(buffer, extra, 3);
+  EXPECT_FALSE(buffer.Contains(data));
+  EXPECT_TRUE(buffer.Contains(directory));
+}
+
+TEST(LruTypePolicyTest, LruWithinCategory) {
+  DiskManager disk;
+  std::vector<PageId> data;
+  for (int i = 0; i < 3; ++i) {
+    data.push_back(
+        StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1)));
+  }
+  BufferManager buffer(&disk, 2, std::make_unique<LruTypePolicy>());
+  Touch(buffer, data[0], 1);
+  Touch(buffer, data[1], 2);
+  Touch(buffer, data[0], 3);
+  Touch(buffer, data[2], 4);  // same category: LRU evicts data[1]
+  EXPECT_TRUE(buffer.Contains(data[0]));
+  EXPECT_FALSE(buffer.Contains(data[1]));
+}
+
+// --- LRU-P -----------------------------------------------------------------
+
+TEST(LruPriorityPolicyTest, PriorityAssignment) {
+  PageMeta meta;
+  meta.type = PageType::kObject;
+  meta.level = 0;
+  EXPECT_EQ(LruPriorityPolicy::Priority(meta), 0);
+  meta.type = PageType::kData;
+  EXPECT_EQ(LruPriorityPolicy::Priority(meta), 1);
+  meta.type = PageType::kDirectory;
+  meta.level = 1;
+  EXPECT_EQ(LruPriorityPolicy::Priority(meta), 2);
+  meta.level = 3;
+  EXPECT_EQ(LruPriorityPolicy::Priority(meta), 4);
+}
+
+TEST(LruPriorityPolicyTest, HigherTreeLevelsSurviveLonger) {
+  DiskManager disk;
+  const PageId root =
+      StagePage(disk, PageType::kDirectory, 3, geom::Rect(0, 0, 1, 1));
+  const PageId mid =
+      StagePage(disk, PageType::kDirectory, 2, geom::Rect(0, 0, 1, 1));
+  const PageId low =
+      StagePage(disk, PageType::kDirectory, 1, geom::Rect(0, 0, 1, 1));
+  const PageId leaf =
+      StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1));
+  const PageId extra1 =
+      StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1));
+  const PageId extra2 =
+      StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1));
+
+  BufferManager buffer(&disk, 4, std::make_unique<LruPriorityPolicy>());
+  Touch(buffer, root, 1);
+  Touch(buffer, mid, 2);
+  Touch(buffer, low, 3);
+  Touch(buffer, leaf, 4);
+  Touch(buffer, extra1, 5);  // evicts leaf (priority 1, LRU among those)
+  EXPECT_FALSE(buffer.Contains(leaf));
+  Touch(buffer, extra2, 6);  // evicts extra1 (the remaining priority-1 page)
+  EXPECT_FALSE(buffer.Contains(extra1));
+  EXPECT_TRUE(buffer.Contains(root));
+  EXPECT_TRUE(buffer.Contains(mid));
+  EXPECT_TRUE(buffer.Contains(low));
+}
+
+TEST(LruPriorityPolicyTest, EvictsDirectoryWhenOnlyDirectoriesRemain) {
+  DiskManager disk;
+  const PageId deep =
+      StagePage(disk, PageType::kDirectory, 3, geom::Rect(0, 0, 1, 1));
+  const PageId shallow =
+      StagePage(disk, PageType::kDirectory, 1, geom::Rect(0, 0, 1, 1));
+  const PageId extra =
+      StagePage(disk, PageType::kDirectory, 2, geom::Rect(0, 0, 1, 1));
+  BufferManager buffer(&disk, 2, std::make_unique<LruPriorityPolicy>());
+  Touch(buffer, deep, 1);
+  Touch(buffer, shallow, 2);
+  Touch(buffer, extra, 3);  // lowest level (1) goes first
+  EXPECT_FALSE(buffer.Contains(shallow));
+  EXPECT_TRUE(buffer.Contains(deep));
+}
+
+}  // namespace
+}  // namespace sdb::core

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/buffer_manager.h"
+#include "core/policy_factory.h"
+#include "test_util.h"
+
+namespace sdb::core {
+namespace {
+
+using storage::DiskManager;
+using storage::PageId;
+using storage::PageType;
+using test::StagePage;
+using test::Touch;
+
+/// The contract every replacement policy must honor, verified uniformly
+/// across all predefined specs (parameterized suite). Whatever clever
+/// structure a policy maintains internally, the buffer-facing behaviour
+/// must satisfy these invariants.
+class PolicyContractTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void StagePages(DiskManager& disk, int n) {
+    Rng rng(7);
+    for (int i = 0; i < n; ++i) {
+      const PageType type = i % 5 == 0   ? PageType::kDirectory
+                            : i % 5 == 1 ? PageType::kObject
+                                         : PageType::kData;
+      const uint8_t level =
+          type == PageType::kDirectory ? static_cast<uint8_t>(1 + i % 3) : 0;
+      const double side = 0.01 + rng.NextDouble() * 0.3;
+      pages_.push_back(StagePage(disk, type, level,
+                                 geom::Rect(0, 0, side, side),
+                                 side * side / 2, side, side * 0.1));
+    }
+  }
+
+  std::vector<PageId> pages_;
+};
+
+TEST_P(PolicyContractTest, SurvivesRandomWorkloadWithinCapacity) {
+  DiskManager disk;
+  StagePages(disk, 60);
+  BufferManager buffer(&disk, 12, CreatePolicy(GetParam()));
+  Rng rng(42);
+  for (int i = 0; i < 3000; ++i) {
+    const PageId page = pages_[rng.NextBelow(pages_.size())];
+    Touch(buffer, page, 1 + rng.NextBelow(500));
+    ASSERT_LE(buffer.resident_count(), 12u);
+    ASSERT_TRUE(buffer.Contains(page))
+        << "the page just touched must be resident";
+  }
+  // Accounting is consistent.
+  EXPECT_EQ(buffer.stats().hits + buffer.stats().misses,
+            buffer.stats().requests);
+  EXPECT_EQ(disk.stats().reads, buffer.stats().misses);
+}
+
+TEST_P(PolicyContractTest, NeverEvictsPinnedPages) {
+  DiskManager disk;
+  StagePages(disk, 40);
+  BufferManager buffer(&disk, 8, CreatePolicy(GetParam()));
+  // Pin three pages for the whole run.
+  std::vector<PageHandle> pins;
+  for (int i = 0; i < 3; ++i) {
+    pins.push_back(buffer.Fetch(pages_[i], AccessContext{1}));
+  }
+  Rng rng(11);
+  for (int i = 0; i < 1500; ++i) {
+    Touch(buffer, pages_[3 + rng.NextBelow(pages_.size() - 3)],
+          2 + rng.NextBelow(400));
+    for (int p = 0; p < 3; ++p) {
+      ASSERT_TRUE(buffer.Contains(pages_[p]))
+          << GetParam() << " evicted a pinned page";
+    }
+  }
+  pins.clear();
+}
+
+TEST_P(PolicyContractTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [this]() {
+    DiskManager disk;
+    pages_.clear();
+    StagePages(disk, 50);
+    BufferManager buffer(&disk, 10, CreatePolicy(GetParam()));
+    Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+      Touch(buffer, pages_[rng.NextBelow(pages_.size())],
+            1 + rng.NextBelow(300));
+    }
+    return disk.stats().reads;
+  };
+  const uint64_t first = run();
+  const uint64_t second = run();
+  EXPECT_EQ(first, second) << GetParam() << " is not deterministic";
+}
+
+TEST_P(PolicyContractTest, SingleFrameBufferDegeneratesGracefully) {
+  DiskManager disk;
+  StagePages(disk, 10);
+  BufferManager buffer(&disk, 1, CreatePolicy(GetParam()));
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const PageId page = pages_[rng.NextBelow(pages_.size())];
+    Touch(buffer, page, 1 + rng.NextBelow(100));
+    ASSERT_TRUE(buffer.Contains(page));
+    ASSERT_EQ(buffer.resident_count(), 1u);
+  }
+}
+
+TEST_P(PolicyContractTest, HotPageHeldUnderModestReusePressure) {
+  // Weak performance sanity: a page touched on every second access must
+  // produce a decent hit rate under ANY reasonable policy (it is in the
+  // buffer's working set by every criterion used here).
+  DiskManager disk;
+  StagePages(disk, 30);
+  BufferManager buffer(&disk, 15, CreatePolicy(GetParam()));
+  Rng rng(3);
+  const PageId hot = pages_[0];
+  for (int i = 0; i < 2000; ++i) {
+    Touch(buffer, hot, 1 + i);
+    Touch(buffer, pages_[1 + rng.NextBelow(pages_.size() - 1)],
+          1 + i);
+  }
+  EXPECT_GT(buffer.stats().HitRate(), 0.4) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyContractTest,
+    ::testing::ValuesIn(KnownPolicySpecs()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sdb::core

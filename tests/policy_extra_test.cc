@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/buffer_manager.h"
+#include "core/policy_domain.h"
+#include "core/policy_gclock.h"
+#include "core/policy_pin_levels.h"
+#include "core/policy_two_queue.h"
+#include "test_util.h"
+
+namespace sdb::core {
+namespace {
+
+using storage::DiskManager;
+using storage::PageId;
+using storage::PageType;
+using test::StagePage;
+using test::Touch;
+
+PageId DataPage(DiskManager& disk) {
+  return StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1));
+}
+
+// --- 2Q ---------------------------------------------------------------------
+
+class TwoQueueTest : public ::testing::Test {
+ protected:
+  TwoQueuePolicy* MakeBuffer(size_t frames, double a1in = 0.25,
+                             double a1out = 0.5) {
+    auto owner = std::make_unique<TwoQueuePolicy>(a1in, a1out);
+    TwoQueuePolicy* policy = owner.get();
+    buffer_ = std::make_unique<BufferManager>(&disk_, frames,
+                                              std::move(owner));
+    return policy;
+  }
+
+  DiskManager disk_;
+  std::unique_ptr<BufferManager> buffer_;
+};
+
+TEST_F(TwoQueueTest, FreshPagesEnterProbation) {
+  TwoQueuePolicy* policy = MakeBuffer(4);
+  Touch(*buffer_, DataPage(disk_), 1);
+  Touch(*buffer_, DataPage(disk_), 2);
+  EXPECT_EQ(policy->a1in_size(), 2u);
+  EXPECT_FALSE(policy->InMainQueue(0));
+}
+
+TEST_F(TwoQueueTest, OneTimersAreEvictedFirst) {
+  // A page promoted into Am (via a ghost refault) is scan-resistant:
+  // subsequent one-timers churn through A1in without displacing it.
+  MakeBuffer(4);
+  const PageId hot = DataPage(disk_);
+  Touch(*buffer_, hot, 1);
+  // Evict hot from A1in (it becomes a ghost), then refault it into Am.
+  std::vector<PageId> filler;
+  for (int i = 0; i < 4; ++i) {
+    filler.push_back(DataPage(disk_));
+    Touch(*buffer_, filler.back(), static_cast<uint64_t>(2 + i));
+  }
+  ASSERT_FALSE(buffer_->Contains(hot));
+  Touch(*buffer_, hot, 10);  // ghost hit -> Am
+  // Now churn one-timers; the Am-resident page must survive.
+  for (int i = 0; i < 6; ++i) {
+    Touch(*buffer_, DataPage(disk_), static_cast<uint64_t>(20 + i));
+  }
+  EXPECT_TRUE(buffer_->Contains(hot))
+      << "scan resistance: one-timers must not evict the re-used page";
+}
+
+TEST_F(TwoQueueTest, GhostHitPromotesToMainQueue) {
+  TwoQueuePolicy* policy = MakeBuffer(3, /*a1in=*/0.34, /*a1out=*/1.0);
+  const PageId p = DataPage(disk_);
+  Touch(*buffer_, p, 1);
+  // Push p out of A1in (capacity 1).
+  Touch(*buffer_, DataPage(disk_), 2);
+  Touch(*buffer_, DataPage(disk_), 3);
+  Touch(*buffer_, DataPage(disk_), 4);
+  ASSERT_FALSE(buffer_->Contains(p));
+  ASSERT_TRUE(policy->IsGhost(p));
+  // Refault: p is remembered and admitted into Am.
+  Touch(*buffer_, p, 5);
+  EXPECT_FALSE(policy->IsGhost(p));
+  EXPECT_TRUE(buffer_->Contains(p));
+  // And it is indeed in the main queue, immune to A1in churn.
+  Touch(*buffer_, DataPage(disk_), 6);
+  Touch(*buffer_, DataPage(disk_), 7);
+  EXPECT_TRUE(buffer_->Contains(p));
+}
+
+TEST_F(TwoQueueTest, GhostQueueIsBounded) {
+  TwoQueuePolicy* policy = MakeBuffer(4, 0.25, 0.5);
+  for (int i = 0; i < 100; ++i) {
+    Touch(*buffer_, DataPage(disk_), static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_LE(policy->ghost_size(), 2u) << "a1out capacity = 0.5 * 4 frames";
+}
+
+// --- GCLOCK -----------------------------------------------------------------
+
+class GClockTest : public ::testing::Test {
+ protected:
+  GClockPolicy* MakeBuffer(size_t frames, int init = 1, int max = 7) {
+    auto owner = std::make_unique<GClockPolicy>(init, max);
+    GClockPolicy* policy = owner.get();
+    buffer_ = std::make_unique<BufferManager>(&disk_, frames,
+                                              std::move(owner));
+    return policy;
+  }
+
+  DiskManager disk_;
+  std::unique_ptr<BufferManager> buffer_;
+};
+
+TEST_F(GClockTest, CountersTrackFrequency) {
+  GClockPolicy* policy = MakeBuffer(4);
+  const PageId p = DataPage(disk_);
+  Touch(*buffer_, p, 1);
+  EXPECT_EQ(policy->CountOf(0), 1);
+  Touch(*buffer_, p, 2);
+  Touch(*buffer_, p, 3);
+  EXPECT_EQ(policy->CountOf(0), 3);
+}
+
+TEST_F(GClockTest, CounterIsCapped) {
+  GClockPolicy* policy = MakeBuffer(2, /*init=*/1, /*max=*/3);
+  const PageId p = DataPage(disk_);
+  for (int i = 0; i < 10; ++i) {
+    Touch(*buffer_, p, static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_EQ(policy->CountOf(0), 3);
+}
+
+TEST_F(GClockTest, FrequentPageOutlivesSeveralOneTimers) {
+  // GCLOCK grants a frequently used page as many sweeps as its counter —
+  // more grace than CLOCK's single bit, but not unlimited: each one-timer
+  // eviction costs the hot page roughly two decrements in a 3-frame buffer.
+  MakeBuffer(3);
+  const PageId hot = DataPage(disk_);
+  for (int i = 0; i < 5; ++i) {
+    Touch(*buffer_, hot, static_cast<uint64_t>(i + 1));  // counter -> 5
+  }
+  for (int i = 0; i < 4; ++i) {
+    Touch(*buffer_, DataPage(disk_), static_cast<uint64_t>(100 + i));
+  }
+  EXPECT_TRUE(buffer_->Contains(hot)) << "survives the first sweeps";
+  // Sustained churn eventually drains the counter (GCLOCK is frequency-
+  // aware, not pin-forever).
+  for (int i = 0; i < 12; ++i) {
+    Touch(*buffer_, DataPage(disk_), static_cast<uint64_t>(200 + i));
+  }
+  EXPECT_FALSE(buffer_->Contains(hot));
+}
+
+// --- PIN-l ------------------------------------------------------------------
+
+TEST(PinLevelsTest, ProtectsUpperLevels) {
+  DiskManager disk;
+  const PageId root =
+      StagePage(disk, PageType::kDirectory, 2, geom::Rect(0, 0, 1, 1));
+  const PageId mid =
+      StagePage(disk, PageType::kDirectory, 1, geom::Rect(0, 0, 1, 1));
+  const PageId leaf1 = DataPage(disk);
+  const PageId leaf2 = DataPage(disk);
+
+  BufferManager buffer(&disk, 3, std::make_unique<PinLevelsPolicy>(1));
+  Touch(buffer, root, 1);
+  Touch(buffer, mid, 2);
+  Touch(buffer, leaf1, 3);
+  Touch(buffer, leaf2, 4);  // the only unprotected page is leaf1 -> evicted
+  EXPECT_FALSE(buffer.Contains(leaf1));
+  EXPECT_TRUE(buffer.Contains(root));
+  EXPECT_TRUE(buffer.Contains(mid));
+}
+
+TEST(PinLevelsTest, HigherThresholdProtectsLess) {
+  DiskManager disk;
+  const PageId root =
+      StagePage(disk, PageType::kDirectory, 2, geom::Rect(0, 0, 1, 1));
+  const PageId mid =
+      StagePage(disk, PageType::kDirectory, 1, geom::Rect(0, 0, 1, 1));
+  const PageId extra =
+      StagePage(disk, PageType::kDirectory, 1, geom::Rect(0, 0, 1, 1));
+  BufferManager buffer(&disk, 2, std::make_unique<PinLevelsPolicy>(2));
+  Touch(buffer, root, 1);
+  Touch(buffer, mid, 2);
+  Touch(buffer, extra, 3);  // level-1 pages are fair game under PIN-2
+  EXPECT_FALSE(buffer.Contains(mid));
+  EXPECT_TRUE(buffer.Contains(root));
+}
+
+TEST(PinLevelsTest, DegradesToLruWhenEverythingIsProtected) {
+  DiskManager disk;
+  std::vector<PageId> dirs;
+  for (int i = 0; i < 3; ++i) {
+    dirs.push_back(
+        StagePage(disk, PageType::kDirectory, 3, geom::Rect(0, 0, 1, 1)));
+  }
+  BufferManager buffer(&disk, 2, std::make_unique<PinLevelsPolicy>(1));
+  Touch(buffer, dirs[0], 1);
+  Touch(buffer, dirs[1], 2);
+  Touch(buffer, dirs[2], 3);  // must not abort; LRU fallback evicts dirs[0]
+  EXPECT_FALSE(buffer.Contains(dirs[0]));
+  EXPECT_TRUE(buffer.Contains(dirs[1]));
+}
+
+TEST(PinLevelsTest, NameCarriesThreshold) {
+  EXPECT_EQ(PinLevelsPolicy(1).name(), "PIN-1");
+  EXPECT_EQ(PinLevelsPolicy(3).name(), "PIN-3");
+}
+
+// --- domain separation -------------------------------------------------------
+
+TEST(DomainPolicyTest, NameCarriesQuota) {
+  EXPECT_EQ(DomainPolicy(0.1).name(), "DOM:10%");
+  EXPECT_EQ(DomainPolicy(0.25).name(), "DOM:25%");
+}
+
+TEST(DomainPolicyTest, DirectoryProtectedUnderQuota) {
+  DiskManager disk;
+  const PageId directory =
+      StagePage(disk, PageType::kDirectory, 2, geom::Rect(0, 0, 1, 1));
+  std::vector<PageId> data;
+  for (int i = 0; i < 8; ++i) data.push_back(DataPage(disk));
+
+  // Quota 25% of 4 frames = 1 directory page allowed.
+  BufferManager buffer(&disk, 4, std::make_unique<DomainPolicy>(0.25));
+  Touch(buffer, directory, 1);
+  for (int i = 0; i < 8; ++i) {
+    Touch(buffer, data[i], static_cast<uint64_t>(i + 2));
+  }
+  // The single directory page never exceeded its quota, so only data pages
+  // churned.
+  EXPECT_TRUE(buffer.Contains(directory));
+}
+
+TEST(DomainPolicyTest, DirectoryEvictedWhenOverQuota) {
+  DiskManager disk;
+  std::vector<PageId> dirs;
+  for (int i = 0; i < 3; ++i) {
+    dirs.push_back(
+        StagePage(disk, PageType::kDirectory, 1, geom::Rect(0, 0, 1, 1)));
+  }
+  const PageId data = DataPage(disk);
+  const PageId more_data = DataPage(disk);
+
+  // Quota 25% of 4 frames = 1 directory page; three directories overflow it.
+  BufferManager buffer(&disk, 4, std::make_unique<DomainPolicy>(0.25));
+  Touch(buffer, dirs[0], 1);
+  Touch(buffer, dirs[1], 2);
+  Touch(buffer, dirs[2], 3);
+  Touch(buffer, data, 4);
+  // Buffer full with 3 directories (over quota). The next miss must evict
+  // the LRU *directory*, not the data page.
+  Touch(buffer, more_data, 5);
+  EXPECT_FALSE(buffer.Contains(dirs[0]));
+  EXPECT_TRUE(buffer.Contains(data));
+}
+
+TEST(DomainPolicyTest, FallsBackAcrossDomains) {
+  DiskManager disk;
+  std::vector<PageId> dirs;
+  for (int i = 0; i < 3; ++i) {
+    dirs.push_back(
+        StagePage(disk, PageType::kDirectory, 1, geom::Rect(0, 0, 1, 1)));
+  }
+  // Quota 100%: directories never over quota; but with ONLY directories
+  // resident, the non-directory domain is empty and the fallback must still
+  // produce a victim.
+  BufferManager buffer(&disk, 2, std::make_unique<DomainPolicy>(1.0));
+  Touch(buffer, dirs[0], 1);
+  Touch(buffer, dirs[1], 2);
+  Touch(buffer, dirs[2], 3);
+  EXPECT_FALSE(buffer.Contains(dirs[0]));
+  EXPECT_TRUE(buffer.Contains(dirs[2]));
+}
+
+}  // namespace
+}  // namespace sdb::core

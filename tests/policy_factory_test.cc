@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/policy_asb.h"
+#include "core/policy_factory.h"
+#include "core/policy_lru_k.h"
+#include "core/policy_slru.h"
+#include "core/policy_spatial.h"
+
+namespace sdb::core {
+namespace {
+
+TEST(PolicyFactoryTest, CreatesSimplePolicies) {
+  for (const char* spec : {"LRU", "FIFO", "CLOCK", "LRU-T", "LRU-P"}) {
+    auto policy = CreatePolicy(spec);
+    ASSERT_NE(policy, nullptr) << spec;
+    EXPECT_EQ(policy->name(), spec);
+  }
+}
+
+TEST(PolicyFactoryTest, CreatesLruK) {
+  auto policy = CreatePolicy("LRU-2");
+  ASSERT_NE(policy, nullptr);
+  auto* lru_k = dynamic_cast<LruKPolicy*>(policy.get());
+  ASSERT_NE(lru_k, nullptr);
+  EXPECT_EQ(lru_k->k(), 2);
+  EXPECT_EQ(CreatePolicy("LRU-5")->name(), "LRU-5");
+}
+
+TEST(PolicyFactoryTest, CreatesLruKWithCorrelationPeriod) {
+  auto policy = CreatePolicy("LRU-2:T50");
+  ASSERT_NE(policy, nullptr);
+  auto* lru_k = dynamic_cast<LruKPolicy*>(policy.get());
+  ASSERT_NE(lru_k, nullptr);
+  EXPECT_EQ(lru_k->correlation_mode(), CorrelationMode::kByPeriod);
+  EXPECT_EQ(lru_k->correlation_period(), 50u);
+  EXPECT_EQ(CreatePolicy("LRU-2:Txy"), nullptr);
+  EXPECT_EQ(CreatePolicy("LRU-2:50"), nullptr);
+}
+
+TEST(PolicyFactoryTest, CreatesSpatialPolicies) {
+  for (const char* spec : {"A", "EA", "M", "EM", "EO"}) {
+    auto policy = CreatePolicy(spec);
+    ASSERT_NE(policy, nullptr) << spec;
+    EXPECT_EQ(policy->name(), spec);
+    EXPECT_NE(dynamic_cast<SpatialPolicy*>(policy.get()), nullptr);
+  }
+}
+
+TEST(PolicyFactoryTest, CreatesSlruWithDefaults) {
+  auto policy = CreatePolicy("SLRU");
+  ASSERT_NE(policy, nullptr);
+  auto* slru = dynamic_cast<SlruPolicy*>(policy.get());
+  ASSERT_NE(slru, nullptr);
+  EXPECT_EQ(slru->criterion(), SpatialCriterion::kArea);
+  EXPECT_EQ(policy->name(), "SLRU(A,25%)");
+}
+
+TEST(PolicyFactoryTest, CreatesSlruWithArguments) {
+  auto policy = CreatePolicy("SLRU:M:0.5");
+  ASSERT_NE(policy, nullptr);
+  auto* slru = dynamic_cast<SlruPolicy*>(policy.get());
+  ASSERT_NE(slru, nullptr);
+  EXPECT_EQ(slru->criterion(), SpatialCriterion::kMargin);
+  EXPECT_EQ(policy->name(), "SLRU(M,50%)");
+}
+
+TEST(PolicyFactoryTest, CreatesAsbWithDefaults) {
+  auto policy = CreatePolicy("ASB");
+  ASSERT_NE(policy, nullptr);
+  auto* asb = dynamic_cast<AsbPolicy*>(policy.get());
+  ASSERT_NE(asb, nullptr);
+  EXPECT_DOUBLE_EQ(asb->config().overflow_fraction, 0.20);
+}
+
+TEST(PolicyFactoryTest, CreatesAsbWithFullArguments) {
+  auto policy = CreatePolicy("ASB:M:0.3:0.5:0.02");
+  ASSERT_NE(policy, nullptr);
+  auto* asb = dynamic_cast<AsbPolicy*>(policy.get());
+  ASSERT_NE(asb, nullptr);
+  EXPECT_EQ(asb->config().criterion, SpatialCriterion::kMargin);
+  EXPECT_DOUBLE_EQ(asb->config().overflow_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(asb->config().initial_candidate_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(asb->config().step_fraction, 0.02);
+}
+
+TEST(PolicyFactoryTest, RejectsUnknownSpecs) {
+  EXPECT_EQ(CreatePolicy(""), nullptr);
+  EXPECT_EQ(CreatePolicy("MRU"), nullptr);
+  EXPECT_EQ(CreatePolicy("LRU-x"), nullptr);
+  EXPECT_EQ(CreatePolicy("LRU-0"), nullptr);
+  EXPECT_EQ(CreatePolicy("SLRU:XX"), nullptr);
+  EXPECT_EQ(CreatePolicy("SLRU:A:2.0"), nullptr);
+  EXPECT_EQ(CreatePolicy("SLRU:A:0.25:9"), nullptr);
+  EXPECT_EQ(CreatePolicy("ASB:QQ"), nullptr);
+  EXPECT_EQ(CreatePolicy("ASB:A:0.2:0.25:0.01:7"), nullptr);
+}
+
+TEST(PolicyFactoryTest, EveryKnownSpecIsCreatable) {
+  for (const std::string& spec : KnownPolicySpecs()) {
+    EXPECT_NE(CreatePolicy(spec), nullptr) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace sdb::core

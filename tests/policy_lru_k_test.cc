@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/buffer_manager.h"
+#include "core/policy_lru_k.h"
+#include "test_util.h"
+
+namespace sdb::core {
+namespace {
+
+using storage::DiskManager;
+using storage::PageId;
+using storage::PageType;
+using test::StagePage;
+using test::Touch;
+
+class LruKTest : public ::testing::Test {
+ protected:
+  void Stage(int n) {
+    for (int i = 0; i < n; ++i) {
+      p_.push_back(StagePage(disk_, PageType::kData, 0,
+                             geom::Rect(0, 0, 1, 1)));
+    }
+  }
+
+  DiskManager disk_;
+  std::vector<PageId> p_;
+};
+
+TEST_F(LruKTest, NameCarriesK) {
+  LruKPolicy two(2), five(5);
+  EXPECT_EQ(two.name(), "LRU-2");
+  EXPECT_EQ(five.name(), "LRU-5");
+  EXPECT_EQ(two.k(), 2);
+}
+
+TEST_F(LruKTest, PagesWithoutKthReferenceLoseToPagesWithHistory) {
+  // p0 gets two uncorrelated references; p1 only one. With a full buffer,
+  // LRU-2 must evict p1 (backward-2 distance infinite) even though p1 was
+  // referenced more recently.
+  Stage(3);
+  BufferManager buffer(&disk_, 2, std::make_unique<LruKPolicy>(2));
+  Touch(buffer, p_[0], 1);
+  Touch(buffer, p_[0], 2);  // second, uncorrelated reference
+  Touch(buffer, p_[1], 3);
+  Touch(buffer, p_[2], 4);  // victim must be p1
+  EXPECT_TRUE(buffer.Contains(p_[0]));
+  EXPECT_FALSE(buffer.Contains(p_[1]));
+}
+
+TEST_F(LruKTest, CorrelatedReferencesCollapse) {
+  // p0 is referenced twice by the SAME query -> only one uncorrelated
+  // reference on record, so p0 has no backward-2 distance and loses against
+  // p1, which has two references from different queries.
+  Stage(3);
+  BufferManager buffer(&disk_, 2, std::make_unique<LruKPolicy>(2));
+  Touch(buffer, p_[0], 1);
+  Touch(buffer, p_[0], 1);  // correlated (same query)
+  Touch(buffer, p_[1], 2);
+  Touch(buffer, p_[1], 3);  // uncorrelated
+  Touch(buffer, p_[2], 4);
+  EXPECT_FALSE(buffer.Contains(p_[0]));
+  EXPECT_TRUE(buffer.Contains(p_[1]));
+}
+
+TEST_F(LruKTest, OldestBackwardKDistanceLosesAmongFullHistories) {
+  Stage(3);
+  BufferManager buffer(&disk_, 2, std::make_unique<LruKPolicy>(2));
+  // Both pages get 2 uncorrelated references; p0's SECOND-most-recent
+  // reference (t=1) is older than p1's (t=3), so p0 is the victim, although
+  // p0's most recent reference (t=4) is newer than p1's (t=3)!
+  Touch(buffer, p_[0], 1);   // t=1
+  Touch(buffer, p_[1], 2);   // t=2
+  Touch(buffer, p_[1], 3);   // t=3 -> HIST(p1) = {3, 2}
+  Touch(buffer, p_[0], 4);   // t=4 -> HIST(p0) = {4, 1}
+  Touch(buffer, p_[2], 5);
+  EXPECT_FALSE(buffer.Contains(p_[0]));  // HIST(p0,2)=1 < HIST(p1,2)=2
+  EXPECT_TRUE(buffer.Contains(p_[1]));
+}
+
+TEST_F(LruKTest, HistorySurvivesEviction) {
+  Stage(3);
+  auto policy_owner = std::make_unique<LruKPolicy>(2);
+  LruKPolicy* policy = policy_owner.get();
+  BufferManager buffer(&disk_, 2, std::move(policy_owner));
+  Touch(buffer, p_[0], 1);
+  Touch(buffer, p_[0], 2);
+  Touch(buffer, p_[1], 3);
+  Touch(buffer, p_[2], 4);  // evicts p1 -> its history is retained
+  EXPECT_EQ(policy->retained_history_size(), 1u);
+  // Reloading p1 restores its old stamp: after this access it has TWO
+  // uncorrelated references (restored + new).
+  Touch(buffer, p_[1], 5);  // evicts p2 (only 1 reference, older HIST(.,1))
+  EXPECT_FALSE(buffer.Contains(p_[2]));
+  EXPECT_TRUE(buffer.Contains(p_[0]));
+  EXPECT_TRUE(buffer.Contains(p_[1]));
+}
+
+TEST_F(LruKTest, CurrentQueryPagesAreProtectedFromEviction) {
+  Stage(3);
+  BufferManager buffer(&disk_, 2, std::make_unique<LruKPolicy>(2));
+  Touch(buffer, p_[0], 1);
+  Touch(buffer, p_[1], 2);
+  // Query 2 just touched p1; when query 2 now faults in p2, the candidate
+  // set excludes p1 (correlated with the current access) -> p0 is evicted
+  // even though p0 and p1 both lack a backward-2 distance and p0 is older
+  // under plain LRU as well... make p0 the recent one to show exclusion:
+  Touch(buffer, p_[0], 3);  // now p0 is more recent than p1
+  const AccessContext ctx{2};  // same query as p1's last reference
+  PageHandle h = buffer.Fetch(p_[2], ctx);
+  h.Release();
+  EXPECT_TRUE(buffer.Contains(p_[1])) << "correlated page must be excluded";
+  EXPECT_FALSE(buffer.Contains(p_[0]));
+}
+
+TEST_F(LruKTest, FallsBackToLruWhenEverythingIsCorrelated) {
+  Stage(3);
+  BufferManager buffer(&disk_, 2, std::make_unique<LruKPolicy>(2));
+  Touch(buffer, p_[0], 7);
+  Touch(buffer, p_[1], 7);
+  // The same query faults in a third page; all resident pages are
+  // correlated with it, so the policy falls back to LRU and evicts p0.
+  Touch(buffer, p_[2], 7);
+  EXPECT_FALSE(buffer.Contains(p_[0]));
+  EXPECT_TRUE(buffer.Contains(p_[1]));
+  EXPECT_TRUE(buffer.Contains(p_[2]));
+}
+
+TEST_F(LruKTest, HistAccessorExposesStamps) {
+  Stage(1);
+  auto policy_owner = std::make_unique<LruKPolicy>(3);
+  LruKPolicy* policy = policy_owner.get();
+  BufferManager buffer(&disk_, 1, std::move(policy_owner));
+  Touch(buffer, p_[0], 1);
+  Touch(buffer, p_[0], 2);
+  Touch(buffer, p_[0], 3);
+  // Frame 0 holds p0 with three uncorrelated references.
+  EXPECT_GT(policy->HistOf(0, 1), policy->HistOf(0, 2));
+  EXPECT_GT(policy->HistOf(0, 2), policy->HistOf(0, 3));
+  EXPECT_GT(policy->HistOf(0, 3), 0u);
+  EXPECT_EQ(policy->HistOf(0, 4), 0u) << "beyond K is 'infinitely old'";
+}
+
+TEST_F(LruKTest, Lru1WithQueryCorrelationBehavesLikeLru) {
+  Stage(4);
+  BufferManager buffer(&disk_, 3, std::make_unique<LruKPolicy>(1));
+  Touch(buffer, p_[0], 1);
+  Touch(buffer, p_[1], 2);
+  Touch(buffer, p_[2], 3);
+  Touch(buffer, p_[0], 4);
+  Touch(buffer, p_[3], 5);  // evicts p1 like plain LRU
+  EXPECT_FALSE(buffer.Contains(p_[1]));
+  EXPECT_TRUE(buffer.Contains(p_[0]));
+}
+
+TEST_F(LruKTest, RetainedHistoryGrowsWithDistinctEvictedPages) {
+  Stage(6);
+  auto policy_owner = std::make_unique<LruKPolicy>(2);
+  LruKPolicy* policy = policy_owner.get();
+  BufferManager buffer(&disk_, 2, std::move(policy_owner));
+  for (int i = 0; i < 6; ++i) {
+    Touch(buffer, p_[i], static_cast<uint64_t>(i + 1));
+  }
+  // 4 pages were evicted, each leaving one retained record — the memory
+  // overhead the paper criticizes about LRU-K.
+  EXPECT_EQ(policy->retained_history_size(), 4u);
+}
+
+// --- correlation-period mode (O'Neil's original definition) -----------------
+
+TEST_F(LruKTest, PeriodModeCollapsesBurstsAcrossQueries) {
+  // Two references within the period are correlated even though they come
+  // from DIFFERENT queries — the opposite of the by-query default.
+  Stage(3);
+  BufferManager buffer(&disk_, 2, std::make_unique<LruKPolicy>(
+                                      2, CorrelationMode::kByPeriod, 100));
+  Touch(buffer, p_[0], 1);
+  Touch(buffer, p_[0], 2);  // different query, but within 100 ticks
+  Touch(buffer, p_[1], 3);
+  Touch(buffer, p_[1], 4);
+  // Neither page has an uncorrelated second reference, and both were
+  // touched within the last 100 ticks of the faulting access, so the
+  // policy falls back to LRU and evicts p0.
+  Touch(buffer, p_[2], 5);
+  EXPECT_FALSE(buffer.Contains(p_[0]));
+  EXPECT_TRUE(buffer.Contains(p_[1]));
+}
+
+TEST_F(LruKTest, PeriodModeDivergesFromByQueryOnSingleQueryStreams) {
+  // Everything below runs inside ONE query. By-query mode treats all of it
+  // as correlated: HISTs collapse and the victim falls back to plain LRU.
+  // Period-0 mode treats every tick as uncorrelated: full HISTs are
+  // recorded and the backward-2 distance decides — with the opposite
+  // outcome on this access pattern.
+  //   t1: p0   t2: p1   t3: p1   t4: p0   t5: p2   then fault p3.
+  //   By-query: LRU fallback evicts p1 (oldest last access, t3).
+  //   Period-0: p2 (just touched) is excluded; between p0 and p1 the
+  //   backward-2 distances decide: HIST(p0,2)=t1 < HIST(p1,2)=t2 -> p0.
+  const auto run = [this](std::unique_ptr<LruKPolicy> policy) {
+    DiskManager disk;
+    p_.clear();
+    for (int i = 0; i < 4; ++i) {
+      p_.push_back(StagePage(disk, PageType::kData, 0,
+                             geom::Rect(0, 0, 1, 1)));
+    }
+    BufferManager buffer(&disk, 3, std::move(policy));
+    Touch(buffer, p_[0], 7);
+    Touch(buffer, p_[1], 7);
+    Touch(buffer, p_[1], 7);
+    Touch(buffer, p_[0], 7);
+    Touch(buffer, p_[2], 7);
+    Touch(buffer, p_[3], 7);
+    return std::pair{buffer.Contains(p_[0]), buffer.Contains(p_[1])};
+  };
+  const auto [q_p0, q_p1] =
+      run(std::make_unique<LruKPolicy>(2, CorrelationMode::kByQuery, 0));
+  EXPECT_TRUE(q_p0) << "by-query: LRU fallback evicts p1";
+  EXPECT_FALSE(q_p1);
+  const auto [t_p0, t_p1] =
+      run(std::make_unique<LruKPolicy>(2, CorrelationMode::kByPeriod, 0));
+  EXPECT_FALSE(t_p0) << "period-0: backward-2 distance evicts p0";
+  EXPECT_TRUE(t_p1);
+}
+
+TEST_F(LruKTest, PeriodModeNameCarriesPeriod) {
+  LruKPolicy policy(2, CorrelationMode::kByPeriod, 50);
+  EXPECT_EQ(policy.name(), "LRU-2:T50");
+  EXPECT_EQ(policy.correlation_mode(), CorrelationMode::kByPeriod);
+  EXPECT_EQ(policy.correlation_period(), 50u);
+}
+
+}  // namespace
+}  // namespace sdb::core

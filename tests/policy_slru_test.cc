@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/buffer_manager.h"
+#include "core/policy_slru.h"
+#include "test_util.h"
+
+namespace sdb::core {
+namespace {
+
+using storage::DiskManager;
+using storage::PageId;
+using storage::PageType;
+using test::StageAreaPage;
+using test::Touch;
+
+TEST(SelectSpatialLruVictimTest, EmptyInputYieldsInvalid) {
+  std::vector<SpatialLruCandidate> none;
+  EXPECT_EQ(SelectSpatialLruVictim(none, 3), kInvalidFrameId);
+}
+
+TEST(SelectSpatialLruVictimTest, CandidateSetOfOneIsPlainLru) {
+  std::vector<SpatialLruCandidate> all = {
+      {0, /*last_access=*/10, /*crit=*/0.1},
+      {1, /*last_access=*/5, /*crit=*/99.0},  // LRU but spatially best
+      {2, /*last_access=*/7, /*crit=*/0.2},
+  };
+  EXPECT_EQ(SelectSpatialLruVictim(all, 1), 1u);
+}
+
+TEST(SelectSpatialLruVictimTest, FullCandidateSetIsPureSpatial) {
+  std::vector<SpatialLruCandidate> all = {
+      {0, 10, 0.5},
+      {1, 5, 99.0},
+      {2, 7, 0.2},  // smallest criterion
+  };
+  EXPECT_EQ(SelectSpatialLruVictim(all, 3), 2u);
+}
+
+TEST(SelectSpatialLruVictimTest, SpatialAppliesOnlyWithinLruCandidates) {
+  std::vector<SpatialLruCandidate> all = {
+      {0, 1, 50.0},   // oldest
+      {1, 2, 40.0},   // second oldest
+      {2, 3, 0.001},  // spatially tiny but recently used
+  };
+  // Candidates = the 2 least recently used = frames 0 and 1; among them the
+  // smaller criterion (frame 1) is the victim. Frame 2 is protected by LRU.
+  EXPECT_EQ(SelectSpatialLruVictim(all, 2), 1u);
+}
+
+TEST(SelectSpatialLruVictimTest, TieOnCriterionFallsBackToLru) {
+  std::vector<SpatialLruCandidate> all = {
+      {0, 9, 1.0},
+      {1, 4, 1.0},
+      {2, 6, 1.0},
+  };
+  EXPECT_EQ(SelectSpatialLruVictim(all, 3), 1u);
+}
+
+TEST(SelectSpatialLruVictimTest, OversizedCandidateCountIsClamped) {
+  std::vector<SpatialLruCandidate> all = {{0, 1, 2.0}, {1, 2, 1.0}};
+  EXPECT_EQ(SelectSpatialLruVictim(all, 100), 1u);
+}
+
+class SlruPolicyTest : public ::testing::Test {
+ protected:
+  DiskManager disk_;
+};
+
+TEST_F(SlruPolicyTest, NameEncodesConfiguration) {
+  EXPECT_EQ(SlruPolicy(SpatialCriterion::kArea, 0.25).name(),
+            "SLRU(A,25%)");
+  EXPECT_EQ(SlruPolicy(SpatialCriterion::kMargin, 0.5).name(),
+            "SLRU(M,50%)");
+}
+
+TEST_F(SlruPolicyTest, CandidateSizeDerivedFromFraction) {
+  auto policy_owner =
+      std::make_unique<SlruPolicy>(SpatialCriterion::kArea, 0.25);
+  SlruPolicy* policy = policy_owner.get();
+  BufferManager buffer(&disk_, 8, std::move(policy_owner));
+  EXPECT_EQ(policy->candidate_size(), 2u);
+}
+
+TEST_F(SlruPolicyTest, CandidateSizeAtLeastOne) {
+  auto policy_owner =
+      std::make_unique<SlruPolicy>(SpatialCriterion::kArea, 0.01);
+  SlruPolicy* policy = policy_owner.get();
+  BufferManager buffer(&disk_, 4, std::move(policy_owner));
+  EXPECT_EQ(policy->candidate_size(), 1u);
+}
+
+TEST_F(SlruPolicyTest, RecentSmallPageSurvivesOutsideCandidateSet) {
+  // 4 frames, candidate fraction 0.5 -> candidate set = 2 LRU pages.
+  const PageId tiny_recent = StageAreaPage(disk_, 0.01);
+  const PageId old_a = StageAreaPage(disk_, 1.0);
+  const PageId old_b = StageAreaPage(disk_, 2.0);
+  const PageId mid = StageAreaPage(disk_, 3.0);
+  const PageId incoming = StageAreaPage(disk_, 4.0);
+  BufferManager buffer(&disk_, 4, std::make_unique<SlruPolicy>(
+                                      SpatialCriterion::kArea, 0.5));
+  Touch(buffer, old_a, 1);
+  Touch(buffer, old_b, 2);
+  Touch(buffer, mid, 3);
+  Touch(buffer, tiny_recent, 4);
+  // Candidates: old_a (t1), old_b (t2). Victim: smaller area -> old_a.
+  Touch(buffer, incoming, 5);
+  EXPECT_FALSE(buffer.Contains(old_a));
+  EXPECT_TRUE(buffer.Contains(tiny_recent))
+      << "LRU pre-selection must protect recently used pages";
+  EXPECT_TRUE(buffer.Contains(old_b));
+  EXPECT_TRUE(buffer.Contains(mid));
+}
+
+TEST_F(SlruPolicyTest, FullFractionBehavesLikePureSpatial) {
+  const PageId tiny_recent = StageAreaPage(disk_, 0.01);
+  const PageId big_old = StageAreaPage(disk_, 5.0);
+  const PageId incoming = StageAreaPage(disk_, 1.0);
+  BufferManager buffer(&disk_, 2, std::make_unique<SlruPolicy>(
+                                      SpatialCriterion::kArea, 1.0));
+  Touch(buffer, big_old, 1);
+  Touch(buffer, tiny_recent, 2);
+  Touch(buffer, incoming, 3);  // full candidate set: tiny page is victim
+  EXPECT_FALSE(buffer.Contains(tiny_recent));
+  EXPECT_TRUE(buffer.Contains(big_old));
+}
+
+}  // namespace
+}  // namespace sdb::core

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/buffer_manager.h"
+#include "core/policy_spatial.h"
+#include "core/spatial_criterion.h"
+#include "test_util.h"
+
+namespace sdb::core {
+namespace {
+
+using storage::DiskManager;
+using storage::PageId;
+using storage::PageMeta;
+using storage::PageType;
+using test::StagePage;
+using test::Touch;
+
+TEST(SpatialCriterionTest, EvaluatesAllFiveCriteria) {
+  PageMeta meta;
+  meta.mbr = geom::Rect(0, 0, 2, 3);
+  meta.sum_entry_area = 4.5;
+  meta.sum_entry_margin = 7.25;
+  meta.entry_overlap = 0.125;
+  EXPECT_DOUBLE_EQ(EvaluateCriterion(SpatialCriterion::kArea, meta), 6.0);
+  EXPECT_DOUBLE_EQ(EvaluateCriterion(SpatialCriterion::kEntryArea, meta),
+                   4.5);
+  EXPECT_DOUBLE_EQ(EvaluateCriterion(SpatialCriterion::kMargin, meta), 5.0);
+  EXPECT_DOUBLE_EQ(EvaluateCriterion(SpatialCriterion::kEntryMargin, meta),
+                   7.25);
+  EXPECT_DOUBLE_EQ(EvaluateCriterion(SpatialCriterion::kEntryOverlap, meta),
+                   0.125);
+}
+
+TEST(SpatialCriterionTest, NamesAndParsing) {
+  for (SpatialCriterion crit : kAllCriteria) {
+    const auto parsed = ParseCriterion(CriterionName(crit));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, crit);
+  }
+  EXPECT_FALSE(ParseCriterion("XYZ").has_value());
+  EXPECT_FALSE(ParseCriterion("").has_value());
+}
+
+/// Fixture staging pages with distinct values for every criterion dimension.
+class SpatialPolicyTest : public ::testing::Test {
+ protected:
+  /// Page whose criterion values are: area = a, entry area = ea,
+  /// margin = 2*sqrt(a)... to keep things independent we set the header
+  /// aggregates explicitly instead of deriving them from entries.
+  PageId Stage(double area, double ea, double em, double eo) {
+    const double side = std::sqrt(area);
+    return StagePage(disk_, PageType::kData, 0, geom::Rect(0, 0, side, side),
+                     ea, em, eo);
+  }
+
+  DiskManager disk_;
+};
+
+TEST_F(SpatialPolicyTest, AreaCriterionEvictsSmallestPage) {
+  const PageId small = Stage(1.0, 0, 0, 0);
+  const PageId medium = Stage(4.0, 0, 0, 0);
+  const PageId large = Stage(9.0, 0, 0, 0);
+  const PageId next = Stage(16.0, 0, 0, 0);
+  BufferManager buffer(
+      &disk_, 3, std::make_unique<SpatialPolicy>(SpatialCriterion::kArea));
+  // Access order is deliberately the reverse of area order: the small page
+  // is the most recently used yet must still be the victim.
+  Touch(buffer, large, 1);
+  Touch(buffer, medium, 2);
+  Touch(buffer, small, 3);
+  Touch(buffer, next, 4);
+  EXPECT_FALSE(buffer.Contains(small));
+  EXPECT_TRUE(buffer.Contains(medium));
+  EXPECT_TRUE(buffer.Contains(large));
+}
+
+TEST_F(SpatialPolicyTest, EntryAreaCriterionUsesSumOfEntryAreas) {
+  // Same page MBR everywhere; only the entry-area sums differ.
+  const PageId low = Stage(1.0, 0.1, 0, 0);
+  const PageId high = Stage(1.0, 0.9, 0, 0);
+  const PageId next = Stage(1.0, 0.5, 0, 0);
+  BufferManager buffer(&disk_, 2, std::make_unique<SpatialPolicy>(
+                                      SpatialCriterion::kEntryArea));
+  Touch(buffer, high, 1);
+  Touch(buffer, low, 2);
+  Touch(buffer, next, 3);
+  EXPECT_FALSE(buffer.Contains(low));
+  EXPECT_TRUE(buffer.Contains(high));
+}
+
+TEST_F(SpatialPolicyTest, EntryMarginCriterion) {
+  const PageId low = Stage(1.0, 0, 0.2, 0);
+  const PageId high = Stage(1.0, 0, 5.0, 0);
+  const PageId next = Stage(1.0, 0, 1.0, 0);
+  BufferManager buffer(&disk_, 2, std::make_unique<SpatialPolicy>(
+                                      SpatialCriterion::kEntryMargin));
+  Touch(buffer, high, 1);
+  Touch(buffer, low, 2);
+  Touch(buffer, next, 3);
+  EXPECT_FALSE(buffer.Contains(low));
+  EXPECT_TRUE(buffer.Contains(high));
+}
+
+TEST_F(SpatialPolicyTest, EntryOverlapCriterion) {
+  const PageId low = Stage(1.0, 0, 0, 0.01);
+  const PageId high = Stage(1.0, 0, 0, 0.8);
+  const PageId next = Stage(1.0, 0, 0, 0.3);
+  BufferManager buffer(&disk_, 2, std::make_unique<SpatialPolicy>(
+                                      SpatialCriterion::kEntryOverlap));
+  Touch(buffer, high, 1);
+  Touch(buffer, low, 2);
+  Touch(buffer, next, 3);
+  EXPECT_FALSE(buffer.Contains(low));
+  EXPECT_TRUE(buffer.Contains(high));
+}
+
+TEST_F(SpatialPolicyTest, MarginCriterionPrefersLongBoundaries) {
+  // A thin, wide page has a larger margin than a compact page of equal
+  // area: margin keeps the thin page.
+  const PageId compact =
+      StagePage(disk_, PageType::kData, 0, geom::Rect(0, 0, 1, 1));
+  const PageId thin =
+      StagePage(disk_, PageType::kData, 0, geom::Rect(0, 0, 100, 0.01));
+  const PageId next =
+      StagePage(disk_, PageType::kData, 0, geom::Rect(0, 0, 2, 2));
+  BufferManager buffer(
+      &disk_, 2, std::make_unique<SpatialPolicy>(SpatialCriterion::kMargin));
+  Touch(buffer, thin, 1);
+  Touch(buffer, compact, 2);
+  Touch(buffer, next, 3);
+  EXPECT_FALSE(buffer.Contains(compact));  // margin 2 < 100.01
+  EXPECT_TRUE(buffer.Contains(thin));
+}
+
+TEST_F(SpatialPolicyTest, TieBrokenByLru) {
+  const PageId a = Stage(1.0, 0, 0, 0);
+  const PageId b = Stage(1.0, 0, 0, 0);
+  const PageId next = Stage(1.0, 0, 0, 0);
+  BufferManager buffer(
+      &disk_, 2, std::make_unique<SpatialPolicy>(SpatialCriterion::kArea));
+  Touch(buffer, a, 1);
+  Touch(buffer, b, 2);
+  Touch(buffer, a, 3);      // b is now least recently used
+  Touch(buffer, next, 4);   // equal areas -> LRU tie-break evicts b
+  EXPECT_TRUE(buffer.Contains(a));
+  EXPECT_FALSE(buffer.Contains(b));
+}
+
+TEST_F(SpatialPolicyTest, RecomputedCriterionIsLive) {
+  // A page whose header is modified while resident must be re-ranked with
+  // its *current* value, not the value at load time.
+  const PageId shrinker = Stage(100.0, 0, 0, 0);
+  const PageId stable = Stage(4.0, 0, 0, 0);
+  const PageId next = Stage(9.0, 0, 0, 0);
+  BufferManager buffer(
+      &disk_, 2, std::make_unique<SpatialPolicy>(SpatialCriterion::kArea));
+  {
+    const AccessContext ctx{1};
+    PageHandle handle = buffer.Fetch(shrinker, ctx);
+    geom::EntryAggregates agg;
+    agg.mbr = geom::Rect(0, 0, 0.1, 0.1);  // area collapses to 0.01
+    handle.header().set_aggregates(agg);
+    handle.MarkDirty();
+  }
+  Touch(buffer, stable, 2);
+  Touch(buffer, next, 3);  // shrinker now has the smallest area -> evicted
+  EXPECT_FALSE(buffer.Contains(shrinker));
+  EXPECT_TRUE(buffer.Contains(stable));
+}
+
+TEST_F(SpatialPolicyTest, NamesMatchPaper) {
+  EXPECT_EQ(SpatialPolicy(SpatialCriterion::kArea).name(), "A");
+  EXPECT_EQ(SpatialPolicy(SpatialCriterion::kEntryArea).name(), "EA");
+  EXPECT_EQ(SpatialPolicy(SpatialCriterion::kMargin).name(), "M");
+  EXPECT_EQ(SpatialPolicy(SpatialCriterion::kEntryMargin).name(), "EM");
+  EXPECT_EQ(SpatialPolicy(SpatialCriterion::kEntryOverlap).name(), "EO");
+}
+
+}  // namespace
+}  // namespace sdb::core

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/policy_factory.h"
+#include "core/policy_lru.h"
+#include "quadtree/quadtree.h"
+#include "test_util.h"
+
+namespace sdb::quadtree {
+namespace {
+
+using core::AccessContext;
+using core::BufferManager;
+using geom::Point;
+using geom::Rect;
+using storage::DiskManager;
+
+struct Fixture {
+  explicit Fixture(const QuadTreeConfig& config = QuadTreeConfig{})
+      : buffer(&disk, 4096, std::make_unique<core::LruPolicy>()),
+        tree(&disk, &buffer, config) {}
+
+  DiskManager disk;
+  BufferManager buffer;
+  QuadTree tree;
+  AccessContext ctx{1};
+};
+
+std::vector<std::pair<Point, uint64_t>> RandomPoints(size_t n,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Point, uint64_t>> points;
+  for (size_t i = 0; i < n; ++i) {
+    points.emplace_back(Point{rng.NextDouble(), rng.NextDouble()}, i + 1);
+  }
+  return points;
+}
+
+std::set<uint64_t> BruteForce(
+    const std::vector<std::pair<Point, uint64_t>>& points,
+    const Rect& window) {
+  std::set<uint64_t> ids;
+  for (const auto& [p, id] : points) {
+    if (window.Contains(p)) ids.insert(id);
+  }
+  return ids;
+}
+
+std::set<uint64_t> Ids(const std::vector<QuadPoint>& points) {
+  std::set<uint64_t> ids;
+  for (const QuadPoint& p : points) ids.insert(p.id);
+  return ids;
+}
+
+TEST(QuadTreeTest, EmptyTree) {
+  Fixture f;
+  EXPECT_EQ(f.tree.size(), 0u);
+  EXPECT_TRUE(f.tree.WindowQuery(Rect(0, 0, 1, 1), f.ctx).empty());
+  EXPECT_EQ(f.tree.Validate(), "");
+}
+
+TEST(QuadTreeTest, SinglePoint) {
+  Fixture f;
+  f.tree.Insert({0.3, 0.7}, 5, f.ctx);
+  EXPECT_EQ(f.tree.size(), 1u);
+  EXPECT_EQ(f.tree.Validate(), "");
+  const auto hits = f.tree.WindowQuery(Rect(0.25, 0.65, 0.35, 0.75), f.ctx);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 5u);
+  EXPECT_TRUE(f.tree.WindowQuery(Rect(0.8, 0.8, 0.9, 0.9), f.ctx).empty());
+}
+
+TEST(QuadTreeTest, SplitsWhenBucketOverflows) {
+  QuadTreeConfig config;
+  config.bucket_capacity = 4;
+  Fixture f(config);
+  const auto points = RandomPoints(100, 3);
+  for (const auto& [p, id] : points) f.tree.Insert(p, id, f.ctx);
+  EXPECT_EQ(f.tree.Validate(), "");
+  const QuadTreeStats stats = f.tree.ComputeStats();
+  EXPECT_GT(stats.directory_pages, 0u);
+  EXPECT_EQ(stats.point_count, 100u);
+}
+
+class QuadTreePropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, size_t, uint32_t>> {};
+
+TEST_P(QuadTreePropertyTest, WindowQueriesMatchBruteForce) {
+  const auto [seed, count, bucket] = GetParam();
+  QuadTreeConfig config;
+  config.bucket_capacity = bucket;
+  Fixture f(config);
+  const auto points = RandomPoints(count, seed);
+  for (const auto& [p, id] : points) f.tree.Insert(p, id, f.ctx);
+  ASSERT_EQ(f.tree.Validate(), "");
+  Rng rng(seed ^ 0x77);
+  for (int q = 0; q < 40; ++q) {
+    const Rect window = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.3);
+    EXPECT_EQ(Ids(f.tree.WindowQuery(window, f.ctx)),
+              BruteForce(points, window));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuadTreePropertyTest,
+                         ::testing::Values(std::tuple{1ull, size_t{300}, 4u},
+                                           std::tuple{2ull, size_t{1000}, 8u},
+                                           std::tuple{3ull, size_t{5000},
+                                                      64u}));
+
+TEST(QuadTreeTest, DuplicatePositionsChainAtMaxDepth) {
+  QuadTreeConfig config;
+  config.bucket_capacity = 4;
+  config.max_depth = 3;
+  Fixture f(config);
+  for (uint64_t id = 1; id <= 50; ++id) {
+    f.tree.Insert({0.51, 0.51}, id, f.ctx);
+  }
+  EXPECT_EQ(f.tree.size(), 50u);
+  EXPECT_EQ(f.tree.Validate(), "");
+  const auto hits = f.tree.WindowQuery(Rect(0.5, 0.5, 0.52, 0.52), f.ctx);
+  EXPECT_EQ(hits.size(), 50u);
+  const QuadTreeStats stats = f.tree.ComputeStats();
+  EXPECT_LE(stats.max_depth_used, 3u);
+}
+
+TEST(QuadTreeTest, DeleteRemovesExactRecord) {
+  Fixture f;
+  auto points = RandomPoints(800, 9);
+  for (const auto& [p, id] : points) f.tree.Insert(p, id, f.ctx);
+  EXPECT_TRUE(f.tree.Delete(points[300].first, points[300].second, f.ctx));
+  EXPECT_FALSE(f.tree.Delete(points[300].first, points[300].second, f.ctx));
+  EXPECT_EQ(f.tree.size(), 799u);
+  EXPECT_EQ(f.tree.Validate(), "");
+  points.erase(points.begin() + 300);
+  Rng rng(2);
+  for (int q = 0; q < 20; ++q) {
+    const Rect window = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.3);
+    EXPECT_EQ(Ids(f.tree.WindowQuery(window, f.ctx)),
+              BruteForce(points, window));
+  }
+}
+
+TEST(QuadTreeTest, DeleteFromOverflowChain) {
+  QuadTreeConfig config;
+  config.bucket_capacity = 4;
+  config.max_depth = 2;
+  Fixture f(config);
+  for (uint64_t id = 1; id <= 30; ++id) {
+    f.tree.Insert({0.9, 0.9}, id, f.ctx);
+  }
+  EXPECT_TRUE(f.tree.Delete({0.9, 0.9}, 25, f.ctx));
+  EXPECT_EQ(f.tree.size(), 29u);
+  EXPECT_EQ(f.tree.Validate(), "");
+  EXPECT_FALSE(
+      Ids(f.tree.WindowQuery(Rect(0.89, 0.89, 0.91, 0.91), f.ctx))
+          .contains(25));
+}
+
+TEST(QuadTreeTest, PersistAndReopen) {
+  DiskManager disk;
+  storage::PageId meta;
+  const auto points = RandomPoints(2000, 21);
+  {
+    BufferManager buffer(&disk, 4096, std::make_unique<core::LruPolicy>());
+    QuadTree tree(&disk, &buffer);
+    for (const auto& [p, id] : points) {
+      tree.Insert(p, id, AccessContext{1});
+    }
+    tree.PersistMeta();
+    buffer.FlushAll();
+    meta = tree.meta_page();
+  }
+  BufferManager fresh(&disk, 64, std::make_unique<core::LruPolicy>());
+  const QuadTree reopened = QuadTree::Open(&disk, &fresh, meta);
+  EXPECT_EQ(reopened.size(), 2000u);
+  EXPECT_EQ(reopened.Validate(), "");
+  Rng rng(8);
+  for (int q = 0; q < 15; ++q) {
+    const Rect window = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.25);
+    EXPECT_EQ(Ids(reopened.WindowQuery(window, AccessContext{2})),
+              BruteForce(points, window));
+  }
+}
+
+TEST(QuadTreeTest, PagesCarryCellMbrsForThePolicies) {
+  // The quadtree's defining property for spatial replacement: page MBR =
+  // quadrant cell, so dense regions have geometrically smaller pages.
+  DiskManager disk;
+  storage::PageId meta;
+  {
+    BufferManager buffer(&disk, 4096, std::make_unique<core::LruPolicy>());
+    QuadTreeConfig config;
+    config.bucket_capacity = 8;
+    QuadTree tree(&disk, &buffer, config);
+    Rng rng(5);
+    uint64_t id = 0;
+    // Dense cluster + sparse background.
+    for (int i = 0; i < 800; ++i) {
+      tree.Insert({0.5 + rng.NextDouble() * 0.01,
+                   0.5 + rng.NextDouble() * 0.01},
+                  ++id, AccessContext{1});
+    }
+    for (int i = 0; i < 50; ++i) {
+      tree.Insert({rng.NextDouble(), rng.NextDouble()}, ++id,
+                  AccessContext{1});
+    }
+    tree.PersistMeta();
+    buffer.FlushAll();
+    meta = tree.meta_page();
+  }
+  double min_area = 1.0, max_area = 0.0;
+  for (storage::PageId id = 0; id < disk.page_count(); ++id) {
+    const storage::PageMeta page_meta = disk.PeekMeta(id);
+    if (page_meta.type != storage::PageType::kData) continue;
+    const double area = page_meta.mbr.Area();
+    min_area = std::min(min_area, area);
+    max_area = std::max(max_area, area);
+  }
+  EXPECT_LT(min_area, max_area / 100)
+      << "hot-cluster cells must be much smaller than background cells";
+
+  // A spatial policy runs on the quadtree and returns correct results.
+  BufferManager spatial_buffer(&disk, 12, core::CreatePolicy("A"));
+  const QuadTree tree = QuadTree::Open(&disk, &spatial_buffer, meta);
+  EXPECT_GE(tree.WindowQuery(Rect(0.5, 0.5, 0.512, 0.512),
+                             AccessContext{3})
+                .size(),
+            800u);
+}
+
+TEST(QuadTreeTest, QueryResultsAreInvariantUnderThePolicy) {
+  DiskManager disk;
+  storage::PageId meta;
+  const auto points = RandomPoints(3000, 61);
+  {
+    BufferManager buffer(&disk, 4096, std::make_unique<core::LruPolicy>());
+    QuadTree tree(&disk, &buffer);
+    for (const auto& [p, id] : points) tree.Insert(p, id, AccessContext{1});
+    tree.PersistMeta();
+    buffer.FlushAll();
+    meta = tree.meta_page();
+  }
+  Rng rng(6);
+  std::vector<Rect> windows;
+  for (int q = 0; q < 10; ++q) {
+    windows.push_back(test::RandomRect(rng, Rect(0, 0, 1, 1), 0.2));
+  }
+  std::set<uint64_t> reference;
+  for (const char* policy : {"LRU", "LRU-2", "A", "ASB", "2Q", "GCLOCK"}) {
+    BufferManager buffer(&disk, 16, core::CreatePolicy(policy));
+    const QuadTree tree = QuadTree::Open(&disk, &buffer, meta);
+    std::set<uint64_t> found;
+    uint64_t query_id = 0;
+    for (const Rect& window : windows) {
+      for (const QuadPoint& p :
+           tree.WindowQuery(window, AccessContext{++query_id})) {
+        found.insert(p.id);
+      }
+    }
+    if (reference.empty()) reference = found;
+    EXPECT_EQ(found, reference) << policy;
+  }
+}
+
+TEST(QuadTreeDeathTest, RejectsPointsOutsideTheUnitSquare) {
+  Fixture f;
+  EXPECT_DEATH(f.tree.Insert({1.5, 0.5}, 1, f.ctx), "unit square");
+}
+
+}  // namespace
+}  // namespace sdb::quadtree

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/policy_lru.h"
+#include "rtree/rtree.h"
+#include "test_util.h"
+
+namespace sdb::rtree {
+namespace {
+
+using core::AccessContext;
+using core::BufferManager;
+using geom::Point;
+using geom::Rect;
+using storage::DiskManager;
+
+Entry MakeEntry(uint64_t id, const Rect& rect) {
+  Entry e;
+  e.id = id;
+  e.rect = rect;
+  return e;
+}
+
+/// Ids of all brute-force matches.
+std::set<uint64_t> BruteForceWindow(const std::vector<Entry>& entries,
+                                    const Rect& window) {
+  std::set<uint64_t> ids;
+  for (const Entry& e : entries) {
+    if (e.rect.Intersects(window)) ids.insert(e.id);
+  }
+  return ids;
+}
+
+std::set<uint64_t> Ids(const std::vector<Entry>& entries) {
+  std::set<uint64_t> ids;
+  for (const Entry& e : entries) ids.insert(e.id);
+  return ids;
+}
+
+class RTreeTest : public ::testing::Test {
+ protected:
+  RTreeTest()
+      : buffer_(&disk_, 4096, std::make_unique<core::LruPolicy>()),
+        tree_(&disk_, &buffer_) {}
+
+  void InsertRandom(size_t n, uint64_t seed, double max_extent = 0.01) {
+    Rng rng(seed);
+    const Rect space(0, 0, 1, 1);
+    for (size_t i = 0; i < n; ++i) {
+      const Entry e =
+          MakeEntry(all_.size() + 1, test::RandomRect(rng, space, max_extent));
+      tree_.Insert(e, ctx_);
+      all_.push_back(e);
+    }
+  }
+
+  DiskManager disk_;
+  BufferManager buffer_;
+  RTree tree_;
+  AccessContext ctx_{1};
+  std::vector<Entry> all_;
+};
+
+TEST_F(RTreeTest, EmptyTree) {
+  EXPECT_EQ(tree_.size(), 0u);
+  EXPECT_EQ(tree_.height(), 1u);
+  EXPECT_TRUE(tree_.WindowQuery(Rect(0, 0, 1, 1), ctx_).empty());
+  EXPECT_EQ(tree_.Validate(), "");
+}
+
+TEST_F(RTreeTest, SingleInsertIsFindable) {
+  const Entry e = MakeEntry(7, Rect(0.1, 0.1, 0.2, 0.2));
+  tree_.Insert(e, ctx_);
+  EXPECT_EQ(tree_.size(), 1u);
+  const auto hits = tree_.PointQuery(Point{0.15, 0.15}, ctx_);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], e);
+  EXPECT_TRUE(tree_.PointQuery(Point{0.5, 0.5}, ctx_).empty());
+}
+
+TEST_F(RTreeTest, GrowsBeyondOneNodeAndStaysValid) {
+  InsertRandom(500, 11);
+  EXPECT_GT(tree_.height(), 1u);
+  EXPECT_EQ(tree_.size(), 500u);
+  EXPECT_EQ(tree_.Validate(), "");
+}
+
+TEST_F(RTreeTest, WindowQueriesMatchBruteForce) {
+  InsertRandom(2000, 22);
+  Rng rng(99);
+  const Rect space(0, 0, 1, 1);
+  for (int q = 0; q < 50; ++q) {
+    const Rect window = test::RandomRect(rng, space, 0.2);
+    EXPECT_EQ(Ids(tree_.WindowQuery(window, ctx_)),
+              BruteForceWindow(all_, window))
+        << "window " << geom::ToString(window);
+  }
+}
+
+TEST_F(RTreeTest, PointQueriesMatchBruteForce) {
+  InsertRandom(1500, 33, /*max_extent=*/0.05);
+  Rng rng(7);
+  for (int q = 0; q < 100; ++q) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    EXPECT_EQ(Ids(tree_.PointQuery(p, ctx_)),
+              BruteForceWindow(all_, Rect::FromPoint(p)));
+  }
+}
+
+TEST_F(RTreeTest, EveryInsertedObjectIsRetrievable) {
+  InsertRandom(800, 44);
+  for (const Entry& e : all_) {
+    const auto hits = tree_.WindowQuery(e.rect, ctx_);
+    EXPECT_TRUE(Ids(hits).contains(e.id)) << "lost object " << e.id;
+  }
+}
+
+TEST_F(RTreeTest, StatsReflectTheTree) {
+  InsertRandom(2000, 55);
+  const TreeStats stats = tree_.ComputeStats();
+  EXPECT_EQ(stats.object_count, 2000u);
+  EXPECT_EQ(stats.height, tree_.height());
+  EXPECT_GT(stats.data_pages, 0u);
+  EXPECT_GT(stats.directory_pages, 0u);
+  EXPECT_GE(stats.avg_data_fill,
+            static_cast<double>(tree_.config().min_data_entries()));
+  EXPECT_LE(stats.avg_data_fill,
+            static_cast<double>(tree_.config().max_data_entries));
+  // Directory pages are a small share of the tree (paper: ~2.8%).
+  EXPECT_LT(stats.directory_share(), 0.2);
+}
+
+TEST_F(RTreeTest, DeleteRemovesExactlyTheEntry) {
+  InsertRandom(300, 66);
+  const Entry victim = all_[137];
+  EXPECT_TRUE(tree_.Delete(victim.id, victim.rect, ctx_));
+  EXPECT_EQ(tree_.size(), 299u);
+  EXPECT_EQ(tree_.Validate(), "");
+  EXPECT_FALSE(Ids(tree_.WindowQuery(victim.rect, ctx_)).contains(victim.id));
+  // A second delete of the same entry fails.
+  EXPECT_FALSE(tree_.Delete(victim.id, victim.rect, ctx_));
+}
+
+TEST_F(RTreeTest, DeleteWithWrongRectFails) {
+  InsertRandom(50, 77);
+  const Entry victim = all_[10];
+  EXPECT_FALSE(tree_.Delete(victim.id, Rect(0.9, 0.9, 0.95, 0.95), ctx_));
+  EXPECT_EQ(tree_.size(), 50u);
+}
+
+TEST_F(RTreeTest, MassDeletionKeepsTreeValidAndQueriesCorrect) {
+  InsertRandom(1200, 88);
+  Rng rng(3);
+  // Delete ~2/3 in random order.
+  std::vector<size_t> order(all_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBelow(i)]);
+  }
+  std::vector<Entry> remaining;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < 800) {
+      EXPECT_TRUE(tree_.Delete(all_[order[i]].id, all_[order[i]].rect, ctx_));
+    } else {
+      remaining.push_back(all_[order[i]]);
+    }
+  }
+  EXPECT_EQ(tree_.size(), remaining.size());
+  ASSERT_EQ(tree_.Validate(), "");
+  for (int q = 0; q < 30; ++q) {
+    const Rect window = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.3);
+    EXPECT_EQ(Ids(tree_.WindowQuery(window, ctx_)),
+              BruteForceWindow(remaining, window));
+  }
+}
+
+TEST_F(RTreeTest, DeleteDownToEmpty) {
+  InsertRandom(150, 99);
+  for (const Entry& e : all_) {
+    EXPECT_TRUE(tree_.Delete(e.id, e.rect, ctx_));
+  }
+  EXPECT_EQ(tree_.size(), 0u);
+  EXPECT_TRUE(tree_.WindowQuery(Rect(0, 0, 1, 1), ctx_).empty());
+  EXPECT_EQ(tree_.Validate(), "");
+}
+
+TEST_F(RTreeTest, PersistAndReopenWithFreshBuffer) {
+  InsertRandom(600, 123);
+  tree_.PersistMeta();
+  buffer_.FlushAll();
+
+  BufferManager fresh(&disk_, 64, std::make_unique<core::LruPolicy>());
+  const RTree reopened = RTree::Open(&disk_, &fresh, tree_.meta_page());
+  EXPECT_EQ(reopened.size(), 600u);
+  EXPECT_EQ(reopened.height(), tree_.height());
+  EXPECT_EQ(reopened.root(), tree_.root());
+  EXPECT_EQ(reopened.config().max_dir_entries,
+            tree_.config().max_dir_entries);
+
+  Rng rng(5);
+  for (int q = 0; q < 20; ++q) {
+    const Rect window = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.2);
+    EXPECT_EQ(Ids(reopened.WindowQuery(window, AccessContext{9})),
+              BruteForceWindow(all_, window));
+  }
+}
+
+TEST_F(RTreeTest, NearestNeighborsMatchBruteForce) {
+  InsertRandom(700, 31);
+  Rng rng(8);
+  auto rect_dist = [](const Point& p, const Rect& r) {
+    const double dx = std::max({r.xmin - p.x, 0.0, p.x - r.xmax});
+    const double dy = std::max({r.ymin - p.y, 0.0, p.y - r.ymax});
+    return dx * dx + dy * dy;
+  };
+  for (int q = 0; q < 20; ++q) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    const auto knn = tree_.NearestNeighbors(p, 5, ctx_);
+    ASSERT_EQ(knn.size(), 5u);
+    // The k-th reported distance must equal the brute-force k-th distance.
+    std::vector<double> distances;
+    for (const Entry& e : all_) distances.push_back(rect_dist(p, e.rect));
+    std::sort(distances.begin(), distances.end());
+    for (size_t i = 0; i < knn.size(); ++i) {
+      EXPECT_DOUBLE_EQ(rect_dist(p, knn[i].rect), distances[i]);
+    }
+  }
+}
+
+TEST_F(RTreeTest, DuplicateRectanglesAreSupported) {
+  const Rect r(0.4, 0.4, 0.5, 0.5);
+  for (uint64_t id = 1; id <= 100; ++id) {
+    tree_.Insert(MakeEntry(id, r), ctx_);
+  }
+  EXPECT_EQ(tree_.Validate(), "");
+  EXPECT_EQ(tree_.WindowQuery(r, ctx_).size(), 100u);
+  EXPECT_TRUE(tree_.Delete(42, r, ctx_));
+  EXPECT_EQ(tree_.WindowQuery(r, ctx_).size(), 99u);
+}
+
+TEST_F(RTreeTest, CustomFanoutIsRespected) {
+  DiskManager disk;
+  BufferManager buffer(&disk, 512, std::make_unique<core::LruPolicy>());
+  RTreeConfig config;
+  config.max_dir_entries = 8;
+  config.max_data_entries = 6;
+  RTree tree(&disk, &buffer, config);
+  Rng rng(17);
+  std::vector<Entry> entries;
+  const AccessContext ctx{1};
+  for (uint64_t id = 1; id <= 400; ++id) {
+    const Entry e =
+        MakeEntry(id, test::RandomRect(rng, Rect(0, 0, 1, 1), 0.02));
+    tree.Insert(e, ctx);
+    entries.push_back(e);
+  }
+  EXPECT_EQ(tree.Validate(), "");
+  EXPECT_GE(tree.height(), 3u) << "small fanout must produce a deep tree";
+  const Rect window(0.2, 0.2, 0.6, 0.6);
+  EXPECT_EQ(Ids(tree.WindowQuery(window, ctx)),
+            BruteForceWindow(entries, window));
+}
+
+TEST_F(RTreeTest, ObjectRefsSurviveTheTree) {
+  Entry e = MakeEntry(5, Rect(0.1, 0.1, 0.2, 0.2));
+  e.ref = ObjectRef{999, 3};
+  tree_.Insert(e, ctx_);
+  const auto hits = tree_.PointQuery(Point{0.15, 0.15}, ctx_);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].ref, (ObjectRef{999, 3}));
+}
+
+}  // namespace
+}  // namespace sdb::rtree

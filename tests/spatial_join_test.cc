@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/policy_lru.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "rtree/spatial_join.h"
+#include "test_util.h"
+
+namespace sdb::rtree {
+namespace {
+
+using core::AccessContext;
+using core::BufferManager;
+using geom::Rect;
+using storage::DiskManager;
+
+std::vector<Entry> RandomEntries(size_t n, uint64_t seed, uint64_t id_base,
+                                 double extent) {
+  Rng rng(seed);
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < n; ++i) {
+    Entry e;
+    e.id = id_base + i;
+    e.rect = test::RandomRect(rng, Rect(0, 0, 1, 1), extent);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+uint64_t BruteForcePairCount(const std::vector<Entry>& a,
+                             const std::vector<Entry>& b) {
+  uint64_t pairs = 0;
+  for (const Entry& ea : a) {
+    for (const Entry& eb : b) {
+      if (ea.rect.Intersects(eb.rect)) ++pairs;
+    }
+  }
+  return pairs;
+}
+
+struct JoinFixture {
+  JoinFixture(const std::vector<Entry>& entries, bool bulk = true)
+      : buffer(&disk, 2048, std::make_unique<core::LruPolicy>()),
+        tree(&disk, &buffer) {
+    if (bulk) {
+      BulkLoad(&tree, entries, AccessContext{});
+    } else {
+      for (const Entry& e : entries) tree.Insert(e, AccessContext{});
+    }
+  }
+  DiskManager disk;
+  BufferManager buffer;
+  RTree tree;
+};
+
+class SpatialJoinTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpatialJoinTest, CountMatchesBruteForce) {
+  const uint64_t seed = GetParam();
+  const auto left_entries = RandomEntries(800, seed, 1, 0.02);
+  const auto right_entries = RandomEntries(600, seed + 100, 10'000, 0.03);
+  JoinFixture left(left_entries);
+  JoinFixture right(right_entries);
+
+  const JoinStats stats =
+      SpatialJoinCount(left.tree, right.tree, AccessContext{1});
+  EXPECT_EQ(stats.result_pairs,
+            BruteForcePairCount(left_entries, right_entries));
+  EXPECT_GT(stats.node_pairs_visited, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialJoinTest,
+                         ::testing::Values(1, 2, 3, 42));
+
+TEST(SpatialJoinVisitTest, ReportsExactPairs) {
+  const auto left_entries = RandomEntries(200, 7, 1, 0.05);
+  const auto right_entries = RandomEntries(200, 8, 10'000, 0.05);
+  JoinFixture left(left_entries);
+  JoinFixture right(right_entries);
+
+  std::set<std::pair<uint64_t, uint64_t>> reported;
+  SpatialJoin(left.tree, right.tree, AccessContext{1},
+              [&reported](const Entry& a, const Entry& b) {
+                reported.emplace(a.id, b.id);
+              });
+  std::set<std::pair<uint64_t, uint64_t>> expected;
+  for (const Entry& a : left_entries) {
+    for (const Entry& b : right_entries) {
+      if (a.rect.Intersects(b.rect)) expected.emplace(a.id, b.id);
+    }
+  }
+  EXPECT_EQ(reported, expected);
+}
+
+TEST(SpatialJoinVisitTest, DifferentTreeHeights) {
+  // A large insert-built tree against a tiny one (height 1).
+  const auto left_entries = RandomEntries(1500, 9, 1, 0.01);
+  const auto right_entries = RandomEntries(10, 10, 10'000, 0.3);
+  JoinFixture left(left_entries, /*bulk=*/false);
+  JoinFixture right(right_entries);
+  ASSERT_GT(left.tree.height(), right.tree.height());
+
+  const JoinStats stats =
+      SpatialJoinCount(left.tree, right.tree, AccessContext{1});
+  EXPECT_EQ(stats.result_pairs,
+            BruteForcePairCount(left_entries, right_entries));
+}
+
+TEST(SpatialJoinVisitTest, SelfJoinIncludesSelfPairs) {
+  const auto entries = RandomEntries(300, 11, 1, 0.02);
+  JoinFixture fixture(entries);
+  const JoinStats stats =
+      SpatialJoinCount(fixture.tree, fixture.tree, AccessContext{1});
+  // Every entry intersects itself, so the self-join has at least n pairs.
+  EXPECT_GE(stats.result_pairs, entries.size());
+  EXPECT_EQ(stats.result_pairs, BruteForcePairCount(entries, entries));
+}
+
+TEST(SpatialJoinVisitTest, DisjointDataSetsProduceNoPairs) {
+  std::vector<Entry> left_entries, right_entries;
+  Rng rng(3);
+  for (uint64_t i = 0; i < 100; ++i) {
+    Entry e;
+    e.id = i + 1;
+    e.rect = test::RandomRect(rng, Rect(0, 0, 0.4, 1), 0.02);
+    left_entries.push_back(e);
+    Entry f;
+    f.id = 1000 + i;
+    f.rect = test::RandomRect(rng, Rect(0.6, 0, 1, 1), 0.02);
+    right_entries.push_back(f);
+  }
+  JoinFixture left(left_entries);
+  JoinFixture right(right_entries);
+  const JoinStats stats =
+      SpatialJoinCount(left.tree, right.tree, AccessContext{1});
+  EXPECT_EQ(stats.result_pairs, 0u);
+  // The synchronized traversal must prune: far fewer node pairs than the
+  // full cross product of pages.
+  const TreeStats ls = left.tree.ComputeStats();
+  const TreeStats rs = right.tree.ComputeStats();
+  EXPECT_LT(stats.node_pairs_visited,
+            static_cast<uint64_t>(ls.total_pages()) * rs.total_pages());
+}
+
+}  // namespace
+}  // namespace sdb::rtree

@@ -1,0 +1,72 @@
+#ifndef SPATIALBUFFER_TESTS_TEST_UTIL_H_
+#define SPATIALBUFFER_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/buffer_manager.h"
+#include "geom/rect.h"
+#include "rtree/node_view.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace sdb::test {
+
+/// Writes a page with the given header metadata straight to disk (bypassing
+/// any buffer), so policy tests can stage pages with controlled spatial
+/// properties. Returns the page id.
+inline storage::PageId StagePage(storage::DiskManager& disk,
+                                 storage::PageType type, uint8_t level,
+                                 const geom::Rect& mbr,
+                                 double sum_entry_area = 0.0,
+                                 double sum_entry_margin = 0.0,
+                                 double entry_overlap = 0.0) {
+  const storage::PageId id = disk.Allocate();
+  std::vector<std::byte> image(disk.page_size(), std::byte{0});
+  storage::PageHeaderView header(image.data());
+  header.set_type(type);
+  header.set_level(level);
+  header.set_entry_count(0);
+  geom::EntryAggregates agg;
+  agg.mbr = mbr;
+  agg.sum_entry_area = sum_entry_area;
+  agg.sum_entry_margin = sum_entry_margin;
+  agg.entry_overlap = entry_overlap;
+  header.set_aggregates(agg);
+  disk.Write(id, image);
+  return id;
+}
+
+/// Stages a square data page whose MBR area equals `area` (side sqrt(area)),
+/// anchored at (0, 0).
+inline storage::PageId StageAreaPage(storage::DiskManager& disk,
+                                     double area) {
+  const double side = area <= 0.0 ? 0.0 : std::sqrt(area);
+  return StagePage(disk, storage::PageType::kData, 0,
+                   geom::Rect(0, 0, side, side));
+}
+
+/// Fetches and immediately unpins a page (a plain "reference" as the
+/// replacement-policy literature uses the term).
+inline void Touch(core::BufferManager& buffer, storage::PageId page,
+                  uint64_t query_id) {
+  const core::AccessContext ctx{query_id};
+  core::PageHandle handle = buffer.Fetch(page, ctx);
+  handle.Release();
+}
+
+/// Random rectangle with center in `space` and extents up to `max_extent`.
+inline geom::Rect RandomRect(Rng& rng, const geom::Rect& space,
+                             double max_extent) {
+  const double cx = rng.Uniform(space.xmin, space.xmax);
+  const double cy = rng.Uniform(space.ymin, space.ymax);
+  const double w = rng.NextDouble() * max_extent;
+  const double h = rng.NextDouble() * max_extent;
+  return geom::Rect(cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2);
+}
+
+}  // namespace sdb::test
+
+#endif  // SPATIALBUFFER_TESTS_TEST_UTIL_H_

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/trace_analysis.h"
+#include "sim/scenario.h"
+#include "sim/trace_analysis.h"
+
+namespace sdb::sim {
+namespace {
+
+AccessTrace MakeTrace(std::vector<storage::PageId> pages) {
+  AccessTrace trace;
+  trace.name = "synthetic";
+  uint64_t q = 0;
+  for (const storage::PageId page : pages) {
+    trace.accesses.push_back({page, ++q});
+  }
+  return trace;
+}
+
+TEST(TraceAnalysisTest, EmptyTrace) {
+  const TraceProfile profile = AnalyzeTrace(MakeTrace({}));
+  EXPECT_EQ(profile.total_accesses, 0u);
+  EXPECT_EQ(profile.unique_pages, 0u);
+  EXPECT_EQ(profile.LocalityAt(8), 0.0);
+}
+
+TEST(TraceAnalysisTest, FirstTouchesAreInfinite) {
+  const TraceProfile profile = AnalyzeTrace(MakeTrace({1, 2, 3}));
+  EXPECT_EQ(profile.unique_pages, 3u);
+  for (const uint64_t d : profile.distances) {
+    EXPECT_EQ(d, UINT64_MAX);
+  }
+  EXPECT_EQ(profile.LruMisses(100), 3u) << "cold misses remain misses";
+}
+
+TEST(TraceAnalysisTest, HandComputedDistances) {
+  // Trace: A B C B A A
+  const TraceProfile profile = AnalyzeTrace(MakeTrace({1, 2, 3, 2, 1, 1}));
+  ASSERT_EQ(profile.distances.size(), 6u);
+  EXPECT_EQ(profile.distances[0], UINT64_MAX);  // A cold
+  EXPECT_EQ(profile.distances[1], UINT64_MAX);  // B cold
+  EXPECT_EQ(profile.distances[2], UINT64_MAX);  // C cold
+  EXPECT_EQ(profile.distances[3], 2u);          // B: {C} between, depth 2
+  EXPECT_EQ(profile.distances[4], 3u);          // A: {B, C} between, depth 3
+  EXPECT_EQ(profile.distances[5], 1u);          // A again: depth 1
+}
+
+TEST(TraceAnalysisTest, LruMissesMatchHandCount) {
+  // Cyclic scan of 3 pages with a 2-frame LRU: everything misses.
+  const TraceProfile cyclic =
+      AnalyzeTrace(MakeTrace({1, 2, 3, 1, 2, 3, 1, 2, 3}));
+  EXPECT_EQ(cyclic.LruMisses(2), 9u);
+  EXPECT_EQ(cyclic.LruMisses(3), 3u) << "only the cold misses at C=3";
+}
+
+TEST(TraceAnalysisTest, HistogramBucketsArePowersOfTwo) {
+  // Distances 1 and 2 and 4 land in buckets 0, 1, 2.
+  const TraceProfile profile = AnalyzeTrace(
+      MakeTrace({1, 1,                 // distance 1
+                 2, 3, 2,              // distance 2
+                 4, 5, 6, 7, 4}));     // distance 4
+  ASSERT_GE(profile.distance_histogram.size(), 3u);
+  EXPECT_EQ(profile.distance_histogram[0], 1u);
+  EXPECT_EQ(profile.distance_histogram[1], 1u);
+  EXPECT_EQ(profile.distance_histogram[2], 1u);
+}
+
+/// The core guarantee: the analytic LRU miss curve equals actual LRU
+/// replay, for real traces recorded from the query workloads.
+class MattsonConsistencyTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioOptions options;
+    options.kind = DatabaseKind::kUsLike;
+    options.build = BuildMode::kBulkLoad;
+    options.scale = 0.05;
+    scenario_ = new Scenario(BuildScenario(options));
+    workload::QuerySpec spec;
+    spec.family = workload::QueryFamily::kSimilar;
+    spec.ex = 100;
+    spec.count = 150;
+    spec.seed = 9;
+    const workload::QuerySet queries =
+        workload::MakeQuerySet(spec, scenario_->dataset, scenario_->places);
+    trace_ = new AccessTrace(RecordQueryTrace(
+        scenario_->disk.get(), scenario_->tree_meta, queries, 64));
+    profile_ = new TraceProfile(AnalyzeTrace(*trace_));
+  }
+  static void TearDownTestSuite() {
+    delete profile_;
+    delete trace_;
+    delete scenario_;
+    scenario_ = nullptr;
+    trace_ = nullptr;
+    profile_ = nullptr;
+  }
+
+  static Scenario* scenario_;
+  static AccessTrace* trace_;
+  static TraceProfile* profile_;
+};
+
+Scenario* MattsonConsistencyTest::scenario_ = nullptr;
+AccessTrace* MattsonConsistencyTest::trace_ = nullptr;
+TraceProfile* MattsonConsistencyTest::profile_ = nullptr;
+
+TEST_P(MattsonConsistencyTest, PredictedLruMissesEqualReplayedMisses) {
+  const size_t frames = GetParam();
+  const ReplayResult replayed =
+      ReplayTrace(scenario_->disk.get(), *trace_, "LRU", frames);
+  EXPECT_EQ(profile_->LruMisses(frames), replayed.disk_reads)
+      << "Mattson stack distances must predict LRU exactly";
+}
+
+INSTANTIATE_TEST_SUITE_P(BufferSizes, MattsonConsistencyTest,
+                         ::testing::Values(4, 16, 48, 128, 512));
+
+TEST(RecommendBufferSizeTest, ExactOnHandTraces) {
+  // A B A B ... : distance 2 re-references; 2 cold misses.
+  std::vector<storage::PageId> pattern;
+  for (int i = 0; i < 10; ++i) {
+    pattern.push_back(1);
+    pattern.push_back(2);
+  }
+  const TraceProfile profile = AnalyzeTrace(MakeTrace(pattern));
+  // 18 of 20 accesses can hit with 2 frames; none with 1.
+  EXPECT_EQ(RecommendBufferSize(profile, 0.9), 2u);
+  EXPECT_EQ(RecommendBufferSize(profile, 0.5), 2u);
+  // 95% is unreachable: 2 compulsory misses of 20 cap the rate at 90%.
+  EXPECT_FALSE(RecommendBufferSize(profile, 0.95).has_value());
+  // Target 0 is satisfied by any buffer.
+  EXPECT_EQ(RecommendBufferSize(profile, 0.0), 1u);
+}
+
+TEST(RecommendBufferSizeTest, EmptyTraceHasNoRecommendation) {
+  const TraceProfile profile = AnalyzeTrace(MakeTrace({}));
+  EXPECT_FALSE(RecommendBufferSize(profile, 0.5).has_value());
+}
+
+TEST_F(MattsonConsistencyTest, RecommendationIsTightOnRealTraces) {
+  // The recommended size must reach the target and (size - 1) must not.
+  for (const double target : {0.2, 0.3, 0.4}) {
+    const auto frames = RecommendBufferSize(*profile_, target);
+    ASSERT_TRUE(frames.has_value()) << target;
+    EXPECT_GE(profile_->LocalityAt(*frames), target);
+    if (*frames > 1) {
+      EXPECT_LT(profile_->LocalityAt(*frames - 1), target);
+    }
+  }
+}
+
+TEST_F(MattsonConsistencyTest, LocalityIsMonotoneInBufferSize) {
+  double previous = -1.0;
+  for (const size_t frames : {2, 8, 32, 128, 1024}) {
+    const double locality = profile_->LocalityAt(frames);
+    EXPECT_GE(locality, previous);
+    EXPECT_LE(locality, 1.0);
+    previous = locality;
+  }
+}
+
+}  // namespace
+}  // namespace sdb::sim

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/data_generator.h"
+#include "workload/query_generator.h"
+#include "workload/session_generator.h"
+
+namespace sdb::workload {
+namespace {
+
+using geom::Rect;
+
+MapParams SmallUs() {
+  MapParams params = UsLikeParams(/*scale=*/0.05);  // 10k objects
+  return params;
+}
+
+MapParams SmallWorld() {
+  MapParams params = WorldLikeParams(/*scale=*/0.05);  // 6k objects
+  return params;
+}
+
+TEST(DataGeneratorTest, ProducesRequestedObjectCount) {
+  const GeneratedMap map = GenerateMap(SmallUs());
+  EXPECT_EQ(map.dataset.objects.size(), 10'000u);
+  EXPECT_EQ(map.dataset.name, "us-like");
+  EXPECT_FALSE(map.places.places.empty());
+}
+
+TEST(DataGeneratorTest, DeterministicInSeed) {
+  const GeneratedMap a = GenerateMap(SmallUs());
+  const GeneratedMap b = GenerateMap(SmallUs());
+  ASSERT_EQ(a.dataset.objects.size(), b.dataset.objects.size());
+  for (size_t i = 0; i < a.dataset.objects.size(); i += 997) {
+    EXPECT_EQ(a.dataset.objects[i].rect, b.dataset.objects[i].rect);
+  }
+  MapParams other = SmallUs();
+  other.seed += 1;
+  const GeneratedMap c = GenerateMap(other);
+  bool any_difference = false;
+  for (size_t i = 0; i < a.dataset.objects.size(); ++i) {
+    if (!(a.dataset.objects[i].rect == c.dataset.objects[i].rect)) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DataGeneratorTest, ObjectsStayWithinLand) {
+  const MapParams params = SmallUs();
+  const GeneratedMap map = GenerateMap(params);
+  Rect land = params.land[0];
+  // Extended objects wander up to ~half an extent beyond their anchor.
+  land.xmin -= 0.05;
+  land.ymin -= 0.05;
+  land.xmax += 0.05;
+  land.ymax += 0.05;
+  for (const SpatialObject& object : map.dataset.objects) {
+    EXPECT_TRUE(land.Contains(object.rect))
+        << geom::ToString(object.rect);
+  }
+}
+
+TEST(DataGeneratorTest, UsCoversMostSpaceWorldDoesNot) {
+  const GeneratedMap us = GenerateMap(SmallUs());
+  const GeneratedMap world = GenerateMap(SmallWorld());
+  const double us_coverage = CoverageFraction(us.dataset);
+  const double world_coverage = CoverageFraction(world.dataset);
+  EXPECT_GT(us_coverage, 0.55)
+      << "the mainland must cover most of the space";
+  EXPECT_LT(world_coverage, 0.45) << "the world map must be mostly water";
+  EXPECT_GT(us_coverage, world_coverage + 0.2);
+}
+
+TEST(DataGeneratorTest, MixOfPointAndExtendedObjects) {
+  const GeneratedMap map = GenerateMap(SmallUs());
+  size_t points = 0, extended = 0;
+  for (const SpatialObject& object : map.dataset.objects) {
+    if (object.vertices.size() == 1) {
+      ++points;
+      EXPECT_EQ(object.rect.Area(), 0.0);
+    } else {
+      ++extended;
+      EXPECT_GE(object.vertices.size(), 3u);
+    }
+  }
+  EXPECT_GT(points, map.dataset.objects.size() / 4);
+  EXPECT_GT(extended, map.dataset.objects.size() / 4);
+}
+
+TEST(DataGeneratorTest, PlacePopulationsAreSkewed) {
+  const GeneratedMap map = GenerateMap(SmallUs());
+  std::vector<double> pops;
+  for (const Place& place : map.places.places) {
+    EXPECT_GT(place.population, 0.0);
+    pops.push_back(place.population);
+  }
+  std::sort(pops.begin(), pops.end(), std::greater<>());
+  const double total = TotalPopulation(map.places);
+  // Zipf-like skew: the top 1% of places holds a disproportionate share.
+  double top_share = 0.0;
+  for (size_t i = 0; i < pops.size() / 100; ++i) top_share += pops[i];
+  EXPECT_GT(top_share / total, 0.10);
+}
+
+TEST(DataGeneratorTest, DatasetMbrWithinDataSpace) {
+  const GeneratedMap map = GenerateMap(SmallUs());
+  EXPECT_TRUE(map.dataset.data_space.Contains(DatasetMbr(map.dataset)));
+}
+
+// --- query sets -------------------------------------------------------------
+
+class QueryGeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    map_ = new GeneratedMap(GenerateMap(SmallUs()));
+  }
+  static void TearDownTestSuite() {
+    delete map_;
+    map_ = nullptr;
+  }
+
+  static GeneratedMap* map_;
+};
+
+GeneratedMap* QueryGeneratorTest::map_ = nullptr;
+
+TEST_F(QueryGeneratorTest, NamesFollowThePaper) {
+  EXPECT_EQ(QuerySetName(QueryFamily::kUniform, 0), "U-P");
+  EXPECT_EQ(QuerySetName(QueryFamily::kUniform, 33), "U-W-33");
+  EXPECT_EQ(QuerySetName(QueryFamily::kIdentical, 0), "ID-P");
+  EXPECT_EQ(QuerySetName(QueryFamily::kIdentical, 1), "ID-W");
+  EXPECT_EQ(QuerySetName(QueryFamily::kSimilar, 100), "S-W-100");
+  EXPECT_EQ(QuerySetName(QueryFamily::kIntensified, 0), "INT-P");
+  EXPECT_EQ(QuerySetName(QueryFamily::kIndependent, 1000), "IND-W-1000");
+}
+
+TEST_F(QueryGeneratorTest, PointQueriesAreDegenerate) {
+  QuerySpec spec;
+  spec.family = QueryFamily::kUniform;
+  spec.ex = 0;
+  spec.count = 100;
+  const QuerySet set = MakeQuerySet(spec, map_->dataset, map_->places);
+  EXPECT_TRUE(set.is_point());
+  EXPECT_EQ(set.queries.size(), 100u);
+  for (const Rect& q : set.queries) {
+    EXPECT_EQ(q.Area(), 0.0);
+    EXPECT_EQ(q.xmin, q.xmax);
+  }
+}
+
+TEST_F(QueryGeneratorTest, WindowExtentMatchesSpec) {
+  QuerySpec spec;
+  spec.family = QueryFamily::kUniform;
+  spec.ex = 33;
+  spec.count = 50;
+  const QuerySet set = MakeQuerySet(spec, map_->dataset, map_->places);
+  for (const Rect& q : set.queries) {
+    EXPECT_NEAR(q.width(), 1.0 / 33, 1e-12);
+    EXPECT_NEAR(q.height(), 1.0 / 33, 1e-12);
+  }
+}
+
+TEST_F(QueryGeneratorTest, IdenticalWindowsMaintainObjectSizes) {
+  QuerySpec spec;
+  spec.family = QueryFamily::kIdentical;
+  spec.ex = 1;  // any nonzero: sizes come from the objects
+  spec.count = 200;
+  const QuerySet set = MakeQuerySet(spec, map_->dataset, map_->places);
+  // Every query rect must be the MBR of some database object.
+  size_t matched = 0;
+  for (const Rect& q : set.queries) {
+    for (const SpatialObject& object : map_->dataset.objects) {
+      if (object.rect == q) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(matched, set.queries.size());
+}
+
+TEST_F(QueryGeneratorTest, SimilarQueriesSitOnPlaces) {
+  QuerySpec spec;
+  spec.family = QueryFamily::kSimilar;
+  spec.ex = 0;
+  spec.count = 200;
+  const QuerySet set = MakeQuerySet(spec, map_->dataset, map_->places);
+  for (const Rect& q : set.queries) {
+    bool found = false;
+    for (const Place& place : map_->places.places) {
+      if (place.location.x == q.xmin && place.location.y == q.ymin) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(QueryGeneratorTest, IndependentQueriesAreXFlippedPlaces) {
+  QuerySpec spec;
+  spec.family = QueryFamily::kIndependent;
+  spec.ex = 0;
+  spec.count = 200;
+  const QuerySet set = MakeQuerySet(spec, map_->dataset, map_->places);
+  for (const Rect& q : set.queries) {
+    bool found = false;
+    for (const Place& place : map_->places.places) {
+      if (std::abs((1.0 - place.location.x) - q.xmin) < 1e-12 &&
+          place.location.y == q.ymin) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(QueryGeneratorTest, IntensifiedConcentratesOnPopulatedPlaces) {
+  QuerySpec spec;
+  spec.family = QueryFamily::kIntensified;
+  spec.ex = 0;
+  spec.count = 4000;
+  const QuerySet set = MakeQuerySet(spec, map_->dataset, map_->places);
+
+  // Empirical hit share of the most populated place must clearly exceed the
+  // uniform share 1/|places| (probability ~ sqrt(population)).
+  const Place* top = &map_->places.places[0];
+  for (const Place& place : map_->places.places) {
+    if (place.population > top->population) top = &place;
+  }
+  size_t top_hits = 0;
+  for (const Rect& q : set.queries) {
+    if (q.xmin == top->location.x && q.ymin == top->location.y) ++top_hits;
+  }
+  const double uniform_share = 1.0 / map_->places.places.size();
+  EXPECT_GT(static_cast<double>(top_hits) / set.queries.size(),
+            3.0 * uniform_share);
+}
+
+TEST_F(QueryGeneratorTest, DeterministicInSeed) {
+  QuerySpec spec;
+  spec.family = QueryFamily::kSimilar;
+  spec.ex = 100;
+  spec.count = 50;
+  spec.seed = 7;
+  const QuerySet a = MakeQuerySet(spec, map_->dataset, map_->places);
+  const QuerySet b = MakeQuerySet(spec, map_->dataset, map_->places);
+  EXPECT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i], b.queries[i]);
+  }
+}
+
+TEST_F(QueryGeneratorTest, ConcatKeepsOrderAndJoinsNames) {
+  QuerySpec spec;
+  spec.family = QueryFamily::kUniform;
+  spec.ex = 33;
+  spec.count = 10;
+  const QuerySet a = MakeQuerySet(spec, map_->dataset, map_->places);
+  spec.family = QueryFamily::kSimilar;
+  spec.count = 5;
+  const QuerySet b = MakeQuerySet(spec, map_->dataset, map_->places);
+  const QuerySet mixed = ConcatQuerySets({a, b});
+  EXPECT_EQ(mixed.name, "U-W-33+S-W-33");
+  ASSERT_EQ(mixed.queries.size(), 15u);
+  EXPECT_EQ(mixed.queries[0], a.queries[0]);
+  EXPECT_EQ(mixed.queries[10], b.queries[0]);
+}
+
+// --- browsing sessions ------------------------------------------------------
+
+class SessionGeneratorTest : public QueryGeneratorTest {};
+
+TEST_F(SessionGeneratorTest, ProducesRequestedSteps) {
+  SessionParams params;
+  params.steps = 500;
+  const QuerySet session = MakeSessionQuerySet(params, map_->places);
+  EXPECT_EQ(session.name, "SESSION");
+  EXPECT_EQ(session.queries.size(), 500u);
+}
+
+TEST_F(SessionGeneratorTest, ViewportsStayWithinExtentBounds) {
+  SessionParams params;
+  params.steps = 1000;
+  const QuerySet session = MakeSessionQuerySet(params, map_->places);
+  for (const Rect& viewport : session.queries) {
+    EXPECT_GE(viewport.width(), params.min_extent - 1e-12);
+    EXPECT_LE(viewport.width(), params.max_extent + 1e-12);
+    // Width and height agree up to floating-point rounding of the center.
+    EXPECT_NEAR(viewport.width(), viewport.height(), 1e-12);
+  }
+}
+
+TEST_F(SessionGeneratorTest, ConsecutivePansOverlap) {
+  SessionParams params;
+  params.steps = 2000;
+  params.pan_probability = 1.0;  // pure panning
+  params.zoom_probability = 0.0;
+  const QuerySet session = MakeSessionQuerySet(params, map_->places);
+  size_t overlapping = 0;
+  for (size_t i = 1; i < session.queries.size(); ++i) {
+    if (session.queries[i].Intersects(session.queries[i - 1])) {
+      ++overlapping;
+    }
+  }
+  // Pans move at most half a viewport, so consecutive viewports always
+  // overlap.
+  EXPECT_EQ(overlapping, session.queries.size() - 1);
+}
+
+TEST_F(SessionGeneratorTest, JumpsLandOnTopBookmarks) {
+  SessionParams params;
+  params.steps = 3000;
+  params.pan_probability = 0.0;
+  params.zoom_probability = 0.0;  // pure jumping
+  params.bookmark_count = 5;
+  const QuerySet session = MakeSessionQuerySet(params, map_->places);
+  // Collect the 5 most-populated places.
+  std::vector<Place> ranked = map_->places.places;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Place& a, const Place& b) {
+              return a.population > b.population;
+            });
+  for (const Rect& viewport : session.queries) {
+    const geom::Point center = viewport.Center();
+    bool on_bookmark = false;
+    for (size_t b = 0; b < 5; ++b) {
+      // Jump targets may be clamped at the space border.
+      if (std::abs(center.x - std::clamp(ranked[b].location.x, 0.0, 1.0)) <
+              1e-9 &&
+          std::abs(center.y - std::clamp(ranked[b].location.y, 0.0, 1.0)) <
+              1e-9) {
+        on_bookmark = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(on_bookmark);
+  }
+}
+
+TEST_F(SessionGeneratorTest, DeterministicInSeed) {
+  SessionParams params;
+  params.steps = 300;
+  params.seed = 9;
+  const QuerySet a = MakeSessionQuerySet(params, map_->places);
+  const QuerySet b = MakeSessionQuerySet(params, map_->places);
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i], b.queries[i]);
+  }
+  params.seed = 10;
+  const QuerySet c = MakeSessionQuerySet(params, map_->places);
+  bool differs = false;
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    if (!(a.queries[i] == c.queries[i])) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace sdb::workload

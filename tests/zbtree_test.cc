@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/policy_factory.h"
+#include "core/policy_lru.h"
+#include "test_util.h"
+#include "zbtree/zbtree.h"
+
+namespace sdb::zbtree {
+namespace {
+
+using core::AccessContext;
+using core::BufferManager;
+using geom::Point;
+using geom::Rect;
+using storage::DiskManager;
+
+struct Fixture {
+  explicit Fixture(const ZBTreeConfig& config = ZBTreeConfig{})
+      : buffer(&disk, 4096, std::make_unique<core::LruPolicy>()),
+        tree(&disk, &buffer, config) {}
+
+  DiskManager disk;
+  BufferManager buffer;
+  ZBTree tree;
+  AccessContext ctx{1};
+};
+
+std::vector<std::pair<Point, uint64_t>> RandomPoints(size_t n,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Point, uint64_t>> points;
+  for (size_t i = 0; i < n; ++i) {
+    points.emplace_back(Point{rng.NextDouble(), rng.NextDouble()}, i + 1);
+  }
+  return points;
+}
+
+std::set<uint64_t> BruteForce(
+    const std::vector<std::pair<Point, uint64_t>>& points,
+    const Rect& window) {
+  std::set<uint64_t> ids;
+  for (const auto& [p, id] : points) {
+    if (window.Contains(p)) ids.insert(id);
+  }
+  return ids;
+}
+
+std::set<uint64_t> Ids(const std::vector<ZPoint>& points) {
+  std::set<uint64_t> ids;
+  for (const ZPoint& zp : points) ids.insert(zp.id);
+  return ids;
+}
+
+TEST(ZBTreeTest, EmptyTree) {
+  Fixture f;
+  EXPECT_EQ(f.tree.size(), 0u);
+  EXPECT_EQ(f.tree.height(), 1u);
+  EXPECT_TRUE(f.tree.WindowQuery(Rect(0, 0, 1, 1), f.ctx).empty());
+  EXPECT_EQ(f.tree.Validate(), "");
+}
+
+TEST(ZBTreeTest, SinglePoint) {
+  Fixture f;
+  f.tree.Insert({0.3, 0.7}, 42, f.ctx);
+  EXPECT_EQ(f.tree.size(), 1u);
+  EXPECT_EQ(f.tree.Validate(), "");
+  const auto hits = f.tree.WindowQuery(Rect(0.2, 0.6, 0.4, 0.8), f.ctx);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 42u);
+  EXPECT_EQ(hits[0].point, (Point{0.3, 0.7}));
+  EXPECT_TRUE(f.tree.WindowQuery(Rect(0.8, 0.8, 0.9, 0.9), f.ctx).empty());
+}
+
+TEST(ZBTreeTest, GrowsAndStaysValid) {
+  Fixture f;
+  const auto points = RandomPoints(5000, 3);
+  for (const auto& [p, id] : points) f.tree.Insert(p, id, f.ctx);
+  EXPECT_EQ(f.tree.size(), 5000u);
+  EXPECT_GT(f.tree.height(), 1u);
+  ASSERT_EQ(f.tree.Validate(), "");
+}
+
+class ZBTreePropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, size_t, uint32_t, uint32_t>> {};
+
+TEST_P(ZBTreePropertyTest, WindowQueriesMatchBruteForce) {
+  const auto [seed, count, leaf_max, inner_max] = GetParam();
+  ZBTreeConfig config;
+  config.max_leaf_entries = leaf_max;
+  config.max_inner_entries = inner_max;
+  Fixture f(config);
+  const auto points = RandomPoints(count, seed);
+  for (const auto& [p, id] : points) f.tree.Insert(p, id, f.ctx);
+  ASSERT_EQ(f.tree.Validate(), "");
+
+  Rng rng(seed ^ 0x5555);
+  for (int q = 0; q < 40; ++q) {
+    const Rect window = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.25);
+    EXPECT_EQ(Ids(f.tree.WindowQuery(window, f.ctx)),
+              BruteForce(points, window));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZBTreePropertyTest,
+    ::testing::Values(std::tuple{1ull, size_t{200}, 4u, 4u},
+                      std::tuple{2ull, size_t{1000}, 8u, 8u},
+                      std::tuple{3ull, size_t{3000}, 32u, 16u},
+                      std::tuple{4ull, size_t{8000}, 126u, 72u}));
+
+TEST(ZBTreeTest, RangeScanVisitsInOrder) {
+  Fixture f;
+  const auto points = RandomPoints(2000, 9);
+  for (const auto& [p, id] : points) f.tree.Insert(p, id, f.ctx);
+  ZValue previous = 0;
+  size_t visited = 0;
+  f.tree.RangeScan(0, ~0ull, f.ctx,
+                   [&](ZValue z, const ZPoint&) {
+                     EXPECT_GE(z, previous);
+                     previous = z;
+                     ++visited;
+                   });
+  EXPECT_EQ(visited, 2000u);
+}
+
+TEST(ZBTreeTest, RangeScanRespectsBounds) {
+  Fixture f;
+  const auto points = RandomPoints(2000, 10);
+  for (const auto& [p, id] : points) f.tree.Insert(p, id, f.ctx);
+  const ZValue lo = EncodeZ({0.25, 0.25});
+  const ZValue hi = EncodeZ({0.5, 0.5});
+  size_t expected = 0;
+  for (const auto& [p, id] : points) {
+    const ZValue z = EncodeZ(p);
+    if (z >= lo && z <= hi) ++expected;
+  }
+  size_t visited = 0;
+  f.tree.RangeScan(lo, hi, f.ctx, [&](ZValue z, const ZPoint&) {
+    EXPECT_GE(z, lo);
+    EXPECT_LE(z, hi);
+    ++visited;
+  });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(ZBTreeTest, DuplicatePositionsAreSupported) {
+  Fixture f;
+  for (uint64_t id = 1; id <= 300; ++id) {
+    f.tree.Insert({0.5, 0.5}, id, f.ctx);
+  }
+  EXPECT_EQ(f.tree.Validate(), "");
+  EXPECT_EQ(
+      f.tree.WindowQuery(Rect(0.49, 0.49, 0.51, 0.51), f.ctx).size(), 300u);
+}
+
+TEST(ZBTreeTest, DeleteRemovesExactRecord) {
+  Fixture f;
+  auto points = RandomPoints(1500, 11);
+  for (const auto& [p, id] : points) f.tree.Insert(p, id, f.ctx);
+
+  EXPECT_TRUE(f.tree.Delete(points[700].first, points[700].second, f.ctx));
+  EXPECT_FALSE(f.tree.Delete(points[700].first, points[700].second, f.ctx));
+  EXPECT_EQ(f.tree.size(), 1499u);
+  EXPECT_EQ(f.tree.Validate(), "");
+
+  points.erase(points.begin() + 700);
+  Rng rng(4);
+  for (int q = 0; q < 20; ++q) {
+    const Rect window = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.3);
+    EXPECT_EQ(Ids(f.tree.WindowQuery(window, f.ctx)),
+              BruteForce(points, window));
+  }
+}
+
+TEST(ZBTreeTest, DeleteAmongDuplicatesPicksTheRightId) {
+  Fixture f;
+  ZBTreeConfig config;
+  config.max_leaf_entries = 8;  // force duplicates to spill across leaves
+  Fixture g(config);
+  for (uint64_t id = 1; id <= 100; ++id) {
+    g.tree.Insert({0.5, 0.5}, id, g.ctx);
+  }
+  EXPECT_TRUE(g.tree.Delete({0.5, 0.5}, 77, g.ctx));
+  EXPECT_EQ(g.tree.size(), 99u);
+  const auto hits = g.tree.WindowQuery(Rect(0.4, 0.4, 0.6, 0.6), g.ctx);
+  EXPECT_EQ(hits.size(), 99u);
+  EXPECT_FALSE(Ids(hits).contains(77));
+}
+
+TEST(ZBTreeTest, PersistAndReopen) {
+  DiskManager disk;
+  storage::PageId meta;
+  std::vector<std::pair<Point, uint64_t>> points = RandomPoints(2500, 21);
+  {
+    BufferManager buffer(&disk, 4096, std::make_unique<core::LruPolicy>());
+    ZBTree tree(&disk, &buffer);
+    for (const auto& [p, id] : points) {
+      tree.Insert(p, id, AccessContext{1});
+    }
+    tree.PersistMeta();
+    buffer.FlushAll();
+    meta = tree.meta_page();
+  }
+  BufferManager fresh(&disk, 64, std::make_unique<core::LruPolicy>());
+  const ZBTree reopened = ZBTree::Open(&disk, &fresh, meta);
+  EXPECT_EQ(reopened.size(), 2500u);
+  EXPECT_EQ(reopened.Validate(), "");
+  Rng rng(5);
+  for (int q = 0; q < 15; ++q) {
+    const Rect window = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.2);
+    EXPECT_EQ(Ids(reopened.WindowQuery(window, AccessContext{2})),
+              BruteForce(points, window));
+  }
+}
+
+TEST(ZBTreeTest, PagesCarrySpatialAggregatesForThePolicies) {
+  // The point of the z-tree in this project: its pages are rankable by the
+  // spatial criteria. Check that leaf headers carry sane MBRs and that a
+  // spatial policy runs on the tree.
+  DiskManager disk;
+  storage::PageId meta;
+  {
+    BufferManager buffer(&disk, 4096, std::make_unique<core::LruPolicy>());
+    ZBTree tree(&disk, &buffer);
+    const auto points = RandomPoints(4000, 31);
+    for (const auto& [p, id] : points) {
+      tree.Insert(p, id, AccessContext{1});
+    }
+    tree.PersistMeta();
+    buffer.FlushAll();
+    meta = tree.meta_page();
+  }
+  // Every data page on disk has a non-empty MBR within the unit square.
+  size_t data_pages = 0;
+  for (storage::PageId id = 0; id < disk.page_count(); ++id) {
+    const storage::PageMeta page_meta = disk.PeekMeta(id);
+    if (page_meta.type != storage::PageType::kData) continue;
+    if (page_meta.entry_count == 0) continue;
+    ++data_pages;
+    EXPECT_FALSE(page_meta.mbr.IsEmpty());
+    EXPECT_TRUE(Rect(0, 0, 1, 1).Contains(page_meta.mbr));
+  }
+  EXPECT_GT(data_pages, 10u);
+
+  // Run window queries through a spatial buffer; results must be correct.
+  BufferManager spatial_buffer(&disk, 16, core::CreatePolicy("A"));
+  const ZBTree tree = ZBTree::Open(&disk, &spatial_buffer, meta);
+  const auto hits =
+      tree.WindowQuery(Rect(0.2, 0.2, 0.4, 0.4), AccessContext{5});
+  EXPECT_GT(hits.size(), 0u);
+  EXPECT_GT(spatial_buffer.stats().hits, 0u);
+}
+
+TEST(ZBTreeTest, QueryResultsAreInvariantUnderThePolicy) {
+  DiskManager disk;
+  storage::PageId meta;
+  const auto points = RandomPoints(4000, 51);
+  {
+    BufferManager buffer(&disk, 4096, std::make_unique<core::LruPolicy>());
+    ZBTree tree(&disk, &buffer);
+    for (const auto& [p, id] : points) tree.Insert(p, id, AccessContext{1});
+    tree.PersistMeta();
+    buffer.FlushAll();
+    meta = tree.meta_page();
+  }
+  Rng rng(6);
+  std::vector<Rect> windows;
+  for (int q = 0; q < 10; ++q) {
+    windows.push_back(test::RandomRect(rng, Rect(0, 0, 1, 1), 0.2));
+  }
+  std::set<uint64_t> reference;
+  for (const char* policy : {"LRU", "LRU-2", "A", "ASB", "ARC", "DOM"}) {
+    BufferManager buffer(&disk, 16, core::CreatePolicy(policy));
+    const ZBTree tree = ZBTree::Open(&disk, &buffer, meta);
+    std::set<uint64_t> found;
+    uint64_t query_id = 0;
+    for (const Rect& window : windows) {
+      for (const ZPoint& zp :
+           tree.WindowQuery(window, AccessContext{++query_id})) {
+        found.insert(zp.id);
+      }
+    }
+    if (reference.empty()) reference = found;
+    EXPECT_EQ(found, reference) << policy;
+  }
+}
+
+TEST(ZBTreeTest, StatsCountPagesAndPoints) {
+  Fixture f;
+  const auto points = RandomPoints(3000, 41);
+  for (const auto& [p, id] : points) f.tree.Insert(p, id, f.ctx);
+  const ZTreeStats stats = f.tree.ComputeStats();
+  EXPECT_EQ(stats.point_count, 3000u);
+  EXPECT_EQ(stats.height, f.tree.height());
+  EXPECT_GT(stats.leaf_pages, 1u);
+  EXPECT_GT(stats.total_pages(), stats.leaf_pages);
+}
+
+}  // namespace
+}  // namespace sdb::zbtree

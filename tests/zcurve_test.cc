@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "test_util.h"
+#include "zbtree/zcurve.h"
+
+namespace sdb::zbtree {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+TEST(ZCurveTest, EncodeDecodeRoundTripStaysInCell) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    const ZValue z = EncodeZ(p);
+    EXPECT_TRUE(CellOf(z).Contains(p))
+        << "point must lie in its own cell";
+    EXPECT_TRUE(CellOf(z).Contains(DecodeZ(z)));
+  }
+}
+
+TEST(ZCurveTest, CornerCases) {
+  EXPECT_EQ(EncodeZ({0.0, 0.0}), 0u);
+  // Values at/above 1.0 are clamped into the last cell, not wrapped.
+  const ZValue top = EncodeZ({1.0, 1.0});
+  EXPECT_EQ(top, EncodeZ({2.0, 5.0}));
+  EXPECT_EQ(top, (1ull << (2 * kZBits)) - 1);
+  EXPECT_EQ(EncodeZ({-1.0, -1.0}), 0u);
+}
+
+TEST(ZCurveTest, LocalityOrderWithinQuadrants) {
+  // All of the lower-left quadrant precedes all of the upper-right
+  // quadrant in z order.
+  const ZValue ll = EncodeZ({0.2, 0.2});
+  const ZValue ur = EncodeZ({0.7, 0.7});
+  const ZValue lr = EncodeZ({0.7, 0.2});
+  const ZValue ul = EncodeZ({0.2, 0.7});
+  EXPECT_LT(ll, lr);
+  EXPECT_LT(lr, ul);
+  EXPECT_LT(ul, ur);
+}
+
+TEST(ZCurveTest, CellsAreTinyAndDisjointForDistinctValues) {
+  const ZValue a = EncodeZ({0.25, 0.25});
+  const ZValue b = EncodeZ({0.75, 0.75});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(geom::IntersectionArea(CellOf(a), CellOf(b)), 0.0);
+  EXPECT_NEAR(CellOf(a).width(), 1.0 / (1 << kZBits), 1e-12);
+}
+
+TEST(ZCurveDecomposeTest, FullSpaceIsOneRange) {
+  const auto ranges = DecomposeWindow(Rect(0, 0, 1, 1));
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].lo, 0u);
+  EXPECT_EQ(ranges[0].hi, (1ull << (2 * kZBits)) - 1);
+}
+
+TEST(ZCurveDecomposeTest, EmptyWindowYieldsNothing) {
+  EXPECT_TRUE(DecomposeWindow(Rect()).empty());
+}
+
+TEST(ZCurveDecomposeTest, RangesAreSortedAndDisjoint) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Rect window = test::RandomRect(rng, Rect(0, 0, 1, 1), 0.2);
+    const auto ranges = DecomposeWindow(window);
+    for (size_t r = 1; r < ranges.size(); ++r) {
+      EXPECT_GT(ranges[r].lo, ranges[r - 1].hi + 1)
+          << "adjacent ranges must have been merged";
+    }
+    EXPECT_LE(ranges.size(), 64u * 2) << "budget roughly respected";
+  }
+}
+
+class ZCurveCoverageTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZCurveCoverageTest, DecompositionCoversEveryPointInTheWindow) {
+  // Soundness: every point inside the window maps to a z-value inside one
+  // of the ranges (the decomposition may over-approximate, never under-).
+  Rng rng(GetParam());
+  for (int w = 0; w < 20; ++w) {
+    const Rect window = test::RandomRect(rng, Rect(0.1, 0.1, 0.9, 0.9), 0.3);
+    const auto ranges = DecomposeWindow(window);
+    for (int i = 0; i < 200; ++i) {
+      const Point p{rng.Uniform(window.xmin, window.xmax),
+                    rng.Uniform(window.ymin, window.ymax)};
+      const ZValue z = EncodeZ(p);
+      const bool covered = std::any_of(
+          ranges.begin(), ranges.end(),
+          [z](const ZRange& r) { return r.lo <= z && z <= r.hi; });
+      EXPECT_TRUE(covered) << "uncovered point in window";
+    }
+  }
+}
+
+TEST_P(ZCurveCoverageTest, TightWithGenerousBudget) {
+  // With a huge budget the decomposition of a quadrant-aligned window is
+  // exact: points far outside are never covered.
+  Rng rng(GetParam() + 100);
+  const Rect window(0.25, 0.25, 0.5, 0.5);  // one exact quadrant
+  const auto ranges = DecomposeWindow(window, 1u << 20);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.NextDouble(), rng.NextDouble()};
+    if (window.Contains(p)) continue;
+    // Skip boundary cells.
+    if (p.x > 0.24 && p.x < 0.51 && p.y > 0.24 && p.y < 0.51) continue;
+    const ZValue z = EncodeZ(p);
+    const bool covered = std::any_of(
+        ranges.begin(), ranges.end(),
+        [z](const ZRange& r) { return r.lo <= z && z <= r.hi; });
+    EXPECT_FALSE(covered) << "point outside covered by exact decomposition";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZCurveCoverageTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace sdb::zbtree
