@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_overflow.cc" "bench/CMakeFiles/ablation_overflow.dir/ablation_overflow.cc.o" "gcc" "bench/CMakeFiles/ablation_overflow.dir/ablation_overflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_zbtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_quadtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_variant.dir/ablation_tree_variant.cc.o"
+  "CMakeFiles/ablation_tree_variant.dir/ablation_tree_variant.cc.o.d"
+  "ablation_tree_variant"
+  "ablation_tree_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

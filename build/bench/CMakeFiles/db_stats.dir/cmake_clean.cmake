@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_stats.dir/db_stats.cc.o"
+  "CMakeFiles/db_stats.dir/db_stats.cc.o.d"
+  "db_stats"
+  "db_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptive_showdown.dir/ext_adaptive_showdown.cc.o"
+  "CMakeFiles/ext_adaptive_showdown.dir/ext_adaptive_showdown.cc.o.d"
+  "ext_adaptive_showdown"
+  "ext_adaptive_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

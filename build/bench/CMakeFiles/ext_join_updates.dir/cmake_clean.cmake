@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_join_updates.dir/ext_join_updates.cc.o"
+  "CMakeFiles/ext_join_updates.dir/ext_join_updates.cc.o.d"
+  "ext_join_updates"
+  "ext_join_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_join_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

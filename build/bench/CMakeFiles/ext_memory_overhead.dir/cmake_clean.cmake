@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_memory_overhead.dir/ext_memory_overhead.cc.o"
+  "CMakeFiles/ext_memory_overhead.dir/ext_memory_overhead.cc.o.d"
+  "ext_memory_overhead"
+  "ext_memory_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memory_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_moving_objects.dir/ext_moving_objects.cc.o"
+  "CMakeFiles/ext_moving_objects.dir/ext_moving_objects.cc.o.d"
+  "ext_moving_objects"
+  "ext_moving_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_moving_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_object_pages.dir/ext_object_pages.cc.o"
+  "CMakeFiles/ext_object_pages.dir/ext_object_pages.cc.o.d"
+  "ext_object_pages"
+  "ext_object_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_object_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_quadtree.dir/ext_quadtree.cc.o"
+  "CMakeFiles/ext_quadtree.dir/ext_quadtree.cc.o.d"
+  "ext_quadtree"
+  "ext_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sessions.dir/ext_sessions.cc.o"
+  "CMakeFiles/ext_sessions.dir/ext_sessions.cc.o.d"
+  "ext_sessions"
+  "ext_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_zbtree.dir/ext_zbtree.cc.o"
+  "CMakeFiles/ext_zbtree.dir/ext_zbtree.cc.o.d"
+  "ext_zbtree"
+  "ext_zbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_zbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

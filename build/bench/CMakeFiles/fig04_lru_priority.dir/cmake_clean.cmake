@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_lru_priority.dir/fig04_lru_priority.cc.o"
+  "CMakeFiles/fig04_lru_priority.dir/fig04_lru_priority.cc.o.d"
+  "fig04_lru_priority"
+  "fig04_lru_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_lru_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

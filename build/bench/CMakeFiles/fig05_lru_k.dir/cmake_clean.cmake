@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_lru_k.dir/fig05_lru_k.cc.o"
+  "CMakeFiles/fig05_lru_k.dir/fig05_lru_k.cc.o.d"
+  "fig05_lru_k"
+  "fig05_lru_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_lru_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_spatial_variants.dir/fig06_spatial_variants.cc.o"
+  "CMakeFiles/fig06_spatial_variants.dir/fig06_spatial_variants.cc.o.d"
+  "fig06_spatial_variants"
+  "fig06_spatial_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_spatial_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

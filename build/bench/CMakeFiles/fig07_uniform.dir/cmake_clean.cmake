@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_uniform.dir/fig07_uniform.cc.o"
+  "CMakeFiles/fig07_uniform.dir/fig07_uniform.cc.o.d"
+  "fig07_uniform"
+  "fig07_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_identical_similar.dir/fig08_identical_similar.cc.o"
+  "CMakeFiles/fig08_identical_similar.dir/fig08_identical_similar.cc.o.d"
+  "fig08_identical_similar"
+  "fig08_identical_similar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_identical_similar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_independent_intensified.dir/fig09_independent_intensified.cc.o"
+  "CMakeFiles/fig09_independent_intensified.dir/fig09_independent_intensified.cc.o.d"
+  "fig09_independent_intensified"
+  "fig09_independent_intensified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_independent_intensified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_slru_static.dir/fig12_slru_static.cc.o"
+  "CMakeFiles/fig12_slru_static.dir/fig12_slru_static.cc.o.d"
+  "fig12_slru_static"
+  "fig12_slru_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_slru_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

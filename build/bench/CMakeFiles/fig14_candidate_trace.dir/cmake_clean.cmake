@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_candidate_trace.dir/fig14_candidate_trace.cc.o"
+  "CMakeFiles/fig14_candidate_trace.dir/fig14_candidate_trace.cc.o.d"
+  "fig14_candidate_trace"
+  "fig14_candidate_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_candidate_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_buffer_demo.dir/adaptive_buffer_demo.cc.o"
+  "CMakeFiles/adaptive_buffer_demo.dir/adaptive_buffer_demo.cc.o.d"
+  "adaptive_buffer_demo"
+  "adaptive_buffer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_buffer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_advisor.dir/buffer_advisor.cc.o"
+  "CMakeFiles/buffer_advisor.dir/buffer_advisor.cc.o.d"
+  "buffer_advisor"
+  "buffer_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_geometry.dir/exact_geometry.cc.o"
+  "CMakeFiles/exact_geometry.dir/exact_geometry.cc.o.d"
+  "exact_geometry"
+  "exact_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

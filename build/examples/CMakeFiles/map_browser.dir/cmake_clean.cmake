@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_browser.dir/map_browser.cc.o"
+  "CMakeFiles/map_browser.dir/map_browser.cc.o.d"
+  "map_browser"
+  "map_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sam_comparison.dir/sam_comparison.cc.o"
+  "CMakeFiles/sam_comparison.dir/sam_comparison.cc.o.d"
+  "sam_comparison"
+  "sam_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sam_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer_manager.cc" "src/CMakeFiles/sdb_core.dir/core/buffer_manager.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/buffer_manager.cc.o.d"
+  "/root/repo/src/core/policy_arc.cc" "src/CMakeFiles/sdb_core.dir/core/policy_arc.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_arc.cc.o.d"
+  "/root/repo/src/core/policy_asb.cc" "src/CMakeFiles/sdb_core.dir/core/policy_asb.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_asb.cc.o.d"
+  "/root/repo/src/core/policy_clock.cc" "src/CMakeFiles/sdb_core.dir/core/policy_clock.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_clock.cc.o.d"
+  "/root/repo/src/core/policy_domain.cc" "src/CMakeFiles/sdb_core.dir/core/policy_domain.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_domain.cc.o.d"
+  "/root/repo/src/core/policy_factory.cc" "src/CMakeFiles/sdb_core.dir/core/policy_factory.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_factory.cc.o.d"
+  "/root/repo/src/core/policy_fifo.cc" "src/CMakeFiles/sdb_core.dir/core/policy_fifo.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_fifo.cc.o.d"
+  "/root/repo/src/core/policy_gclock.cc" "src/CMakeFiles/sdb_core.dir/core/policy_gclock.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_gclock.cc.o.d"
+  "/root/repo/src/core/policy_lru.cc" "src/CMakeFiles/sdb_core.dir/core/policy_lru.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_lru.cc.o.d"
+  "/root/repo/src/core/policy_lru_k.cc" "src/CMakeFiles/sdb_core.dir/core/policy_lru_k.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_lru_k.cc.o.d"
+  "/root/repo/src/core/policy_lru_priority.cc" "src/CMakeFiles/sdb_core.dir/core/policy_lru_priority.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_lru_priority.cc.o.d"
+  "/root/repo/src/core/policy_lru_type.cc" "src/CMakeFiles/sdb_core.dir/core/policy_lru_type.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_lru_type.cc.o.d"
+  "/root/repo/src/core/policy_pin_levels.cc" "src/CMakeFiles/sdb_core.dir/core/policy_pin_levels.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_pin_levels.cc.o.d"
+  "/root/repo/src/core/policy_slru.cc" "src/CMakeFiles/sdb_core.dir/core/policy_slru.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_slru.cc.o.d"
+  "/root/repo/src/core/policy_spatial.cc" "src/CMakeFiles/sdb_core.dir/core/policy_spatial.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_spatial.cc.o.d"
+  "/root/repo/src/core/policy_two_queue.cc" "src/CMakeFiles/sdb_core.dir/core/policy_two_queue.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/policy_two_queue.cc.o.d"
+  "/root/repo/src/core/replacement_policy.cc" "src/CMakeFiles/sdb_core.dir/core/replacement_policy.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/replacement_policy.cc.o.d"
+  "/root/repo/src/core/spatial_criterion.cc" "src/CMakeFiles/sdb_core.dir/core/spatial_criterion.cc.o" "gcc" "src/CMakeFiles/sdb_core.dir/core/spatial_criterion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_geom.dir/geom/entry_aggregates.cc.o"
+  "CMakeFiles/sdb_geom.dir/geom/entry_aggregates.cc.o.d"
+  "CMakeFiles/sdb_geom.dir/geom/rect.cc.o"
+  "CMakeFiles/sdb_geom.dir/geom/rect.cc.o.d"
+  "libsdb_geom.a"
+  "libsdb_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_objstore.dir/objstore/object_store.cc.o"
+  "CMakeFiles/sdb_objstore.dir/objstore/object_store.cc.o.d"
+  "libsdb_objstore.a"
+  "libsdb_objstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_objstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

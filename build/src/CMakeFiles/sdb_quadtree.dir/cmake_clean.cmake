@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_quadtree.dir/quadtree/quadtree.cc.o"
+  "CMakeFiles/sdb_quadtree.dir/quadtree/quadtree.cc.o.d"
+  "libsdb_quadtree.a"
+  "libsdb_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtree/bulk_load.cc" "src/CMakeFiles/sdb_rtree.dir/rtree/bulk_load.cc.o" "gcc" "src/CMakeFiles/sdb_rtree.dir/rtree/bulk_load.cc.o.d"
+  "/root/repo/src/rtree/node_view.cc" "src/CMakeFiles/sdb_rtree.dir/rtree/node_view.cc.o" "gcc" "src/CMakeFiles/sdb_rtree.dir/rtree/node_view.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/CMakeFiles/sdb_rtree.dir/rtree/rtree.cc.o" "gcc" "src/CMakeFiles/sdb_rtree.dir/rtree/rtree.cc.o.d"
+  "/root/repo/src/rtree/spatial_join.cc" "src/CMakeFiles/sdb_rtree.dir/rtree/spatial_join.cc.o" "gcc" "src/CMakeFiles/sdb_rtree.dir/rtree/spatial_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_rtree.dir/rtree/bulk_load.cc.o"
+  "CMakeFiles/sdb_rtree.dir/rtree/bulk_load.cc.o.d"
+  "CMakeFiles/sdb_rtree.dir/rtree/node_view.cc.o"
+  "CMakeFiles/sdb_rtree.dir/rtree/node_view.cc.o.d"
+  "CMakeFiles/sdb_rtree.dir/rtree/rtree.cc.o"
+  "CMakeFiles/sdb_rtree.dir/rtree/rtree.cc.o.d"
+  "CMakeFiles/sdb_rtree.dir/rtree/spatial_join.cc.o"
+  "CMakeFiles/sdb_rtree.dir/rtree/spatial_join.cc.o.d"
+  "libsdb_rtree.a"
+  "libsdb_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/sdb_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/sdb_sim.dir/sim/report.cc.o"
+  "CMakeFiles/sdb_sim.dir/sim/report.cc.o.d"
+  "CMakeFiles/sdb_sim.dir/sim/scenario.cc.o"
+  "CMakeFiles/sdb_sim.dir/sim/scenario.cc.o.d"
+  "CMakeFiles/sdb_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/sdb_sim.dir/sim/trace.cc.o.d"
+  "CMakeFiles/sdb_sim.dir/sim/trace_analysis.cc.o"
+  "CMakeFiles/sdb_sim.dir/sim/trace_analysis.cc.o.d"
+  "libsdb_sim.a"
+  "libsdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/sdb_storage.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/sdb_storage.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/sdb_storage.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/sdb_storage.dir/storage/page.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdb_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

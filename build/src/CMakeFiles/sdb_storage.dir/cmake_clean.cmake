@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_storage.dir/storage/disk_manager.cc.o"
+  "CMakeFiles/sdb_storage.dir/storage/disk_manager.cc.o.d"
+  "CMakeFiles/sdb_storage.dir/storage/page.cc.o"
+  "CMakeFiles/sdb_storage.dir/storage/page.cc.o.d"
+  "libsdb_storage.a"
+  "libsdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_workload.dir/workload/data_generator.cc.o"
+  "CMakeFiles/sdb_workload.dir/workload/data_generator.cc.o.d"
+  "CMakeFiles/sdb_workload.dir/workload/dataset.cc.o"
+  "CMakeFiles/sdb_workload.dir/workload/dataset.cc.o.d"
+  "CMakeFiles/sdb_workload.dir/workload/query_generator.cc.o"
+  "CMakeFiles/sdb_workload.dir/workload/query_generator.cc.o.d"
+  "CMakeFiles/sdb_workload.dir/workload/session_generator.cc.o"
+  "CMakeFiles/sdb_workload.dir/workload/session_generator.cc.o.d"
+  "libsdb_workload.a"
+  "libsdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

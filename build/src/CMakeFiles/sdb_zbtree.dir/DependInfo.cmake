@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zbtree/zbtree.cc" "src/CMakeFiles/sdb_zbtree.dir/zbtree/zbtree.cc.o" "gcc" "src/CMakeFiles/sdb_zbtree.dir/zbtree/zbtree.cc.o.d"
+  "/root/repo/src/zbtree/zcurve.cc" "src/CMakeFiles/sdb_zbtree.dir/zbtree/zcurve.cc.o" "gcc" "src/CMakeFiles/sdb_zbtree.dir/zbtree/zcurve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdb_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_zbtree.dir/zbtree/zbtree.cc.o"
+  "CMakeFiles/sdb_zbtree.dir/zbtree/zbtree.cc.o.d"
+  "CMakeFiles/sdb_zbtree.dir/zbtree/zcurve.cc.o"
+  "CMakeFiles/sdb_zbtree.dir/zbtree/zcurve.cc.o.d"
+  "libsdb_zbtree.a"
+  "libsdb_zbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_zbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

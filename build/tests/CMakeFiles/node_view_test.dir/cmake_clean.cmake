@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_view_test.dir/node_view_test.cc.o"
+  "CMakeFiles/node_view_test.dir/node_view_test.cc.o.d"
+  "node_view_test"
+  "node_view_test.pdb"
+  "node_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

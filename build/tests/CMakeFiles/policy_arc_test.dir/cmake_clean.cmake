@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_arc_test.dir/policy_arc_test.cc.o"
+  "CMakeFiles/policy_arc_test.dir/policy_arc_test.cc.o.d"
+  "policy_arc_test"
+  "policy_arc_test.pdb"
+  "policy_arc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_arc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_asb_test.dir/policy_asb_test.cc.o"
+  "CMakeFiles/policy_asb_test.dir/policy_asb_test.cc.o.d"
+  "policy_asb_test"
+  "policy_asb_test.pdb"
+  "policy_asb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_asb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

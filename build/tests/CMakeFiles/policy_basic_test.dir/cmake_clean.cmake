@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_basic_test.dir/policy_basic_test.cc.o"
+  "CMakeFiles/policy_basic_test.dir/policy_basic_test.cc.o.d"
+  "policy_basic_test"
+  "policy_basic_test.pdb"
+  "policy_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

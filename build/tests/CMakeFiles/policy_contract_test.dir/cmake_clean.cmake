@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_contract_test.dir/policy_contract_test.cc.o"
+  "CMakeFiles/policy_contract_test.dir/policy_contract_test.cc.o.d"
+  "policy_contract_test"
+  "policy_contract_test.pdb"
+  "policy_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_extra_test.dir/policy_extra_test.cc.o"
+  "CMakeFiles/policy_extra_test.dir/policy_extra_test.cc.o.d"
+  "policy_extra_test"
+  "policy_extra_test.pdb"
+  "policy_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_factory_test.dir/policy_factory_test.cc.o"
+  "CMakeFiles/policy_factory_test.dir/policy_factory_test.cc.o.d"
+  "policy_factory_test"
+  "policy_factory_test.pdb"
+  "policy_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

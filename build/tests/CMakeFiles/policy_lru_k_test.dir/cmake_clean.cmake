@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_lru_k_test.dir/policy_lru_k_test.cc.o"
+  "CMakeFiles/policy_lru_k_test.dir/policy_lru_k_test.cc.o.d"
+  "policy_lru_k_test"
+  "policy_lru_k_test.pdb"
+  "policy_lru_k_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_lru_k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

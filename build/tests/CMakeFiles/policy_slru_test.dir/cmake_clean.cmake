@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_slru_test.dir/policy_slru_test.cc.o"
+  "CMakeFiles/policy_slru_test.dir/policy_slru_test.cc.o.d"
+  "policy_slru_test"
+  "policy_slru_test.pdb"
+  "policy_slru_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_slru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

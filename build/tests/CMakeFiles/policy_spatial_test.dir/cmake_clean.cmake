@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_spatial_test.dir/policy_spatial_test.cc.o"
+  "CMakeFiles/policy_spatial_test.dir/policy_spatial_test.cc.o.d"
+  "policy_spatial_test"
+  "policy_spatial_test.pdb"
+  "policy_spatial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_spatial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

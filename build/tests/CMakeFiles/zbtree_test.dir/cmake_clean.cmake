@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbtree_test.dir/zbtree_test.cc.o"
+  "CMakeFiles/zbtree_test.dir/zbtree_test.cc.o.d"
+  "zbtree_test"
+  "zbtree_test.pdb"
+  "zbtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

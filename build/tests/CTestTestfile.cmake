@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_lru_k_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_spatial_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_slru_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_asb_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_factory_test[1]_include.cmake")
+include("/root/repo/build/tests/node_view_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_property_test[1]_include.cmake")
+include("/root/repo/build/tests/bulk_load_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_join_test[1]_include.cmake")
+include("/root/repo/build/tests/object_store_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/zcurve_test[1]_include.cmake")
+include("/root/repo/build/tests/zbtree_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_arc_test[1]_include.cmake")
+include("/root/repo/build/tests/quadtree_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_contract_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_fuzz_test[1]_include.cmake")
