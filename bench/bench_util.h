@@ -8,6 +8,7 @@
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "sim/scenario.h"
+#include "sim/sweep.h"
 
 namespace sdb::bench {
 
@@ -87,37 +88,29 @@ inline std::vector<SetSpec> AllSets() {
 /// Runs `policies` against each query set at each buffer fraction and
 /// prints one table per buffer fraction: rows = query sets, columns = the
 /// policies' relative gains versus LRU (the paper's reporting format).
+///
+/// The grid executes on the sweep runner: the LRU baseline is replayed once
+/// per (fraction, query set) and shared across all policy columns, cells
+/// run on SDB_BENCH_THREADS worker threads (default 1; the tables are
+/// identical for every thread count), and a machine-readable record of
+/// every run is appended to BENCH_sweep.json (path overridable via
+/// SDB_BENCH_JSON; set it empty to disable).
 inline void PrintGainTables(const sim::Scenario& scenario,
                             const std::vector<SetSpec>& sets,
                             const std::vector<std::string>& policies,
                             const std::vector<double>& buffer_fractions,
                             const std::string& title) {
-  for (const double fraction : buffer_fractions) {
-    std::vector<std::string> header{"query set"};
-    for (const std::string& p : policies) header.push_back(p);
-    sim::Table table(header);
-    for (const SetSpec& spec : sets) {
-      const workload::QuerySet queries =
-          sim::StandardQuerySet(scenario, spec.family, spec.ex);
-      sim::RunOptions options;
-      options.buffer_frames = scenario.BufferFrames(fraction);
-      const sim::RunResult baseline = sim::RunQuerySet(
-          scenario.disk.get(), scenario.tree_meta, "LRU", queries, options);
-      std::vector<std::string> row{queries.name};
-      for (const std::string& policy : policies) {
-        const sim::RunResult result =
-            sim::RunQuerySet(scenario.disk.get(), scenario.tree_meta, policy,
-                             queries, options);
-        row.push_back(sim::FormatGain(sim::GainVersus(baseline, result)));
-      }
-      table.AddRow(std::move(row));
-    }
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "%s — %s, buffer %.1f%% (%zu frames), gain vs LRU",
-                  title.c_str(), scenario.name.c_str(), fraction * 100.0,
-                  scenario.BufferFrames(fraction));
-    table.Print(buf);
+  sim::SweepSpec spec;
+  spec.fractions = buffer_fractions;
+  spec.sets.reserve(sets.size());
+  for (const SetSpec& set : sets) spec.sets.push_back({set.family, set.ex});
+  spec.policies = policies;
+  const sim::SweepResult result = sim::RunSweep(scenario, spec);
+  sim::PrintSweepTables(scenario, spec, result, title);
+  const std::string json = sim::BenchJsonPath();
+  if (!json.empty() &&
+      !sim::AppendSweepJson(json, title, scenario, spec, result)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json.c_str());
   }
 }
 

@@ -3,15 +3,25 @@
 // The paper argues criterion A is essentially free to maintain; this bench
 // quantifies the bookkeeping and victim-selection cost of every policy at
 // realistic buffer sizes.
+//
+// In addition to the google-benchmark timings, the binary prints an
+// eviction-cost table for the spatial policies with the frame-metadata
+// cache enabled versus disabled: ns per eviction and header decodes per
+// eviction (steady state should be 0 decodes with the cache on, ~frames
+// decodes per victim scan with it off). The table is also appended as
+// JSON-Lines to BENCH_policy_overhead.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/buffer_manager.h"
 #include "core/policy_factory.h"
+#include "sim/report.h"
 #include "storage/disk_manager.h"
 
 namespace {
@@ -80,6 +90,100 @@ void RegisterAll() {
   }
 }
 
+/// One steady-state eviction measurement: cost and header-decode count per
+/// eviction over a sequential scan 4x the buffer size (every access misses
+/// once the buffer is warm).
+struct EvictionCost {
+  double ns_per_eviction = 0.0;
+  double decodes_per_eviction = 0.0;
+  uint64_t evictions = 0;
+};
+
+EvictionCost MeasureEvictionCost(const std::string& policy, size_t frames,
+                                 bool cache_enabled) {
+  const size_t pages = 4 * frames;
+  auto disk = StageDisk(pages);
+  core::BufferManager buffer(disk.get(), frames, core::CreatePolicy(policy));
+  buffer.set_meta_cache_enabled(cache_enabled);
+  uint64_t query = 0;
+  storage::PageId next = 0;
+  const auto touch = [&] {
+    const core::AccessContext ctx{++query};
+    core::PageHandle handle = buffer.Fetch(next, ctx);
+    benchmark::DoNotOptimize(handle.bytes().data());
+    handle.Release();
+    next = static_cast<storage::PageId>((next + 1) % pages);
+  };
+  // Warm-up: fill every frame and reach the policy's steady state.
+  for (size_t i = 0; i < 2 * pages; ++i) touch();
+
+  const uint64_t evictions_before = buffer.stats().evictions;
+  const uint64_t decodes_before = buffer.header_decodes();
+  const size_t accesses = 4 * pages;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < accesses; ++i) touch();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EvictionCost cost;
+  cost.evictions = buffer.stats().evictions - evictions_before;
+  if (cost.evictions == 0) return cost;
+  const double evictions = static_cast<double>(cost.evictions);
+  cost.ns_per_eviction =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()) /
+      evictions;
+  cost.decodes_per_eviction =
+      static_cast<double>(buffer.header_decodes() - decodes_before) /
+      evictions;
+  return cost;
+}
+
+/// Prints (and JSON-logs) the metadata-cache A/B table: the same steady-
+/// state eviction loop with the cache enabled and disabled, per policy and
+/// buffer size.
+void RunEvictionCostTable() {
+  const std::vector<std::string> policies = {"LRU", "A", "EO", "SLRU:A:0.25",
+                                             "ASB"};
+  const std::vector<size_t> frame_counts = {256, 1024};
+  const std::string json_path = "BENCH_policy_overhead.json";
+  bool json_ok = true;
+  for (const size_t frames : frame_counts) {
+    sim::Table table({"policy", "ns/evict (cache)", "ns/evict (no cache)",
+                      "decodes/evict (cache)", "decodes/evict (no cache)"});
+    for (const std::string& policy : policies) {
+      const EvictionCost cached =
+          MeasureEvictionCost(policy, frames, /*cache_enabled=*/true);
+      const EvictionCost uncached =
+          MeasureEvictionCost(policy, frames, /*cache_enabled=*/false);
+      table.AddRow({policy, sim::FormatDouble(cached.ns_per_eviction, 1),
+                    sim::FormatDouble(uncached.ns_per_eviction, 1),
+                    sim::FormatDouble(cached.decodes_per_eviction, 2),
+                    sim::FormatDouble(uncached.decodes_per_eviction, 2)});
+      char line[512];
+      std::snprintf(
+          line, sizeof(line),
+          "{\"bench\":\"policy_overhead\",\"policy\":\"%s\","
+          "\"frames\":%zu,\"ns_per_eviction\":%.1f,"
+          "\"ns_per_eviction_no_cache\":%.1f,\"decodes_per_eviction\":%.3f,"
+          "\"decodes_per_eviction_no_cache\":%.3f,\"evictions\":%llu}",
+          sim::JsonEscape(policy).c_str(), frames, cached.ns_per_eviction,
+          uncached.ns_per_eviction, cached.decodes_per_eviction,
+          uncached.decodes_per_eviction,
+          static_cast<unsigned long long>(cached.evictions));
+      json_ok = sim::AppendJsonLine(json_path, line) && json_ok;
+    }
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "eviction cost, metadata cache on/off — %zu frames",
+                  frames);
+    table.Print(title);
+  }
+  if (!json_ok) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,5 +191,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  RunEvictionCostTable();
   return 0;
 }

@@ -73,13 +73,13 @@ struct BufferStats {
 
 /// Page buffer with a pluggable replacement policy — the experimental
 /// apparatus of the paper. Frames hold page images read from one
-/// DiskManager; every miss costs exactly one disk read (plus a write-back if
-/// the victim is dirty).
+/// PageDevice (a DiskManager or a per-run ReadOnlyDiskView); every miss
+/// costs exactly one disk read (plus a write-back if the victim is dirty).
 class BufferManager : public FrameMetaSource {
  public:
   /// `frames` is the buffer capacity in pages. The policy is bound to this
   /// buffer and must not be shared.
-  BufferManager(storage::DiskManager* disk, size_t frames,
+  BufferManager(storage::PageDevice* disk, size_t frames,
                 std::unique_ptr<ReplacementPolicy> policy);
   ~BufferManager();
 
@@ -105,13 +105,43 @@ class BufferManager : public FrameMetaSource {
 
   size_t frame_count() const { return frames_.size(); }
   size_t resident_count() const { return page_table_.size(); }
-  storage::DiskManager& disk() { return *disk_; }
+  storage::PageDevice& disk() { return *disk_; }
   ReplacementPolicy& policy() { return *policy_; }
   const BufferStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferStats{}; }
+  void ResetStats() {
+    stats_ = BufferStats{};
+    header_decodes_ = 0;
+  }
 
-  /// FrameMetaSource: decodes the header of the page resident in `frame`.
+  /// FrameMetaSource: metadata of the page resident in `frame`, served from
+  /// the per-frame cache (decoded once per page load / in-place update
+  /// instead of once per victim-scan visit).
   storage::PageMeta GetMeta(FrameId frame) const override;
+
+  /// FrameMetaSource: bumped whenever a frame's cached metadata may have
+  /// changed (page load, MarkDirty, dirty unpin). With the cache disabled
+  /// this reports 0 ("assume changed") so the policies' criterion caches
+  /// are defeated too and the A/B measurement covers the whole path.
+  uint64_t MetaVersion(FrameId frame) const override {
+    return meta_cache_enabled_ ? meta_versions_[frame] : 0;
+  }
+
+  /// FrameMetaSource: the raw version array for scan hoisting (nullptr when
+  /// the cache is disabled, defeating the policies' criterion caches too).
+  const uint64_t* MetaVersionArray() const override {
+    return meta_cache_enabled_ ? meta_versions_.data() : nullptr;
+  }
+
+  /// Disables (or re-enables) the metadata cache, forcing every GetMeta back
+  /// to a full header decode — the pre-cache behaviour, kept for A/B
+  /// measurement in micro benches. Not for production use.
+  void set_meta_cache_enabled(bool enabled) { meta_cache_enabled_ = enabled; }
+
+  /// Header decodes performed on behalf of GetMeta. With the cache enabled
+  /// this counts only re-decodes after an in-place update (steady-state
+  /// victim scans decode nothing); with the cache disabled every GetMeta
+  /// call decodes.
+  uint64_t header_decodes() const { return header_decodes_; }
 
  private:
   friend class PageHandle;
@@ -120,6 +150,13 @@ class BufferManager : public FrameMetaSource {
     storage::PageId page = storage::kInvalidPageId;
     uint32_t pin_count = 0;
     bool dirty = false;
+  };
+
+  /// Cached decoded header of the resident page; valid iff `version`
+  /// matches the frame's current meta version.
+  struct MetaCacheEntry {
+    storage::PageMeta meta;
+    uint64_t version = 0;  ///< 0 = never filled (versions start at 1)
   };
 
   std::byte* FrameData(FrameId f);
@@ -132,7 +169,15 @@ class BufferManager : public FrameMetaSource {
 
   void Unpin(FrameId frame, bool dirty);
 
-  storage::DiskManager* disk_;
+  /// Marks the frame's cached metadata stale (in-place page update); the
+  /// next GetMeta re-decodes the header.
+  void InvalidateMeta(FrameId frame) { ++meta_versions_[frame]; }
+
+  /// Decodes the frame's header into the cache under a fresh version (page
+  /// just loaded or created).
+  void FillMeta(FrameId frame);
+
+  storage::PageDevice* disk_;
   std::unique_ptr<ReplacementPolicy> policy_;
   size_t page_size_;
   std::unique_ptr<std::byte[]> frame_data_;
@@ -140,6 +185,12 @@ class BufferManager : public FrameMetaSource {
   std::vector<FrameId> free_frames_;
   std::unordered_map<storage::PageId, FrameId> page_table_;
   BufferStats stats_;
+  // The metadata cache proper: entries are re-decoded lazily inside the
+  // logically-const GetMeta, hence mutable.
+  std::vector<uint64_t> meta_versions_;
+  mutable std::vector<MetaCacheEntry> meta_cache_;
+  mutable uint64_t header_decodes_ = 0;
+  bool meta_cache_enabled_ = true;
 };
 
 }  // namespace sdb::core

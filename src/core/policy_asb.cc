@@ -132,16 +132,21 @@ void AsbPolicy::Rebalance() {
 }
 
 std::optional<FrameId> AsbPolicy::SelectMainVictim() {
-  std::vector<SpatialLruCandidate> eligible;
-  eligible.reserve(main_count_);
+  recency_keys_.clear();
+  recency_keys_.reserve(main_count_);
+  const uint64_t* versions = meta_versions();  // one virtual call per scan
   for (FrameId f = 0; f < frame_count(); ++f) {
     if (section_[f] != Section::kMain) continue;
     const FrameState& s = frame(f);
     if (!s.valid || !s.evictable) continue;
-    eligible.push_back({f, s.last_access, CritOf(f)});
+    // Eager warm pass: refreshes the frame's cached criterion if stale, so
+    // the candidate loop below reads plain cached values.
+    CachedCriterionAt(config_.criterion, f, versions ? versions[f] : 0);
+    recency_keys_.push_back(PackRecencyKey(s.last_access, f));
   }
-  const FrameId victim =
-      SelectSpatialLruVictim(eligible, static_cast<size_t>(candidate_));
+  const FrameId victim = SelectSpatialLruVictim(
+      recency_keys_, static_cast<size_t>(candidate_),
+      [this](FrameId f) { return CriterionCacheValue(f); });
   if (victim == kInvalidFrameId) return std::nullopt;
   return victim;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/policy_slru.h"
 #include "core/replacement_policy.h"
 #include "core/spatial_criterion.h"
 
@@ -79,7 +80,7 @@ class AsbPolicy : public PolicyBase {
   enum class Section : uint8_t { kNone, kMain, kOverflow };
 
   double CritOf(FrameId f) const {
-    return EvaluateCriterion(config_.criterion, MetaOf(f));
+    return CachedCriterion(config_.criterion, f);
   }
 
   /// Adjusts c based on how page p (still labelled overflow, with its
@@ -104,6 +105,7 @@ class AsbPolicy : public PolicyBase {
   std::vector<Section> section_;
   std::deque<FrameId> fifo_;  // overflow pages, demotion order
   size_t main_count_ = 0;
+  std::vector<uint64_t> recency_keys_;  // demotion-scan scratch, reused
   uint64_t overflow_hits_ = 0;
   uint64_t increases_ = 0;
   uint64_t decreases_ = 0;

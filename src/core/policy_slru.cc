@@ -47,15 +47,20 @@ void SlruPolicy::Bind(const FrameMetaSource* meta, size_t frame_count) {
 
 std::optional<FrameId> SlruPolicy::ChooseVictim(const AccessContext&,
                                         storage::PageId) {
-  std::vector<SpatialLruCandidate> eligible;
-  eligible.reserve(frame_count());
+  recency_keys_.clear();
+  recency_keys_.reserve(frame_count());
+  const uint64_t* versions = meta_versions();  // one virtual call per scan
   for (FrameId f = 0; f < frame_count(); ++f) {
     const FrameState& s = frame(f);
     if (!s.valid || !s.evictable) continue;
-    eligible.push_back({f, s.last_access,
-                        EvaluateCriterion(criterion_, MetaOf(f))});
+    // Eager warm pass: refreshes the frame's cached criterion if stale, so
+    // the candidate loop below reads plain cached values.
+    CachedCriterionAt(criterion_, f, versions ? versions[f] : 0);
+    recency_keys_.push_back(PackRecencyKey(s.last_access, f));
   }
-  const FrameId victim = SelectSpatialLruVictim(eligible, candidate_size_);
+  const FrameId victim = SelectSpatialLruVictim(
+      recency_keys_, candidate_size_,
+      [this](FrameId f) { return CriterionCacheValue(f); });
   if (victim == kInvalidFrameId) return std::nullopt;
   return victim;
 }

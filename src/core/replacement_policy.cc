@@ -9,7 +9,12 @@ void PolicyBase::Bind(const FrameMetaSource* meta, size_t frame_count) {
   SDB_CHECK(frame_count > 0);
   meta_ = meta;
   frames_.assign(frame_count, FrameState{});
+  crit_cache_.assign(frame_count, CriterionCacheEntry{});
   clock_ = 0;
+}
+
+double PolicyBase::CachedCriterion(SpatialCriterion crit, FrameId f) const {
+  return CachedCriterionAt(crit, f, meta_->MetaVersion(f));
 }
 
 void PolicyBase::OnPageLoaded(FrameId f, storage::PageId page,

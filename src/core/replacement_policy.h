@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/access_context.h"
+#include "core/spatial_criterion.h"
 #include "storage/page.h"
 
 namespace sdb::core {
@@ -17,13 +18,31 @@ using FrameId = uint32_t;
 inline constexpr FrameId kInvalidFrameId = 0xffffffffu;
 
 /// Supplies the *current* metadata of the page resident in a frame. The
-/// buffer manager implements this by decoding the page header straight from
-/// frame memory, so spatial criteria always see up-to-date values even when
-/// the page was modified in place.
+/// buffer manager implements this with a per-frame cache of the decoded
+/// page header, refreshed on page load and invalidated when the page is
+/// marked dirty — so spatial criteria see up-to-date values even when the
+/// page is modified in place (callers must MarkDirty after such writes,
+/// which they already do to get the page persisted).
 class FrameMetaSource {
  public:
   virtual ~FrameMetaSource() = default;
   virtual storage::PageMeta GetMeta(FrameId frame) const = 0;
+
+  /// Version of the frame's metadata: changes (strictly increases) whenever
+  /// GetMeta may return a different value than before. Policies use it to
+  /// cache values derived from GetMeta across victim scans. The default —
+  /// for sources that do not track changes — returns 0, which consumers
+  /// must treat as "assume changed".
+  virtual uint64_t MetaVersion(FrameId frame) const {
+    (void)frame;
+    return 0;
+  }
+
+  /// Raw per-frame version array (frame-count entries), or nullptr if the
+  /// source does not track versions. Victim scans hoist this once per scan
+  /// so the per-frame cache check is a plain array read instead of a
+  /// virtual call. Must agree with MetaVersion while the scan runs.
+  virtual const uint64_t* MetaVersionArray() const { return nullptr; }
 };
 
 /// Strategy deciding which resident page leaves the buffer on a miss.
@@ -90,6 +109,37 @@ class PolicyBase : public ReplacementPolicy {
     return meta_->GetMeta(frame);
   }
 
+  /// spatialCrit(page in f), cached across victim scans: recomputed only
+  /// when the source reports a new metadata version for the frame, so a
+  /// steady-state scan is a flat array walk comparing doubles. A policy
+  /// instance must evaluate a single fixed criterion through this helper
+  /// (all spatial policies do); mixing criteria would thrash the cache.
+  double CachedCriterion(SpatialCriterion crit, FrameId f) const;
+
+  /// Scan-hoisted variant: `version` is the frame's current meta version as
+  /// read from MetaVersionArray() (0 if the source is unversioned). Avoids
+  /// the per-frame virtual MetaVersion call inside hot victim scans.
+  double CachedCriterionAt(SpatialCriterion crit, FrameId f,
+                           uint64_t version) const {
+    CriterionCacheEntry& entry = crit_cache_[f];
+    if (version == 0 || entry.version != version) {
+      entry.value = EvaluateCriterion(crit, meta_->GetMeta(f));
+      entry.version = version;
+    }
+    return entry.value;
+  }
+
+  /// The source's raw version array (one virtual call; hoist per scan).
+  const uint64_t* meta_versions() const {
+    return meta_->MetaVersionArray();
+  }
+
+  /// The value left in the criterion cache by the most recent
+  /// CachedCriterionAt call for this frame — no freshness check. Only valid
+  /// within one victim scan, after an eager CachedCriterionAt pass over the
+  /// eligible frames.
+  double CriterionCacheValue(FrameId f) const { return crit_cache_[f].value; }
+
   size_t frame_count() const { return frames_.size(); }
   FrameState& frame(FrameId f) { return frames_[f]; }
   const FrameState& frame(FrameId f) const { return frames_[f]; }
@@ -99,8 +149,14 @@ class PolicyBase : public ReplacementPolicy {
   std::optional<FrameId> LruScan() const;
 
  private:
+  struct CriterionCacheEntry {
+    uint64_t version = 0;  ///< 0 = not cached (source versions start at 1)
+    double value = 0.0;
+  };
+
   const FrameMetaSource* meta_ = nullptr;
   std::vector<FrameState> frames_;
+  mutable std::vector<CriterionCacheEntry> crit_cache_;
   uint64_t clock_ = 0;
 };
 

@@ -44,7 +44,7 @@ Rect MbrOf(std::span<const Entry> entries) {
 
 }  // namespace
 
-RTree::RTree(storage::DiskManager* disk, core::BufferManager* buffer,
+RTree::RTree(const storage::DiskManager* disk, core::BufferManager* buffer,
              const RTreeConfig& config)
     : disk_(disk), buffer_(buffer), config_(config) {
   SDB_CHECK(disk != nullptr && buffer != nullptr);
@@ -76,11 +76,12 @@ RTree::RTree(storage::DiskManager* disk, core::BufferManager* buffer,
   PersistMeta();
 }
 
-RTree::RTree(storage::DiskManager* disk, core::BufferManager* buffer,
+RTree::RTree(const storage::DiskManager* disk, core::BufferManager* buffer,
              const RTreeConfig& config, storage::PageId meta_page)
     : disk_(disk), buffer_(buffer), config_(config), meta_page_(meta_page) {}
 
-RTree RTree::Open(storage::DiskManager* disk, core::BufferManager* buffer,
+RTree RTree::Open(const storage::DiskManager* disk,
+                  core::BufferManager* buffer,
                   storage::PageId meta_page) {
   SDB_CHECK(disk != nullptr && buffer != nullptr);
   MetaRecord record;

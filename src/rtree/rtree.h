@@ -51,12 +51,12 @@ class RTree {
  public:
   /// Creates an empty tree on `disk`, performing its page I/O through
   /// `buffer` (which must wrap the same disk).
-  RTree(storage::DiskManager* disk, core::BufferManager* buffer,
+  RTree(const storage::DiskManager* disk, core::BufferManager* buffer,
         const RTreeConfig& config = RTreeConfig{});
 
   /// Reopens a persisted tree. `meta_page` is the page id returned by
   /// meta_page() of the instance that built the tree.
-  static RTree Open(storage::DiskManager* disk, core::BufferManager* buffer,
+  static RTree Open(const storage::DiskManager* disk, core::BufferManager* buffer,
                     storage::PageId meta_page);
 
   RTree(RTree&&) = default;
@@ -122,7 +122,7 @@ class RTree {
                                const core::AccessContext& ctx,
                                double fill_fraction, PackingOrder order);
 
-  RTree(storage::DiskManager* disk, core::BufferManager* buffer,
+  RTree(const storage::DiskManager* disk, core::BufferManager* buffer,
         const RTreeConfig& config, storage::PageId meta_page);
 
   uint32_t MaxEntries(uint8_t level) const {
@@ -167,7 +167,7 @@ class RTree {
   /// MBR of a node as currently stored on its page header.
   geom::Rect NodeMbr(storage::PageId id, const core::AccessContext& ctx) const;
 
-  storage::DiskManager* disk_;
+  const storage::DiskManager* disk_;
   core::BufferManager* buffer_;
   RTreeConfig config_;
   storage::PageId meta_page_ = storage::kInvalidPageId;

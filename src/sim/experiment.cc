@@ -6,6 +6,7 @@
 #include "core/policy_lru_k.h"
 #include "core/policy_factory.h"
 #include "rtree/rtree.h"
+#include "storage/disk_view.h"
 
 namespace sdb::sim {
 
@@ -16,7 +17,7 @@ double GainVersus(const RunResult& baseline, const RunResult& result) {
          1.0;
 }
 
-RunResult RunQuerySet(storage::DiskManager* disk,
+RunResult RunQuerySet(const storage::DiskManager& disk,
                       storage::PageId tree_meta,
                       const std::string& policy_spec,
                       const workload::QuerySet& queries,
@@ -25,8 +26,13 @@ RunResult RunQuerySet(storage::DiskManager* disk,
       core::CreatePolicy(policy_spec);
   SDB_CHECK_MSG(policy != nullptr, "unknown policy spec");
 
-  core::BufferManager buffer(disk, options.buffer_frames, std::move(policy));
-  const rtree::RTree tree = rtree::RTree::Open(disk, &buffer, tree_meta);
+  // Per-run read-only view: this run's I/O counters are private, so many
+  // runs can share one disk image concurrently. The view aborts on writes —
+  // replay is read-only by contract.
+  storage::ReadOnlyDiskView view(disk);
+  core::BufferManager buffer(&view, options.buffer_frames,
+                             std::move(policy));
+  const rtree::RTree tree = rtree::RTree::Open(&disk, &buffer, tree_meta);
   auto* asb = options.trace_candidate_size
                   ? dynamic_cast<core::AsbPolicy*>(&buffer.policy())
                   : nullptr;
@@ -37,7 +43,6 @@ RunResult RunQuerySet(storage::DiskManager* disk,
   result.buffer_frames = options.buffer_frames;
   if (asb != nullptr) result.candidate_trace.reserve(queries.queries.size());
 
-  disk->ResetStats();
   uint64_t query_id = 0;
   for (const geom::Rect& window : queries.queries) {
     const core::AccessContext ctx{++query_id};
@@ -54,11 +59,11 @@ RunResult RunQuerySet(storage::DiskManager* disk,
           dynamic_cast<const core::LruKPolicy*>(&buffer.policy())) {
     result.retained_history_records = lru_k->retained_history_size();
   }
-  result.disk_reads = disk->stats().reads;
-  result.sequential_reads = disk->stats().sequential_reads;
+  result.disk_reads = view.stats().reads;
+  result.sequential_reads = view.stats().sequential_reads;
   result.buffer_requests = buffer.stats().requests;
   result.buffer_hits = buffer.stats().hits;
-  SDB_CHECK_MSG(disk->stats().writes == 0,
+  SDB_CHECK_MSG(view.stats().writes == 0,
                 "read-only replay must not write");
   return result;
 }

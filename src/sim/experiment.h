@@ -53,11 +53,26 @@ double GainVersus(const RunResult& baseline, const RunResult& result);
 /// buffer before each query set); every query gets its own query id so
 /// LRU-K's correlation detection works as specified. Aborts on an unknown
 /// policy spec.
-RunResult RunQuerySet(storage::DiskManager* disk,
+///
+/// The run performs its I/O through a private ReadOnlyDiskView, so the
+/// shared disk image is never written and its device counters are never
+/// touched: any number of RunQuerySet calls over the same disk may execute
+/// concurrently (the sweep runner does exactly that), provided nothing
+/// mutates the disk meanwhile.
+RunResult RunQuerySet(const storage::DiskManager& disk,
                       storage::PageId tree_meta,
                       const std::string& policy_spec,
                       const workload::QuerySet& queries,
                       const RunOptions& options);
+
+/// Pointer-taking convenience wrapper (the historical signature).
+inline RunResult RunQuerySet(storage::DiskManager* disk,
+                             storage::PageId tree_meta,
+                             const std::string& policy_spec,
+                             const workload::QuerySet& queries,
+                             const RunOptions& options) {
+  return RunQuerySet(*disk, tree_meta, policy_spec, queries, options);
+}
 
 }  // namespace sdb::sim
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 
 #include "common/macros.h"
 
@@ -64,6 +66,49 @@ void Table::PrintCsv(const std::string& title) const {
     }
     std::printf("\n");
   }
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool AppendJsonLine(const std::string& path, const std::string& object) {
+  // Truncate on the first append per path so each process run starts a
+  // fresh file; guarded because sweeps may report from worker threads.
+  static std::mutex mutex;
+  static std::set<std::string>* fresh_paths = new std::set<std::string>();
+  const std::lock_guard<std::mutex> lock(mutex);
+  const bool truncate = fresh_paths->insert(path).second;
+  std::FILE* file = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (file == nullptr) return false;
+  const bool ok = std::fprintf(file, "%s\n", object.c_str()) > 0;
+  return std::fclose(file) == 0 && ok;
 }
 
 std::string FormatGain(double gain) {

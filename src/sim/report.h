@@ -2,6 +2,7 @@
 #define SPATIALBUFFER_SIM_REPORT_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sdb::sim {
@@ -26,6 +27,16 @@ class Table {
  private:
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+/// Appends one JSON object as a single line (JSON-Lines) to `path`. The
+/// first append to a path within this process truncates the file, so every
+/// bench invocation starts a fresh trajectory while successive sweeps of
+/// one invocation accumulate. Returns false on I/O failure.
+bool AppendJsonLine(const std::string& path, const std::string& object);
 
 /// "+12.3%" / "-4.2%" formatting for relative gains.
 std::string FormatGain(double gain);

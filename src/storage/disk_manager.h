@@ -35,25 +35,44 @@ struct IoStats {
   }
 };
 
+/// Interface of everything a buffer pool needs from its backing store:
+/// page-granular transfers plus per-device I/O accounting. DiskManager is
+/// the canonical implementation; ReadOnlyDiskView (disk_view.h) adapts a
+/// shared DiskManager for concurrent read-only replays, each view carrying
+/// its own counters.
+class PageDevice {
+ public:
+  virtual ~PageDevice() = default;
+
+  virtual size_t page_size() const = 0;
+
+  /// Appends a zeroed page and returns its id. Allocation is not counted as
+  /// I/O (the zero page materializes in the buffer).
+  virtual PageId Allocate() = 0;
+
+  /// Copies a page into `out` (which must be page_size() bytes).
+  virtual void Read(PageId id, std::span<std::byte> out) = 0;
+
+  /// Copies `in` (page_size() bytes) onto the page.
+  virtual void Write(PageId id, std::span<const std::byte> in) = 0;
+
+  virtual const IoStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
 /// Simulated disk: a growable array of fixed-size pages held in memory, with
 /// exact accounting of every page transfer. All experiment metrics are
 /// computed from these counters, so buffer hits must never reach this class.
-class DiskManager {
+class DiskManager : public PageDevice {
  public:
   explicit DiskManager(size_t page_size = kDefaultPageSize);
 
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
-  /// Appends a zeroed page to the file and returns its id. Allocation is not
-  /// counted as I/O (the zero page materializes in the buffer).
-  PageId Allocate();
-
-  /// Copies a page from disk into `out` (which must be page_size() bytes).
-  void Read(PageId id, std::span<std::byte> out);
-
-  /// Copies `in` (page_size() bytes) onto the page.
-  void Write(PageId id, std::span<const std::byte> in);
+  PageId Allocate() override;
+  void Read(PageId id, std::span<std::byte> out) override;
+  void Write(PageId id, std::span<const std::byte> in) override;
 
   /// Header of a page as it is on disk — for offline inspection/validation
   /// without touching the I/O counters.
@@ -74,11 +93,11 @@ class DiskManager {
 
   DiskManager(DiskManager&&) = default;
 
-  size_t page_size() const { return page_size_; }
+  size_t page_size() const override { return page_size_; }
   size_t page_count() const { return pages_.size(); }
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats();
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override;
 
  private:
   std::byte* PagePtr(PageId id);

@@ -1,0 +1,34 @@
+#include "storage/disk_view.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace sdb::storage {
+
+PageId ReadOnlyDiskView::Allocate() {
+  SDB_CHECK_MSG(false, "read-only disk view cannot allocate pages");
+  return kInvalidPageId;
+}
+
+void ReadOnlyDiskView::Read(PageId id, std::span<std::byte> out) {
+  SDB_CHECK(out.size() == base_->page_size());
+  std::span<const std::byte> page = base_->PeekPage(id);
+  std::memcpy(out.data(), page.data(), page.size());
+  ++stats_.reads;
+  if (last_read_ != kInvalidPageId && id == last_read_ + 1) {
+    ++stats_.sequential_reads;
+  }
+  last_read_ = id;
+}
+
+void ReadOnlyDiskView::Write(PageId, std::span<const std::byte>) {
+  SDB_CHECK_MSG(false, "read-only disk view cannot write pages");
+}
+
+void ReadOnlyDiskView::ResetStats() {
+  stats_ = IoStats{};
+  last_read_ = kInvalidPageId;
+}
+
+}  // namespace sdb::storage

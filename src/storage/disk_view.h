@@ -1,0 +1,45 @@
+#ifndef SPATIALBUFFER_STORAGE_DISK_VIEW_H_
+#define SPATIALBUFFER_STORAGE_DISK_VIEW_H_
+
+#include <cstddef>
+#include <span>
+
+#include "storage/disk_manager.h"
+
+namespace sdb::storage {
+
+/// Read-only window onto a shared DiskManager with its own I/O counters.
+///
+/// The experiment harness replays many (policy × buffer-size × query-set)
+/// cells against one expensively built disk image. The image itself is never
+/// modified by a replay, but DiskManager::Read mutates the device counters,
+/// so concurrent replays over the shared manager would race and corrupt the
+/// metrics. Each replay instead wraps the manager in its own view: reads are
+/// served straight from the shared page array (which must not be mutated
+/// while views exist), while read counts and sequential-run detection are
+/// tracked per view. Write and Allocate abort — a replay that dirties pages
+/// is a harness bug.
+class ReadOnlyDiskView final : public PageDevice {
+ public:
+  explicit ReadOnlyDiskView(const DiskManager& base) : base_(&base) {}
+
+  size_t page_size() const override { return base_->page_size(); }
+
+  PageId Allocate() override;
+  void Read(PageId id, std::span<std::byte> out) override;
+  void Write(PageId id, std::span<const std::byte> in) override;
+
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override;
+
+  const DiskManager& base() const { return *base_; }
+
+ private:
+  const DiskManager* base_;
+  IoStats stats_;
+  PageId last_read_ = kInvalidPageId;
+};
+
+}  // namespace sdb::storage
+
+#endif  // SPATIALBUFFER_STORAGE_DISK_VIEW_H_

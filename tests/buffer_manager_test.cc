@@ -4,6 +4,7 @@
 
 #include "core/buffer_manager.h"
 #include "core/policy_lru.h"
+#include "core/policy_spatial.h"
 #include "test_util.h"
 
 namespace sdb::core {
@@ -193,6 +194,49 @@ TEST_F(BufferManagerTest, HitRateComputation) {
   stats.requests = 10;
   stats.hits = 4;
   EXPECT_DOUBLE_EQ(stats.HitRate(), 0.4);
+}
+
+TEST_F(BufferManagerTest, MetaCacheServesVictimScansWithoutDecodes) {
+  // Victim scans of metadata-consuming policies go through GetMeta once per
+  // resident frame per eviction. With the per-frame cache, pages that were
+  // not modified since load are served from the cache: a read-only workload
+  // performs zero header decodes on behalf of GetMeta, no matter how many
+  // evictions run.
+  StagePages(8);
+  auto buffer = std::make_unique<BufferManager>(
+      &disk_, 4, std::make_unique<SpatialPolicy>(SpatialCriterion::kArea));
+  uint64_t query = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (const PageId page : pages_) Touch(*buffer, page, ++query);
+  }
+  EXPECT_GT(buffer->stats().evictions, 10u);
+  EXPECT_EQ(buffer->header_decodes(), 0u);
+
+  // The same workload with the cache disabled decodes on every GetMeta —
+  // the pre-cache behaviour the micro bench measures against.
+  buffer->set_meta_cache_enabled(false);
+  buffer->ResetStats();
+  for (int round = 0; round < 3; ++round) {
+    for (const PageId page : pages_) Touch(*buffer, page, ++query);
+  }
+  EXPECT_GT(buffer->header_decodes(), buffer->stats().evictions)
+      << "every victim scan visits several frames";
+}
+
+TEST_F(BufferManagerTest, MetaCacheRedecodesOnceAfterInvalidation) {
+  StagePages(1);
+  auto buffer = std::make_unique<BufferManager>(
+      &disk_, 2, std::make_unique<SpatialPolicy>(SpatialCriterion::kArea));
+  const AccessContext ctx{1};
+  PageHandle handle = buffer->Fetch(pages_[0], ctx);
+  EXPECT_EQ(buffer->header_decodes(), 0u) << "load fill is not a decode";
+  buffer->GetMeta(0);
+  EXPECT_EQ(buffer->header_decodes(), 0u) << "served from the load fill";
+  handle.MarkDirty();  // invalidates
+  buffer->GetMeta(0);
+  buffer->GetMeta(0);
+  EXPECT_EQ(buffer->header_decodes(), 1u)
+      << "one re-decode, then cached again";
 }
 
 using BufferManagerDeathTest = BufferManagerTest;

@@ -171,6 +171,39 @@ TEST_F(SpatialPolicyTest, RecomputedCriterionIsLive) {
   EXPECT_TRUE(buffer.Contains(stable));
 }
 
+TEST_F(SpatialPolicyTest, CriterionCacheInvalidatedByPinnedRewrite) {
+  // Regression test for the per-frame criterion cache: an earlier eviction
+  // scan caches every resident page's criterion; a page whose MBR is then
+  // rewritten in place (while pinned) and marked dirty must be re-ranked
+  // with the *new* value on the next eviction, not the cached one.
+  const PageId big = Stage(100.0, 0, 0, 0);
+  const PageId mid = Stage(4.0, 0, 0, 0);
+  const PageId other = Stage(9.0, 0, 0, 0);
+  const PageId next = Stage(16.0, 0, 0, 0);
+  const PageId last = Stage(25.0, 0, 0, 0);
+  BufferManager buffer(
+      &disk_, 3, std::make_unique<SpatialPolicy>(SpatialCriterion::kArea));
+  Touch(buffer, big, 1);
+  Touch(buffer, mid, 2);
+  Touch(buffer, other, 3);
+  Touch(buffer, next, 4);  // scan caches all criteria; evicts mid (area 4)
+  ASSERT_FALSE(buffer.Contains(mid));
+  {
+    const AccessContext ctx{5};
+    PageHandle handle = buffer.Fetch(big, ctx);  // hit: pinned in place
+    geom::EntryAggregates agg;
+    agg.mbr = geom::Rect(0, 0, 0.1, 0.1);  // area 100 -> 0.01
+    handle.header().set_aggregates(agg);
+    handle.MarkDirty();
+  }
+  // With a stale criterion cache the scan would still rank big at 100 and
+  // evict other (area 9); the invalidation makes big (0.01) the victim.
+  Touch(buffer, last, 6);
+  EXPECT_FALSE(buffer.Contains(big));
+  EXPECT_TRUE(buffer.Contains(other));
+  EXPECT_TRUE(buffer.Contains(next));
+}
+
 TEST_F(SpatialPolicyTest, NamesMatchPaper) {
   EXPECT_EQ(SpatialPolicy(SpatialCriterion::kArea).name(), "A");
   EXPECT_EQ(SpatialPolicy(SpatialCriterion::kEntryArea).name(), "EA");

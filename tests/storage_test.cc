@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "storage/disk_manager.h"
+#include "storage/disk_view.h"
 #include "storage/page.h"
 
 namespace sdb::storage {
@@ -221,6 +222,61 @@ TEST(DiskImageTest, MissingOrCorruptFilesAreRejected) {
   std::fclose(f);
   EXPECT_FALSE(DiskManager::LoadImage(path).has_value());
   std::remove(path.c_str());
+}
+
+TEST(ReadOnlyDiskViewTest, ReadsSameBytesAsBase) {
+  DiskManager disk;
+  const PageId a = disk.Allocate();
+  const PageId b = disk.Allocate();
+  disk.Write(a, MakeImage(disk.page_size(), 0x11));
+  disk.Write(b, MakeImage(disk.page_size(), 0x22));
+
+  ReadOnlyDiskView view(disk);
+  EXPECT_EQ(view.page_size(), disk.page_size());
+  auto via_view = MakeImage(disk.page_size(), 0);
+  auto via_base = MakeImage(disk.page_size(), 0);
+  for (const PageId id : {a, b}) {
+    view.Read(id, via_view);
+    disk.Read(id, via_base);
+    EXPECT_EQ(
+        std::memcmp(via_view.data(), via_base.data(), disk.page_size()), 0);
+  }
+}
+
+TEST(ReadOnlyDiskViewTest, CountersArePerViewAndLeaveBaseUntouched) {
+  DiskManager disk;
+  for (int i = 0; i < 4; ++i) disk.Allocate();
+  disk.ResetStats();
+
+  ReadOnlyDiskView first(disk);
+  ReadOnlyDiskView second(disk);
+  auto image = MakeImage(disk.page_size(), 0);
+  first.Read(0, image);
+  first.Read(1, image);  // sequential
+  first.Read(3, image);  // random
+  second.Read(2, image);
+
+  EXPECT_EQ(first.stats().reads, 3u);
+  EXPECT_EQ(first.stats().sequential_reads, 1u);
+  EXPECT_EQ(second.stats().reads, 1u);
+  EXPECT_EQ(second.stats().sequential_reads, 0u);
+  EXPECT_EQ(disk.stats().accesses(), 0u)
+      << "view reads must not mutate the shared device counters";
+
+  first.ResetStats();
+  EXPECT_EQ(first.stats().reads, 0u);
+  // After a reset the next read must not count as sequential.
+  first.Read(0, image);
+  EXPECT_EQ(first.stats().sequential_reads, 0u);
+}
+
+TEST(ReadOnlyDiskViewDeathTest, WriteAndAllocateAbort) {
+  DiskManager disk;
+  disk.Allocate();
+  ReadOnlyDiskView view(disk);
+  auto image = MakeImage(disk.page_size(), 0);
+  EXPECT_DEATH(view.Write(0, image), "read-only");
+  EXPECT_DEATH(view.Allocate(), "read-only");
 }
 
 TEST(DiskManagerDeathTest, OutOfRangeAborts) {
