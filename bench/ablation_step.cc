@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/collector.h"
 
 int main() {
   using namespace sdb;
@@ -24,7 +25,6 @@ int main() {
 
   sim::RunOptions options;
   options.buffer_frames = scenario.BufferFrames(0.047);
-  options.trace_candidate_size = true;
   const sim::RunResult lru = sim::RunQuerySet(
       scenario.disk.get(), scenario.tree_meta, "LRU", mixed, options);
 
@@ -32,9 +32,14 @@ int main() {
   for (const double step : {0.01, 0.02, 0.04, 0.08, 0.16}) {
     char spec[64];
     std::snprintf(spec, sizeof(spec), "ASB:A:0.2:0.25:%g", step);
+    obs::CollectorOptions collect;
+    collect.event_capacity = obs::EventRing::kUnbounded;
+    obs::Collector collector(collect);
+    options.collector = &collector;
     const sim::RunResult result = sim::RunQuerySet(
         scenario.disk.get(), scenario.tree_meta, spec, mixed, options);
-    const auto& trace = result.candidate_trace;
+    const std::vector<size_t> trace =
+        sim::AsbCandidateTrace(collector.events(), mixed.queries.size());
     const size_t min_c = *std::min_element(trace.begin(), trace.end());
     const size_t max_c = *std::max_element(trace.begin(), trace.end());
     const double mean_c =

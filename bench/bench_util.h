@@ -2,9 +2,11 @@
 #define SPATIALBUFFER_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "sim/scenario.h"
@@ -95,6 +97,13 @@ inline std::vector<SetSpec> AllSets() {
 /// identical for every thread count), and a machine-readable record of
 /// every run is appended to BENCH_sweep.json (path overridable via
 /// SDB_BENCH_JSON; set it empty to disable).
+///
+/// Observability: every run carries a private metrics collector; its
+/// snapshot is embedded in the run's JSON row, and the merged registry of
+/// the whole sweep is dumped to BENCH_metrics.json (override/disable via
+/// SDB_BENCH_METRICS; the file holds the most recent sweep of the bench).
+/// Setting SDB_BENCH_TRACE=<path> additionally writes the runner's worker
+/// timelines as a Chrome trace_event file for chrome://tracing / Perfetto.
 inline void PrintGainTables(const sim::Scenario& scenario,
                             const std::vector<SetSpec>& sets,
                             const std::vector<std::string>& policies,
@@ -105,12 +114,27 @@ inline void PrintGainTables(const sim::Scenario& scenario,
   spec.sets.reserve(sets.size());
   for (const SetSpec& set : sets) spec.sets.push_back({set.family, set.ex});
   spec.policies = policies;
+  spec.collect_metrics = true;
   const sim::SweepResult result = sim::RunSweep(scenario, spec);
   sim::PrintSweepTables(scenario, spec, result, title);
   const std::string json = sim::BenchJsonPath();
   if (!json.empty() &&
       !sim::AppendSweepJson(json, title, scenario, spec, result)) {
     std::fprintf(stderr, "warning: could not write %s\n", json.c_str());
+  }
+  const char* metrics_env = std::getenv("SDB_BENCH_METRICS");
+  const std::string metrics_path =
+      metrics_env == nullptr ? std::string("BENCH_metrics.json")
+                             : std::string(metrics_env);
+  if (!metrics_path.empty() &&
+      !obs::WriteMetricsJsonLines(metrics_path, title, result.metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 metrics_path.c_str());
+  }
+  const char* trace_env = std::getenv("SDB_BENCH_TRACE");
+  if (trace_env != nullptr && trace_env[0] != '\0' &&
+      !sim::WriteSweepTrace(trace_env, result)) {
+    std::fprintf(stderr, "warning: could not write %s\n", trace_env);
   }
 }
 

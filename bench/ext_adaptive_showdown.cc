@@ -6,7 +6,11 @@
 // question being whether generic adaptivity (ARC) can match adaptivity
 // that understands the *spatial* structure of the working set (ASB).
 
+#include <algorithm>
+#include <cstdint>
+
 #include "bench_util.h"
+#include "obs/collector.h"
 
 int main() {
   using namespace sdb;
@@ -32,7 +36,13 @@ int main() {
       scenario.disk.get(), scenario.tree_meta, "LRU", mixed, options);
   sim::Table table({"policy", "disk reads", "gain vs LRU"});
   table.AddRow({"LRU", std::to_string(lru.disk_reads), "+0.0%"});
+  // The ASB run carries a collector so its self-tuning activity on the
+  // drifting workload is visible, not just its end-to-end I/O.
+  obs::CollectorOptions collect;
+  collect.event_capacity = obs::EventRing::kUnbounded;
+  obs::Collector asb_collector(collect);
   for (const std::string& policy : policies) {
+    options.collector = policy == "ASB" ? &asb_collector : nullptr;
     const sim::RunResult result = sim::RunQuerySet(
         scenario.disk.get(), scenario.tree_meta, policy, mixed, options);
     table.AddRow({result.policy, std::to_string(result.disk_reads),
@@ -40,5 +50,25 @@ int main() {
   }
   table.Print("Extension — drifting workload " + mixed.name +
               " (4.7% buffer)");
+
+  uint64_t down = 0, up = 0, tie = 0;
+  size_t c_min = SIZE_MAX, c_max = 0;
+  asb_collector.events().ForEach([&](const obs::Event& event) {
+    if (event.kind != obs::EventKind::kAsbAdapt) return;
+    if (event.delta < 0) ++down;
+    else if (event.delta > 0) ++up;
+    else ++tie;
+    c_min = std::min(c_min, static_cast<size_t>(event.c));
+    c_max = std::max(c_max, static_cast<size_t>(event.c));
+  });
+  std::printf(
+      "\nASB adaptation on the drifting workload: %llu overflow hits "
+      "(c down: %llu, up: %llu, unchanged: %llu), candidate set ranged "
+      "%zu..%zu\n",
+      static_cast<unsigned long long>(down + up + tie),
+      static_cast<unsigned long long>(down),
+      static_cast<unsigned long long>(up),
+      static_cast<unsigned long long>(tie), c_min == SIZE_MAX ? 0 : c_min,
+      c_max);
   return 0;
 }

@@ -14,8 +14,10 @@
 
 #include <cstdio>
 #include <numeric>
+#include <vector>
 
 #include "bench_util.h"
+#include "obs/collector.h"
 
 namespace {
 
@@ -31,15 +33,29 @@ void TraceMixedWorkload(const sim::Scenario& scenario, int ex) {
   const workload::QuerySet mixed =
       workload::ConcatQuerySets({intensified, uniform, similar});
 
+  // The ASB adaptation history arrives as kAsbInit/kAsbAdapt events on the
+  // observability stream; the per-query trace is reconstructed from it.
+  obs::CollectorOptions collect;
+  collect.event_capacity = obs::EventRing::kUnbounded;
+  obs::Collector collector(collect);
   sim::RunOptions options;
   options.buffer_frames = scenario.BufferFrames(0.047);
-  options.trace_candidate_size = true;
+  options.collector = &collector;
   const sim::RunResult result = sim::RunQuerySet(
       scenario.disk.get(), scenario.tree_meta, "ASB", mixed, options);
 
   const size_t p1 = intensified.queries.size();
   const size_t p2 = p1 + uniform.queries.size();
-  const auto& trace = result.candidate_trace;
+  const std::vector<size_t> trace =
+      sim::AsbCandidateTrace(collector.events(), mixed.queries.size());
+
+  uint64_t decreases = 0, increases = 0, ties = 0;
+  collector.events().ForEach([&](const obs::Event& event) {
+    if (event.kind != obs::EventKind::kAsbAdapt) return;
+    if (event.delta < 0) ++decreases;
+    else if (event.delta > 0) ++increases;
+    else ++ties;
+  });
 
   auto mean = [&trace](size_t begin, size_t end) {
     if (begin >= end) return 0.0;
@@ -51,6 +67,12 @@ void TraceMixedWorkload(const sim::Scenario& scenario, int ex) {
       mixed.name.c_str());
   std::printf("buffer: %zu frames, initial candidate set: %zu\n",
               options.buffer_frames, trace.empty() ? 0 : trace.front());
+  std::printf(
+      "overflow hits: %llu (c down: %llu, c up: %llu, unchanged: %llu)\n",
+      static_cast<unsigned long long>(decreases + increases + ties),
+      static_cast<unsigned long long>(decreases),
+      static_cast<unsigned long long>(increases),
+      static_cast<unsigned long long>(ties));
   std::printf("phase averages (settled half of each phase):\n");
   std::printf("  %-10s: %.0f\n", intensified.name.c_str(), mean(p1 / 2, p1));
   std::printf("  %-10s: %.0f\n", uniform.name.c_str(),

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "obs/collector.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 
@@ -30,13 +31,17 @@ int main() {
   const workload::QuerySet mixed =
       workload::ConcatQuerySets({hot1, scan, hot2});
 
+  obs::CollectorOptions collect;
+  collect.event_capacity = obs::EventRing::kUnbounded;
+  obs::Collector collector(collect);
   sim::RunOptions run;
   run.buffer_frames = scenario.BufferFrames(0.047);
-  run.trace_candidate_size = true;
+  run.collector = &collector;
   const sim::RunResult result = sim::RunQuerySet(
       scenario.disk.get(), scenario.tree_meta, "ASB", mixed, run);
 
-  const auto& trace = result.candidate_trace;
+  const std::vector<size_t> trace =
+      sim::AsbCandidateTrace(collector.events(), mixed.queries.size());
   const size_t max_c = *std::max_element(trace.begin(), trace.end());
   std::printf("workload: %s (%zu queries), buffer %zu frames\n",
               mixed.name.c_str(), trace.size(), run.buffer_frames);

@@ -55,13 +55,21 @@ void PageHandle::Release() {
 }
 
 BufferManager::BufferManager(storage::PageDevice* disk, size_t frames,
-                             std::unique_ptr<ReplacementPolicy> policy)
+                             std::unique_ptr<ReplacementPolicy> policy,
+                             obs::Collector* collector)
     : disk_(disk),
       policy_(std::move(policy)),
       page_size_(disk->page_size()) {
   SDB_CHECK(disk_ != nullptr);
   SDB_CHECK(policy_ != nullptr);
   SDB_CHECK_MSG(frames > 0, "buffer needs at least one frame");
+  if constexpr (obs::kEnabled) {
+    obs_ = collector;
+    if (obs_ != nullptr) {
+      obs_evictions_ = obs_->metrics().GetCounter("buffer.evictions");
+      obs_writebacks_ = obs_->metrics().GetCounter("buffer.dirty_writebacks");
+    }
+  }
   frame_data_ = std::make_unique<std::byte[]>(frames * page_size_);
   frames_.assign(frames, Frame{});
   meta_versions_.assign(frames, 0);
@@ -71,6 +79,8 @@ BufferManager::BufferManager(storage::PageDevice* disk, size_t frames,
   for (size_t f = frames; f > 0; --f) {
     free_frames_.push_back(static_cast<FrameId>(f - 1));
   }
+  // Collector before Bind so bind-time events (kAsbInit) are captured.
+  policy_->SetCollector(obs_);
   policy_->Bind(this, frames);
 }
 
@@ -87,10 +97,16 @@ PageHandle BufferManager::Fetch(storage::PageId page,
       policy_->SetEvictable(f, false);
     }
     policy_->OnPageAccessed(f, ctx);
+    if constexpr (obs::kEnabled) {
+      if (obs_ != nullptr) obs_->OnBufferRequest(page, ctx.query_id, true);
+    }
     return PageHandle(this, f, page);
   }
 
   ++stats_.misses;
+  if constexpr (obs::kEnabled) {
+    if (obs_ != nullptr) obs_->OnBufferRequest(page, ctx.query_id, false);
+  }
   const FrameId f = AcquireFrame(ctx, page);
   disk_->Read(page, {FrameData(f), page_size_});
   Frame& frame = frames_[f];
@@ -107,6 +123,9 @@ PageHandle BufferManager::New(const AccessContext& ctx) {
   ++stats_.requests;
   ++stats_.misses;  // a new page is never a hit
   const storage::PageId page = disk_->Allocate();
+  if constexpr (obs::kEnabled) {
+    if (obs_ != nullptr) obs_->OnBufferRequest(page, ctx.query_id, false);
+  }
   const FrameId f = AcquireFrame(ctx, page);
   std::memset(FrameData(f), 0, page_size_);
   Frame& frame = frames_[f];
@@ -190,16 +209,43 @@ FrameId BufferManager::AcquireFrame(const AccessContext& ctx,
   Frame& frame = frames_[f];
   SDB_CHECK_MSG(frame.pin_count == 0, "policy evicted a pinned page");
   SDB_CHECK(frame.page != storage::kInvalidPageId);
+  const bool was_dirty = frame.dirty;
   if (frame.dirty) {
     disk_->Write(frame.page, {FrameData(f), page_size_});
     ++stats_.dirty_writebacks;
     frame.dirty = false;
   }
   ++stats_.evictions;
+  if constexpr (obs::kEnabled) {
+    if (obs_ != nullptr) {
+      obs_evictions_->Add();
+      if (was_dirty) obs_writebacks_->Add();
+      obs::Event event;
+      event.kind = obs::EventKind::kEviction;
+      event.flag = was_dirty;
+      event.frame = f;
+      event.query = ctx.query_id;
+      event.page = frame.page;
+      obs_->events().Push(event);
+    }
+  }
   page_table_.erase(frame.page);
   policy_->OnPageEvicted(f, frame.page);
   frame.page = storage::kInvalidPageId;
   return f;
+}
+
+void BufferManager::FlushObservability() {
+  if constexpr (!obs::kEnabled) return;
+  if (obs_ == nullptr) return;
+  // Delta-flush: header decodes are the only total the hot path does not
+  // feed into the collector eagerly (the counter lives on the GetMeta fast
+  // path, where even a guarded increment would distort the A/B overhead
+  // bench this subsystem must not perturb).
+  obs_->metrics()
+      .GetCounter("buffer.header_decodes")
+      ->Add(header_decodes_ - flushed_header_decodes_);
+  flushed_header_decodes_ = header_decodes_;
 }
 
 void BufferManager::Unpin(FrameId f, bool dirty) {

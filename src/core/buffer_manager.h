@@ -10,6 +10,7 @@
 
 #include "core/access_context.h"
 #include "core/replacement_policy.h"
+#include "obs/collector.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -78,9 +79,14 @@ struct BufferStats {
 class BufferManager : public FrameMetaSource {
  public:
   /// `frames` is the buffer capacity in pages. The policy is bound to this
-  /// buffer and must not be shared.
+  /// buffer and must not be shared. `collector` (optional) receives metrics
+  /// and events from this buffer and its policy; it must outlive the buffer
+  /// and is attached before the policy binds, so bind-time events (e.g.
+  /// ASB's configuration record) are captured. With observability compiled
+  /// out (SDB_OBS=OFF) the collector is ignored.
   BufferManager(storage::PageDevice* disk, size_t frames,
-                std::unique_ptr<ReplacementPolicy> policy);
+                std::unique_ptr<ReplacementPolicy> policy,
+                obs::Collector* collector = nullptr);
   ~BufferManager();
 
   BufferManager(const BufferManager&) = delete;
@@ -107,10 +113,14 @@ class BufferManager : public FrameMetaSource {
   size_t resident_count() const { return page_table_.size(); }
   storage::PageDevice& disk() { return *disk_; }
   ReplacementPolicy& policy() { return *policy_; }
+  const ReplacementPolicy& policy() const { return *policy_; }
+  /// The attached observability collector (nullptr = none).
+  obs::Collector* collector() const { return obs_; }
   const BufferStats& stats() const { return stats_; }
   void ResetStats() {
     stats_ = BufferStats{};
     header_decodes_ = 0;
+    flushed_header_decodes_ = 0;
   }
 
   /// FrameMetaSource: metadata of the page resident in `frame`, served from
@@ -142,6 +152,13 @@ class BufferManager : public FrameMetaSource {
   /// victim scans decode nothing); with the cache disabled every GetMeta
   /// call decodes.
   uint64_t header_decodes() const { return header_decodes_; }
+
+  /// Publishes the end-of-run aggregate counters (BufferStats, header
+  /// decodes) into the attached collector's registry — totals the hot path
+  /// does not maintain eagerly. Idempotent: repeated calls add only the
+  /// delta since the previous flush, so live dashboards may call it at any
+  /// cadence. No-op without a collector.
+  void FlushObservability();
 
  private:
   friend class PageHandle;
@@ -191,6 +208,13 @@ class BufferManager : public FrameMetaSource {
   mutable std::vector<MetaCacheEntry> meta_cache_;
   mutable uint64_t header_decodes_ = 0;
   bool meta_cache_enabled_ = true;
+  // Observability (all nullptr when no collector is attached or SDB_OBS is
+  // off): eviction counters/events are recorded eagerly, aggregate totals
+  // go through FlushObservability.
+  obs::Collector* obs_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
+  obs::Counter* obs_writebacks_ = nullptr;
+  uint64_t flushed_header_decodes_ = 0;
 };
 
 }  // namespace sdb::core

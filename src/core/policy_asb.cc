@@ -15,6 +15,18 @@ AsbPolicy::AsbPolicy(const AsbConfig& config) : config_(config) {
   SDB_CHECK(config.step_fraction > 0.0 && config.step_fraction <= 1.0);
 }
 
+void AsbPolicy::SetCollector(obs::Collector* collector) {
+  PolicyBase::SetCollector(collector);
+  if constexpr (!obs::kEnabled) return;
+  if (collector == nullptr) return;
+  obs_overflow_hits_ = collector->metrics().GetCounter("asb.overflow_hits");
+  obs_increases_ =
+      collector->metrics().GetCounter("asb.candidate_increases");
+  obs_decreases_ =
+      collector->metrics().GetCounter("asb.candidate_decreases");
+  obs_candidate_ = collector->metrics().GetGauge("asb.candidate");
+}
+
 void AsbPolicy::Bind(const FrameMetaSource* meta, size_t frame_count) {
   PolicyBase::Bind(meta, frame_count);
   overflow_target_ = std::clamp<size_t>(
@@ -35,6 +47,18 @@ void AsbPolicy::Bind(const FrameMetaSource* meta, size_t frame_count) {
   overflow_hits_ = 0;
   increases_ = 0;
   decreases_ = 0;
+  if constexpr (obs::kEnabled) {
+    if (obs::Collector* c = collector()) {
+      obs_candidate_->Set(static_cast<double>(candidate_));
+      obs::Event event;
+      event.kind = obs::EventKind::kAsbInit;
+      event.a = main_target_;
+      event.b = overflow_target_;
+      event.c = static_cast<uint64_t>(candidate_);
+      event.page = static_cast<uint64_t>(step_);
+      c->events().Push(event);
+    }
+  }
 }
 
 void AsbPolicy::OnPageLoaded(FrameId f, storage::PageId page,
@@ -52,7 +76,7 @@ void AsbPolicy::OnPageAccessed(FrameId f, const AccessContext& ctx) {
     // from the mistake (using the page's pre-access state), then move it
     // back to the main section.
     ++overflow_hits_;
-    Adapt(f);
+    Adapt(f, ctx);
     Promote(f);
     PolicyBase::OnPageAccessed(f, ctx);
     Rebalance();
@@ -65,9 +89,14 @@ std::optional<FrameId> AsbPolicy::ChooseVictim(const AccessContext&,
                                         storage::PageId) {
   // Normal case: the overflow FIFO decides. Skip (defensively) any entry
   // that is not evictable; such entries stay queued.
+  size_t examined = 0;
   for (FrameId f : fifo_) {
+    ++examined;
     const FrameState& s = frame(f);
-    if (s.valid && s.evictable) return f;
+    if (s.valid && s.evictable) {
+      ObserveScanLength(examined);
+      return f;
+    }
   }
   // No usable overflow page (e.g. a buffer too small to sustain both
   // sections): fall back to the combined rule over the whole buffer.
@@ -91,7 +120,7 @@ void AsbPolicy::OnPageEvicted(FrameId f, storage::PageId page) {
   PolicyBase::OnPageEvicted(f, page);
 }
 
-void AsbPolicy::Adapt(FrameId p) {
+void AsbPolicy::Adapt(FrameId p, const AccessContext& ctx) {
   const double p_crit = CritOf(p);
   const uint64_t p_last = frame(p).last_access;
   size_t better_spatial = 0;  // overflow pages the criterion keeps over p
@@ -101,16 +130,37 @@ void AsbPolicy::Adapt(FrameId p) {
     if (CritOf(g) > p_crit) ++better_spatial;
     if (frame(g).last_access > p_last) ++better_lru;
   }
+  int8_t direction = 0;
   if (better_spatial > better_lru) {
     // The spatial criterion ranks p low although p was needed — LRU judged
     // better; shrink its candidate set to strengthen LRU.
     candidate_ = std::max<int64_t>(1, candidate_ - step_);
     ++decreases_;
+    direction = -1;
   } else if (better_spatial < better_lru) {
     candidate_ =
         std::min<int64_t>(static_cast<int64_t>(main_target_),
                           candidate_ + step_);
     ++increases_;
+    direction = 1;
+  }
+  if constexpr (obs::kEnabled) {
+    if (obs::Collector* c = collector()) {
+      obs_overflow_hits_->Add();
+      if (direction > 0) obs_increases_->Add();
+      if (direction < 0) obs_decreases_->Add();
+      obs_candidate_->Set(static_cast<double>(candidate_));
+      obs::Event event;
+      event.kind = obs::EventKind::kAsbAdapt;
+      event.delta = direction;
+      event.frame = p;
+      event.query = ctx.query_id;
+      event.page = frame(p).page;
+      event.a = better_spatial;
+      event.b = better_lru;
+      event.c = static_cast<uint64_t>(candidate_);
+      c->events().Push(event);
+    }
   }
 }
 
@@ -144,6 +194,7 @@ std::optional<FrameId> AsbPolicy::SelectMainVictim() {
     CachedCriterionAt(config_.criterion, f, versions ? versions[f] : 0);
     recency_keys_.push_back(PackRecencyKey(s.last_access, f));
   }
+  ObserveScanLength(recency_keys_.size());
   const FrameId victim = SelectSpatialLruVictim(
       recency_keys_, static_cast<size_t>(candidate_),
       [this](FrameId f) { return CriterionCacheValue(f); });

@@ -53,6 +53,7 @@ class AsbPolicy : public PolicyBase {
   const AsbConfig& config() const { return config_; }
 
   void Bind(const FrameMetaSource* meta, size_t frame_count) override;
+  void SetCollector(obs::Collector* collector) override;
   void OnPageLoaded(FrameId frame, storage::PageId page,
                     const AccessContext& ctx) override;
   void OnPageAccessed(FrameId frame, const AccessContext& ctx) override;
@@ -84,8 +85,10 @@ class AsbPolicy : public PolicyBase {
   }
 
   /// Adjusts c based on how page p (still labelled overflow, with its
-  /// pre-access state) compares against the other overflow pages.
-  void Adapt(FrameId p);
+  /// pre-access state) compares against the other overflow pages. Emits a
+  /// kAsbAdapt event carrying the full decision (mistake attribution and the
+  /// resulting c) when a collector is attached.
+  void Adapt(FrameId p, const AccessContext& ctx);
 
   /// Moves an overflow page back into the main section.
   void Promote(FrameId f);
@@ -109,6 +112,11 @@ class AsbPolicy : public PolicyBase {
   uint64_t overflow_hits_ = 0;
   uint64_t increases_ = 0;
   uint64_t decreases_ = 0;
+  // Cached metric handles; all nullptr without a collector.
+  obs::Counter* obs_overflow_hits_ = nullptr;
+  obs::Counter* obs_increases_ = nullptr;
+  obs::Counter* obs_decreases_ = nullptr;
+  obs::Gauge* obs_candidate_ = nullptr;
 };
 
 }  // namespace sdb::core

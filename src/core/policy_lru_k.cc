@@ -59,9 +59,11 @@ std::optional<FrameId> LruKPolicy::ChooseVictim(const AccessContext& ctx,
   std::optional<FrameId> best;
   uint64_t best_backward = 0;
   uint64_t best_recent = 0;
+  size_t examined = 0;
   for (FrameId f = 0; f < frame_count(); ++f) {
     const FrameState& s = frame(f);
     if (!s.valid || !s.evictable) continue;
+    ++examined;
     // Only pages whose most recent reference is not correlated with the
     // current access are candidates.
     if (Correlated(ctx.query_id, clock(), s.last_query, s.last_access)) {
@@ -77,6 +79,7 @@ std::optional<FrameId> LruKPolicy::ChooseVictim(const AccessContext& ctx,
       best_recent = recent;
     }
   }
+  ObserveScanLength(examined);
   if (best) return best;
   // Degenerate case the original paper leaves open: every evictable page was
   // just touched by the current query. Fall back to plain LRU.

@@ -58,6 +58,7 @@ std::optional<FrameId> SlruPolicy::ChooseVictim(const AccessContext&,
     CachedCriterionAt(criterion_, f, versions ? versions[f] : 0);
     recency_keys_.push_back(PackRecencyKey(s.last_access, f));
   }
+  ObserveScanLength(recency_keys_.size());
   const FrameId victim = SelectSpatialLruVictim(
       recency_keys_, candidate_size_,
       [this](FrameId f) { return CriterionCacheValue(f); });

@@ -10,10 +10,12 @@ std::optional<FrameId> SpatialPolicy::ChooseVictim(const AccessContext&,
   std::optional<FrameId> best;
   double best_crit = 0.0;
   uint64_t best_time = 0;
+  size_t examined = 0;
   const uint64_t* versions = meta_versions();  // one virtual call per scan
   for (FrameId f = 0; f < frame_count(); ++f) {
     const FrameState& s = frame(f);
     if (!s.valid || !s.evictable) continue;
+    ++examined;
     const double crit =
         CachedCriterionAt(criterion_, f, versions ? versions[f] : 0);
     if (!best || crit < best_crit ||
@@ -23,6 +25,7 @@ std::optional<FrameId> SpatialPolicy::ChooseVictim(const AccessContext&,
       best_time = s.last_access;
     }
   }
+  ObserveScanLength(examined);
   return best;
 }
 

@@ -17,6 +17,24 @@ double PolicyBase::CachedCriterion(SpatialCriterion crit, FrameId f) const {
   return CachedCriterionAt(crit, f, meta_->MetaVersion(f));
 }
 
+void PolicyBase::SetCollector(obs::Collector* collector) {
+  if constexpr (!obs::kEnabled) return;
+  obs_ = collector;
+  if (obs_ == nullptr) return;
+  // Buckets cover candidate counts / recency ranks up to any realistic
+  // buffer size; the overflow bucket absorbs the rest.
+  static constexpr double kCountBounds[] = {1,   2,   4,    8,    16,  32,
+                                            64,  128, 256,  512,  1024,
+                                            2048, 4096, 8192};
+  obs_scan_len_ = obs_->metrics().GetHistogram("policy.scan_len",
+                                               kCountBounds);
+  obs_victim_rank_ =
+      obs_->metrics().GetHistogram("policy.victim_recency_rank",
+                                   kCountBounds);
+  obs_crit_hits_ = obs_->metrics().GetCounter("policy.crit_cache_hits");
+  obs_crit_misses_ = obs_->metrics().GetCounter("policy.crit_cache_misses");
+}
+
 void PolicyBase::OnPageLoaded(FrameId f, storage::PageId page,
                               const AccessContext& ctx) {
   SDB_DCHECK(f < frames_.size());
@@ -49,20 +67,38 @@ void PolicyBase::OnPageEvicted(FrameId f, storage::PageId page) {
   FrameState& s = frames_[f];
   SDB_CHECK(s.valid);
   SDB_CHECK(s.page == page);
+  if constexpr (obs::kEnabled) {
+    if (obs_ != nullptr) {
+      // Victim recency rank: how many currently evictable pages are colder
+      // than the victim (0 = the LRU choice). O(frames), only when a
+      // collector is attached.
+      size_t rank = 0;
+      for (const FrameState& other : frames_) {
+        if (other.valid && other.evictable &&
+            other.last_access < s.last_access) {
+          ++rank;
+        }
+      }
+      obs_victim_rank_->Observe(static_cast<double>(rank));
+    }
+  }
   s = FrameState{};
 }
 
 std::optional<FrameId> PolicyBase::LruScan() const {
   std::optional<FrameId> best;
   uint64_t best_time = 0;
+  size_t examined = 0;
   for (FrameId f = 0; f < frames_.size(); ++f) {
     const FrameState& s = frames_[f];
     if (!s.valid || !s.evictable) continue;
+    ++examined;
     if (!best || s.last_access < best_time) {
       best = f;
       best_time = s.last_access;
     }
   }
+  ObserveScanLength(examined);
   return best;
 }
 

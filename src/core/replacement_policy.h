@@ -8,6 +8,7 @@
 
 #include "core/access_context.h"
 #include "core/spatial_criterion.h"
+#include "obs/collector.h"
 #include "storage/page.h"
 
 namespace sdb::core {
@@ -66,6 +67,11 @@ class ReplacementPolicy {
   /// Called once before use.
   virtual void Bind(const FrameMetaSource* meta, size_t frame_count) = 0;
 
+  /// Attaches an observability collector (nullptr detaches). Called by
+  /// BufferManager before Bind, so policies can emit their configuration
+  /// events at bind time. Policies that do not emit anything may ignore it.
+  virtual void SetCollector(obs::Collector* collector) { (void)collector; }
+
   virtual void OnPageLoaded(FrameId frame, storage::PageId page,
                             const AccessContext& ctx) = 0;
   virtual void OnPageAccessed(FrameId frame, const AccessContext& ctx) = 0;
@@ -84,6 +90,7 @@ class ReplacementPolicy {
 class PolicyBase : public ReplacementPolicy {
  public:
   void Bind(const FrameMetaSource* meta, size_t frame_count) override;
+  void SetCollector(obs::Collector* collector) override;
   void OnPageLoaded(FrameId frame, storage::PageId page,
                     const AccessContext& ctx) override;
   void OnPageAccessed(FrameId frame, const AccessContext& ctx) override;
@@ -125,6 +132,11 @@ class PolicyBase : public ReplacementPolicy {
     if (version == 0 || entry.version != version) {
       entry.value = EvaluateCriterion(crit, meta_->GetMeta(f));
       entry.version = version;
+      if constexpr (obs::kEnabled) {
+        if (obs_ != nullptr) obs_crit_misses_->Add();
+      }
+    } else if constexpr (obs::kEnabled) {
+      if (obs_ != nullptr) obs_crit_hits_->Add();
     }
     return entry.value;
   }
@@ -148,6 +160,20 @@ class PolicyBase : public ReplacementPolicy {
   /// fallback and tie-breaker.
   std::optional<FrameId> LruScan() const;
 
+  /// The attached collector (nullptr = observability off).
+  obs::Collector* collector() const { return obs_; }
+
+  /// Records how many candidates one victim scan examined (histogram
+  /// policy.scan_len). Scan policies call this once per ChooseVictim /
+  /// demotion scan; a no-op without a collector.
+  void ObserveScanLength(size_t examined) const {
+    if constexpr (obs::kEnabled) {
+      if (obs_ != nullptr) {
+        obs_scan_len_->Observe(static_cast<double>(examined));
+      }
+    }
+  }
+
  private:
   struct CriterionCacheEntry {
     uint64_t version = 0;  ///< 0 = not cached (source versions start at 1)
@@ -158,6 +184,11 @@ class PolicyBase : public ReplacementPolicy {
   std::vector<FrameState> frames_;
   mutable std::vector<CriterionCacheEntry> crit_cache_;
   uint64_t clock_ = 0;
+  obs::Collector* obs_ = nullptr;
+  obs::Histogram* obs_scan_len_ = nullptr;
+  obs::Histogram* obs_victim_rank_ = nullptr;
+  obs::Counter* obs_crit_hits_ = nullptr;
+  obs::Counter* obs_crit_misses_ = nullptr;
 };
 
 }  // namespace sdb::core

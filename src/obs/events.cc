@@ -1,0 +1,36 @@
+#include "obs/events.h"
+
+namespace sdb::obs {
+
+EventRing::EventRing(size_t capacity) : capacity_(capacity) {
+  if (capacity_ != 0 && capacity_ != kUnbounded) {
+    events_.reserve(capacity_);
+  }
+}
+
+void EventRing::Push(const Event& event) {
+  ++total_;
+  if (capacity_ == 0) return;
+  if (capacity_ == kUnbounded || events_.size() < capacity_) {
+    events_.push_back(event);
+    return;
+  }
+  // Full: overwrite the oldest slot; head_ advances to the next-oldest.
+  events_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+}
+
+void EventRing::Clear() {
+  events_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+std::vector<Event> EventRing::Snapshot() const {
+  std::vector<Event> out;
+  out.reserve(events_.size());
+  ForEach([&out](const Event& event) { out.push_back(event); });
+  return out;
+}
+
+}  // namespace sdb::obs

@@ -1,0 +1,150 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace sdb::obs {
+
+namespace {
+
+/// Minimal JSON string escape (metric/track names are plain identifiers,
+/// but the exporters must not produce malformed output on any input).
+std::string Escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+void AppendMetricBody(std::string& out, const MetricValue& metric) {
+  switch (metric.kind) {
+    case MetricKind::kCounter:
+      out += std::to_string(metric.count);
+      break;
+    case MetricKind::kGauge:
+      out += Number(metric.value);
+      break;
+    case MetricKind::kHistogram: {
+      out += "{\"bounds\":[";
+      for (size_t i = 0; i < metric.bounds.size(); ++i) {
+        if (i != 0) out += ',';
+        out += Number(metric.bounds[i]);
+      }
+      out += "],\"counts\":[";
+      for (size_t i = 0; i < metric.bucket_counts.size(); ++i) {
+        if (i != 0) out += ',';
+        out += std::to_string(metric.bucket_counts[i]);
+      }
+      out += "],\"sum\":";
+      out += Number(metric.value);
+      out += ",\"n\":";
+      out += std::to_string(metric.observations);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  for (const MetricValue& metric : snapshot) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += Escape(metric.name);
+    out += "\":";
+    AppendMetricBody(out, metric);
+  }
+  out += '}';
+  return out;
+}
+
+bool WriteMetricsJsonLines(const std::string& path, std::string_view label,
+                           const MetricsSnapshot& snapshot) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  bool ok = true;
+  for (const MetricValue& metric : snapshot) {
+    std::string line = "{\"label\":\"";
+    line += Escape(label);
+    line += "\",\"metric\":\"";
+    line += Escape(metric.name);
+    line += "\",\"value\":";
+    AppendMetricBody(line, metric);
+    line += "}\n";
+    ok = std::fputs(line.c_str(), file) >= 0 && ok;
+  }
+  ok = std::fclose(file) == 0 && ok;
+  return ok;
+}
+
+void ChromeTraceWriter::AddCompleteEvent(std::string_view name, uint32_t tid,
+                                         uint64_t begin_us,
+                                         uint64_t duration_us,
+                                         std::string_view category) {
+  events_.push_back(TraceEvent{std::string(name), std::string(category), tid,
+                               begin_us, duration_us});
+}
+
+void ChromeTraceWriter::SetThreadName(uint32_t tid, std::string_view name) {
+  thread_names_.push_back(ThreadName{tid, std::string(name)});
+}
+
+bool ChromeTraceWriter::Write(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  bool ok = std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+                       file) >= 0;
+  bool first = true;
+  for (const ThreadName& thread : thread_names_) {
+    ok = std::fprintf(
+             file,
+             "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+             "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+             first ? "" : ",", thread.tid, Escape(thread.name).c_str()) >=
+             0 &&
+         ok;
+    first = false;
+  }
+  for (const TraceEvent& event : events_) {
+    ok = std::fprintf(
+             file,
+             "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+             "\"cat\":\"%s\",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 "}",
+             first ? "" : ",", event.tid, Escape(event.name).c_str(),
+             Escape(event.category).c_str(), event.begin_us,
+             event.duration_us) >= 0 &&
+         ok;
+    first = false;
+  }
+  ok = std::fputs("]}\n", file) >= 0 && ok;
+  ok = std::fclose(file) == 0 && ok;
+  return ok;
+}
+
+}  // namespace sdb::obs

@@ -1,0 +1,61 @@
+#ifndef SPATIALBUFFER_OBS_EXPORT_H_
+#define SPATIALBUFFER_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sdb::obs {
+
+/// Compact single-line JSON object of a snapshot: counters and gauges as
+/// numbers, histograms as {"bounds":[...],"counts":[...],"sum":s,"n":n}.
+/// Embedded verbatim into BENCH_sweep.json rows.
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+/// Writes one JSON-Lines record per metric, each tagged with `label`
+/// ({"label":...,"metric":...,...}). Truncates `path`. Returns false on I/O
+/// failure. The standalone metrics dump of a bench run.
+bool WriteMetricsJsonLines(const std::string& path, std::string_view label,
+                           const MetricsSnapshot& snapshot);
+
+/// Accumulates Chrome trace_event "complete" events and writes a JSON file
+/// loadable in chrome://tracing or https://ui.perfetto.dev — used to render
+/// the sweep runner's worker timelines. Timestamps are microseconds from an
+/// arbitrary common origin.
+class ChromeTraceWriter {
+ public:
+  /// `tid` groups events into horizontal tracks (one per worker thread).
+  void AddCompleteEvent(std::string_view name, uint32_t tid,
+                        uint64_t begin_us, uint64_t duration_us,
+                        std::string_view category = "replay");
+
+  /// Names a track, so the viewer shows "worker 3" instead of a bare tid.
+  void SetThreadName(uint32_t tid, std::string_view name);
+
+  size_t event_count() const { return events_.size(); }
+
+  /// Writes the accumulated events; returns false on I/O failure.
+  bool Write(const std::string& path) const;
+
+ private:
+  struct TraceEvent {
+    std::string name;
+    std::string category;
+    uint32_t tid = 0;
+    uint64_t begin_us = 0;
+    uint64_t duration_us = 0;
+  };
+  struct ThreadName {
+    uint32_t tid = 0;
+    std::string name;
+  };
+  std::vector<TraceEvent> events_;
+  std::vector<ThreadName> thread_names_;
+};
+
+}  // namespace sdb::obs
+
+#endif  // SPATIALBUFFER_OBS_EXPORT_H_

@@ -1,0 +1,116 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace sdb::obs {
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      counts_(bounds.size() + 1, 0) {
+  SDB_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bounds must ascend");
+}
+
+void Histogram::MergeFrom(std::span<const uint64_t> counts, double sum,
+                          uint64_t observations) {
+  SDB_CHECK_MSG(counts.size() == counts_.size(),
+                "histogram merge with mismatched bucket counts");
+  for (size_t b = 0; b < counts_.size(); ++b) counts_[b] += counts[b];
+  sum_ += sum;
+  observations_ += observations;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricKind::kCounter;
+    entry.counter = std::make_unique<Counter>();
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  SDB_CHECK_MSG(it->second.kind == MetricKind::kCounter,
+                "metric re-registered with a different kind");
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricKind::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  SDB_CHECK_MSG(it->second.kind == MetricKind::kGauge,
+                "metric re-registered with a different kind");
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::span<const double> bounds) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricKind::kHistogram;
+    entry.histogram = std::make_unique<Histogram>(bounds);
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  SDB_CHECK_MSG(it->second.kind == MetricKind::kHistogram,
+                "metric re-registered with a different kind");
+  Histogram* histogram = it->second.histogram.get();
+  SDB_CHECK_MSG(histogram->bounds().size() == bounds.size() &&
+                    std::equal(bounds.begin(), bounds.end(),
+                               histogram->bounds().begin()),
+                "histogram re-registered with different bounds");
+  return histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricValue value;
+    value.name = name;
+    value.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        value.count = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        value.value = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        value.bounds = entry.histogram->bounds();
+        value.bucket_counts = entry.histogram->counts();
+        value.value = entry.histogram->sum();
+        value.observations = entry.histogram->observations();
+        break;
+    }
+    snapshot.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Merge(const MetricsSnapshot& snapshot) {
+  for (const MetricValue& value : snapshot) {
+    switch (value.kind) {
+      case MetricKind::kCounter:
+        GetCounter(value.name)->Add(value.count);
+        break;
+      case MetricKind::kGauge: {
+        Gauge* gauge = GetGauge(value.name);
+        gauge->Set(std::max(gauge->value(), value.value));
+        break;
+      }
+      case MetricKind::kHistogram:
+        GetHistogram(value.name, value.bounds)
+            ->MergeFrom(value.bucket_counts, value.value,
+                        value.observations);
+        break;
+    }
+  }
+}
+
+}  // namespace sdb::obs

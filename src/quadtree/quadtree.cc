@@ -54,8 +54,10 @@ Rect QuadrantCell(const Rect& cell, int quadrant) {
 std::vector<PointRecord> LoadPoints(std::span<const std::byte> page) {
   const uint16_t n = storage::ConstPageHeaderView(page.data()).entry_count();
   std::vector<PointRecord> records(n);
-  std::memcpy(records.data(), page.data() + kHeader,
-              n * sizeof(PointRecord));
+  if (n != 0) {  // empty vector's data() may be null; memcpy forbids that
+    std::memcpy(records.data(), page.data() + kHeader,
+                n * sizeof(PointRecord));
+  }
   return records;
 }
 
@@ -69,8 +71,10 @@ void WriteLeaf(PageHandle& page, const Rect& cell,
   header.set_level(0);
   header.set_entry_count(static_cast<uint16_t>(records.size()));
   header.set_aux(overflow);
-  std::memcpy(page.bytes().data() + kHeader, records.data(),
-              records.size() * sizeof(PointRecord));
+  if (!records.empty()) {
+    std::memcpy(page.bytes().data() + kHeader, records.data(),
+                records.size() * sizeof(PointRecord));
+  }
   geom::EntryAggregates agg;
   agg.mbr = cell;
   header.set_aggregates(agg);

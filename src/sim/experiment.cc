@@ -2,7 +2,6 @@
 
 #include "common/macros.h"
 #include "core/buffer_manager.h"
-#include "core/policy_asb.h"
 #include "core/policy_lru_k.h"
 #include "core/policy_factory.h"
 #include "rtree/rtree.h"
@@ -15,6 +14,41 @@ double GainVersus(const RunResult& baseline, const RunResult& result) {
   return static_cast<double>(baseline.disk_reads) /
              static_cast<double>(result.disk_reads) -
          1.0;
+}
+
+std::vector<size_t> AsbCandidateTrace(const obs::EventRing& events,
+                                      size_t query_count) {
+  // (query, c-after-that-query) change points, in stream order.
+  bool saw_init = false;
+  size_t current = 0;
+  std::vector<std::pair<uint64_t, size_t>> changes;
+  events.ForEach([&](const obs::Event& event) {
+    switch (event.kind) {
+      case obs::EventKind::kAsbInit:
+        saw_init = true;
+        current = static_cast<size_t>(event.c);
+        break;
+      case obs::EventKind::kAsbAdapt:
+        changes.emplace_back(event.query, static_cast<size_t>(event.c));
+        break;
+      default:
+        break;
+    }
+  });
+  if (!saw_init) return {};
+  SDB_CHECK_MSG(events.dropped() == 0,
+                "candidate trace needs the complete event stream");
+  std::vector<size_t> trace;
+  trace.reserve(query_count);
+  size_t next = 0;
+  for (uint64_t q = 1; q <= query_count; ++q) {
+    while (next < changes.size() && changes[next].first <= q) {
+      current = changes[next].second;
+      ++next;
+    }
+    trace.push_back(current);
+  }
+  return trace;
 }
 
 RunResult RunQuerySet(const storage::DiskManager& disk,
@@ -31,17 +65,14 @@ RunResult RunQuerySet(const storage::DiskManager& disk,
   // replay is read-only by contract.
   storage::ReadOnlyDiskView view(disk);
   core::BufferManager buffer(&view, options.buffer_frames,
-                             std::move(policy));
+                             std::move(policy), options.collector);
+
   const rtree::RTree tree = rtree::RTree::Open(&disk, &buffer, tree_meta);
-  auto* asb = options.trace_candidate_size
-                  ? dynamic_cast<core::AsbPolicy*>(&buffer.policy())
-                  : nullptr;
 
   RunResult result;
   result.policy = std::string(buffer.policy().name());
   result.query_set = queries.name;
   result.buffer_frames = options.buffer_frames;
-  if (asb != nullptr) result.candidate_trace.reserve(queries.queries.size());
 
   uint64_t query_id = 0;
   for (const geom::Rect& window : queries.queries) {
@@ -50,21 +81,35 @@ RunResult RunQuerySet(const storage::DiskManager& disk,
                           [&result](const rtree::Entry&) {
                             ++result.result_objects;
                           });
-    if (asb != nullptr) {
-      result.candidate_trace.push_back(asb->candidate_size());
-    }
   }
 
   if (const auto* lru_k =
           dynamic_cast<const core::LruKPolicy*>(&buffer.policy())) {
     result.retained_history_records = lru_k->retained_history_size();
   }
-  result.disk_reads = view.stats().reads;
-  result.sequential_reads = view.stats().sequential_reads;
+  result.io = view.stats();
+  result.disk_reads = result.io.reads;
+  result.sequential_reads = result.io.sequential_reads;
   result.buffer_requests = buffer.stats().requests;
   result.buffer_hits = buffer.stats().hits;
   SDB_CHECK_MSG(view.stats().writes == 0,
                 "read-only replay must not write");
+  if (obs::Collector* c = buffer.collector()) {
+    // Publish the totals the hot paths do not maintain eagerly, then the
+    // view-level I/O split (once — the view dies with this call, so these
+    // are final values, not deltas).
+    buffer.FlushObservability();
+    c->metrics().GetCounter("disk.reads")->Add(result.io.reads);
+    c->metrics()
+        .GetCounter("disk.sequential_reads")
+        ->Add(result.io.sequential_reads);
+    if (result.retained_history_records > 0) {
+      c->metrics()
+          .GetGauge("lru_k.retained_history")
+          ->Set(static_cast<double>(result.retained_history_records));
+    }
+    result.metrics = c->metrics().Snapshot();
+  }
   return result;
 }
 

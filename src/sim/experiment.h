@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/collector.h"
 #include "storage/disk_manager.h"
 #include "workload/query_generator.h"
 
@@ -13,9 +14,12 @@ namespace sdb::sim {
 /// Options of one measured run.
 struct RunOptions {
   size_t buffer_frames = 64;
-  /// Record the ASB candidate-set size after every query (Fig. 14). Ignored
-  /// for other policies.
-  bool trace_candidate_size = false;
+  /// Observability sink for the run's buffer and policy (nullptr = none).
+  /// The collector must outlive the call; its registry accumulates across
+  /// runs when reused, and the end-of-run flush also publishes the run's
+  /// device-level I/O split (disk.reads / disk.sequential_reads) so the
+  /// random/sequential breakdown survives into merged sweep metrics.
+  obs::Collector* collector = nullptr;
 };
 
 /// Result of replaying one query set through one buffer configuration.
@@ -32,7 +36,13 @@ struct RunResult {
   /// the end of the run — the unbounded memory overhead the paper holds
   /// against LRU-K (0 for every other policy).
   uint64_t retained_history_records = 0;
-  std::vector<size_t> candidate_trace;  ///< per query, if traced
+  /// Complete per-view device counters (the fields above are the two the
+  /// paper charts; the full struct keeps writes and the random/sequential
+  /// split from being discarded when runs execute on private disk views).
+  storage::IoStats io;
+  /// End-of-run registry snapshot when a collector was attached (empty
+  /// otherwise).
+  obs::MetricsSnapshot metrics;
 
   double hit_rate() const {
     return buffer_requests == 0
@@ -45,6 +55,15 @@ struct RunResult {
 /// Relative performance gain as reported throughout the paper:
 /// |disk accesses of LRU| / |disk accesses of policy| - 1.
 double GainVersus(const RunResult& baseline, const RunResult& result);
+
+/// Reconstructs the Fig. 14 per-query candidate-set-size trace from an ASB
+/// event stream: entry q-1 is c after query q (query ids are 1-based, as
+/// issued by RunQuerySet). Requires the stream's kAsbInit event and every
+/// kAsbAdapt event — i.e. an unbounded or sufficiently large ring with
+/// dropped() == 0; aborts otherwise. Returns an empty vector if the stream
+/// holds no kAsbInit (non-ASB run).
+std::vector<size_t> AsbCandidateTrace(const obs::EventRing& events,
+                                      size_t query_count);
 
 /// Replays `queries` against the persisted tree on `disk` (meta page
 /// `tree_meta`) through a *fresh* buffer of `options.buffer_frames` frames

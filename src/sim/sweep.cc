@@ -1,12 +1,17 @@
 #include "sim/sweep.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/collector.h"
+#include "obs/export.h"
 #include "sim/report.h"
 
 namespace sdb::sim {
@@ -62,15 +67,41 @@ SweepResult RunSweep(const Scenario& scenario, const SweepSpec& spec) {
     }
   }
 
-  const auto run_task = [&](const Task& task) {
+  result.timings.resize(tasks.size());
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto micros_since_start = [sweep_start] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - sweep_start)
+            .count());
+  };
+
+  const auto run_task = [&](const Task& task, size_t task_index,
+                            uint32_t worker) {
     RunOptions options;
     options.buffer_frames =
         scenario.BufferFrames(spec.fractions[task.fraction]);
+    // One private collector per replay keeps the runner lock-free; the
+    // snapshot travels to this thread inside the task's result slot and the
+    // slots are merged in index order after the join.
+    std::optional<obs::Collector> collector;
+    if (spec.collect_metrics) {
+      obs::CollectorOptions collector_options;
+      collector_options.event_capacity = 0;
+      collector.emplace(collector_options);
+      options.collector = &*collector;
+    }
     const bool is_baseline = task.policy == policy_count;
     const std::string& policy =
         is_baseline ? spec.baseline : spec.policies[task.policy];
+    TaskTiming& timing = result.timings[task_index];
+    timing.worker = worker;
+    timing.begin_us = micros_since_start();
     RunResult run = RunQuerySet(*scenario.disk, scenario.tree_meta, policy,
                                 query_sets[task.set], options);
+    timing.end_us = micros_since_start();
+    timing.name = run.policy + "/" + run.query_set + "/" +
+                  std::to_string(run.buffer_frames);
     const size_t row = task.fraction * set_count + task.set;
     if (is_baseline) {
       result.baselines[row] = std::move(run);
@@ -86,7 +117,7 @@ SweepResult RunSweep(const Scenario& scenario, const SweepSpec& spec) {
   const unsigned threads =
       spec.threads == 0 ? BenchThreadsFromEnv() : spec.threads;
   if (threads <= 1 || tasks.size() <= 1) {
-    for (const Task& task : tasks) run_task(task);
+    for (size_t i = 0; i < tasks.size(); ++i) run_task(tasks[i], i, 0);
   } else {
     // Work-stealing by atomic cursor: each worker claims the next
     // unstarted task. Every task writes only its preassigned slot, so no
@@ -99,11 +130,11 @@ SweepResult RunSweep(const Scenario& scenario, const SweepSpec& spec) {
       std::vector<std::jthread> pool;
       pool.reserve(workers);
       for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&] {
+        pool.emplace_back([&, w] {
           for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
                i < tasks.size();
                i = next.fetch_add(1, std::memory_order_relaxed)) {
-            run_task(tasks[i]);
+            run_task(tasks[i], i, w);
           }
         });
       }
@@ -115,7 +146,33 @@ SweepResult RunSweep(const Scenario& scenario, const SweepSpec& spec) {
         GainVersus(result.baseline(cell.fraction_index, cell.set_index),
                    cell.result);
   }
+  if (spec.collect_metrics) {
+    // Deterministic merge: baselines then cells, in index order. The merge
+    // rules are order-insensitive anyway (see MetricsRegistry::Merge), so
+    // the merged snapshot is identical for every thread count.
+    obs::MetricsRegistry merged;
+    for (const RunResult& run : result.baselines) merged.Merge(run.metrics);
+    for (const SweepCell& cell : result.cells) {
+      merged.Merge(cell.result.metrics);
+    }
+    result.metrics = merged.Snapshot();
+  }
   return result;
+}
+
+bool WriteSweepTrace(const std::string& path, const SweepResult& result) {
+  if (path.empty() || result.timings.empty()) return false;
+  obs::ChromeTraceWriter writer;
+  uint32_t max_worker = 0;
+  for (const TaskTiming& timing : result.timings) {
+    max_worker = std::max(max_worker, timing.worker);
+    writer.AddCompleteEvent(timing.name, timing.worker, timing.begin_us,
+                            timing.end_us - timing.begin_us);
+  }
+  for (uint32_t w = 0; w <= max_worker; ++w) {
+    writer.SetThreadName(w, "worker " + std::to_string(w));
+  }
+  return writer.Write(path);
 }
 
 void PrintSweepTables(const Scenario& scenario, const SweepSpec& spec,
@@ -147,21 +204,31 @@ namespace {
 std::string RunJson(const std::string& title, const std::string& database,
                     double fraction, const RunResult& run, double gain,
                     bool is_baseline) {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "{\"bench\":\"%s\",\"database\":\"%s\",\"fraction\":%g,"
       "\"buffer_frames\":%zu,\"query_set\":\"%s\",\"policy\":\"%s\","
       "\"baseline\":%s,\"disk_reads\":%llu,\"sequential_reads\":%llu,"
-      "\"buffer_requests\":%llu,\"buffer_hits\":%llu,\"gain\":%.6f}",
+      "\"random_reads\":%llu,"
+      "\"buffer_requests\":%llu,\"buffer_hits\":%llu,\"gain\":%.6f",
       JsonEscape(title).c_str(), JsonEscape(database).c_str(), fraction,
       run.buffer_frames, JsonEscape(run.query_set).c_str(),
       JsonEscape(run.policy).c_str(), is_baseline ? "true" : "false",
       static_cast<unsigned long long>(run.disk_reads),
       static_cast<unsigned long long>(run.sequential_reads),
+      static_cast<unsigned long long>(run.io.random_reads()),
       static_cast<unsigned long long>(run.buffer_requests),
       static_cast<unsigned long long>(run.buffer_hits), gain);
-  return buf;
+  std::string line(buf);
+  if (!run.metrics.empty()) {
+    // Per-run registry snapshot, embedded so each JSONL row is
+    // self-contained for downstream analysis.
+    line += ",\"metrics\":";
+    line += obs::MetricsJson(run.metrics);
+  }
+  line += "}";
+  return line;
 }
 
 }  // namespace

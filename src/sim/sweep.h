@@ -30,6 +30,11 @@ struct SweepSpec {
   /// Worker threads; 0 = read SDB_BENCH_THREADS (default 1). The results
   /// are identical for every thread count.
   unsigned threads = 0;
+  /// Attach a private obs::Collector to every run (one per replay — the
+  /// runner stays lock-free) and merge the snapshots into SweepResult
+  /// deterministically after the join. Per-run snapshots land in each
+  /// RunResult::metrics; events are not collected (capacity 0).
+  bool collect_metrics = false;
 };
 
 /// One measured grid cell.
@@ -41,12 +46,29 @@ struct SweepCell {
   double gain = 0.0;  ///< versus the (fraction, set) baseline
 };
 
+/// Wall-clock span of one replay task, for the Chrome-trace export of the
+/// runner's worker timelines. Timestamps are microseconds from the sweep
+/// start. The worker assignment (and hence the timing layout) depends on
+/// scheduling; the measured results never do.
+struct TaskTiming {
+  std::string name;     ///< "policy/query_set/frames"
+  uint32_t worker = 0;  ///< worker-thread index (0 when sequential)
+  uint64_t begin_us = 0;
+  uint64_t end_us = 0;
+};
+
 /// All runs of a sweep, in deterministic (fraction, set, policy) order.
 struct SweepResult {
   std::vector<RunResult> baselines;  ///< fraction-major × set
   std::vector<SweepCell> cells;      ///< fraction-major × set × policy
   size_t set_count = 0;
   size_t policy_count = 0;
+  /// Merged metrics of every run (baselines first, then cells, in index
+  /// order — the merge is deterministic for any thread count). Empty unless
+  /// SweepSpec::collect_metrics.
+  obs::MetricsSnapshot metrics;
+  /// One entry per task, in task order.
+  std::vector<TaskTiming> timings;
 
   const RunResult& baseline(size_t fraction_index, size_t set_index) const {
     return baselines[fraction_index * set_count + set_index];
@@ -80,6 +102,11 @@ void PrintSweepTables(const Scenario& scenario, const SweepSpec& spec,
 bool AppendSweepJson(const std::string& path, const std::string& title,
                      const Scenario& scenario, const SweepSpec& spec,
                      const SweepResult& result);
+
+/// Writes the sweep's task timings as a Chrome trace_event file (one track
+/// per worker) loadable in chrome://tracing / ui.perfetto.dev. Returns false
+/// on I/O failure (or if the sweep recorded no timings).
+bool WriteSweepTrace(const std::string& path, const SweepResult& result);
 
 /// JSON sink of the figure benches: "BENCH_sweep.json", overridable via
 /// SDB_BENCH_JSON (set to an empty string to disable; callers skip the

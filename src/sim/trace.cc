@@ -1,70 +1,47 @@
 #include "sim/trace.h"
 
 #include "common/macros.h"
+#include "core/buffer_manager.h"
 #include "core/policy_factory.h"
+#include "obs/collector.h"
 #include "rtree/rtree.h"
 
 namespace sdb::sim {
-
-RecordingPolicy::RecordingPolicy(
-    std::unique_ptr<core::ReplacementPolicy> inner, AccessTrace* sink)
-    : inner_(std::move(inner)), sink_(sink) {
-  SDB_CHECK(inner_ != nullptr && sink_ != nullptr);
-}
-
-void RecordingPolicy::Bind(const core::FrameMetaSource* meta,
-                           size_t frame_count) {
-  inner_->Bind(meta, frame_count);
-  frame_page_.assign(frame_count, storage::kInvalidPageId);
-}
-
-void RecordingPolicy::OnPageLoaded(core::FrameId frame, storage::PageId page,
-                                   const core::AccessContext& ctx) {
-  frame_page_[frame] = page;
-  sink_->accesses.push_back({page, ctx.query_id});
-  inner_->OnPageLoaded(frame, page, ctx);
-}
-
-void RecordingPolicy::OnPageAccessed(core::FrameId frame,
-                                     const core::AccessContext& ctx) {
-  sink_->accesses.push_back({frame_page_[frame], ctx.query_id});
-  inner_->OnPageAccessed(frame, ctx);
-}
-
-void RecordingPolicy::SetEvictable(core::FrameId frame, bool evictable) {
-  inner_->SetEvictable(frame, evictable);
-}
-
-std::optional<core::FrameId> RecordingPolicy::ChooseVictim(
-    const core::AccessContext& ctx, storage::PageId incoming) {
-  return inner_->ChooseVictim(ctx, incoming);
-}
-
-void RecordingPolicy::OnPageEvicted(core::FrameId frame,
-                                    storage::PageId page) {
-  frame_page_[frame] = storage::kInvalidPageId;
-  inner_->OnPageEvicted(frame, page);
-}
 
 AccessTrace RecordQueryTrace(storage::DiskManager* disk,
                              storage::PageId tree_meta,
                              const workload::QuerySet& queries,
                              size_t buffer_frames,
                              const std::string& policy_spec) {
-  std::unique_ptr<core::ReplacementPolicy> inner =
+  SDB_CHECK_MSG(obs::kEnabled,
+                "trace recording needs SDB_OBS=ON (it rides on the "
+                "observability event stream)");
+  std::unique_ptr<core::ReplacementPolicy> policy =
       core::CreatePolicy(policy_spec);
-  SDB_CHECK_MSG(inner != nullptr, "unknown policy spec");
-  AccessTrace trace;
-  trace.name = queries.name;
-  core::BufferManager buffer(
-      disk, buffer_frames,
-      std::make_unique<RecordingPolicy>(std::move(inner), &trace));
+  SDB_CHECK_MSG(policy != nullptr, "unknown policy spec");
+  // Access-recording collector: every Fetch/New lands in the event ring as
+  // one kPageAccess event, in request order. Unbounded ring — a trace is
+  // only useful complete.
+  obs::CollectorOptions options;
+  options.record_accesses = true;
+  options.event_capacity = obs::EventRing::kUnbounded;
+  obs::Collector collector(options);
+  core::BufferManager buffer(disk, buffer_frames, std::move(policy),
+                             &collector);
   const rtree::RTree tree = rtree::RTree::Open(disk, &buffer, tree_meta);
   uint64_t query_id = 0;
   for (const geom::Rect& window : queries.queries) {
     const core::AccessContext ctx{++query_id};
     tree.WindowQueryVisit(window, ctx, [](const rtree::Entry&) {});
   }
+  AccessTrace trace;
+  trace.name = queries.name;
+  trace.accesses.reserve(collector.events().size());
+  collector.events().ForEach([&trace](const obs::Event& event) {
+    if (event.kind != obs::EventKind::kPageAccess) return;
+    trace.accesses.push_back(
+        {static_cast<storage::PageId>(event.page), event.query});
+  });
   return trace;
 }
 

@@ -2,12 +2,9 @@
 #define SPATIALBUFFER_SIM_TRACE_H_
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/buffer_manager.h"
-#include "core/replacement_policy.h"
 #include "storage/disk_manager.h"
 #include "workload/query_generator.h"
 
@@ -29,35 +26,12 @@ struct AccessTrace {
   std::vector<PageAccess> accesses;
 };
 
-/// Policy decorator that records every page request passing through a
-/// buffer while delegating all decisions to the wrapped policy. The
-/// recorded stream is independent of the wrapped policy (requests are
-/// logical), but wrapping the intended policy keeps the run usable.
-class RecordingPolicy : public core::ReplacementPolicy {
- public:
-  RecordingPolicy(std::unique_ptr<core::ReplacementPolicy> inner,
-                  AccessTrace* sink);
-
-  std::string_view name() const override { return inner_->name(); }
-  void Bind(const core::FrameMetaSource* meta, size_t frame_count) override;
-  void OnPageLoaded(core::FrameId frame, storage::PageId page,
-                    const core::AccessContext& ctx) override;
-  void OnPageAccessed(core::FrameId frame,
-                      const core::AccessContext& ctx) override;
-  void SetEvictable(core::FrameId frame, bool evictable) override;
-  std::optional<core::FrameId> ChooseVictim(
-      const core::AccessContext& ctx, storage::PageId incoming) override;
-  void OnPageEvicted(core::FrameId frame, storage::PageId page) override;
-
- private:
-  std::unique_ptr<core::ReplacementPolicy> inner_;
-  AccessTrace* sink_;
-  std::vector<storage::PageId> frame_page_;  // for hit page-id recovery
-};
-
 /// Records the page requests that executing `queries` against the tree
-/// issues. The recording buffer uses the given policy (default LRU); the
-/// trace itself is policy-independent.
+/// issues. Recording rides on the observability event stream (an obs
+/// collector in access-recording mode feeds kPageAccess events, converted
+/// here) instead of a policy decorator, so any policy works unchanged; the
+/// recording buffer uses the given policy (default LRU), and the trace
+/// itself is policy-independent.
 AccessTrace RecordQueryTrace(storage::DiskManager* disk,
                              storage::PageId tree_meta,
                              const workload::QuerySet& queries,

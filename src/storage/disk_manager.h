@@ -24,6 +24,8 @@ struct IoStats {
   uint64_t sequential_writes = 0;
 
   uint64_t accesses() const { return reads + writes; }
+  uint64_t random_reads() const { return reads - sequential_reads; }
+  uint64_t random_writes() const { return writes - sequential_writes; }
 
   /// Weighted cost: a sequential access costs `sequential_cost` relative to
   /// a random access cost of 1.0 (a small fraction on spinning disks).

@@ -70,7 +70,9 @@ template <typename Record>
 std::vector<Record> LoadRecords(std::span<const std::byte> page) {
   const uint16_t n = storage::ConstPageHeaderView(page.data()).entry_count();
   std::vector<Record> records(n);
-  std::memcpy(records.data(), page.data() + kHeader, n * sizeof(Record));
+  if (n != 0) {  // empty vector's data() may be null; memcpy forbids that
+    std::memcpy(records.data(), page.data() + kHeader, n * sizeof(Record));
+  }
   return records;
 }
 
@@ -80,8 +82,10 @@ void WriteLeaf(PageHandle& page, const std::vector<LeafRecord>& records) {
   header.set_type(storage::PageType::kData);
   header.set_level(0);
   header.set_entry_count(static_cast<uint16_t>(records.size()));
-  std::memcpy(page.bytes().data() + kHeader, records.data(),
-              records.size() * sizeof(LeafRecord));
+  if (!records.empty()) {
+    std::memcpy(page.bytes().data() + kHeader, records.data(),
+                records.size() * sizeof(LeafRecord));
+  }
   std::vector<Rect> cells;
   cells.reserve(records.size());
   for (const LeafRecord& r : records) cells.push_back(CellOf(r.z));
@@ -96,8 +100,10 @@ void WriteInner(PageHandle& page, uint8_t level,
   header.set_type(storage::PageType::kDirectory);
   header.set_level(level);
   header.set_entry_count(static_cast<uint16_t>(records.size()));
-  std::memcpy(page.bytes().data() + kHeader, records.data(),
-              records.size() * sizeof(InnerRecord));
+  if (!records.empty()) {
+    std::memcpy(page.bytes().data() + kHeader, records.data(),
+                records.size() * sizeof(InnerRecord));
+  }
   std::vector<Rect> rects;
   rects.reserve(records.size());
   for (const InnerRecord& r : records) {

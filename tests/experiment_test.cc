@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "obs/collector.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "sim/scenario.h"
@@ -131,27 +135,75 @@ TEST_F(ExperimentTest, ColdBufferLowerBound) {
 TEST_F(ExperimentTest, AsbTracesCandidateSize) {
   const workload::QuerySet queries =
       Queries(workload::QueryFamily::kIntensified, 33, 100);
+  obs::CollectorOptions collect;
+  collect.event_capacity = obs::EventRing::kUnbounded;
+  obs::Collector collector(collect);
   RunOptions options;
   options.buffer_frames = scenario_->BufferFrames(0.024);
-  options.trace_candidate_size = true;
+  options.collector = &collector;
   const RunResult result = RunQuerySet(
       scenario_->disk.get(), scenario_->tree_meta, "ASB", queries, options);
-  ASSERT_EQ(result.candidate_trace.size(), queries.queries.size());
-  for (size_t c : result.candidate_trace) {
+  const std::vector<size_t> trace =
+      AsbCandidateTrace(collector.events(), queries.queries.size());
+  ASSERT_EQ(trace.size(), queries.queries.size());
+  for (size_t c : trace) {
     EXPECT_GE(c, 1u);
     EXPECT_LE(c, options.buffer_frames);
   }
+  EXPECT_GT(result.disk_reads, 0u);
 }
 
 TEST_F(ExperimentTest, NonAsbPoliciesProduceNoTrace) {
   const workload::QuerySet queries =
       Queries(workload::QueryFamily::kUniform, 0, 50);
+  obs::CollectorOptions collect;
+  collect.event_capacity = obs::EventRing::kUnbounded;
+  obs::Collector collector(collect);
   RunOptions options;
   options.buffer_frames = 32;
-  options.trace_candidate_size = true;
+  options.collector = &collector;
   const RunResult result = RunQuerySet(
       scenario_->disk.get(), scenario_->tree_meta, "LRU", queries, options);
-  EXPECT_TRUE(result.candidate_trace.empty());
+  EXPECT_TRUE(AsbCandidateTrace(collector.events(), queries.queries.size())
+                  .empty())
+      << "no kAsbInit event, so no candidate trace";
+  EXPECT_GT(result.disk_reads, 0u);
+}
+
+TEST_F(ExperimentTest, RunResultCarriesIoSplitAndMetrics) {
+  const workload::QuerySet queries =
+      Queries(workload::QueryFamily::kUniform, 33, 80);
+  obs::Collector collector;
+  RunOptions options;
+  options.buffer_frames = scenario_->BufferFrames(0.01);
+  options.collector = &collector;
+  const RunResult result = RunQuerySet(
+      scenario_->disk.get(), scenario_->tree_meta, "LRU", queries, options);
+  // The per-view device counters survive into the result...
+  EXPECT_EQ(result.io.reads, result.disk_reads);
+  EXPECT_EQ(result.io.sequential_reads, result.sequential_reads);
+  EXPECT_EQ(result.io.random_reads() + result.io.sequential_reads,
+            result.io.reads);
+  EXPECT_EQ(result.io.writes, 0u);
+  // ...and so does the metrics snapshot, consistent with the counters.
+  ASSERT_FALSE(result.metrics.empty());
+  auto metric = [&](std::string_view name) -> const obs::MetricValue& {
+    for (const obs::MetricValue& value : result.metrics) {
+      if (value.name == name) return value;
+    }
+    ADD_FAILURE() << "metric " << name << " missing";
+    static const obs::MetricValue none{};
+    return none;
+  };
+  EXPECT_EQ(metric("buffer.requests").count, result.buffer_requests);
+  EXPECT_EQ(metric("buffer.hits").count, result.buffer_hits);
+  EXPECT_EQ(metric("disk.reads").count, result.disk_reads);
+  EXPECT_EQ(metric("disk.sequential_reads").count, result.sequential_reads);
+  // Every miss either fills a free frame or evicts: with more misses than
+  // frames, most of them evict.
+  const uint64_t misses = result.buffer_requests - result.buffer_hits;
+  EXPECT_EQ(metric("buffer.evictions").count,
+            misses - std::min<uint64_t>(misses, options.buffer_frames));
 }
 
 TEST_F(ExperimentTest, GainComputation) {

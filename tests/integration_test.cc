@@ -3,7 +3,9 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/collector.h"
 #include "sim/experiment.h"
 #include "sim/scenario.h"
 
@@ -144,16 +146,22 @@ TEST_F(IntegrationTest, CandidateSetAdaptsToTheWorkloadMix) {
   const workload::QuerySet mixed =
       workload::ConcatQuerySets({intensified, uniform});
 
+  obs::CollectorOptions collect;
+  collect.event_capacity = obs::EventRing::kUnbounded;
+  obs::Collector collector(collect);
   RunOptions options;
   options.buffer_frames = scenario_->BufferFrames(0.047);
-  options.trace_candidate_size = true;
+  options.collector = &collector;
   const RunResult result = RunQuerySet(
       scenario_->disk.get(), scenario_->tree_meta, "ASB", mixed, options);
-  ASSERT_EQ(result.candidate_trace.size(), mixed.queries.size());
+  EXPECT_GT(result.disk_reads, 0u);
+  const std::vector<size_t> trace =
+      AsbCandidateTrace(collector.events(), mixed.queries.size());
+  ASSERT_EQ(trace.size(), mixed.queries.size());
 
   const size_t phase1_end = intensified.queries.size();
-  const size_t c_after_intensified = result.candidate_trace[phase1_end - 1];
-  const size_t c_after_uniform = result.candidate_trace.back();
+  const size_t c_after_intensified = trace[phase1_end - 1];
+  const size_t c_after_uniform = trace.back();
   EXPECT_GT(c_after_uniform, c_after_intensified)
       << "uniform phase must push the candidate set up";
 }

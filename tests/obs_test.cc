@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/collector.h"
+#include "obs/events.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+// Global allocation counter for the zero-allocation fast-path tests: the
+// registry promises that only registration (Get*) allocates, never the
+// per-event Add/Set/Observe/Push operations.
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sdb::obs {
+namespace {
+
+constexpr double kBounds[] = {1.0, 2.0, 4.0};
+
+TEST(MetricsTest, CounterAndGaugeSemantics) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  counter->Add();
+  counter->Add(41);
+  EXPECT_EQ(counter->value(), 42u);
+  Gauge* gauge = registry.GetGauge("g");
+  gauge->Set(2.5);
+  gauge->Set(1.5);  // last write wins
+  EXPECT_DOUBLE_EQ(gauge->value(), 1.5);
+  EXPECT_EQ(registry.GetCounter("c"), counter) << "same name, same handle";
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsTest, HistogramBucketsAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h", kBounds);
+  h->Observe(0.5);   // bucket 0 (<= 1)
+  h->Observe(1.0);   // bucket 0 (inclusive)
+  h->Observe(2.0);   // bucket 1
+  h->Observe(3.0);   // bucket 2
+  h->Observe(100.0); // overflow bucket
+  ASSERT_EQ(h->counts().size(), 4u);
+  EXPECT_EQ(h->counts()[0], 2u);
+  EXPECT_EQ(h->counts()[1], 1u);
+  EXPECT_EQ(h->counts()[2], 1u);
+  EXPECT_EQ(h->counts()[3], 1u);
+  EXPECT_EQ(h->observations(), 5u);
+  EXPECT_DOUBLE_EQ(h->sum(), 106.5);
+  EXPECT_DOUBLE_EQ(h->mean(), 106.5 / 5.0);
+}
+
+TEST(MetricsTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra");
+  registry.GetGauge("alpha");
+  registry.GetHistogram("mid", kBounds);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "alpha");
+  EXPECT_EQ(snapshot[1].name, "mid");
+  EXPECT_EQ(snapshot[2].name, "zebra");
+}
+
+TEST(MetricsTest, MergeAddsCountersTakesGaugeMaxAddsBuckets) {
+  MetricsRegistry a;
+  a.GetCounter("c")->Add(10);
+  a.GetGauge("g")->Set(3.0);
+  a.GetHistogram("h", kBounds)->Observe(1.0);
+
+  MetricsRegistry b;
+  b.GetCounter("c")->Add(5);
+  b.GetGauge("g")->Set(7.0);
+  b.GetHistogram("h", kBounds)->Observe(9.0);
+  b.GetCounter("only_in_b")->Add(1);
+
+  a.Merge(b.Snapshot());
+  EXPECT_EQ(a.GetCounter("c")->value(), 15u);
+  EXPECT_DOUBLE_EQ(a.GetGauge("g")->value(), 7.0) << "gauge merge = max";
+  Histogram* h = a.GetHistogram("h", kBounds);
+  EXPECT_EQ(h->observations(), 2u);
+  EXPECT_EQ(h->counts()[0], 1u);
+  EXPECT_EQ(h->counts()[3], 1u);
+  EXPECT_DOUBLE_EQ(h->sum(), 10.0);
+  EXPECT_EQ(a.GetCounter("only_in_b")->value(), 1u)
+      << "absent metrics are registered by the merge";
+}
+
+TEST(MetricsTest, MergeIsOrderInsensitive) {
+  const auto snapshot_of = [](uint64_t c, double g, double obs) {
+    MetricsRegistry r;
+    r.GetCounter("c")->Add(c);
+    r.GetGauge("g")->Set(g);
+    r.GetHistogram("h", kBounds)->Observe(obs);
+    return r.Snapshot();
+  };
+  const MetricsSnapshot s1 = snapshot_of(1, 5.0, 0.5);
+  const MetricsSnapshot s2 = snapshot_of(2, 3.0, 8.0);
+  const MetricsSnapshot s3 = snapshot_of(3, 9.0, 2.0);
+
+  MetricsRegistry forward, backward;
+  for (const auto* s : {&s1, &s2, &s3}) forward.Merge(*s);
+  for (const auto* s : {&s3, &s2, &s1}) backward.Merge(*s);
+  EXPECT_EQ(forward.Snapshot(), backward.Snapshot());
+}
+
+TEST(MetricsTest, MergeOnJoinIsDeterministicAcrossThreadCounts) {
+  // The sweep-runner pattern in miniature: N tasks each fill a private
+  // registry; snapshots are stored in preassigned slots and merged in index
+  // order after the join. The merged result must not depend on how many
+  // threads executed the tasks.
+  constexpr size_t kTasks = 12;
+  const auto run_with = [](unsigned threads) {
+    std::vector<MetricsSnapshot> slots(kTasks);
+    const auto task = [&slots](size_t i) {
+      MetricsRegistry registry;
+      registry.GetCounter("events")->Add(i + 1);
+      registry.GetGauge("last")->Set(static_cast<double>(i));
+      Histogram* h = registry.GetHistogram("dist", kBounds);
+      for (size_t k = 0; k <= i; ++k) {
+        h->Observe(static_cast<double>(k % 5));
+      }
+      slots[i] = registry.Snapshot();
+    };
+    if (threads <= 1) {
+      for (size_t i = 0; i < kTasks; ++i) task(i);
+    } else {
+      std::atomic<size_t> next{0};
+      std::vector<std::jthread> pool;
+      for (unsigned w = 0; w < threads; ++w) {
+        pool.emplace_back([&] {
+          for (size_t i = next.fetch_add(1); i < kTasks;
+               i = next.fetch_add(1)) {
+            task(i);
+          }
+        });
+      }
+    }
+    MetricsRegistry merged;
+    for (const MetricsSnapshot& slot : slots) merged.Merge(slot);
+    return merged.Snapshot();
+  };
+  const MetricsSnapshot sequential = run_with(1);
+  EXPECT_EQ(run_with(4), sequential);
+  EXPECT_EQ(run_with(7), sequential);
+}
+
+TEST(MetricsTest, FastPathDoesNotAllocate) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  Gauge* gauge = registry.GetGauge("g");
+  Histogram* histogram = registry.GetHistogram("h", kBounds);
+  EventRing ring(64);
+  Event event;
+  for (int i = 0; i < 100; ++i) ring.Push(event);  // fill to capacity
+
+  const uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    counter->Add();
+    gauge->Set(static_cast<double>(i));
+    histogram->Observe(static_cast<double>(i % 8));
+    ring.Push(event);  // at capacity: overwrite, no growth
+  }
+  EXPECT_EQ(g_allocations.load(), before)
+      << "Add/Set/Observe/Push must not allocate";
+}
+
+TEST(EventRingTest, BoundedRingKeepsTheNewestEvents) {
+  EventRing ring(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    Event event;
+    event.page = i;
+    ring.Push(event);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  std::vector<uint64_t> pages;
+  ring.ForEach([&pages](const Event& e) { pages.push_back(e.page); });
+  EXPECT_EQ(pages, (std::vector<uint64_t>{6, 7, 8, 9}))
+      << "chronological order, oldest retained first";
+}
+
+TEST(EventRingTest, CapacityZeroCountsWithoutStoring) {
+  EventRing ring(0);
+  ring.Push(Event{});
+  ring.Push(Event{});
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total(), 2u);
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(EventRingTest, UnboundedRingDropsNothing) {
+  EventRing ring(EventRing::kUnbounded);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    Event event;
+    event.page = i;
+    ring.Push(event);
+  }
+  EXPECT_EQ(ring.size(), 10000u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const std::vector<Event> snapshot = ring.Snapshot();
+  EXPECT_EQ(snapshot.front().page, 0u);
+  EXPECT_EQ(snapshot.back().page, 9999u);
+}
+
+TEST(CollectorTest, WindowedHitRatio) {
+  CollectorOptions options;
+  options.window = 4;
+  options.event_capacity = 0;
+  Collector collector(options);
+  // Window 1: 2 hits of 4. Window 2: 4 hits of 4.
+  for (bool hit : {true, false, true, false, true, true, true, true}) {
+    collector.OnBufferRequest(1, 1, hit);
+  }
+  const MetricsSnapshot snapshot = collector.metrics().Snapshot();
+  for (const MetricValue& value : snapshot) {
+    if (value.name == "buffer.requests") EXPECT_EQ(value.count, 8u);
+    if (value.name == "buffer.hits") EXPECT_EQ(value.count, 6u);
+    if (value.name == "buffer.misses") EXPECT_EQ(value.count, 2u);
+    if (value.name == "buffer.window_hit_ratio") {
+      EXPECT_EQ(value.observations, 2u);
+      EXPECT_DOUBLE_EQ(value.value, 1.5);  // 0.5 + 1.0
+    }
+    if (value.name == "buffer.window_hit_ratio.last") {
+      EXPECT_DOUBLE_EQ(value.value, 1.0);
+    }
+  }
+}
+
+TEST(CollectorTest, RecordAccessesPushesPageAccessEvents) {
+  CollectorOptions options;
+  options.record_accesses = true;
+  options.event_capacity = EventRing::kUnbounded;
+  Collector collector(options);
+  collector.OnBufferRequest(7, 3, /*hit=*/false);
+  collector.OnBufferRequest(7, 4, /*hit=*/true);
+  ASSERT_EQ(collector.events().size(), 2u);
+  const std::vector<Event> events = collector.events().Snapshot();
+  EXPECT_EQ(events[0].kind, EventKind::kPageAccess);
+  EXPECT_EQ(events[0].page, 7u);
+  EXPECT_EQ(events[0].query, 3u);
+  EXPECT_FALSE(events[0].flag);
+  EXPECT_TRUE(events[1].flag);
+}
+
+TEST(ExportTest, MetricsJsonShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count")->Add(3);
+  registry.GetGauge("b.gauge")->Set(1.5);
+  registry.GetHistogram("c.hist", kBounds)->Observe(2.0);
+  const std::string json = MetricsJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"b.gauge\":1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c.hist\":{\"bounds\":[1,2,4],\"counts\":[0,1,0,0]"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ExportTest, MetricsJsonLinesRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("x")->Add(1);
+  registry.GetGauge("y")->Set(2.0);
+  const std::string path = ::testing::TempDir() + "/obs_metrics.jsonl";
+  ASSERT_TRUE(WriteMetricsJsonLines(path, "label-1", registry.Snapshot()));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find("\"label\":\"label-1\""), std::string::npos) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u) << "one JSONL record per metric";
+}
+
+TEST(ExportTest, ChromeTraceFile) {
+  ChromeTraceWriter writer;
+  writer.SetThreadName(0, "worker 0");
+  writer.AddCompleteEvent("LRU/U-P/64", 0, 100, 50);
+  writer.AddCompleteEvent("ASB/U-P/64", 0, 150, 75);
+  EXPECT_EQ(writer.event_count(), 2u);
+  const std::string path = ::testing::TempDir() + "/obs_trace.json";
+  ASSERT_TRUE(writer.Write(path));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string json = content.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("worker 0"), std::string::npos);
+  EXPECT_NE(json.find("LRU/U-P/64"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdb::obs

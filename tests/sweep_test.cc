@@ -99,6 +99,59 @@ TEST_F(SweepTest, PrintedTablesAreByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(parallel, sequential);
 }
 
+TEST_F(SweepTest, MergedMetricsAreIdenticalAcrossThreadCounts) {
+  // The per-task registries are merged in task-index order after the join,
+  // so the merged snapshot must not depend on the worker-thread count.
+  const auto run = [&](unsigned threads) {
+    SweepSpec spec = Spec(threads);
+    spec.collect_metrics = true;
+    return RunSweep(*scenario_, spec);
+  };
+  const SweepResult sequential = run(1);
+  const SweepResult parallel = run(4);
+  ASSERT_FALSE(sequential.metrics.empty());
+  EXPECT_EQ(parallel.metrics, sequential.metrics);
+  // Per-run snapshots travel in the cells too.
+  for (const SweepCell& cell : sequential.cells) {
+    EXPECT_FALSE(cell.result.metrics.empty());
+  }
+  // The merged request counter is the sum over every run in the grid.
+  uint64_t total_requests = 0;
+  for (const RunResult& baseline : sequential.baselines) {
+    total_requests += baseline.buffer_requests;
+  }
+  for (const SweepCell& cell : sequential.cells) {
+    total_requests += cell.result.buffer_requests;
+  }
+  for (const obs::MetricValue& value : sequential.metrics) {
+    if (value.name == "buffer.requests") {
+      EXPECT_EQ(value.count, total_requests);
+    }
+  }
+}
+
+TEST_F(SweepTest, MetricsAreOffByDefault) {
+  const SweepResult result = RunSweep(*scenario_, Spec(2));
+  EXPECT_TRUE(result.metrics.empty());
+  for (const SweepCell& cell : result.cells) {
+    EXPECT_TRUE(cell.result.metrics.empty());
+  }
+}
+
+TEST_F(SweepTest, TaskTimingsCoverEveryRun) {
+  SweepSpec spec = Spec(3);
+  const SweepResult result = RunSweep(*scenario_, spec);
+  ASSERT_EQ(result.timings.size(),
+            result.baselines.size() + result.cells.size());
+  for (const TaskTiming& timing : result.timings) {
+    EXPECT_FALSE(timing.name.empty());
+    EXPECT_LT(timing.worker, spec.threads);
+    EXPECT_GE(timing.end_us, timing.begin_us);
+  }
+  const std::string path = ::testing::TempDir() + "/sweep_trace.json";
+  ASSERT_TRUE(WriteSweepTrace(path, result));
+}
+
 TEST_F(SweepTest, SweepLeavesSharedDiskStatsUntouched) {
   scenario_->disk->ResetStats();
   (void)RunSweep(*scenario_, Spec(4));
