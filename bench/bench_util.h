@@ -14,6 +14,32 @@
 
 namespace sdb::bench {
 
+/// Environment knob with a default: unset -> `fallback`, set -> the value
+/// verbatim (so an empty value disables path-valued knobs). The bench mains
+/// share these helpers instead of hand-rolling getenv parsing.
+inline std::string EnvOr(const char* name, const char* fallback) {
+  const char* env = std::getenv(name);
+  return env == nullptr ? std::string(fallback) : std::string(env);
+}
+
+/// Positive-integer environment knob: unset/empty/non-positive -> fallback.
+inline size_t EnvSizeT(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  const long long value = std::strtoll(env, nullptr, 10);
+  return value < 1 ? fallback : static_cast<size_t>(value);
+}
+
+/// JSON-Lines sink of the merged metrics registry (SDB_BENCH_METRICS;
+/// empty disables).
+inline std::string BenchMetricsPath() {
+  return EnvOr("SDB_BENCH_METRICS", "BENCH_metrics.json");
+}
+
+/// Chrome trace_event sink of the sweep runner's worker timelines
+/// (SDB_BENCH_TRACE; off by default).
+inline std::string BenchTracePath() { return EnvOr("SDB_BENCH_TRACE", ""); }
+
 /// Default scale of the benchmark databases relative to the generator
 /// defaults (0.5 -> 100k objects for database 1). The SDB_SCALE environment
 /// variable multiplies object counts further; the paper's setup corresponds
@@ -122,19 +148,16 @@ inline void PrintGainTables(const sim::Scenario& scenario,
       !sim::AppendSweepJson(json, title, scenario, spec, result)) {
     std::fprintf(stderr, "warning: could not write %s\n", json.c_str());
   }
-  const char* metrics_env = std::getenv("SDB_BENCH_METRICS");
-  const std::string metrics_path =
-      metrics_env == nullptr ? std::string("BENCH_metrics.json")
-                             : std::string(metrics_env);
+  const std::string metrics_path = BenchMetricsPath();
   if (!metrics_path.empty() &&
       !obs::WriteMetricsJsonLines(metrics_path, title, result.metrics)) {
     std::fprintf(stderr, "warning: could not write %s\n",
                  metrics_path.c_str());
   }
-  const char* trace_env = std::getenv("SDB_BENCH_TRACE");
-  if (trace_env != nullptr && trace_env[0] != '\0' &&
-      !sim::WriteSweepTrace(trace_env, result)) {
-    std::fprintf(stderr, "warning: could not write %s\n", trace_env);
+  const std::string trace_path = BenchTracePath();
+  if (!trace_path.empty() && !sim::WriteSweepTrace(trace_path, result)) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 trace_path.c_str());
   }
 }
 

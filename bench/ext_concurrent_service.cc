@@ -1,0 +1,233 @@
+// Extension: the concurrent shared-buffer service. The paper evaluates its
+// buffers single-client; a spatial database server runs many clients over
+// one shared pool. This bench drives batches of browsing sessions through
+// the sharded BufferService via the SessionExecutor and reports throughput
+// (pages accessed per second) and hit rate as the worker count (1..16) and
+// shard count (1, 4, 16) grow.
+//
+// Accounting contracts verified on every cell: total logical page accesses
+// are identical for every (workers, shards) configuration — concurrency
+// must never change what the workload reads — and a repeated 1-worker run
+// reproduces its hit count exactly at a fixed seed. Rows are appended as
+// JSON-Lines to BENCH_concurrent.json (override with SDB_BENCH_CONCURRENT;
+// empty disables). Note that speedup numbers are only meaningful on a
+// multi-core host; the invariants hold anywhere.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "svc/buffer_service.h"
+#include "svc/session_executor.h"
+#include "workload/query_generator.h"
+#include "workload/session_generator.h"
+
+namespace {
+
+using namespace sdb;
+
+struct CellResult {
+  size_t workers = 0;
+  size_t shards = 0;
+  double seconds = 0.0;
+  uint64_t accesses = 0;
+  uint64_t result_objects = 0;
+  svc::ShardStats stats;
+  uint64_t backpressure_waits = 0;
+
+  double PagesPerSecond() const {
+    return seconds <= 0.0 ? 0.0
+                          : static_cast<double>(accesses) / seconds;
+  }
+};
+
+CellResult RunCell(const sim::Scenario& scenario,
+                   const std::vector<workload::QuerySet>& sessions,
+                   size_t total_frames, size_t workers, size_t shards) {
+  svc::BufferServiceConfig service_config;
+  service_config.total_frames = total_frames;
+  service_config.shard_count = shards;
+  service_config.policy_spec = "ASB";
+  svc::BufferService service(*scenario.disk, service_config);
+
+  svc::SessionExecutorConfig executor_config;
+  executor_config.workers = workers;
+  executor_config.queue_capacity = std::max<size_t>(2 * workers, 4);
+
+  CellResult cell;
+  cell.workers = workers;
+  cell.shards = shards;
+  const auto begin = std::chrono::steady_clock::now();
+  {
+    svc::SessionExecutor executor(scenario.disk.get(), &service,
+                                  scenario.tree_meta, executor_config);
+    for (const workload::QuerySet& session : sessions) {
+      executor.Submit(session);
+    }
+    const std::vector<svc::SessionResult> results = executor.Finish();
+    cell.backpressure_waits = executor.stats().backpressure_waits;
+    for (const svc::SessionResult& result : results) {
+      cell.accesses += result.page_accesses;
+      cell.result_objects += result.result_objects;
+    }
+  }
+  cell.seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - begin)
+                     .count();
+  cell.stats = service.AggregateStats();
+  if (cell.accesses != cell.stats.buffer.requests) {
+    std::fprintf(stderr,
+                 "FATAL: session accounting (%llu) != service requests "
+                 "(%llu)\n",
+                 static_cast<unsigned long long>(cell.accesses),
+                 static_cast<unsigned long long>(cell.stats.buffer.requests));
+    std::exit(1);
+  }
+  return cell;
+}
+
+std::string CellJson(const std::string& workload_name, size_t total_frames,
+                     const CellResult& cell) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"schema_version\":%d,\"bench\":\"concurrent_service\","
+      "\"workload\":\"%s\",\"policy\":\"ASB\",\"buffer_frames\":%zu,"
+      "\"workers\":%zu,\"shards\":%zu,\"seconds\":%.6f,"
+      "\"pages_per_sec\":%.1f,\"accesses\":%llu,\"hits\":%llu,"
+      "\"hit_rate\":%.6f,\"disk_reads\":%llu,\"latch_waits\":%llu,"
+      "\"latch_acquires\":%llu,\"backpressure_waits\":%llu}",
+      obs::kBenchJsonSchemaVersion, workload_name.c_str(), total_frames,
+      cell.workers, cell.shards, cell.seconds, cell.PagesPerSecond(),
+      static_cast<unsigned long long>(cell.accesses),
+      static_cast<unsigned long long>(cell.stats.buffer.hits),
+      cell.stats.buffer.HitRate(),
+      static_cast<unsigned long long>(cell.stats.io.reads),
+      static_cast<unsigned long long>(cell.stats.latch_waits),
+      static_cast<unsigned long long>(cell.stats.latch_acquires),
+      static_cast<unsigned long long>(cell.backpressure_waits));
+  return std::string(buf);
+}
+
+/// A batch of sessions with disjoint seeds; `uniform` draws i.i.d. uniform
+/// windows (the paper's U family — the acceptance workload), otherwise
+/// Markov browsing sessions.
+std::vector<workload::QuerySet> MakeSessions(const sim::Scenario& scenario,
+                                             bool uniform, size_t count,
+                                             size_t steps) {
+  std::vector<workload::QuerySet> sessions;
+  sessions.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (uniform) {
+      workload::QuerySpec spec;
+      spec.family = workload::QueryFamily::kUniform;
+      spec.ex = 100;
+      spec.count = steps;
+      spec.seed = 7000 + i;
+      sessions.push_back(
+          workload::MakeQuerySet(spec, scenario.dataset, scenario.places));
+    } else {
+      workload::SessionParams params;
+      params.steps = steps;
+      params.seed = 7000 + i;
+      sessions.push_back(
+          workload::MakeSessionQuerySet(params, scenario.places));
+    }
+  }
+  return sessions;
+}
+
+void RunGrid(const sim::Scenario& scenario, const std::string& workload_name,
+             bool uniform, const std::string& json_path) {
+  const size_t session_count = bench::EnvSizeT("SDB_BENCH_SESSIONS", 16);
+  const size_t steps = bench::EnvSizeT("SDB_BENCH_SESSION_STEPS", 1000);
+  const std::vector<workload::QuerySet> sessions =
+      MakeSessions(scenario, uniform, session_count, steps);
+  const std::vector<size_t> worker_counts{1, 2, 4, 8, 16};
+  const std::vector<size_t> shard_counts{1, 4, 16};
+  // One buffer size for the whole grid (cells stay comparable), floored so
+  // every shard keeps an evictable frame even when every worker has a page
+  // of that shard pinned at once (query traversal pins one page at a time).
+  const size_t total_frames =
+      std::max(scenario.BufferFrames(0.047),
+               shard_counts.back() * (worker_counts.back() + 1));
+
+  sim::Table table({"workers", "shards", "pages/s", "hit rate", "latch waits",
+                    "speedup vs 1w/1s"});
+  bool json_ok = true;
+  double base_pages_per_sec = 0.0;
+  uint64_t expected_accesses = 0;
+  uint64_t serial_hits = 0;
+  for (const size_t shards : shard_counts) {
+    for (const size_t workers : worker_counts) {
+      const CellResult cell =
+          RunCell(scenario, sessions, total_frames, workers, shards);
+      // Hard contract: the logical workload is configuration-invariant.
+      if (expected_accesses == 0) {
+        expected_accesses = cell.accesses;
+      } else if (cell.accesses != expected_accesses) {
+        std::fprintf(stderr,
+                     "FATAL: %zuw/%zus accessed %llu pages, expected %llu\n",
+                     workers, shards,
+                     static_cast<unsigned long long>(cell.accesses),
+                     static_cast<unsigned long long>(expected_accesses));
+        std::exit(1);
+      }
+      if (workers == 1 && shards == 1) {
+        // Reproducibility: a second serial run must reproduce the hit
+        // count bit-for-bit at the fixed seed.
+        serial_hits = cell.stats.buffer.hits;
+        const CellResult again =
+            RunCell(scenario, sessions, total_frames, workers, shards);
+        if (again.stats.buffer.hits != serial_hits) {
+          std::fprintf(stderr,
+                       "FATAL: serial rerun hit %llu pages, first run %llu\n",
+                       static_cast<unsigned long long>(
+                           again.stats.buffer.hits),
+                       static_cast<unsigned long long>(serial_hits));
+          std::exit(1);
+        }
+        base_pages_per_sec = cell.PagesPerSecond();
+      }
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    base_pages_per_sec <= 0.0
+                        ? 0.0
+                        : cell.PagesPerSecond() / base_pages_per_sec);
+      table.AddRow({std::to_string(workers), std::to_string(shards),
+                    sim::FormatDouble(cell.PagesPerSecond(), 0),
+                    sim::FormatDouble(cell.stats.buffer.HitRate(), 4),
+                    std::to_string(cell.stats.latch_waits), speedup});
+      if (!json_path.empty()) {
+        json_ok = sim::AppendJsonLine(
+                      json_path, CellJson(workload_name, total_frames, cell)) &&
+                  json_ok;
+      }
+    }
+  }
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "Extension — concurrent service, %s, %zu sessions x %zu "
+                "queries, ASB, buffer %zu frames",
+                workload_name.c_str(), session_count, steps, total_frames);
+  table.Print(title);
+  if (!json_ok) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const sim::Scenario scenario =
+      bench::BuildBenchDatabase(sim::DatabaseKind::kUsLike);
+  const std::string json_path =
+      bench::EnvOr("SDB_BENCH_CONCURRENT", "BENCH_concurrent.json");
+  RunGrid(scenario, "uniform U-W-100", /*uniform=*/true, json_path);
+  RunGrid(scenario, "browsing sessions", /*uniform=*/false, json_path);
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include "core/buffer_manager.h"
 #include "core/policy_factory.h"
 #include "obs/collector.h"
+#include "obs/export.h"
 #include "sim/report.h"
 #include "storage/disk_manager.h"
 
@@ -173,11 +174,13 @@ void RunEvictionCostTable() {
       char line[512];
       std::snprintf(
           line, sizeof(line),
-          "{\"bench\":\"policy_overhead\",\"policy\":\"%s\","
+          "{\"schema_version\":%d,"
+          "\"bench\":\"policy_overhead\",\"policy\":\"%s\","
           "\"frames\":%zu,\"ns_per_eviction\":%.1f,"
           "\"ns_per_eviction_no_cache\":%.1f,"
           "\"ns_per_eviction_obs\":%.1f,\"decodes_per_eviction\":%.3f,"
           "\"decodes_per_eviction_no_cache\":%.3f,\"evictions\":%llu}",
+          obs::kBenchJsonSchemaVersion,
           sim::JsonEscape(policy).c_str(), frames, cached.ns_per_eviction,
           uncached.ns_per_eviction, observed.ns_per_eviction,
           cached.decodes_per_eviction, uncached.decodes_per_eviction,

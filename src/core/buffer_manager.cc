@@ -39,19 +39,27 @@ storage::ConstPageHeaderView PageHandle::header() const {
 
 void PageHandle::MarkDirty() {
   SDB_CHECK(valid());
-  manager_->frames_[frame_].dirty = true;
-  // The page bytes may have been rewritten in place; drop the cached header
-  // so the replacement policies re-rank the page with its current values.
-  manager_->InvalidateMeta(frame_);
+  manager_->MarkFrameDirty(frame_);
 }
 
 void PageHandle::Release() {
   if (manager_ != nullptr) {
-    manager_->Unpin(frame_, /*dirty=*/false);
+    const UnpinStatus status = manager_->Unpin(frame_, /*dirty=*/false);
+    SDB_CHECK_MSG(status == UnpinStatus::kOk,
+                  "handle released a frame it no longer pins");
     manager_ = nullptr;
     frame_ = kInvalidFrameId;
     page_id_ = storage::kInvalidPageId;
   }
+}
+
+FrameId PageHandle::Detach() {
+  SDB_CHECK(valid());
+  const FrameId frame = frame_;
+  manager_ = nullptr;
+  frame_ = kInvalidFrameId;
+  page_id_ = storage::kInvalidPageId;
+  return frame;
 }
 
 BufferManager::BufferManager(storage::PageDevice* disk, size_t frames,
@@ -248,10 +256,19 @@ void BufferManager::FlushObservability() {
   flushed_header_decodes_ = header_decodes_;
 }
 
-void BufferManager::Unpin(FrameId f, bool dirty) {
-  SDB_DCHECK(f < frames_.size());
+UnpinStatus BufferManager::Unpin(FrameId f, bool dirty) {
+  if (latch_ == nullptr) return UnpinLocked(f, dirty);
+  std::lock_guard<std::mutex> lock(*latch_);
+  return UnpinLocked(f, dirty);
+}
+
+UnpinStatus BufferManager::UnpinLocked(FrameId f, bool dirty) {
+  if (f >= frames_.size() ||
+      frames_[f].page == storage::kInvalidPageId) {
+    return UnpinStatus::kUnknownFrame;
+  }
   Frame& frame = frames_[f];
-  SDB_CHECK_MSG(frame.pin_count > 0, "unpin without pin");
+  if (frame.pin_count == 0) return UnpinStatus::kNotPinned;
   if (dirty) {
     frame.dirty = true;
     InvalidateMeta(f);
@@ -259,6 +276,23 @@ void BufferManager::Unpin(FrameId f, bool dirty) {
   if (--frame.pin_count == 0) {
     policy_->SetEvictable(f, true);
   }
+  return UnpinStatus::kOk;
+}
+
+void BufferManager::MarkFrameDirty(FrameId f) {
+  const auto mark = [&] {
+    frames_[f].dirty = true;
+    // The page bytes may have been rewritten in place; drop the cached
+    // header so the replacement policies re-rank the page with its current
+    // values.
+    InvalidateMeta(f);
+  };
+  if (latch_ == nullptr) {
+    mark();
+    return;
+  }
+  std::lock_guard<std::mutex> lock(*latch_);
+  mark();
 }
 
 }  // namespace sdb::core

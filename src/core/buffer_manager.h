@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +48,11 @@ class PageHandle {
   /// Unpins early (idempotent).
   void Release();
 
+  /// Invalidates the handle WITHOUT unpinning: the caller takes over the
+  /// pin and must release it with an explicit BufferManager::Unpin on the
+  /// returned frame. For code that manages pin lifetimes manually.
+  FrameId Detach();
+
  private:
   friend class BufferManager;
   PageHandle(BufferManager* manager, FrameId frame, storage::PageId page)
@@ -72,11 +78,43 @@ struct BufferStats {
   }
 };
 
+/// Outcome of an explicit BufferManager::Unpin call. Handle-driven unpins
+/// always succeed (the handle owns a pin by construction); manual callers
+/// get an explicit error instead of an assertion failure.
+enum class UnpinStatus : uint8_t {
+  kOk,
+  kUnknownFrame,  ///< frame index out of range, or no page resident in it
+  kNotPinned,     ///< the frame's pin count is already zero
+};
+
+/// Source of pinned pages — the interface query execution (the R-tree)
+/// traverses through. Implemented by BufferManager (one private,
+/// single-threaded buffer: the paper's experimental setup) and by
+/// svc::BufferService (one logical buffer sharded across many
+/// BufferManagers behind per-shard latches, serving concurrent clients).
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  /// Returns a pinned handle on the page, reading it from the backing
+  /// device on a miss.
+  virtual PageHandle Fetch(storage::PageId page, const AccessContext& ctx) = 0;
+
+  /// Allocates a fresh zeroed page and pins it. Sources serving read-only
+  /// traffic abort.
+  virtual PageHandle New(const AccessContext& ctx) = 0;
+
+  /// Current buffered image of a resident page (empty span if not
+  /// resident). Structural inspection only: not an access, and only
+  /// meaningful while no concurrent traffic can evict the page.
+  virtual std::span<const std::byte> Peek(storage::PageId page) const = 0;
+};
+
 /// Page buffer with a pluggable replacement policy — the experimental
 /// apparatus of the paper. Frames hold page images read from one
 /// PageDevice (a DiskManager or a per-run ReadOnlyDiskView); every miss
 /// costs exactly one disk read (plus a write-back if the victim is dirty).
-class BufferManager : public FrameMetaSource {
+class BufferManager : public FrameMetaSource, public PageSource {
  public:
   /// `frames` is the buffer capacity in pages. The policy is bound to this
   /// buffer and must not be shared. `collector` (optional) receives metrics
@@ -93,10 +131,10 @@ class BufferManager : public FrameMetaSource {
   BufferManager& operator=(const BufferManager&) = delete;
 
   /// Returns a pinned handle on the page, reading it from disk on a miss.
-  PageHandle Fetch(storage::PageId page, const AccessContext& ctx);
+  PageHandle Fetch(storage::PageId page, const AccessContext& ctx) override;
 
   /// Allocates a fresh zeroed page on disk and pins it (no disk read).
-  PageHandle New(const AccessContext& ctx);
+  PageHandle New(const AccessContext& ctx) override;
 
   /// True if the page is currently resident.
   bool Contains(storage::PageId page) const;
@@ -104,7 +142,22 @@ class BufferManager : public FrameMetaSource {
   /// Current in-buffer image of a resident page (which may be newer than
   /// the disk copy), or an empty span if the page is not resident. Does not
   /// count as an access and must not be used by query execution.
-  std::span<const std::byte> Peek(storage::PageId page) const;
+  std::span<const std::byte> Peek(storage::PageId page) const override;
+
+  /// Releases one pin on `frame`, marking the page dirty first if `dirty`.
+  /// Returns an explicit error — instead of asserting — when the frame is
+  /// out of range / holds no page (kUnknownFrame) or is not pinned
+  /// (kNotPinned); the buffer state is untouched in both error cases.
+  /// Acquires the external latch (see set_latch) when one is attached, so
+  /// handle releases are safe without the caller holding the shard latch.
+  UnpinStatus Unpin(FrameId frame, bool dirty);
+
+  /// Attaches the latch that guards this buffer inside a sharded service
+  /// (nullptr detaches). When set, the PageHandle release/MarkDirty paths
+  /// acquire it; Fetch/New/Contains/stats callers must hold it themselves
+  /// — svc::BufferService is that caller. Single-threaded users never set
+  /// this, keeping every hot path latch-free.
+  void set_latch(std::mutex* latch) { latch_ = latch; }
 
   /// Writes back all dirty resident pages (without evicting them).
   void FlushAll();
@@ -184,7 +237,12 @@ class BufferManager : public FrameMetaSource {
   FrameId AcquireFrame(const AccessContext& ctx,
                        storage::PageId incoming);
 
-  void Unpin(FrameId frame, bool dirty);
+  /// Unpin body, latch already held (or no latch attached).
+  UnpinStatus UnpinLocked(FrameId frame, bool dirty);
+
+  /// PageHandle::MarkDirty body: latches, sets the dirty bit and drops the
+  /// frame's cached metadata.
+  void MarkFrameDirty(FrameId frame);
 
   /// Marks the frame's cached metadata stale (in-place page update); the
   /// next GetMeta re-decodes the header.
@@ -195,6 +253,8 @@ class BufferManager : public FrameMetaSource {
   void FillMeta(FrameId frame);
 
   storage::PageDevice* disk_;
+  // External shard latch (nullptr = single-threaded use, no locking).
+  std::mutex* latch_ = nullptr;
   std::unique_ptr<ReplacementPolicy> policy_;
   size_t page_size_;
   std::unique_ptr<std::byte[]> frame_data_;

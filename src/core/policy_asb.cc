@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "core/asb_shared.h"
 #include "core/policy_slru.h"
 
 namespace sdb::core {
@@ -41,6 +42,10 @@ void AsbPolicy::Bind(const FrameMetaSource* meta, size_t frame_count) {
       std::llround(config_.initial_candidate_fraction *
                    static_cast<double>(main_target_)),
       1, static_cast<int64_t>(main_target_));
+  if (shared_ != nullptr) {
+    shared_->BindShard(candidate_, static_cast<int64_t>(main_target_));
+    ReloadSharedCandidate();
+  }
   section_.assign(frame_count, Section::kNone);
   fifo_.clear();
   main_count_ = 0;
@@ -134,15 +139,24 @@ void AsbPolicy::Adapt(FrameId p, const AccessContext& ctx) {
   if (better_spatial > better_lru) {
     // The spatial criterion ranks p low although p was needed — LRU judged
     // better; shrink its candidate set to strengthen LRU.
-    candidate_ = std::max<int64_t>(1, candidate_ - step_);
     ++decreases_;
     direction = -1;
   } else if (better_spatial < better_lru) {
-    candidate_ =
-        std::min<int64_t>(static_cast<int64_t>(main_target_),
-                          candidate_ + step_);
     ++increases_;
     direction = 1;
+  }
+  if (direction != 0) {
+    if (shared_ != nullptr) {
+      // Sharded operation: the step lands on the globally-published c, and
+      // this shard adopts the result (already within the global clamp,
+      // which is at most this shard's main capacity).
+      candidate_ = std::clamp<int64_t>(
+          shared_->ApplyStep(direction, step_), 1,
+          static_cast<int64_t>(main_target_));
+    } else {
+      candidate_ = std::clamp<int64_t>(candidate_ + direction * step_, 1,
+                                       static_cast<int64_t>(main_target_));
+    }
   }
   if constexpr (obs::kEnabled) {
     if (obs::Collector* c = collector()) {
@@ -181,7 +195,16 @@ void AsbPolicy::Rebalance() {
   }
 }
 
+void AsbPolicy::ReloadSharedCandidate() {
+  if (shared_ == nullptr) return;
+  candidate_ = std::clamp<int64_t>(shared_->Load(), 1,
+                                   static_cast<int64_t>(main_target_));
+}
+
 std::optional<FrameId> AsbPolicy::SelectMainVictim() {
+  // Sharded operation: adopt the candidate size other shards may have
+  // adapted since this shard's last demotion scan.
+  ReloadSharedCandidate();
   recency_keys_.clear();
   recency_keys_.reserve(main_count_);
   const uint64_t* versions = meta_versions();  // one virtual call per scan

@@ -12,6 +12,8 @@
 
 namespace sdb::core {
 
+class AsbSharedTuning;
+
 /// Tuning knobs of the adaptable spatial buffer. Defaults match the paper's
 /// experiments (Sec. 4.3): overflow buffer = 20% of the complete buffer,
 /// initial candidate set = 25% of the remaining (main) buffer, adaptation
@@ -52,6 +54,15 @@ class AsbPolicy : public PolicyBase {
   std::string_view name() const override { return "ASB"; }
   const AsbConfig& config() const { return config_; }
 
+  /// Attaches cross-shard candidate-set coordination (set by the sharded
+  /// buffer service on every shard's policy; must be called before Bind).
+  /// With a shared tuning attached, adaptation steps are applied to the
+  /// shared value with a clamped CAS and the published value is re-read at
+  /// the start of every demotion scan; without one (the default) the policy
+  /// tunes its private `c` exactly as in the paper.
+  void set_shared_tuning(AsbSharedTuning* shared) { shared_ = shared; }
+  AsbSharedTuning* shared_tuning() const { return shared_; }
+
   void Bind(const FrameMetaSource* meta, size_t frame_count) override;
   void SetCollector(obs::Collector* collector) override;
   void OnPageLoaded(FrameId frame, storage::PageId page,
@@ -90,6 +101,10 @@ class AsbPolicy : public PolicyBase {
   /// resulting c) when a collector is attached.
   void Adapt(FrameId p, const AccessContext& ctx);
 
+  /// Adopts the globally-published candidate size, clamped to this shard's
+  /// main capacity. No-op without a shared tuning.
+  void ReloadSharedCandidate();
+
   /// Moves an overflow page back into the main section.
   void Promote(FrameId f);
 
@@ -101,6 +116,7 @@ class AsbPolicy : public PolicyBase {
   std::optional<FrameId> SelectMainVictim();
 
   const AsbConfig config_;
+  AsbSharedTuning* shared_ = nullptr;  ///< cross-shard c (nullptr = private)
   size_t main_target_ = 0;
   size_t overflow_target_ = 0;
   int64_t step_ = 1;

@@ -90,7 +90,9 @@ bool WriteMetricsJsonLines(const std::string& path, std::string_view label,
   if (file == nullptr) return false;
   bool ok = true;
   for (const MetricValue& metric : snapshot) {
-    std::string line = "{\"label\":\"";
+    std::string line = "{\"schema_version\":";
+    line += std::to_string(kBenchJsonSchemaVersion);
+    line += ",\"label\":\"";
     line += Escape(label);
     line += "\",\"metric\":\"";
     line += Escape(metric.name);

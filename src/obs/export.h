@@ -10,6 +10,14 @@
 
 namespace sdb::obs {
 
+/// Version stamped as "schema_version" into every row of every BENCH_*.json
+/// writer (sweep rows, metrics dumps, the per-bench JSONL mains), so
+/// downstream analysis can detect row-shape changes. Bump when a writer
+/// renames, removes, or re-types a field.
+///   1: implicit (rows without the field)
+///   2: the field itself + concurrent-service rows (BENCH_concurrent.json)
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
 /// Compact single-line JSON object of a snapshot: counters and gauges as
 /// numbers, histograms as {"bounds":[...],"counts":[...],"sum":s,"n":n}.
 /// Embedded verbatim into BENCH_sweep.json rows.

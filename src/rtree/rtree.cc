@@ -44,11 +44,12 @@ Rect MbrOf(std::span<const Entry> entries) {
 
 }  // namespace
 
-RTree::RTree(const storage::DiskManager* disk, core::BufferManager* buffer,
+RTree::RTree(const storage::DiskManager* disk, core::PageSource* buffer,
              const RTreeConfig& config)
     : disk_(disk), buffer_(buffer), config_(config) {
+  // `buffer` must wrap `disk` (or a view of it); the PageSource interface
+  // cannot expose its backing device, so this is the caller's contract.
   SDB_CHECK(disk != nullptr && buffer != nullptr);
-  SDB_CHECK(&buffer->disk() == disk);
   const uint32_t capacity =
       NodeView::Capacity(disk->page_size());
   SDB_CHECK_MSG(config.max_dir_entries >= 4 &&
@@ -76,12 +77,12 @@ RTree::RTree(const storage::DiskManager* disk, core::BufferManager* buffer,
   PersistMeta();
 }
 
-RTree::RTree(const storage::DiskManager* disk, core::BufferManager* buffer,
+RTree::RTree(const storage::DiskManager* disk, core::PageSource* buffer,
              const RTreeConfig& config, storage::PageId meta_page)
     : disk_(disk), buffer_(buffer), config_(config), meta_page_(meta_page) {}
 
 RTree RTree::Open(const storage::DiskManager* disk,
-                  core::BufferManager* buffer,
+                  core::PageSource* buffer,
                   storage::PageId meta_page) {
   SDB_CHECK(disk != nullptr && buffer != nullptr);
   MetaRecord record;
@@ -834,7 +835,7 @@ struct WalkResult {
 /// Current image of a page: the (possibly newer) buffered copy when
 /// resident, the disk copy otherwise. Costs no counted I/O.
 std::span<const std::byte> PeekImage(const storage::DiskManager& disk,
-                                     const core::BufferManager* buffer,
+                                     const core::PageSource* buffer,
                                      PageId id) {
   if (buffer != nullptr) {
     const std::span<const std::byte> resident = buffer->Peek(id);
@@ -844,7 +845,7 @@ std::span<const std::byte> PeekImage(const storage::DiskManager& disk,
 }
 
 void OfflineWalk(const storage::DiskManager& disk,
-                 const core::BufferManager* buffer,
+                 const core::PageSource* buffer,
                  const RTreeConfig& config, PageId id, uint8_t expected_level,
                  bool is_root, WalkResult* out) {
   if (!out->error.empty()) return;

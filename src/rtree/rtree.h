@@ -40,9 +40,10 @@ struct TreeStats {
 
 /// A paged R*-tree [Beckmann et al., SIGMOD 1990] — the spatial access
 /// method of the paper's experiments. All node accesses at run time go
-/// through a pluggable BufferManager so replacement policies can be
-/// evaluated; structural inspection (Validate, ComputeStats) bypasses the
-/// buffer and is free of I/O cost.
+/// through a pluggable core::PageSource (a private BufferManager, or the
+/// sharded svc::BufferService for concurrent clients) so replacement
+/// policies can be evaluated; structural inspection (Validate,
+/// ComputeStats) bypasses the buffer and is free of I/O cost.
 ///
 /// The tree persists its root/height in a meta page, so a tree built with
 /// one buffer can be reopened with another (fresh) buffer — exactly how the
@@ -51,12 +52,12 @@ class RTree {
  public:
   /// Creates an empty tree on `disk`, performing its page I/O through
   /// `buffer` (which must wrap the same disk).
-  RTree(const storage::DiskManager* disk, core::BufferManager* buffer,
+  RTree(const storage::DiskManager* disk, core::PageSource* buffer,
         const RTreeConfig& config = RTreeConfig{});
 
   /// Reopens a persisted tree. `meta_page` is the page id returned by
   /// meta_page() of the instance that built the tree.
-  static RTree Open(const storage::DiskManager* disk, core::BufferManager* buffer,
+  static RTree Open(const storage::DiskManager* disk, core::PageSource* buffer,
                     storage::PageId meta_page);
 
   RTree(RTree&&) = default;
@@ -67,10 +68,10 @@ class RTree {
   /// Swaps the buffer the tree performs I/O through (e.g. a fresh buffer
   /// with a different replacement policy). The previous buffer must have
   /// been flushed or destroyed by the caller.
-  void set_buffer(core::BufferManager* buffer) { buffer_ = buffer; }
+  void set_buffer(core::PageSource* buffer) { buffer_ = buffer; }
 
   /// Buffer the tree currently performs its I/O through.
-  core::BufferManager* buffer() const { return buffer_; }
+  core::PageSource* buffer() const { return buffer_; }
 
   /// Inserts one object entry (R* insertion with forced reinsertion).
   void Insert(const Entry& entry, const core::AccessContext& ctx);
@@ -122,7 +123,7 @@ class RTree {
                                const core::AccessContext& ctx,
                                double fill_fraction, PackingOrder order);
 
-  RTree(const storage::DiskManager* disk, core::BufferManager* buffer,
+  RTree(const storage::DiskManager* disk, core::PageSource* buffer,
         const RTreeConfig& config, storage::PageId meta_page);
 
   uint32_t MaxEntries(uint8_t level) const {
@@ -168,7 +169,7 @@ class RTree {
   geom::Rect NodeMbr(storage::PageId id, const core::AccessContext& ctx) const;
 
   const storage::DiskManager* disk_;
-  core::BufferManager* buffer_;
+  core::PageSource* buffer_;
   RTreeConfig config_;
   storage::PageId meta_page_ = storage::kInvalidPageId;
   storage::PageId root_ = storage::kInvalidPageId;

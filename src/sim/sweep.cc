@@ -207,11 +207,13 @@ std::string RunJson(const std::string& title, const std::string& database,
   char buf[640];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"bench\":\"%s\",\"database\":\"%s\",\"fraction\":%g,"
+      "{\"schema_version\":%d,"
+      "\"bench\":\"%s\",\"database\":\"%s\",\"fraction\":%g,"
       "\"buffer_frames\":%zu,\"query_set\":\"%s\",\"policy\":\"%s\","
       "\"baseline\":%s,\"disk_reads\":%llu,\"sequential_reads\":%llu,"
       "\"random_reads\":%llu,"
       "\"buffer_requests\":%llu,\"buffer_hits\":%llu,\"gain\":%.6f",
+      obs::kBenchJsonSchemaVersion,
       JsonEscape(title).c_str(), JsonEscape(database).c_str(), fraction,
       run.buffer_frames, JsonEscape(run.query_set).c_str(),
       JsonEscape(run.policy).c_str(), is_baseline ? "true" : "false",

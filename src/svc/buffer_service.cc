@@ -1,0 +1,185 @@
+#include "svc/buffer_service.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "core/policy_asb.h"
+#include "core/policy_factory.h"
+
+namespace sdb::svc {
+
+namespace {
+
+/// splitmix64 finalizer: page ids are sequential on disk, so a plain modulo
+/// would put whole subtrees on one shard; the mix spreads them evenly.
+uint64_t MixPageId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Capacity split: total/count per shard, remainder to the lowest-numbered
+/// shards one frame each.
+size_t SplitFrames(size_t total, size_t count, size_t shard) {
+  return total / count + (shard < total % count ? 1 : 0);
+}
+
+}  // namespace
+
+BufferService::BufferService(const storage::DiskManager& disk,
+                             const BufferServiceConfig& config)
+    : total_frames_(config.total_frames),
+      policy_spec_(config.policy_spec),
+      collect_metrics_(config.collect_metrics && obs::kEnabled) {
+  SDB_CHECK_MSG(config.shard_count > 0, "service needs at least one shard");
+  SDB_CHECK_MSG(config.total_frames >= config.shard_count,
+                "fewer frames than shards: some shard would be empty");
+  shards_.reserve(config.shard_count);
+  for (size_t s = 0; s < config.shard_count; ++s) {
+    auto shard = std::make_unique<Shard>(disk);
+    if (collect_metrics_) {
+      obs::CollectorOptions options;
+      options.event_capacity = 0;  // metrics only; no per-shard event ring
+      shard->collector = std::make_unique<obs::Collector>(options);
+    }
+    auto policy = core::CreatePolicy(config.policy_spec);
+    if (config.share_asb_tuning) {
+      // Attach before the buffer constructs (construction binds the policy,
+      // and Bind is where the shard registers with the global tuning).
+      if (auto* asb = dynamic_cast<core::AsbPolicy*>(policy.get())) {
+        asb->set_shared_tuning(&asb_tuning_);
+        asb_shared_ = true;
+      }
+    }
+    shard->buffer = std::make_unique<core::BufferManager>(
+        &shard->view, SplitFrames(total_frames_, config.shard_count, s),
+        std::move(policy), shard->collector.get());
+    shard->buffer->set_latch(&shard->latch);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+BufferService::~BufferService() = default;
+
+size_t BufferService::ShardOf(storage::PageId page) const {
+  return static_cast<size_t>(MixPageId(static_cast<uint64_t>(page)) %
+                             shards_.size());
+}
+
+size_t BufferService::ShardFrames(size_t shard) const {
+  return SplitFrames(total_frames_, shards_.size(), shard);
+}
+
+std::unique_lock<std::mutex> BufferService::LockShard(Shard& shard) const {
+  std::unique_lock<std::mutex> lock(shard.latch, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard.latch_waits.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  shard.latch_acquires.fetch_add(1, std::memory_order_relaxed);
+  return lock;
+}
+
+core::PageHandle BufferService::Fetch(storage::PageId page,
+                                      const core::AccessContext& ctx) {
+  Shard& shard = *shards_[ShardOf(page)];
+  const std::unique_lock<std::mutex> lock = LockShard(shard);
+  return shard.buffer->Fetch(page, ctx);
+}
+
+core::PageHandle BufferService::New(const core::AccessContext&) {
+  SDB_CHECK_MSG(false, "BufferService is read-only: New() is not served");
+  return core::PageHandle{};
+}
+
+std::span<const std::byte> BufferService::Peek(storage::PageId page) const {
+  return shards_[ShardOf(page)]->buffer->Peek(page);
+}
+
+bool BufferService::Contains(storage::PageId page) const {
+  Shard& shard = *shards_[ShardOf(page)];
+  const std::unique_lock<std::mutex> lock = LockShard(shard);
+  return shard.buffer->Contains(page);
+}
+
+ShardStats BufferService::StatsOfShard(size_t s) const {
+  Shard& shard = *shards_[s];
+  const std::unique_lock<std::mutex> lock = LockShard(shard);
+  ShardStats stats;
+  stats.buffer = shard.buffer->stats();
+  stats.io = shard.view.stats();
+  stats.latch_waits = shard.latch_waits.load(std::memory_order_relaxed);
+  stats.latch_acquires = shard.latch_acquires.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ShardStats BufferService::AggregateStats() const {
+  ShardStats total;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ShardStats one = StatsOfShard(s);
+    total.buffer.requests += one.buffer.requests;
+    total.buffer.hits += one.buffer.hits;
+    total.buffer.misses += one.buffer.misses;
+    total.buffer.evictions += one.buffer.evictions;
+    total.buffer.dirty_writebacks += one.buffer.dirty_writebacks;
+    total.io.reads += one.io.reads;
+    total.io.writes += one.io.writes;
+    total.io.sequential_reads += one.io.sequential_reads;
+    total.io.sequential_writes += one.io.sequential_writes;
+    total.latch_waits += one.latch_waits;
+    total.latch_acquires += one.latch_acquires;
+  }
+  return total;
+}
+
+size_t BufferService::shared_candidate() const {
+  if (!asb_shared_) return 0;
+  return static_cast<size_t>(asb_tuning_.Load());
+}
+
+void BufferService::FlushShardLocked(Shard& shard) {
+  if constexpr (!obs::kEnabled) return;
+  if (shard.collector == nullptr) return;
+  shard.buffer->FlushObservability();
+  obs::MetricsRegistry& metrics = shard.collector->metrics();
+  const uint64_t waits = shard.latch_waits.load(std::memory_order_relaxed);
+  const uint64_t acquires =
+      shard.latch_acquires.load(std::memory_order_relaxed);
+  const uint64_t reads = shard.view.stats().reads;
+  metrics.GetCounter("svc.latch_waits")->Add(waits - shard.flushed_latch_waits);
+  metrics.GetCounter("svc.latch_acquires")
+      ->Add(acquires - shard.flushed_latch_acquires);
+  metrics.GetCounter("svc.disk_reads")->Add(reads - shard.flushed_disk_reads);
+  shard.flushed_latch_waits = waits;
+  shard.flushed_latch_acquires = acquires;
+  shard.flushed_disk_reads = reads;
+}
+
+obs::MetricsSnapshot BufferService::MetricsSnapshot() {
+  if (!collect_metrics_) return {};
+  // Merge in shard order: registry merging is commutative, so the combined
+  // snapshot is identical for any client-thread count as long as the
+  // underlying per-shard counts are.
+  obs::MetricsRegistry merged;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::unique_lock<std::mutex> lock = LockShard(*shard);
+    FlushShardLocked(*shard);
+    merged.Merge(shard->collector->metrics().Snapshot());
+  }
+  return merged.Snapshot();
+}
+
+std::vector<obs::MetricsSnapshot> BufferService::ShardMetricsSnapshots() {
+  std::vector<obs::MetricsSnapshot> snapshots;
+  if (!collect_metrics_) return snapshots;
+  snapshots.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::unique_lock<std::mutex> lock = LockShard(*shard);
+    FlushShardLocked(*shard);
+    snapshots.push_back(shard->collector->metrics().Snapshot());
+  }
+  return snapshots;
+}
+
+}  // namespace sdb::svc

@@ -1,0 +1,163 @@
+#ifndef SPATIALBUFFER_SVC_BUFFER_SERVICE_H_
+#define SPATIALBUFFER_SVC_BUFFER_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/asb_shared.h"
+#include "core/buffer_manager.h"
+#include "obs/collector.h"
+#include "obs/metrics.h"
+#include "storage/disk_manager.h"
+#include "storage/disk_view.h"
+
+namespace sdb::svc {
+
+/// Construction knobs of a BufferService.
+struct BufferServiceConfig {
+  /// Logical buffer capacity in frames, split over the shards (every shard
+  /// gets total/shards frames; the remainder is distributed one frame each
+  /// to the lowest-numbered shards). Must be >= shard_count — and since a
+  /// fetch whose shard has every frame pinned aborts (inherited from
+  /// BufferManager: an unevictable buffer is a caller bug), clients holding
+  /// pins concurrently need every shard to have at least
+  /// (max concurrent pins + 1) frames. Query traversal pins one page at a
+  /// time, so shard_count * (clients + 1) total frames is always safe.
+  size_t total_frames = 256;
+  size_t shard_count = 4;
+  /// Replacement policy of every shard (core::CreatePolicy spec).
+  std::string policy_spec = "ASB";
+  /// Attach one obs::Collector per shard (mutated only under the shard
+  /// latch), feeding per-shard hit/miss/eviction metrics and events.
+  bool collect_metrics = false;
+  /// With an ASB policy: publish one global candidate-set size that every
+  /// shard adapts (clamped CAS) and re-reads before its next demotion scan,
+  /// so the self-tuning sees the full overflow-hit evidence instead of a
+  /// 1/N slice per shard. OFF = each shard tunes privately.
+  bool share_asb_tuning = true;
+};
+
+/// Counters of one shard (or the shard-summed aggregate).
+struct ShardStats {
+  core::BufferStats buffer;
+  storage::IoStats io;
+  /// Fetch arrivals that found the shard latch held by another thread.
+  uint64_t latch_waits = 0;
+  /// Total latch acquisitions — fetches plus stats/metrics reads (the
+  /// contention denominator).
+  uint64_t latch_acquires = 0;
+};
+
+/// Thread-safe shared buffer: one logical pool sharded across N
+/// BufferManager-backed partitions. Page-id hash picks the shard, a
+/// per-shard latch serializes that shard's buffer and policy, and policy
+/// work (victim scans, ASB adaptation) stays confined per shard so the
+/// lookup path of other shards never waits on it. Handles returned by
+/// Fetch release their pin through the owning shard's latch, so they may be
+/// dropped from any thread at any time.
+///
+/// The service serves read-only traffic over a shared DiskManager image:
+/// each shard reads through its own ReadOnlyDiskView (per-shard I/O
+/// counters, no device races), and New() aborts.
+class BufferService final : public core::PageSource {
+ public:
+  BufferService(const storage::DiskManager& disk,
+                const BufferServiceConfig& config);
+  ~BufferService() override;
+
+  BufferService(const BufferService&) = delete;
+  BufferService& operator=(const BufferService&) = delete;
+
+  /// Thread-safe pinned fetch through the page's shard.
+  core::PageHandle Fetch(storage::PageId page,
+                         const core::AccessContext& ctx) override;
+
+  /// Aborts: the service is read-only (no page creation).
+  core::PageHandle New(const core::AccessContext& ctx) override;
+
+  /// Buffered image of a resident page. Quiescent use only — the returned
+  /// span is unprotected against concurrent eviction.
+  std::span<const std::byte> Peek(storage::PageId page) const override;
+
+  /// True if the page is currently resident in its shard (point-in-time).
+  bool Contains(storage::PageId page) const;
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t total_frames() const { return total_frames_; }
+  const std::string& policy_spec() const { return policy_spec_; }
+
+  /// Shard serving `page` (stable hash of the page id).
+  size_t ShardOf(storage::PageId page) const;
+
+  /// Frame capacity of one shard (capacity split with remainder).
+  size_t ShardFrames(size_t shard) const;
+
+  /// Point-in-time counters of one shard / summed over all shards. Takes
+  /// the shard latch(es).
+  ShardStats StatsOfShard(size_t shard) const;
+  ShardStats AggregateStats() const;
+
+  /// The globally-published ASB candidate-set size, or 0 when the service
+  /// does not run shared ASB tuning.
+  size_t shared_candidate() const;
+  const core::AsbSharedTuning* shared_tuning() const {
+    return asb_shared_ ? &asb_tuning_ : nullptr;
+  }
+
+  /// The shard's buffer, for inspection by tests and reports. Quiescent
+  /// use only (no latching).
+  const core::BufferManager& shard_buffer(size_t shard) const {
+    return *shards_[shard]->buffer;
+  }
+
+  /// Flushes per-shard aggregate counters into the shard collectors
+  /// (buffer totals, per-shard device reads, latch wait/acquire counts,
+  /// frame-capacity gauge) and returns the snapshot merged over every
+  /// shard registry in shard order — deterministic for any thread count
+  /// wherever the underlying counts are. Empty without collect_metrics.
+  obs::MetricsSnapshot MetricsSnapshot();
+
+  /// Same flush, one snapshot per shard (per-shard reporting).
+  std::vector<obs::MetricsSnapshot> ShardMetricsSnapshots();
+
+ private:
+  struct Shard {
+    explicit Shard(const storage::DiskManager& disk) : view(disk) {}
+
+    storage::ReadOnlyDiskView view;
+    std::mutex latch;
+    std::unique_ptr<obs::Collector> collector;  // null without metrics
+    std::unique_ptr<core::BufferManager> buffer;
+    std::atomic<uint64_t> latch_waits{0};
+    std::atomic<uint64_t> latch_acquires{0};
+    // Delta bases of the idempotent metrics flush.
+    uint64_t flushed_latch_waits = 0;
+    uint64_t flushed_latch_acquires = 0;
+    uint64_t flushed_disk_reads = 0;
+  };
+
+  /// Acquires the shard latch, counting contended arrivals.
+  std::unique_lock<std::mutex> LockShard(Shard& shard) const;
+
+  /// Publishes the shard's aggregate counters into its collector (latch
+  /// already taken by the caller).
+  void FlushShardLocked(Shard& shard);
+
+  size_t total_frames_ = 0;
+  std::string policy_spec_;
+  bool collect_metrics_ = false;
+  bool asb_shared_ = false;
+  core::AsbSharedTuning asb_tuning_;
+  // unique_ptr elements: Shard holds a mutex and atomics (immovable), and
+  // handles outstanding anywhere keep raw pointers into the shard.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace sdb::svc
+
+#endif  // SPATIALBUFFER_SVC_BUFFER_SERVICE_H_

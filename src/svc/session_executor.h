@@ -1,0 +1,145 @@
+#ifndef SPATIALBUFFER_SVC_SESSION_EXECUTOR_H_
+#define SPATIALBUFFER_SVC_SESSION_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "storage/disk_manager.h"
+#include "workload/query_generator.h"
+
+namespace sdb::svc {
+
+/// PageSource decorator counting the fetches routed through it. The
+/// executor gives every session its own counter, so per-session access
+/// totals are exact regardless of how sessions interleave on the shared
+/// service underneath.
+class CountingSource final : public core::PageSource {
+ public:
+  explicit CountingSource(core::PageSource* inner) : inner_(inner) {}
+
+  core::PageHandle Fetch(storage::PageId page,
+                         const core::AccessContext& ctx) override {
+    ++fetches_;
+    return inner_->Fetch(page, ctx);
+  }
+  core::PageHandle New(const core::AccessContext& ctx) override {
+    return inner_->New(ctx);
+  }
+  std::span<const std::byte> Peek(storage::PageId page) const override {
+    return inner_->Peek(page);
+  }
+
+  uint64_t fetches() const { return fetches_; }
+
+ private:
+  core::PageSource* inner_;
+  uint64_t fetches_ = 0;
+};
+
+/// Construction knobs of a SessionExecutor.
+struct SessionExecutorConfig {
+  size_t workers = 4;
+  /// Submitted-but-unclaimed session limit; Submit blocks (backpressure)
+  /// when the queue is full.
+  size_t queue_capacity = 8;
+  /// Session i draws its query ids from [i*stride, (i+1)*stride): disjoint
+  /// per session, and each id names the same query in every run regardless
+  /// of which worker executes it. Must exceed every session's query count.
+  uint64_t query_id_stride = uint64_t{1} << 20;
+};
+
+/// Outcome of one executed session. `index`, `queries`, `result_objects`
+/// and `page_accesses` depend only on the session and the tree — not on
+/// worker count, scheduling, or the shared buffer's state — so results are
+/// bitwise identical for any degree of concurrency.
+struct SessionResult {
+  size_t index = 0;    ///< submission order
+  std::string name;    ///< query-set name
+  uint64_t queries = 0;
+  uint64_t result_objects = 0;
+  uint64_t page_accesses = 0;
+};
+
+/// Executor-level counters.
+struct SessionExecutorStats {
+  uint64_t sessions = 0;
+  /// Submit calls that blocked on a full queue.
+  uint64_t backpressure_waits = 0;
+  /// High-water mark of queued (unclaimed) sessions.
+  size_t max_queue_depth = 0;
+};
+
+/// Multi-client session executor: a fixed worker pool draining a bounded
+/// queue of browsing sessions (workload query sets), every worker replaying
+/// its session's window queries against one shared tree through one shared
+/// PageSource — the concurrent-service harness of the paper's workloads.
+///
+/// Each worker opens its own RTree view of the persisted tree (tree
+/// traversal state is per-session; only the page source is shared) and
+/// wraps the source in a per-session CountingSource. Results are returned
+/// in submission order with deterministic per-session accounting.
+class SessionExecutor {
+ public:
+  /// `source` is the shared page source (typically a BufferService) and
+  /// must stay alive until Finish() returns. `tree_meta` is the persisted
+  /// tree's meta page on `disk`.
+  SessionExecutor(const storage::DiskManager* disk, core::PageSource* source,
+                  storage::PageId tree_meta,
+                  const SessionExecutorConfig& config = {});
+  ~SessionExecutor();
+
+  SessionExecutor(const SessionExecutor&) = delete;
+  SessionExecutor& operator=(const SessionExecutor&) = delete;
+
+  /// Enqueues one session; blocks while the queue is full. The set is
+  /// copied, so the caller may reuse or drop it. Must not be called after
+  /// Finish().
+  void Submit(const workload::QuerySet& session);
+
+  /// Closes the queue, waits for every submitted session to finish, joins
+  /// the workers, and returns the results in submission order. Idempotent;
+  /// the destructor calls it if the caller did not.
+  std::vector<SessionResult> Finish();
+
+  SessionExecutorStats stats() const;
+  const SessionExecutorConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    size_t index = 0;
+    workload::QuerySet session;
+  };
+
+  void WorkerLoop();
+  SessionResult RunSession(size_t index, const workload::QuerySet& session);
+
+  const storage::DiskManager* disk_;
+  core::PageSource* source_;
+  storage::PageId tree_meta_;
+  SessionExecutorConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Pending> queue_;
+  bool closed_ = false;
+  size_t submitted_ = 0;
+  uint64_t backpressure_waits_ = 0;
+  size_t max_queue_depth_ = 0;
+  // One slot per submitted session, filled by whichever worker ran it;
+  // deque so slot references stay stable while Submit grows the container.
+  std::deque<SessionResult> results_;
+  std::vector<std::thread> workers_;
+  bool finished_ = false;
+};
+
+}  // namespace sdb::svc
+
+#endif  // SPATIALBUFFER_SVC_SESSION_EXECUTOR_H_

@@ -239,7 +239,46 @@ TEST_F(BufferManagerTest, MetaCacheRedecodesOnceAfterInvalidation) {
       << "one re-decode, then cached again";
 }
 
+TEST_F(BufferManagerTest, UnpinReportsUnknownFrame) {
+  StagePages(1);
+  auto buffer = MakeLruBuffer(disk_, 2);
+  EXPECT_EQ(buffer->Unpin(17, /*dirty=*/false), UnpinStatus::kUnknownFrame)
+      << "frame index out of range";
+  EXPECT_EQ(buffer->Unpin(1, /*dirty=*/false), UnpinStatus::kUnknownFrame)
+      << "frame exists but holds no page";
+}
+
+TEST_F(BufferManagerTest, UnpinReportsNotPinnedAndLeavesStateUntouched) {
+  StagePages(1);
+  auto buffer = MakeLruBuffer(disk_, 2);
+  const AccessContext ctx{1};
+  const FrameId frame = buffer->Fetch(pages_[0], ctx).Detach();
+  ASSERT_EQ(buffer->Unpin(frame, /*dirty=*/false), UnpinStatus::kOk);
+  // The pin is gone; further manual unpins are an explicit error, and the
+  // error path must not set the dirty bit (no write-back on eviction).
+  EXPECT_EQ(buffer->Unpin(frame, /*dirty=*/true), UnpinStatus::kNotPinned);
+  Touch(*buffer, pages_[0], 2);
+  EXPECT_EQ(disk_.stats().writes, 0u);
+}
+
 using BufferManagerDeathTest = BufferManagerTest;
+
+TEST_F(BufferManagerDeathTest, DetachTransfersThePin) {
+  StagePages(2);
+  auto buffer = MakeLruBuffer(disk_, 1);
+  const AccessContext ctx{1};
+  FrameId frame;
+  {
+    PageHandle handle = buffer->Fetch(pages_[0], ctx);
+    frame = handle.Detach();
+    EXPECT_FALSE(handle.valid());
+  }  // handle destruction must NOT release the detached pin
+  EXPECT_DEATH(Touch(*buffer, pages_[1], 2), "no evictable frame")
+      << "the page is still pinned after the handle died";
+  EXPECT_EQ(buffer->Unpin(frame, /*dirty=*/false), UnpinStatus::kOk);
+  Touch(*buffer, pages_[1], 3);  // now evictable
+  EXPECT_TRUE(buffer->Contains(pages_[1]));
+}
 
 TEST_F(BufferManagerDeathTest, AllPinnedAborts) {
   StagePages(2);

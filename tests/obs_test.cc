@@ -294,8 +294,12 @@ TEST(ExportTest, MetricsJsonLinesRoundTrip) {
   ASSERT_TRUE(in.good());
   std::string line;
   size_t lines = 0;
+  const std::string version =
+      "\"schema_version\":" + std::to_string(kBenchJsonSchemaVersion);
   while (std::getline(in, line)) {
     EXPECT_NE(line.find("\"label\":\"label-1\""), std::string::npos) << line;
+    EXPECT_NE(line.find(version), std::string::npos)
+        << "every row carries the writer's schema version: " << line;
     ++lines;
   }
   EXPECT_EQ(lines, 2u) << "one JSONL record per metric";

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/policy_asb.h"
+#include "core/policy_factory.h"
+#include "sim/scenario.h"
+#include "svc/buffer_service.h"
+#include "workload/query_generator.h"
+
+namespace sdb::svc {
+namespace {
+
+using storage::PageId;
+
+/// One small shared database for every service test (bulk-built for speed).
+class BufferServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::ScenarioOptions options;
+    options.kind = sim::DatabaseKind::kUsLike;
+    options.build = sim::BuildMode::kBulkLoad;
+    options.scale = 0.02;
+    scenario_ = new sim::Scenario(sim::BuildScenario(options));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  static const storage::DiskManager& disk() { return *scenario_->disk; }
+
+  /// Every allocated page id of the scenario's disk (the fetch universe).
+  static std::vector<PageId> AllPages() {
+    std::vector<PageId> pages;
+    for (PageId id = 0; id < disk().page_count(); ++id) pages.push_back(id);
+    return pages;
+  }
+
+  static sim::Scenario* scenario_;
+};
+
+sim::Scenario* BufferServiceTest::scenario_ = nullptr;
+
+TEST_F(BufferServiceTest, SplitsCapacityWithRemainderToLowShards) {
+  BufferServiceConfig config;
+  config.total_frames = 103;
+  config.shard_count = 4;
+  BufferService service(disk(), config);
+  ASSERT_EQ(service.shard_count(), 4u);
+  size_t sum = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(service.ShardFrames(s), s < 3 ? 26u : 25u);
+    EXPECT_EQ(service.shard_buffer(s).frame_count(), service.ShardFrames(s));
+    sum += service.ShardFrames(s);
+  }
+  EXPECT_EQ(sum, config.total_frames);
+}
+
+TEST_F(BufferServiceTest, ShardingIsStableAndInRange) {
+  BufferServiceConfig config;
+  config.total_frames = 64;
+  config.shard_count = 7;
+  BufferService service(disk(), config);
+  std::vector<size_t> population(config.shard_count, 0);
+  for (PageId id : AllPages()) {
+    const size_t shard = service.ShardOf(id);
+    ASSERT_LT(shard, config.shard_count);
+    EXPECT_EQ(service.ShardOf(id), shard) << "hash must be stable";
+    ++population[shard];
+  }
+  // The mix must not starve any shard on sequential page ids.
+  for (size_t s = 0; s < config.shard_count; ++s) {
+    EXPECT_GT(population[s], 0u) << "shard " << s << " serves no page";
+  }
+}
+
+TEST_F(BufferServiceTest, FetchServesTheDiskImage) {
+  BufferServiceConfig config;
+  config.total_frames = 32;
+  config.shard_count = 4;
+  BufferService service(disk(), config);
+  const core::AccessContext ctx{1};
+  for (PageId id : {PageId{0}, PageId{5}, PageId{9}}) {
+    core::PageHandle handle = service.Fetch(id, ctx);
+    ASSERT_TRUE(handle.valid());
+    EXPECT_EQ(handle.page_id(), id);
+    const std::span<const std::byte> expected = disk().PeekPage(id);
+    ASSERT_EQ(handle.bytes().size(), expected.size());
+    EXPECT_EQ(std::memcmp(handle.bytes().data(), expected.data(),
+                          expected.size()),
+              0);
+    EXPECT_TRUE(service.Contains(id));
+    EXPECT_FALSE(service.Peek(id).empty());
+  }
+  const ShardStats stats = service.AggregateStats();
+  EXPECT_EQ(stats.buffer.requests, 3u);
+  EXPECT_EQ(stats.buffer.misses, 3u);
+  EXPECT_EQ(stats.io.reads, 3u);
+}
+
+TEST_F(BufferServiceTest, OneShardBehavesLikeAPrivateBuffer) {
+  // With one shard the service is a latched BufferManager: replaying the
+  // same access string must produce identical counters.
+  const std::vector<PageId> pages = AllPages();
+  BufferServiceConfig config;
+  config.total_frames = 16;
+  config.shard_count = 1;
+  config.policy_spec = "LRU";
+  BufferService service(disk(), config);
+  storage::ReadOnlyDiskView view(disk());
+  core::BufferManager reference(&view, 16, core::CreatePolicy("LRU"));
+  uint64_t query = 0;
+  for (size_t round = 0; round < 3; ++round) {
+    for (PageId id : pages) {
+      const core::AccessContext ctx{++query};
+      service.Fetch(id, ctx).Release();
+      reference.Fetch(id, ctx).Release();
+    }
+  }
+  const ShardStats stats = service.AggregateStats();
+  EXPECT_EQ(stats.buffer.requests, reference.stats().requests);
+  EXPECT_EQ(stats.buffer.hits, reference.stats().hits);
+  EXPECT_EQ(stats.buffer.misses, reference.stats().misses);
+  EXPECT_EQ(stats.buffer.evictions, reference.stats().evictions);
+  EXPECT_EQ(stats.io.reads, view.stats().reads);
+}
+
+// Thread-shaped fetch storm (the tsan-labeled core of the suite): invariants
+// that hold for ANY interleaving, checked after the join.
+TEST_F(BufferServiceTest, ConcurrentFetchStormKeepsInvariants) {
+  const std::vector<PageId> pages = AllPages();
+  BufferServiceConfig config;
+  config.total_frames = 48;
+  config.shard_count = 4;
+  config.policy_spec = "ASB";
+  BufferService service(disk(), config);
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kRounds = 3;
+  // Per-shard request counts are interleaving-invariant: the page→shard map
+  // is fixed, so they equal this precomputed expectation.
+  std::vector<uint64_t> expected_requests(config.shard_count, 0);
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t round = 0; round < kRounds; ++round) {
+      for (size_t i = t; i < pages.size(); i += 2) {
+        ++expected_requests[service.ShardOf(pages[i])];
+      }
+    }
+  }
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &pages, t] {
+      uint64_t query = t * 1000000;
+      for (size_t round = 0; round < kRounds; ++round) {
+        // Stride-2 with thread-dependent phase: every page is contended by
+        // half the threads each round.
+        for (size_t i = t; i < pages.size(); i += 2) {
+          const core::AccessContext ctx{++query};
+          core::PageHandle handle = service.Fetch(pages[i], ctx);
+          ASSERT_EQ(handle.page_id(), pages[i]);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  uint64_t total_requests = 0;
+  uint64_t expected_total = 0;
+  for (uint64_t n : expected_requests) expected_total += n;
+  for (size_t s = 0; s < service.shard_count(); ++s) {
+    const ShardStats stats = service.StatsOfShard(s);
+    EXPECT_EQ(stats.buffer.requests, expected_requests[s])
+        << "per-shard request count must not depend on interleaving";
+    EXPECT_EQ(stats.buffer.requests, stats.buffer.hits + stats.buffer.misses);
+    EXPECT_EQ(stats.buffer.misses, stats.io.reads)
+        << "every miss costs exactly one read on the shard's view";
+    EXPECT_EQ(stats.io.writes, 0u) << "read-only service must not write";
+    EXPECT_LE(service.shard_buffer(s).resident_count(),
+              service.ShardFrames(s));
+    total_requests += stats.buffer.requests;
+  }
+  EXPECT_EQ(total_requests, expected_total);
+}
+
+TEST_F(BufferServiceTest, SharedAsbTuningPublishesOneClampedCandidate) {
+  BufferServiceConfig config;
+  config.total_frames = 60;
+  config.shard_count = 3;
+  config.policy_spec = "ASB";
+  config.share_asb_tuning = true;
+  BufferService service(disk(), config);
+  ASSERT_NE(service.shared_tuning(), nullptr);
+
+  // The global clamp is the smallest shard's main capacity.
+  size_t min_main = SIZE_MAX;
+  for (size_t s = 0; s < service.shard_count(); ++s) {
+    const auto& policy = dynamic_cast<const core::AsbPolicy&>(
+        service.shard_buffer(s).policy());
+    ASSERT_EQ(policy.shared_tuning(), service.shared_tuning());
+    min_main = std::min(min_main, policy.main_capacity());
+  }
+  EXPECT_EQ(service.shared_tuning()->max_candidate(),
+            static_cast<int64_t>(min_main));
+
+  // Drive enough traffic to trigger adaptation, racing over all shards.
+  const std::vector<PageId> pages = AllPages();
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&service, &pages, t] {
+      uint64_t query = t * 1000000;
+      for (size_t round = 0; round < 4; ++round) {
+        for (size_t i = 0; i < pages.size(); ++i) {
+          const core::AccessContext ctx{++query};
+          // Re-touch a sliding window so overflow pages get hit again.
+          service.Fetch(pages[(i * (t + 1)) % pages.size()], ctx).Release();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const size_t c = service.shared_candidate();
+  EXPECT_GE(c, 1u);
+  EXPECT_LE(c, min_main);
+  // Every shard's working candidate equals the published value (clamped to
+  // its own capacity — identical capacities here make them equal).
+  for (size_t s = 0; s < service.shard_count(); ++s) {
+    const auto& policy = dynamic_cast<const core::AsbPolicy&>(
+        service.shard_buffer(s).policy());
+    EXPECT_LE(policy.candidate_size(), policy.main_capacity());
+  }
+}
+
+TEST_F(BufferServiceTest, PrivateTuningWhenSharingDisabled) {
+  BufferServiceConfig config;
+  config.total_frames = 30;
+  config.shard_count = 3;
+  config.policy_spec = "ASB";
+  config.share_asb_tuning = false;
+  BufferService service(disk(), config);
+  EXPECT_EQ(service.shared_tuning(), nullptr);
+  EXPECT_EQ(service.shared_candidate(), 0u);
+  for (size_t s = 0; s < service.shard_count(); ++s) {
+    const auto& policy = dynamic_cast<const core::AsbPolicy&>(
+        service.shard_buffer(s).policy());
+    EXPECT_EQ(policy.shared_tuning(), nullptr);
+  }
+}
+
+TEST_F(BufferServiceTest, NonAsbPolicyIgnoresSharing) {
+  BufferServiceConfig config;
+  config.total_frames = 12;
+  config.shard_count = 2;
+  config.policy_spec = "LRU";
+  config.share_asb_tuning = true;
+  BufferService service(disk(), config);
+  EXPECT_EQ(service.shared_tuning(), nullptr);
+  EXPECT_EQ(service.shared_candidate(), 0u);
+}
+
+TEST_F(BufferServiceTest, MetricsMergeShardsAndFlushDeltas) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  BufferServiceConfig config;
+  config.total_frames = 24;
+  config.shard_count = 3;
+  config.collect_metrics = true;
+  BufferService service(disk(), config);
+  const std::vector<PageId> pages = AllPages();
+  uint64_t query = 0;
+  for (PageId id : pages) {
+    service.Fetch(id, core::AccessContext{++query}).Release();
+  }
+  const ShardStats aggregate = service.AggregateStats();
+
+  auto find = [](const obs::MetricsSnapshot& snapshot,
+                 std::string_view name) -> const obs::MetricValue* {
+    for (const obs::MetricValue& metric : snapshot) {
+      if (metric.name == name) return &metric;
+    }
+    return nullptr;
+  };
+
+  obs::MetricsSnapshot merged = service.MetricsSnapshot();
+  const obs::MetricValue* requests = find(merged, "buffer.requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->count, aggregate.buffer.requests);
+  const obs::MetricValue* reads = find(merged, "svc.disk_reads");
+  ASSERT_NE(reads, nullptr);
+  EXPECT_EQ(reads->count, aggregate.io.reads);
+  const obs::MetricValue* acquires = find(merged, "svc.latch_acquires");
+  ASSERT_NE(acquires, nullptr);
+  EXPECT_GE(acquires->count, aggregate.buffer.requests);
+
+  // Delta-flush: snapshotting again without traffic must not double-count.
+  obs::MetricsSnapshot again = service.MetricsSnapshot();
+  EXPECT_EQ(find(again, "buffer.requests")->count, requests->count);
+  EXPECT_EQ(find(again, "svc.disk_reads")->count, reads->count);
+
+  // Per-shard snapshots cover every shard and sum to the merged counters.
+  std::vector<obs::MetricsSnapshot> shards = service.ShardMetricsSnapshots();
+  ASSERT_EQ(shards.size(), service.shard_count());
+  uint64_t shard_sum = 0;
+  for (const obs::MetricsSnapshot& snapshot : shards) {
+    shard_sum += find(snapshot, "buffer.requests")->count;
+  }
+  EXPECT_EQ(shard_sum, requests->count);
+}
+
+using BufferServiceDeathTest = BufferServiceTest;
+
+TEST_F(BufferServiceDeathTest, NewAbortsOnReadOnlyService) {
+  BufferServiceConfig config;
+  config.total_frames = 8;
+  config.shard_count = 2;
+  BufferService service(disk(), config);
+  EXPECT_DEATH(service.New(core::AccessContext{1}), "read-only");
+}
+
+}  // namespace
+}  // namespace sdb::svc
