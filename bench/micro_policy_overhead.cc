@@ -19,10 +19,13 @@
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "core/buffer_manager.h"
 #include "core/policy_factory.h"
+#include "geom/kernels/kernels.h"
 #include "obs/collector.h"
 #include "obs/export.h"
+#include "rtree/node_view.h"
 #include "sim/report.h"
 #include "storage/disk_manager.h"
 
@@ -198,6 +201,87 @@ void RunEvictionCostTable() {
   }
 }
 
+/// EO-criterion maintenance cost at increasing fanout: ns per
+/// NodeView::RefreshAggregates — whose pairwise-overlap term is O(n²) in the
+/// entry count — with the geometry kernels forced to scalar versus the
+/// dispatched tier. High fanout (entries near NodeView::Capacity) is where
+/// the quadratic term dominates and the SIMD speedup shows. Rows are
+/// appended to BENCH_policy_overhead.json as bench:"eo_refresh".
+void RunEoRefreshCostTable() {
+  using geom::kernels::Level;
+  const size_t capacity =
+      rtree::NodeView::Capacity(storage::kDefaultPageSize);  // 84 for 4 KiB
+  const std::vector<size_t> fanouts = {16, 42, capacity};
+  const Level original = geom::kernels::ActiveLevel();
+  const std::string dispatched_name(geom::kernels::LevelName(original));
+  const std::string json_path = "BENCH_policy_overhead.json";
+  bool json_ok = true;
+  sim::Table table({"fanout", "ns/refresh (scalar)",
+                    "ns/refresh (" + dispatched_name + ")", "speedup"});
+  for (const size_t fanout : fanouts) {
+    // Pool of distinct nodes, cycled per refresh, so the scalar tier's
+    // data-dependent branches see traversal-like (unpredictable) input.
+    constexpr size_t kPool = 32;
+    std::vector<std::vector<std::byte>> pages;
+    Rng rng(71);
+    for (size_t p = 0; p < kPool; ++p) {
+      pages.emplace_back(storage::kDefaultPageSize);
+      rtree::NodeView node(pages.back());
+      node.Init(/*level=*/0);
+      for (size_t i = 0; i < fanout; ++i) {
+        rtree::Entry e;
+        e.id = i + 1;
+        const double x = rng.NextDouble(), y = rng.NextDouble();
+        e.rect = geom::Rect(x, y, x + rng.NextDouble() * 0.3,
+                            y + rng.NextDouble() * 0.3);
+        node.Append(e);
+      }
+    }
+    double ns[2] = {0.0, 0.0};
+    const Level levels[2] = {Level::kScalar, original};
+    for (int li = 0; li < 2; ++li) {
+      geom::kernels::ForceLevel(levels[li]);
+      size_t reps = 1;
+      for (;;) {
+        const auto start = std::chrono::steady_clock::now();
+        for (size_t r = 0; r < reps; ++r) {
+          rtree::NodeView node(pages[r % kPool]);
+          node.RefreshAggregates();
+          benchmark::DoNotOptimize(pages[r % kPool].data());
+        }
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        const auto total_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count();
+        if (total_ns >= 20'000'000 || reps >= (1ULL << 30)) {
+          ns[li] = static_cast<double>(total_ns) / static_cast<double>(reps);
+          break;
+        }
+        reps = total_ns <= 0 ? reps * 16 : reps * 4;
+      }
+    }
+    geom::kernels::ForceLevel(original);
+    const double speedup = ns[1] > 0.0 ? ns[0] / ns[1] : 0.0;
+    table.AddRow({std::to_string(fanout), sim::FormatDouble(ns[0], 1),
+                  sim::FormatDouble(ns[1], 1),
+                  sim::FormatDouble(speedup, 2) + "x"});
+    char line[384];
+    std::snprintf(line, sizeof(line),
+                  "{\"schema_version\":%d,\"bench\":\"eo_refresh\","
+                  "\"fanout\":%zu,\"ns_refresh_scalar\":%.1f,"
+                  "\"ns_refresh_dispatched\":%.1f,"
+                  "\"dispatched_level\":\"%s\",\"speedup\":%.3f}",
+                  obs::kBenchJsonSchemaVersion, fanout, ns[0], ns[1],
+                  dispatched_name.c_str(), speedup);
+    json_ok = sim::AppendJsonLine(json_path, line) && json_ok;
+  }
+  table.Print("EO aggregate refresh (O(n²) overlap term), "
+              "scalar vs dispatched kernels");
+  if (!json_ok) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,5 +290,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   RunEvictionCostTable();
+  RunEoRefreshCostTable();
   return 0;
 }

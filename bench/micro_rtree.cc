@@ -5,15 +5,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
 #include "common/random.h"
 #include "core/buffer_manager.h"
 #include "core/policy_lru.h"
+#include "geom/kernels/kernels.h"
 #include "rtree/bulk_load.h"
+#include "rtree/node_view.h"
 #include "rtree/rtree.h"
 #include "rtree/spatial_join.h"
+#include "storage/page.h"
 
 namespace {
 
@@ -99,6 +103,92 @@ void BM_WindowQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WindowQuery)->Arg(10'000)->Arg(100'000);
+
+// Same window-query workload with the geometry kernels pinned to one
+// dispatch tier — the scalar/dispatched pair isolates how much of the query
+// CPU cost the SIMD entry scans remove end to end.
+void BM_WindowQueryKernelLevel(benchmark::State& state,
+                               bool use_dispatched) {
+  const geom::kernels::Level original = geom::kernels::ActiveLevel();
+  geom::kernels::ForceLevel(use_dispatched ? original
+                                           : geom::kernels::Level::kScalar);
+  TreeFixture fixture(static_cast<size_t>(state.range(0)));
+  Rng rng(11);
+  uint64_t query = 0;
+  size_t results = 0;
+  for (auto _ : state) {
+    const geom::Rect window = geom::Rect::Centered(
+        {rng.NextDouble(), rng.NextDouble()}, 1.0 / 33, 1.0 / 33);
+    fixture.tree.WindowQueryVisit(window, core::AccessContext{++query},
+                                  [&results](const rtree::Entry&) {
+                                    ++results;
+                                  });
+  }
+  geom::kernels::ForceLevel(original);
+  benchmark::DoNotOptimize(results);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_WindowQueryKernelLevel, scalar, false)->Arg(100'000);
+BENCHMARK_CAPTURE(BM_WindowQueryKernelLevel, dispatched, true)->Arg(100'000);
+
+// One full node (fanout = NodeView::Capacity) scanned against a window:
+// the pre-kernels hot path copied every entry into a fresh std::vector via
+// LoadEntries() before testing intersections; ScanEntries deinterleaves into
+// reused SoA scratch and runs the batch kernel — the gap here is the
+// per-node allocation churn plus the SIMD win.
+struct FullNodeFixture {
+  FullNodeFixture() : page(storage::kDefaultPageSize) {
+    rtree::NodeView node(page);
+    node.Init(/*level=*/0);
+    Rng rng(37);
+    const uint32_t fanout = rtree::NodeView::Capacity(page.size());
+    for (uint32_t i = 0; i < fanout; ++i) {
+      rtree::Entry e;
+      e.id = i + 1;
+      const double x = rng.NextDouble(), y = rng.NextDouble();
+      e.rect = geom::Rect(x, y, x + rng.NextDouble() * 0.1,
+                          y + rng.NextDouble() * 0.1);
+      node.Append(e);
+    }
+    node.RefreshAggregates();
+  }
+  std::vector<std::byte> page;
+};
+
+void BM_NodeScanLoadEntries(benchmark::State& state) {
+  FullNodeFixture fixture;
+  rtree::NodeView node(fixture.page);
+  Rng rng(41);
+  size_t hits = 0;
+  for (auto _ : state) {
+    const geom::Rect window = geom::Rect::Centered(
+        {rng.NextDouble(), rng.NextDouble()}, 0.2, 0.2);
+    const std::vector<rtree::Entry> entries = node.LoadEntries();
+    for (const rtree::Entry& e : entries) {
+      if (window.Intersects(e.rect)) ++hits;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * node.count());
+}
+BENCHMARK(BM_NodeScanLoadEntries);
+
+void BM_NodeScanKernels(benchmark::State& state) {
+  FullNodeFixture fixture;
+  rtree::NodeView node(fixture.page);
+  Rng rng(41);
+  geom::kernels::SoaBuffer coords;
+  std::vector<uint8_t> mask;
+  size_t hits = 0;
+  for (auto _ : state) {
+    const geom::Rect window = geom::Rect::Centered(
+        {rng.NextDouble(), rng.NextDouble()}, 0.2, 0.2);
+    hits += node.ScanEntries(window, &coords, &mask);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * node.count());
+}
+BENCHMARK(BM_NodeScanKernels);
 
 void BM_BulkLoad(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

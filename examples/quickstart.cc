@@ -34,7 +34,8 @@ int main() {
   }
   tree.PersistMeta();
   build_buffer->FlushAll();
-  build_buffer.reset();  // everything is on "disk" now
+  tree.set_buffer(nullptr);  // the tree must not point at a dead buffer
+  build_buffer.reset();      // everything is on "disk" now
 
   const rtree::TreeStats stats = tree.ComputeStats();
   std::printf("indexed %llu objects: %u pages (%u directory), height %u\n",

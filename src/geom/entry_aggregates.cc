@@ -1,22 +1,48 @@
 #include "geom/entry_aggregates.h"
 
+#include <algorithm>
+
+#include "geom/kernels/kernels.h"
+
 namespace sdb::geom {
 
-EntryAggregates ComputeEntryAggregates(std::span<const Rect> entries) {
+EntryAggregates ComputeEntryAggregatesSoA(const double* xmin,
+                                          const double* ymin,
+                                          const double* xmax,
+                                          const double* ymax, size_t n) {
   EntryAggregates agg;
-  for (const Rect& e : entries) {
-    agg.mbr.Extend(e);
-    agg.sum_entry_area += e.Area();
-    agg.sum_entry_margin += e.Margin();
+  // MBR: plain sequential min/max — identical for every dispatch level, and
+  // identical to Rect::Extend over the same rects in the same order.
+  for (size_t i = 0; i < n; ++i) {
+    agg.mbr.xmin = std::min(agg.mbr.xmin, xmin[i]);
+    agg.mbr.ymin = std::min(agg.mbr.ymin, ymin[i]);
+    agg.mbr.xmax = std::max(agg.mbr.xmax, xmax[i]);
+    agg.mbr.ymax = std::max(agg.mbr.ymax, ymax[i]);
   }
+  const kernels::Ops& ops = kernels::ActiveOps();
+  agg.sum_entry_area = ops.sum_areas(xmin, ymin, xmax, ymax, n);
+  agg.sum_entry_margin = ops.sum_margins(xmin, ymin, xmax, ymax, n);
   // The paper defines EO as the sum over ordered pairs divided by two, i.e.
-  // each unordered pair counts once.
-  for (size_t i = 0; i < entries.size(); ++i) {
-    for (size_t j = i + 1; j < entries.size(); ++j) {
-      agg.entry_overlap += IntersectionArea(entries[i], entries[j]);
-    }
-  }
+  // each unordered pair counts once — exactly the kernel's pair loop.
+  agg.entry_overlap = ops.pairwise_overlap_sum(xmin, ymin, xmax, ymax, n);
   return agg;
+}
+
+EntryAggregates ComputeEntryAggregates(std::span<const Rect> entries) {
+  thread_local kernels::SoaBuffer scratch;
+  const size_t n = entries.size();
+  scratch.Reserve(n);
+  double* xmin = scratch.xmin();
+  double* ymin = scratch.ymin();
+  double* xmax = scratch.xmax();
+  double* ymax = scratch.ymax();
+  for (size_t i = 0; i < n; ++i) {
+    xmin[i] = entries[i].xmin;
+    ymin[i] = entries[i].ymin;
+    xmax[i] = entries[i].xmax;
+    ymax[i] = entries[i].ymax;
+  }
+  return ComputeEntryAggregatesSoA(xmin, ymin, xmax, ymax, n);
 }
 
 }  // namespace sdb::geom

@@ -1,6 +1,7 @@
 #ifndef SPATIALBUFFER_GEOM_ENTRY_AGGREGATES_H_
 #define SPATIALBUFFER_GEOM_ENTRY_AGGREGATES_H_
 
+#include <cstddef>
 #include <span>
 
 #include "geom/rect.h"
@@ -25,9 +26,20 @@ struct EntryAggregates {
   double entry_overlap = 0.0;    ///< total pairwise overlap (EO).
 };
 
-/// Computes all aggregates over the entry MBRs of a page in one pass
-/// (O(n²) for the pairwise overlap term, with n bounded by the page fanout).
+/// Computes all aggregates over the entry MBRs of a page (O(n²) for the
+/// pairwise overlap term, with n bounded by the page fanout) through the
+/// dispatched batch kernels (geom/kernels): the AoS span is deinterleaved
+/// into a reused SoA scratch and summed in the kernels' canonical order, so
+/// the result is bit-identical to ComputeEntryAggregatesSoA on the same
+/// rectangles at every dispatch level.
 EntryAggregates ComputeEntryAggregates(std::span<const Rect> entries);
+
+/// Same aggregates over already-deinterleaved SoA coordinate arrays (the
+/// zero-copy path NodeView::RefreshAggregates uses after GatherCoords).
+EntryAggregates ComputeEntryAggregatesSoA(const double* xmin,
+                                          const double* ymin,
+                                          const double* xmax,
+                                          const double* ymax, size_t n);
 
 }  // namespace sdb::geom
 

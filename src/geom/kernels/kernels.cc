@@ -1,0 +1,125 @@
+// Runtime dispatch: probe the CPU once at first use (thread-safe via the
+// function-local static), clamp by what this binary was compiled with, and
+// honor the SDB_KERNELS environment override for A/B runs and CI
+// determinism checks. The override can only *lower* the tier — asking for a
+// tier the hardware or build lacks falls back to the best available one.
+
+#include "geom/kernels/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "geom/kernels/kernels_internal.h"
+
+namespace sdb::geom::kernels {
+
+namespace {
+
+bool CpuHasAvx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool CompiledAvx2() {
+#if defined(SDB_KERNELS_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool CompiledSse2() {
+#if defined(__SSE2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Level DetectBest() {
+  if (CompiledAvx2() && CpuHasAvx2()) return Level::kAvx2;
+  if (CompiledSse2()) return Level::kSse2;
+  return Level::kScalar;
+}
+
+Level InitialLevel() {
+  const Level best = DetectBest();
+  const char* env = std::getenv("SDB_KERNELS");
+  if (env == nullptr || env[0] == '\0') return best;
+  const Level requested = ParseLevelName(env, best);
+  if (!LevelAvailable(requested)) {
+    std::fprintf(stderr,
+                 "warning: SDB_KERNELS=%s not available on this "
+                 "machine/build, using %s\n",
+                 env, std::string(LevelName(best)).c_str());
+    return best;
+  }
+  return requested;
+}
+
+Level& ActiveLevelRef() {
+  static Level level = InitialLevel();
+  return level;
+}
+
+}  // namespace
+
+Level ActiveLevel() { return ActiveLevelRef(); }
+
+const Ops& OpsFor(Level level) {
+  switch (level) {
+    case Level::kAvx2:
+      if (LevelAvailable(Level::kAvx2)) return internal::kAvx2Ops;
+      break;
+    case Level::kSse2:
+      if (LevelAvailable(Level::kSse2)) return internal::kSse2Ops;
+      break;
+    case Level::kScalar:
+      break;
+  }
+  return internal::kScalarOps;
+}
+
+const Ops& ActiveOps() { return OpsFor(ActiveLevel()); }
+
+bool LevelAvailable(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kSse2:
+      return CompiledSse2();
+    case Level::kAvx2:
+      return CompiledAvx2() && CpuHasAvx2();
+  }
+  return false;
+}
+
+std::string_view LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Level ParseLevelName(std::string_view name, Level fallback) {
+  if (name == "scalar") return Level::kScalar;
+  if (name == "sse2") return Level::kSse2;
+  if (name == "avx2") return Level::kAvx2;
+  return fallback;
+}
+
+void ForceLevel(Level level) {
+  ActiveLevelRef() = LevelAvailable(level) ? level : DetectBest();
+}
+
+}  // namespace sdb::geom::kernels

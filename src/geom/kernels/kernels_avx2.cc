@@ -1,0 +1,252 @@
+// AVX2 tier: 4×f64 registers, one entry per lane, two independent
+// accumulators per sum (elements i..i+3 and i+4..i+7) so the add-latency
+// chain is split in half. Lane k of acc_a holds the scalar reference's
+// strided partial s_k and lane k of acc_b holds s_{k+4}; acc_a + acc_b
+// yields u_k = s_k + s_{k+4} and the 128-bit reduction reproduces the
+// (u0+u2) + (u1+u3) combine — so results are bit-identical to the scalar
+// tier's canonical 8-stride order.
+//
+// Deliberately no FMA: a fused multiply-add rounds once where the scalar
+// reference rounds twice, which would break the bit-identity contract (the
+// whole library is also built with -ffp-contract=off for the same reason).
+//
+// Operand-order discipline for min/max: std::min(x, y) keeps x when the
+// comparison is false (including NaN), while VMINPD keeps the SECOND
+// operand; so std::min(x, y) compiles to _mm256_min_pd(y, x), and likewise
+// for max.
+
+#include "geom/kernels/kernels_internal.h"
+
+#if defined(SDB_KERNELS_HAVE_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace sdb::geom::kernels::internal {
+
+namespace {
+
+/// (u0+u2) + (u1+u3) for acc = (u0, u1, u2, u3) — identical to the scalar
+/// reference's final combine.
+inline double Reduce(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);      // (u0, u1)
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);    // (u2, u3)
+  const __m128d s = _mm_add_pd(lo, hi);                // (u0+u2, u1+u3)
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+/// Width/height of 4 entries with Rect::width()/height() semantics.
+inline void LoadExtents(const double* xmin, const double* ymin,
+                        const double* xmax, const double* ymax, size_t i,
+                        __m256d* w, __m256d* h) {
+  const __m256d x0 = _mm256_loadu_pd(xmin + i);
+  const __m256d y0 = _mm256_loadu_pd(ymin + i);
+  const __m256d x1 = _mm256_loadu_pd(xmax + i);
+  const __m256d y1 = _mm256_loadu_pd(ymax + i);
+  const __m256d empty = _mm256_or_pd(_mm256_cmp_pd(x0, x1, _CMP_GT_OQ),
+                                     _mm256_cmp_pd(y0, y1, _CMP_GT_OQ));
+  *w = _mm256_andnot_pd(empty, _mm256_sub_pd(x1, x0));
+  *h = _mm256_andnot_pd(empty, _mm256_sub_pd(y1, y0));
+}
+
+double SumAreasAvx2(const double* xmin, const double* ymin,
+                    const double* xmax, const double* ymax, size_t n) {
+  __m256d acc_a = _mm256_setzero_pd();  // partials s0..s3
+  __m256d acc_b = _mm256_setzero_pd();  // partials s4..s7
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  __m256d w, h;
+  for (size_t i = 0; i < n8; i += 8) {
+    LoadExtents(xmin, ymin, xmax, ymax, i, &w, &h);
+    acc_a = _mm256_add_pd(acc_a, _mm256_mul_pd(w, h));
+    LoadExtents(xmin, ymin, xmax, ymax, i + 4, &w, &h);
+    acc_b = _mm256_add_pd(acc_b, _mm256_mul_pd(w, h));
+  }
+  double total = Reduce(_mm256_add_pd(acc_a, acc_b));
+  for (size_t i = n8; i < n; ++i) {
+    total += EntryArea(xmin[i], ymin[i], xmax[i], ymax[i]);
+  }
+  return total;
+}
+
+double SumMarginsAvx2(const double* xmin, const double* ymin,
+                      const double* xmax, const double* ymax, size_t n) {
+  __m256d acc_a = _mm256_setzero_pd();
+  __m256d acc_b = _mm256_setzero_pd();
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  __m256d w, h;
+  for (size_t i = 0; i < n8; i += 8) {
+    LoadExtents(xmin, ymin, xmax, ymax, i, &w, &h);
+    acc_a = _mm256_add_pd(acc_a, _mm256_add_pd(w, h));
+    LoadExtents(xmin, ymin, xmax, ymax, i + 4, &w, &h);
+    acc_b = _mm256_add_pd(acc_b, _mm256_add_pd(w, h));
+  }
+  double total = Reduce(_mm256_add_pd(acc_a, acc_b));
+  for (size_t i = n8; i < n; ++i) {
+    total += EntryMargin(xmin[i], ymin[i], xmax[i], ymax[i]);
+  }
+  return total;
+}
+
+/// Intersection bits of the broadcast query against entries (i .. i+3).
+inline int MaskBits4(__m256d qx0, __m256d qy0, __m256d qx1, __m256d qy1,
+                     const double* xmin, const double* ymin,
+                     const double* xmax, const double* ymax, size_t i) {
+  const __m256d m = _mm256_and_pd(
+      _mm256_and_pd(
+          _mm256_cmp_pd(qx0, _mm256_loadu_pd(xmax + i), _CMP_LE_OQ),
+          _mm256_cmp_pd(_mm256_loadu_pd(xmin + i), qx1, _CMP_LE_OQ)),
+      _mm256_and_pd(
+          _mm256_cmp_pd(qy0, _mm256_loadu_pd(ymax + i), _CMP_LE_OQ),
+          _mm256_cmp_pd(_mm256_loadu_pd(ymin + i), qy1, _CMP_LE_OQ)));
+  return _mm256_movemask_pd(m);
+}
+
+/// Spreads the low 8 bits into 8 bytes of 0/1: byte k = (bits >> k) & 1.
+/// Replicate the bits into every byte, select bit k in byte k, then turn
+/// "nonzero byte" into 0x01 via the +0x7f carry into bit 7 (no cross-byte
+/// carries: every per-byte value stays <= 0xff).
+inline uint64_t SpreadMaskBytes(int bits) {
+  const uint64_t rep =
+      static_cast<uint64_t>(bits & 0xff) * 0x0101010101010101ULL;
+  const uint64_t sel = rep & 0x8040201008040201ULL;
+  return ((sel + 0x7f7f7f7f7f7f7f7fULL) >> 7) & 0x0101010101010101ULL;
+}
+
+size_t IntersectMaskAvx2(const Rect& query, const double* xmin,
+                         const double* ymin, const double* xmax,
+                         const double* ymax, size_t n, uint8_t* out) {
+  const __m256d qx0 = _mm256_set1_pd(query.xmin);
+  const __m256d qy0 = _mm256_set1_pd(query.ymin);
+  const __m256d qx1 = _mm256_set1_pd(query.xmax);
+  const __m256d qy1 = _mm256_set1_pd(query.ymax);
+  size_t hits = 0;
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < n8; i += 8) {
+    const int bits =
+        MaskBits4(qx0, qy0, qx1, qy1, xmin, ymin, xmax, ymax, i) |
+        (MaskBits4(qx0, qy0, qx1, qy1, xmin, ymin, xmax, ymax, i + 4) << 4);
+    const uint64_t bytes = SpreadMaskBytes(bits);
+    std::memcpy(out + i, &bytes, sizeof(bytes));
+    hits += static_cast<size_t>(__builtin_popcount(bits));
+  }
+  size_t i = n8;
+  if (i + 4 <= n) {
+    const int bits = MaskBits4(qx0, qy0, qx1, qy1, xmin, ymin, xmax, ymax, i);
+    out[i] = static_cast<uint8_t>(bits & 1);
+    out[i + 1] = static_cast<uint8_t>((bits >> 1) & 1);
+    out[i + 2] = static_cast<uint8_t>((bits >> 2) & 1);
+    out[i + 3] = static_cast<uint8_t>((bits >> 3) & 1);
+    hits += static_cast<size_t>(__builtin_popcount(bits));
+    i += 4;
+  }
+  for (; i < n; ++i) {
+    const uint8_t hit =
+        Intersects(query, xmin[i], ymin[i], xmax[i], ymax[i]) ? 1 : 0;
+    out[i] = hit;
+    hits += hit;
+  }
+  return hits;
+}
+
+/// Overlap products of the broadcast rect against entries (j .. j+3).
+inline __m256d OverlapProducts(__m256d ax0, __m256d ay0, __m256d ax1,
+                               __m256d ay1, const double* xmin,
+                               const double* ymin, const double* xmax,
+                               const double* ymax, size_t j) {
+  const __m256d w =
+      _mm256_sub_pd(_mm256_min_pd(_mm256_loadu_pd(xmax + j), ax1),
+                    _mm256_max_pd(_mm256_loadu_pd(xmin + j), ax0));
+  const __m256d h =
+      _mm256_sub_pd(_mm256_min_pd(_mm256_loadu_pd(ymax + j), ay1),
+                    _mm256_max_pd(_mm256_loadu_pd(ymin + j), ay0));
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d none = _mm256_or_pd(_mm256_cmp_pd(w, zero, _CMP_LE_OQ),
+                                    _mm256_cmp_pd(h, zero, _CMP_LE_OQ));
+  return _mm256_andnot_pd(none, _mm256_mul_pd(w, h));
+}
+
+double PairwiseOverlapSumAvx2(const double* xmin, const double* ymin,
+                              const double* xmax, const double* ymax,
+                              size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const __m256d ax0 = _mm256_set1_pd(xmin[i]);
+    const __m256d ay0 = _mm256_set1_pd(ymin[i]);
+    const __m256d ax1 = _mm256_set1_pd(xmax[i]);
+    const __m256d ay1 = _mm256_set1_pd(ymax[i]);
+    const size_t base = i + 1;
+    const size_t m = n - base;
+    const size_t m8 = m & ~static_cast<size_t>(7);
+    __m256d acc_a = _mm256_setzero_pd();
+    __m256d acc_b = _mm256_setzero_pd();
+    for (size_t t = 0; t < m8; t += 8) {
+      acc_a = _mm256_add_pd(acc_a, OverlapProducts(ax0, ay0, ax1, ay1, xmin,
+                                                   ymin, xmax, ymax,
+                                                   base + t));
+      acc_b = _mm256_add_pd(acc_b, OverlapProducts(ax0, ay0, ax1, ay1, xmin,
+                                                   ymin, xmax, ymax,
+                                                   base + t + 4));
+    }
+    double inner = Reduce(_mm256_add_pd(acc_a, acc_b));
+    size_t t = m8;
+    if (t + 4 <= m) {
+      // Tail block of 4: each lane's product rounds exactly as the scalar
+      // OverlapArea, and adding the lanes in order reproduces the scalar
+      // reference's sequential tail.
+      const __m256d p = OverlapProducts(ax0, ay0, ax1, ay1, xmin, ymin,
+                                        xmax, ymax, base + t);
+      alignas(32) double lanes[4];
+      _mm256_store_pd(lanes, p);
+      inner += lanes[0];
+      inner += lanes[1];
+      inner += lanes[2];
+      inner += lanes[3];
+      t += 4;
+    }
+    if (t < m) {
+      // Last 1..3 pairs: masked loads keep out-of-range lanes unread, and
+      // only the active lanes' products — each rounded exactly as the
+      // scalar OverlapArea — are added, in lane order.
+      const size_t rem = m - t;
+      const size_t j = base + t;
+      const __m256i sel = _mm256_set_epi64x(0, rem > 2 ? -1LL : 0,
+                                            rem > 1 ? -1LL : 0, -1LL);
+      const __m256d w = _mm256_sub_pd(
+          _mm256_min_pd(_mm256_maskload_pd(xmax + j, sel), ax1),
+          _mm256_max_pd(_mm256_maskload_pd(xmin + j, sel), ax0));
+      const __m256d h = _mm256_sub_pd(
+          _mm256_min_pd(_mm256_maskload_pd(ymax + j, sel), ay1),
+          _mm256_max_pd(_mm256_maskload_pd(ymin + j, sel), ay0));
+      const __m256d zero = _mm256_setzero_pd();
+      const __m256d none = _mm256_or_pd(_mm256_cmp_pd(w, zero, _CMP_LE_OQ),
+                                        _mm256_cmp_pd(h, zero, _CMP_LE_OQ));
+      alignas(32) double lanes[4];
+      _mm256_store_pd(lanes, _mm256_andnot_pd(none, _mm256_mul_pd(w, h)));
+      for (size_t k = 0; k < rem; ++k) inner += lanes[k];
+    }
+    total += inner;
+  }
+  return total;
+}
+
+}  // namespace
+
+const Ops kAvx2Ops = {
+    IntersectMaskAvx2,
+    SumAreasAvx2,
+    SumMarginsAvx2,
+    PairwiseOverlapSumAvx2,
+};
+
+}  // namespace sdb::geom::kernels::internal
+
+#else  // AVX2 not compiled in
+
+namespace sdb::geom::kernels::internal {
+// Compiler/arch without AVX2 support: the tier aliases the scalar reference
+// and LevelAvailable(kAvx2) reports false.
+const Ops kAvx2Ops = kScalarOps;
+}  // namespace sdb::geom::kernels::internal
+
+#endif

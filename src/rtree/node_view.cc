@@ -81,16 +81,42 @@ void NodeView::WriteEntries(std::span<const Entry> entries) {
   RefreshAggregates();
 }
 
-void NodeView::RefreshAggregates() {
+uint16_t NodeView::GatherCoords(geom::kernels::SoaBuffer* coords) const {
   const uint16_t n = count();
-  std::vector<geom::Rect> rects;
-  rects.reserve(n);
-  for (uint16_t i = 0; i < n; ++i) {
-    EntryRecord r;
-    std::memcpy(&r, EntryPtr(i), sizeof(r));
-    rects.emplace_back(r.xmin, r.ymin, r.xmax, r.ymax);
+  coords->Reserve(n);
+  double* xmin = coords->xmin();
+  double* ymin = coords->ymin();
+  double* xmax = coords->xmax();
+  double* ymax = coords->ymax();
+  const std::byte* p = page_.data() + storage::PageHeaderView::kHeaderSize;
+  for (uint16_t i = 0; i < n; ++i, p += kEntrySize) {
+    // The record's first four doubles are xmin, ymin, xmax, ymax.
+    double c[4];
+    std::memcpy(c, p, sizeof(c));
+    xmin[i] = c[0];
+    ymin[i] = c[1];
+    xmax[i] = c[2];
+    ymax[i] = c[3];
   }
-  header().set_aggregates(geom::ComputeEntryAggregates(rects));
+  return n;
+}
+
+size_t NodeView::ScanEntries(const geom::Rect& query,
+                             geom::kernels::SoaBuffer* coords,
+                             std::vector<uint8_t>* mask) const {
+  const uint16_t n = GatherCoords(coords);
+  mask->resize(n);
+  if (n == 0) return 0;
+  return geom::kernels::IntersectMask(query, coords->xmin(), coords->ymin(),
+                                      coords->xmax(), coords->ymax(), n,
+                                      mask->data());
+}
+
+void NodeView::RefreshAggregates() {
+  thread_local geom::kernels::SoaBuffer scratch;
+  const uint16_t n = GatherCoords(&scratch);
+  header().set_aggregates(geom::ComputeEntryAggregatesSoA(
+      scratch.xmin(), scratch.ymin(), scratch.xmax(), scratch.ymax(), n));
 }
 
 std::byte* NodeView::EntryPtr(uint16_t i) {

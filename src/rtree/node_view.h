@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "geom/kernels/kernels.h"
 #include "geom/rect.h"
 #include "storage/page.h"
 
@@ -78,6 +79,20 @@ class NodeView {
 
   /// Copies all entries out.
   std::vector<Entry> LoadEntries() const;
+
+  /// Deinterleaves the fixed-stride entry records' MBR coordinates into the
+  /// caller's SoA scratch (growing it as needed, zero allocation once warm)
+  /// and returns the entry count. The batch-kernel entry point: traversals
+  /// thread one scratch through all visited nodes instead of copying
+  /// entries into per-node vectors.
+  uint16_t GatherCoords(geom::kernels::SoaBuffer* coords) const;
+
+  /// GatherCoords + dispatched IntersectMask in one step: after the call,
+  /// (*mask)[i] is 1 iff entry i intersects `query` (closed-set semantics).
+  /// Returns the hit count; `coords`/`mask` are reused scratch.
+  size_t ScanEntries(const geom::Rect& query,
+                     geom::kernels::SoaBuffer* coords,
+                     std::vector<uint8_t>* mask) const;
 
   /// Replaces the entry array and refreshes the header aggregates.
   void WriteEntries(std::span<const Entry> entries);

@@ -741,6 +741,11 @@ void RTree::WindowQueryVisit(
     const Rect& window, const AccessContext& ctx,
     const std::function<void(const Entry&)>& visit) const {
   std::vector<PageId> stack{root_};
+  // Scratch threaded through the whole traversal: the batch scan
+  // deinterleaves each node's entry rects in place and runs the dispatched
+  // intersect kernel, so no per-node entry vector is ever allocated.
+  geom::kernels::SoaBuffer coords;
+  std::vector<uint8_t> mask;
   while (!stack.empty()) {
     const PageId id = stack.back();
     stack.pop_back();
@@ -748,9 +753,10 @@ void RTree::WindowQueryVisit(
     const NodeView node(page.bytes());
     const uint16_t n = node.count();
     const bool leaf = node.is_leaf();
+    if (node.ScanEntries(window, &coords, &mask) == 0) continue;
     for (uint16_t i = 0; i < n; ++i) {
+      if (!mask[i]) continue;
       const Entry e = node.GetEntry(i);
-      if (!e.rect.Intersects(window)) continue;
       if (leaf) {
         visit(e);
       } else {

@@ -1,5 +1,6 @@
 #include "rtree/spatial_join.h"
 
+#include <utility>
 #include <vector>
 
 namespace sdb::rtree {
@@ -15,6 +16,12 @@ struct JoinContext {
   const AccessContext* ctx;
   const std::function<void(const Entry&, const Entry&)>* visit;
   JoinStats stats;
+  // Per-node scan scratch, reused across the whole recursion: each call
+  // finishes with the scratch before descending (descent pairs are collected
+  // first), so a single set of buffers serves every depth with no per-node
+  // entry copies.
+  geom::kernels::SoaBuffer right_coords;
+  std::vector<uint8_t> mask;
 };
 
 void JoinNodes(JoinContext& jc, PageId left_id, PageId right_id) {
@@ -23,49 +30,78 @@ void JoinNodes(JoinContext& jc, PageId left_id, PageId right_id) {
   core::PageHandle right_page = jc.right->buffer()->Fetch(right_id, *jc.ctx);
   const NodeView left(left_page.bytes());
   const NodeView right(right_page.bytes());
-  const std::vector<Entry> a = left.LoadEntries();
-  const std::vector<Entry> b = right.LoadEntries();
+  const uint16_t na = left.count();
   const bool left_leaf = left.is_leaf();
   const bool right_leaf = right.is_leaf();
-  // Release the pins before recursing so deep descents never exhaust small
-  // buffers.
   const geom::Rect left_mbr = left.mbr();
   const geom::Rect right_mbr = right.mbr();
-  left_page.Release();
-  right_page.Release();
 
   if (left_leaf && right_leaf) {
-    for (const Entry& ea : a) {
-      for (const Entry& eb : b) {
-        if (ea.rect.Intersects(eb.rect)) {
-          ++jc.stats.result_pairs;
-          if (*jc.visit) (*jc.visit)(ea, eb);
-        }
+    // Batch the inner loop: one dispatched intersect-mask scan of the right
+    // node per left entry, materializing entries only for actual hits.
+    const uint16_t nb = right.GatherCoords(&jc.right_coords);
+    jc.mask.resize(nb);
+    for (uint16_t ia = 0; ia < na; ++ia) {
+      const Entry ea = left.GetEntry(ia);
+      if (nb == 0 ||
+          geom::kernels::IntersectMask(
+              ea.rect, jc.right_coords.xmin(), jc.right_coords.ymin(),
+              jc.right_coords.xmax(), jc.right_coords.ymax(), nb,
+              jc.mask.data()) == 0) {
+        continue;
+      }
+      for (uint16_t ib = 0; ib < nb; ++ib) {
+        if (!jc.mask[ib]) continue;
+        ++jc.stats.result_pairs;
+        if (*jc.visit) (*jc.visit)(ea, right.GetEntry(ib));
       }
     }
     return;
   }
+
+  // Directory descent: collect the qualifying child pairs while the pages
+  // are pinned, then release the pins before recursing so deep descents
+  // never exhaust small buffers (and the scan scratch is free for reuse).
+  std::vector<std::pair<PageId, PageId>> next;
   if (left_leaf) {
     // Descend only the right tree; restrict to children meeting the left
     // node's region.
-    for (const Entry& eb : b) {
-      if (eb.rect.Intersects(left_mbr)) JoinNodes(jc, left_id, eb.child());
+    const size_t hits = right.ScanEntries(left_mbr, &jc.right_coords,
+                                          &jc.mask);
+    const uint16_t nb = right.count();
+    if (hits != 0) {
+      for (uint16_t ib = 0; ib < nb; ++ib) {
+        if (jc.mask[ib]) next.emplace_back(left_id, right.GetEntry(ib).child());
+      }
     }
-    return;
-  }
-  if (right_leaf) {
-    for (const Entry& ea : a) {
-      if (ea.rect.Intersects(right_mbr)) JoinNodes(jc, ea.child(), right_id);
+  } else if (right_leaf) {
+    const size_t hits = left.ScanEntries(right_mbr, &jc.right_coords,
+                                         &jc.mask);
+    if (hits != 0) {
+      for (uint16_t ia = 0; ia < na; ++ia) {
+        if (jc.mask[ia]) next.emplace_back(left.GetEntry(ia).child(), right_id);
+      }
     }
-    return;
-  }
-  for (const Entry& ea : a) {
-    for (const Entry& eb : b) {
-      if (ea.rect.Intersects(eb.rect)) {
-        JoinNodes(jc, ea.child(), eb.child());
+  } else {
+    const uint16_t nb = right.GatherCoords(&jc.right_coords);
+    jc.mask.resize(nb);
+    for (uint16_t ia = 0; ia < na; ++ia) {
+      const Entry ea = left.GetEntry(ia);
+      if (nb == 0 ||
+          geom::kernels::IntersectMask(
+              ea.rect, jc.right_coords.xmin(), jc.right_coords.ymin(),
+              jc.right_coords.xmax(), jc.right_coords.ymax(), nb,
+              jc.mask.data()) == 0) {
+        continue;
+      }
+      for (uint16_t ib = 0; ib < nb; ++ib) {
+        if (jc.mask[ib]) next.emplace_back(ea.child(), right.GetEntry(ib).child());
       }
     }
   }
+  left_page.Release();
+  right_page.Release();
+  for (const auto& [l, r] : next) JoinNodes(jc, l, r);
 }
 
 }  // namespace
@@ -73,7 +109,7 @@ void JoinNodes(JoinContext& jc, PageId left_id, PageId right_id) {
 JoinStats SpatialJoin(
     const RTree& left, const RTree& right, const AccessContext& ctx,
     const std::function<void(const Entry&, const Entry&)>& visit) {
-  JoinContext jc{&left, &right, &ctx, &visit, JoinStats{}};
+  JoinContext jc{&left, &right, &ctx, &visit, JoinStats{}, {}, {}};
   JoinNodes(jc, left.root(), right.root());
   return jc.stats;
 }
