@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "sim/report.h"
 #include "sim/scenario.h"
 #include "sim/sweep.h"
+#include "storage/fault_injection.h"
 
 namespace sdb::bench {
 
@@ -28,6 +30,32 @@ inline size_t EnvSizeT(const char* name, size_t fallback) {
   if (env == nullptr || env[0] == '\0') return fallback;
   const long long value = std::strtoll(env, nullptr, 10);
   return value < 1 ? fallback : static_cast<size_t>(value);
+}
+
+/// Fault profile of the bench run. SDB_FAULT_PROFILE holds a
+/// storage::FaultProfile spec ("transient=0.01,bitflip=0.001,bad=18-20");
+/// SDB_FAULT_SEED overrides the profile's seed without re-stating the rest
+/// of the spec. Unset or empty -> a disabled profile, and the benches run
+/// exactly as before the fault layer existed.
+inline storage::FaultProfile BenchFaultProfile() {
+  storage::FaultProfile profile;
+  const std::string spec = EnvOr("SDB_FAULT_PROFILE", "");
+  if (!spec.empty()) {
+    const std::optional<storage::FaultProfile> parsed =
+        storage::FaultProfile::Parse(spec);
+    if (parsed.has_value()) {
+      profile = *parsed;
+    } else {
+      std::fprintf(stderr,
+                   "warning: malformed SDB_FAULT_PROFILE ignored: %s\n",
+                   spec.c_str());
+    }
+  }
+  const std::string seed = EnvOr("SDB_FAULT_SEED", "");
+  if (!seed.empty()) {
+    profile.seed = std::strtoull(seed.c_str(), nullptr, 10);
+  }
+  return profile;
 }
 
 /// JSON-Lines sink of the merged metrics registry (SDB_BENCH_METRICS;
@@ -141,6 +169,10 @@ inline void PrintGainTables(const sim::Scenario& scenario,
   for (const SetSpec& set : sets) spec.sets.push_back({set.family, set.ex});
   spec.policies = policies;
   spec.collect_metrics = true;
+  // Fault soak: a nonzero SDB_FAULT_PROFILE runs the whole sweep through
+  // the fault-injecting device (recovered faults leave the tables and the
+  // JSON byte-identical; unrecoverable ones surface as io_errors rows).
+  spec.fault_profile = BenchFaultProfile();
   const sim::SweepResult result = sim::RunSweep(scenario, spec);
   sim::PrintSweepTables(scenario, spec, result, title);
   const std::string json = sim::BenchJsonPath();

@@ -52,6 +52,11 @@ CellResult RunCell(const sim::Scenario& scenario,
   service_config.total_frames = total_frames;
   service_config.shard_count = shards;
   service_config.policy_spec = "ASB";
+  // Fault soak via SDB_FAULT_PROFILE (disabled when unset). The grid's
+  // cross-configuration invariants assume a *recoverable* profile
+  // (transient/bitflip/torn): a bad-sector range makes traversals skip
+  // subtrees, which legitimately changes the per-cell access counts.
+  service_config.fault_profile = bench::BenchFaultProfile();
   svc::BufferService service(*scenario.disk, service_config);
 
   svc::SessionExecutorConfig executor_config;

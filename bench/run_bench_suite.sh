@@ -7,6 +7,8 @@
 #   BENCH_policy_overhead.json  eviction-cost + EO-refresh A/B rows
 #   BENCH_kernels.json          geometry-kernel dispatch-tier A/B rows
 #   BENCH_concurrent.json       concurrent shared-buffer service rows
+#   BENCH_fault.json            fault-resilience rows (hit rate + fetch
+#                               latency vs injected fault rate, LRU vs ASB)
 #
 # Usage: bench/run_bench_suite.sh [build-dir] [out-dir]
 #   build-dir  CMake build tree with the bench targets built (default: build)
@@ -77,7 +79,12 @@ echo "== ext_concurrent_service =="
 (cd "$OUT_DIR" && SDB_BENCH_CONCURRENT=BENCH_concurrent.json \
   "$BENCH_DIR/ext_concurrent_service")
 
+echo "== ext_fault_resilience =="
+(cd "$OUT_DIR" && SDB_BENCH_FAULT=BENCH_fault.json \
+  "$BENCH_DIR/ext_fault_resilience")
+
 echo
 echo "canonical benchmark set written to $OUT_DIR:"
 (cd "$OUT_DIR" && wc -l BENCH_sweep.json BENCH_metrics.json \
-  BENCH_policy_overhead.json BENCH_kernels.json BENCH_concurrent.json)
+  BENCH_policy_overhead.json BENCH_kernels.json BENCH_concurrent.json \
+  BENCH_fault.json)

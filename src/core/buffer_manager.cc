@@ -1,11 +1,25 @@
 #include "core/buffer_manager.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/macros.h"
+#include "storage/crc32c.h"
 
 namespace sdb::core {
+
+namespace {
+/// splitmix64 finalizer for the backoff jitter.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
@@ -64,13 +78,18 @@ FrameId PageHandle::Detach() {
 
 BufferManager::BufferManager(storage::PageDevice* disk, size_t frames,
                              std::unique_ptr<ReplacementPolicy> policy,
-                             obs::Collector* collector)
+                             obs::Collector* collector,
+                             ResilienceOptions resilience)
     : disk_(disk),
       policy_(std::move(policy)),
-      page_size_(disk->page_size()) {
+      page_size_(disk->page_size()),
+      resilience_(resilience) {
   SDB_CHECK(disk_ != nullptr);
   SDB_CHECK(policy_ != nullptr);
   SDB_CHECK_MSG(frames > 0, "buffer needs at least one frame");
+  quarantine_cap_ = resilience_.max_quarantined_frames != 0
+                        ? std::min(resilience_.max_quarantined_frames, frames)
+                        : frames / 2;
   if constexpr (obs::kEnabled) {
     obs_ = collector;
     if (obs_ != nullptr) {
@@ -94,8 +113,15 @@ BufferManager::BufferManager(storage::PageDevice* disk, size_t frames,
 
 BufferManager::~BufferManager() { FlushAll(); }
 
-PageHandle BufferManager::Fetch(storage::PageId page,
-                                const AccessContext& ctx) {
+StatusOr<PageHandle> BufferManager::Fetch(storage::PageId page,
+                                          const AccessContext& ctx) {
+  // Fast-fail on a page that already failed terminally: no device traffic,
+  // no frame churn, the caller gets the same terminal code every time.
+  if (!bad_pages_.empty()) {
+    if (const auto it = bad_pages_.find(page); it != bad_pages_.end()) {
+      return Status(it->second, "page previously failed terminally");
+    }
+  }
   ++stats_.requests;
   if (auto it = page_table_.find(page); it != page_table_.end()) {
     ++stats_.hits;
@@ -115,8 +141,12 @@ PageHandle BufferManager::Fetch(storage::PageId page,
   if constexpr (obs::kEnabled) {
     if (obs_ != nullptr) obs_->OnBufferRequest(page, ctx.query_id, false);
   }
-  const FrameId f = AcquireFrame(ctx, page);
-  disk_->Read(page, {FrameData(f), page_size_});
+  StatusOr<FrameId> acquired = AcquireFrame(ctx, page);
+  if (!acquired.ok()) return acquired.status();
+  const FrameId f = *acquired;
+  if (Status read = ReadPageWithRecovery(f, page); !read.ok()) {
+    return read;
+  }
   Frame& frame = frames_[f];
   frame.page = page;
   frame.pin_count = 1;
@@ -127,14 +157,16 @@ PageHandle BufferManager::Fetch(storage::PageId page,
   return PageHandle(this, f, page);
 }
 
-PageHandle BufferManager::New(const AccessContext& ctx) {
+StatusOr<PageHandle> BufferManager::New(const AccessContext& ctx) {
   ++stats_.requests;
   ++stats_.misses;  // a new page is never a hit
+  StatusOr<FrameId> acquired = AcquireFrame(ctx, storage::kInvalidPageId);
+  if (!acquired.ok()) return acquired.status();
   const storage::PageId page = disk_->Allocate();
   if constexpr (obs::kEnabled) {
     if (obs_ != nullptr) obs_->OnBufferRequest(page, ctx.query_id, false);
   }
-  const FrameId f = AcquireFrame(ctx, page);
+  const FrameId f = *acquired;
   std::memset(FrameData(f), 0, page_size_);
   Frame& frame = frames_[f];
   frame.page = page;
@@ -202,8 +234,8 @@ const std::byte* BufferManager::FrameData(FrameId f) const {
   return frame_data_.get() + static_cast<size_t>(f) * page_size_;
 }
 
-FrameId BufferManager::AcquireFrame(const AccessContext& ctx,
-                                    storage::PageId incoming) {
+StatusOr<FrameId> BufferManager::AcquireFrame(const AccessContext& ctx,
+                                              storage::PageId incoming) {
   if (!free_frames_.empty()) {
     const FrameId f = free_frames_.back();
     free_frames_.pop_back();
@@ -211,8 +243,15 @@ FrameId BufferManager::AcquireFrame(const AccessContext& ctx,
   }
   const std::optional<FrameId> victim =
       policy_->ChooseVictim(ctx, incoming);
-  SDB_CHECK_MSG(victim.has_value(),
-                "no evictable frame: all pages are pinned");
+  if (!victim.has_value()) {
+    // A healthy pool with no victim means the caller pinned everything — a
+    // bug, and the seed's abort contract. Once quarantine has eaten frames,
+    // exhaustion is an operational condition the caller must survive.
+    SDB_CHECK_MSG(quarantined_count_ > 0,
+                  "no evictable frame: all pages are pinned");
+    return Status::ResourceExhausted(
+        "no evictable frame: pool shrunk by quarantine");
+  }
   const FrameId f = *victim;
   Frame& frame = frames_[f];
   SDB_CHECK_MSG(frame.pin_count == 0, "policy evicted a pinned page");
@@ -243,6 +282,136 @@ FrameId BufferManager::AcquireFrame(const AccessContext& ctx,
   return f;
 }
 
+Status BufferManager::ReadPageWithRecovery(FrameId f, storage::PageId page) {
+  uint32_t failures = 0;
+  while (true) {
+    Status status = disk_->Read(page, {FrameData(f), page_size_});
+    if (status.ok() && resilience_.verify_checksums) {
+      if (const std::optional<uint32_t> expected = disk_->PageChecksum(page)) {
+        const uint32_t actual =
+            storage::crc32c::Checksum({FrameData(f), page_size_});
+        if (actual != *expected) {
+          status = Status::DataLoss("page checksum mismatch");
+          ++stats_.io_checksum_mismatches;
+          if constexpr (obs::kEnabled) {
+            if (obs_ != nullptr) {
+              EnsureIoObs();
+              obs_io_mismatches_->Add();
+            }
+          }
+        }
+      }
+    }
+    if (status.ok()) {
+      if (failures > 0) {
+        ++stats_.io_recovered_reads;
+        if constexpr (obs::kEnabled) {
+          if (obs_ != nullptr) {
+            obs::Event event;
+            event.kind = obs::EventKind::kIoRecovered;
+            event.frame = f;
+            event.page = page;
+            event.a = failures;
+            obs_->events().Push(event);
+          }
+        }
+      }
+      return status;
+    }
+    if constexpr (obs::kEnabled) {
+      if (obs_ != nullptr) {
+        obs::Event event;
+        event.kind = obs::EventKind::kIoFault;
+        event.flag = status.retryable();
+        event.frame = f;
+        event.page = page;
+        event.a = failures;
+        event.b = static_cast<uint64_t>(status.code());
+        obs_->events().Push(event);
+      }
+    }
+    if (!status.retryable() || failures >= resilience_.max_read_retries) {
+      ++stats_.io_permanent_failures;
+      if constexpr (obs::kEnabled) {
+        if (obs_ != nullptr) {
+          EnsureIoObs();
+          obs_io_permanent_->Add();
+        }
+      }
+      bad_pages_.emplace(page, status.code());
+      QuarantineFrame(f, page);
+      return status;
+    }
+    ++failures;
+    ++stats_.io_read_retries;
+    if constexpr (obs::kEnabled) {
+      if (obs_ != nullptr) {
+        EnsureIoObs();
+        obs_io_retries_->Add();
+      }
+    }
+    BackoffBeforeRetry(failures, page);
+  }
+}
+
+void BufferManager::QuarantineFrame(FrameId f, storage::PageId page) {
+  Frame& frame = frames_[f];
+  SDB_DCHECK(frame.page == storage::kInvalidPageId);
+  SDB_DCHECK(frame.pin_count == 0);
+  if (quarantined_count_ < quarantine_cap_) {
+    // Out of service: not on the free list, page invalid, so the policies
+    // (which only rank valid frames) never see it again and ASB's candidate
+    // set adapts over the shrunken pool.
+    frame.quarantined = true;
+    ++quarantined_count_;
+    ++stats_.io_quarantined_frames;
+    if constexpr (obs::kEnabled) {
+      if (obs_ != nullptr) {
+        EnsureIoObs();
+        obs_io_quarantined_->Add();
+        obs::Event event;
+        event.kind = obs::EventKind::kFrameQuarantined;
+        event.frame = f;
+        event.page = page;
+        event.a = quarantined_count_;
+        obs_->events().Push(event);
+      }
+    }
+    return;
+  }
+  // Cap reached: the frame itself is not the failure in this fault model
+  // (the device is), so recycle it — a pool that kept shrinking would turn
+  // one noisy device region into a self-inflicted outage.
+  std::memset(FrameData(f), 0, page_size_);
+  free_frames_.push_back(f);
+}
+
+void BufferManager::EnsureIoObs() {
+  if constexpr (obs::kEnabled) {
+    if (obs_ == nullptr || obs_io_retries_ != nullptr) return;
+    obs_io_retries_ = obs_->metrics().GetCounter("io.read_retries");
+    obs_io_mismatches_ = obs_->metrics().GetCounter("io.checksum_mismatches");
+    obs_io_quarantined_ = obs_->metrics().GetCounter("io.quarantined_frames");
+    obs_io_permanent_ = obs_->metrics().GetCounter("io.permanent_failures");
+  }
+}
+
+void BufferManager::BackoffBeforeRetry(uint32_t failures,
+                                       storage::PageId page) {
+  if (resilience_.backoff_base_us == 0) return;
+  // Exponential with full-range deterministic jitter: delay in
+  // [base * 2^(n-1) / 2, base * 2^(n-1)], capped at 64x base so a deep
+  // retry chain cannot stall a shard for long.
+  const uint32_t exp = std::min(failures - 1, 6u);
+  const uint64_t ceiling =
+      static_cast<uint64_t>(resilience_.backoff_base_us) << exp;
+  const uint64_t jitter =
+      Mix64(resilience_.backoff_seed ^ Mix64(page) ^ failures) %
+      (ceiling / 2 + 1);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(ceiling - jitter));
+}
+
 void BufferManager::FlushObservability() {
   if constexpr (!obs::kEnabled) return;
   if (obs_ == nullptr) return;
@@ -263,8 +432,9 @@ UnpinStatus BufferManager::Unpin(FrameId f, bool dirty) {
 }
 
 UnpinStatus BufferManager::UnpinLocked(FrameId f, bool dirty) {
-  if (f >= frames_.size() ||
-      frames_[f].page == storage::kInvalidPageId) {
+  if (f >= frames_.size()) return UnpinStatus::kUnknownFrame;
+  if (frames_[f].quarantined) return UnpinStatus::kQuarantined;
+  if (frames_[f].page == storage::kInvalidPageId) {
     return UnpinStatus::kUnknownFrame;
   }
   Frame& frame = frames_[f];

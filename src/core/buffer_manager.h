@@ -11,6 +11,7 @@
 
 #include "core/access_context.h"
 #include "core/replacement_policy.h"
+#include "core/status.h"
 #include "obs/collector.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -63,13 +64,20 @@ class PageHandle {
   storage::PageId page_id_ = storage::kInvalidPageId;
 };
 
-/// Hit/miss accounting of one buffer instance.
+/// Hit/miss accounting of one buffer instance. The io_* group mirrors the
+/// lazily-registered obs counters (io.read_retries & co.) so fault handling
+/// is testable without a collector attached.
 struct BufferStats {
   uint64_t requests = 0;
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  uint64_t io_read_retries = 0;        ///< failed read attempts that were retried
+  uint64_t io_checksum_mismatches = 0; ///< verify failures (incl. terminal ones)
+  uint64_t io_recovered_reads = 0;     ///< fetches that succeeded after >=1 retry
+  uint64_t io_permanent_failures = 0;  ///< fetches that failed terminally
+  uint64_t io_quarantined_frames = 0;  ///< frames taken out of service
 
   double HitRate() const {
     return requests == 0 ? 0.0
@@ -85,6 +93,32 @@ enum class UnpinStatus : uint8_t {
   kOk,
   kUnknownFrame,  ///< frame index out of range, or no page resident in it
   kNotPinned,     ///< the frame's pin count is already zero
+  kQuarantined,   ///< the frame was quarantined after a terminal read failure
+};
+
+/// Fault-handling knobs of one BufferManager. The defaults keep the fault
+/// machinery semantically invisible over a healthy device: verification only
+/// runs when the device maintains checksums, retries only trigger on failed
+/// reads, and the zero backoff keeps retry timing deterministic for tests
+/// and replays.
+struct ResilienceOptions {
+  /// Verify the CRC-32C of every page read against the device sidecar
+  /// (skipped when the device reports no checksum). Detects torn reads and
+  /// bit flips before corrupt bytes reach query execution.
+  bool verify_checksums = true;
+  /// Failed-read retries beyond the first attempt (so a fetch performs at
+  /// most 1 + max_read_retries device reads).
+  uint32_t max_read_retries = 3;
+  /// Base of the exponential backoff between retries, in microseconds;
+  /// 0 disables sleeping entirely (the default — simulated devices fail
+  /// deterministically, not because of load).
+  uint32_t backoff_base_us = 0;
+  /// Seed of the deterministic backoff jitter (+/-50%).
+  uint64_t backoff_seed = 0;
+  /// Most frames this buffer may quarantine before terminally-failing reads
+  /// start recycling frames instead (a shrinking pool must keep serving).
+  /// 0 = half the pool.
+  size_t max_quarantined_frames = 0;
 };
 
 /// Source of pinned pages — the interface query execution (the R-tree)
@@ -97,17 +131,31 @@ class PageSource {
   virtual ~PageSource() = default;
 
   /// Returns a pinned handle on the page, reading it from the backing
-  /// device on a miss.
-  virtual PageHandle Fetch(storage::PageId page, const AccessContext& ctx) = 0;
+  /// device on a miss. Non-OK when the page could not be delivered after
+  /// bounded retries: kUnavailable/kDataLoss exhausted their retry budget
+  /// (now recorded as a permanent failure), kPermanentFailure for bad
+  /// sectors, kResourceExhausted when quarantine left no usable frame.
+  virtual StatusOr<PageHandle> Fetch(storage::PageId page,
+                                     const AccessContext& ctx) = 0;
 
   /// Allocates a fresh zeroed page and pins it. Sources serving read-only
-  /// traffic abort.
-  virtual PageHandle New(const AccessContext& ctx) = 0;
+  /// traffic return kUnimplemented.
+  virtual StatusOr<PageHandle> New(const AccessContext& ctx) = 0;
 
   /// Current buffered image of a resident page (empty span if not
   /// resident). Structural inspection only: not an access, and only
   /// meaningful while no concurrent traffic can evict the page.
   virtual std::span<const std::byte> Peek(storage::PageId page) const = 0;
+
+  /// Conveniences for call sites where an I/O error indicates a harness bug
+  /// (index builds and replays over a fault-free simulated device): unwrap
+  /// or abort with the error text.
+  PageHandle FetchOrDie(storage::PageId page, const AccessContext& ctx) {
+    return Fetch(page, ctx).ValueOrDie();
+  }
+  PageHandle NewOrDie(const AccessContext& ctx) {
+    return New(ctx).ValueOrDie();
+  }
 };
 
 /// Page buffer with a pluggable replacement policy — the experimental
@@ -124,17 +172,26 @@ class BufferManager : public FrameMetaSource, public PageSource {
   /// out (SDB_OBS=OFF) the collector is ignored.
   BufferManager(storage::PageDevice* disk, size_t frames,
                 std::unique_ptr<ReplacementPolicy> policy,
-                obs::Collector* collector = nullptr);
+                obs::Collector* collector = nullptr,
+                ResilienceOptions resilience = {});
   ~BufferManager();
 
   BufferManager(const BufferManager&) = delete;
   BufferManager& operator=(const BufferManager&) = delete;
 
   /// Returns a pinned handle on the page, reading it from disk on a miss.
-  PageHandle Fetch(storage::PageId page, const AccessContext& ctx) override;
+  /// Transient read failures and checksum mismatches are retried up to
+  /// ResilienceOptions::max_read_retries times with exponential backoff;
+  /// a terminal failure quarantines the staging frame, remembers the page
+  /// as bad (subsequent fetches fail fast without touching the device) and
+  /// returns the error.
+  StatusOr<PageHandle> Fetch(storage::PageId page,
+                             const AccessContext& ctx) override;
 
   /// Allocates a fresh zeroed page on disk and pins it (no disk read).
-  PageHandle New(const AccessContext& ctx) override;
+  /// Fails only with kResourceExhausted once quarantine has consumed the
+  /// evictable pool.
+  StatusOr<PageHandle> New(const AccessContext& ctx) override;
 
   /// True if the page is currently resident.
   bool Contains(storage::PageId page) const;
@@ -175,6 +232,19 @@ class BufferManager : public FrameMetaSource, public PageSource {
     header_decodes_ = 0;
     flushed_header_decodes_ = 0;
   }
+
+  /// Frames currently out of service after terminal read failures. They are
+  /// never on the free list and never become policy candidates, so the
+  /// effective pool is frame_count() - quarantined_count().
+  size_t quarantined_count() const { return quarantined_count_; }
+
+  /// True if `page` previously failed terminally; fetches of it fail fast.
+  bool IsBadPage(storage::PageId page) const {
+    return bad_pages_.contains(page);
+  }
+  size_t bad_page_count() const { return bad_pages_.size(); }
+
+  const ResilienceOptions& resilience() const { return resilience_; }
 
   /// FrameMetaSource: metadata of the page resident in `frame`, served from
   /// the per-frame cache (decoded once per page load / in-place update
@@ -220,6 +290,7 @@ class BufferManager : public FrameMetaSource, public PageSource {
     storage::PageId page = storage::kInvalidPageId;
     uint32_t pin_count = 0;
     bool dirty = false;
+    bool quarantined = false;
   };
 
   /// Cached decoded header of the resident page; valid iff `version`
@@ -233,9 +304,28 @@ class BufferManager : public FrameMetaSource, public PageSource {
   const std::byte* FrameData(FrameId f) const;
 
   /// Finds a frame for an incoming page: free list first, else victim
-  /// eviction. Aborts if every frame is pinned (caller bug).
-  FrameId AcquireFrame(const AccessContext& ctx,
-                       storage::PageId incoming);
+  /// eviction. Returns kResourceExhausted when quarantine has shrunk the
+  /// pool to nothing evictable; still aborts when the pool is healthy and
+  /// every frame is pinned (caller bug, exactly the seed behaviour).
+  StatusOr<FrameId> AcquireFrame(const AccessContext& ctx,
+                                 storage::PageId incoming);
+
+  /// One device read into `frame` plus checksum verification and the
+  /// bounded retry/backoff loop; on terminal failure quarantines the frame
+  /// and records the page as bad. `page` is not yet in the page table.
+  Status ReadPageWithRecovery(FrameId frame, storage::PageId page);
+
+  /// Takes `frame` out of service (or recycles it once the quarantine cap
+  /// is hit) after a terminal read failure.
+  void QuarantineFrame(FrameId frame, storage::PageId page);
+
+  /// Registers the io.* counters in the collector on first fault — lazily,
+  /// so fault-free runs export exactly the metric set they always did.
+  void EnsureIoObs();
+
+  /// Deterministic exponential backoff with jitter before retry number
+  /// `failures` (1-based); no-op when backoff_base_us is 0.
+  void BackoffBeforeRetry(uint32_t failures, storage::PageId page);
 
   /// Unpin body, latch already held (or no latch attached).
   UnpinStatus UnpinLocked(FrameId frame, bool dirty);
@@ -257,6 +347,11 @@ class BufferManager : public FrameMetaSource, public PageSource {
   std::mutex* latch_ = nullptr;
   std::unique_ptr<ReplacementPolicy> policy_;
   size_t page_size_;
+  ResilienceOptions resilience_;
+  size_t quarantine_cap_ = 0;
+  size_t quarantined_count_ = 0;
+  // Pages that failed terminally, with the status code to fail fast with.
+  std::unordered_map<storage::PageId, StatusCode> bad_pages_;
   std::unique_ptr<std::byte[]> frame_data_;
   std::vector<Frame> frames_;
   std::vector<FrameId> free_frames_;
@@ -274,6 +369,12 @@ class BufferManager : public FrameMetaSource, public PageSource {
   obs::Collector* obs_ = nullptr;
   obs::Counter* obs_evictions_ = nullptr;
   obs::Counter* obs_writebacks_ = nullptr;
+  // io.* fault counters, registered lazily by EnsureIoObs on first fault so
+  // healthy runs export an unchanged metric set.
+  obs::Counter* obs_io_retries_ = nullptr;
+  obs::Counter* obs_io_mismatches_ = nullptr;
+  obs::Counter* obs_io_quarantined_ = nullptr;
+  obs::Counter* obs_io_permanent_ = nullptr;
   uint64_t flushed_header_decodes_ = 0;
 };
 

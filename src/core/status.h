@@ -1,0 +1,174 @@
+#ifndef SPATIALBUFFER_CORE_STATUS_H_
+#define SPATIALBUFFER_CORE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace sdb::core {
+
+/// Outcome classification of a fallible storage/buffer operation. The codes
+/// mirror the subset of canonical codes the I/O stack actually produces;
+/// the split that matters operationally is transient (retry may help)
+/// versus permanent (retrying is pointless).
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  /// Transient device failure (e.g. an injected transient read error). A
+  /// bounded retry with backoff is the right response.
+  kUnavailable,
+  /// The data read is wrong: checksum mismatch after a torn read or bit
+  /// flip. A re-read may return clean data.
+  kDataLoss,
+  /// Permanent media failure (bad sector); retrying cannot help.
+  kPermanentFailure,
+  /// No usable frame/shard is left to serve the request (e.g. every frame
+  /// of a shard quarantined).
+  kResourceExhausted,
+  /// The operation is not served by this implementation (e.g. New() on a
+  /// read-only service).
+  kUnimplemented,
+  /// Caller error: the request cannot be satisfied as posed.
+  kInvalidArgument,
+};
+
+/// Human-readable code name.
+constexpr std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kPermanentFailure:
+      return "PERMANENT_FAILURE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+  }
+  return "UNKNOWN";
+}
+
+/// Result of an operation that can fail without the process being at fault:
+/// either OK, or a code plus a message describing what went wrong. The
+/// I/O stack (PageDevice::Read, BufferManager::Fetch, BufferService) returns
+/// Status instead of aborting, so callers can retry, degrade, or surface the
+/// error — SDB_CHECK remains reserved for genuine programming errors.
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status PermanentFailure(std::string message) {
+    return Status(StatusCode::kPermanentFailure, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Retrying the failed operation may succeed: transient device errors and
+  /// corrupt reads (the next read may be clean). Permanent failures and
+  /// everything else are not retryable.
+  bool retryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDataLoss;
+  }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out(StatusCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // messages are advisory
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or the Status explaining why there is none. Supports
+/// move-only payloads (PageHandle). Accessing value() on an error aborts —
+/// check ok() first, or use ValueOrDie() where failure is a harness bug.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from a value (ok) or from a non-ok Status (error).
+  StatusOr(T value) : value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    SDB_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SDB_CHECK_MSG(ok(), "StatusOr::value() on error");
+    return *value_;
+  }
+  T& value() & {
+    SDB_CHECK_MSG(ok(), "StatusOr::value() on error");
+    return *value_;
+  }
+  T&& value() && {
+    SDB_CHECK_MSG(ok(), "StatusOr::value() on error");
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// For call sites where an error indicates a bug in the harness itself
+  /// (e.g. build-time I/O over a fault-free device): unwraps or aborts with
+  /// the error text.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::fprintf(stderr, "StatusOr::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sdb::core
+
+#endif  // SPATIALBUFFER_CORE_STATUS_H_

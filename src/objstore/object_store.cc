@@ -141,7 +141,7 @@ rtree::ObjectRef ObjectStore::Append(const ExactObject& object,
       open_page_ != storage::kInvalidPageId &&
       open_data_end_ + need + kSlotSize * (open_slots_ + 1u) <= page_size;
   if (!fits) {
-    core::PageHandle page = buffer_->New(ctx);
+    core::PageHandle page = buffer_->NewOrDie(ctx);
     open_page_ = page.page_id();
     open_data_end_ = PageHeaderView::kHeaderSize;
     open_slots_ = 0;
@@ -152,7 +152,7 @@ rtree::ObjectRef ObjectStore::Append(const ExactObject& object,
     ++page_counter_;
   }
 
-  core::PageHandle page = buffer_->Fetch(open_page_, ctx);
+  core::PageHandle page = buffer_->FetchOrDie(open_page_, ctx);
   std::span<std::byte> bytes = page.bytes();
   EncodeObject(object, bytes.data() + open_data_end_);
   WriteSlot(bytes, open_slots_, static_cast<uint16_t>(open_data_end_),
@@ -171,7 +171,7 @@ std::optional<ExactObject> ObjectStore::Get(
       ref.page >= disk_->page_count()) {
     return std::nullopt;
   }
-  core::PageHandle page = buffer_->Fetch(ref.page, ctx);
+  core::PageHandle page = buffer_->FetchOrDie(ref.page, ctx);
   const std::span<const std::byte> bytes{page.bytes().data(),
                                          page.bytes().size()};
   storage::ConstPageHeaderView header(bytes.data());

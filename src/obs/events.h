@@ -28,6 +28,17 @@ enum class EventKind : uint8_t {
   /// set — this is the trace-recording mode). page = requested page,
   /// flag = it was a hit.
   kPageAccess,
+  /// One failed read attempt during a fetch. page = the page, frame = the
+  /// staging frame, flag = the failure is retryable, a = failures so far
+  /// (before this one), b = core::StatusCode of the failure.
+  kIoFault,
+  /// A fetch succeeded after at least one failed attempt. page/frame as in
+  /// kIoFault, a = how many attempts failed before the clean read.
+  kIoRecovered,
+  /// A frame was taken out of service after a terminal read failure.
+  /// page = the page that poisoned it, frame = the quarantined frame,
+  /// a = quarantined frames in this buffer after the event.
+  kFrameQuarantined,
 };
 
 /// One structured event. Plain 48-byte POD; pushing is a copy into a

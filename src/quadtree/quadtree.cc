@@ -118,13 +118,13 @@ QuadTree::QuadTree(storage::DiskManager* disk, core::BufferManager* buffer,
                 "bucket too large for the page size");
 
   const AccessContext ctx;
-  PageHandle meta = buffer_->New(ctx);
+  PageHandle meta = buffer_->NewOrDie(ctx);
   meta_page_ = meta.page_id();
   meta.header().set_type(storage::PageType::kMeta);
   meta.MarkDirty();
   meta.Release();
 
-  PageHandle root = buffer_->New(ctx);
+  PageHandle root = buffer_->NewOrDie(ctx);
   root_ = root.page_id();
   WriteLeaf(root, Rect(0, 0, 1, 1), {}, storage::kInvalidPageId);
   root.Release();
@@ -165,7 +165,7 @@ void QuadTree::PersistMeta() {
   record.pad = 0;
   record.size = size_;
   const AccessContext ctx;
-  PageHandle meta = buffer_->Fetch(meta_page_, ctx);
+  PageHandle meta = buffer_->FetchOrDie(meta_page_, ctx);
   std::memcpy(meta.bytes().data() + kHeader, &record, sizeof(record));
   meta.MarkDirty();
 }
@@ -180,7 +180,7 @@ void QuadTree::Insert(const Point& point, uint64_t id,
     Rect cell(0, 0, 1, 1);
     uint32_t depth = 0;
     while (true) {
-      PageHandle page = buffer_->Fetch(current, ctx);
+      PageHandle page = buffer_->FetchOrDie(current, ctx);
       if (page.header().type() == storage::PageType::kDirectory) {
         const int quadrant = QuadrantOf(cell, point);
         const std::array<PageId, 4> children =
@@ -207,7 +207,7 @@ void QuadTree::Insert(const Point& point, uint64_t id,
         page.Release();
         PageId chain_tail = current;
         while (overflow != storage::kInvalidPageId) {
-          PageHandle link = buffer_->Fetch(overflow, ctx);
+          PageHandle link = buffer_->FetchOrDie(overflow, ctx);
           std::vector<PointRecord> link_records = LoadPoints(
               std::span<const std::byte>(link.bytes().data(),
                                          link.bytes().size()));
@@ -220,12 +220,12 @@ void QuadTree::Insert(const Point& point, uint64_t id,
           chain_tail = overflow;
           overflow = link.header().aux();
         }
-        PageHandle fresh = buffer_->New(ctx);
+        PageHandle fresh = buffer_->NewOrDie(ctx);
         WriteLeaf(fresh, cell, {{point.x, point.y, id}},
                   storage::kInvalidPageId);
         const PageId fresh_id = fresh.page_id();
         fresh.Release();
-        PageHandle tail = buffer_->Fetch(chain_tail, ctx);
+        PageHandle tail = buffer_->FetchOrDie(chain_tail, ctx);
         tail.header().set_aux(fresh_id);
         tail.MarkDirty();
         ++size_;
@@ -241,7 +241,7 @@ void QuadTree::Insert(const Point& point, uint64_t id,
 
 void QuadTree::SplitLeaf(PageId page_id, const Rect& cell, uint32_t depth,
                          const AccessContext& ctx) {
-  PageHandle page = buffer_->Fetch(page_id, ctx);
+  PageHandle page = buffer_->FetchOrDie(page_id, ctx);
   SDB_DCHECK(page.header().type() == storage::PageType::kData);
   const std::vector<PointRecord> records = LoadPoints(
       std::span<const std::byte>(page.bytes().data(), page.bytes().size()));
@@ -252,7 +252,7 @@ void QuadTree::SplitLeaf(PageId page_id, const Rect& cell, uint32_t depth,
   }
   std::array<PageId, 4> children;
   for (int q = 0; q < 4; ++q) {
-    PageHandle child = buffer_->New(ctx);
+    PageHandle child = buffer_->NewOrDie(ctx);
     WriteLeaf(child, QuadrantCell(cell, q), parts[q],
               storage::kInvalidPageId);
     children[q] = child.page_id();
@@ -269,7 +269,7 @@ bool QuadTree::Delete(const Point& point, uint64_t id,
   PageId current = root_;
   Rect cell(0, 0, 1, 1);
   while (true) {
-    PageHandle page = buffer_->Fetch(current, ctx);
+    PageHandle page = buffer_->FetchOrDie(current, ctx);
     if (page.header().type() == storage::PageType::kDirectory) {
       const int quadrant = QuadrantOf(cell, point);
       const std::array<PageId, 4> children = LoadChildren(
@@ -295,7 +295,7 @@ bool QuadTree::Delete(const Point& point, uint64_t id,
       }
       const PageId next = page.header().aux();
       if (next == storage::kInvalidPageId) return false;
-      page = buffer_->Fetch(next, ctx);
+      page = buffer_->FetchOrDie(next, ctx);
     }
   }
 }
@@ -312,7 +312,7 @@ void QuadTree::WindowQueryVisit(
     const Task task = stack.back();
     stack.pop_back();
     if (!task.cell.Intersects(window)) continue;
-    PageHandle page = buffer_->Fetch(task.page, ctx);
+    PageHandle page = buffer_->FetchOrDie(task.page, ctx);
     if (page.header().type() == storage::PageType::kDirectory) {
       const std::array<PageId, 4> children = LoadChildren(
           std::span<const std::byte>(page.bytes().data(),
@@ -331,7 +331,7 @@ void QuadTree::WindowQueryVisit(
       }
       const PageId next = page.header().aux();
       if (next == storage::kInvalidPageId) break;
-      page = buffer_->Fetch(next, ctx);
+      page = buffer_->FetchOrDie(next, ctx);
     }
   }
 }

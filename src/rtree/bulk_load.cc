@@ -75,7 +75,7 @@ void BulkLoadInternal(RTree* tree, std::vector<Entry>&& entries,
 
     if (items.size() <= max_entries) {
       // Final level: one node becomes the root.
-      core::PageHandle page = tree->buffer_->New(ctx);
+      core::PageHandle page = tree->buffer_->NewOrDie(ctx);
       NodeView node(page.bytes());
       node.Init(level);
       node.WriteEntries(items);
@@ -98,7 +98,7 @@ void BulkLoadInternal(RTree* tree, std::vector<Entry>&& entries,
       for (const size_t group :
            BalancedGroupSizes(items.size(), target, min_entries,
                               max_entries)) {
-        core::PageHandle page = tree->buffer_->New(ctx);
+        core::PageHandle page = tree->buffer_->NewOrDie(ctx);
         NodeView node(page.bytes());
         node.Init(level);
         node.WriteEntries(std::span<const Entry>(&items[pos], group));
@@ -140,7 +140,7 @@ void BulkLoadInternal(RTree* tree, std::vector<Entry>&& entries,
       size_t pos = 0;
       for (const size_t group :
            BalancedGroupSizes(slice_size, target, min_entries, max_entries)) {
-        core::PageHandle page = tree->buffer_->New(ctx);
+        core::PageHandle page = tree->buffer_->NewOrDie(ctx);
         NodeView node(page.bytes());
         node.Init(level);
         node.WriteEntries(

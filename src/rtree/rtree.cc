@@ -60,13 +60,13 @@ RTree::RTree(const storage::DiskManager* disk, core::PageSource* buffer,
                 "data fanout out of range for the page size");
 
   const AccessContext ctx;
-  core::PageHandle meta = buffer_->New(ctx);
+  core::PageHandle meta = buffer_->NewOrDie(ctx);
   meta_page_ = meta.page_id();
   meta.header().set_type(storage::PageType::kMeta);
   meta.MarkDirty();
   meta.Release();
 
-  core::PageHandle root = buffer_->New(ctx);
+  core::PageHandle root = buffer_->NewOrDie(ctx);
   root_ = root.page_id();
   NodeView(root.bytes()).Init(/*level=*/0);
   root.MarkDirty();
@@ -117,7 +117,7 @@ void RTree::PersistMeta() {
   record.variant = static_cast<uint32_t>(config_.variant);
   record.pad = 0;
   const AccessContext ctx;
-  core::PageHandle meta = buffer_->Fetch(meta_page_, ctx);
+  core::PageHandle meta = buffer_->FetchOrDie(meta_page_, ctx);
   std::memcpy(meta.bytes().data() + storage::PageHeaderView::kHeaderSize,
               &record, sizeof(record));
   meta.MarkDirty();
@@ -145,7 +145,7 @@ void RTree::ChoosePath(const Rect& rect, uint8_t target_level,
   PageId current = root_;
   while (true) {
     path->push_back(current);
-    core::PageHandle page = buffer_->Fetch(current, ctx);
+    core::PageHandle page = buffer_->FetchOrDie(current, ctx);
     const NodeView node(page.bytes());
     const uint8_t level = node.level();
     if (level == target_level) return;
@@ -214,7 +214,7 @@ void RTree::InsertAtLevel(const Entry& entry, uint8_t target_level,
 
   while (true) {
     const PageId node_id = path[depth];
-    core::PageHandle page = buffer_->Fetch(node_id, ctx);
+    core::PageHandle page = buffer_->FetchOrDie(node_id, ctx);
     NodeView node(page.bytes());
     std::vector<Entry> entries = node.LoadEntries();
     entries.push_back(pending);
@@ -264,7 +264,7 @@ void RTree::InsertAtLevel(const Entry& entry, uint8_t target_level,
     page.MarkDirty();
     page.Release();
 
-    core::PageHandle fresh = buffer_->New(ctx);
+    core::PageHandle fresh = buffer_->NewOrDie(ctx);
     const PageId new_id = fresh.page_id();
     NodeView new_node(fresh.bytes());
     new_node.Init(level);
@@ -283,7 +283,7 @@ void RTree::InsertAtLevel(const Entry& entry, uint8_t target_level,
     // the new node's entry as the pending insertion.
     {
       const PageId parent_id = path[depth - 1];
-      core::PageHandle parent_page = buffer_->Fetch(parent_id, ctx);
+      core::PageHandle parent_page = buffer_->FetchOrDie(parent_id, ctx);
       NodeView parent(parent_page.bytes());
       Entry parent_entry = parent.GetEntry(child_index[depth - 1]);
       parent_entry.rect = MbrOf(group_a);
@@ -302,7 +302,7 @@ void RTree::AdjustPathUpwards(const std::vector<PageId>& path,
                               size_t depth, const AccessContext& ctx) {
   for (size_t d = depth; d > 0; --d) {
     const Rect child_mbr = NodeMbr(path[d], ctx);
-    core::PageHandle parent_page = buffer_->Fetch(path[d - 1], ctx);
+    core::PageHandle parent_page = buffer_->FetchOrDie(path[d - 1], ctx);
     NodeView parent(parent_page.bytes());
     Entry entry = parent.GetEntry(child_index[d - 1]);
     if (entry.rect == child_mbr) return;  // ancestors already consistent
@@ -571,7 +571,7 @@ void RTree::SplitEntries(std::vector<Entry>& entries, uint8_t level,
 
 void RTree::GrowRoot(const Entry& a, const Entry& b, uint8_t new_root_level,
                      const AccessContext& ctx) {
-  core::PageHandle page = buffer_->New(ctx);
+  core::PageHandle page = buffer_->NewOrDie(ctx);
   NodeView node(page.bytes());
   node.Init(new_root_level);
   node.Append(a);
@@ -583,7 +583,7 @@ void RTree::GrowRoot(const Entry& a, const Entry& b, uint8_t new_root_level,
 }
 
 geom::Rect RTree::NodeMbr(PageId id, const AccessContext& ctx) const {
-  core::PageHandle page = buffer_->Fetch(id, ctx);
+  core::PageHandle page = buffer_->FetchOrDie(id, ctx);
   return page.header().mbr();
 }
 
@@ -610,7 +610,7 @@ bool RTree::Delete(uint64_t id, const Rect& rect, const AccessContext& ctx) {
 
   while (!path.empty()) {
     const PageId node_id = path.back().page;
-    core::PageHandle page = buffer_->Fetch(node_id, ctx);
+    core::PageHandle page = buffer_->FetchOrDie(node_id, ctx);
     const NodeView node(page.bytes());
     const uint16_t n = node.count();
     const bool leaf = node.is_leaf();
@@ -644,7 +644,7 @@ bool RTree::Delete(uint64_t id, const Rect& rect, const AccessContext& ctx) {
   std::vector<Entry> orphans;  // data entries to reinsert
   {
     const PageId leaf_id = path.back().page;
-    core::PageHandle page = buffer_->Fetch(leaf_id, ctx);
+    core::PageHandle page = buffer_->FetchOrDie(leaf_id, ctx);
     NodeView node(page.bytes());
     std::vector<Entry> entries = node.LoadEntries();
     entries.erase(entries.begin() + *found_index);
@@ -657,13 +657,13 @@ bool RTree::Delete(uint64_t id, const Rect& rect, const AccessContext& ctx) {
   // their entries queued for reinsertion at their original level.
   for (size_t depth = path.size() - 1; depth > 0; --depth) {
     const PageId node_id = path[depth].page;
-    core::PageHandle page = buffer_->Fetch(node_id, ctx);
+    core::PageHandle page = buffer_->FetchOrDie(node_id, ctx);
     NodeView node(page.bytes());
     const uint8_t level = node.level();
     const std::vector<Entry> entries = node.LoadEntries();
     const bool underfull = entries.size() < MinEntries(level);
 
-    core::PageHandle parent_page = buffer_->Fetch(path[depth - 1].page, ctx);
+    core::PageHandle parent_page = buffer_->FetchOrDie(path[depth - 1].page, ctx);
     NodeView parent(parent_page.bytes());
     std::vector<Entry> parent_entries = parent.LoadEntries();
     const uint16_t my_index = path[depth].index_in_parent;
@@ -680,7 +680,7 @@ bool RTree::Delete(uint64_t id, const Rect& rect, const AccessContext& ctx) {
         while (!stack.empty()) {
           const PageId sub = stack.back();
           stack.pop_back();
-          core::PageHandle sub_page = buffer_->Fetch(sub, ctx);
+          core::PageHandle sub_page = buffer_->FetchOrDie(sub, ctx);
           const NodeView sub_node(sub_page.bytes());
           const uint16_t sub_n = sub_node.count();
           for (uint16_t j = 0; j < sub_n; ++j) {
@@ -705,14 +705,14 @@ bool RTree::Delete(uint64_t id, const Rect& rect, const AccessContext& ctx) {
 
   // Shrink the root while it is a directory with a single child.
   while (height_ > 1) {
-    core::PageHandle page = buffer_->Fetch(root_, ctx);
+    core::PageHandle page = buffer_->FetchOrDie(root_, ctx);
     const NodeView node(page.bytes());
     if (node.is_leaf()) break;
     if (node.count() == 0) {
       // Every subtree dissolved (mass deletion): restart from an empty leaf;
       // the orphans below re-populate it.
       page.Release();
-      core::PageHandle fresh = buffer_->New(ctx);
+      core::PageHandle fresh = buffer_->NewOrDie(ctx);
       NodeView(fresh.bytes()).Init(/*level=*/0);
       fresh.MarkDirty();
       root_ = fresh.page_id();
@@ -749,7 +749,15 @@ void RTree::WindowQueryVisit(
   while (!stack.empty()) {
     const PageId id = stack.back();
     stack.pop_back();
-    core::PageHandle page = buffer_->Fetch(id, ctx);
+    core::StatusOr<core::PageHandle> fetched = buffer_->Fetch(id, ctx);
+    if (!fetched.ok()) {
+      // An unreadable node prunes its subtree: the query degrades to a
+      // partial result (reported via io_errors()) instead of killing the
+      // process.
+      RecordIoError(fetched.status());
+      continue;
+    }
+    core::PageHandle page = std::move(fetched).value();
     const NodeView node(page.bytes());
     const uint16_t n = node.count();
     const bool leaf = node.is_leaf();
@@ -807,7 +815,12 @@ std::vector<Entry> RTree::NearestNeighbors(const Point& point, size_t k,
       out.push_back(item.entry);
       continue;
     }
-    core::PageHandle page = buffer_->Fetch(item.page, ctx);
+    core::StatusOr<core::PageHandle> fetched = buffer_->Fetch(item.page, ctx);
+    if (!fetched.ok()) {
+      RecordIoError(fetched.status());
+      continue;  // prune this subtree; nearer candidates may still complete
+    }
+    core::PageHandle page = std::move(fetched).value();
     const NodeView node(page.bytes());
     const uint16_t n = node.count();
     const bool leaf = node.is_leaf();

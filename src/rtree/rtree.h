@@ -112,6 +112,19 @@ class RTree {
   /// Offline statistics walk.
   TreeStats ComputeStats() const;
 
+  /// I/O errors the query paths absorbed (fetches that failed after the
+  /// buffer's bounded retries). A failed directory fetch prunes its whole
+  /// subtree, so a nonzero count means query results may be incomplete —
+  /// degraded, not aborted. Mutation paths never absorb errors: they run
+  /// during builds over a fault-free device and abort on failure.
+  uint64_t io_errors() const { return io_errors_; }
+  /// The most recent absorbed error (OK when io_errors() == 0).
+  const core::Status& last_io_error() const { return last_io_error_; }
+  void ClearIoErrors() {
+    io_errors_ = 0;
+    last_io_error_ = core::Status::Ok();
+  }
+
   storage::PageId meta_page() const { return meta_page_; }
   storage::PageId root() const { return root_; }
   uint32_t height() const { return height_; }
@@ -168,6 +181,12 @@ class RTree {
   /// MBR of a node as currently stored on its page header.
   geom::Rect NodeMbr(storage::PageId id, const core::AccessContext& ctx) const;
 
+  /// Query-path error bookkeeping (const traversals, hence mutable).
+  void RecordIoError(const core::Status& status) const {
+    ++io_errors_;
+    last_io_error_ = status;
+  }
+
   const storage::DiskManager* disk_;
   core::PageSource* buffer_;
   RTreeConfig config_;
@@ -175,6 +194,8 @@ class RTree {
   storage::PageId root_ = storage::kInvalidPageId;
   uint32_t height_ = 1;  ///< number of levels; root level = height - 1
   uint64_t size_ = 0;    ///< number of object entries
+  mutable uint64_t io_errors_ = 0;
+  mutable core::Status last_io_error_;
 };
 
 }  // namespace sdb::rtree

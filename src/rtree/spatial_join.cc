@@ -26,8 +26,22 @@ struct JoinContext {
 
 void JoinNodes(JoinContext& jc, PageId left_id, PageId right_id) {
   ++jc.stats.node_pairs_visited;
-  core::PageHandle left_page = jc.left->buffer()->Fetch(left_id, *jc.ctx);
-  core::PageHandle right_page = jc.right->buffer()->Fetch(right_id, *jc.ctx);
+  // An unreadable node skips this pair (both subtrees below it): the join
+  // result degrades to a subset, reported via JoinStats::io_errors.
+  core::StatusOr<core::PageHandle> left_fetched =
+      jc.left->buffer()->Fetch(left_id, *jc.ctx);
+  if (!left_fetched.ok()) {
+    ++jc.stats.io_errors;
+    return;
+  }
+  core::StatusOr<core::PageHandle> right_fetched =
+      jc.right->buffer()->Fetch(right_id, *jc.ctx);
+  if (!right_fetched.ok()) {
+    ++jc.stats.io_errors;
+    return;
+  }
+  core::PageHandle left_page = std::move(left_fetched).value();
+  core::PageHandle right_page = std::move(right_fetched).value();
   const NodeView left(left_page.bytes());
   const NodeView right(right_page.bytes());
   const uint16_t na = left.count();

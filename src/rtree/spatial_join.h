@@ -11,6 +11,9 @@ namespace sdb::rtree {
 struct JoinStats {
   uint64_t result_pairs = 0;
   uint64_t node_pairs_visited = 0;
+  /// Node pairs skipped because one side's page could not be read; nonzero
+  /// means the reported pairs are a subset of the true join.
+  uint64_t io_errors = 0;
 };
 
 /// R-tree spatial join by synchronized traversal [Brinkhoff, Kriegel &

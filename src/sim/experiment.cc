@@ -62,10 +62,20 @@ RunResult RunQuerySet(const storage::DiskManager& disk,
 
   // Per-run read-only view: this run's I/O counters are private, so many
   // runs can share one disk image concurrently. The view aborts on writes —
-  // replay is read-only by contract.
+  // replay is read-only by contract. With a fault profile the buffer reads
+  // through an injecting wrapper instead; the wrapper's stats() still
+  // report clean reads only, so `result.io` stays comparable.
   storage::ReadOnlyDiskView view(disk);
-  core::BufferManager buffer(&view, options.buffer_frames,
-                             std::move(policy), options.collector);
+  std::unique_ptr<storage::FaultInjectingDevice> fault_device;
+  storage::PageDevice* device = &view;
+  if (options.fault_profile.enabled()) {
+    fault_device = std::make_unique<storage::FaultInjectingDevice>(
+        view, options.fault_profile);
+    device = fault_device.get();
+  }
+  core::BufferManager buffer(device, options.buffer_frames,
+                             std::move(policy), options.collector,
+                             options.resilience);
 
   const rtree::RTree tree = rtree::RTree::Open(&disk, &buffer, tree_meta);
 
@@ -87,11 +97,23 @@ RunResult RunQuerySet(const storage::DiskManager& disk,
           dynamic_cast<const core::LruKPolicy*>(&buffer.policy())) {
     result.retained_history_records = lru_k->retained_history_size();
   }
-  result.io = view.stats();
+  // Clean-read counters: with a fault device these exclude faulted
+  // attempts, so a fully-recovered run matches the fault-free run exactly.
+  result.io = device->stats();
   result.disk_reads = result.io.reads;
   result.sequential_reads = result.io.sequential_reads;
   result.buffer_requests = buffer.stats().requests;
   result.buffer_hits = buffer.stats().hits;
+  if (fault_device != nullptr) {
+    result.fault_injection = true;
+    result.faults_injected = fault_device->fault_stats().injected();
+  }
+  result.io_read_retries = buffer.stats().io_read_retries;
+  result.io_checksum_mismatches = buffer.stats().io_checksum_mismatches;
+  result.io_recovered_reads = buffer.stats().io_recovered_reads;
+  result.io_permanent_failures = buffer.stats().io_permanent_failures;
+  result.io_quarantined_frames = buffer.stats().io_quarantined_frames;
+  result.io_errors = tree.io_errors();
   SDB_CHECK_MSG(view.stats().writes == 0,
                 "read-only replay must not write");
   if (obs::Collector* c = buffer.collector()) {

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "core/buffer_manager.h"
 #include "obs/collector.h"
 #include "storage/disk_manager.h"
+#include "storage/fault_injection.h"
 #include "workload/query_generator.h"
 
 namespace sdb::sim {
@@ -20,6 +22,14 @@ struct RunOptions {
   /// device-level I/O split (disk.reads / disk.sequential_reads) so the
   /// random/sequential breakdown survives into merged sweep metrics.
   obs::Collector* collector = nullptr;
+  /// When enabled(), the run reads through a FaultInjectingDevice wrapping
+  /// its private view; the buffer retries/recovers per `resilience`. The
+  /// device's clean-read accounting keeps `RunResult::io` (the paper's
+  /// metric) bit-identical to a fault-free run whenever every injected
+  /// fault is recovered.
+  storage::FaultProfile fault_profile;
+  /// Retry/checksum/quarantine knobs of the run's buffer.
+  core::ResilienceOptions resilience;
 };
 
 /// Result of replaying one query set through one buffer configuration.
@@ -43,6 +53,22 @@ struct RunResult {
   /// End-of-run registry snapshot when a collector was attached (empty
   /// otherwise).
   obs::MetricsSnapshot metrics;
+  /// True when the run executed through a FaultInjectingDevice (even if it
+  /// injected nothing). Reporting keys fault fields off this flag so
+  /// fault-free output stays byte-identical.
+  bool fault_injection = false;
+  /// Fault-run accounting (all zero without a fault profile): what the
+  /// device injected and what the buffer did about it. The recovery ledger
+  /// must balance: faults_injected == io_read_retries + io_permanent_failures.
+  uint64_t faults_injected = 0;
+  uint64_t io_read_retries = 0;
+  uint64_t io_checksum_mismatches = 0;
+  uint64_t io_recovered_reads = 0;
+  uint64_t io_permanent_failures = 0;
+  uint64_t io_quarantined_frames = 0;
+  /// Query fetches that failed terminally and were absorbed by traversal
+  /// (subtree pruned); nonzero means result_objects is a lower bound.
+  uint64_t io_errors = 0;
 
   double hit_rate() const {
     return buffer_requests == 0

@@ -81,6 +81,8 @@ SweepResult RunSweep(const Scenario& scenario, const SweepSpec& spec) {
     RunOptions options;
     options.buffer_frames =
         scenario.BufferFrames(spec.fractions[task.fraction]);
+    options.fault_profile = spec.fault_profile;
+    options.resilience = spec.resilience;
     // One private collector per replay keeps the runner lock-free; the
     // snapshot travels to this thread inside the task's result slot and the
     // slots are merged in index order after the join.
@@ -223,6 +225,23 @@ std::string RunJson(const std::string& title, const std::string& database,
       static_cast<unsigned long long>(run.buffer_requests),
       static_cast<unsigned long long>(run.buffer_hits), gain);
   std::string line(buf);
+  if (run.fault_injection) {
+    char fault_buf[448];
+    std::snprintf(
+        fault_buf, sizeof(fault_buf),
+        ",\"faults_injected\":%llu,\"io_read_retries\":%llu,"
+        "\"io_checksum_mismatches\":%llu,\"io_recovered_reads\":%llu,"
+        "\"io_permanent_failures\":%llu,\"io_quarantined_frames\":%llu,"
+        "\"io_errors\":%llu",
+        static_cast<unsigned long long>(run.faults_injected),
+        static_cast<unsigned long long>(run.io_read_retries),
+        static_cast<unsigned long long>(run.io_checksum_mismatches),
+        static_cast<unsigned long long>(run.io_recovered_reads),
+        static_cast<unsigned long long>(run.io_permanent_failures),
+        static_cast<unsigned long long>(run.io_quarantined_frames),
+        static_cast<unsigned long long>(run.io_errors));
+    line += fault_buf;
+  }
   if (!run.metrics.empty()) {
     // Per-run registry snapshot, embedded so each JSONL row is
     // self-contained for downstream analysis.

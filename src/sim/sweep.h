@@ -35,6 +35,12 @@ struct SweepSpec {
   /// deterministically after the join. Per-run snapshots land in each
   /// RunResult::metrics; events are not collected (capacity 0).
   bool collect_metrics = false;
+  /// Forwarded to every run's RunOptions: when the profile is enabled(),
+  /// each run reads through its own FaultInjectingDevice and its JSON row
+  /// gains the fault-accounting fields. Disabled (the default) leaves the
+  /// sweep and its JSON byte-identical to a build without the fault layer.
+  storage::FaultProfile fault_profile;
+  core::ResilienceOptions resilience;
 };
 
 /// One measured grid cell.

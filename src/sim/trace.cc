@@ -57,7 +57,7 @@ ReplayResult ReplayTrace(storage::DiskManager* disk, const AccessTrace& trace,
   disk->ResetStats();
   for (const PageAccess& access : trace.accesses) {
     const core::AccessContext ctx{access.query_id};
-    core::PageHandle handle = buffer.Fetch(access.page, ctx);
+    core::PageHandle handle = buffer.FetchOrDie(access.page, ctx);
     handle.Release();
   }
   result.requests = buffer.stats().requests;

@@ -1,0 +1,38 @@
+// SSE4.2 tier of the page-checksum CRC-32C. This translation unit is the
+// only one compiled with -msse4.2 (see src/CMakeLists.txt); it must not be
+// reached unless the runtime cpuid probe confirmed the instruction set, same
+// contract as geom/kernels/kernels_avx2.cc.
+#include <cstddef>
+#include <cstdint>
+
+#if defined(SDB_CRC32C_HAVE_SSE42)
+#include <nmmintrin.h>
+#endif
+
+namespace sdb::storage::crc32c::detail {
+
+#if defined(SDB_CRC32C_HAVE_SSE42)
+
+uint32_t ChecksumSse42(const std::byte* data, size_t size) {
+  uint64_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p + i, 8);
+    crc = _mm_crc32_u64(crc, chunk);
+  }
+  uint32_t crc32 = static_cast<uint32_t>(crc);
+  for (; i < size; ++i) {
+    crc32 = _mm_crc32_u8(crc32, p[i]);
+  }
+  return crc32 ^ 0xFFFFFFFFu;
+}
+
+#else
+
+uint32_t ChecksumSse42(const std::byte*, size_t) { return 0; }
+
+#endif
+
+}  // namespace sdb::storage::crc32c::detail

@@ -4,10 +4,19 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "storage/crc32c.h"
 
 namespace sdb::storage {
 
-DiskManager::DiskManager(size_t page_size) : page_size_(page_size) {
+namespace {
+uint32_t ZeroPageCrc(size_t page_size) {
+  std::vector<std::byte> zero(page_size, std::byte{0});
+  return crc32c::Checksum(zero);
+}
+}  // namespace
+
+DiskManager::DiskManager(size_t page_size)
+    : page_size_(page_size), zero_page_crc_(ZeroPageCrc(page_size)) {
   SDB_CHECK_MSG(page_size >= PageHeaderView::kHeaderSize,
                 "page must fit its header");
 }
@@ -17,10 +26,11 @@ PageId DiskManager::Allocate() {
   auto page = std::make_unique<std::byte[]>(page_size_);
   std::memset(page.get(), 0, page_size_);
   pages_.push_back(std::move(page));
+  checksums_.push_back(zero_page_crc_);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-void DiskManager::Read(PageId id, std::span<std::byte> out) {
+core::Status DiskManager::Read(PageId id, std::span<std::byte> out) {
   SDB_CHECK(out.size() == page_size_);
   std::memcpy(out.data(), PagePtr(id), page_size_);
   ++stats_.reads;
@@ -28,16 +38,23 @@ void DiskManager::Read(PageId id, std::span<std::byte> out) {
     ++stats_.sequential_reads;
   }
   last_read_ = id;
+  return core::Status::Ok();
 }
 
 void DiskManager::Write(PageId id, std::span<const std::byte> in) {
   SDB_CHECK(in.size() == page_size_);
   std::memcpy(PagePtr(id), in.data(), page_size_);
+  checksums_[id] = crc32c::Checksum(in);
   ++stats_.writes;
   if (last_write_ != kInvalidPageId && id == last_write_ + 1) {
     ++stats_.sequential_writes;
   }
   last_write_ = id;
+}
+
+std::optional<uint32_t> DiskManager::PageChecksum(PageId id) const {
+  SDB_CHECK_MSG(id < checksums_.size(), "page id out of range");
+  return checksums_[id];
 }
 
 PageMeta DiskManager::PeekMeta(PageId id) const {
@@ -91,12 +108,17 @@ std::optional<DiskManager> DiskManager::LoadImage(const std::string& path) {
   }
   DiskManager disk(header.page_size);
   disk.pages_.reserve(header.page_count);
+  disk.checksums_.reserve(header.page_count);
   for (uint64_t i = 0; i < header.page_count; ++i) {
     auto page = std::make_unique<std::byte[]>(header.page_size);
     if (std::fread(page.get(), 1, header.page_size, in.file) !=
         header.page_size) {
       return std::nullopt;
     }
+    // Stamp the sidecar eagerly so views opened on the loaded image can
+    // verify fetches without ever writing through this manager.
+    disk.checksums_.push_back(
+        crc32c::Checksum({page.get(), header.page_size}));
     disk.pages_.push_back(std::move(page));
   }
   return disk;

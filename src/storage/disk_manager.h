@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "storage/page.h"
 
 namespace sdb::storage {
@@ -52,11 +53,23 @@ class PageDevice {
   /// I/O (the zero page materializes in the buffer).
   virtual PageId Allocate() = 0;
 
-  /// Copies a page into `out` (which must be page_size() bytes).
-  virtual void Read(PageId id, std::span<std::byte> out) = 0;
+  /// Copies a page into `out` (which must be page_size() bytes). Returns
+  /// non-OK when the device could not deliver the page — kUnavailable for
+  /// transient failures worth retrying, kPermanentFailure for bad sectors.
+  /// A non-OK read leaves `out` unspecified. Requesting a page id that was
+  /// never allocated is a caller bug and still aborts.
+  virtual core::Status Read(PageId id, std::span<std::byte> out) = 0;
 
   /// Copies `in` (page_size() bytes) onto the page.
   virtual void Write(PageId id, std::span<const std::byte> in) = 0;
+
+  /// Expected CRC-32C of the page as last written, if this device maintains
+  /// checksums; nullopt disables verification on fetch. Checksums are kept
+  /// out of band (a device sidecar, not page-header bytes) so the on-page
+  /// layout — and with it fanout and every paper metric — is unchanged.
+  virtual std::optional<uint32_t> PageChecksum(PageId /*id*/) const {
+    return std::nullopt;
+  }
 
   virtual const IoStats& stats() const = 0;
   virtual void ResetStats() = 0;
@@ -73,8 +86,15 @@ class DiskManager : public PageDevice {
   DiskManager& operator=(const DiskManager&) = delete;
 
   PageId Allocate() override;
-  void Read(PageId id, std::span<std::byte> out) override;
+  core::Status Read(PageId id, std::span<std::byte> out) override;
   void Write(PageId id, std::span<const std::byte> in) override;
+
+  /// CRC-32C sidecar, maintained eagerly: stamped on Allocate/Write (and in
+  /// one pass by LoadImage), so concurrent ReadOnlyDiskViews can verify
+  /// without synchronizing. The simulated disk itself never fails; the
+  /// sidecar exists so corruption injected *between* disk and buffer (torn
+  /// reads, bit flips) is detected on fetch.
+  std::optional<uint32_t> PageChecksum(PageId id) const override;
 
   /// Header of a page as it is on disk — for offline inspection/validation
   /// without touching the I/O counters.
@@ -109,6 +129,10 @@ class DiskManager : public PageDevice {
   // One heap block per page keeps Allocate O(1) without invalidating
   // outstanding writes; page images are only touched via Read/Write copies.
   std::vector<std::unique_ptr<std::byte[]>> pages_;
+  // Parallel to pages_: CRC-32C of each page as last written.
+  std::vector<uint32_t> checksums_;
+  // CRC of the all-zero page, computed once so Allocate stays O(1).
+  const uint32_t zero_page_crc_;
   IoStats stats_;
   PageId last_read_ = kInvalidPageId;
   PageId last_write_ = kInvalidPageId;

@@ -11,7 +11,7 @@ PageId ReadOnlyDiskView::Allocate() {
   return kInvalidPageId;
 }
 
-void ReadOnlyDiskView::Read(PageId id, std::span<std::byte> out) {
+core::Status ReadOnlyDiskView::Read(PageId id, std::span<std::byte> out) {
   SDB_CHECK(out.size() == base_->page_size());
   std::span<const std::byte> page = base_->PeekPage(id);
   std::memcpy(out.data(), page.data(), page.size());
@@ -20,6 +20,7 @@ void ReadOnlyDiskView::Read(PageId id, std::span<std::byte> out) {
     ++stats_.sequential_reads;
   }
   last_read_ = id;
+  return core::Status::Ok();
 }
 
 void ReadOnlyDiskView::Write(PageId, std::span<const std::byte>) {

@@ -26,8 +26,14 @@ class ReadOnlyDiskView final : public PageDevice {
   size_t page_size() const override { return base_->page_size(); }
 
   PageId Allocate() override;
-  void Read(PageId id, std::span<std::byte> out) override;
+  core::Status Read(PageId id, std::span<std::byte> out) override;
   void Write(PageId id, std::span<const std::byte> in) override;
+
+  /// Forwards to the shared manager's eagerly-maintained sidecar; safe to
+  /// call from concurrent views because replays never write.
+  std::optional<uint32_t> PageChecksum(PageId id) const override {
+    return base_->PageChecksum(id);
+  }
 
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override;

@@ -1,0 +1,160 @@
+#ifndef SPATIALBUFFER_STORAGE_FAULT_INJECTION_H_
+#define SPATIALBUFFER_STORAGE_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/disk_manager.h"
+
+namespace sdb::storage {
+
+/// What a single injected fault does to one Read call.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  /// Read fails with kUnavailable; a retry draws fresh randomness and will
+  /// eventually succeed.
+  kTransient,
+  /// Read fails with kPermanentFailure; every retry fails the same way
+  /// (bad-sector semantics, driven by the page id, not the read sequence).
+  kPermanent,
+  /// Read "succeeds" but the second half of the page is garbage, as if the
+  /// device tore mid-transfer. Detected by checksum verification.
+  kTornRead,
+  /// Read "succeeds" with exactly one flipped bit. Detected by checksum
+  /// verification.
+  kBitFlip,
+  /// Read succeeds with correct data after an artificial delay. Not a data
+  /// fault: excluded from the recovery ledger, visible only in latency.
+  kLatencySpike,
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// One scripted fault: at the `read_index`-th Read call (0-based, counted
+/// across all pages), inject `kind` regardless of the probabilistic draws.
+/// Schedules make failure scenarios exactly replayable in tests.
+struct ScheduledFault {
+  uint64_t read_index = 0;
+  FaultKind kind = FaultKind::kNone;
+};
+
+/// Deterministic fault configuration. All probabilistic decisions are pure
+/// functions of (seed, read sequence number, page id), so a run with the
+/// same profile and the same read sequence injects the same faults —
+/// replayable by construction.
+struct FaultProfile {
+  uint64_t seed = 0;
+
+  /// Per-read probabilities in [0, 1]; evaluated in this priority order.
+  double transient_prob = 0.0;
+  double torn_read_prob = 0.0;
+  double bit_flip_prob = 0.0;
+  double latency_spike_prob = 0.0;
+  /// Sleep applied on a latency spike; 0 keeps the spike accounting-only
+  /// (counted but no wall-clock delay), which tests use for determinism.
+  uint32_t latency_spike_us = 0;
+
+  /// Pages in [bad_begin, bad_end) are permanently unreadable bad sectors.
+  PageId bad_begin = 0;
+  PageId bad_end = 0;
+
+  /// Probabilistic faults apply only to pages in [target_begin, target_end).
+  /// Default targets every page.
+  PageId target_begin = 0;
+  PageId target_end = kInvalidPageId;
+
+  /// Exact overrides by read index; checked before the probabilistic draws.
+  std::vector<ScheduledFault> schedule;
+
+  /// A profile with every probability 0, no bad range and no schedule
+  /// injects nothing (the wrapper then only forwards).
+  bool enabled() const {
+    return transient_prob > 0.0 || torn_read_prob > 0.0 ||
+           bit_flip_prob > 0.0 || latency_spike_prob > 0.0 ||
+           bad_end > bad_begin || !schedule.empty();
+  }
+
+  /// Parses a comma-separated spec, e.g.
+  ///   "seed=7,transient=0.01,bitflip=0.001,torn=0.001,latency=0.05,
+  ///    latency_us=200,bad=18-20,target=0-4096,sched=12:transient"
+  /// (`sched=` may repeat). Returns nullopt on a malformed spec. This is the
+  /// format of the SDB_FAULT_PROFILE env knob.
+  static std::optional<FaultProfile> Parse(std::string_view spec);
+};
+
+/// Injection counters, by fault kind. `injected()` is the recovery-ledger
+/// side: every one of those faults must show up downstream as a retry, a
+/// recovery, or a quarantine/permanent failure.
+struct FaultStats {
+  uint64_t transient_errors = 0;
+  uint64_t permanent_errors = 0;
+  uint64_t torn_reads = 0;
+  uint64_t bit_flips = 0;
+  uint64_t latency_spikes = 0;
+
+  /// Data faults only; latency spikes return correct data.
+  uint64_t injected() const {
+    return transient_errors + permanent_errors + torn_reads + bit_flips;
+  }
+};
+
+/// PageDevice decorator that injects deterministic seeded faults into reads.
+///
+/// Wraps any device; Write/Allocate forward untouched (the fault model is
+/// read-side). Read consults the scripted schedule, then the bad-sector
+/// range, then per-kind probability draws keyed on (seed, read sequence,
+/// page id) — retries of the same page are fresh draws, so transient faults
+/// clear, while bad sectors fail forever.
+///
+/// stats() reports *clean* I/O only: reads that returned correct data,
+/// with sequential-run detection over that clean sequence. When every
+/// injected fault is recovered by the layer above, these counters are
+/// bit-identical to the same run over the bare device — the paper's
+/// disk-access metric is not perturbed by retry traffic. Attempt counts and
+/// per-kind injections are reported separately via fault_stats().
+class FaultInjectingDevice final : public PageDevice {
+ public:
+  /// `base` must outlive the wrapper.
+  FaultInjectingDevice(PageDevice& base, FaultProfile profile)
+      : base_(&base), profile_(std::move(profile)) {}
+
+  size_t page_size() const override { return base_->page_size(); }
+  PageId Allocate() override { return base_->Allocate(); }
+
+  core::Status Read(PageId id, std::span<std::byte> out) override;
+  void Write(PageId id, std::span<const std::byte> in) override;
+
+  std::optional<uint32_t> PageChecksum(PageId id) const override {
+    return base_->PageChecksum(id);
+  }
+
+  /// Clean reads only — see class comment.
+  const IoStats& stats() const override { return clean_stats_; }
+  void ResetStats() override;
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  /// Total Read calls, including faulted attempts.
+  uint64_t reads_attempted() const { return read_seq_; }
+
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  FaultKind Decide(uint64_t read_index, PageId id) const;
+
+  PageDevice* base_;
+  FaultProfile profile_;
+  FaultStats fault_stats_;
+  IoStats clean_stats_;
+  PageId last_clean_read_ = kInvalidPageId;
+  PageId last_write_ = kInvalidPageId;
+  uint64_t read_seq_ = 0;
+};
+
+}  // namespace sdb::storage
+
+#endif  // SPATIALBUFFER_STORAGE_FAULT_INJECTION_H_

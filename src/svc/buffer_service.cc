@@ -12,12 +12,14 @@ namespace {
 
 /// splitmix64 finalizer: page ids are sequential on disk, so a plain modulo
 /// would put whole subtrees on one shard; the mix spreads them evenly.
-uint64_t MixPageId(uint64_t x) {
+uint64_t Mix64(uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
+
+uint64_t MixPageId(uint64_t x) { return Mix64(x); }
 
 /// Capacity split: total/count per shard, remainder to the lowest-numbered
 /// shards one frame each.
@@ -52,9 +54,20 @@ BufferService::BufferService(const storage::DiskManager& disk,
         asb_shared_ = true;
       }
     }
+    storage::PageDevice* device = &shard->view;
+    if (config.fault_profile.enabled()) {
+      // Each shard draws from an independent but seed-derived stream: the
+      // whole service replays for a fixed profile seed, yet shards do not
+      // mirror each other's fault pattern.
+      storage::FaultProfile profile = config.fault_profile;
+      profile.seed = Mix64(profile.seed ^ (static_cast<uint64_t>(s) + 1));
+      shard->fault = std::make_unique<storage::FaultInjectingDevice>(
+          shard->view, std::move(profile));
+      device = shard->fault.get();
+    }
     shard->buffer = std::make_unique<core::BufferManager>(
-        &shard->view, SplitFrames(total_frames_, config.shard_count, s),
-        std::move(policy), shard->collector.get());
+        device, SplitFrames(total_frames_, config.shard_count, s),
+        std::move(policy), shard->collector.get(), config.resilience);
     shard->buffer->set_latch(&shard->latch);
     shards_.push_back(std::move(shard));
   }
@@ -81,16 +94,17 @@ std::unique_lock<std::mutex> BufferService::LockShard(Shard& shard) const {
   return lock;
 }
 
-core::PageHandle BufferService::Fetch(storage::PageId page,
-                                      const core::AccessContext& ctx) {
+core::StatusOr<core::PageHandle> BufferService::Fetch(
+    storage::PageId page, const core::AccessContext& ctx) {
   Shard& shard = *shards_[ShardOf(page)];
   const std::unique_lock<std::mutex> lock = LockShard(shard);
   return shard.buffer->Fetch(page, ctx);
 }
 
-core::PageHandle BufferService::New(const core::AccessContext&) {
-  SDB_CHECK_MSG(false, "BufferService is read-only: New() is not served");
-  return core::PageHandle{};
+core::StatusOr<core::PageHandle> BufferService::New(
+    const core::AccessContext&) {
+  return core::Status::Unimplemented(
+      "BufferService is read-only: New() is not served");
 }
 
 std::span<const std::byte> BufferService::Peek(storage::PageId page) const {
@@ -111,6 +125,9 @@ ShardStats BufferService::StatsOfShard(size_t s) const {
   stats.io = shard.view.stats();
   stats.latch_waits = shard.latch_waits.load(std::memory_order_relaxed);
   stats.latch_acquires = shard.latch_acquires.load(std::memory_order_relaxed);
+  stats.quarantined_frames = shard.buffer->quarantined_count();
+  stats.bad_pages = shard.buffer->bad_page_count();
+  stats.usable_frames = shard.buffer->frame_count() - stats.quarantined_frames;
   return stats;
 }
 
@@ -123,12 +140,35 @@ ShardStats BufferService::AggregateStats() const {
     total.buffer.misses += one.buffer.misses;
     total.buffer.evictions += one.buffer.evictions;
     total.buffer.dirty_writebacks += one.buffer.dirty_writebacks;
+    total.buffer.io_read_retries += one.buffer.io_read_retries;
+    total.buffer.io_checksum_mismatches += one.buffer.io_checksum_mismatches;
+    total.buffer.io_recovered_reads += one.buffer.io_recovered_reads;
+    total.buffer.io_permanent_failures += one.buffer.io_permanent_failures;
+    total.buffer.io_quarantined_frames += one.buffer.io_quarantined_frames;
     total.io.reads += one.io.reads;
     total.io.writes += one.io.writes;
     total.io.sequential_reads += one.io.sequential_reads;
     total.io.sequential_writes += one.io.sequential_writes;
     total.latch_waits += one.latch_waits;
     total.latch_acquires += one.latch_acquires;
+    total.quarantined_frames += one.quarantined_frames;
+    total.bad_pages += one.bad_pages;
+    total.usable_frames += one.usable_frames;
+  }
+  return total;
+}
+
+storage::FaultStats BufferService::AggregateFaultStats() const {
+  storage::FaultStats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->fault == nullptr) continue;
+    const std::unique_lock<std::mutex> lock = LockShard(*shard);
+    const storage::FaultStats& one = shard->fault->fault_stats();
+    total.transient_errors += one.transient_errors;
+    total.permanent_errors += one.permanent_errors;
+    total.torn_reads += one.torn_reads;
+    total.bit_flips += one.bit_flips;
+    total.latency_spikes += one.latency_spikes;
   }
   return total;
 }

@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/disk_view.h"
+#include "storage/fault_injection.h"
 
 namespace sdb::svc {
 
@@ -40,6 +41,14 @@ struct BufferServiceConfig {
   /// so the self-tuning sees the full overflow-hit evidence instead of a
   /// 1/N slice per shard. OFF = each shard tunes privately.
   bool share_asb_tuning = true;
+  /// Per-shard fault handling (retry budget, checksum verification,
+  /// quarantine cap), forwarded to every shard's BufferManager.
+  core::ResilienceOptions resilience;
+  /// When enabled, every shard reads through its own FaultInjectingDevice
+  /// wrapping the shard view; the profile seed is mixed with the shard
+  /// index so shards draw independent fault sequences but the whole service
+  /// remains replayable for a fixed seed.
+  storage::FaultProfile fault_profile;
 };
 
 /// Counters of one shard (or the shard-summed aggregate).
@@ -51,6 +60,13 @@ struct ShardStats {
   /// Total latch acquisitions — fetches plus stats/metrics reads (the
   /// contention denominator).
   uint64_t latch_acquires = 0;
+  /// Health accounting: frames this shard took out of service and pages it
+  /// recorded as permanently unreadable. A shard keeps serving while
+  /// degraded; a fetch only fails once nothing evictable remains.
+  uint64_t quarantined_frames = 0;
+  uint64_t bad_pages = 0;
+  /// Frames still in service (capacity minus quarantined).
+  uint64_t usable_frames = 0;
 };
 
 /// Thread-safe shared buffer: one logical pool sharded across N
@@ -73,12 +89,17 @@ class BufferService final : public core::PageSource {
   BufferService(const BufferService&) = delete;
   BufferService& operator=(const BufferService&) = delete;
 
-  /// Thread-safe pinned fetch through the page's shard.
-  core::PageHandle Fetch(storage::PageId page,
-                         const core::AccessContext& ctx) override;
+  /// Thread-safe pinned fetch through the page's shard. Errors are
+  /// per-shard and per-page: a fetch on a degraded shard fails with the
+  /// recorded terminal status (or kResourceExhausted when quarantine left
+  /// the shard nothing evictable) while every other shard keeps serving.
+  core::StatusOr<core::PageHandle> Fetch(storage::PageId page,
+                                         const core::AccessContext& ctx)
+      override;
 
-  /// Aborts: the service is read-only (no page creation).
-  core::PageHandle New(const core::AccessContext& ctx) override;
+  /// Always kUnimplemented: the service is read-only (no page creation).
+  core::StatusOr<core::PageHandle> New(const core::AccessContext& ctx)
+      override;
 
   /// Buffered image of a resident page. Quiescent use only — the returned
   /// span is unprotected against concurrent eviction.
@@ -115,6 +136,16 @@ class BufferService final : public core::PageSource {
     return *shards_[shard]->buffer;
   }
 
+  /// The shard's fault-injecting device (nullptr when the service runs
+  /// without a fault profile). Quiescent use only.
+  const storage::FaultInjectingDevice* shard_fault_device(size_t shard) const {
+    return shards_[shard]->fault.get();
+  }
+
+  /// Injected-fault counters summed over every shard device (all zero
+  /// without a fault profile). Takes the shard latches.
+  storage::FaultStats AggregateFaultStats() const;
+
   /// Flushes per-shard aggregate counters into the shard collectors
   /// (buffer totals, per-shard device reads, latch wait/acquire counts,
   /// frame-capacity gauge) and returns the snapshot merged over every
@@ -130,6 +161,9 @@ class BufferService final : public core::PageSource {
     explicit Shard(const storage::DiskManager& disk) : view(disk) {}
 
     storage::ReadOnlyDiskView view;
+    // Optional fault-injection wrapper over `view`; the shard's buffer
+    // reads through it when the service runs a fault profile.
+    std::unique_ptr<storage::FaultInjectingDevice> fault;
     std::mutex latch;
     std::unique_ptr<obs::Collector> collector;  // null without metrics
     std::unique_ptr<core::BufferManager> buffer;

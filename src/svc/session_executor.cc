@@ -105,6 +105,7 @@ SessionResult SessionExecutor::RunSession(size_t index,
     });
   }
   result.page_accesses = counting.fetches();
+  result.io_errors = counting.io_errors();
   return result;
 }
 

@@ -16,20 +16,24 @@
 
 namespace sdb::svc {
 
-/// PageSource decorator counting the fetches routed through it. The
-/// executor gives every session its own counter, so per-session access
-/// totals are exact regardless of how sessions interleave on the shared
-/// service underneath.
+/// PageSource decorator counting the fetches routed through it (and,
+/// separately, the fetches that came back as errors). The executor gives
+/// every session its own counter, so per-session access totals are exact
+/// regardless of how sessions interleave on the shared service underneath.
 class CountingSource final : public core::PageSource {
  public:
   explicit CountingSource(core::PageSource* inner) : inner_(inner) {}
 
-  core::PageHandle Fetch(storage::PageId page,
-                         const core::AccessContext& ctx) override {
+  core::StatusOr<core::PageHandle> Fetch(storage::PageId page,
+                                         const core::AccessContext& ctx)
+      override {
     ++fetches_;
-    return inner_->Fetch(page, ctx);
+    core::StatusOr<core::PageHandle> fetched = inner_->Fetch(page, ctx);
+    if (!fetched.ok()) ++io_errors_;
+    return fetched;
   }
-  core::PageHandle New(const core::AccessContext& ctx) override {
+  core::StatusOr<core::PageHandle> New(const core::AccessContext& ctx)
+      override {
     return inner_->New(ctx);
   }
   std::span<const std::byte> Peek(storage::PageId page) const override {
@@ -37,10 +41,12 @@ class CountingSource final : public core::PageSource {
   }
 
   uint64_t fetches() const { return fetches_; }
+  uint64_t io_errors() const { return io_errors_; }
 
  private:
   core::PageSource* inner_;
   uint64_t fetches_ = 0;
+  uint64_t io_errors_ = 0;
 };
 
 /// Construction knobs of a SessionExecutor.
@@ -65,6 +71,10 @@ struct SessionResult {
   uint64_t queries = 0;
   uint64_t result_objects = 0;
   uint64_t page_accesses = 0;
+  /// Fetches the session's query traversals absorbed as errors (failed
+  /// after the service's bounded retries). Nonzero means result_objects is
+  /// a lower bound — the session degraded instead of aborting.
+  uint64_t io_errors = 0;
 };
 
 /// Executor-level counters.

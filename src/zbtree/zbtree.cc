@@ -157,13 +157,13 @@ ZBTree::ZBTree(storage::DiskManager* disk, core::BufferManager* buffer,
   SDB_CHECK(config.max_leaf_entries >= 4 && config.max_inner_entries >= 4);
 
   const AccessContext ctx;
-  PageHandle meta = buffer_->New(ctx);
+  PageHandle meta = buffer_->NewOrDie(ctx);
   meta_page_ = meta.page_id();
   meta.header().set_type(storage::PageType::kMeta);
   meta.MarkDirty();
   meta.Release();
 
-  PageHandle root = buffer_->New(ctx);
+  PageHandle root = buffer_->NewOrDie(ctx);
   root_ = root.page_id();
   first_leaf_ = root_;
   WriteLeaf(root, {});
@@ -210,7 +210,7 @@ void ZBTree::PersistMeta() {
   record.max_leaf_entries = config_.max_leaf_entries;
   record.max_inner_entries = config_.max_inner_entries;
   const AccessContext ctx;
-  PageHandle meta = buffer_->Fetch(meta_page_, ctx);
+  PageHandle meta = buffer_->FetchOrDie(meta_page_, ctx);
   std::memcpy(meta.bytes().data() + kHeader, &record, sizeof(record));
   meta.MarkDirty();
 }
@@ -225,7 +225,7 @@ void ZBTree::Insert(const Point& point, uint64_t id,
   std::vector<std::pair<PageId, size_t>> path;
   PageId current = root_;
   for (uint32_t level = height_; level > 1; --level) {
-    PageHandle page = buffer_->Fetch(current, ctx);
+    PageHandle page = buffer_->FetchOrDie(current, ctx);
     const std::vector<InnerRecord> records =
         LoadRecords<InnerRecord>(page.bytes());
     const size_t index = ChildIndex(records, key);
@@ -234,7 +234,7 @@ void ZBTree::Insert(const Point& point, uint64_t id,
   }
 
   // Insert into the leaf, keeping (z, id) order.
-  PageHandle leaf_page = buffer_->Fetch(current, ctx);
+  PageHandle leaf_page = buffer_->FetchOrDie(current, ctx);
   std::vector<LeafRecord> records = LoadRecords<LeafRecord>(
       leaf_page.bytes());
   LeafRecord record{z, id, point.x, point.y};
@@ -257,7 +257,7 @@ void ZBTree::Insert(const Point& point, uint64_t id,
     records.resize(mid);
 
     const uint32_t old_next = leaf_page.header().aux();
-    PageHandle fresh = buffer_->New(ctx);
+    PageHandle fresh = buffer_->NewOrDie(ctx);
     const PageId right_id = fresh.page_id();
     WriteLeaf(fresh, right);
     fresh.header().set_aux(old_next);
@@ -273,7 +273,7 @@ void ZBTree::Insert(const Point& point, uint64_t id,
 
     if (path.empty()) {
       // The leaf was the root: grow.
-      PageHandle new_root = buffer_->New(ctx);
+      PageHandle new_root = buffer_->NewOrDie(ctx);
       std::vector<InnerRecord> root_records{
           MakeInnerRecord(Key{0, 0}, current, left_region), *pending};
       WriteInner(new_root, 1, root_records);
@@ -287,7 +287,7 @@ void ZBTree::Insert(const Point& point, uint64_t id,
   // split entry, split inner nodes as needed.
   for (size_t depth = path.size(); depth > 0; --depth) {
     const auto [page_id, child_index] = path[depth - 1];
-    PageHandle page = buffer_->Fetch(page_id, ctx);
+    PageHandle page = buffer_->FetchOrDie(page_id, ctx);
     std::vector<InnerRecord> records =
         LoadRecords<InnerRecord>(page.bytes());
 
@@ -317,7 +317,7 @@ void ZBTree::Insert(const Point& point, uint64_t id,
     std::vector<InnerRecord> right(records.begin() + mid, records.end());
     records.resize(mid);
 
-    PageHandle fresh = buffer_->New(ctx);
+    PageHandle fresh = buffer_->NewOrDie(ctx);
     const PageId right_id = fresh.page_id();
     WriteInner(fresh, level, right);
     const Rect right_region = fresh.header().mbr();
@@ -332,7 +332,7 @@ void ZBTree::Insert(const Point& point, uint64_t id,
 
     if (depth == 1) {
       // Split reached the root.
-      PageHandle new_root = buffer_->New(ctx);
+      PageHandle new_root = buffer_->NewOrDie(ctx);
       std::vector<InnerRecord> root_records{
           MakeInnerRecord(Key{0, 0}, page_id, left_region), *pending};
       WriteInner(new_root, static_cast<uint8_t>(level + 1), root_records);
@@ -350,13 +350,13 @@ bool ZBTree::Delete(const Point& point, uint64_t id,
   const Key key{z, id};
   PageId current = root_;
   for (uint32_t level = height_; level > 1; --level) {
-    PageHandle page = buffer_->Fetch(current, ctx);
+    PageHandle page = buffer_->FetchOrDie(current, ctx);
     const std::vector<InnerRecord> records =
         LoadRecords<InnerRecord>(page.bytes());
     current = records[ChildIndex(records, key)].child;
   }
   // The composite key is unique, so the record lives in exactly this leaf.
-  PageHandle page = buffer_->Fetch(current, ctx);
+  PageHandle page = buffer_->FetchOrDie(current, ctx);
   std::vector<LeafRecord> records = LoadRecords<LeafRecord>(page.bytes());
   for (size_t i = 0; i < records.size(); ++i) {
     if (records[i].z != z || records[i].id != id) continue;
@@ -377,13 +377,13 @@ void ZBTree::RangeScan(
   // Descend to the leaf that may contain lo.
   PageId current = root_;
   for (uint32_t level = height_; level > 1; --level) {
-    PageHandle page = buffer_->Fetch(current, ctx);
+    PageHandle page = buffer_->FetchOrDie(current, ctx);
     const std::vector<InnerRecord> records =
         LoadRecords<InnerRecord>(page.bytes());
     current = records[ChildIndex(records, Key{lo, 0})].child;
   }
   while (current != storage::kInvalidPageId) {
-    PageHandle page = buffer_->Fetch(current, ctx);
+    PageHandle page = buffer_->FetchOrDie(current, ctx);
     const std::vector<LeafRecord> records =
         LoadRecords<LeafRecord>(page.bytes());
     const auto begin = std::lower_bound(

@@ -5,6 +5,7 @@
 #include "core/buffer_manager.h"
 #include "core/policy_lru.h"
 #include "core/policy_spatial.h"
+#include "storage/fault_injection.h"
 #include "test_util.h"
 
 namespace sdb::core {
@@ -68,7 +69,7 @@ TEST_F(BufferManagerTest, PinnedPageIsNotEvicted) {
   StagePages(3);
   auto buffer = MakeLruBuffer(disk_, 2);
   const AccessContext ctx{1};
-  PageHandle pinned = buffer->Fetch(pages_[0], ctx);  // stays pinned
+  PageHandle pinned = buffer->FetchOrDie(pages_[0], ctx);  // stays pinned
   Touch(*buffer, pages_[1], 2);
   Touch(*buffer, pages_[2], 3);  // must evict pages_[1], not the pinned one
   EXPECT_TRUE(buffer->Contains(pages_[0]));
@@ -81,7 +82,7 @@ TEST_F(BufferManagerTest, DirtyPageIsWrittenBackOnEviction) {
   auto buffer = MakeLruBuffer(disk_, 1);
   {
     const AccessContext ctx{1};
-    PageHandle handle = buffer->Fetch(pages_[0], ctx);
+    PageHandle handle = buffer->FetchOrDie(pages_[0], ctx);
     handle.bytes()[100] = std::byte{0x77};
     handle.MarkDirty();
   }
@@ -90,7 +91,7 @@ TEST_F(BufferManagerTest, DirtyPageIsWrittenBackOnEviction) {
   EXPECT_EQ(buffer->stats().dirty_writebacks, 1u);
   // The modification survived the round trip.
   const AccessContext ctx{3};
-  PageHandle handle = buffer->Fetch(pages_[0], ctx);
+  PageHandle handle = buffer->FetchOrDie(pages_[0], ctx);
   EXPECT_EQ(handle.bytes()[100], std::byte{0x77});
 }
 
@@ -106,7 +107,7 @@ TEST_F(BufferManagerTest, NewAllocatesPinnedZeroedPage) {
   StagePages(0);
   auto buffer = MakeLruBuffer(disk_, 2);
   const AccessContext ctx{1};
-  PageHandle handle = buffer->New(ctx);
+  PageHandle handle = buffer->NewOrDie(ctx);
   EXPECT_TRUE(handle.valid());
   EXPECT_EQ(disk_.stats().reads, 0u) << "New must not read";
   for (std::byte b : handle.bytes()) EXPECT_EQ(b, std::byte{0});
@@ -122,7 +123,7 @@ TEST_F(BufferManagerTest, FlushAllWritesEveryDirtyPageOnce) {
   auto buffer = MakeLruBuffer(disk_, 3);
   for (int i = 0; i < 3; ++i) {
     const AccessContext ctx{static_cast<uint64_t>(i + 1)};
-    PageHandle handle = buffer->Fetch(pages_[i], ctx);
+    PageHandle handle = buffer->FetchOrDie(pages_[i], ctx);
     handle.MarkDirty();
   }
   buffer->FlushAll();
@@ -135,7 +136,7 @@ TEST_F(BufferManagerTest, GetMetaReflectsInPlaceModification) {
   StagePages(1);
   auto buffer = MakeLruBuffer(disk_, 2);
   const AccessContext ctx{1};
-  PageHandle handle = buffer->Fetch(pages_[0], ctx);
+  PageHandle handle = buffer->FetchOrDie(pages_[0], ctx);
   storage::PageHeaderView header = handle.header();
   header.set_level(7);
   geom::EntryAggregates agg;
@@ -152,7 +153,7 @@ TEST_F(BufferManagerTest, HandleMoveTransfersThePin) {
   StagePages(2);
   auto buffer = MakeLruBuffer(disk_, 1);
   const AccessContext ctx{1};
-  PageHandle a = buffer->Fetch(pages_[0], ctx);
+  PageHandle a = buffer->FetchOrDie(pages_[0], ctx);
   PageHandle b = std::move(a);
   EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): post-move test
   EXPECT_TRUE(b.valid());
@@ -166,8 +167,8 @@ TEST_F(BufferManagerTest, RepinningSamePageCounts) {
   StagePages(2);
   auto buffer = MakeLruBuffer(disk_, 1);
   const AccessContext ctx{1};
-  PageHandle a = buffer->Fetch(pages_[0], ctx);
-  PageHandle b = buffer->Fetch(pages_[0], ctx);
+  PageHandle a = buffer->FetchOrDie(pages_[0], ctx);
+  PageHandle b = buffer->FetchOrDie(pages_[0], ctx);
   a.Release();
   // Still pinned through b; with a single frame, fetching another page must
   // abort (no evictable frame) — checked via death below, here we just
@@ -228,7 +229,7 @@ TEST_F(BufferManagerTest, MetaCacheRedecodesOnceAfterInvalidation) {
   auto buffer = std::make_unique<BufferManager>(
       &disk_, 2, std::make_unique<SpatialPolicy>(SpatialCriterion::kArea));
   const AccessContext ctx{1};
-  PageHandle handle = buffer->Fetch(pages_[0], ctx);
+  PageHandle handle = buffer->FetchOrDie(pages_[0], ctx);
   EXPECT_EQ(buffer->header_decodes(), 0u) << "load fill is not a decode";
   buffer->GetMeta(0);
   EXPECT_EQ(buffer->header_decodes(), 0u) << "served from the load fill";
@@ -252,13 +253,56 @@ TEST_F(BufferManagerTest, UnpinReportsNotPinnedAndLeavesStateUntouched) {
   StagePages(1);
   auto buffer = MakeLruBuffer(disk_, 2);
   const AccessContext ctx{1};
-  const FrameId frame = buffer->Fetch(pages_[0], ctx).Detach();
+  const FrameId frame = buffer->FetchOrDie(pages_[0], ctx).Detach();
   ASSERT_EQ(buffer->Unpin(frame, /*dirty=*/false), UnpinStatus::kOk);
   // The pin is gone; further manual unpins are an explicit error, and the
   // error path must not set the dirty bit (no write-back on eviction).
   EXPECT_EQ(buffer->Unpin(frame, /*dirty=*/true), UnpinStatus::kNotPinned);
   Touch(*buffer, pages_[0], 2);
   EXPECT_EQ(disk_.stats().writes, 0u);
+}
+
+TEST_F(BufferManagerTest, UnpinReportsQuarantinedFrame) {
+  StagePages(2);
+  storage::FaultProfile profile;
+  profile.bad_begin = pages_[0];
+  profile.bad_end = pages_[0] + 1;
+  storage::FaultInjectingDevice device(disk_, profile);
+  BufferManager buffer(&device, 4, std::make_unique<LruPolicy>());
+  const AccessContext ctx{1};
+  core::StatusOr<PageHandle> fetched = buffer.Fetch(pages_[0], ctx);
+  ASSERT_FALSE(fetched.ok());
+  ASSERT_EQ(buffer.quarantined_count(), 1u);
+  // The failed fetch staged its read into the first free frame (0) before
+  // the terminal error quarantined it. Manual unpins of that frame are an
+  // explicit error distinct from "unknown" — the frame exists but is out of
+  // service — and they must not resurrect it.
+  EXPECT_EQ(buffer.Unpin(0, /*dirty=*/false), UnpinStatus::kQuarantined);
+  EXPECT_EQ(buffer.Unpin(0, /*dirty=*/true), UnpinStatus::kQuarantined)
+      << "double-unpin after a failed fetch stays an error";
+  EXPECT_EQ(buffer.quarantined_count(), 1u);
+  // A healthy page is unaffected and lands in a different frame.
+  PageHandle ok = buffer.FetchOrDie(pages_[1], AccessContext{2});
+  EXPECT_TRUE(ok.valid());
+}
+
+TEST_F(BufferManagerTest, FailedFetchLeavesNoPinBehind) {
+  StagePages(3);
+  storage::FaultProfile profile;
+  profile.bad_begin = pages_[0];
+  profile.bad_end = pages_[0] + 1;
+  storage::FaultInjectingDevice device(disk_, profile);
+  // Two frames, quarantine cap = 1: the first bad fetch quarantines its
+  // frame, after which one frame must still cycle both healthy pages —
+  // which only works if the failed fetch released every claim it held.
+  BufferManager buffer(&device, 2, std::make_unique<LruPolicy>());
+  ASSERT_FALSE(buffer.Fetch(pages_[0], AccessContext{1}).ok());
+  ASSERT_EQ(buffer.quarantined_count(), 1u);
+  for (uint64_t q = 2; q < 8; ++q) {
+    const PageId page = pages_[1 + (q % 2)];
+    PageHandle handle = buffer.FetchOrDie(page, AccessContext{q});
+    ASSERT_TRUE(handle.valid());
+  }
 }
 
 using BufferManagerDeathTest = BufferManagerTest;
@@ -269,7 +313,7 @@ TEST_F(BufferManagerDeathTest, DetachTransfersThePin) {
   const AccessContext ctx{1};
   FrameId frame;
   {
-    PageHandle handle = buffer->Fetch(pages_[0], ctx);
+    PageHandle handle = buffer->FetchOrDie(pages_[0], ctx);
     frame = handle.Detach();
     EXPECT_FALSE(handle.valid());
   }  // handle destruction must NOT release the detached pin
@@ -284,7 +328,7 @@ TEST_F(BufferManagerDeathTest, AllPinnedAborts) {
   StagePages(2);
   auto buffer = MakeLruBuffer(disk_, 1);
   const AccessContext ctx{1};
-  PageHandle pinned = buffer->Fetch(pages_[0], ctx);
+  PageHandle pinned = buffer->FetchOrDie(pages_[0], ctx);
   EXPECT_DEATH(Touch(*buffer, pages_[1], 2), "no evictable frame");
   pinned.Release();
 }

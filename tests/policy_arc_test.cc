@@ -163,7 +163,7 @@ TEST_F(ArcTest, PinnedPagesAreSkipped) {
   MakeBuffer(3);
   const PageId pinned_id = Page();
   const AccessContext ctx{1};
-  PageHandle pinned = buffer_->Fetch(pinned_id, ctx);
+  PageHandle pinned = buffer_->FetchOrDie(pinned_id, ctx);
   for (int i = 0; i < 10; ++i) {
     Touch(*buffer_, Page(), static_cast<uint64_t>(i + 2));
   }

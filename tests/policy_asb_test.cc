@@ -279,7 +279,7 @@ TEST_F(AsbTest, PinnedPagesAreNeverEvicted) {
   MakeBuffer(5, config);
   const PageId pinned_id = Page(0.5);  // spatially the weakest page
   const AccessContext ctx{1};
-  PageHandle pinned = buffer_->Fetch(pinned_id, ctx);
+  PageHandle pinned = buffer_->FetchOrDie(pinned_id, ctx);
   for (int i = 0; i < 20; ++i) {
     TouchAt(Page(10.0 + i), static_cast<uint64_t>(i + 2));
   }

@@ -67,7 +67,7 @@ TEST_P(PolicyContractTest, NeverEvictsPinnedPages) {
   // Pin three pages for the whole run.
   std::vector<PageHandle> pins;
   for (int i = 0; i < 3; ++i) {
-    pins.push_back(buffer.Fetch(pages_[i], AccessContext{1}));
+    pins.push_back(buffer.FetchOrDie(pages_[i], AccessContext{1}));
   }
   Rng rng(11);
   for (int i = 0; i < 1500; ++i) {

@@ -108,7 +108,7 @@ TEST_F(LruKTest, CurrentQueryPagesAreProtectedFromEviction) {
   // under plain LRU as well... make p0 the recent one to show exclusion:
   Touch(buffer, p_[0], 3);  // now p0 is more recent than p1
   const AccessContext ctx{2};  // same query as p1's last reference
-  PageHandle h = buffer.Fetch(p_[2], ctx);
+  PageHandle h = buffer.FetchOrDie(p_[2], ctx);
   h.Release();
   EXPECT_TRUE(buffer.Contains(p_[1])) << "correlated page must be excluded";
   EXPECT_FALSE(buffer.Contains(p_[0]));

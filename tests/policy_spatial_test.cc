@@ -159,7 +159,7 @@ TEST_F(SpatialPolicyTest, RecomputedCriterionIsLive) {
       &disk_, 2, std::make_unique<SpatialPolicy>(SpatialCriterion::kArea));
   {
     const AccessContext ctx{1};
-    PageHandle handle = buffer.Fetch(shrinker, ctx);
+    PageHandle handle = buffer.FetchOrDie(shrinker, ctx);
     geom::EntryAggregates agg;
     agg.mbr = geom::Rect(0, 0, 0.1, 0.1);  // area collapses to 0.01
     handle.header().set_aggregates(agg);
@@ -190,7 +190,7 @@ TEST_F(SpatialPolicyTest, CriterionCacheInvalidatedByPinnedRewrite) {
   ASSERT_FALSE(buffer.Contains(mid));
   {
     const AccessContext ctx{5};
-    PageHandle handle = buffer.Fetch(big, ctx);  // hit: pinned in place
+    PageHandle handle = buffer.FetchOrDie(big, ctx);  // hit: pinned in place
     geom::EntryAggregates agg;
     agg.mbr = geom::Rect(0, 0, 0.1, 0.1);  // area 100 -> 0.01
     handle.header().set_aggregates(agg);

@@ -85,7 +85,7 @@ TEST_F(BufferServiceTest, FetchServesTheDiskImage) {
   BufferService service(disk(), config);
   const core::AccessContext ctx{1};
   for (PageId id : {PageId{0}, PageId{5}, PageId{9}}) {
-    core::PageHandle handle = service.Fetch(id, ctx);
+    core::PageHandle handle = service.FetchOrDie(id, ctx);
     ASSERT_TRUE(handle.valid());
     EXPECT_EQ(handle.page_id(), id);
     const std::span<const std::byte> expected = disk().PeekPage(id);
@@ -117,8 +117,8 @@ TEST_F(BufferServiceTest, OneShardBehavesLikeAPrivateBuffer) {
   for (size_t round = 0; round < 3; ++round) {
     for (PageId id : pages) {
       const core::AccessContext ctx{++query};
-      service.Fetch(id, ctx).Release();
-      reference.Fetch(id, ctx).Release();
+      service.FetchOrDie(id, ctx).Release();
+      reference.FetchOrDie(id, ctx).Release();
     }
   }
   const ShardStats stats = service.AggregateStats();
@@ -161,7 +161,7 @@ TEST_F(BufferServiceTest, ConcurrentFetchStormKeepsInvariants) {
         // half the threads each round.
         for (size_t i = t; i < pages.size(); i += 2) {
           const core::AccessContext ctx{++query};
-          core::PageHandle handle = service.Fetch(pages[i], ctx);
+          core::PageHandle handle = service.FetchOrDie(pages[i], ctx);
           ASSERT_EQ(handle.page_id(), pages[i]);
         }
       }
@@ -217,7 +217,7 @@ TEST_F(BufferServiceTest, SharedAsbTuningPublishesOneClampedCandidate) {
         for (size_t i = 0; i < pages.size(); ++i) {
           const core::AccessContext ctx{++query};
           // Re-touch a sliding window so overflow pages get hit again.
-          service.Fetch(pages[(i * (t + 1)) % pages.size()], ctx).Release();
+          service.FetchOrDie(pages[(i * (t + 1)) % pages.size()], ctx).Release();
         }
       }
     });
@@ -273,7 +273,7 @@ TEST_F(BufferServiceTest, MetricsMergeShardsAndFlushDeltas) {
   const std::vector<PageId> pages = AllPages();
   uint64_t query = 0;
   for (PageId id : pages) {
-    service.Fetch(id, core::AccessContext{++query}).Release();
+    service.FetchOrDie(id, core::AccessContext{++query}).Release();
   }
   const ShardStats aggregate = service.AggregateStats();
 
@@ -311,14 +311,14 @@ TEST_F(BufferServiceTest, MetricsMergeShardsAndFlushDeltas) {
   EXPECT_EQ(shard_sum, requests->count);
 }
 
-using BufferServiceDeathTest = BufferServiceTest;
-
-TEST_F(BufferServiceDeathTest, NewAbortsOnReadOnlyService) {
+TEST_F(BufferServiceTest, NewFailsOnReadOnlyService) {
   BufferServiceConfig config;
   config.total_frames = 8;
   config.shard_count = 2;
   BufferService service(disk(), config);
-  EXPECT_DEATH(service.New(core::AccessContext{1}), "read-only");
+  core::StatusOr<core::PageHandle> made = service.New(core::AccessContext{1});
+  ASSERT_FALSE(made.ok());
+  EXPECT_EQ(made.status().code(), core::StatusCode::kUnimplemented);
 }
 
 }  // namespace

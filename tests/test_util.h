@@ -53,7 +53,7 @@ inline storage::PageId StageAreaPage(storage::DiskManager& disk,
 inline void Touch(core::BufferManager& buffer, storage::PageId page,
                   uint64_t query_id) {
   const core::AccessContext ctx{query_id};
-  core::PageHandle handle = buffer.Fetch(page, ctx);
+  core::PageHandle handle = buffer.FetchOrDie(page, ctx);
   handle.Release();
 }
 
