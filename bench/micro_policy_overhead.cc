@@ -29,6 +29,7 @@
 #include "sim/report.h"
 #include "storage/disk_manager.h"
 #include "storage/fault_injection.h"
+#include "svc/buffer_service.h"
 
 namespace {
 
@@ -296,6 +297,92 @@ void RunFaultOverheadTable() {
   }
 }
 
+/// ns per fetch through a 1-shard BufferService driven single-threaded
+/// with a hit-dominated loop (working set = half the buffer). The
+/// mutex-vs-optimistic delta measured this way is the raw per-pin protocol
+/// cost: one uncontended mutex round-trip versus a version-stamp probe,
+/// pin-validate, and deferred policy event — with zero contention on either
+/// side.
+double MeasureServiceFetchNs(const storage::DiskManager& disk,
+                             svc::LatchMode mode, size_t frames,
+                             size_t pages) {
+  svc::BufferServiceConfig config;
+  config.total_frames = frames;
+  config.shard_count = 1;
+  config.policy_spec = "ASB";
+  config.latch_mode = mode;
+  svc::BufferService service(disk, config);
+  uint64_t query = 0;
+  storage::PageId next = 0;
+  const auto touch = [&] {
+    const core::AccessContext ctx{++query};
+    core::PageHandle handle = service.FetchOrDie(next, ctx);
+    benchmark::DoNotOptimize(handle.bytes().data());
+    handle.Release();
+    next = static_cast<storage::PageId>((next + 1) % pages);
+  };
+  for (size_t i = 0; i < 2 * pages; ++i) touch();  // warm: all-hit steady state
+  size_t reps = 1024;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < reps; ++r) touch();
+    const auto total_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (total_ns >= 20'000'000 || reps >= (1ULL << 30)) {
+      return static_cast<double>(total_ns) / static_cast<double>(reps);
+    }
+    reps = total_ns <= 0 ? reps * 16 : reps * 4;
+  }
+}
+
+/// Latch-protocol A/B on the service's pin hot path (see
+/// MeasureServiceFetchNs). Appended to BENCH_policy_overhead.json as
+/// bench:"latch_overhead".
+void RunLatchOverheadTable() {
+  const std::vector<size_t> frame_counts = {256, 1024};
+  const std::string json_path = "BENCH_policy_overhead.json";
+  bool json_ok = true;
+  sim::Table table({"frames", "ns/fetch (mutex)", "ns/fetch (optimistic)",
+                    "overhead"});
+  for (const size_t frames : frame_counts) {
+    const size_t pages = frames / 2;
+    auto disk = StageDisk(pages);
+    // Best-of-3 per side: single-digit-ns deltas drown in scheduler noise
+    // otherwise.
+    double mutex_ns = 0.0, optimistic_ns = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const double m =
+          MeasureServiceFetchNs(*disk, svc::LatchMode::kMutex, frames, pages);
+      const double o = MeasureServiceFetchNs(
+          *disk, svc::LatchMode::kOptimistic, frames, pages);
+      if (rep == 0 || m < mutex_ns) mutex_ns = m;
+      if (rep == 0 || o < optimistic_ns) optimistic_ns = o;
+    }
+    const double overhead =
+        mutex_ns > 0.0 ? (optimistic_ns - mutex_ns) / mutex_ns : 0.0;
+    table.AddRow({std::to_string(frames), sim::FormatDouble(mutex_ns, 1),
+                  sim::FormatDouble(optimistic_ns, 1),
+                  sim::FormatDouble(100.0 * overhead, 2) + "%"});
+    char line[384];
+    std::snprintf(line, sizeof(line),
+                  "{\"schema_version\":%d,\"bench\":\"latch_overhead\","
+                  "\"policy\":\"ASB\",\"frames\":%zu,"
+                  "\"ns_per_fetch_mutex\":%.1f,"
+                  "\"ns_per_fetch_optimistic\":%.1f,\"overhead_frac\":%.4f}",
+                  obs::kBenchJsonSchemaVersion, frames, mutex_ns,
+                  optimistic_ns, overhead);
+    json_ok = sim::AppendJsonLine(json_path, line) && json_ok;
+  }
+  table.Print(
+      "single-threaded latch-protocol cost on the service pin path, "
+      "mutex vs optimistic (1 shard, all hits)");
+  if (!json_ok) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  }
+}
+
 /// EO-criterion maintenance cost at increasing fanout: ns per
 /// NodeView::RefreshAggregates — whose pairwise-overlap term is O(n²) in the
 /// entry count — with the geometry kernels forced to scalar versus the
@@ -386,6 +473,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   RunEvictionCostTable();
   RunFaultOverheadTable();
+  RunLatchOverheadTable();
   RunEoRefreshCostTable();
   return 0;
 }

@@ -5,14 +5,17 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/access_context.h"
+#include "core/frame_sync.h"
 #include "core/replacement_policy.h"
 #include "core/status.h"
 #include "obs/collector.h"
+#include "storage/async_device.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -121,6 +124,24 @@ struct ResilienceOptions {
   size_t max_quarantined_frames = 0;
 };
 
+/// Concurrency knobs of one BufferManager (EnableConcurrency). Off by
+/// default: single-threaded users never pay for any of it.
+struct ConcurrentOptions {
+  /// Latch-free optimistic read path: hits pin through per-frame version
+  /// stamps instead of the shard latch, deferring their policy/stats
+  /// bookkeeping into an event ring the next exclusive section drains.
+  bool optimistic = true;
+  /// Capacity of the deferred-event ring (rounded up to a power of two). A
+  /// full ring falls back to the exclusive path, so this bounds deferral.
+  size_t event_ring_capacity = 1024;
+  /// Optimistic probe attempts before giving up and taking the latch.
+  uint32_t max_optimistic_retries = 3;
+  /// Route batched misses (FetchBatch) through an AsyncPageDevice so the
+  /// batch's reads are submitted together and complete out of order.
+  bool async_reads = true;
+  storage::AsyncDeviceOptions async;
+};
+
 /// Source of pinned pages — the interface query execution (the R-tree)
 /// traverses through. Implemented by BufferManager (one private,
 /// single-threaded buffer: the paper's experimental setup) and by
@@ -137,6 +158,25 @@ class PageSource {
   /// sectors, kResourceExhausted when quarantine left no usable frame.
   virtual StatusOr<PageHandle> Fetch(storage::PageId page,
                                      const AccessContext& ctx) = 0;
+
+  /// Fetches a batch of pages, returning one pinned-handle-or-error per
+  /// input in input order. The default is a sequential Fetch loop —
+  /// behaviorally identical to the caller looping itself — while sources
+  /// with an asynchronous read pipeline (svc::BufferService) overlap the
+  /// batch's misses. Every element counts as exactly one access either
+  /// way. All handles of a batch may be alive at once, so callers must
+  /// size batches against the source's pin headroom.
+  virtual void FetchBatch(std::span<const storage::PageId> pages,
+                          const AccessContext& ctx,
+                          std::vector<StatusOr<PageHandle>>* out);
+
+  /// Whether callers should group independent fetches into FetchBatch
+  /// calls. False by default: batching holds every handle of a batch
+  /// pinned at once, which perturbs victim choice in small buffers, so a
+  /// source only opts in when its batch pipeline buys something (the
+  /// sharded service). Callers honoring this keeps the single-threaded
+  /// figure replications bit-identical to the sequential traversal.
+  virtual bool PrefersBatchedReads() const { return false; }
 
   /// Allocates a fresh zeroed page and pins it. Sources serving read-only
   /// traffic return kUnimplemented.
@@ -215,6 +255,57 @@ class BufferManager : public FrameMetaSource, public PageSource {
   /// — svc::BufferService is that caller. Single-threaded users never set
   /// this, keeping every hot path latch-free.
   void set_latch(std::mutex* latch) { latch_ = latch; }
+
+  /// Switches this buffer into concurrent mode (call once, before traffic,
+  /// with the external latch already attached): allocates the per-frame
+  /// version stamps, the lock-free page table mirror and the deferred-event
+  /// ring, and optionally the async read pipeline. From then on
+  /// TryOptimisticFetch may serve hits without the latch, and exclusive
+  /// sections (Fetch/New/Unpin/stats under the latch) drain the ring first.
+  void EnableConcurrency(const ConcurrentOptions& options);
+  bool concurrent() const { return concurrent_; }
+
+  /// Latch-free hit path: probes the concurrent page table, pins through
+  /// the frame's version stamp, and defers the policy/stats bookkeeping
+  /// into the event ring. Returns nullopt — after bounded retries — on a
+  /// miss, a version conflict, or a full ring; the caller then takes the
+  /// latch and calls Fetch. Only valid in concurrent mode.
+  std::optional<PageHandle> TryOptimisticFetch(storage::PageId page,
+                                               const AccessContext& ctx);
+
+  /// Replays the deferred optimistic hit/unpin events into the policy,
+  /// stats and collector, in ring (FIFO) order. Callers must hold the
+  /// external latch. Fetch/New/Unpin drain implicitly; explicit callers are
+  /// the service's stats/metrics paths, which must drain before reading.
+  void DrainDeferred();
+
+  /// Batched miss pipeline body (latch held, ring drained by the caller or
+  /// a prior exclusive section): semantically a sequential Fetch loop over
+  /// `pages`, but with the misses' device reads submitted as one batch
+  /// through the async device (when enabled) so they complete out of order
+  /// ahead of the in-order install/policy phase. Appends one result per
+  /// page to `out`.
+  void FetchBatchLocked(std::span<const storage::PageId> pages,
+                        const AccessContext& ctx,
+                        std::vector<StatusOr<PageHandle>>* out);
+
+  /// Optimistic-path counters (concurrent mode; all zero otherwise).
+  /// Retries = optimistic attempts abandoned for any reason; conflicts =
+  /// version validations that failed against a concurrent writer.
+  uint64_t optimistic_hits() const {
+    return optimistic_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t optimistic_retries() const {
+    return optimistic_retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t version_conflicts() const {
+    return version_conflicts_.load(std::memory_order_relaxed);
+  }
+
+  /// The async read pipeline (nullptr when async reads are off).
+  const storage::AsyncPageDevice* async_device() const {
+    return async_device_.get();
+  }
 
   /// Writes back all dirty resident pages (without evicting them).
   void FlushAll();
@@ -315,6 +406,22 @@ class BufferManager : public FrameMetaSource, public PageSource {
   /// and records the page as bad. `page` is not yet in the page table.
   Status ReadPageWithRecovery(FrameId frame, storage::PageId page);
 
+  /// The verify/retry/quarantine tail of ReadPageWithRecovery, with the
+  /// first attempt's bytes already in the frame and its status in `status`
+  /// — shared by the sync path and the async batch path (whose first
+  /// attempt came through the staging arena).
+  Status FinishReadWithRecovery(FrameId frame, storage::PageId page,
+                                Status status);
+
+  /// One element of FetchBatchLocked's in-order phase: a sequential Fetch,
+  /// except that a staged async completion (when one exists for `page`)
+  /// replaces the first device read.
+  StatusOr<PageHandle> FetchOneInBatch(
+      storage::PageId page, const AccessContext& ctx,
+      const std::unordered_map<storage::PageId, size_t>& staged_slot,
+      std::unordered_map<storage::PageId, Status>* completed,
+      std::vector<storage::AsyncPageDevice::Completion>* completions);
+
   /// Takes `frame` out of service (or recycles it once the quarantine cap
   /// is hit) after a terminal read failure.
   void QuarantineFrame(FrameId frame, storage::PageId page);
@@ -329,6 +436,38 @@ class BufferManager : public FrameMetaSource, public PageSource {
 
   /// Unpin body, latch already held (or no latch attached).
   UnpinStatus UnpinLocked(FrameId frame, bool dirty);
+
+  /// Handle-release fast path: in concurrent mode an atomic decrement plus
+  /// a deferred event (the handle owns the pin by construction, so no
+  /// status to report); otherwise the classic latched Unpin.
+  void ReleasePin(FrameId frame);
+
+  /// Applies one drained event to policy/stats/collector (latch held).
+  void ApplyDeferred(const DeferredEvent& event);
+
+  /// The concurrent-mode pin-count accessors: frames_[f].pin_count and
+  /// sync_[f].pins must agree at every exclusive-section boundary, so all
+  /// exclusive-path pin arithmetic funnels through these.
+  uint32_t PinCount(FrameId f) const {
+    return concurrent_ ? sync_[f].pins.load(std::memory_order_acquire)
+                       : frames_[f].pin_count;
+  }
+  /// Returns the pre-increment count.
+  uint32_t PinIncrement(FrameId f) {
+    if (concurrent_) return sync_[f].pins.fetch_add(1, std::memory_order_acq_rel);
+    return frames_[f].pin_count++;
+  }
+  /// Returns the pre-decrement count.
+  uint32_t PinDecrement(FrameId f) {
+    if (concurrent_) return sync_[f].pins.fetch_sub(1, std::memory_order_acq_rel);
+    return frames_[f].pin_count--;
+  }
+  /// Installs `page` into frame `f` after its bytes are in place: page
+  /// table(s), frame fields, pin count 1, meta fill, policy load callback.
+  /// In concurrent mode the caller holds the frame's version latch and this
+  /// publishes page/pins before the caller unlocks.
+  void InstallLoadedPage(FrameId f, storage::PageId page,
+                         const AccessContext& ctx, bool dirty);
 
   /// PageHandle::MarkDirty body: latches, sets the dirty bit and drops the
   /// frame's cached metadata.
@@ -376,6 +515,23 @@ class BufferManager : public FrameMetaSource, public PageSource {
   obs::Counter* obs_io_quarantined_ = nullptr;
   obs::Counter* obs_io_permanent_ = nullptr;
   uint64_t flushed_header_decodes_ = 0;
+  // --- concurrent mode (EnableConcurrency; all null/false otherwise) ---
+  bool concurrent_ = false;
+  ConcurrentOptions concurrent_options_;
+  // One sync word per frame; sized with frames_ at EnableConcurrency.
+  std::unique_ptr<FrameSync[]> sync_;
+  // Lock-free-readable mirror of page_table_, maintained by every exclusive
+  // mutation. page_table_ stays authoritative inside exclusive sections.
+  std::unique_ptr<ConcurrentPageTable> concurrent_table_;
+  std::unique_ptr<AccessEventRing> deferred_;
+  std::atomic<uint64_t> optimistic_hits_{0};
+  std::atomic<uint64_t> optimistic_retries_{0};
+  std::atomic<uint64_t> version_conflicts_{0};
+  // Async batched-read pipeline (FetchBatchLocked misses) plus its staging
+  // arena: queue_depth page-sized buffers the completions land in before
+  // the in-order install phase copies them into frames.
+  std::unique_ptr<storage::AsyncPageDevice> async_device_;
+  std::unique_ptr<std::byte[]> staging_;
 };
 
 }  // namespace sdb::core

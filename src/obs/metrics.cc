@@ -113,4 +113,37 @@ void MetricsRegistry::Merge(const MetricsSnapshot& snapshot) {
   }
 }
 
+double HistogramQuantile(std::span<const double> bounds,
+                         std::span<const uint64_t> counts, double q) {
+  uint64_t total = 0;
+  for (const uint64_t count : counts) total += count;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based, nearest-rank flavor).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    if (cumulative + counts[b] < rank) {
+      cumulative += counts[b];
+      continue;
+    }
+    // Overflow bucket: no upper edge to interpolate toward, so saturate at
+    // the histogram's top bound.
+    if (b >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double hi = bounds[b];
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const double within =
+        static_cast<double>(rank - cumulative) / static_cast<double>(counts[b]);
+    return lo + (hi - lo) * within;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+double HistogramQuantile(const MetricValue& value, double q) {
+  return HistogramQuantile(value.bounds, value.bucket_counts, q);
+}
+
 }  // namespace sdb::obs

@@ -149,6 +149,18 @@ class MetricsRegistry {
   std::map<std::string, Entry, std::less<>> entries_;
 };
 
+/// Quantile estimate over fixed-bucket histogram state (`counts` has
+/// bounds.size() + 1 entries, the last being overflow). Linear
+/// interpolation inside the covering bucket, the way fixed-bucket p50/p95/
+/// p99 are conventionally reported; the overflow bucket reports the top
+/// bound (the estimate saturates there). `q` in [0, 1]. Returns 0 with no
+/// observations.
+double HistogramQuantile(std::span<const double> bounds,
+                         std::span<const uint64_t> counts, double q);
+
+/// Same, over a snapshot value (must be a histogram metric).
+double HistogramQuantile(const MetricValue& value, double q);
+
 }  // namespace sdb::obs
 
 #endif  // SPATIALBUFFER_OBS_METRICS_H_

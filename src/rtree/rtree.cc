@@ -737,6 +737,11 @@ bool RTree::Delete(uint64_t id, const Rect& rect, const AccessContext& ctx) {
 // Queries
 // ---------------------------------------------------------------------------
 
+// Leaves fetched per FetchBatch call under a level-1 node. Bounds the
+// number of simultaneously pinned handles, so callers running over a shared
+// buffer service need (kLeafBatchPins + 1) frames of per-shard headroom.
+constexpr size_t kLeafBatchPins = 8;
+
 void RTree::WindowQueryVisit(
     const Rect& window, const AccessContext& ctx,
     const std::function<void(const Entry&)>& visit) const {
@@ -746,6 +751,8 @@ void RTree::WindowQueryVisit(
   // intersect kernel, so no per-node entry vector is ever allocated.
   geom::kernels::SoaBuffer coords;
   std::vector<uint8_t> mask;
+  std::vector<PageId> leaf_batch;
+  std::vector<core::StatusOr<core::PageHandle>> leaves;
   while (!stack.empty()) {
     const PageId id = stack.back();
     stack.pop_back();
@@ -762,6 +769,41 @@ void RTree::WindowQueryVisit(
     const uint16_t n = node.count();
     const bool leaf = node.is_leaf();
     if (node.ScanEntries(window, &coords, &mask) == 0) continue;
+    if (!leaf && node.level() == 1 && buffer_->PrefersBatchedReads()) {
+      // Every matching child is a leaf: fetch them through the source's
+      // batched path instead of one stack round-trip each, in reverse entry
+      // order — exactly the LIFO pop order of the stack they replace, so
+      // visit order and the page-access sequence are unchanged. The parent
+      // is released first to keep peak pins at (chunk + 1).
+      leaf_batch.clear();
+      for (uint16_t i = n; i > 0; --i) {
+        if (mask[i - 1]) leaf_batch.push_back(node.GetEntry(i - 1).child());
+      }
+      page.Release();
+      for (size_t begin = 0; begin < leaf_batch.size();
+           begin += kLeafBatchPins) {
+        const size_t count =
+            std::min(leaf_batch.size() - begin, kLeafBatchPins);
+        leaves.clear();
+        buffer_->FetchBatch(
+            std::span<const PageId>(leaf_batch.data() + begin, count), ctx,
+            &leaves);
+        for (core::StatusOr<core::PageHandle>& fetched_leaf : leaves) {
+          if (!fetched_leaf.ok()) {
+            RecordIoError(fetched_leaf.status());
+            continue;
+          }
+          core::PageHandle leaf_page = std::move(fetched_leaf).value();
+          const NodeView leaf_node(leaf_page.bytes());
+          const uint16_t leaf_n = leaf_node.count();
+          if (leaf_node.ScanEntries(window, &coords, &mask) == 0) continue;
+          for (uint16_t i = 0; i < leaf_n; ++i) {
+            if (mask[i]) visit(leaf_node.GetEntry(i));
+          }
+        }
+      }
+      continue;
+    }
     for (uint16_t i = 0; i < n; ++i) {
       if (!mask[i]) continue;
       const Entry e = node.GetEntry(i);

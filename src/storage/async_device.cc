@@ -1,0 +1,102 @@
+#include "storage/async_device.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace sdb::storage {
+
+namespace {
+
+/// splitmix64 finalizer, the repo-wide deterministic mixer.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+AsyncPageDevice::AsyncPageDevice(PageDevice* base, AsyncDeviceOptions options)
+    : base_(base), options_(options) {
+  SDB_CHECK(base_ != nullptr);
+  SDB_CHECK_MSG(options_.queue_depth > 0, "async queue needs a depth");
+  pending_.reserve(options_.queue_depth);
+}
+
+AsyncPageDevice::RequestId AsyncPageDevice::SubmitRead(
+    PageId page, std::span<std::byte> buffer) {
+  SDB_CHECK_MSG(pending_.size() < options_.queue_depth,
+                "async submission queue full: drain completions first");
+  SDB_CHECK(buffer.size() == base_->page_size());
+  const size_t b = [&] {
+    const double depth = static_cast<double>(pending_.size());
+    size_t i = 0;
+    while (i < AsyncDeviceStats::kDepthBuckets - 1 &&
+           depth > kAsyncQueueDepthBounds[i]) {
+      ++i;
+    }
+    return i;
+  }();
+  ++stats_.depth_buckets[b];
+  stats_.depth_sum += pending_.size();
+  Pending request;
+  request.id = next_id_++;
+  request.page = page;
+  request.buffer = buffer;
+  // Simulated per-request service time: with a nonzero seed, requests
+  // complete in rank order rather than submission order — the deterministic
+  // stand-in for real devices finishing nearby sectors out of turn. Seed 0
+  // ranks by id alone, i.e. FIFO.
+  request.rank = options_.completion_seed == 0
+                     ? request.id
+                     : Mix64(options_.completion_seed ^ request.id ^
+                             (static_cast<uint64_t>(page) << 20));
+  pending_.push_back(request);
+  ++stats_.submitted;
+  ++batch_open_;
+  return request.id;
+}
+
+void AsyncPageDevice::EndBatch() {
+  if (batch_open_ > 0) ++stats_.batch_submits;
+  batch_open_ = 0;
+}
+
+size_t AsyncPageDevice::PollCompletions(std::vector<Completion>* out,
+                                        size_t max) {
+  SDB_CHECK(out != nullptr);
+  if (max == 0 || max > pending_.size()) max = pending_.size();
+  size_t delivered = 0;
+  while (delivered < max) {
+    // Smallest rank completes next; ties (only possible across seeds, since
+    // ids are unique inputs to the mix) break by submission order.
+    const auto next = std::min_element(
+        pending_.begin(), pending_.end(),
+        [](const Pending& a, const Pending& b) {
+          return a.rank != b.rank ? a.rank < b.rank : a.id < b.id;
+        });
+    Pending request = *next;
+    pending_.erase(next);
+    Completion completion;
+    completion.id = request.id;
+    completion.page = request.page;
+    // The physical read happens now — completion time — so a request that
+    // was canceled never consumed a device read (or a fault draw).
+    completion.status = base_->Read(request.page, request.buffer);
+    completion.buffer = request.buffer;
+    out->push_back(std::move(completion));
+    ++stats_.completed;
+    ++delivered;
+  }
+  return delivered;
+}
+
+void AsyncPageDevice::CancelAll() {
+  stats_.canceled += pending_.size();
+  pending_.clear();
+  batch_open_ = 0;
+}
+
+}  // namespace sdb::storage

@@ -1,0 +1,122 @@
+#ifndef SPATIALBUFFER_STORAGE_ASYNC_DEVICE_H_
+#define SPATIALBUFFER_STORAGE_ASYNC_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace sdb::storage {
+
+/// Construction knobs of an AsyncPageDevice.
+struct AsyncDeviceOptions {
+  /// Submission-queue capacity: most requests that may be in flight at
+  /// once. Submitting beyond it aborts — callers size their batches (or
+  /// drain completions) against in_flight() first, mirroring an io_uring
+  /// SQ-full condition.
+  size_t queue_depth = 8;
+  /// Seed of the deterministic out-of-order completion schedule. 0 keeps
+  /// completions FIFO (submission order); any other value reorders them by
+  /// a per-request simulated service time, the way requests on a real
+  /// device overtake each other across queue lanes.
+  uint64_t completion_seed = 0;
+};
+
+/// Counters of one AsyncPageDevice. `depth_buckets` histograms the queue
+/// depth observed at each submission (inclusive upper bounds in
+/// kAsyncQueueDepthBounds plus one overflow bucket) so the service layer can
+/// export an `io.queue_depth` histogram without the storage layer depending
+/// on obs.
+struct AsyncDeviceStats {
+  static constexpr size_t kDepthBuckets = 8;
+
+  uint64_t batch_submits = 0;  ///< submission batches (EndBatch with >=1 read)
+  uint64_t submitted = 0;      ///< read requests enqueued
+  uint64_t completed = 0;      ///< completions delivered by PollCompletions
+  uint64_t canceled = 0;       ///< requests dropped before their read ran
+  uint64_t depth_sum = 0;      ///< sum of sampled depths (histogram sum)
+  uint64_t depth_buckets[kDepthBuckets] = {};
+};
+
+/// Inclusive upper bounds of AsyncDeviceStats::depth_buckets (the last
+/// bucket is overflow). Shared with the obs export so both sides agree.
+inline constexpr double kAsyncQueueDepthBounds[AsyncDeviceStats::kDepthBuckets -
+                                               1] = {1, 2, 4, 8, 16, 32, 64};
+
+/// io_uring-shaped asynchronous read front-end over a synchronous
+/// PageDevice: reads are submitted in batches into caller-owned buffers and
+/// harvested as out-of-order completions.
+///
+/// Simulation contract: the physical `base->Read` executes at
+/// completion-delivery time, in a deterministic per-seed completion order
+/// (seed 0 = FIFO). Requests canceled before delivery never touch the
+/// device, so the wrapped device's read count — including every fault the
+/// fault-injection layer would draw, latency spikes included — is exactly
+/// the count of *delivered* completions, and a batched replay performs the
+/// same number of device reads as the sequential replay it replaces.
+class AsyncPageDevice {
+ public:
+  using RequestId = uint64_t;
+
+  /// One harvested read: `status` and `buffer` carry what a synchronous
+  /// `Read(page, buffer)` would have returned.
+  struct Completion {
+    RequestId id = 0;
+    PageId page = kInvalidPageId;
+    core::Status status;
+    std::span<std::byte> buffer;
+  };
+
+  AsyncPageDevice(PageDevice* base, AsyncDeviceOptions options);
+
+  AsyncPageDevice(const AsyncPageDevice&) = delete;
+  AsyncPageDevice& operator=(const AsyncPageDevice&) = delete;
+
+  /// Enqueues a read of `page` into `buffer` (caller-owned, page_size()
+  /// bytes, alive until the completion is delivered or canceled). Aborts
+  /// when the submission queue is full — callers check in_flight() against
+  /// queue_depth() and drain first.
+  RequestId SubmitRead(PageId page, std::span<std::byte> buffer);
+
+  /// Marks the end of one submission batch (the io_uring_submit analogue);
+  /// counts a batch submit when the batch enqueued at least one read.
+  void EndBatch();
+
+  /// Delivers up to `max` completions (0 = all in flight) in the schedule's
+  /// completion order, executing the physical read of each as it completes.
+  /// Returns the number delivered.
+  size_t PollCompletions(std::vector<Completion>* out, size_t max = 0);
+
+  /// Drops every in-flight request without reading (counted in
+  /// stats().canceled).
+  void CancelAll();
+
+  size_t in_flight() const { return pending_.size(); }
+  size_t queue_depth() const { return options_.queue_depth; }
+  PageDevice& base() { return *base_; }
+  const AsyncDeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = AsyncDeviceStats{}; }
+
+ private:
+  struct Pending {
+    RequestId id = 0;
+    PageId page = kInvalidPageId;
+    std::span<std::byte> buffer;
+    uint64_t rank = 0;  ///< completion order key (service-time proxy)
+  };
+
+  PageDevice* base_;
+  AsyncDeviceOptions options_;
+  AsyncDeviceStats stats_;
+  std::vector<Pending> pending_;
+  RequestId next_id_ = 1;
+  size_t batch_open_ = 0;  ///< reads submitted since the last EndBatch
+};
+
+}  // namespace sdb::storage
+
+#endif  // SPATIALBUFFER_STORAGE_ASYNC_DEVICE_H_

@@ -1,5 +1,6 @@
 #include "svc/buffer_service.h"
 
+#include <optional>
 #include <utility>
 
 #include "common/macros.h"
@@ -33,6 +34,7 @@ BufferService::BufferService(const storage::DiskManager& disk,
                              const BufferServiceConfig& config)
     : total_frames_(config.total_frames),
       policy_spec_(config.policy_spec),
+      latch_mode_(config.latch_mode),
       collect_metrics_(config.collect_metrics && obs::kEnabled) {
   SDB_CHECK_MSG(config.shard_count > 0, "service needs at least one shard");
   SDB_CHECK_MSG(config.total_frames >= config.shard_count,
@@ -69,6 +71,19 @@ BufferService::BufferService(const storage::DiskManager& disk,
         device, SplitFrames(total_frames_, config.shard_count, s),
         std::move(policy), shard->collector.get(), config.resilience);
     shard->buffer->set_latch(&shard->latch);
+    if (latch_mode_ == LatchMode::kOptimistic) {
+      core::ConcurrentOptions concurrent;
+      concurrent.optimistic = true;
+      concurrent.event_ring_capacity = config.event_ring_capacity;
+      concurrent.async_reads = config.async_reads;
+      concurrent.async.queue_depth = config.async_queue_depth;
+      // Deterministic per-shard completion schedule: the whole service
+      // replays for a fixed shard layout, but shards do not mirror each
+      // other's reordering.
+      concurrent.async.completion_seed =
+          Mix64(0x5db0a51cull ^ (static_cast<uint64_t>(s) + 1));
+      shard->buffer->EnableConcurrency(concurrent);
+    }
     shards_.push_back(std::move(shard));
   }
 }
@@ -97,8 +112,55 @@ std::unique_lock<std::mutex> BufferService::LockShard(Shard& shard) const {
 core::StatusOr<core::PageHandle> BufferService::Fetch(
     storage::PageId page, const core::AccessContext& ctx) {
   Shard& shard = *shards_[ShardOf(page)];
+  if (latch_mode_ == LatchMode::kOptimistic) {
+    // Latch-free hit path: version-validated pin, bookkeeping deferred.
+    if (std::optional<core::PageHandle> hit =
+            shard.buffer->TryOptimisticFetch(page, ctx)) {
+      return std::move(*hit);
+    }
+  }
   const std::unique_lock<std::mutex> lock = LockShard(shard);
   return shard.buffer->Fetch(page, ctx);
+}
+
+void BufferService::FetchBatch(
+    std::span<const storage::PageId> pages, const core::AccessContext& ctx,
+    std::vector<core::StatusOr<core::PageHandle>>* out) {
+  // Phase 1 (latch-free): serve what the optimistic path can.
+  std::vector<std::optional<core::StatusOr<core::PageHandle>>> slots(
+      pages.size());
+  if (latch_mode_ == LatchMode::kOptimistic) {
+    for (size_t i = 0; i < pages.size(); ++i) {
+      if (std::optional<core::PageHandle> hit =
+              shards_[ShardOf(pages[i])]->buffer->TryOptimisticFetch(pages[i],
+                                                                     ctx)) {
+        slots[i] = std::move(*hit);
+      }
+    }
+  }
+  // Phase 2: group the remainder by shard (input order preserved within a
+  // shard — different shards are independent buffers) and run each group
+  // through the shard's batched miss pipeline under one latch hold.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (!slots[i].has_value()) by_shard[ShardOf(pages[i])].push_back(i);
+  }
+  std::vector<storage::PageId> shard_pages;
+  std::vector<core::StatusOr<core::PageHandle>> shard_out;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    shard_pages.clear();
+    shard_out.clear();
+    for (const size_t i : by_shard[s]) shard_pages.push_back(pages[i]);
+    Shard& shard = *shards_[s];
+    const std::unique_lock<std::mutex> lock = LockShard(shard);
+    shard.buffer->FetchBatchLocked(shard_pages, ctx, &shard_out);
+    for (size_t k = 0; k < by_shard[s].size(); ++k) {
+      slots[by_shard[s][k]] = std::move(shard_out[k]);
+    }
+  }
+  out->reserve(out->size() + pages.size());
+  for (auto& slot : slots) out->push_back(std::move(*slot));
 }
 
 core::StatusOr<core::PageHandle> BufferService::New(
@@ -120,6 +182,9 @@ bool BufferService::Contains(storage::PageId page) const {
 ShardStats BufferService::StatsOfShard(size_t s) const {
   Shard& shard = *shards_[s];
   const std::unique_lock<std::mutex> lock = LockShard(shard);
+  // Deferred optimistic events must reach the buffer's stats before they
+  // are sampled (no-op in mutex mode).
+  shard.buffer->DrainDeferred();
   ShardStats stats;
   stats.buffer = shard.buffer->stats();
   stats.io = shard.view.stats();
@@ -128,6 +193,13 @@ ShardStats BufferService::StatsOfShard(size_t s) const {
   stats.quarantined_frames = shard.buffer->quarantined_count();
   stats.bad_pages = shard.buffer->bad_page_count();
   stats.usable_frames = shard.buffer->frame_count() - stats.quarantined_frames;
+  stats.optimistic_hits = shard.buffer->optimistic_hits();
+  stats.optimistic_retries = shard.buffer->optimistic_retries();
+  stats.version_conflicts = shard.buffer->version_conflicts();
+  if (const storage::AsyncPageDevice* async = shard.buffer->async_device()) {
+    stats.batch_submits = async->stats().batch_submits;
+    stats.async_reads = async->stats().completed;
+  }
   return stats;
 }
 
@@ -154,6 +226,11 @@ ShardStats BufferService::AggregateStats() const {
     total.quarantined_frames += one.quarantined_frames;
     total.bad_pages += one.bad_pages;
     total.usable_frames += one.usable_frames;
+    total.optimistic_hits += one.optimistic_hits;
+    total.optimistic_retries += one.optimistic_retries;
+    total.version_conflicts += one.version_conflicts;
+    total.batch_submits += one.batch_submits;
+    total.async_reads += one.async_reads;
   }
   return total;
 }
@@ -181,19 +258,58 @@ size_t BufferService::shared_candidate() const {
 void BufferService::FlushShardLocked(Shard& shard) {
   if constexpr (!obs::kEnabled) return;
   if (shard.collector == nullptr) return;
+  // Ordering contract of the idempotent flush: (1) replay the deferred
+  // optimistic events so every total they feed is final for this sample,
+  // (2) flush the buffer's own deltas, (3) sample each service-level source
+  // exactly once and advance its base saturatingly. The saturation is what
+  // makes the flush immune to a source moving backwards mid-run — a shard
+  // quarantined and its buffer stats reset between two flushes used to
+  // wrap the delta and silently corrupt (under-report, then overflow)
+  // svc.latch_waits and friends.
+  shard.buffer->DrainDeferred();
   shard.buffer->FlushObservability();
   obs::MetricsRegistry& metrics = shard.collector->metrics();
-  const uint64_t waits = shard.latch_waits.load(std::memory_order_relaxed);
-  const uint64_t acquires =
-      shard.latch_acquires.load(std::memory_order_relaxed);
-  const uint64_t reads = shard.view.stats().reads;
-  metrics.GetCounter("svc.latch_waits")->Add(waits - shard.flushed_latch_waits);
+  const auto delta = [](uint64_t now, uint64_t* base) {
+    const uint64_t d = now >= *base ? now - *base : 0;
+    *base = now;
+    return d;
+  };
+  metrics.GetCounter("svc.latch_waits")
+      ->Add(delta(shard.latch_waits.load(std::memory_order_relaxed),
+                  &shard.flushed_latch_waits));
   metrics.GetCounter("svc.latch_acquires")
-      ->Add(acquires - shard.flushed_latch_acquires);
-  metrics.GetCounter("svc.disk_reads")->Add(reads - shard.flushed_disk_reads);
-  shard.flushed_latch_waits = waits;
-  shard.flushed_latch_acquires = acquires;
-  shard.flushed_disk_reads = reads;
+      ->Add(delta(shard.latch_acquires.load(std::memory_order_relaxed),
+                  &shard.flushed_latch_acquires));
+  metrics.GetCounter("svc.disk_reads")
+      ->Add(delta(shard.view.stats().reads, &shard.flushed_disk_reads));
+  if (latch_mode_ == LatchMode::kOptimistic) {
+    metrics.GetCounter("svc.optimistic_hits")
+        ->Add(delta(shard.buffer->optimistic_hits(),
+                    &shard.flushed_optimistic_hits));
+    metrics.GetCounter("svc.optimistic_retries")
+        ->Add(delta(shard.buffer->optimistic_retries(),
+                    &shard.flushed_optimistic_retries));
+    metrics.GetCounter("svc.version_conflicts")
+        ->Add(delta(shard.buffer->version_conflicts(),
+                    &shard.flushed_version_conflicts));
+  }
+  if (const storage::AsyncPageDevice* async = shard.buffer->async_device()) {
+    const storage::AsyncDeviceStats& astats = async->stats();
+    metrics.GetCounter("io.batch_submits")
+        ->Add(delta(astats.batch_submits, &shard.flushed_batch_submits));
+    uint64_t bucket_deltas[storage::AsyncDeviceStats::kDepthBuckets];
+    for (size_t b = 0; b < storage::AsyncDeviceStats::kDepthBuckets; ++b) {
+      bucket_deltas[b] =
+          delta(astats.depth_buckets[b], &shard.flushed_depth_buckets[b]);
+    }
+    metrics
+        .GetHistogram("io.queue_depth",
+                      std::span<const double>(storage::kAsyncQueueDepthBounds))
+        ->MergeFrom(bucket_deltas,
+                    static_cast<double>(delta(astats.depth_sum,
+                                              &shard.flushed_depth_sum)),
+                    delta(astats.submitted, &shard.flushed_async_submitted));
+  }
 }
 
 obs::MetricsSnapshot BufferService::MetricsSnapshot() {

@@ -6,11 +6,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/asb_shared.h"
 #include "core/buffer_manager.h"
+#include "storage/async_device.h"
 #include "obs/collector.h"
 #include "obs/metrics.h"
 #include "storage/disk_manager.h"
@@ -18,6 +20,16 @@
 #include "storage/fault_injection.h"
 
 namespace sdb::svc {
+
+/// How the service guards each shard's buffer on the pin/unpin hot path.
+enum class LatchMode : uint8_t {
+  /// Every fetch takes the shard's std::mutex (the pre-optimistic
+  /// behaviour, kept as the A/B baseline).
+  kMutex,
+  /// Hits pin latch-free through per-frame version stamps; the mutex
+  /// becomes a writer-side lock (misses, eviction, quarantine, stats).
+  kOptimistic,
+};
 
 /// Construction knobs of a BufferService.
 struct BufferServiceConfig {
@@ -44,6 +56,19 @@ struct BufferServiceConfig {
   /// Per-shard fault handling (retry budget, checksum verification,
   /// quarantine cap), forwarded to every shard's BufferManager.
   core::ResilienceOptions resilience;
+  /// Hot-path latching protocol (see LatchMode). Optimistic is the
+  /// default; kMutex preserves the previous blocking behaviour for A/B
+  /// comparison and as a fallback.
+  LatchMode latch_mode = LatchMode::kOptimistic;
+  /// Per-shard deferred-event ring capacity in optimistic mode (rounded up
+  /// to a power of two). Small rings just fall back to the latched path
+  /// more often.
+  size_t event_ring_capacity = 1024;
+  /// Route FetchBatch misses through a per-shard AsyncPageDevice (batched
+  /// submit, out-of-order completion). Only effective in optimistic mode.
+  bool async_reads = true;
+  /// Submission-queue depth of each shard's async device.
+  size_t async_queue_depth = 8;
   /// When enabled, every shard reads through its own FaultInjectingDevice
   /// wrapping the shard view; the profile seed is mixed with the shard
   /// index so shards draw independent fault sequences but the whole service
@@ -67,6 +92,16 @@ struct ShardStats {
   uint64_t bad_pages = 0;
   /// Frames still in service (capacity minus quarantined).
   uint64_t usable_frames = 0;
+  /// Optimistic-path accounting (all zero in mutex mode): hits served
+  /// without the shard latch, probe attempts abandoned, and version
+  /// validations lost against a concurrent writer.
+  uint64_t optimistic_hits = 0;
+  uint64_t optimistic_retries = 0;
+  uint64_t version_conflicts = 0;
+  /// Async read pipeline: batches submitted and reads delivered through it
+  /// (zero when async reads are off).
+  uint64_t batch_submits = 0;
+  uint64_t async_reads = 0;
 };
 
 /// Thread-safe shared buffer: one logical pool sharded across N
@@ -97,6 +132,23 @@ class BufferService final : public core::PageSource {
                                          const core::AccessContext& ctx)
       override;
 
+  /// Batched fetch: optimistic hits are served latch-free first, then the
+  /// remaining pages are grouped by shard and pushed through each shard's
+  /// batched miss pipeline (async submit, out-of-order completion) under
+  /// one latch acquisition per shard. Results land in input order. All of
+  /// a batch's handles may be alive at once — callers must leave every
+  /// shard (batch size + 1) frames of pin headroom.
+  void FetchBatch(std::span<const storage::PageId> pages,
+                  const core::AccessContext& ctx,
+                  std::vector<core::StatusOr<core::PageHandle>>* out)
+      override;
+
+  /// True in both latch modes — the service's batch path amortizes latch
+  /// acquisitions even without the async device, and keeping it
+  /// mode-independent means a mutex/optimistic A/B isolates the latch
+  /// protocol rather than the batching.
+  bool PrefersBatchedReads() const override { return true; }
+
   /// Always kUnimplemented: the service is read-only (no page creation).
   core::StatusOr<core::PageHandle> New(const core::AccessContext& ctx)
       override;
@@ -111,6 +163,7 @@ class BufferService final : public core::PageSource {
   size_t shard_count() const { return shards_.size(); }
   size_t total_frames() const { return total_frames_; }
   const std::string& policy_spec() const { return policy_spec_; }
+  LatchMode latch_mode() const { return latch_mode_; }
 
   /// Shard serving `page` (stable hash of the page id).
   size_t ShardOf(storage::PageId page) const;
@@ -169,10 +222,20 @@ class BufferService final : public core::PageSource {
     std::unique_ptr<core::BufferManager> buffer;
     std::atomic<uint64_t> latch_waits{0};
     std::atomic<uint64_t> latch_acquires{0};
-    // Delta bases of the idempotent metrics flush.
+    // Delta bases of the idempotent metrics flush. Every flush samples its
+    // source exactly once and advances the base saturatingly, so a source
+    // that moved backwards (reset mid-run) flushes 0 instead of wrapping.
     uint64_t flushed_latch_waits = 0;
     uint64_t flushed_latch_acquires = 0;
     uint64_t flushed_disk_reads = 0;
+    uint64_t flushed_optimistic_hits = 0;
+    uint64_t flushed_optimistic_retries = 0;
+    uint64_t flushed_version_conflicts = 0;
+    uint64_t flushed_batch_submits = 0;
+    uint64_t flushed_depth_sum = 0;
+    uint64_t flushed_async_submitted = 0;
+    uint64_t flushed_depth_buckets[storage::AsyncDeviceStats::kDepthBuckets] =
+        {};
   };
 
   /// Acquires the shard latch, counting contended arrivals.
@@ -184,6 +247,7 @@ class BufferService final : public core::PageSource {
 
   size_t total_frames_ = 0;
   std::string policy_spec_;
+  LatchMode latch_mode_ = LatchMode::kOptimistic;
   bool collect_metrics_ = false;
   bool asb_shared_ = false;
   core::AsbSharedTuning asb_tuning_;

@@ -9,6 +9,33 @@
 
 namespace sdb::svc {
 
+void PinLatencyHistogram::Record(double ns, uint64_t weight) {
+  size_t b = 0;
+  while (b < std::size(kPinLatencyBoundsNs) && ns > kPinLatencyBoundsNs[b]) {
+    ++b;
+  }
+  counts[b] += weight;
+  sum_ns += ns * static_cast<double>(weight);
+  observations += weight;
+}
+
+void PinLatencyHistogram::MergeFrom(const PinLatencyHistogram& other) {
+  for (size_t b = 0; b < kBuckets; ++b) counts[b] += other.counts[b];
+  sum_ns += other.sum_ns;
+  observations += other.observations;
+}
+
+void CountingSource::RecordElapsed(std::chrono::steady_clock::time_point start,
+                                   uint64_t pages) {
+  const double elapsed_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  // A batch's pages share one wall interval; record each at the mean so
+  // observation count stays equal to page-access count.
+  pin_latency_.Record(elapsed_ns / static_cast<double>(pages), pages);
+}
+
 SessionExecutor::SessionExecutor(const storage::DiskManager* disk,
                                  core::PageSource* source,
                                  storage::PageId tree_meta,
@@ -66,6 +93,11 @@ SessionExecutorStats SessionExecutor::stats() const {
   return stats;
 }
 
+PinLatencyHistogram SessionExecutor::pin_latency() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return pin_latency_;
+}
+
 void SessionExecutor::WorkerLoop() {
   for (;;) {
     Pending pending;
@@ -94,7 +126,7 @@ SessionResult SessionExecutor::RunSession(size_t index,
 
   // Per-session access counter over the shared source; the tree itself is
   // opened per session (traversal holds no shared state).
-  CountingSource counting(source_);
+  CountingSource counting(source_, config_.record_pin_latency);
   const rtree::RTree tree = rtree::RTree::Open(disk_, &counting, tree_meta_);
 
   uint64_t query_id = static_cast<uint64_t>(index) * config_.query_id_stride;
@@ -106,6 +138,10 @@ SessionResult SessionExecutor::RunSession(size_t index,
   }
   result.page_accesses = counting.fetches();
   result.io_errors = counting.io_errors();
+  if (config_.record_pin_latency) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    pin_latency_.MergeFrom(counting.pin_latency());
+  }
   return result;
 }
 

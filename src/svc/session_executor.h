@@ -1,10 +1,12 @@
 #ifndef SPATIALBUFFER_SVC_SESSION_EXECUTOR_H_
 #define SPATIALBUFFER_SVC_SESSION_EXECUTOR_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <iterator>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -16,21 +18,68 @@
 
 namespace sdb::svc {
 
+/// Inclusive upper bounds, in nanoseconds, of the per-pin latency histogram
+/// (the last bucket is overflow). Log-spaced from sub-microsecond cache
+/// hits out to multi-millisecond injected latency spikes, and shared with
+/// the obs export so quantiles come from the same buckets everywhere.
+inline constexpr double kPinLatencyBoundsNs[] = {
+    250,       500,        1'000,      2'000,      4'000,     8'000,
+    16'000,    32'000,     64'000,     128'000,    256'000,   512'000,
+    1'000'000, 2'000'000,  4'000'000,  8'000'000};
+
+/// Fixed-bucket per-pin latency histogram (bounds kPinLatencyBoundsNs).
+/// Plain counters so sessions can fill one privately and the executor can
+/// merge under its own lock — obs::HistogramQuantile reads it directly.
+struct PinLatencyHistogram {
+  static constexpr size_t kBuckets = std::size(kPinLatencyBoundsNs) + 1;
+
+  uint64_t counts[kBuckets] = {};
+  double sum_ns = 0.0;
+  uint64_t observations = 0;
+
+  void Record(double ns, uint64_t weight = 1);
+  void MergeFrom(const PinLatencyHistogram& other);
+};
+
 /// PageSource decorator counting the fetches routed through it (and,
 /// separately, the fetches that came back as errors). The executor gives
 /// every session its own counter, so per-session access totals are exact
 /// regardless of how sessions interleave on the shared service underneath.
+/// With `time_pins`, every fetch's wall latency also lands in a per-session
+/// histogram (a batch records one observation per page at the batch's mean,
+/// keeping observation count == page-access count).
 class CountingSource final : public core::PageSource {
  public:
-  explicit CountingSource(core::PageSource* inner) : inner_(inner) {}
+  explicit CountingSource(core::PageSource* inner, bool time_pins = false)
+      : inner_(inner), time_pins_(time_pins) {}
 
   core::StatusOr<core::PageHandle> Fetch(storage::PageId page,
                                          const core::AccessContext& ctx)
       override {
     ++fetches_;
+    const auto start = time_pins_ ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
     core::StatusOr<core::PageHandle> fetched = inner_->Fetch(page, ctx);
+    if (time_pins_) RecordElapsed(start, 1);
     if (!fetched.ok()) ++io_errors_;
     return fetched;
+  }
+  // Forwarding override: without it the decorator would degrade every batch
+  // to the base class's sequential-Fetch fallback and quietly disable the
+  // service's batched miss pipeline.
+  void FetchBatch(std::span<const storage::PageId> pages,
+                  const core::AccessContext& ctx,
+                  std::vector<core::StatusOr<core::PageHandle>>* out)
+      override {
+    fetches_ += pages.size();
+    const auto start = time_pins_ ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+    const size_t first = out->size();
+    inner_->FetchBatch(pages, ctx, out);
+    if (time_pins_ && !pages.empty()) RecordElapsed(start, pages.size());
+    for (size_t i = first; i < out->size(); ++i) {
+      if (!(*out)[i].ok()) ++io_errors_;
+    }
   }
   core::StatusOr<core::PageHandle> New(const core::AccessContext& ctx)
       override {
@@ -39,14 +88,23 @@ class CountingSource final : public core::PageSource {
   std::span<const std::byte> Peek(storage::PageId page) const override {
     return inner_->Peek(page);
   }
+  bool PrefersBatchedReads() const override {
+    return inner_->PrefersBatchedReads();
+  }
 
   uint64_t fetches() const { return fetches_; }
   uint64_t io_errors() const { return io_errors_; }
+  const PinLatencyHistogram& pin_latency() const { return pin_latency_; }
 
  private:
+  void RecordElapsed(std::chrono::steady_clock::time_point start,
+                     uint64_t pages);
+
   core::PageSource* inner_;
+  bool time_pins_ = false;
   uint64_t fetches_ = 0;
   uint64_t io_errors_ = 0;
+  PinLatencyHistogram pin_latency_;
 };
 
 /// Construction knobs of a SessionExecutor.
@@ -59,6 +117,10 @@ struct SessionExecutorConfig {
   /// per session, and each id names the same query in every run regardless
   /// of which worker executes it. Must exceed every session's query count.
   uint64_t query_id_stride = uint64_t{1} << 20;
+  /// Time every pin (Fetch/FetchBatch wall latency) into the executor-wide
+  /// histogram returned by pin_latency(). Off by default: the two clock
+  /// reads per fetch are measurable on the latch-free hit path.
+  bool record_pin_latency = false;
 };
 
 /// Outcome of one executed session. `index`, `queries`, `result_objects`
@@ -121,6 +183,11 @@ class SessionExecutor {
   SessionExecutorStats stats() const;
   const SessionExecutorConfig& config() const { return config_; }
 
+  /// Merged per-pin latency histogram over every finished session (all
+  /// zero unless config().record_pin_latency). Quantiles via
+  /// obs::HistogramQuantile over kPinLatencyBoundsNs.
+  PinLatencyHistogram pin_latency() const;
+
  private:
   struct Pending {
     size_t index = 0;
@@ -146,6 +213,7 @@ class SessionExecutor {
   // One slot per submitted session, filled by whichever worker ran it;
   // deque so slot references stay stable while Submit grows the container.
   std::deque<SessionResult> results_;
+  PinLatencyHistogram pin_latency_;
   std::vector<std::thread> workers_;
   bool finished_ = false;
 };

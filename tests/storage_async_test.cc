@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "storage/async_device.h"
+#include "storage/disk_manager.h"
+#include "storage/disk_view.h"
+
+namespace sdb::storage {
+namespace {
+
+/// Disk with `n` pages whose first byte tags the page id.
+std::unique_ptr<DiskManager> StageDisk(size_t n) {
+  auto disk = std::make_unique<DiskManager>();
+  std::vector<std::byte> image(disk->page_size(), std::byte{0});
+  for (size_t i = 0; i < n; ++i) {
+    image[0] = static_cast<std::byte>(i);
+    const PageId id = disk->Allocate();
+    disk->Write(id, image);
+  }
+  return disk;
+}
+
+class AsyncDeviceTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kPages = 32;
+
+  AsyncDeviceTest() : disk_(StageDisk(kPages)), view_(*disk_) {}
+
+  /// One page-sized staging buffer per possible in-flight request.
+  std::vector<std::byte>& Buffer(size_t slot) {
+    buffers_.resize(std::max(buffers_.size(), slot + 1));
+    buffers_[slot].resize(view_.page_size());
+    return buffers_[slot];
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  ReadOnlyDiskView view_;
+  std::vector<std::vector<std::byte>> buffers_;
+};
+
+TEST_F(AsyncDeviceTest, SeedZeroCompletesInSubmissionOrder) {
+  AsyncPageDevice device(&view_, AsyncDeviceOptions{});
+  const std::vector<PageId> pages{7, 3, 11, 0};
+  for (size_t i = 0; i < pages.size(); ++i) {
+    device.SubmitRead(pages[i], Buffer(i));
+  }
+  device.EndBatch();
+  std::vector<AsyncPageDevice::Completion> completions;
+  EXPECT_EQ(device.PollCompletions(&completions), pages.size());
+  ASSERT_EQ(completions.size(), pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    EXPECT_EQ(completions[i].page, pages[i]) << "FIFO order at seed 0";
+    ASSERT_TRUE(completions[i].status.ok());
+    EXPECT_EQ(completions[i].buffer[0],
+              static_cast<std::byte>(pages[i]))
+        << "completion carries the page image";
+  }
+  EXPECT_EQ(device.in_flight(), 0u);
+}
+
+TEST_F(AsyncDeviceTest, NonzeroSeedReordersDeterministically) {
+  std::vector<PageId> submitted(16);
+  std::iota(submitted.begin(), submitted.end(), 0);
+  std::vector<PageId> order_a, order_b;
+  for (std::vector<PageId>* order : {&order_a, &order_b}) {
+    AsyncDeviceOptions options;
+    options.queue_depth = submitted.size();
+    options.completion_seed = 0xfeedULL;
+    AsyncPageDevice device(&view_, options);
+    for (size_t i = 0; i < submitted.size(); ++i) {
+      device.SubmitRead(submitted[i], Buffer(i));
+    }
+    device.EndBatch();
+    std::vector<AsyncPageDevice::Completion> completions;
+    device.PollCompletions(&completions);
+    for (const auto& completion : completions) {
+      order->push_back(completion.page);
+    }
+  }
+  EXPECT_EQ(order_a, order_b) << "same seed, same schedule";
+  EXPECT_NE(order_a, submitted) << "a nonzero seed must reorder 16 requests";
+  std::vector<PageId> sorted = order_a;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, submitted) << "every request completes exactly once";
+}
+
+TEST_F(AsyncDeviceTest, ReadsAreLazyAndCancelNeverTouchesTheDevice) {
+  AsyncPageDevice device(&view_, AsyncDeviceOptions{});
+  for (size_t i = 0; i < 5; ++i) {
+    device.SubmitRead(static_cast<PageId>(i), Buffer(i));
+  }
+  device.EndBatch();
+  EXPECT_EQ(view_.stats().reads, 0u) << "submission must not read";
+  std::vector<AsyncPageDevice::Completion> completions;
+  EXPECT_EQ(device.PollCompletions(&completions, 2), 2u);
+  EXPECT_EQ(view_.stats().reads, 2u) << "reads happen at delivery";
+  device.CancelAll();
+  EXPECT_EQ(view_.stats().reads, 2u) << "canceled requests never read";
+  EXPECT_EQ(device.in_flight(), 0u);
+  const AsyncDeviceStats& stats = device.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.canceled, 3u);
+}
+
+TEST_F(AsyncDeviceTest, DepthStatsAndBatchCounting) {
+  AsyncDeviceOptions options;
+  options.queue_depth = 4;
+  AsyncPageDevice device(&view_, options);
+  std::vector<AsyncPageDevice::Completion> completions;
+  // Two batches of 3 and 1; EndBatch with nothing submitted counts nothing.
+  for (size_t i = 0; i < 3; ++i) {
+    device.SubmitRead(static_cast<PageId>(i), Buffer(i));
+  }
+  device.EndBatch();
+  device.PollCompletions(&completions);
+  device.SubmitRead(PageId{9}, Buffer(0));
+  device.EndBatch();
+  device.EndBatch();
+  device.PollCompletions(&completions);
+  const AsyncDeviceStats& stats = device.stats();
+  EXPECT_EQ(stats.batch_submits, 2u);
+  EXPECT_EQ(stats.submitted, 4u);
+  // Depths sampled at submission: 0, 1, 2 for the first batch, 0 for the
+  // second.
+  EXPECT_EQ(stats.depth_sum, 3u);
+  uint64_t bucketed = 0;
+  for (const uint64_t count : stats.depth_buckets) bucketed += count;
+  EXPECT_EQ(bucketed, stats.submitted)
+      << "every submission lands in exactly one depth bucket";
+}
+
+TEST_F(AsyncDeviceTest, DepthBoundsMatchBucketCount) {
+  EXPECT_EQ(std::size(kAsyncQueueDepthBounds) + 1,
+            AsyncDeviceStats::kDepthBuckets)
+      << "obs export and device stats must agree on the bucket layout";
+}
+
+}  // namespace
+}  // namespace sdb::storage

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <span>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/policy_asb.h"
@@ -309,6 +312,280 @@ TEST_F(BufferServiceTest, MetricsMergeShardsAndFlushDeltas) {
     shard_sum += find(snapshot, "buffer.requests")->count;
   }
   EXPECT_EQ(shard_sum, requests->count);
+}
+
+TEST_F(BufferServiceTest, OptimisticSerialRunIsBitIdenticalToMutex) {
+  // The deferred-event protocol's core promise: executed serially, the
+  // optimistic service replays policy events in arrival order and therefore
+  // produces the exact eviction/hit sequence of the blocking-mutex service.
+  const std::vector<PageId> pages = AllPages();
+  BufferServiceConfig config;
+  config.total_frames = 24;
+  config.shard_count = 4;
+  config.policy_spec = "ASB";
+  config.latch_mode = LatchMode::kMutex;
+  BufferService mutex_service(disk(), config);
+  config.latch_mode = LatchMode::kOptimistic;
+  BufferService optimistic_service(disk(), config);
+  EXPECT_EQ(optimistic_service.latch_mode(), LatchMode::kOptimistic);
+
+  uint64_t query = 0;
+  std::vector<core::StatusOr<core::PageHandle>> scratch;
+  for (size_t round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < pages.size(); ++i) {
+      const core::AccessContext ctx{++query};
+      // Mix single fetches with small batches (same calls on both sides).
+      if (i % 7 == 0 && i + 3 <= pages.size()) {
+        const std::span<const PageId> batch(&pages[i], 3);
+        for (BufferService* service : {&mutex_service, &optimistic_service}) {
+          scratch.clear();
+          service->FetchBatch(batch, ctx, &scratch);
+          for (const auto& handle : scratch) ASSERT_TRUE(handle.ok());
+        }
+        i += 2;
+      } else {
+        mutex_service.FetchOrDie(pages[i], ctx).Release();
+        optimistic_service.FetchOrDie(pages[i], ctx).Release();
+        // Immediate re-touch: a guaranteed hit, served latch-free on the
+        // optimistic side (a pure cyclic scan would never hit at all).
+        const core::AccessContext again{++query};
+        mutex_service.FetchOrDie(pages[i], again).Release();
+        optimistic_service.FetchOrDie(pages[i], again).Release();
+      }
+    }
+  }
+  scratch.clear();
+  const ShardStats mutex_stats = mutex_service.AggregateStats();
+  const ShardStats optimistic_stats = optimistic_service.AggregateStats();
+  EXPECT_EQ(optimistic_stats.buffer.requests, mutex_stats.buffer.requests);
+  EXPECT_EQ(optimistic_stats.buffer.hits, mutex_stats.buffer.hits);
+  EXPECT_EQ(optimistic_stats.buffer.misses, mutex_stats.buffer.misses);
+  EXPECT_EQ(optimistic_stats.buffer.evictions, mutex_stats.buffer.evictions);
+  EXPECT_EQ(optimistic_stats.io.reads, mutex_stats.io.reads);
+  EXPECT_GT(optimistic_stats.optimistic_hits, 0u);
+  EXPECT_EQ(mutex_stats.optimistic_hits, 0u);
+}
+
+TEST_F(BufferServiceTest, FetchBatchDeliversInputOrderAndCountsEachAccess) {
+  BufferServiceConfig config;
+  config.total_frames = 64;
+  config.shard_count = 4;
+  BufferService service(disk(), config);
+  EXPECT_TRUE(service.PrefersBatchedReads());
+  // Batch spanning all shards, with a duplicate (second occurrence must be
+  // a hit within the same batch).
+  const std::vector<PageId> batch{0, 5, 9, 5, 2, 7};
+  std::vector<core::StatusOr<core::PageHandle>> handles;
+  service.FetchBatch(batch, core::AccessContext{1}, &handles);
+  ASSERT_EQ(handles.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(handles[i].ok()) << "slot " << i;
+    EXPECT_EQ(handles[i].value().page_id(), batch[i]);
+    const std::span<const std::byte> expected = disk().PeekPage(batch[i]);
+    EXPECT_EQ(std::memcmp(handles[i].value().bytes().data(), expected.data(),
+                          expected.size()),
+              0);
+  }
+  handles.clear();  // release every pin
+  const ShardStats stats = service.AggregateStats();
+  EXPECT_EQ(stats.buffer.requests, batch.size());
+  EXPECT_EQ(stats.buffer.misses, 5u) << "5 distinct pages";
+  EXPECT_EQ(stats.buffer.hits, 1u) << "the duplicate hits in-batch";
+  EXPECT_EQ(stats.io.reads, 5u);
+
+  // A second identical batch is all hits (served optimistically) and costs
+  // no reads.
+  service.FetchBatch(batch, core::AccessContext{2}, &handles);
+  for (const auto& handle : handles) ASSERT_TRUE(handle.ok());
+  handles.clear();
+  const ShardStats after = service.AggregateStats();
+  EXPECT_EQ(after.buffer.hits, 1u + batch.size());
+  EXPECT_EQ(after.io.reads, 5u);
+  EXPECT_GT(after.optimistic_hits, 0u);
+}
+
+TEST_F(BufferServiceTest, DetachTransfersPinAndManualUnpinReportsErrors) {
+  BufferServiceConfig config;
+  config.total_frames = 16;
+  config.shard_count = 1;
+  BufferService service(disk(), config);
+  // Detach: the handle dies without releasing; the pin must survive and be
+  // releasable through an explicit Unpin on the shard's buffer.
+  auto& buffer = const_cast<core::BufferManager&>(service.shard_buffer(0));
+  core::FrameId detached = core::kInvalidFrameId;
+  {
+    core::PageHandle handle = service.FetchOrDie(3, core::AccessContext{1});
+    detached = handle.Detach();
+    EXPECT_FALSE(handle.valid()) << "Detach invalidates the handle";
+  }
+  // Frame still pinned: a second fetch of the same page and its release
+  // must not drop the detached pin.
+  service.FetchOrDie(3, core::AccessContext{2}).Release();
+  EXPECT_EQ(buffer.Unpin(detached, /*dirty=*/false), core::UnpinStatus::kOk);
+  EXPECT_EQ(buffer.Unpin(detached, /*dirty=*/false),
+            core::UnpinStatus::kNotPinned)
+      << "second manual unpin of the same pin";
+  EXPECT_EQ(buffer.Unpin(core::FrameId{9999}, /*dirty=*/false),
+            core::UnpinStatus::kUnknownFrame);
+
+  // Move semantics: assignment releases the destination's old pin, the
+  // source becomes invalid, self-sufficient double-Release is a no-op.
+  core::PageHandle a = service.FetchOrDie(4, core::AccessContext{3});
+  core::PageHandle b = service.FetchOrDie(5, core::AccessContext{4});
+  b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  ASSERT_TRUE(b.valid());
+  EXPECT_EQ(b.page_id(), 4u);
+  b.Release();
+  b.Release();
+  // All pins gone: sweeping more distinct pages than frames must succeed
+  // (a leaked pin would leave the single shard unevictable and abort).
+  uint64_t query = 10;
+  for (PageId id = 0; id < 2 * config.total_frames; ++id) {
+    service.FetchOrDie(id % disk().page_count(), core::AccessContext{++query})
+        .Release();
+  }
+}
+
+// Thread-shaped satellite of the Detach test: racing pin/unpin on the SAME
+// frame through detach/manual-unpin and handle moves, while other threads
+// force eviction pressure on the rest of the shard. Invariant checked at
+// the end: every pin was released exactly once (the shard survives a full
+// eviction sweep).
+TEST_F(BufferServiceTest, ConcurrentDetachAndMoveRacesOnOneFrame) {
+  BufferServiceConfig config;
+  config.total_frames = 48;
+  config.shard_count = 2;
+  BufferService service(disk(), config);
+  const PageId hot = 1;  // every thread hammers this page's frame
+  const size_t page_count = disk().page_count();
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kIters = 400;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& buffer = const_cast<core::BufferManager&>(
+          service.shard_buffer(service.ShardOf(hot)));
+      uint64_t query = t * 1000000;
+      for (size_t i = 0; i < kIters; ++i) {
+        const core::AccessContext ctx{++query};
+        switch ((t + i) % 3) {
+          case 0: {  // detach + manual unpin (must always be kOk: we own it)
+            core::PageHandle handle = service.FetchOrDie(hot, ctx);
+            const core::FrameId frame = handle.Detach();
+            ASSERT_EQ(buffer.Unpin(frame, /*dirty=*/false),
+                      core::UnpinStatus::kOk);
+            break;
+          }
+          case 1: {  // move chain, single release at scope end
+            core::PageHandle handle = service.FetchOrDie(hot, ctx);
+            core::PageHandle moved = std::move(handle);
+            core::PageHandle again = std::move(moved);
+            ASSERT_EQ(again.page_id(), hot);
+            break;
+          }
+          case 2: {  // eviction pressure elsewhere in both shards
+            service
+                .FetchOrDie(static_cast<PageId>((t * 131 + i) % page_count),
+                            ctx)
+                .Release();
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const ShardStats stats = service.AggregateStats();
+  EXPECT_EQ(stats.buffer.requests, kThreads * kIters);
+  // No pin leaked: a sweep wider than the pool must not abort.
+  uint64_t query = uint64_t{1} << 40;
+  for (PageId id = 0; id < static_cast<PageId>(page_count); ++id) {
+    service.FetchOrDie(id, core::AccessContext{++query}).Release();
+  }
+}
+
+TEST_F(BufferServiceTest, TinyEventRingFallsBackWithoutLosingEvents) {
+  const std::vector<PageId> pages = AllPages();
+  BufferServiceConfig config;
+  config.total_frames = 24;
+  config.shard_count = 2;
+  config.policy_spec = "ASB";
+  config.event_ring_capacity = 4;  // storm: constant ring-full fallbacks
+  BufferService service(disk(), config);
+
+  constexpr size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &pages, t] {
+      uint64_t query = t * 1000000;
+      for (size_t round = 0; round < 2; ++round) {
+        for (const PageId id : pages) {
+          service.FetchOrDie(id, core::AccessContext{++query}).Release();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const ShardStats stats = service.AggregateStats();
+  EXPECT_EQ(stats.buffer.requests, kThreads * 2 * pages.size())
+      << "ring-full fallbacks must not drop or double-count accesses";
+  EXPECT_EQ(stats.buffer.hits + stats.buffer.misses, stats.buffer.requests);
+  EXPECT_EQ(stats.buffer.misses, stats.io.reads);
+}
+
+TEST_F(BufferServiceTest, MetricsStayMonotonicAcrossMidRunQuarantine) {
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  // Satellite regression for the delta-flush: quarantine (and the frame
+  // churn it causes) mid-run must never make a flushed counter go
+  // backwards or under-report — the saturating delta samples each source
+  // once per flush.
+  BufferServiceConfig config;
+  config.total_frames = 24;
+  config.shard_count = 2;
+  config.collect_metrics = true;
+  config.fault_profile.bad_begin = 4;
+  config.fault_profile.bad_end = 6;  // pages 4,5 terminally unreadable
+  BufferService service(disk(), config);
+
+  auto counter_value = [](const obs::MetricsSnapshot& snapshot,
+                          std::string_view name) -> uint64_t {
+    for (const obs::MetricValue& metric : snapshot) {
+      if (metric.name == name) return metric.count;
+    }
+    return 0;
+  };
+  const char* kMonotonic[] = {"svc.latch_waits", "svc.latch_acquires",
+                              "svc.disk_reads", "svc.optimistic_hits",
+                              "buffer.requests"};
+  std::vector<uint64_t> last(std::size(kMonotonic), 0);
+  uint64_t query = 0;
+  const std::vector<PageId> pages = AllPages();
+  for (size_t round = 0; round < 4; ++round) {
+    for (const PageId id : pages) {
+      // Bad pages fail (and quarantine their staging frame); keep going.
+      auto fetched = service.Fetch(id, core::AccessContext{++query});
+      if (fetched.ok()) std::move(fetched).value().Release();
+    }
+    const obs::MetricsSnapshot snapshot = service.MetricsSnapshot();
+    for (size_t m = 0; m < std::size(kMonotonic); ++m) {
+      const uint64_t now = counter_value(snapshot, kMonotonic[m]);
+      EXPECT_GE(now, last[m]) << kMonotonic[m] << " went backwards in round "
+                              << round;
+      last[m] = now;
+    }
+  }
+  const ShardStats stats = service.AggregateStats();
+  EXPECT_GT(stats.quarantined_frames, 0u)
+      << "the profile must actually quarantine mid-run";
+  // Final flushed totals equal the live sources (no under-report).
+  const obs::MetricsSnapshot final_snapshot = service.MetricsSnapshot();
+  EXPECT_EQ(counter_value(final_snapshot, "svc.disk_reads"), stats.io.reads);
+  EXPECT_EQ(counter_value(final_snapshot, "buffer.requests"),
+            stats.buffer.requests);
 }
 
 TEST_F(BufferServiceTest, NewFailsOnReadOnlyService) {
