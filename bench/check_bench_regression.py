@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""CI guards over the BENCH_*.json JSON-Lines files.
+
+Two modes:
+
+  obs-overhead BENCH_policy_overhead.json --max-frac 0.5
+      Asserts every bench:"obs_overhead" row keeps overhead_frac at or
+      under the threshold (the attached-collector cost on the buffer-hit
+      path must stay bounded).
+
+  compare A.json B.json [--field hit_rate] [--tol 0]
+      Joins two BENCH_sweep.json runs on the row key
+      (bench, database, fraction, query_set, policy, baseline,
+      buffer_frames) and fails when the field drifts beyond the tolerance
+      in any row present in both files. hit_rate is derived as
+      buffer_hits / buffer_requests when the row does not carry it
+      directly, so the sweep rows work as-is.
+
+Exit status: 0 clean, 1 regression found, 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def read_rows(path):
+    rows = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError as err:
+                    print(f"{path}:{lineno}: malformed JSON: {err}",
+                          file=sys.stderr)
+                    sys.exit(2)
+    except OSError as err:
+        print(f"cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def check_obs_overhead(args):
+    rows = [r for r in read_rows(args.file)
+            if r.get("bench") == "obs_overhead"]
+    if not rows:
+        print(f"{args.file}: no obs_overhead rows found", file=sys.stderr)
+        return 2
+    failures = 0
+    for row in rows:
+        frac = row.get("overhead_frac")
+        if frac is None:
+            print(f"obs_overhead row without overhead_frac: {row}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        label = f"{row.get('policy', '?')}/{row.get('frames', '?')} frames"
+        if frac > args.max_frac:
+            print(f"FAIL {label}: overhead_frac {frac:.4f} > "
+                  f"threshold {args.max_frac:.4f}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {label}: overhead_frac {frac:.4f} <= "
+                  f"{args.max_frac:.4f}")
+    return 1 if failures else 0
+
+
+ROW_KEY = ("bench", "database", "fraction", "query_set", "policy",
+           "baseline", "buffer_frames")
+
+
+def row_key(row):
+    return tuple(row.get(field) for field in ROW_KEY)
+
+
+def field_value(row, field):
+    if field in row:
+        return row[field]
+    if field == "hit_rate":
+        requests = row.get("buffer_requests")
+        hits = row.get("buffer_hits")
+        if requests:
+            return hits / requests
+    return None
+
+
+def check_compare(args):
+    rows_a = {row_key(r): r for r in read_rows(args.file_a)}
+    rows_b = {row_key(r): r for r in read_rows(args.file_b)}
+    shared = sorted(set(rows_a) & set(rows_b), key=repr)
+    if not shared:
+        print("no shared rows between the two files", file=sys.stderr)
+        return 2
+    failures = 0
+    compared = 0
+    for key in shared:
+        va = field_value(rows_a[key], args.field)
+        vb = field_value(rows_b[key], args.field)
+        if va is None or vb is None:
+            continue
+        compared += 1
+        if abs(va - vb) > args.tol:
+            label = "/".join(str(k) for k in key if k is not None)
+            print(f"FAIL {label}: {args.field} {va} vs {vb} "
+                  f"(drift {abs(va - vb):g} > tol {args.tol:g})",
+                  file=sys.stderr)
+            failures += 1
+    if compared == 0:
+        print(f"no shared rows carry field {args.field!r}", file=sys.stderr)
+        return 2
+    print(f"compared {compared} shared rows on {args.field!r}: "
+          f"{failures} drifted")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    obs = sub.add_parser("obs-overhead",
+                         help="guard obs_overhead rows against a threshold")
+    obs.add_argument("file")
+    obs.add_argument("--max-frac", type=float, default=0.5)
+
+    cmp_parser = sub.add_parser("compare",
+                                help="diff a field between two bench runs")
+    cmp_parser.add_argument("file_a")
+    cmp_parser.add_argument("file_b")
+    cmp_parser.add_argument("--field", default="hit_rate")
+    cmp_parser.add_argument("--tol", type=float, default=0.0)
+
+    args = parser.parse_args()
+    if args.mode == "obs-overhead":
+        sys.exit(check_obs_overhead(args))
+    sys.exit(check_compare(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -2,10 +2,58 @@
 // object counts, page counts, directory share (~2.8%), and tree height for
 // both databases. Absolute counts scale with SDB_SCALE; the directory share
 // and height behaviour are the comparable quantities.
+//
+// The live stats surface rides along: after the static statistics, a short
+// uniform workload runs through a sharded BufferService and the service's
+// Prometheus text exposition (svc::BufferService::StatsText) is printed —
+// and written to SDB_BENCH_PROM when set — so the dump format is exercised
+// on every bench run and scrapable from a file.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
+#include "core/access_context.h"
+#include "rtree/rtree.h"
+#include "svc/buffer_service.h"
+
+namespace {
+
+using namespace sdb;
+
+/// Drives a small uniform window workload through a 4-shard service and
+/// dumps the resulting live stats.
+void PrintServiceStats(const sim::Scenario& scenario) {
+  svc::BufferServiceConfig config;
+  config.total_frames = std::max<size_t>(scenario.BufferFrames(0.012), 64);
+  config.shard_count = 4;
+  config.policy_spec = "ASB";
+  config.collect_metrics = true;
+  svc::BufferService service(*scenario.disk, config);
+  const rtree::RTree tree =
+      rtree::RTree::Open(scenario.disk.get(), &service, scenario.tree_meta);
+  const workload::QuerySet queries =
+      sim::StandardQuerySet(scenario, workload::QueryFamily::kUniform, 100);
+  uint64_t query_id = 0;
+  for (const geom::Rect& window : queries.queries) {
+    const core::AccessContext ctx{++query_id};
+    tree.WindowQueryVisit(window, ctx, [](const rtree::Entry&) {});
+  }
+  const std::string text = service.StatsText();
+  std::printf("== Live service stats (Prometheus text exposition) ==\n%s\n",
+              text.c_str());
+  const std::string prom_path = bench::EnvOr("SDB_BENCH_PROM", "");
+  if (!prom_path.empty()) {
+    std::FILE* file = std::fopen(prom_path.c_str(), "w");
+    if (file == nullptr || std::fputs(text.c_str(), file) < 0) {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   prom_path.c_str());
+    }
+    if (file != nullptr) std::fclose(file);
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace sdb;
@@ -27,6 +75,7 @@ int main() {
         stats.avg_data_fill, 42);
     std::printf("  coverage of the data space: %.1f%%\n\n",
                 100.0 * workload::CoverageFraction(scenario.dataset));
+    if (kind == sim::DatabaseKind::kUsLike) PrintServiceStats(scenario);
   }
   return 0;
 }

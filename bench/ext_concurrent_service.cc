@@ -21,15 +21,21 @@
 // host; the invariants hold anywhere.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/asb_timeline.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "svc/buffer_service.h"
 #include "svc/session_executor.h"
 #include "workload/query_generator.h"
@@ -53,6 +59,7 @@ struct CellResult {
   svc::ShardStats stats;
   uint64_t backpressure_waits = 0;
   svc::PinLatencyHistogram pin_latency;
+  obs::MetricsSnapshot metrics;
 
   double PagesPerSecond() const {
     return seconds <= 0.0 ? 0.0
@@ -74,6 +81,9 @@ CellResult RunCell(const sim::Scenario& scenario,
   service_config.shard_count = shards;
   service_config.policy_spec = "ASB";
   service_config.latch_mode = mode;
+  // Collectors only count — attaching them must not (and does not) perturb
+  // the grid's access/hit invariants.
+  service_config.collect_metrics = true;
   // Fault soak via SDB_FAULT_PROFILE (disabled when unset). The grid's
   // cross-configuration invariants assume a *recoverable* profile
   // (transient/bitflip/torn): a bad-sector range makes traversals skip
@@ -109,6 +119,7 @@ CellResult RunCell(const sim::Scenario& scenario,
                      std::chrono::steady_clock::now() - begin)
                      .count();
   cell.stats = service.AggregateStats();
+  cell.metrics = service.MetricsSnapshot();
   if (cell.accesses != cell.stats.buffer.requests) {
     std::fprintf(stderr,
                  "FATAL: session accounting (%llu) != service requests "
@@ -134,7 +145,7 @@ std::string CellJson(const std::string& workload_name, size_t total_frames,
       "\"optimistic_hits\":%llu,\"optimistic_retries\":%llu,"
       "\"version_conflicts\":%llu,\"batch_submits\":%llu,"
       "\"async_reads\":%llu,\"pin_p50_ns\":%.0f,\"pin_p95_ns\":%.0f,"
-      "\"pin_p99_ns\":%.0f,\"backpressure_waits\":%llu}",
+      "\"pin_p99_ns\":%.0f,\"backpressure_waits\":%llu",
       obs::kBenchJsonSchemaVersion, workload_name.c_str(),
       ModeName(cell.mode), total_frames, cell.workers, cell.shards,
       cell.seconds, cell.PagesPerSecond(),
@@ -152,7 +163,13 @@ std::string CellJson(const std::string& workload_name, size_t total_frames,
       cell.PinQuantileNs(0.50), cell.PinQuantileNs(0.95),
       cell.PinQuantileNs(0.99),
       static_cast<unsigned long long>(cell.backpressure_waits));
-  return std::string(buf);
+  std::string line(buf);
+  if (!cell.metrics.empty()) {
+    line += ",\"metrics\":";
+    line += obs::MetricsJson(cell.metrics);
+  }
+  line += "}";
+  return line;
 }
 
 /// A batch of sessions with disjoint seeds; `uniform` draws i.i.d. uniform
@@ -280,6 +297,152 @@ void RunGrid(const sim::Scenario& scenario, const std::string& workload_name,
   }
 }
 
+/// Telemetry phase: one persistent 16-worker x 4-shard service runs a
+/// uniform workload, shifts mid-run to browsing sessions, and a poller
+/// thread samples the merged service metrics into an obs::TelemetryHub on
+/// a logical clock (buffer requests). Products: BENCH_timeseries.json
+/// (per-window hit rate, latch contention, queue depth, ASB candidate
+/// size), a convergence-lag report of the candidate series around the
+/// shift (obs::AnalyzeAsbTimeline), and — with SDB_BENCH_TRACE set — a
+/// Perfetto span trace where sampled queries show their
+/// session -> shard-fetch -> async-submit/complete causality.
+void RunAdaptationTimeline(const sim::Scenario& scenario) {
+  constexpr size_t kWorkers = 16;
+  constexpr size_t kShards = 4;
+  constexpr size_t kMaxBatchPins = 8;
+  const size_t session_count = bench::EnvSizeT("SDB_BENCH_SESSIONS", 16);
+  const size_t steps = bench::EnvSizeT("SDB_BENCH_SESSION_STEPS", 1000);
+  const size_t total_frames =
+      std::max(scenario.BufferFrames(0.047),
+               kShards * (kWorkers * kMaxBatchPins + 1));
+
+  svc::BufferServiceConfig service_config;
+  service_config.total_frames = total_frames;
+  service_config.shard_count = kShards;
+  service_config.policy_spec = "ASB";
+  service_config.collect_metrics = true;
+  service_config.fault_profile = bench::BenchFaultProfile();
+  svc::BufferService service(*scenario.disk, service_config);
+
+  obs::TracerOptions tracer_options;
+  tracer_options.sample_every =
+      bench::EnvSizeT("SDB_BENCH_TRACE_SAMPLE", 64);
+  obs::Tracer tracer(tracer_options);
+
+  obs::TelemetryHubOptions hub_options;
+  hub_options.window_clock_interval =
+      bench::EnvSizeT("SDB_BENCH_WINDOW", 2048);
+  obs::TelemetryHub hub(hub_options);
+
+  // The poller is the only consumer of the stats surface while the
+  // workload runs — exactly the live-dashboard shape the hub is for.
+  std::atomic<bool> stop{false};
+  const auto clock_now = [&service] {
+    return service.AggregateStats().buffer.requests;
+  };
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t clock = clock_now();
+      if (hub.WantsSample(clock)) {
+        hub.Sample(clock, service.MetricsSnapshot(),
+                   service.shared_candidate());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  const auto run_phase = [&](bool uniform, size_t index_offset) {
+    svc::SessionExecutorConfig executor_config;
+    executor_config.workers = kWorkers;
+    executor_config.queue_capacity = 2 * kWorkers;
+    executor_config.tracer = &tracer;
+    executor_config.session_index_offset = index_offset;
+    svc::SessionExecutor executor(scenario.disk.get(), &service,
+                                  scenario.tree_meta, executor_config);
+    for (const workload::QuerySet& session :
+         MakeSessions(scenario, uniform, session_count, steps)) {
+      executor.Submit(session);
+    }
+    executor.Finish();
+  };
+  hub.Sample(0, service.MetricsSnapshot(), service.shared_candidate());
+  run_phase(/*uniform=*/true, 0);
+  const uint64_t shift_clock = clock_now();
+  hub.Mark(shift_clock, "workload_shift:uniform->browsing");
+  run_phase(/*uniform=*/false, session_count);
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  // Close the final window so the tail of phase 2 is in the series.
+  hub.Sample(clock_now(), service.MetricsSnapshot(),
+             service.shared_candidate());
+
+  const std::vector<obs::TelemetryWindow> windows = hub.Windows();
+  const std::string timeseries_path =
+      bench::EnvOr("SDB_BENCH_TIMESERIES", "BENCH_timeseries.json");
+  if (!timeseries_path.empty() &&
+      !obs::WriteTimeSeriesJson(timeseries_path, windows, hub.Marks())) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 timeseries_path.c_str());
+  }
+
+  // Convergence lag of the ASB candidate series around the shift.
+  const obs::AsbTimelineReport report = obs::AnalyzeAsbTimeline(
+      obs::AsbPointsFromWindows(windows), {shift_clock}, /*tolerance=*/2);
+  sim::Table table({"phase start", "settled candidate", "converged at",
+                    "lag (accesses)"});
+  for (const obs::AsbPhase& phase : report.phases) {
+    table.AddRow({std::to_string(phase.shift_clock),
+                  std::to_string(phase.settled_candidate),
+                  phase.converged ? std::to_string(phase.converged_clock)
+                                  : std::string("never"),
+                  phase.converged ? std::to_string(phase.lag)
+                                  : std::string("-")});
+  }
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "Extension — ASB adaptation timeline, %zu windows, shift "
+                "at access %llu, %zuw/%zus, buffer %zu frames",
+                windows.size(),
+                static_cast<unsigned long long>(shift_clock), kWorkers,
+                kShards, total_frames);
+  table.Print(title);
+
+  // Span accounting: every sampled query trace should show the full
+  // session -> shard-fetch -> async causality chain at least once.
+  const std::vector<obs::Event> spans = tracer.Spans();
+  uint64_t sessions = 0, queries = 0, shard_fetches = 0, async_spans = 0;
+  for (const obs::Event& span : spans) {
+    switch (obs::SpanKindOf(span)) {
+      case obs::SpanKind::kSession: ++sessions; break;
+      case obs::SpanKind::kQuery: ++queries; break;
+      case obs::SpanKind::kShardFetch: ++shard_fetches; break;
+      case obs::SpanKind::kAsyncSubmit:
+      case obs::SpanKind::kAsyncComplete: ++async_spans; break;
+    }
+  }
+  std::printf(
+      "spans: %llu session, %llu query (1-in-%llu sampled), %llu "
+      "shard-fetch, %llu async (%llu emitted, %llu dropped)\n",
+      static_cast<unsigned long long>(sessions),
+      static_cast<unsigned long long>(queries),
+      static_cast<unsigned long long>(tracer.sample_every()),
+      static_cast<unsigned long long>(shard_fetches),
+      static_cast<unsigned long long>(async_spans),
+      static_cast<unsigned long long>(tracer.total()),
+      static_cast<unsigned long long>(tracer.dropped()));
+  const std::string trace_path = bench::BenchTracePath();
+  if (!trace_path.empty() && !tracer.WriteChromeTrace(trace_path)) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 trace_path.c_str());
+  }
+  // Live stats surface smoke: the dump must render (consumed by db_stats;
+  // printed here once so the bench log shows the service's final shape).
+  const std::string prom = service.StatsText();
+  std::printf("prometheus dump: %zu bytes, %zu series\n", prom.size(),
+              static_cast<size_t>(
+                  std::count(prom.begin(), prom.end(), '\n')));
+}
+
 }  // namespace
 
 int main() {
@@ -289,5 +452,6 @@ int main() {
       bench::EnvOr("SDB_BENCH_CONCURRENT", "BENCH_concurrent.json");
   RunGrid(scenario, "uniform U-W-100", /*uniform=*/true, json_path);
   RunGrid(scenario, "browsing sessions", /*uniform=*/false, json_path);
+  RunAdaptationTimeline(scenario);
   return 0;
 }

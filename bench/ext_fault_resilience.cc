@@ -30,6 +30,8 @@
 #include "bench_util.h"
 #include "core/buffer_manager.h"
 #include "core/policy_factory.h"
+#include "obs/collector.h"
+#include "obs/export.h"
 #include "rtree/rtree.h"
 #include "storage/disk_view.h"
 #include "storage/fault_injection.h"
@@ -98,6 +100,7 @@ struct CellResult {
   uint64_t io_recovered_reads = 0;
   uint64_t io_permanent_failures = 0;
   uint64_t io_errors = 0;
+  obs::MetricsSnapshot metrics;
 
   bool CleanRun() const {
     return io_permanent_failures == 0 && io_errors == 0;
@@ -130,7 +133,13 @@ CellResult RunCell(const sim::Scenario& scenario,
         std::make_unique<storage::FaultInjectingDevice>(view, profile);
     device = fault_device.get();
   }
-  core::BufferManager buffer(device, frames, core::CreatePolicy(policy));
+  // The collector only counts; the ledger and clean-run identity checks
+  // below compare counted behavior, which attaching it does not perturb.
+  obs::CollectorOptions collector_options;
+  collector_options.event_capacity = 0;  // metrics only
+  obs::Collector collector(collector_options);
+  core::BufferManager buffer(device, frames, core::CreatePolicy(policy),
+                             obs::kEnabled ? &collector : nullptr);
   TimingSource timing(&buffer);
   const rtree::RTree tree =
       rtree::RTree::Open(scenario.disk.get(), &timing, scenario.tree_meta);
@@ -155,6 +164,10 @@ CellResult RunCell(const sim::Scenario& scenario,
   cell.io_recovered_reads = buffer.stats().io_recovered_reads;
   cell.io_permanent_failures = buffer.stats().io_permanent_failures;
   cell.io_errors = tree.io_errors();
+  if constexpr (obs::kEnabled) {
+    buffer.FlushObservability();
+    cell.metrics = collector.metrics().Snapshot();
+  }
   if (fault_device != nullptr) {
     cell.faults_injected = fault_device->fault_stats().injected();
     // Recovery ledger: every injected data fault is exactly one retried
@@ -187,7 +200,7 @@ std::string CellJson(const std::string& workload_name,
       "\"p99_fetch_ns\":%llu,\"faults_injected\":%llu,"
       "\"io_read_retries\":%llu,\"io_checksum_mismatches\":%llu,"
       "\"io_recovered_reads\":%llu,\"io_permanent_failures\":%llu,"
-      "\"io_errors\":%llu}",
+      "\"io_errors\":%llu",
       obs::kBenchJsonSchemaVersion, workload_name.c_str(),
       sim::JsonEscape(policy).c_str(), frames, rate,
       use_fault_layer ? "fault_layer" : "plain", cell.hit_rate,
@@ -201,7 +214,13 @@ std::string CellJson(const std::string& workload_name,
       static_cast<unsigned long long>(cell.io_recovered_reads),
       static_cast<unsigned long long>(cell.io_permanent_failures),
       static_cast<unsigned long long>(cell.io_errors));
-  return std::string(buf);
+  std::string line(buf);
+  if (!cell.metrics.empty()) {
+    line += ",\"metrics\":";
+    line += obs::MetricsJson(cell.metrics);
+  }
+  line += "}";
+  return line;
 }
 
 }  // namespace

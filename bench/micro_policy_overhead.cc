@@ -383,6 +383,90 @@ void RunLatchOverheadTable() {
   }
 }
 
+/// ns per fetch on a hit-dominated BufferManager loop (working set = half
+/// the buffer, every access a hit after warm-up) with or without a
+/// metrics-only collector attached. This is the CI-guarded overhead: the
+/// detached side is one pointer compare per request, the attached side a
+/// handful of counter increments — unlike the eviction path there is no
+/// O(frames) scan to hide behind, so the A/B isolates the per-request
+/// instrumentation cost itself.
+double MeasureHitFetchNs(size_t frames, bool attach_collector) {
+  const size_t pages = frames / 2;
+  auto disk = StageDisk(pages);
+  obs::CollectorOptions options;
+  options.event_capacity = 0;  // metrics only, like the service shards
+  obs::Collector collector(options);
+  core::BufferManager buffer(
+      disk.get(), frames, core::CreatePolicy("LRU"),
+      attach_collector && obs::kEnabled ? &collector : nullptr);
+  uint64_t query = 0;
+  storage::PageId next = 0;
+  const auto touch = [&] {
+    const core::AccessContext ctx{++query};
+    core::PageHandle handle = buffer.FetchOrDie(next, ctx);
+    benchmark::DoNotOptimize(handle.bytes().data());
+    handle.Release();
+    next = static_cast<storage::PageId>((next + 1) % pages);
+  };
+  for (size_t i = 0; i < 2 * pages; ++i) touch();  // warm: all-hit
+  size_t reps = 1024;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < reps; ++r) touch();
+    const auto total_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (total_ns >= 20'000'000 || reps >= (1ULL << 30)) {
+      return static_cast<double>(total_ns) / static_cast<double>(reps);
+    }
+    reps = total_ns <= 0 ? reps * 16 : reps * 4;
+  }
+}
+
+/// Collector-attachment A/B on the buffer-hit path (see MeasureHitFetchNs).
+/// Appended to BENCH_policy_overhead.json as bench:"obs_overhead"; CI's
+/// obs-guard job asserts overhead_frac against its threshold via
+/// check_bench_regression.py.
+void RunObsOverheadTable() {
+  const std::vector<size_t> frame_counts = {256, 1024};
+  const std::string json_path = "BENCH_policy_overhead.json";
+  bool json_ok = true;
+  sim::Table table({"frames", "ns/fetch (detached)", "ns/fetch (attached)",
+                    "overhead"});
+  for (const size_t frames : frame_counts) {
+    // Best-of-3 per side: the attached delta is a few ns of counter
+    // increments, easily drowned by scheduler noise otherwise.
+    double detached_ns = 0.0, attached_ns = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const double d = MeasureHitFetchNs(frames, /*attach_collector=*/false);
+      const double a = MeasureHitFetchNs(frames, /*attach_collector=*/true);
+      if (rep == 0 || d < detached_ns) detached_ns = d;
+      if (rep == 0 || a < attached_ns) attached_ns = a;
+    }
+    const double overhead =
+        detached_ns > 0.0 ? (attached_ns - detached_ns) / detached_ns : 0.0;
+    table.AddRow({std::to_string(frames), sim::FormatDouble(detached_ns, 1),
+                  sim::FormatDouble(attached_ns, 1),
+                  sim::FormatDouble(100.0 * overhead, 2) + "%"});
+    char line[384];
+    std::snprintf(line, sizeof(line),
+                  "{\"schema_version\":%d,\"bench\":\"obs_overhead\","
+                  "\"policy\":\"LRU\",\"frames\":%zu,"
+                  "\"ns_per_fetch_detached\":%.1f,"
+                  "\"ns_per_fetch_attached\":%.1f,\"overhead_frac\":%.4f}",
+                  obs::kBenchJsonSchemaVersion, frames, detached_ns,
+                  attached_ns, overhead);
+    json_ok = sim::AppendJsonLine(json_path, line) && json_ok;
+  }
+  table.Print(
+      "observability cost on the buffer-hit path, no collector vs "
+      "metrics-only collector (LRU, all hits)");
+  if (!json_ok) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  }
+}
+
 /// EO-criterion maintenance cost at increasing fanout: ns per
 /// NodeView::RefreshAggregates — whose pairwise-overlap term is O(n²) in the
 /// entry count — with the geometry kernels forced to scalar versus the
@@ -474,6 +558,7 @@ int main(int argc, char** argv) {
   RunEvictionCostTable();
   RunFaultOverheadTable();
   RunLatchOverheadTable();
+  RunObsOverheadTable();
   RunEoRefreshCostTable();
   return 0;
 }

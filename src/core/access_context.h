@@ -3,6 +3,10 @@
 
 #include <cstdint>
 
+namespace sdb::obs {
+struct SpanContext;
+}  // namespace sdb::obs
+
 namespace sdb::core {
 
 /// Context of one page request. The query id drives the correlated-reference
@@ -13,6 +17,11 @@ struct AccessContext {
   /// the request. Queries must use distinct ids; `kNoQuery` marks accesses
   /// outside any query (bulk build, maintenance).
   uint64_t query_id = kNoQuery;
+
+  /// Tracing context of the query, when it was sampled for span tracing
+  /// (obs/trace.h); null — the overwhelmingly common case — means detached,
+  /// and every instrumentation site reduces to one pointer compare.
+  obs::SpanContext* span = nullptr;
 
   static constexpr uint64_t kNoQuery = 0;
 };

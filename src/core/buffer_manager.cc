@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 #include "storage/crc32c.h"
 
 namespace sdb::core {
@@ -712,11 +713,19 @@ void BufferManager::FetchBatchLocked(
       }
       ++end;
     }
-    for (size_t i = 0; i < staged_pages.size(); ++i) {
-      async_device_->SubmitRead(
-          staged_pages[i], {staging_.get() + i * page_size_, page_size_});
+    {
+      // The device itself carries no tracing; the submit span closes over
+      // the whole staging burst. A segment with nothing staged emits none.
+      obs::ScopedSpan submit_span(
+          staged_pages.empty() ? nullptr : ctx.span,
+          obs::SpanKind::kAsyncSubmit);
+      submit_span.set_payload(staged_pages.size());
+      for (size_t i = 0; i < staged_pages.size(); ++i) {
+        async_device_->SubmitRead(
+            staged_pages[i], {staging_.get() + i * page_size_, page_size_});
+      }
+      async_device_->EndBatch();
     }
-    async_device_->EndBatch();
     // In-order semantic phase: the exact sequential Fetch sequence, with
     // completions harvested out of order as each miss comes due.
     for (size_t i = begin; i < end; ++i) {
@@ -763,6 +772,10 @@ StatusOr<PageHandle> BufferManager::FetchOneInBatch(
   Status read;
   const auto slot = staged_slot.find(page);
   if (slot != staged_slot.end()) {
+    // The complete span covers the harvest-until-this-page poll loop plus
+    // the staging copy and checksum verify — the whole wait for the device.
+    obs::ScopedSpan complete_span(ctx.span, obs::SpanKind::kAsyncComplete);
+    complete_span.set_page(page);
     while (!completed->contains(page) && async_device_->in_flight() > 0) {
       completions->clear();
       async_device_->PollCompletions(completions, 1);
@@ -771,6 +784,7 @@ StatusOr<PageHandle> BufferManager::FetchOneInBatch(
       }
     }
     if (const auto done = completed->find(page); done != completed->end()) {
+      complete_span.set_flag(true);
       std::memcpy(FrameData(f),
                   staging_.get() + slot->second * page_size_, page_size_);
       read = FinishReadWithRecovery(f, page, done->second);

@@ -1,0 +1,83 @@
+#include "obs/asb_timeline.h"
+
+namespace sdb::obs {
+
+namespace {
+
+uint64_t AbsDiff(uint64_t a, uint64_t b) { return a > b ? a - b : b - a; }
+
+/// Convergence within [begin, end): find the last point outside the
+/// settled band; convergence starts at the next point inside it.
+AsbPhase AnalyzePhase(const std::vector<AsbTimelinePoint>& points,
+                      size_t begin, size_t end, uint64_t shift_clock,
+                      uint64_t tolerance) {
+  AsbPhase phase;
+  phase.shift_clock = shift_clock;
+  if (begin >= end) return phase;
+  phase.settled_candidate = points[end - 1].candidate;
+  size_t first_settled = begin;
+  for (size_t i = begin; i < end; ++i) {
+    if (AbsDiff(points[i].candidate, phase.settled_candidate) > tolerance) {
+      first_settled = i + 1;
+    }
+  }
+  if (first_settled < end) {
+    phase.converged = true;
+    phase.converged_clock = points[first_settled].clock;
+    phase.lag = phase.converged_clock > shift_clock
+                    ? phase.converged_clock - shift_clock
+                    : 0;
+  }
+  return phase;
+}
+
+}  // namespace
+
+AsbTimelineReport AnalyzeAsbTimeline(
+    const std::vector<AsbTimelinePoint>& points,
+    const std::vector<uint64_t>& shifts, uint64_t tolerance) {
+  AsbTimelineReport report;
+  // Phase boundaries: an implied phase from clock 0, then one per shift.
+  std::vector<uint64_t> starts;
+  if (shifts.empty() || shifts.front() > 0) starts.push_back(0);
+  starts.insert(starts.end(), shifts.begin(), shifts.end());
+  size_t cursor = 0;
+  for (size_t p = 0; p < starts.size(); ++p) {
+    const uint64_t phase_end_clock =
+        p + 1 < starts.size() ? starts[p + 1] : ~uint64_t{0};
+    while (cursor < points.size() && points[cursor].clock < starts[p]) {
+      ++cursor;
+    }
+    size_t end = cursor;
+    while (end < points.size() && points[end].clock < phase_end_clock) {
+      ++end;
+    }
+    report.phases.push_back(
+        AnalyzePhase(points, cursor, end, starts[p], tolerance));
+    cursor = end;
+  }
+  return report;
+}
+
+std::vector<AsbTimelinePoint> AsbPointsFromEvents(
+    const std::vector<Event>& events) {
+  std::vector<AsbTimelinePoint> points;
+  uint64_t index = 0;
+  for (const Event& event : events) {
+    if (event.kind != EventKind::kAsbAdapt) continue;
+    points.push_back(AsbTimelinePoint{++index, event.c});
+  }
+  return points;
+}
+
+std::vector<AsbTimelinePoint> AsbPointsFromWindows(
+    const std::vector<TelemetryWindow>& windows) {
+  std::vector<AsbTimelinePoint> points;
+  points.reserve(windows.size());
+  for (const TelemetryWindow& window : windows) {
+    points.push_back(AsbTimelinePoint{window.clock, window.asb_candidate});
+  }
+  return points;
+}
+
+}  // namespace sdb::obs

@@ -1,0 +1,56 @@
+#ifndef SPATIALBUFFER_OBS_ASB_TIMELINE_H_
+#define SPATIALBUFFER_OBS_ASB_TIMELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/telemetry.h"
+
+namespace sdb::obs {
+
+/// One observation of ASB's candidate-set size on a logical clock.
+struct AsbTimelinePoint {
+  uint64_t clock = 0;
+  uint64_t candidate = 0;
+};
+
+/// Convergence analysis of one workload phase (the stretch after one
+/// shift mark, up to the next). "Converged" means the candidate series
+/// entered and stayed inside ±tolerance of its value at the phase's end —
+/// the settled size the Sec. 4.2 rule was steering toward.
+struct AsbPhase {
+  uint64_t shift_clock = 0;       ///< where the phase begins
+  uint64_t settled_candidate = 0; ///< candidate size at the phase's end
+  uint64_t converged_clock = 0;   ///< first clock inside the settled band
+  bool converged = false;         ///< the series reached the band at all
+  uint64_t lag = 0;               ///< converged_clock - shift_clock
+};
+
+struct AsbTimelineReport {
+  std::vector<AsbPhase> phases;
+};
+
+/// Computes per-phase convergence lag of the candidate-size series.
+/// `shifts` are phase-start clocks (ascending); a leading phase from clock
+/// 0 is implied when the first shift is later. `tolerance` is the half
+/// width of the settled band in frames.
+AsbTimelineReport AnalyzeAsbTimeline(
+    const std::vector<AsbTimelinePoint>& points,
+    const std::vector<uint64_t>& shifts, uint64_t tolerance = 1);
+
+/// Candidate-size series from a kAsbAdapt event stream: the clock is the
+/// 1-based adaptation index (events carry no logical clock of their own),
+/// the candidate is the post-adjustment size the event recorded.
+std::vector<AsbTimelinePoint> AsbPointsFromEvents(
+    const std::vector<Event>& events);
+
+/// Candidate-size series from telemetry windows (clock = window clock).
+std::vector<AsbTimelinePoint> AsbPointsFromWindows(
+    const std::vector<TelemetryWindow>& windows);
+
+}  // namespace sdb::obs
+
+#endif  // SPATIALBUFFER_OBS_ASB_TIMELINE_H_

@@ -39,6 +39,11 @@ enum class EventKind : uint8_t {
   /// page = the page that poisoned it, frame = the quarantined frame,
   /// a = quarantined frames in this buffer after the event.
   kFrameQuarantined,
+  /// One closed tracing span (see obs/trace.h). query = trace id,
+  /// delta = SpanKind, frame = parent span id << 16 | span id,
+  /// a = track << 32 | kind-specific payload, b = begin ns (tracer epoch),
+  /// c = duration ns, page = page id when the span covers one page.
+  kSpan,
 };
 
 /// One structured event. Plain 48-byte POD; pushing is a copy into a

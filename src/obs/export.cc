@@ -110,7 +110,15 @@ void ChromeTraceWriter::AddCompleteEvent(std::string_view name, uint32_t tid,
                                          uint64_t duration_us,
                                          std::string_view category) {
   events_.push_back(TraceEvent{std::string(name), std::string(category), tid,
-                               begin_us, duration_us});
+                               begin_us * 1000, duration_us * 1000});
+}
+
+void ChromeTraceWriter::AddCompleteEventNs(std::string_view name,
+                                           uint32_t tid, uint64_t begin_ns,
+                                           uint64_t duration_ns,
+                                           std::string_view category) {
+  events_.push_back(TraceEvent{std::string(name), std::string(category), tid,
+                               begin_ns, duration_ns});
 }
 
 void ChromeTraceWriter::SetThreadName(uint32_t tid, std::string_view name) {
@@ -134,19 +142,76 @@ bool ChromeTraceWriter::Write(const std::string& path) const {
     first = false;
   }
   for (const TraceEvent& event : events_) {
+    // "ts"/"dur" are microseconds; fractional digits carry the nanosecond
+    // remainder (integer math — no double rounding in the output).
     ok = std::fprintf(
              file,
              "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
-             "\"cat\":\"%s\",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 "}",
+             "\"cat\":\"%s\",\"ts\":%" PRIu64 ".%03" PRIu64
+             ",\"dur\":%" PRIu64 ".%03" PRIu64 "}",
              first ? "" : ",", event.tid, Escape(event.name).c_str(),
-             Escape(event.category).c_str(), event.begin_us,
-             event.duration_us) >= 0 &&
+             Escape(event.category).c_str(), event.begin_ns / 1000,
+             event.begin_ns % 1000, event.duration_ns / 1000,
+             event.duration_ns % 1000) >= 0 &&
          ok;
     first = false;
   }
   ok = std::fputs("]}\n", file) >= 0 && ok;
   ok = std::fclose(file) == 0 && ok;
   return ok;
+}
+
+namespace {
+
+/// "svc.latch_waits" → "sdb_svc_latch_waits": Prometheus names allow
+/// [a-zA-Z0-9_:] only.
+std::string PromName(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  if (!out.empty()) out += '_';
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out += ok ? ch : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snapshot,
+                           std::string_view prefix) {
+  std::string out;
+  for (const MetricValue& metric : snapshot) {
+    const std::string name = PromName(prefix, metric.name);
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(metric.count) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + Number(metric.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < metric.bucket_counts.size(); ++i) {
+          cumulative += metric.bucket_counts[i];
+          const std::string le = i < metric.bounds.size()
+                                     ? Number(metric.bounds[i])
+                                     : std::string("+Inf");
+          out += name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_sum " + Number(metric.value) + "\n";
+        out += name + "_count " + std::to_string(metric.observations) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace sdb::obs

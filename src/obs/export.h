@@ -16,7 +16,9 @@ namespace sdb::obs {
 /// renames, removes, or re-types a field.
 ///   1: implicit (rows without the field)
 ///   2: the field itself + concurrent-service rows (BENCH_concurrent.json)
-inline constexpr int kBenchJsonSchemaVersion = 2;
+///   3: metrics blocks in concurrent/fault rows + the BENCH_timeseries.json
+///      writer (additive only — version-2 fields are unchanged)
+inline constexpr int kBenchJsonSchemaVersion = 3;
 
 /// Compact single-line JSON object of a snapshot: counters and gauges as
 /// numbers, histograms as {"bounds":[...],"counts":[...],"sum":s,"n":n}.
@@ -31,14 +33,21 @@ bool WriteMetricsJsonLines(const std::string& path, std::string_view label,
 
 /// Accumulates Chrome trace_event "complete" events and writes a JSON file
 /// loadable in chrome://tracing or https://ui.perfetto.dev — used to render
-/// the sweep runner's worker timelines. Timestamps are microseconds from an
-/// arbitrary common origin.
+/// the sweep runner's worker timelines and the query span traces.
+/// Timestamps are from an arbitrary common origin; events are stored at
+/// nanosecond resolution and written as fractional microseconds (the
+/// trace_event "ts" unit), so sub-microsecond device spans stay visible.
 class ChromeTraceWriter {
  public:
   /// `tid` groups events into horizontal tracks (one per worker thread).
   void AddCompleteEvent(std::string_view name, uint32_t tid,
                         uint64_t begin_us, uint64_t duration_us,
                         std::string_view category = "replay");
+
+  /// Same, at nanosecond resolution (span traces).
+  void AddCompleteEventNs(std::string_view name, uint32_t tid,
+                          uint64_t begin_ns, uint64_t duration_ns,
+                          std::string_view category = "trace");
 
   /// Names a track, so the viewer shows "worker 3" instead of a bare tid.
   void SetThreadName(uint32_t tid, std::string_view name);
@@ -53,8 +62,8 @@ class ChromeTraceWriter {
     std::string name;
     std::string category;
     uint32_t tid = 0;
-    uint64_t begin_us = 0;
-    uint64_t duration_us = 0;
+    uint64_t begin_ns = 0;
+    uint64_t duration_ns = 0;
   };
   struct ThreadName {
     uint32_t tid = 0;
@@ -63,6 +72,15 @@ class ChromeTraceWriter {
   std::vector<TraceEvent> events_;
   std::vector<ThreadName> thread_names_;
 };
+
+/// Prometheus text exposition (version 0.0.4) of a snapshot: counters and
+/// gauges as single samples, histograms as cumulative `_bucket{le=...}`
+/// series plus `_sum`/`_count`. Metric names are prefixed with `prefix_`
+/// and non-identifier characters become underscores ("svc.latch_waits" →
+/// "sdb_svc_latch_waits"). The live stats surface of bench/db_stats and
+/// svc::BufferService::StatsText.
+std::string PrometheusText(const MetricsSnapshot& snapshot,
+                           std::string_view prefix = "sdb");
 
 }  // namespace sdb::obs
 

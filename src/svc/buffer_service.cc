@@ -6,6 +6,8 @@
 #include "common/macros.h"
 #include "core/policy_asb.h"
 #include "core/policy_factory.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 
 namespace sdb::svc {
 
@@ -111,11 +113,18 @@ std::unique_lock<std::mutex> BufferService::LockShard(Shard& shard) const {
 
 core::StatusOr<core::PageHandle> BufferService::Fetch(
     storage::PageId page, const core::AccessContext& ctx) {
-  Shard& shard = *shards_[ShardOf(page)];
+  const size_t s = ShardOf(page);
+  Shard& shard = *shards_[s];
+  // Span over the whole routed fetch (optimistic probe included); payload =
+  // the shard index, flag = served latch-free.
+  obs::ScopedSpan span(ctx.span, obs::SpanKind::kShardFetch);
+  span.set_page(page);
+  span.set_payload(s);
   if (latch_mode_ == LatchMode::kOptimistic) {
     // Latch-free hit path: version-validated pin, bookkeeping deferred.
     if (std::optional<core::PageHandle> hit =
             shard.buffer->TryOptimisticFetch(page, ctx)) {
+      span.set_flag(true);
       return std::move(*hit);
     }
   }
@@ -153,6 +162,12 @@ void BufferService::FetchBatch(
     shard_out.clear();
     for (const size_t i : by_shard[s]) shard_pages.push_back(pages[i]);
     Shard& shard = *shards_[s];
+    // One span per shard group: the latch hold plus the shard's batched
+    // miss pipeline (any kAsyncSubmit/kAsyncComplete spans nest inside).
+    // payload = the shard index, page = the group's lead page.
+    obs::ScopedSpan span(ctx.span, obs::SpanKind::kShardFetch);
+    span.set_page(shard_pages.front());
+    span.set_payload(s);
     const std::unique_lock<std::mutex> lock = LockShard(shard);
     shard.buffer->FetchBatchLocked(shard_pages, ctx, &shard_out);
     for (size_t k = 0; k < by_shard[s].size(); ++k) {
@@ -324,6 +339,35 @@ obs::MetricsSnapshot BufferService::MetricsSnapshot() {
     merged.Merge(shard->collector->metrics().Snapshot());
   }
   return merged.Snapshot();
+}
+
+std::string BufferService::StatsText() {
+  obs::MetricsRegistry registry;
+  if (collect_metrics_) {
+    registry.Merge(MetricsSnapshot());
+  } else {
+    // No collectors attached: synthesize the core series from the shard
+    // aggregate so the dump works on any service configuration.
+    const ShardStats stats = AggregateStats();
+    registry.GetCounter("buffer.requests")->Add(stats.buffer.requests);
+    registry.GetCounter("buffer.hits")->Add(stats.buffer.hits);
+    registry.GetCounter("buffer.misses")->Add(stats.buffer.misses);
+    registry.GetCounter("buffer.evictions")->Add(stats.buffer.evictions);
+    registry.GetCounter("svc.latch_waits")->Add(stats.latch_waits);
+    registry.GetCounter("svc.latch_acquires")->Add(stats.latch_acquires);
+    registry.GetCounter("svc.disk_reads")->Add(stats.io.reads);
+    registry.GetCounter("io.quarantined_frames")
+        ->Add(stats.quarantined_frames);
+  }
+  registry.GetGauge("svc.shards")
+      ->Set(static_cast<double>(shards_.size()));
+  registry.GetGauge("svc.total_frames")
+      ->Set(static_cast<double>(total_frames_));
+  if (asb_shared_) {
+    registry.GetGauge("svc.shared_candidate")
+        ->Set(static_cast<double>(shared_candidate()));
+  }
+  return obs::PrometheusText(registry.Snapshot());
 }
 
 std::vector<obs::MetricsSnapshot> BufferService::ShardMetricsSnapshots() {

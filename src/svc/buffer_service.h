@@ -209,6 +209,12 @@ class BufferService final : public core::PageSource {
   /// Same flush, one snapshot per shard (per-shard reporting).
   std::vector<obs::MetricsSnapshot> ShardMetricsSnapshots();
 
+  /// On-demand live stats dump: the merged metrics snapshot (or, without
+  /// collect_metrics, a minimal snapshot synthesized from AggregateStats)
+  /// plus service-shape gauges, rendered as Prometheus text exposition.
+  /// Thread-safe; takes the shard latches like any stats read.
+  std::string StatsText();
+
  private:
   struct Shard {
     explicit Shard(const storage::DiskManager& disk) : view(disk) {}

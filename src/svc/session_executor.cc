@@ -129,9 +129,34 @@ SessionResult SessionExecutor::RunSession(size_t index,
   CountingSource counting(source_, config_.record_pin_latency);
   const rtree::RTree tree = rtree::RTree::Open(disk_, &counting, tree_meta_);
 
-  uint64_t query_id = static_cast<uint64_t>(index) * config_.query_id_stride;
+  const uint64_t logical =
+      static_cast<uint64_t>(index) + config_.session_index_offset;
+  uint64_t query_id = logical * config_.query_id_stride;
+  // The session span is its own trace (trace id = the query-id base, which
+  // no query uses — ids start at base + 1) on the session's track; sampled
+  // queries land on the same track, so the viewer nests them by time.
+  obs::SpanContext session_span;
+  if (config_.tracer != nullptr) {
+    session_span.tracer = config_.tracer;
+    session_span.trace_id = query_id;
+    session_span.track = static_cast<uint32_t>(logical);
+  }
+  obs::ScopedSpan session_scope(
+      config_.tracer != nullptr ? &session_span : nullptr,
+      obs::SpanKind::kSession);
+  session_scope.set_payload(session.queries.size());
   for (const geom::Rect& window : session.queries) {
-    const core::AccessContext ctx{++query_id};
+    core::AccessContext ctx{++query_id};
+    // Deterministic sampling decision (pure function of the query id), one
+    // fresh per-query context so span ids restart at 1 in every trace.
+    obs::SpanContext query_span;
+    if (config_.tracer != nullptr && config_.tracer->ShouldSample(query_id)) {
+      query_span.tracer = config_.tracer;
+      query_span.trace_id = query_id;
+      query_span.track = static_cast<uint32_t>(logical);
+      ctx.span = &query_span;
+    }
+    obs::ScopedSpan query_scope(ctx.span, obs::SpanKind::kQuery);
     tree.WindowQueryVisit(window, ctx, [&result](const rtree::Entry&) {
       ++result.result_objects;
     });

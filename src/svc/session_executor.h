@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/buffer_manager.h"
+#include "obs/trace.h"
 #include "storage/disk_manager.h"
 #include "workload/query_generator.h"
 
@@ -121,6 +122,17 @@ struct SessionExecutorConfig {
   /// histogram returned by pin_latency(). Off by default: the two clock
   /// reads per fetch are measurable on the latch-free hit path.
   bool record_pin_latency = false;
+  /// Span-trace sink. Null (the default) leaves every access detached —
+  /// no ids minted, no clock reads, one pointer compare per site. With a
+  /// tracer, each session emits one kSession span, and every query whose
+  /// id the tracer samples runs under a kQuery span whose context rides
+  /// core::AccessContext::span into the service and device layers.
+  obs::Tracer* tracer = nullptr;
+  /// Added to the submission index when deriving the session's logical
+  /// index (query-id base = logical * query_id_stride, trace track =
+  /// logical). Lets a bench run two executor phases over one service
+  /// without colliding query ids or trace tracks.
+  size_t session_index_offset = 0;
 };
 
 /// Outcome of one executed session. `index`, `queries`, `result_objects`

@@ -9,10 +9,13 @@
 #include <thread>
 #include <vector>
 
+#include "obs/asb_timeline.h"
 #include "obs/collector.h"
 #include "obs/events.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 // Global allocation counter for the zero-allocation fast-path tests: the
 // registry promises that only registration (Get*) allocates, never the
@@ -322,6 +325,379 @@ TEST(ExportTest, ChromeTraceFile) {
   EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
   EXPECT_NE(json.find("worker 0"), std::string::npos);
   EXPECT_NE(json.find("LRU/U-P/64"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// HistogramQuantile edge cases: the nearest-rank-with-interpolation contract
+// at the boundaries of q and of the bucket layout.
+
+TEST(HistogramQuantileTest, QZeroTargetsTheFirstObservation) {
+  const std::vector<uint64_t> counts = {2, 0, 0, 0};
+  // rank = max(1, round(0 * 2)) = 1 → halfway into [0, 1].
+  EXPECT_DOUBLE_EQ(HistogramQuantile(kBounds, counts, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(kBounds, counts, -3.0), 0.5)
+      << "q below the domain clamps to 0";
+}
+
+TEST(HistogramQuantileTest, QOneSaturatesAtTheTopBound) {
+  const std::vector<uint64_t> counts = {1, 1, 1, 1};
+  // rank 4 lands in the overflow bucket, which has no upper edge.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(kBounds, counts, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(kBounds, counts, 5.0), 4.0)
+      << "q above the domain clamps to 1";
+}
+
+TEST(HistogramQuantileTest, AllObservationsInOverflowReportTheTopBound) {
+  const std::vector<uint64_t> counts = {0, 0, 0, 5};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(kBounds, counts, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(kBounds, counts, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(kBounds, counts, 1.0), 4.0);
+}
+
+TEST(HistogramQuantileTest, NoObservationsReturnZero) {
+  const std::vector<uint64_t> counts = {0, 0, 0, 0};
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(HistogramQuantile(kBounds, counts, q), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(
+      HistogramQuantile(std::span<const double>{},
+                        std::vector<uint64_t>{0}, 0.5),
+      0.0)
+      << "a boundless histogram with no observations";
+}
+
+TEST(HistogramQuantileTest, SingleBucketInterpolatesWithinIt) {
+  const double bounds[] = {10.0};
+  const std::vector<uint64_t> counts = {4, 0};
+  // rank r of 4 observations → 10 * r / 4.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 1.0), 10.0);
+}
+
+TEST(HistogramQuantileTest, MetricValueOverloadMatchesTheSpanOverload) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h", kBounds);
+  for (const double v : {0.5, 1.5, 3.0, 3.5}) h->Observe(v);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  for (const double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot[0], q),
+                     HistogramQuantile(kBounds, snapshot[0].bucket_counts, q));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+
+TEST(ExportTest, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("svc.latch_waits")->Add(7);
+  registry.GetGauge("io.queue_depth")->Set(2.5);
+  Histogram* h = registry.GetHistogram("pin.ns", kBounds);
+  h->Observe(1.0);
+  h->Observe(3.0);
+  h->Observe(100.0);
+  const std::string text = PrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE sdb_svc_latch_waits counter\n"
+                      "sdb_svc_latch_waits 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE sdb_io_queue_depth gauge\n"
+                      "sdb_io_queue_depth 2.5\n"),
+            std::string::npos)
+      << "dots sanitize to underscores: " << text;
+  // Bucket samples are cumulative, closed by +Inf at the observation total.
+  EXPECT_NE(text.find("sdb_pin_ns_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("sdb_pin_ns_bucket{le=\"2\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("sdb_pin_ns_bucket{le=\"4\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("sdb_pin_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sdb_pin_ns_sum 104\n"), std::string::npos);
+  EXPECT_NE(text.find("sdb_pin_ns_count 3\n"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusTextHonorsThePrefix) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(1);
+  EXPECT_NE(PrometheusText(registry.Snapshot(), "spatial")
+                .find("spatial_c 1\n"),
+            std::string::npos);
+}
+
+TEST(ExportTest, ChromeTraceNanosecondEventsKeepSubMicrosecondDetail) {
+  ChromeTraceWriter writer;
+  writer.AddCompleteEventNs("pin", 0, 1500, 250, "trace");
+  const std::string path = ::testing::TempDir() + "/obs_trace_ns.json";
+  ASSERT_TRUE(writer.Write(path));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string json = content.str();
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos)
+      << "1500 ns = 1.5 µs: " << json;
+  EXPECT_NE(json.find("\"dur\":0.250"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Span tracing: packing, sampling, nesting, rendering.
+
+TEST(TracerTest, ShouldSampleSelectsEveryNthTraceDeterministically) {
+  TracerOptions every4;
+  every4.sample_every = 4;
+  const Tracer tracer(every4);
+  EXPECT_TRUE(tracer.ShouldSample(0));
+  EXPECT_FALSE(tracer.ShouldSample(1));
+  EXPECT_FALSE(tracer.ShouldSample(3));
+  EXPECT_TRUE(tracer.ShouldSample(4));
+  EXPECT_TRUE(tracer.ShouldSample(8));
+
+  TracerOptions off;
+  off.sample_every = 0;
+  const Tracer disabled(off);
+  EXPECT_FALSE(disabled.ShouldSample(0));
+  EXPECT_FALSE(disabled.ShouldSample(64));
+}
+
+TEST(TracerTest, NestedScopedSpansPackIdsParentsAndTrack) {
+  Tracer tracer;
+  SpanContext ctx;
+  ctx.tracer = &tracer;
+  ctx.trace_id = 42;
+  ctx.track = 7;
+  {
+    ScopedSpan query(&ctx, SpanKind::kQuery);
+    ASSERT_TRUE(query.armed());
+    query.set_payload(3);
+    {
+      ScopedSpan fetch(&ctx, SpanKind::kShardFetch);
+      fetch.set_page(99);
+      fetch.set_flag(true);
+    }
+    EXPECT_EQ(ctx.parent, 1) << "closing the child restores the parent";
+  }
+  EXPECT_EQ(ctx.parent, 0) << "closing the root restores root level";
+
+  const std::vector<Event> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 2u) << "children close (and emit) first";
+  const Event& fetch = spans[0];
+  const Event& query = spans[1];
+  EXPECT_EQ(SpanKindOf(fetch), SpanKind::kShardFetch);
+  EXPECT_EQ(SpanIdOf(fetch), 2);
+  EXPECT_EQ(SpanParentOf(fetch), 1) << "child points at the enclosing span";
+  EXPECT_EQ(SpanTrackOf(fetch), 7u);
+  EXPECT_EQ(fetch.query, 42u);
+  EXPECT_EQ(fetch.page, 99u);
+  EXPECT_TRUE(fetch.flag);
+  EXPECT_EQ(SpanKindOf(query), SpanKind::kQuery);
+  EXPECT_EQ(SpanIdOf(query), 1);
+  EXPECT_EQ(SpanParentOf(query), 0) << "root span has no parent";
+  EXPECT_EQ(SpanPayloadOf(query), 3u);
+  EXPECT_LE(query.b, fetch.b) << "parent begins before the child";
+  EXPECT_GE(query.b + query.c, fetch.b + fetch.c)
+      << "parent ends after the child (time containment)";
+}
+
+TEST(TracerTest, DetachedSpanIsInert) {
+  ScopedSpan detached(nullptr, SpanKind::kQuery);
+  EXPECT_FALSE(detached.armed());
+  detached.set_page(1);
+  detached.set_payload(2);
+  detached.set_flag(true);  // all no-ops, must not crash
+
+  SpanContext no_tracer;  // default: tracer == nullptr
+  ScopedSpan unarmed(&no_tracer, SpanKind::kShardFetch);
+  EXPECT_FALSE(unarmed.armed());
+  EXPECT_EQ(no_tracer.next_id, 1) << "no id minted without a tracer";
+}
+
+TEST(TracerTest, WriteChromeTraceRendersTracksAndSpanNames) {
+  Tracer tracer;
+  SpanContext ctx;
+  ctx.tracer = &tracer;
+  ctx.trace_id = 43;
+  ctx.track = 5;
+  {
+    ScopedSpan query(&ctx, SpanKind::kQuery);
+    ScopedSpan fetch(&ctx, SpanKind::kShardFetch);
+  }
+  EXPECT_EQ(tracer.total(), 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  const std::string path = ::testing::TempDir() + "/obs_span_trace.json";
+  ASSERT_TRUE(tracer.WriteChromeTrace(path));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string json = content.str();
+  EXPECT_NE(json.find("session 5"), std::string::npos)
+      << "one named track per session: " << json;
+  EXPECT_NE(json.find("query #43.1"), std::string::npos) << json;
+  EXPECT_NE(json.find("shard_fetch #43.2"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Windowed time-series telemetry.
+
+MetricsSnapshot ServiceSnapshot(uint64_t requests, uint64_t hits,
+                                uint64_t latch_waits, uint64_t disk_reads,
+                                double queue_depth, double candidate) {
+  MetricsRegistry registry;
+  registry.GetCounter("buffer.requests")->Add(requests);
+  registry.GetCounter("buffer.hits")->Add(hits);
+  registry.GetCounter("svc.latch_waits")->Add(latch_waits);
+  registry.GetCounter("svc.latch_acquires")->Add(latch_waits * 2);
+  registry.GetCounter("svc.disk_reads")->Add(disk_reads);
+  registry.GetGauge("io.queue_depth")->Set(queue_depth);
+  registry.GetGauge("asb.candidate")->Set(candidate);
+  return registry.Snapshot();
+}
+
+TEST(TelemetryHubTest, FirstSampleOnlyEstablishesTheBase) {
+  TelemetryHub hub;
+  hub.Sample(0, ServiceSnapshot(100, 90, 0, 10, 0, 8));
+  EXPECT_TRUE(hub.Windows().empty())
+      << "startup totals must not become a window";
+  hub.Sample(5000, ServiceSnapshot(300, 250, 4, 50, 2, 12));
+  ASSERT_EQ(hub.Windows().size(), 1u);
+}
+
+TEST(TelemetryHubTest, WindowsCarryCounterDeltasAndGaugeLevels) {
+  TelemetryHub hub;
+  hub.Sample(0, ServiceSnapshot(100, 90, 2, 10, 1, 8));
+  hub.Sample(200, ServiceSnapshot(300, 250, 6, 50, 3, 12));
+  const std::vector<TelemetryWindow> windows = hub.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  const TelemetryWindow& w = windows[0];
+  EXPECT_EQ(w.clock, 200u);
+  EXPECT_EQ(w.requests, 200u) << "counter series are per-window deltas";
+  EXPECT_EQ(w.hits, 160u);
+  EXPECT_DOUBLE_EQ(w.hit_rate, 160.0 / 200.0);
+  EXPECT_EQ(w.latch_waits, 4u);
+  EXPECT_EQ(w.latch_acquires, 8u);
+  EXPECT_EQ(w.disk_reads, 40u);
+  EXPECT_EQ(w.io_queue_depth, 3u) << "gauges are levels, not deltas";
+  EXPECT_EQ(w.asb_candidate, 12u);
+}
+
+TEST(TelemetryHubTest, ExplicitCandidateOverridesTheGauge) {
+  TelemetryHub hub;
+  hub.Sample(0, ServiceSnapshot(1, 1, 0, 0, 0, 8));
+  hub.Sample(100, ServiceSnapshot(2, 2, 0, 0, 0, 8), /*asb_candidate=*/31);
+  ASSERT_EQ(hub.Windows().size(), 1u);
+  EXPECT_EQ(hub.Windows()[0].asb_candidate, 31u);
+}
+
+TEST(TelemetryHubTest, WantsSampleGatesOnTheClockInterval) {
+  TelemetryHubOptions options;
+  options.window_clock_interval = 100;
+  TelemetryHub hub(options);
+  EXPECT_FALSE(hub.WantsSample(99));
+  EXPECT_TRUE(hub.WantsSample(100));
+  hub.Sample(100, ServiceSnapshot(1, 1, 0, 0, 0, 1));
+  EXPECT_FALSE(hub.WantsSample(150));
+  EXPECT_FALSE(hub.WantsSample(100)) << "no progress, no sample";
+  EXPECT_TRUE(hub.WantsSample(200));
+}
+
+TEST(TelemetryHubTest, StaleClocksAndCounterResetsDoNotCorruptTheSeries) {
+  TelemetryHub hub;
+  hub.Sample(0, ServiceSnapshot(100, 90, 0, 0, 0, 1));
+  hub.Sample(100, ServiceSnapshot(200, 180, 0, 0, 0, 1));
+  hub.Sample(100, ServiceSnapshot(999, 999, 9, 9, 9, 9));
+  EXPECT_EQ(hub.Windows().size(), 1u) << "a non-advancing clock is dropped";
+  // A source reset (totals going backwards) saturates at zero instead of
+  // wrapping around.
+  hub.Sample(300, ServiceSnapshot(50, 40, 0, 0, 0, 1));
+  ASSERT_EQ(hub.Windows().size(), 2u);
+  EXPECT_EQ(hub.Windows()[1].requests, 0u);
+  EXPECT_EQ(hub.Windows()[1].hits, 0u);
+}
+
+TEST(TelemetryHubTest, TimeSeriesJsonCarriesWindowsAndMarks) {
+  TelemetryHub hub;
+  hub.Sample(0, ServiceSnapshot(0, 0, 0, 0, 0, 4));
+  hub.Sample(100, ServiceSnapshot(80, 60, 1, 20, 2, 6));
+  hub.Mark(50, "workload_shift");
+  const std::string path = ::testing::TempDir() + "/obs_timeseries.jsonl";
+  ASSERT_TRUE(WriteTimeSeriesJson(path, hub.Windows(), hub.Marks()));
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u) << "one record per window plus one per mark";
+  const std::string version =
+      "\"schema_version\":" + std::to_string(kBenchJsonSchemaVersion);
+  EXPECT_NE(lines[0].find(version), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"kind\":\"window\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"clock\":100"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"requests\":80"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"hit_rate\":0.750000"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"asb_candidate\":6"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"mark\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"label\":\"workload_shift\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ASB adaptation-timeline analysis.
+
+TEST(AsbTimelineTest, ComputesPerPhaseConvergenceLag) {
+  // Phase 0 (implied, clock 0..25): settled at 8 immediately.
+  // Phase 1 (shift at 25): climbs 16 → 24 → 30 → 31 → 32; with tolerance 1
+  // the settled band is [31, 33], entered at clock 60.
+  const std::vector<AsbTimelinePoint> points = {
+      {10, 8}, {20, 8},                                   // phase 0
+      {30, 16}, {40, 24}, {50, 30}, {60, 31}, {70, 32},   // phase 1
+  };
+  const AsbTimelineReport report =
+      AnalyzeAsbTimeline(points, /*shifts=*/{25}, /*tolerance=*/1);
+  ASSERT_EQ(report.phases.size(), 2u) << "implied leading phase + one shift";
+  EXPECT_EQ(report.phases[0].shift_clock, 0u);
+  EXPECT_EQ(report.phases[0].settled_candidate, 8u);
+  ASSERT_TRUE(report.phases[0].converged);
+  EXPECT_EQ(report.phases[0].converged_clock, 10u);
+  EXPECT_EQ(report.phases[0].lag, 10u);
+  EXPECT_EQ(report.phases[1].shift_clock, 25u);
+  EXPECT_EQ(report.phases[1].settled_candidate, 32u);
+  ASSERT_TRUE(report.phases[1].converged);
+  EXPECT_EQ(report.phases[1].converged_clock, 60u);
+  EXPECT_EQ(report.phases[1].lag, 35u);
+}
+
+TEST(AsbTimelineTest, PhaseWithoutPointsDoesNotConverge) {
+  const std::vector<AsbTimelinePoint> points = {{10, 8}, {20, 8}};
+  const AsbTimelineReport report = AnalyzeAsbTimeline(points, {100});
+  ASSERT_EQ(report.phases.size(), 2u);
+  EXPECT_TRUE(report.phases[0].converged);
+  EXPECT_FALSE(report.phases[1].converged)
+      << "no observations after the shift";
+}
+
+TEST(AsbTimelineTest, PointsFromEventsUseTheAdaptationIndexAsClock) {
+  std::vector<Event> events(4);
+  events[0].kind = EventKind::kAsbAdapt;
+  events[0].c = 10;
+  events[1].kind = EventKind::kEviction;  // skipped
+  events[2].kind = EventKind::kAsbAdapt;
+  events[2].c = 11;
+  events[3].kind = EventKind::kPageAccess;  // skipped
+  const std::vector<AsbTimelinePoint> points = AsbPointsFromEvents(events);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].clock, 1u);
+  EXPECT_EQ(points[0].candidate, 10u);
+  EXPECT_EQ(points[1].clock, 2u);
+  EXPECT_EQ(points[1].candidate, 11u);
+}
+
+TEST(AsbTimelineTest, PointsFromWindowsCarryTheWindowClock) {
+  std::vector<TelemetryWindow> windows(2);
+  windows[0].clock = 4096;
+  windows[0].asb_candidate = 9;
+  windows[1].clock = 8192;
+  windows[1].asb_candidate = 13;
+  const std::vector<AsbTimelinePoint> points = AsbPointsFromWindows(windows);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].clock, 4096u);
+  EXPECT_EQ(points[1].candidate, 13u);
 }
 
 }  // namespace
