@@ -8,6 +8,12 @@ Two modes:
       under the threshold (the attached-collector cost on the buffer-hit
       path must stay bounded).
 
+  wal A.json B.json --max-drop 0.5
+      Joins the bench:"wal_commit" rows of two BENCH_wal.json runs on
+      (window_us, threads) and fails when commits_per_sec in B dropped
+      by more than the fraction --max-drop relative to A (group commit
+      must keep paying for itself).
+
   compare A.json B.json [--field hit_rate] [--tol 0]
       Joins two BENCH_sweep.json runs on the row key
       (bench, database, fraction, query_set, policy, baseline,
@@ -117,6 +123,41 @@ def check_compare(args):
     return 1 if failures else 0
 
 
+def check_wal(args):
+    def commit_rows(path):
+        rows = {}
+        for row in read_rows(path):
+            if row.get("bench") != "wal_commit":
+                continue
+            rows[(row.get("window_us"), row.get("threads"))] = row
+        return rows
+
+    rows_a = commit_rows(args.file_a)
+    rows_b = commit_rows(args.file_b)
+    shared = sorted(set(rows_a) & set(rows_b), key=repr)
+    if not shared:
+        print("no shared wal_commit rows between the two files",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for key in shared:
+        base = rows_a[key].get("commits_per_sec")
+        cand = rows_b[key].get("commits_per_sec")
+        if not base or cand is None:
+            continue
+        label = f"window={key[0]}us/threads={key[1]}"
+        floor = (1.0 - args.max_drop) * base
+        if cand < floor:
+            print(f"FAIL {label}: commits_per_sec {cand:.0f} < "
+                  f"{floor:.0f} ({base:.0f} - {100 * args.max_drop:.0f}%)",
+                  file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {label}: commits_per_sec {cand:.0f} "
+                  f">= {floor:.0f}")
+    return 1 if failures else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="mode", required=True)
@@ -133,9 +174,17 @@ def main():
     cmp_parser.add_argument("--field", default="hit_rate")
     cmp_parser.add_argument("--tol", type=float, default=0.0)
 
+    wal = sub.add_parser("wal",
+                         help="guard wal_commit throughput between runs")
+    wal.add_argument("file_a")
+    wal.add_argument("file_b")
+    wal.add_argument("--max-drop", type=float, default=0.5)
+
     args = parser.parse_args()
     if args.mode == "obs-overhead":
         sys.exit(check_obs_overhead(args))
+    if args.mode == "wal":
+        sys.exit(check_wal(args))
     sys.exit(check_compare(args))
 
 

@@ -1,0 +1,378 @@
+// Extension: the write path under measurement. Three experiments, all
+// appended as JSON-Lines to BENCH_wal.json (override with SDB_BENCH_WAL;
+// empty disables):
+//
+//   wal_commit    — commit throughput vs the group-commit window
+//                   {inline, 50us, 200us, 1000us} with concurrent
+//                   committer threads. CI gates this table: batching
+//                   commits into one fsync must keep paying for itself.
+//   wal_recovery  — redo-recovery time and replayed-image count vs the
+//                   churn volume {64, 256, 1024 ops} that produced the
+//                   log (the recovery-time-vs-dirty-set axis).
+//   wal_write_mix — ASB vs LRU hit rates when {10%, 50%, 90%} of the
+//                   operations against the US-like database are churn
+//                   writes instead of window queries. The paper evaluates
+//                   read-only replays; this probes whether ASB's spatial
+//                   criterion survives a mutating working set.
+//
+// Knobs: SDB_WAL_THREADS (committers, default 4), SDB_WAL_COMMITS
+// (commits per thread, default 250), SDB_WAL_MIX_OPS (mixed-workload
+// operations per cell, default 1500).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/buffer_manager.h"
+#include "core/policy_factory.h"
+#include "rtree/rtree.h"
+#include "sim/churn.h"
+#include "sim/report.h"
+#include "storage/disk_manager.h"
+#include "wal/recovery.h"
+#include "wal/wal.h"
+
+namespace {
+
+using namespace sdb;
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// wal_commit: throughput vs group-commit window
+
+struct CommitCell {
+  uint32_t window_us = 0;
+  size_t threads = 0;
+  uint64_t commits = 0;
+  double elapsed_ms = 0.0;
+  double commits_per_sec = 0.0;
+  uint64_t fsyncs = 0;
+  uint64_t appends = 0;
+};
+
+CommitCell RunCommitCell(uint32_t window_us, size_t threads,
+                         size_t commits_per_thread) {
+  storage::DiskManager log;
+  wal::WalOptions options;
+  options.group_commit = window_us > 0;
+  options.group_window_us = window_us;
+  wal::WalManager wal(&log, options);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&wal, t, threads, commits_per_thread] {
+      std::vector<std::byte> image(wal.device().page_size(),
+                                   std::byte{static_cast<uint8_t>(t)});
+      const core::AccessContext ctx{t + 1};
+      for (size_t i = 0; i < commits_per_thread; ++i) {
+        const wal::PageImageRef ref{static_cast<storage::PageId>(t), image};
+        const core::StatusOr<wal::Lsn> end =
+            wal.CommitPages({&ref, 1}, threads, ctx);
+        SDB_CHECK_MSG(end.ok(), "bench commit failed");
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  CommitCell cell;
+  cell.window_us = window_us;
+  cell.threads = threads;
+  cell.elapsed_ms = ElapsedMs(start);
+  const wal::WalStats stats = wal.stats();
+  cell.commits = stats.commits;
+  cell.fsyncs = stats.fsyncs;
+  cell.appends = stats.appends;
+  cell.commits_per_sec =
+      cell.elapsed_ms <= 0.0
+          ? 0.0
+          : 1000.0 * static_cast<double>(cell.commits) / cell.elapsed_ms;
+  return cell;
+}
+
+std::string CommitJson(const CommitCell& cell) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"bench\":\"wal_commit\",\"window_us\":%u,\"threads\":%zu,"
+      "\"commits\":%llu,\"elapsed_ms\":%.3f,\"commits_per_sec\":%.1f,"
+      "\"fsyncs\":%llu,\"appends\":%llu}",
+      cell.window_us, cell.threads,
+      static_cast<unsigned long long>(cell.commits), cell.elapsed_ms,
+      cell.commits_per_sec, static_cast<unsigned long long>(cell.fsyncs),
+      static_cast<unsigned long long>(cell.appends));
+  return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// wal_recovery: redo time vs churn volume
+
+struct RecoveryCell {
+  size_t churn_ops = 0;
+  uint64_t log_pages = 0;
+  uint64_t scanned = 0;
+  uint64_t replayed = 0;
+  double recover_ms = 0.0;
+};
+
+RecoveryCell RunRecoveryCell(size_t churn_ops) {
+  storage::DiskManager data;
+  storage::DiskManager log;
+  wal::WalManager wal(&log);
+  core::BufferManager buffer(&data, /*frames=*/128,
+                             core::CreatePolicy("LRU"));
+  buffer.AttachWal(&wal);
+  const core::AccessContext ctx{1};
+  rtree::RTree tree(&data, &buffer);
+
+  sim::ChurnOptions options;
+  options.operations = churn_ops;
+  options.delete_fraction = 0.3;
+  options.seed = 4242;
+  options.commit_every = 16;
+  sim::ChurnHooks hooks;
+  hooks.commit = [&] {
+    tree.PersistMeta();
+    return buffer.Commit(ctx);
+  };
+  const core::StatusOr<sim::ChurnResult> churn =
+      sim::RunChurn(tree, geom::Rect(0, 0, 100, 100), options, hooks, ctx);
+  SDB_CHECK_MSG(churn.ok(), "bench churn failed");
+  tree.PersistMeta();
+  SDB_CHECK_MSG(buffer.Commit(ctx).ok(), "bench final commit failed");
+
+  RecoveryCell cell;
+  cell.churn_ops = churn_ops;
+  cell.log_pages = log.page_count();
+  storage::DiskManager recovered;
+  const auto start = std::chrono::steady_clock::now();
+  const core::StatusOr<wal::RecoveryResult> result =
+      wal::Recover(log, recovered);
+  cell.recover_ms = ElapsedMs(start);
+  SDB_CHECK_MSG(result.ok(), "bench recovery failed");
+  cell.scanned = result->scanned_records;
+  cell.replayed = result->replayed_pages;
+  return cell;
+}
+
+std::string RecoveryJson(const RecoveryCell& cell) {
+  char buffer[384];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"bench\":\"wal_recovery\",\"churn_ops\":%zu,\"log_pages\":%llu,"
+      "\"scanned_records\":%llu,\"replayed_pages\":%llu,"
+      "\"recover_ms\":%.3f}",
+      cell.churn_ops, static_cast<unsigned long long>(cell.log_pages),
+      static_cast<unsigned long long>(cell.scanned),
+      static_cast<unsigned long long>(cell.replayed), cell.recover_ms);
+  return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// wal_write_mix: ASB vs LRU under mixed read/write traffic
+
+struct MixCell {
+  std::string policy;
+  double write_frac = 0.0;
+  size_t operations = 0;
+  double hit_rate = 0.0;
+  uint64_t requests = 0;
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+  uint64_t commits = 0;
+};
+
+MixCell RunMixCell(const std::string& image_path,
+                   storage::PageId tree_meta, const geom::Rect& space,
+                   const workload::QuerySet& queries,
+                   const std::string& policy, size_t frames,
+                   double write_frac, size_t operations) {
+  std::optional<storage::DiskManager> disk =
+      storage::DiskManager::LoadImage(image_path);
+  SDB_CHECK_MSG(disk.has_value(), "bench disk image reload failed");
+  storage::DiskManager log;
+  wal::WalManager wal(&log);
+  core::BufferManager buffer(&*disk, frames, core::CreatePolicy(policy));
+  buffer.AttachWal(&wal);
+  const core::AccessContext ctx{7};
+  rtree::RTree tree = rtree::RTree::Open(&*disk, &buffer, tree_meta);
+
+  Rng rng(0x5EED0000 + static_cast<uint64_t>(write_frac * 100));
+  const double w = space.width() * 0.002;
+  const double h = space.height() * 0.002;
+  std::vector<rtree::Entry> live;
+  uint64_t next_id = 1ull << 40;
+  size_t next_query = 0;
+  // Warm-up pass over a slice of the query set so the two policies start
+  // from a populated buffer, as the paper's replays do.
+  for (size_t i = 0; i < queries.queries.size() / 10; ++i) {
+    (void)tree.WindowQuery(queries.queries[i], ctx);
+  }
+  buffer.ResetStats();
+  disk->ResetStats();
+
+  for (size_t op = 1; op <= operations; ++op) {
+    if (rng.NextDouble() < write_frac) {
+      const bool do_delete = !live.empty() && rng.NextDouble() < 0.3;
+      if (do_delete) {
+        const size_t pick = static_cast<size_t>(rng.NextBelow(live.size()));
+        const rtree::Entry victim = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        SDB_CHECK_MSG(tree.Delete(victim.id, victim.rect, ctx),
+                      "bench churn delete lost an entry");
+      } else {
+        rtree::Entry entry;
+        entry.rect = geom::Rect::Centered(
+            {rng.Uniform(space.xmin, space.xmax),
+             rng.Uniform(space.ymin, space.ymax)},
+            w, h);
+        entry.id = next_id++;
+        tree.Insert(entry, ctx);
+        live.push_back(entry);
+      }
+    } else {
+      (void)tree.WindowQuery(
+          queries.queries[next_query++ % queries.queries.size()], ctx);
+    }
+    if (op % 64 == 0) {
+      tree.PersistMeta();
+      SDB_CHECK_MSG(buffer.Commit(ctx).ok(), "bench mix commit failed");
+    }
+  }
+  tree.PersistMeta();
+  SDB_CHECK_MSG(buffer.Checkpoint(ctx).ok(), "bench mix checkpoint failed");
+
+  MixCell cell;
+  cell.policy = policy;
+  cell.write_frac = write_frac;
+  cell.operations = operations;
+  const core::BufferStats& stats = buffer.stats();
+  cell.hit_rate = stats.HitRate();
+  cell.requests = stats.requests;
+  cell.disk_reads = disk->stats().reads;
+  cell.disk_writes = disk->stats().writes;
+  cell.commits = wal.stats().commits;
+  return cell;
+}
+
+std::string MixJson(const MixCell& cell) {
+  char buffer[384];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"bench\":\"wal_write_mix\",\"policy\":\"%s\",\"write_frac\":%.2f,"
+      "\"operations\":%zu,\"hit_rate\":%.6f,\"requests\":%llu,"
+      "\"disk_reads\":%llu,\"disk_writes\":%llu,\"commits\":%llu}",
+      cell.policy.c_str(), cell.write_frac, cell.operations, cell.hit_rate,
+      static_cast<unsigned long long>(cell.requests),
+      static_cast<unsigned long long>(cell.disk_reads),
+      static_cast<unsigned long long>(cell.disk_writes),
+      static_cast<unsigned long long>(cell.commits));
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  const std::string json_path = bench::EnvOr("SDB_BENCH_WAL",
+                                             "BENCH_wal.json");
+  bool json_ok = true;
+  auto emit = [&](const std::string& row) {
+    if (!json_path.empty()) {
+      json_ok = sim::AppendJsonLine(json_path, row) && json_ok;
+    }
+  };
+
+  // --- wal_commit ---------------------------------------------------------
+  const size_t threads = bench::EnvSizeT("SDB_WAL_THREADS", 4);
+  const size_t per_thread = bench::EnvSizeT("SDB_WAL_COMMITS", 250);
+  sim::Table commit_table({"window", "threads", "commits", "elapsed",
+                           "commits/s", "fsyncs", "commits/fsync"});
+  for (const uint32_t window_us : {0u, 50u, 200u, 1000u}) {
+    const CommitCell cell = RunCommitCell(window_us, threads, per_thread);
+    emit(CommitJson(cell));
+    commit_table.AddRow(
+        {window_us == 0 ? "inline" : std::to_string(window_us) + " us",
+         std::to_string(cell.threads), std::to_string(cell.commits),
+         sim::FormatDouble(cell.elapsed_ms, 1) + " ms",
+         sim::FormatDouble(cell.commits_per_sec, 0),
+         std::to_string(cell.fsyncs),
+         sim::FormatDouble(cell.fsyncs == 0
+                               ? 0.0
+                               : static_cast<double>(cell.commits) /
+                                     static_cast<double>(cell.fsyncs),
+                           2)});
+  }
+  commit_table.Print("WAL — commit throughput vs group-commit window");
+
+  // --- wal_recovery -------------------------------------------------------
+  sim::Table recovery_table({"churn ops", "log pages", "records",
+                             "replayed", "recover"});
+  for (const size_t ops : {size_t{64}, size_t{256}, size_t{1024}}) {
+    const RecoveryCell cell = RunRecoveryCell(ops);
+    emit(RecoveryJson(cell));
+    recovery_table.AddRow({std::to_string(cell.churn_ops),
+                           std::to_string(cell.log_pages),
+                           std::to_string(cell.scanned),
+                           std::to_string(cell.replayed),
+                           sim::FormatDouble(cell.recover_ms, 2) + " ms"});
+  }
+  recovery_table.Print("WAL — redo recovery vs churn volume");
+
+  // --- wal_write_mix ------------------------------------------------------
+  const sim::Scenario scenario =
+      bench::BuildBenchDatabase(sim::DatabaseKind::kUsLike);
+  const workload::QuerySet queries =
+      sim::StandardQuerySet(scenario, workload::QueryFamily::kUniform, 100);
+  const size_t frames = scenario.BufferFrames(0.012);
+  const size_t mix_ops = bench::EnvSizeT("SDB_WAL_MIX_OPS", 1500);
+  const std::string image_path =
+      bench::EnvOr("TMPDIR", "/tmp") + "/sdb_wal_mix.img";
+  SDB_CHECK_MSG(scenario.disk->SaveImage(image_path),
+                "bench disk image save failed");
+
+  sim::Table mix_table({"policy", "write frac", "hit rate", "requests",
+                        "disk reads", "disk writes", "commits"});
+  for (const std::string policy : {"LRU", "ASB"}) {
+    for (const double write_frac : {0.1, 0.5, 0.9}) {
+      const MixCell cell = RunMixCell(
+          image_path, scenario.tree_meta, scenario.dataset.data_space,
+          queries, policy, frames, write_frac, mix_ops);
+      emit(MixJson(cell));
+      mix_table.AddRow({cell.policy, sim::FormatPercent(cell.write_frac),
+                        sim::FormatDouble(cell.hit_rate, 4),
+                        std::to_string(cell.requests),
+                        std::to_string(cell.disk_reads),
+                        std::to_string(cell.disk_writes),
+                        std::to_string(cell.commits)});
+    }
+  }
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "WAL — write-mix hit rates, %zu ops, buffer %zu frames",
+                mix_ops, frames);
+  mix_table.Print(title);
+  std::remove(image_path.c_str());
+
+  if (!json_path.empty()) {
+    if (json_ok) {
+      std::printf("\nJSON rows appended to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not append to %s\n",
+                   json_path.c_str());
+    }
+  }
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/random.h"
 #include "core/buffer_manager.h"
 #include "core/policy_factory.h"
@@ -50,7 +51,7 @@ std::unique_ptr<storage::DiskManager> StageDisk(size_t n) {
     agg.sum_entry_margin = 2 * side;
     header.set_aggregates(agg);
     const storage::PageId id = disk->Allocate();
-    disk->Write(id, image);
+    SDB_CHECK(disk->Write(id, image).ok());
   }
   return disk;
 }

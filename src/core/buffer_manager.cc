@@ -175,11 +175,33 @@ StatusOr<PageHandle> BufferManager::New(const AccessContext& ctx) {
   return PageHandle(this, f, page);
 }
 
+StatusOr<PageHandle> BufferManager::NewAt(storage::PageId page,
+                                          const AccessContext& ctx) {
+  if (concurrent_) DrainDeferred();
+  SDB_CHECK_MSG(!page_table_.contains(page), "NewAt of a resident page");
+  ++stats_.requests;
+  ++stats_.misses;
+  StatusOr<FrameId> acquired = AcquireFrame(ctx, page);
+  if (!acquired.ok()) return acquired.status();
+  if constexpr (obs::kEnabled) {
+    if (obs_ != nullptr) obs_->OnBufferRequest(page, ctx.query_id, false);
+  }
+  const FrameId f = *acquired;
+  std::memset(FrameData(f), 0, page_size_);
+  InstallLoadedPage(f, page, ctx, /*dirty=*/true);
+  if (concurrent_) sync_[f].Unlock();
+  return PageHandle(this, f, page);
+}
+
 void BufferManager::InstallLoadedPage(FrameId f, storage::PageId page,
                                       const AccessContext& ctx, bool dirty) {
   Frame& frame = frames_[f];
   frame.page = page;
   frame.dirty = dirty;
+  frame.wal_logged = false;
+  frame.page_lsn = 0;
+  frame.rec_lsn =
+      (dirty && wal_ != nullptr) ? wal_->next_lsn() + 1 : 0;
   if (concurrent_) {
     sync_[f].page.store(page, std::memory_order_release);
     concurrent_table_->Insert(page, f);
@@ -204,11 +226,15 @@ std::span<const std::byte> BufferManager::Peek(storage::PageId page) const {
 }
 
 void BufferManager::FlushAll() {
+  if (wal_ != nullptr && dirty_count() > 0) {
+    const Status committed = Commit();
+    SDB_CHECK_MSG(committed.ok(), "FlushAll could not commit dirty pages");
+  }
   for (FrameId f = 0; f < frames_.size(); ++f) {
     Frame& frame = frames_[f];
     if (frame.page != storage::kInvalidPageId && frame.dirty) {
-      disk_->Write(frame.page, {FrameData(f), page_size_});
-      frame.dirty = false;
+      const Status written = WriteBackLocked(f, AccessContext{});
+      SDB_CHECK_MSG(written.ok(), "FlushAll could not write back a dirty page");
     }
   }
 }
@@ -313,15 +339,17 @@ StatusOr<FrameId> BufferManager::AcquireFrame(const AccessContext& ctx,
     SDB_CHECK(frame.page != storage::kInvalidPageId);
     const bool was_dirty = frame.dirty;
     if (frame.dirty) {
-      disk_->Write(frame.page, {FrameData(f), page_size_});
-      ++stats_.dirty_writebacks;
-      frame.dirty = false;
+      if (Status written = WriteBackLocked(f, ctx); !written.ok()) {
+        // The victim keeps its bytes and residency; the fetch that wanted
+        // the frame fails instead of evicting a page the device refused.
+        if (concurrent_) sync_[f].Unlock();
+        return written;
+      }
     }
     ++stats_.evictions;
     if constexpr (obs::kEnabled) {
       if (obs_ != nullptr) {
         obs_evictions_->Add();
-        if (was_dirty) obs_writebacks_->Add();
         obs::Event event;
         event.kind = obs::EventKind::kEviction;
         event.flag = was_dirty;
@@ -512,7 +540,7 @@ UnpinStatus BufferManager::UnpinLocked(FrameId f, bool dirty) {
   }
   if (PinCount(f) == 0) return UnpinStatus::kNotPinned;
   if (dirty) {
-    frames_[f].dirty = true;
+    NoteDirtyLocked(f);
     InvalidateMeta(f);
   }
   if (PinDecrement(f) == 1) {
@@ -556,7 +584,7 @@ void BufferManager::ReleasePin(FrameId f) {
 
 void BufferManager::MarkFrameDirty(FrameId f) {
   const auto mark = [&] {
-    frames_[f].dirty = true;
+    NoteDirtyLocked(f);
     // The page bytes may have been rewritten in place; drop the cached
     // header so the replacement policies re-rank the page with its current
     // values.
@@ -568,6 +596,172 @@ void BufferManager::MarkFrameDirty(FrameId f) {
   }
   std::lock_guard<std::mutex> lock(*latch_);
   mark();
+}
+
+void BufferManager::NoteDirtyLocked(FrameId f) {
+  Frame& frame = frames_[f];
+  frame.dirty = true;
+  // Any committed image of this page is stale now; the next commit (or a
+  // forced steal at eviction) must re-log the bytes.
+  frame.wal_logged = false;
+  if (wal_ != nullptr && frame.rec_lsn == 0) {
+    frame.rec_lsn = wal_->next_lsn() + 1;  // stored 1-based; 0 means clean
+  }
+}
+
+Status BufferManager::WriteBackLocked(FrameId f, const AccessContext& ctx) {
+  Frame& frame = frames_[f];
+  if (!frame.dirty) return Status::Ok();
+  if (wal_ != nullptr) {
+    if (!frame.wal_logged) {
+      // Steal of an uncommitted page: commit this one image atomically so
+      // the WAL rule (no data-device write without a durable log image)
+      // holds. With no undo log the image becomes visible to recovery, which
+      // is the documented no-rollback caveat of the redo-only design.
+      const wal::PageImageRef image{frame.page, {FrameData(f), page_size_}};
+      StatusOr<wal::Lsn> end = wal_->CommitPages(
+          {&image, 1}, disk_->page_count(), ctx, /*forced_steal=*/true);
+      if (!end.ok()) return end.status();
+      frame.page_lsn = *end;
+      frame.wal_logged = true;
+    }
+    if (Status durable = wal_->EnsureDurable(frame.page_lsn); !durable.ok()) {
+      return durable;
+    }
+  }
+  if (Status written = disk_->Write(frame.page, {FrameData(f), page_size_});
+      !written.ok()) {
+    return written;
+  }
+  frame.dirty = false;
+  frame.rec_lsn = 0;
+  ++stats_.dirty_writebacks;
+  if constexpr (obs::kEnabled) {
+    if (obs_ != nullptr) obs_writebacks_->Add();
+  }
+  return Status::Ok();
+}
+
+Status BufferManager::Commit(const AccessContext& ctx) {
+  if (wal_ == nullptr) {
+    return Status::Unimplemented("no write-ahead log attached");
+  }
+  if (concurrent_) DrainDeferred();
+  std::vector<wal::PageImageRef> images;
+  std::vector<FrameId> dirty;
+  CollectDirtyPages(&images, &dirty);
+  StatusOr<wal::Lsn> end =
+      wal_->CommitPages(images, disk_->page_count(), ctx);
+  if (!end.ok()) return end.status();
+  MarkFramesCommitted(dirty, *end);
+  return Status::Ok();
+}
+
+Status BufferManager::Checkpoint(const AccessContext& ctx) {
+  if (wal_ == nullptr) {
+    return Status::Unimplemented("no write-ahead log attached");
+  }
+  if (Status committed = Commit(ctx); !committed.ok()) return committed;
+  if (Status forced = ForceDirty(ctx); !forced.ok()) return forced;
+  StatusOr<wal::Lsn> end = wal_->AppendCheckpoint(disk_->page_count(), ctx);
+  return end.ok() ? Status::Ok() : end.status();
+}
+
+Status BufferManager::ForceDirty(const AccessContext& ctx) {
+  for (FrameId f = 0; f < frames_.size(); ++f) {
+    if (frames_[f].page == storage::kInvalidPageId || !frames_[f].dirty) {
+      continue;
+    }
+    if (Status written = WriteBackLocked(f, ctx); !written.ok()) {
+      return written;
+    }
+  }
+  return Status::Ok();
+}
+
+EvictStatus BufferManager::Evict(storage::PageId page) {
+  if (concurrent_) DrainDeferred();
+  const auto it = page_table_.find(page);
+  if (it == page_table_.end()) return EvictStatus::kNotResident;
+  const FrameId f = it->second;
+  Frame& frame = frames_[f];
+  if (frame.quarantined) return EvictStatus::kQuarantined;
+  if (concurrent_) {
+    sync_[f].Lock();
+    if (sync_[f].pins.load(std::memory_order_acquire) != 0) {
+      sync_[f].Unlock();
+      return EvictStatus::kPinned;
+    }
+  } else if (frame.pin_count != 0) {
+    return EvictStatus::kPinned;
+  }
+  if (frame.dirty) {
+    if (Status written = WriteBackLocked(f, AccessContext{}); !written.ok()) {
+      if (concurrent_) sync_[f].Unlock();
+      return EvictStatus::kWriteBackFailed;
+    }
+  }
+  ++stats_.evictions;
+  if constexpr (obs::kEnabled) {
+    if (obs_ != nullptr) obs_evictions_->Add();
+  }
+  page_table_.erase(frame.page);
+  if (concurrent_) {
+    concurrent_table_->Erase(frame.page);
+    sync_[f].page.store(storage::kInvalidPageId, std::memory_order_release);
+  }
+  policy_->OnPageEvicted(f, frame.page);
+  frame.page = storage::kInvalidPageId;
+  free_frames_.push_back(f);
+  if (concurrent_) sync_[f].Unlock();
+  return EvictStatus::kOk;
+}
+
+size_t BufferManager::dirty_count() const {
+  size_t dirty = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.page != storage::kInvalidPageId && frame.dirty) ++dirty;
+  }
+  return dirty;
+}
+
+uint64_t BufferManager::min_rec_lsn() const {
+  uint64_t min_lsn = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.page == storage::kInvalidPageId || !frame.dirty ||
+        frame.rec_lsn == 0) {
+      continue;
+    }
+    if (min_lsn == 0 || frame.rec_lsn < min_lsn) min_lsn = frame.rec_lsn;
+  }
+  return min_lsn;
+}
+
+void BufferManager::CollectDirtyPages(std::vector<wal::PageImageRef>* images,
+                                      std::vector<FrameId>* frames) {
+  if (concurrent_) DrainDeferred();
+  for (FrameId f = 0; f < frames_.size(); ++f) {
+    const Frame& frame = frames_[f];
+    // wal_logged dirty frames already have their current bytes in a
+    // committed image (dirty only survives commit until write-back), so
+    // re-imaging them would bloat the log with duplicates.
+    if (frame.page == storage::kInvalidPageId || !frame.dirty ||
+        frame.wal_logged) {
+      continue;
+    }
+    images->push_back(
+        wal::PageImageRef{frame.page, {FrameData(f), page_size_}});
+    frames->push_back(f);
+  }
+}
+
+void BufferManager::MarkFramesCommitted(std::span<const FrameId> frames,
+                                        uint64_t end_lsn) {
+  for (const FrameId f : frames) {
+    Frame& frame = frames_[f];
+    frame.wal_logged = true;
+    frame.page_lsn = end_lsn;
+  }
 }
 
 void BufferManager::EnableConcurrency(const ConcurrentOptions& options) {

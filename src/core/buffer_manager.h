@@ -18,6 +18,7 @@
 #include "storage/async_device.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
+#include "wal/wal.h"
 
 namespace sdb::core {
 
@@ -97,6 +98,18 @@ enum class UnpinStatus : uint8_t {
   kUnknownFrame,  ///< frame index out of range, or no page resident in it
   kNotPinned,     ///< the frame's pin count is already zero
   kQuarantined,   ///< the frame was quarantined after a terminal read failure
+};
+
+/// Outcome of an explicit BufferManager::Evict call. Typed refusals instead
+/// of assertions: eviction of a pinned or quarantined frame is an ordinary
+/// condition for a caller managing residency explicitly (checkpointers,
+/// tests), not a harness bug.
+enum class EvictStatus : uint8_t {
+  kOk,
+  kNotResident,      ///< the page is not in the buffer
+  kPinned,           ///< refused: the frame holds live pins
+  kQuarantined,      ///< refused: the frame is out of service
+  kWriteBackFailed,  ///< the dirty write-back (or its WAL flush) failed
 };
 
 /// Fault-handling knobs of one BufferManager. The defaults keep the fault
@@ -233,6 +246,13 @@ class BufferManager : public FrameMetaSource, public PageSource {
   /// evictable pool.
   StatusOr<PageHandle> New(const AccessContext& ctx) override;
 
+  /// Installs an externally-allocated, still-zeroed page and pins it —
+  /// New() split in two for callers that must route a page to a specific
+  /// buffer after allocating it elsewhere (the sharded service allocates on
+  /// the shared device, then installs into the page's home shard). The page
+  /// must not be resident anywhere.
+  StatusOr<PageHandle> NewAt(storage::PageId page, const AccessContext& ctx);
+
   /// True if the page is currently resident.
   bool Contains(storage::PageId page) const;
 
@@ -307,7 +327,57 @@ class BufferManager : public FrameMetaSource, public PageSource {
     return async_device_.get();
   }
 
-  /// Writes back all dirty resident pages (without evicting them).
+  /// Attaches the write-ahead log (nullptr detaches). From then on the
+  /// write-ahead rule holds: no dirty frame reaches the data device before
+  /// its after-image is durable in the log — eviction of a logged page
+  /// waits for the log flush, and eviction of a dirty-but-unlogged page
+  /// forces a steal commit of that single page first. Callers that want
+  /// crash consistency without steals must size the buffer so dirty pages
+  /// survive until the next Commit/Checkpoint.
+  void AttachWal(wal::WalManager* wal) { wal_ = wal; }
+  wal::WalManager* wal() const { return wal_; }
+
+  /// Logs the after-image of every dirty-and-not-yet-logged frame plus one
+  /// commit record as an atomic group and waits for durability. Frames stay
+  /// dirty (and resident); they become cheap to evict, since their images
+  /// are already in the log. Requires an attached WAL.
+  Status Commit(const AccessContext& ctx = {});
+
+  /// Commit, then force every dirty frame to the data device and append a
+  /// durable checkpoint record: after this the data device holds exactly
+  /// the committed state and recovery replays nothing before the record.
+  Status Checkpoint(const AccessContext& ctx = {});
+
+  /// Forces every dirty frame to the data device without evicting it
+  /// (honoring the write-ahead rule per frame). The write-back half of
+  /// Checkpoint, exposed so a sharded service can interleave one shared
+  /// checkpoint record between per-shard forces.
+  Status ForceDirty(const AccessContext& ctx = {});
+
+  /// Explicitly evicts one page, writing it back first if dirty (honoring
+  /// the write-ahead rule). Refusals are typed, never assertions.
+  EvictStatus Evict(storage::PageId page);
+
+  /// Dirty-frame census: resident frames whose bytes differ from the data
+  /// device. `min_rec_lsn` is the smallest recovery LSN among them (0 when
+  /// none are dirty or no WAL is attached) — the log prefix a redo pass
+  /// would need, which sizes the recovery-time-vs-dirty-set bench axis.
+  size_t dirty_count() const;
+  uint64_t min_rec_lsn() const;
+
+  /// The two halves of Commit, exposed so a sharded service can gather
+  /// images from every shard (all latches held) into ONE atomic commit
+  /// group. CollectDirtyPages appends an image ref (aliasing the frame
+  /// bytes — keep the latch!) and the frame id of every dirty, unlogged
+  /// frame; MarkFramesCommitted records the group's end LSN on them.
+  void CollectDirtyPages(std::vector<wal::PageImageRef>* images,
+                         std::vector<FrameId>* frames);
+  void MarkFramesCommitted(std::span<const FrameId> frames, uint64_t end_lsn);
+
+  /// Writes back all dirty resident pages (without evicting them). With a
+  /// WAL attached this commits first (write-ahead rule), so it degrades to
+  /// a checkpoint without the checkpoint record; failures abort — callers
+  /// needing a status use Commit/Checkpoint/Evict.
   void FlushAll();
 
   size_t frame_count() const { return frames_.size(); }
@@ -382,6 +452,15 @@ class BufferManager : public FrameMetaSource, public PageSource {
     uint32_t pin_count = 0;
     bool dirty = false;
     bool quarantined = false;
+    /// The frame's current bytes are logged and committed in the WAL.
+    /// Cleared on every (re)dirty; a clean frame's value is meaningless.
+    bool wal_logged = false;
+    /// End LSN of the newest logged image of this page; the write-ahead
+    /// rule makes write-back wait for this prefix to be durable.
+    uint64_t page_lsn = 0;
+    /// Recovery LSN + 1 (0 = clean): the log position when the frame first
+    /// became dirty, i.e. where redo for this page would have to start.
+    uint64_t rec_lsn = 0;
   };
 
   /// Cached decoded header of the resident page; valid iff `version`
@@ -473,6 +552,16 @@ class BufferManager : public FrameMetaSource, public PageSource {
   /// frame's cached metadata.
   void MarkFrameDirty(FrameId frame);
 
+  /// Dirty-tracking bookkeeping shared by every path that dirties a frame:
+  /// sets the bit, invalidates the logged state (the bytes changed since the
+  /// last image) and stamps the recovery LSN on the clean->dirty edge.
+  void NoteDirtyLocked(FrameId frame);
+
+  /// Writes one dirty frame back to the data device, honoring the
+  /// write-ahead rule when a WAL is attached (EnsureDurable for logged
+  /// frames, a forced steal commit for unlogged ones). No-op when clean.
+  Status WriteBackLocked(FrameId frame, const AccessContext& ctx);
+
   /// Marks the frame's cached metadata stale (in-place page update); the
   /// next GetMeta re-decodes the header.
   void InvalidateMeta(FrameId frame) { ++meta_versions_[frame]; }
@@ -482,6 +571,8 @@ class BufferManager : public FrameMetaSource, public PageSource {
   void FillMeta(FrameId frame);
 
   storage::PageDevice* disk_;
+  // Write-ahead log (nullptr = read-only use; every WAL touch is guarded).
+  wal::WalManager* wal_ = nullptr;
   // External shard latch (nullptr = single-threaded use, no locking).
   std::mutex* latch_ = nullptr;
   std::unique_ptr<ReplacementPolicy> policy_;

@@ -52,6 +52,12 @@ const char* SpanName(SpanKind kind) {
       return "async_submit";
     case SpanKind::kAsyncComplete:
       return "async_complete";
+    case SpanKind::kWalAppend:
+      return "wal_append";
+    case SpanKind::kCheckpoint:
+      return "checkpoint";
+    case SpanKind::kRecovery:
+      return "recovery";
   }
   return "span";
 }

@@ -26,6 +26,12 @@ enum class SpanKind : int8_t {
   kShardFetch = 2,
   kAsyncSubmit = 3,
   kAsyncComplete = 4,
+  /// One WAL commit group (payload = image count, flag = forced steal).
+  kWalAppend = 5,
+  /// Checkpoint: commit + force dirty pages + checkpoint record.
+  kCheckpoint = 6,
+  /// Redo recovery pass (payload = replayed pages, flag = torn tail).
+  kRecovery = 7,
 };
 
 /// Field packing of a kSpan event (see EventKind::kSpan):

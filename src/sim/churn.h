@@ -1,0 +1,65 @@
+#ifndef SPATIALBUFFER_SIM_CHURN_H_
+#define SPATIALBUFFER_SIM_CHURN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/access_context.h"
+#include "core/status.h"
+#include "geom/rect.h"
+#include "rtree/rtree.h"
+
+namespace sdb::sim {
+
+/// Knobs of one churn run (bulk-load-then-churn write workload).
+struct ChurnOptions {
+  /// Total operations (inserts + delete attempts).
+  size_t operations = 1000;
+  /// Probability an operation deletes a random live churn entry rather than
+  /// inserting a fresh one. Deletes only target entries this run inserted,
+  /// so the bulk-loaded population is preserved.
+  double delete_fraction = 0.3;
+  uint64_t seed = 42;
+  /// Invoke the commit hook every N operations (0 = never).
+  size_t commit_every = 0;
+  /// Invoke the checkpoint hook every N operations (0 = never).
+  size_t checkpoint_every = 0;
+  /// First object id handed to churn inserts; must sit above the ids of the
+  /// bulk-loaded population so deletes never collide with it.
+  uint64_t first_id = 1ull << 40;
+  /// Inserted rectangle extent as a fraction of the data-space extent.
+  double extent_fraction = 0.002;
+};
+
+/// Durability callbacks fired on the commit_every / checkpoint_every
+/// boundaries. Unset hooks are skipped (the cadence still counts).
+struct ChurnHooks {
+  std::function<core::Status()> commit;
+  std::function<core::Status()> checkpoint;
+};
+
+struct ChurnResult {
+  size_t inserts = 0;
+  size_t deletes = 0;
+  size_t commits = 0;
+  size_t checkpoints = 0;
+  /// Churn entries still present when the run ended.
+  size_t live = 0;
+};
+
+/// Drives a deterministic, seeded insert/delete stream against an already
+/// bulk-loaded tree: each operation either inserts a fresh small rectangle
+/// at a uniform position in `space` or deletes a uniformly chosen entry
+/// among those this run inserted. Hook failures abort the run with the
+/// hook's status (operations already applied stay applied — the caller's
+/// recovery story, not ours).
+core::StatusOr<ChurnResult> RunChurn(rtree::RTree& tree,
+                                     const geom::Rect& space,
+                                     const ChurnOptions& options,
+                                     const ChurnHooks& hooks = {},
+                                     const core::AccessContext& ctx = {});
+
+}  // namespace sdb::sim
+
+#endif  // SPATIALBUFFER_SIM_CHURN_H_

@@ -41,15 +41,30 @@ core::Status DiskManager::Read(PageId id, std::span<std::byte> out) {
   return core::Status::Ok();
 }
 
-void DiskManager::Write(PageId id, std::span<const std::byte> in) {
-  SDB_CHECK(in.size() == page_size_);
+core::Status DiskManager::Write(PageId id, std::span<const std::byte> in) {
+  // Hardened write path: short (or oversized) buffers and unallocated page
+  // ids are rejected with a status, not an abort — the buffer manager
+  // propagates the failure to the caller that dirtied the page.
+  if (in.size() != page_size_) {
+    return core::Status::InvalidArgument("short write: buffer size mismatch");
+  }
+  if (id >= pages_.size()) {
+    return core::Status::InvalidArgument("write to unallocated page");
+  }
   std::memcpy(PagePtr(id), in.data(), page_size_);
   checksums_[id] = crc32c::Checksum(in);
+  // Verify the sidecar re-stamp against the bytes actually stored: a page
+  // rewrite must leave device bytes and sidecar in agreement, or every later
+  // fetch of the page would quarantine it.
+  if (crc32c::Checksum({PagePtr(id), page_size_}) != checksums_[id]) {
+    return core::Status::DataLoss("page rewrite failed checksum verification");
+  }
   ++stats_.writes;
   if (last_write_ != kInvalidPageId && id == last_write_ + 1) {
     ++stats_.sequential_writes;
   }
   last_write_ = id;
+  return core::Status::Ok();
 }
 
 std::optional<uint32_t> DiskManager::PageChecksum(PageId id) const {

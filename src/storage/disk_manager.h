@@ -60,8 +60,16 @@ class PageDevice {
   /// never allocated is a caller bug and still aborts.
   virtual core::Status Read(PageId id, std::span<std::byte> out) = 0;
 
-  /// Copies `in` (page_size() bytes) onto the page.
-  virtual void Write(PageId id, std::span<const std::byte> in) = 0;
+  /// Copies `in` (page_size() bytes) onto the page. Returns non-OK instead
+  /// of aborting on write failure: kInvalidArgument for short/oversized
+  /// buffers or unallocated page ids, kDataLoss when the post-write checksum
+  /// re-stamp does not verify, kUnimplemented on read-only devices.
+  virtual core::Status Write(PageId id, std::span<const std::byte> in) = 0;
+
+  /// Number of allocated pages, when the device can tell (0 otherwise).
+  /// The WAL stamps this into commit records so recovery can bound its
+  /// byte-exactness check to pages that were committed.
+  virtual size_t page_count() const { return 0; }
 
   /// Expected CRC-32C of the page as last written, if this device maintains
   /// checksums; nullopt disables verification on fetch. Checksums are kept
@@ -87,7 +95,7 @@ class DiskManager : public PageDevice {
 
   PageId Allocate() override;
   core::Status Read(PageId id, std::span<std::byte> out) override;
-  void Write(PageId id, std::span<const std::byte> in) override;
+  core::Status Write(PageId id, std::span<const std::byte> in) override;
 
   /// CRC-32C sidecar, maintained eagerly: stamped on Allocate/Write (and in
   /// one pass by LoadImage), so concurrent ReadOnlyDiskViews can verify
@@ -116,7 +124,7 @@ class DiskManager : public PageDevice {
   DiskManager(DiskManager&&) = default;
 
   size_t page_size() const override { return page_size_; }
-  size_t page_count() const { return pages_.size(); }
+  size_t page_count() const override { return pages_.size(); }
 
   const IoStats& stats() const override { return stats_; }
   void ResetStats() override;

@@ -23,13 +23,49 @@ core::Status ReadOnlyDiskView::Read(PageId id, std::span<std::byte> out) {
   return core::Status::Ok();
 }
 
-void ReadOnlyDiskView::Write(PageId, std::span<const std::byte>) {
-  SDB_CHECK_MSG(false, "read-only disk view cannot write pages");
+core::Status ReadOnlyDiskView::Write(PageId, std::span<const std::byte>) {
+  return core::Status::Unimplemented("read-only disk view cannot write pages");
 }
 
 void ReadOnlyDiskView::ResetStats() {
   stats_ = IoStats{};
   last_read_ = kInvalidPageId;
+}
+
+PageId WritableDiskView::Allocate() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return base_->Allocate();
+}
+
+core::Status WritableDiskView::Read(PageId id, std::span<std::byte> out) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  SDB_CHECK(out.size() == page_size_);
+  std::span<const std::byte> page = base_->PeekPage(id);
+  std::memcpy(out.data(), page.data(), page.size());
+  ++stats_.reads;
+  if (last_read_ != kInvalidPageId && id == last_read_ + 1) {
+    ++stats_.sequential_reads;
+  }
+  last_read_ = id;
+  return core::Status::Ok();
+}
+
+core::Status WritableDiskView::Write(PageId id, std::span<const std::byte> in) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  const core::Status status = base_->Write(id, in);
+  if (!status.ok()) return status;
+  ++stats_.writes;
+  if (last_write_ != kInvalidPageId && id == last_write_ + 1) {
+    ++stats_.sequential_writes;
+  }
+  last_write_ = id;
+  return core::Status::Ok();
+}
+
+void WritableDiskView::ResetStats() {
+  stats_ = IoStats{};
+  last_read_ = kInvalidPageId;
+  last_write_ = kInvalidPageId;
 }
 
 }  // namespace sdb::storage

@@ -2,6 +2,7 @@
 #define SPATIALBUFFER_STORAGE_DISK_VIEW_H_
 
 #include <cstddef>
+#include <mutex>
 #include <span>
 
 #include "storage/disk_manager.h"
@@ -17,17 +18,18 @@ namespace sdb::storage {
 /// metrics. Each replay instead wraps the manager in its own view: reads are
 /// served straight from the shared page array (which must not be mutated
 /// while views exist), while read counts and sequential-run detection are
-/// tracked per view. Write and Allocate abort — a replay that dirties pages
-/// is a harness bug.
+/// tracked per view. Write returns kUnimplemented and Allocate aborts — a
+/// replay that dirties pages is a harness bug.
 class ReadOnlyDiskView final : public PageDevice {
  public:
   explicit ReadOnlyDiskView(const DiskManager& base) : base_(&base) {}
 
   size_t page_size() const override { return base_->page_size(); }
+  size_t page_count() const override { return base_->page_count(); }
 
   PageId Allocate() override;
   core::Status Read(PageId id, std::span<std::byte> out) override;
-  void Write(PageId id, std::span<const std::byte> in) override;
+  core::Status Write(PageId id, std::span<const std::byte> in) override;
 
   /// Forwards to the shared manager's eagerly-maintained sidecar; safe to
   /// call from concurrent views because replays never write.
@@ -44,6 +46,47 @@ class ReadOnlyDiskView final : public PageDevice {
   const DiskManager* base_;
   IoStats stats_;
   PageId last_read_ = kInvalidPageId;
+};
+
+/// Writable window onto a shared DiskManager for the sharded write path.
+///
+/// DiskManager is not thread-safe: Allocate grows the page and checksum
+/// vectors, and Write mutates the sidecar, so concurrent shards cannot hit
+/// the manager directly even though the service's page partitioning
+/// guarantees each page's *bytes* are only touched under one shard's latch.
+/// All views over one manager therefore share a device mutex (owned by the
+/// service) that serializes every call through to the base; I/O counters and
+/// sequential-run detection stay per view so shard statistics remain exact.
+class WritableDiskView final : public PageDevice {
+ public:
+  WritableDiskView(DiskManager& base, std::mutex& device_mu)
+      : base_(&base), mu_(&device_mu), page_size_(base.page_size()) {}
+
+  size_t page_size() const override { return page_size_; }
+  size_t page_count() const override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return base_->page_count();
+  }
+
+  PageId Allocate() override;
+  core::Status Read(PageId id, std::span<std::byte> out) override;
+  core::Status Write(PageId id, std::span<const std::byte> in) override;
+
+  std::optional<uint32_t> PageChecksum(PageId id) const override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    return base_->PageChecksum(id);
+  }
+
+  const IoStats& stats() const override { return stats_; }
+  void ResetStats() override;
+
+ private:
+  DiskManager* base_;
+  std::mutex* mu_;
+  const size_t page_size_;
+  IoStats stats_;
+  PageId last_read_ = kInvalidPageId;
+  PageId last_write_ = kInvalidPageId;
 };
 
 }  // namespace sdb::storage

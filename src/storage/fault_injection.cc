@@ -34,6 +34,7 @@ constexpr uint64_t kSaltTorn = 0xB2;
 constexpr uint64_t kSaltBitFlip = 0xC3;
 constexpr uint64_t kSaltLatency = 0xD4;
 constexpr uint64_t kSaltFlipPos = 0xE5;
+constexpr uint64_t kSaltTornWrite = 0xF6;
 
 }  // namespace
 
@@ -51,6 +52,8 @@ std::string_view FaultKindName(FaultKind kind) {
       return "bitflip";
     case FaultKind::kLatencySpike:
       return "latency";
+    case FaultKind::kTornWrite:
+      return "torn_write";
   }
   return "unknown";
 }
@@ -115,6 +118,8 @@ std::optional<FaultProfile> FaultProfile::Parse(std::string_view spec) {
       if (!ParseDouble(value, &profile.transient_prob)) return std::nullopt;
     } else if (key == "torn") {
       if (!ParseDouble(value, &profile.torn_read_prob)) return std::nullopt;
+    } else if (key == "torn_write") {
+      if (!ParseDouble(value, &profile.torn_write_prob)) return std::nullopt;
     } else if (key == "bitflip") {
       if (!ParseDouble(value, &profile.bit_flip_prob)) return std::nullopt;
     } else if (key == "latency") {
@@ -143,6 +148,9 @@ std::optional<FaultProfile> FaultProfile::Parse(std::string_view spec) {
       }
       entry.kind = *kind;
       profile.schedule.push_back(entry);
+    } else if (key == "wsched") {
+      if (!ParseU64(value, &u64)) return std::nullopt;
+      profile.write_schedule.push_back(u64);
     } else {
       return std::nullopt;
     }
@@ -237,13 +245,38 @@ core::Status FaultInjectingDevice::Read(PageId id, std::span<std::byte> out) {
   return core::Status::Ok();
 }
 
-void FaultInjectingDevice::Write(PageId id, std::span<const std::byte> in) {
-  base_->Write(id, in);
+core::Status FaultInjectingDevice::Write(PageId id,
+                                         std::span<const std::byte> in) {
+  const uint64_t write_index = write_seq_++;
+  bool torn = false;
+  for (const uint64_t scheduled : profile_.write_schedule) {
+    if (scheduled == write_index) torn = true;
+  }
+  if (!torn && profile_.torn_write_prob > 0.0 &&
+      id >= profile_.target_begin && id < profile_.target_end &&
+      Draw(profile_.seed, write_index, id, kSaltTornWrite) <
+          profile_.torn_write_prob) {
+    torn = true;
+  }
+  if (torn) {
+    // The head half reaches the device, the tail half never does, and the
+    // device acknowledges anyway — the silent mid-transfer crash model.
+    // Nothing downstream notices until recovery walks the record checksums.
+    ++fault_stats_.torn_writes;
+    std::vector<std::byte> torn_image(in.begin(), in.end());
+    for (size_t i = torn_image.size() / 2; i < torn_image.size(); ++i) {
+      torn_image[i] ^= std::byte{0xA5};
+    }
+    return base_->Write(id, torn_image);
+  }
+  const core::Status status = base_->Write(id, in);
+  if (!status.ok()) return status;
   ++clean_stats_.writes;
   if (last_write_ != kInvalidPageId && id == last_write_ + 1) {
     ++clean_stats_.sequential_writes;
   }
   last_write_ = id;
+  return core::Status::Ok();
 }
 
 void FaultInjectingDevice::ResetStats() {

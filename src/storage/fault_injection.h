@@ -31,6 +31,10 @@ enum class FaultKind : uint8_t {
   /// Read succeeds with correct data after an artificial delay. Not a data
   /// fault: excluded from the recovery ledger, visible only in latency.
   kLatencySpike,
+  /// Write "succeeds" (returns OK) but the second half of the page never
+  /// reaches the device — the mid-commit crash model for the WAL tail.
+  /// Detected only later, by record checksums during recovery.
+  kTornWrite,
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -53,6 +57,7 @@ struct FaultProfile {
   /// Per-read probabilities in [0, 1]; evaluated in this priority order.
   double transient_prob = 0.0;
   double torn_read_prob = 0.0;
+  double torn_write_prob = 0.0;
   double bit_flip_prob = 0.0;
   double latency_spike_prob = 0.0;
   /// Sleep applied on a latency spike; 0 keeps the spike accounting-only
@@ -71,19 +76,26 @@ struct FaultProfile {
   /// Exact overrides by read index; checked before the probabilistic draws.
   std::vector<ScheduledFault> schedule;
 
+  /// Exact torn-write overrides by *write* index (0-based, counted across
+  /// all Write calls). The seeded "crash here" knob of the recovery soak:
+  /// pointing one at the WAL tail tears a commit mid-flush, replayably.
+  std::vector<uint64_t> write_schedule;
+
   /// A profile with every probability 0, no bad range and no schedule
   /// injects nothing (the wrapper then only forwards).
   bool enabled() const {
     return transient_prob > 0.0 || torn_read_prob > 0.0 ||
-           bit_flip_prob > 0.0 || latency_spike_prob > 0.0 ||
-           bad_end > bad_begin || !schedule.empty();
+           torn_write_prob > 0.0 || bit_flip_prob > 0.0 ||
+           latency_spike_prob > 0.0 || bad_end > bad_begin ||
+           !schedule.empty() || !write_schedule.empty();
   }
 
   /// Parses a comma-separated spec, e.g.
-  ///   "seed=7,transient=0.01,bitflip=0.001,torn=0.001,latency=0.05,
-  ///    latency_us=200,bad=18-20,target=0-4096,sched=12:transient"
-  /// (`sched=` may repeat). Returns nullopt on a malformed spec. This is the
-  /// format of the SDB_FAULT_PROFILE env knob.
+  ///   "seed=7,transient=0.01,bitflip=0.001,torn=0.001,torn_write=0.001,
+  ///    latency=0.05,latency_us=200,bad=18-20,target=0-4096,
+  ///    sched=12:transient,wsched=3"
+  /// (`sched=`/`wsched=` may repeat). Returns nullopt on a malformed spec.
+  /// This is the format of the SDB_FAULT_PROFILE env knob.
   static std::optional<FaultProfile> Parse(std::string_view spec);
 };
 
@@ -94,6 +106,7 @@ struct FaultStats {
   uint64_t transient_errors = 0;
   uint64_t permanent_errors = 0;
   uint64_t torn_reads = 0;
+  uint64_t torn_writes = 0;
   uint64_t bit_flips = 0;
   uint64_t latency_spikes = 0;
 
@@ -127,7 +140,9 @@ class FaultInjectingDevice final : public PageDevice {
   PageId Allocate() override { return base_->Allocate(); }
 
   core::Status Read(PageId id, std::span<std::byte> out) override;
-  void Write(PageId id, std::span<const std::byte> in) override;
+  core::Status Write(PageId id, std::span<const std::byte> in) override;
+
+  size_t page_count() const override { return base_->page_count(); }
 
   std::optional<uint32_t> PageChecksum(PageId id) const override {
     return base_->PageChecksum(id);
@@ -140,6 +155,8 @@ class FaultInjectingDevice final : public PageDevice {
   const FaultStats& fault_stats() const { return fault_stats_; }
   /// Total Read calls, including faulted attempts.
   uint64_t reads_attempted() const { return read_seq_; }
+  /// Total Write calls, including torn ones.
+  uint64_t writes_attempted() const { return write_seq_; }
 
   const FaultProfile& profile() const { return profile_; }
 
@@ -153,6 +170,7 @@ class FaultInjectingDevice final : public PageDevice {
   PageId last_clean_read_ = kInvalidPageId;
   PageId last_write_ = kInvalidPageId;
   uint64_t read_seq_ = 0;
+  uint64_t write_seq_ = 0;
 };
 
 }  // namespace sdb::storage

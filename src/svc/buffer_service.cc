@@ -33,11 +33,26 @@ size_t SplitFrames(size_t total, size_t count, size_t shard) {
 }  // namespace
 
 BufferService::BufferService(const storage::DiskManager& disk,
-                             const BufferServiceConfig& config)
-    : total_frames_(config.total_frames),
-      policy_spec_(config.policy_spec),
-      latch_mode_(config.latch_mode),
-      collect_metrics_(config.collect_metrics && obs::kEnabled) {
+                             const BufferServiceConfig& config) {
+  Init(disk, config);
+}
+
+BufferService::BufferService(storage::DiskManager* disk,
+                             wal::WalManager* wal,
+                             const BufferServiceConfig& config) {
+  SDB_CHECK(disk != nullptr);
+  SDB_CHECK(wal != nullptr);
+  writable_disk_ = disk;
+  wal_ = wal;
+  Init(*disk, config);
+}
+
+void BufferService::Init(const storage::DiskManager& disk,
+                         const BufferServiceConfig& config) {
+  total_frames_ = config.total_frames;
+  policy_spec_ = config.policy_spec;
+  latch_mode_ = config.latch_mode;
+  collect_metrics_ = config.collect_metrics && obs::kEnabled;
   SDB_CHECK_MSG(config.shard_count > 0, "service needs at least one shard");
   SDB_CHECK_MSG(config.total_frames >= config.shard_count,
                 "fewer frames than shards: some shard would be empty");
@@ -59,6 +74,11 @@ BufferService::BufferService(const storage::DiskManager& disk,
       }
     }
     storage::PageDevice* device = &shard->view;
+    if (writable_disk_ != nullptr) {
+      shard->writable = std::make_unique<storage::WritableDiskView>(
+          *writable_disk_, device_mu_);
+      device = shard->writable.get();
+    }
     if (config.fault_profile.enabled()) {
       // Each shard draws from an independent but seed-derived stream: the
       // whole service replays for a fixed profile seed, yet shards do not
@@ -66,7 +86,7 @@ BufferService::BufferService(const storage::DiskManager& disk,
       storage::FaultProfile profile = config.fault_profile;
       profile.seed = Mix64(profile.seed ^ (static_cast<uint64_t>(s) + 1));
       shard->fault = std::make_unique<storage::FaultInjectingDevice>(
-          shard->view, std::move(profile));
+          *device, std::move(profile));
       device = shard->fault.get();
     }
     shard->buffer = std::make_unique<core::BufferManager>(
@@ -86,6 +106,7 @@ BufferService::BufferService(const storage::DiskManager& disk,
           Mix64(0x5db0a51cull ^ (static_cast<uint64_t>(s) + 1));
       shard->buffer->EnableConcurrency(concurrent);
     }
+    if (wal_ != nullptr) shard->buffer->AttachWal(wal_);
     shards_.push_back(std::move(shard));
   }
 }
@@ -135,15 +156,26 @@ core::StatusOr<core::PageHandle> BufferService::Fetch(
 void BufferService::FetchBatch(
     std::span<const storage::PageId> pages, const core::AccessContext& ctx,
     std::vector<core::StatusOr<core::PageHandle>>* out) {
-  // Phase 1 (latch-free): serve what the optimistic path can.
+  // Phase 1 (latch-free): serve what the optimistic path can — but keep
+  // each shard's access sequence in input order. Once one page of a shard
+  // has to take the latched path, serving a LATER page of that same shard
+  // optimistically here would reorder the two accesses as the shard's
+  // policy sees them (the optimistic hit lands first, the latched fetch
+  // after), diverging from the mutex baseline's per-shard sequence. So the
+  // first probe failure blocks the rest of that shard into phase 2, where
+  // the batch pipeline replays them in order under one latch hold.
   std::vector<std::optional<core::StatusOr<core::PageHandle>>> slots(
       pages.size());
   if (latch_mode_ == LatchMode::kOptimistic) {
+    std::vector<bool> shard_blocked(shards_.size(), false);
     for (size_t i = 0; i < pages.size(); ++i) {
+      const size_t s = ShardOf(pages[i]);
+      if (shard_blocked[s]) continue;
       if (std::optional<core::PageHandle> hit =
-              shards_[ShardOf(pages[i])]->buffer->TryOptimisticFetch(pages[i],
-                                                                     ctx)) {
+              shards_[s]->buffer->TryOptimisticFetch(pages[i], ctx)) {
         slots[i] = std::move(*hit);
+      } else {
+        shard_blocked[s] = true;
       }
     }
   }
@@ -179,9 +211,82 @@ void BufferService::FetchBatch(
 }
 
 core::StatusOr<core::PageHandle> BufferService::New(
-    const core::AccessContext&) {
-  return core::Status::Unimplemented(
-      "BufferService is read-only: New() is not served");
+    const core::AccessContext& ctx) {
+  if (writable_disk_ == nullptr) {
+    return core::Status::Unimplemented(
+        "BufferService is read-only: New() is not served");
+  }
+  // Allocate on the shared device first — the page id decides the shard.
+  storage::PageId page;
+  {
+    const std::lock_guard<std::mutex> device_lock(device_mu_);
+    page = writable_disk_->Allocate();
+  }
+  Shard& shard = *shards_[ShardOf(page)];
+  obs::ScopedSpan span(ctx.span, obs::SpanKind::kShardFetch);
+  span.set_page(page);
+  span.set_payload(ShardOf(page));
+  const std::unique_lock<std::mutex> lock = LockShard(shard);
+  return shard.buffer->NewAt(page, ctx);
+}
+
+core::Status BufferService::Commit(const core::AccessContext& ctx) {
+  if (wal_ == nullptr) {
+    return core::Status::Unimplemented(
+        "BufferService is read-only: nothing to commit");
+  }
+  // All shard latches, in index order (the service-wide lock order), so the
+  // gathered images are a consistent cross-shard snapshot and stay frozen
+  // until the group is durable.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    locks.push_back(LockShard(*shard));
+  }
+  std::vector<wal::PageImageRef> images;
+  std::vector<std::vector<core::FrameId>> frames(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->buffer->CollectDirtyPages(&images, &frames[s]);
+  }
+  uint64_t page_count;
+  {
+    const std::lock_guard<std::mutex> device_lock(device_mu_);
+    page_count = writable_disk_->page_count();
+  }
+  core::StatusOr<wal::Lsn> end = wal_->CommitPages(images, page_count, ctx);
+  if (!end.ok()) return end.status();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->buffer->MarkFramesCommitted(frames[s], *end);
+  }
+  return core::Status::Ok();
+}
+
+core::Status BufferService::Checkpoint(const core::AccessContext& ctx) {
+  if (wal_ == nullptr) {
+    return core::Status::Unimplemented(
+        "BufferService is read-only: nothing to checkpoint");
+  }
+  if (core::Status committed = Commit(ctx); !committed.ok()) return committed;
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    locks.push_back(LockShard(*shard));
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    // A frame dirtied between the Commit above and this latch hold gets a
+    // forced steal commit inside the write-back, so the checkpoint's
+    // invariant (device state == some committed state) still holds.
+    if (core::Status forced = shard->buffer->ForceDirty(ctx); !forced.ok()) {
+      return forced;
+    }
+  }
+  uint64_t page_count;
+  {
+    const std::lock_guard<std::mutex> device_lock(device_mu_);
+    page_count = writable_disk_->page_count();
+  }
+  core::StatusOr<wal::Lsn> end = wal_->AppendCheckpoint(page_count, ctx);
+  return end.ok() ? core::Status::Ok() : end.status();
 }
 
 std::span<const std::byte> BufferService::Peek(storage::PageId page) const {
@@ -202,7 +307,7 @@ ShardStats BufferService::StatsOfShard(size_t s) const {
   shard.buffer->DrainDeferred();
   ShardStats stats;
   stats.buffer = shard.buffer->stats();
-  stats.io = shard.view.stats();
+  stats.io = ShardIoStats(shard);
   stats.latch_waits = shard.latch_waits.load(std::memory_order_relaxed);
   stats.latch_acquires = shard.latch_acquires.load(std::memory_order_relaxed);
   stats.quarantined_frames = shard.buffer->quarantined_count();
@@ -296,7 +401,7 @@ void BufferService::FlushShardLocked(Shard& shard) {
       ->Add(delta(shard.latch_acquires.load(std::memory_order_relaxed),
                   &shard.flushed_latch_acquires));
   metrics.GetCounter("svc.disk_reads")
-      ->Add(delta(shard.view.stats().reads, &shard.flushed_disk_reads));
+      ->Add(delta(ShardIoStats(shard).reads, &shard.flushed_disk_reads));
   if (latch_mode_ == LatchMode::kOptimistic) {
     metrics.GetCounter("svc.optimistic_hits")
         ->Add(delta(shard.buffer->optimistic_hits(),

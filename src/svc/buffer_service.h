@@ -18,6 +18,7 @@
 #include "storage/disk_manager.h"
 #include "storage/disk_view.h"
 #include "storage/fault_injection.h"
+#include "wal/wal.h"
 
 namespace sdb::svc {
 
@@ -112,12 +113,23 @@ struct ShardStats {
 /// Fetch release their pin through the owning shard's latch, so they may be
 /// dropped from any thread at any time.
 ///
-/// The service serves read-only traffic over a shared DiskManager image:
-/// each shard reads through its own ReadOnlyDiskView (per-shard I/O
-/// counters, no device races), and New() aborts.
+/// Read-only construction serves query traffic over a shared DiskManager
+/// image: each shard reads through its own ReadOnlyDiskView (per-shard I/O
+/// counters, no device races), and New() fails with kUnimplemented.
+/// Writable construction (mutable disk + WAL) additionally serves page
+/// creation and durability: each shard reads and writes through a
+/// WritableDiskView serialized on one device mutex, every shard's buffer
+/// holds the WAL, and Commit/Checkpoint gather the dirty pages of ALL
+/// shards into one atomic log group.
 class BufferService final : public core::PageSource {
  public:
   BufferService(const storage::DiskManager& disk,
+                const BufferServiceConfig& config);
+
+  /// Writable service over `disk`, with the write-ahead rule enforced by
+  /// `wal` (both must outlive the service). The read path is byte-for-byte
+  /// the read-only service's; only write-backs and New() differ.
+  BufferService(storage::DiskManager* disk, wal::WalManager* wal,
                 const BufferServiceConfig& config);
   ~BufferService() override;
 
@@ -149,9 +161,25 @@ class BufferService final : public core::PageSource {
   /// protocol rather than the batching.
   bool PrefersBatchedReads() const override { return true; }
 
-  /// Always kUnimplemented: the service is read-only (no page creation).
+  /// Writable service: allocates a fresh page on the shared device and
+  /// installs it zero-filled and dirty in its shard. Read-only service:
+  /// always kUnimplemented.
   core::StatusOr<core::PageHandle> New(const core::AccessContext& ctx)
       override;
+
+  /// Writable service only. Gathers the dirty, not-yet-logged pages of
+  /// every shard (all shard latches held, taken in index order) into ONE
+  /// atomic WAL commit group and waits for durability. kUnimplemented on a
+  /// read-only service.
+  core::Status Commit(const core::AccessContext& ctx = {});
+
+  /// Commit, then force every shard's dirty frames to the data device and
+  /// append one durable checkpoint record covering the whole service.
+  core::Status Checkpoint(const core::AccessContext& ctx = {});
+
+  /// True when the service was constructed writable.
+  bool writable() const { return writable_disk_ != nullptr; }
+  wal::WalManager* wal() const { return wal_; }
 
   /// Buffered image of a resident page. Quiescent use only — the returned
   /// span is unprotected against concurrent eviction.
@@ -220,8 +248,11 @@ class BufferService final : public core::PageSource {
     explicit Shard(const storage::DiskManager& disk) : view(disk) {}
 
     storage::ReadOnlyDiskView view;
-    // Optional fault-injection wrapper over `view`; the shard's buffer
-    // reads through it when the service runs a fault profile.
+    // Writable service only: the shard's device-mutex-serialized view, used
+    // in place of `view` for both reads and writes.
+    std::unique_ptr<storage::WritableDiskView> writable;
+    // Optional fault-injection wrapper over the shard's device; the shard's
+    // buffer reads through it when the service runs a fault profile.
     std::unique_ptr<storage::FaultInjectingDevice> fault;
     std::mutex latch;
     std::unique_ptr<obs::Collector> collector;  // null without metrics
@@ -244,14 +275,30 @@ class BufferService final : public core::PageSource {
         {};
   };
 
+  /// Shared construction body of both constructors.
+  void Init(const storage::DiskManager& disk,
+            const BufferServiceConfig& config);
+
   /// Acquires the shard latch, counting contended arrivals.
   std::unique_lock<std::mutex> LockShard(Shard& shard) const;
+
+  /// The shard's device-level I/O counters (writable view in write mode,
+  /// read-only view otherwise).
+  const storage::IoStats& ShardIoStats(const Shard& shard) const {
+    return shard.writable != nullptr ? shard.writable->stats()
+                                     : shard.view.stats();
+  }
 
   /// Publishes the shard's aggregate counters into its collector (latch
   /// already taken by the caller).
   void FlushShardLocked(Shard& shard);
 
   size_t total_frames_ = 0;
+  // Write mode (both null on a read-only service). The device mutex
+  // serializes every shard's view over the one mutable DiskManager.
+  storage::DiskManager* writable_disk_ = nullptr;
+  wal::WalManager* wal_ = nullptr;
+  mutable std::mutex device_mu_;
   std::string policy_spec_;
   LatchMode latch_mode_ = LatchMode::kOptimistic;
   bool collect_metrics_ = false;

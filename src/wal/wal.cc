@@ -1,0 +1,251 @@
+#include "wal/wal.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/macros.h"
+#include "obs/trace.h"
+
+namespace sdb::wal {
+
+std::string_view RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kPageImage:
+      return "page_image";
+    case RecordType::kCommit:
+      return "commit";
+    case RecordType::kCheckpoint:
+      return "checkpoint";
+  }
+  return "unknown";
+}
+
+WalManager::WalManager(storage::PageDevice* device, WalOptions options,
+                       obs::Collector* collector)
+    : device_(device),
+      options_(options),
+      page_size_(device->page_size()),
+      collector_(collector) {
+  SDB_CHECK_MSG(options_.segment_pages > 0, "segment must hold pages");
+  SDB_CHECK_MSG(options_.commit_queue_capacity > 0,
+                "commit queue must admit at least one commit");
+  partial_.reserve(page_size_);
+  if (collector_ != nullptr) {
+    appends_metric_ = collector_->metrics().GetCounter("wal.appends");
+    commits_metric_ = collector_->metrics().GetCounter("wal.commits");
+    fsyncs_metric_ = collector_->metrics().GetCounter("wal.fsyncs");
+    steals_metric_ = collector_->metrics().GetCounter("wal.forced_steals");
+    static constexpr double kGroupBounds[] = {1, 2, 4, 8, 16, 32, 64};
+    group_size_metric_ =
+        collector_->metrics().GetHistogram("wal.group_commit_size",
+                                           kGroupBounds);
+  }
+  if (options_.group_commit) {
+    writer_ = std::thread([this] { WriterLoop(); });
+  }
+}
+
+WalManager::~WalManager() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!tail_.empty() && sticky_error_.ok()) FlushLocked();
+    stop_ = true;
+  }
+  writer_cv_.notify_all();
+  durable_cv_.notify_all();
+  space_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+Lsn WalManager::AppendLocked(RecordType type, uint64_t page,
+                             std::span<const std::byte> payload) {
+  const Lsn lsn = next_lsn_;
+  const size_t encoded = AppendRecord(type, lsn, page, payload, &tail_);
+  const uint64_t segment_before = lsn / (options_.segment_pages * page_size_);
+  next_lsn_ += encoded;
+  const uint64_t segment_after =
+      (next_lsn_ - 1) / (options_.segment_pages * page_size_);
+  stats_.segments_opened += segment_after - segment_before;
+  ++stats_.appends;
+  stats_.bytes_appended += encoded;
+  if (appends_metric_ != nullptr) appends_metric_->Add();
+  return lsn;
+}
+
+void WalManager::FlushLocked() {
+  if (tail_.empty() || !sticky_error_.ok()) return;
+
+  // Compose the dirty device pages: the already-durable head of the current
+  // tail page, then everything appended since the last flush.
+  const Lsn flush_begin = durable_lsn_ - partial_.size();
+  SDB_CHECK(flush_begin % page_size_ == 0);
+  std::vector<std::byte> block(partial_.size() + tail_.size());
+  if (!partial_.empty()) {
+    std::memcpy(block.data(), partial_.data(), partial_.size());
+  }
+  std::memcpy(block.data() + partial_.size(), tail_.data(), tail_.size());
+
+  const size_t page_count = (block.size() + page_size_ - 1) / page_size_;
+  const storage::PageId first_page =
+      static_cast<storage::PageId>(flush_begin / page_size_);
+  while (device_->page_count() < first_page + page_count) {
+    device_->Allocate();
+  }
+  std::vector<std::byte> image(page_size_);
+  for (size_t p = 0; p < page_count; ++p) {
+    const size_t offset = p * page_size_;
+    const size_t n = std::min(page_size_, block.size() - offset);
+    std::memcpy(image.data(), block.data() + offset, n);
+    std::memset(image.data() + n, 0, page_size_ - n);
+    const core::Status status =
+        device_->Write(static_cast<storage::PageId>(first_page + p), image);
+    if (!status.ok()) {
+      sticky_error_ = status;
+      durable_cv_.notify_all();
+      return;
+    }
+  }
+
+  durable_lsn_ += tail_.size();
+  tail_.clear();
+  partial_.assign(block.end() - (block.size() % page_size_), block.end());
+
+  ++stats_.fsyncs;
+  if (fsyncs_metric_ != nullptr) fsyncs_metric_->Add();
+  if (pending_commits_ > 0) {
+    stats_.grouped_commits += pending_commits_;
+    if (group_size_metric_ != nullptr) {
+      group_size_metric_->Observe(static_cast<double>(pending_commits_));
+    }
+    pending_commits_ = 0;
+    space_cv_.notify_all();
+  }
+  durable_cv_.notify_all();
+}
+
+void WalManager::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    writer_cv_.wait(lock, [this] {
+      return stop_ || pending_commits_ > 0 || urgent_flush_;
+    });
+    if (stop_) return;
+    if (options_.group_window_us > 0 && !urgent_flush_) {
+      // Collection window: let stragglers join the batch. An urgent request
+      // (EnsureDurable under eviction pressure) or shutdown cuts it short.
+      writer_cv_.wait_for(lock,
+                          std::chrono::microseconds(options_.group_window_us),
+                          [this] { return stop_ || urgent_flush_; });
+      if (stop_) return;
+    }
+    FlushLocked();
+    urgent_flush_ = false;
+  }
+}
+
+core::StatusOr<Lsn> WalManager::CommitPages(
+    std::span<const PageImageRef> images, uint64_t data_page_count,
+    const core::AccessContext& ctx, bool forced_steal) {
+  obs::ScopedSpan span(ctx.span, obs::SpanKind::kWalAppend);
+  span.set_payload(images.size());
+  span.set_flag(forced_steal);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!sticky_error_.ok()) return sticky_error_;
+  if (options_.group_commit) {
+    // Bounded commit queue: hold new groups back while the writer is behind.
+    space_cv_.wait(lock, [this] {
+      return pending_commits_ < options_.commit_queue_capacity || stop_ ||
+             !sticky_error_.ok();
+    });
+    if (!sticky_error_.ok()) return sticky_error_;
+    if (stop_) return core::Status::Unavailable("wal shutting down");
+  }
+
+  // The whole group — images plus its commit record — is appended under one
+  // mutex hold, so groups never interleave and recovery may treat every
+  // image that precedes a commit record as committed.
+  for (const PageImageRef& ref : images) {
+    SDB_CHECK_MSG(ref.bytes.size() == page_size_,
+                  "page image must be exactly one page");
+    AppendLocked(RecordType::kPageImage, ref.page, ref.bytes);
+  }
+  const Lsn commit_lsn = AppendLocked(RecordType::kCommit, data_page_count, {});
+  const Lsn end = next_lsn_;
+  ++stats_.commits;
+  if (commits_metric_ != nullptr) commits_metric_->Add();
+  if (forced_steal) {
+    ++stats_.forced_steals;
+    if (steals_metric_ != nullptr) steals_metric_->Add();
+  }
+  (void)commit_lsn;
+
+  if (!options_.group_commit) {
+    ++pending_commits_;
+    FlushLocked();
+    if (!sticky_error_.ok()) return sticky_error_;
+    return end;
+  }
+
+  ++pending_commits_;
+  writer_cv_.notify_one();
+  durable_cv_.wait(lock, [this, end] {
+    return durable_lsn_ >= end || !sticky_error_.ok() || stop_;
+  });
+  if (!sticky_error_.ok()) return sticky_error_;
+  if (durable_lsn_ < end) {
+    return core::Status::Unavailable("wal shut down before commit flushed");
+  }
+  return end;
+}
+
+core::StatusOr<Lsn> WalManager::AppendCheckpoint(
+    uint64_t data_page_count, const core::AccessContext& ctx) {
+  obs::ScopedSpan span(ctx.span, obs::SpanKind::kCheckpoint);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!sticky_error_.ok()) return sticky_error_;
+  AppendLocked(RecordType::kCheckpoint, data_page_count, {});
+  const Lsn end = next_lsn_;
+  ++stats_.checkpoints;
+  FlushLocked();
+  if (!sticky_error_.ok()) return sticky_error_;
+  return end;
+}
+
+core::Status WalManager::EnsureDurable(Lsn lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!sticky_error_.ok()) return sticky_error_;
+  if (durable_lsn_ >= lsn) return core::Status::Ok();
+  if (!options_.group_commit) {
+    FlushLocked();
+    return sticky_error_;
+  }
+  urgent_flush_ = true;
+  writer_cv_.notify_one();
+  durable_cv_.wait(lock, [this, lsn] {
+    return durable_lsn_ >= lsn || !sticky_error_.ok() || stop_;
+  });
+  if (!sticky_error_.ok()) return sticky_error_;
+  if (durable_lsn_ < lsn) {
+    return core::Status::Unavailable("wal shut down before flush");
+  }
+  return core::Status::Ok();
+}
+
+Lsn WalManager::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+Lsn WalManager::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+WalStats WalManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sdb::wal

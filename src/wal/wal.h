@@ -1,0 +1,167 @@
+#ifndef SPATIALBUFFER_WAL_WAL_H_
+#define SPATIALBUFFER_WAL_WAL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/access_context.h"
+#include "core/status.h"
+#include "obs/collector.h"
+#include "storage/disk_manager.h"
+#include "wal/log_record.h"
+
+namespace sdb::wal {
+
+/// Construction knobs of a WalManager.
+struct WalOptions {
+  /// Group commit: run a dedicated writer thread that batches commit fsyncs
+  /// inside a collection window. Off (the default) appends and flushes
+  /// inline on the committing thread — fully deterministic, one fsync per
+  /// commit, which is what tests and single-threaded replays want.
+  bool group_commit = false;
+  /// Collection window of the writer thread: after the first commit of a
+  /// batch arrives the writer waits this long for stragglers before it
+  /// flushes. 0 flushes as soon as the writer wakes.
+  uint32_t group_window_us = 100;
+  /// Bounded commit queue: at most this many commits may be waiting on the
+  /// writer before further committers block (backpressure).
+  size_t commit_queue_capacity = 64;
+  /// Pages per log segment. Segments only rotate accounting (the log lives
+  /// on one PageDevice), but the boundary is observable: stats count every
+  /// segment the tail crosses, matching a file-per-segment layout.
+  size_t segment_pages = 1024;
+};
+
+/// Counters of one WalManager, all maintained under its mutex.
+struct WalStats {
+  uint64_t appends = 0;        ///< records appended (images + commits + ckpts)
+  uint64_t commits = 0;        ///< commit records, including steals
+  uint64_t forced_steals = 0;  ///< commits forced by eviction of unlogged dirty
+  uint64_t checkpoints = 0;
+  uint64_t fsyncs = 0;         ///< durable flush batches
+  uint64_t grouped_commits = 0;  ///< commits covered by those fsyncs
+  uint64_t bytes_appended = 0;
+  uint64_t segments_opened = 0;
+};
+
+/// One page image queued for a commit group.
+struct PageImageRef {
+  storage::PageId page = storage::kInvalidPageId;
+  std::span<const std::byte> bytes;
+};
+
+/// Append-only, segmented, redo-only write-ahead log over a PageDevice.
+///
+/// The log is a byte stream of checksummed records (log_record.h) stored in
+/// page-size blocks on its own device — its *own*, never the data device, so
+/// the fault layer can tear the log tail without touching data pages. An LSN
+/// is a byte offset into that stream; durability is tracked as the stream
+/// prefix that has reached the device.
+///
+/// Commit protocol: CommitPages appends the group's page images plus one
+/// commit record while holding the log mutex, so groups are contiguous —
+/// recovery may treat every image before a commit record as committed.
+/// In group-commit mode the committer then blocks until the writer thread's
+/// next batched flush covers its commit record; many committers share one
+/// device flush ("fsync"), which is the throughput lever the bench measures.
+///
+/// Thread-safe. All appends, flushes and stats share one mutex; the writer
+/// thread (group-commit mode only) is joined by the destructor after a final
+/// flush.
+class WalManager {
+ public:
+  /// `device` must outlive the manager and must start empty (recovery
+  /// re-opens a log by scanning, not by instantiating a WalManager on it).
+  /// `collector`, when given, receives wal.* counters and the group-commit
+  /// size histogram; it must not be shared with a concurrent mutator.
+  explicit WalManager(storage::PageDevice* device,
+                      WalOptions options = WalOptions{},
+                      obs::Collector* collector = nullptr);
+  ~WalManager();
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Appends the images and a commit record as one contiguous group and
+  /// makes the group durable (inline, or via the writer thread's next
+  /// batched flush). `data_page_count` is stamped into the commit record so
+  /// recovery can bound byte-exactness to committed pages. Returns the LSN
+  /// just past the commit record — the caller's new durable horizon.
+  core::StatusOr<Lsn> CommitPages(std::span<const PageImageRef> images,
+                                  uint64_t data_page_count,
+                                  const core::AccessContext& ctx,
+                                  bool forced_steal = false);
+
+  /// Appends a checkpoint record and makes it durable. The caller must have
+  /// forced every committed dirty page to the data device first — that is
+  /// what the record asserts to recovery.
+  core::StatusOr<Lsn> AppendCheckpoint(uint64_t data_page_count,
+                                       const core::AccessContext& ctx);
+
+  /// Blocks until the stream prefix [0, lsn) is on the device. The
+  /// write-ahead rule: eviction write-back of a logged page calls this with
+  /// the page's LSN before touching the data device.
+  core::Status EnsureDurable(Lsn lsn);
+
+  /// Next LSN to be assigned (current end of the appended stream).
+  Lsn next_lsn() const;
+  /// End of the durable prefix.
+  Lsn durable_lsn() const;
+
+  WalStats stats() const;
+  const WalOptions& options() const { return options_; }
+  storage::PageDevice& device() { return *device_; }
+
+ private:
+  struct AppendedGroup {
+    Lsn end = kNullLsn;
+    core::Status status = core::Status::Ok();
+  };
+
+  /// Appends one record to the tail. Caller holds mu_.
+  Lsn AppendLocked(RecordType type, uint64_t page,
+                   std::span<const std::byte> payload);
+  /// Writes the tail out in page-size blocks and advances durable_lsn_.
+  /// Caller holds mu_. Sets sticky_error_ on device failure.
+  void FlushLocked();
+  /// Group-commit writer thread body.
+  void WriterLoop();
+
+  storage::PageDevice* device_;
+  const WalOptions options_;
+  const size_t page_size_;
+
+  mutable std::mutex mu_;
+  std::condition_variable writer_cv_;   ///< wakes the writer thread
+  std::condition_variable durable_cv_;  ///< wakes committers / EnsureDurable
+  std::condition_variable space_cv_;    ///< wakes committers on queue space
+
+  std::vector<std::byte> tail_;     ///< appended, not yet durable
+  std::vector<std::byte> partial_;  ///< durable bytes of the tail page
+  Lsn next_lsn_ = 0;
+  Lsn durable_lsn_ = 0;
+  size_t pending_commits_ = 0;  ///< commits waiting on the writer thread
+  bool urgent_flush_ = false;   ///< EnsureDurable wants the window skipped
+  bool stop_ = false;
+  core::Status sticky_error_ = core::Status::Ok();
+
+  WalStats stats_;
+
+  obs::Collector* collector_ = nullptr;
+  obs::Counter* appends_metric_ = nullptr;
+  obs::Counter* commits_metric_ = nullptr;
+  obs::Counter* fsyncs_metric_ = nullptr;
+  obs::Counter* steals_metric_ = nullptr;
+  obs::Histogram* group_size_metric_ = nullptr;
+
+  std::thread writer_;
+};
+
+}  // namespace sdb::wal
+
+#endif  // SPATIALBUFFER_WAL_WAL_H_

@@ -159,6 +159,11 @@ TEST_F(ObsTraceTest, ParentLinksRespectTheSpanHierarchy) {
             << "async I/O spans hang off the shard fetch that staged them";
         break;
       }
+      case SpanKind::kWalAppend:
+      case SpanKind::kCheckpoint:
+      case SpanKind::kRecovery:
+        ADD_FAILURE() << "read-only replay must not emit write-path spans";
+        break;
     }
   }
   EXPECT_GT(shard_fetches, 0u);

@@ -21,7 +21,7 @@ std::unique_ptr<DiskManager> StageDisk(size_t n) {
   for (size_t i = 0; i < n; ++i) {
     image[0] = static_cast<std::byte>(i);
     const PageId id = disk->Allocate();
-    disk->Write(id, image);
+    EXPECT_TRUE(disk->Write(id, image).ok());
   }
   return disk;
 }

@@ -101,7 +101,7 @@ TEST_F(ChecksumSidecarTest, FullFanoutNode) {
     e.id = i;
     node.Append(e);
   }
-  disk.Write(id, image);
+  ASSERT_TRUE(disk.Write(id, image).ok());
   ExpectVerifiedFetch(disk, id);
 }
 
@@ -116,7 +116,7 @@ TEST_F(ChecksumSidecarTest, NonFiniteCoordinates) {
   e.rect = geom::Rect(-inf, -inf, inf, inf);
   e.id = 1;
   node.Append(e);
-  disk.Write(id, image);
+  ASSERT_TRUE(disk.Write(id, image).ok());
   ExpectVerifiedFetch(disk, id);
 }
 
@@ -126,7 +126,7 @@ TEST_F(ChecksumSidecarTest, WriteRestampsAndViewForwards) {
   const uint32_t zero_crc = *disk.PageChecksum(id);
   std::vector<std::byte> image(disk.page_size(), std::byte{0});
   image[100] = std::byte{0x5A};
-  disk.Write(id, image);
+  ASSERT_TRUE(disk.Write(id, image).ok());
   EXPECT_NE(*disk.PageChecksum(id), zero_crc);
   const ReadOnlyDiskView view(disk);
   EXPECT_EQ(view.PageChecksum(id), disk.PageChecksum(id));

@@ -77,7 +77,7 @@ TEST(DiskManagerTest, ReadWriteRoundTrip) {
   DiskManager disk;
   const PageId id = disk.Allocate();
   const auto out = MakeImage(disk.page_size(), 0xAB);
-  disk.Write(id, out);
+  ASSERT_TRUE(disk.Write(id, out).ok());
   auto in = MakeImage(disk.page_size(), 0);
   disk.Read(id, in);
   EXPECT_EQ(std::memcmp(in.data(), out.data(), disk.page_size()), 0);
@@ -96,8 +96,8 @@ TEST(DiskManagerTest, CountsReadsAndWrites) {
   const PageId a = disk.Allocate();
   const PageId b = disk.Allocate();
   auto image = MakeImage(disk.page_size(), 1);
-  disk.Write(a, image);
-  disk.Write(b, image);
+  ASSERT_TRUE(disk.Write(a, image).ok());
+  ASSERT_TRUE(disk.Write(b, image).ok());
   disk.Read(a, image);
   disk.Read(a, image);
   disk.Read(b, image);
@@ -123,9 +123,9 @@ TEST(DiskManagerTest, DetectsSequentialWrites) {
   DiskManager disk;
   for (int i = 0; i < 4; ++i) disk.Allocate();
   auto image = MakeImage(disk.page_size(), 0);
-  disk.Write(2, image);
-  disk.Write(3, image);  // sequential
-  disk.Write(1, image);  // random
+  ASSERT_TRUE(disk.Write(2, image).ok());
+  ASSERT_TRUE(disk.Write(3, image).ok());  // sequential
+  ASSERT_TRUE(disk.Write(1, image).ok());  // random
   EXPECT_EQ(disk.stats().sequential_writes, 1u);
 }
 
@@ -157,7 +157,7 @@ TEST(DiskManagerTest, PeekDoesNotCountIo) {
   std::vector<std::byte> image(disk.page_size(), std::byte{0});
   PageHeaderView(image.data()).set_type(PageType::kData);
   PageHeaderView(image.data()).set_level(0);
-  disk.Write(id, image);
+  ASSERT_TRUE(disk.Write(id, image).ok());
   disk.ResetStats();
   EXPECT_EQ(disk.PeekMeta(id).type, PageType::kData);
   EXPECT_EQ(disk.PeekPage(id).size(), disk.page_size());
@@ -169,7 +169,7 @@ TEST(DiskManagerTest, CustomPageSize) {
   EXPECT_EQ(disk.page_size(), 512u);
   const PageId id = disk.Allocate();
   auto image = MakeImage(512, 0x5A);
-  disk.Write(id, image);
+  ASSERT_TRUE(disk.Write(id, image).ok());
   auto in = MakeImage(512, 0);
   disk.Read(id, in);
   EXPECT_EQ(std::memcmp(in.data(), image.data(), 512), 0);
@@ -182,7 +182,7 @@ TEST(DiskImageTest, SaveLoadRoundTrip) {
   for (int i = 0; i < 5; ++i) {
     std::fill(image.begin(), image.end(),
               static_cast<std::byte>(0x10 + i));
-    disk.Write(static_cast<PageId>(i), image);
+    ASSERT_TRUE(disk.Write(static_cast<PageId>(i), image).ok());
   }
   const std::string path = ::testing::TempDir() + "/sdb_disk_image.bin";
   ASSERT_TRUE(disk.SaveImage(path));
@@ -204,7 +204,7 @@ TEST(DiskImageTest, LoadedImageStartsWithCleanStats) {
   DiskManager disk;
   disk.Allocate();
   std::vector<std::byte> image(disk.page_size(), std::byte{1});
-  disk.Write(0, image);
+  ASSERT_TRUE(disk.Write(0, image).ok());
   const std::string path = ::testing::TempDir() + "/sdb_disk_image2.bin";
   ASSERT_TRUE(disk.SaveImage(path));
   auto loaded = DiskManager::LoadImage(path);
@@ -228,8 +228,8 @@ TEST(ReadOnlyDiskViewTest, ReadsSameBytesAsBase) {
   DiskManager disk;
   const PageId a = disk.Allocate();
   const PageId b = disk.Allocate();
-  disk.Write(a, MakeImage(disk.page_size(), 0x11));
-  disk.Write(b, MakeImage(disk.page_size(), 0x22));
+  ASSERT_TRUE(disk.Write(a, MakeImage(disk.page_size(), 0x11)).ok());
+  ASSERT_TRUE(disk.Write(b, MakeImage(disk.page_size(), 0x22)).ok());
 
   ReadOnlyDiskView view(disk);
   EXPECT_EQ(view.page_size(), disk.page_size());
@@ -270,12 +270,13 @@ TEST(ReadOnlyDiskViewTest, CountersArePerViewAndLeaveBaseUntouched) {
   EXPECT_EQ(first.stats().sequential_reads, 0u);
 }
 
-TEST(ReadOnlyDiskViewDeathTest, WriteAndAllocateAbort) {
+TEST(ReadOnlyDiskViewDeathTest, WriteFailsAndAllocateAborts) {
   DiskManager disk;
   disk.Allocate();
   ReadOnlyDiskView view(disk);
   auto image = MakeImage(disk.page_size(), 0);
-  EXPECT_DEATH(view.Write(0, image), "read-only");
+  const core::Status written = view.Write(0, image);
+  EXPECT_EQ(written.code(), core::StatusCode::kUnimplemented);
   EXPECT_DEATH(view.Allocate(), "read-only");
 }
 

@@ -34,7 +34,7 @@ class LatchStressTest : public ::testing::Test {
     std::vector<std::byte> image(disk_->page_size(), std::byte{0});
     for (size_t i = 0; i < kPages; ++i) {
       image[0] = static_cast<std::byte>(i);
-      disk_->Write(disk_->Allocate(), image);
+      ASSERT_TRUE(disk_->Write(disk_->Allocate(), image).ok());
     }
   }
   static void TearDownTestSuite() {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/random.h"
 #include "core/buffer_manager.h"
 #include "geom/rect.h"
@@ -35,7 +36,7 @@ inline storage::PageId StagePage(storage::DiskManager& disk,
   agg.sum_entry_margin = sum_entry_margin;
   agg.entry_overlap = entry_overlap;
   header.set_aggregates(agg);
-  disk.Write(id, image);
+  SDB_CHECK(disk.Write(id, image).ok());
   return id;
 }
 

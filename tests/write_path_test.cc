@@ -1,0 +1,524 @@
+// The buffer-manager write path end to end: dirty tracking and recovery
+// LSNs, the write-ahead rule on eviction (including forced steals and
+// re-logging after a redirty), typed Evict refusals, the dirty-pin
+// lifecycle edges around quarantine, the writable sharded BufferService
+// (New / Commit / Checkpoint across shards), a churn-then-crash-then-
+// recover round trip through the R-tree, and the optimistic-vs-mutex
+// FetchBatch serial-equality regression.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/buffer_manager.h"
+#include "core/policy_lru.h"
+#include "geom/rect.h"
+#include "rtree/rtree.h"
+#include "sim/churn.h"
+#include "storage/disk_manager.h"
+#include "storage/disk_view.h"
+#include "storage/fault_injection.h"
+#include "svc/buffer_service.h"
+#include "test_util.h"
+#include "wal/recovery.h"
+#include "wal/wal.h"
+
+namespace sdb {
+namespace {
+
+using core::AccessContext;
+using core::BufferManager;
+using core::EvictStatus;
+using core::PageHandle;
+using core::UnpinStatus;
+using storage::DiskManager;
+using storage::PageId;
+using storage::PageType;
+
+std::unique_ptr<BufferManager> MakeBuffer(storage::PageDevice& disk,
+                                          size_t frames) {
+  return std::make_unique<BufferManager>(&disk, frames,
+                                         std::make_unique<core::LruPolicy>());
+}
+
+void FillPage(PageHandle& handle, uint8_t fill) {
+  std::memset(handle.bytes().data(), fill, handle.bytes().size());
+  handle.MarkDirty();
+}
+
+std::vector<std::byte> ReadPage(DiskManager& disk, PageId page) {
+  std::vector<std::byte> out(disk.page_size());
+  SDB_CHECK(disk.Read(page, out).ok());
+  return out;
+}
+
+class WritePathTest : public ::testing::Test {
+ protected:
+  WritePathTest() : wal_(&log_) {}
+
+  DiskManager disk_;
+  DiskManager log_;
+  wal::WalManager wal_;
+  AccessContext ctx_{1};
+};
+
+TEST_F(WritePathTest, NewPinsAZeroedDirtyFrame) {
+  auto buffer = MakeBuffer(disk_, 4);
+  buffer->AttachWal(&wal_);
+  core::StatusOr<PageHandle> page = buffer->New(ctx_);
+  ASSERT_TRUE(page.ok());
+  for (const std::byte b : page->bytes()) {
+    ASSERT_EQ(b, std::byte{0});
+  }
+  EXPECT_EQ(buffer->dirty_count(), 1u);
+  EXPECT_EQ(buffer->min_rec_lsn(), 1u)
+      << "rec_lsn is stored 1-based off an empty log";
+  page->Release();
+}
+
+TEST_F(WritePathTest, CommitKeepsFramesDirtyButCheapToEvict) {
+  auto buffer = MakeBuffer(disk_, 4);
+  buffer->AttachWal(&wal_);
+  PageHandle page = buffer->NewOrDie(ctx_);
+  const PageId id = page.page_id();
+  FillPage(page, 0x5A);
+  page.Release();
+
+  ASSERT_TRUE(buffer->Commit(ctx_).ok());
+  EXPECT_EQ(wal_.stats().commits, 1u);
+  EXPECT_EQ(wal_.stats().appends, 2u);  // one image + the commit record
+  EXPECT_EQ(buffer->dirty_count(), 1u) << "commit does not write back";
+
+  // The committed frame evicts without a steal: its image is in the log.
+  EXPECT_EQ(buffer->Evict(id), EvictStatus::kOk);
+  EXPECT_EQ(wal_.stats().forced_steals, 0u);
+  EXPECT_FALSE(buffer->Contains(id));
+  EXPECT_EQ(ReadPage(disk_, id)[0], std::byte{0x5A});
+  EXPECT_EQ(buffer->stats().dirty_writebacks, 1u);
+}
+
+TEST_F(WritePathTest, EvictingUnloggedDirtyFrameForcesASteal) {
+  auto buffer = MakeBuffer(disk_, 4);
+  buffer->AttachWal(&wal_);
+  PageHandle page = buffer->NewOrDie(ctx_);
+  const PageId id = page.page_id();
+  FillPage(page, 0x7C);
+  page.Release();
+
+  EXPECT_EQ(buffer->Evict(id), EvictStatus::kOk);
+  EXPECT_EQ(wal_.stats().forced_steals, 1u)
+      << "a dirty-unlogged victim must commit its own image first";
+  EXPECT_EQ(ReadPage(disk_, id)[0], std::byte{0x7C});
+
+  // The steal is a real commit: recovery replays it onto a fresh device.
+  DiskManager recovered;
+  const core::StatusOr<wal::RecoveryResult> result =
+      wal::Recover(log_, recovered);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->replayed_pages, 1u);
+  EXPECT_EQ(ReadPage(recovered, id)[0], std::byte{0x7C});
+}
+
+TEST_F(WritePathTest, RedirtyAfterCommitForcesRelogOnEviction) {
+  auto buffer = MakeBuffer(disk_, 4);
+  buffer->AttachWal(&wal_);
+  PageHandle page = buffer->NewOrDie(ctx_);
+  const PageId id = page.page_id();
+  FillPage(page, 0xA1);
+  page.Release();
+  ASSERT_TRUE(buffer->Commit(ctx_).ok());
+
+  // Redirty the already-logged frame; its logged image (0xA1) is now stale.
+  {
+    PageHandle again = buffer->FetchOrDie(id, ctx_);
+    FillPage(again, 0xB2);
+  }
+  EXPECT_EQ(buffer->Evict(id), EvictStatus::kOk);
+  EXPECT_EQ(wal_.stats().forced_steals, 1u)
+      << "eviction must re-log the new bytes, not reuse the stale image";
+  EXPECT_EQ(ReadPage(disk_, id)[0], std::byte{0xB2});
+
+  DiskManager recovered;
+  ASSERT_TRUE(wal::Recover(log_, recovered).ok());
+  EXPECT_EQ(ReadPage(recovered, id)[0], std::byte{0xB2})
+      << "last committed image wins during redo";
+}
+
+TEST_F(WritePathTest, EvictRefusalsAreTyped) {
+  auto buffer = MakeBuffer(disk_, 4);
+  buffer->AttachWal(&wal_);
+  EXPECT_EQ(buffer->Evict(PageId{999}), EvictStatus::kNotResident);
+
+  PageHandle page = buffer->NewOrDie(ctx_);
+  const PageId id = page.page_id();
+  EXPECT_EQ(buffer->Evict(id), EvictStatus::kPinned);
+  EXPECT_TRUE(buffer->Contains(id)) << "a refusal leaves the page resident";
+  page.Release();
+  EXPECT_EQ(buffer->Evict(id), EvictStatus::kOk);
+}
+
+/// Device whose writes can be made to fail on demand (reads pass through).
+class WriteFailingDevice final : public storage::PageDevice {
+ public:
+  explicit WriteFailingDevice(DiskManager& base) : base_(&base) {}
+
+  size_t page_size() const override { return base_->page_size(); }
+  PageId Allocate() override { return base_->Allocate(); }
+  core::Status Read(PageId id, std::span<std::byte> out) override {
+    return base_->Read(id, out);
+  }
+  core::Status Write(PageId id, std::span<const std::byte> in) override {
+    if (fail_writes) {
+      return core::Status(core::StatusCode::kDataLoss, "injected write fail");
+    }
+    return base_->Write(id, in);
+  }
+  size_t page_count() const override { return base_->page_count(); }
+  const storage::IoStats& stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+  bool fail_writes = true;
+
+ private:
+  DiskManager* base_;
+};
+
+TEST_F(WritePathTest, EvictReportsWriteBackFailure) {
+  DiskManager base;
+  const PageId id = test::StagePage(base, PageType::kData, 0,
+                                    geom::Rect(0, 0, 1, 1));
+  WriteFailingDevice device(base);
+  auto buffer = MakeBuffer(device, 2);
+  {
+    PageHandle page = buffer->FetchOrDie(id, ctx_);
+    FillPage(page, 0xEE);
+  }
+  EXPECT_EQ(buffer->Evict(id), EvictStatus::kWriteBackFailed);
+  EXPECT_TRUE(buffer->Contains(id)) << "a failed eviction keeps the page";
+  EXPECT_EQ(buffer->dirty_count(), 1u) << "…and keeps it dirty";
+  // Heal the device: the retried eviction now drains the frame.
+  device.fail_writes = false;
+  EXPECT_EQ(buffer->Evict(id), EvictStatus::kOk);
+  EXPECT_EQ(ReadPage(base, id)[0], std::byte{0xEE});
+}
+
+TEST_F(WritePathTest, UnpinDirtyOnQuarantinedFrameIsRefused) {
+  DiskManager base;
+  const PageId good = test::StagePage(base, PageType::kData, 0,
+                                      geom::Rect(0, 0, 1, 1));
+  const PageId bad = test::StagePage(base, PageType::kData, 0,
+                                     geom::Rect(0, 0, 2, 1));
+  storage::FaultProfile profile;
+  profile.bad_begin = bad;
+  profile.bad_end = bad + 1;
+  storage::FaultInjectingDevice faulty(base, profile);
+  auto buffer = MakeBuffer(faulty, 4);
+
+  ASSERT_FALSE(buffer->Fetch(bad, ctx_).ok());
+  ASSERT_EQ(buffer->quarantined_count(), 1u);
+
+  // A dirty unpin aimed at the quarantined frame must be refused without
+  // dirtying anything; probing every frame finds exactly one refusal.
+  size_t quarantined_refusals = 0;
+  for (core::FrameId f = 0; f < buffer->frame_count(); ++f) {
+    const UnpinStatus status = buffer->Unpin(f, /*dirty=*/true);
+    if (status == UnpinStatus::kQuarantined) ++quarantined_refusals;
+    EXPECT_NE(status, UnpinStatus::kOk) << "no frame holds a releasable pin";
+  }
+  EXPECT_EQ(quarantined_refusals, 1u);
+  EXPECT_EQ(buffer->dirty_count(), 0u);
+  (void)good;
+}
+
+TEST_F(WritePathTest, MinRecLsnTracksTheOldestDirtyFrame) {
+  auto buffer = MakeBuffer(disk_, 4);
+  buffer->AttachWal(&wal_);
+  EXPECT_EQ(buffer->min_rec_lsn(), 0u);
+
+  PageHandle first = buffer->NewOrDie(ctx_);
+  FillPage(first, 0x01);
+  first.Release();
+  const uint64_t first_rec = buffer->min_rec_lsn();
+  EXPECT_EQ(first_rec, 1u);
+
+  // Commit advances the log but not the recovery LSN: the frame is still
+  // dirty, redo for it still starts at its first-dirty position.
+  ASSERT_TRUE(buffer->Commit(ctx_).ok());
+  EXPECT_EQ(buffer->min_rec_lsn(), first_rec);
+
+  PageHandle second = buffer->NewOrDie(ctx_);
+  FillPage(second, 0x02);
+  second.Release();
+  EXPECT_EQ(buffer->min_rec_lsn(), first_rec)
+      << "the minimum is the OLDEST dirty frame";
+  EXPECT_EQ(buffer->dirty_count(), 2u);
+
+  // Forcing everything to the device clears the census entirely.
+  ASSERT_TRUE(buffer->ForceDirty(ctx_).ok());
+  EXPECT_EQ(buffer->dirty_count(), 0u);
+  EXPECT_EQ(buffer->min_rec_lsn(), 0u);
+}
+
+TEST_F(WritePathTest, CheckpointMakesTheDeviceMatchTheCommittedState) {
+  auto buffer = MakeBuffer(disk_, 4);
+  buffer->AttachWal(&wal_);
+  PageHandle a = buffer->NewOrDie(ctx_);
+  const PageId id_a = a.page_id();
+  FillPage(a, 0x11);
+  a.Release();
+  ASSERT_TRUE(buffer->Checkpoint(ctx_).ok());
+  EXPECT_EQ(wal_.stats().checkpoints, 1u);
+  EXPECT_EQ(buffer->dirty_count(), 0u);
+  EXPECT_EQ(ReadPage(disk_, id_a)[0], std::byte{0x11});
+
+  // Post-checkpoint commit; crash here. Recovery onto the checkpointed
+  // device replays only the post-checkpoint group.
+  PageHandle b = buffer->NewOrDie(ctx_);
+  const PageId id_b = b.page_id();
+  FillPage(b, 0x22);
+  b.Release();
+  ASSERT_TRUE(buffer->Commit(ctx_).ok());
+
+  const core::StatusOr<wal::RecoveryResult> result =
+      wal::Recover(log_, disk_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->replayed_pages, 1u)
+      << "pre-checkpoint images are already on the device";
+  EXPECT_EQ(ReadPage(disk_, id_b)[0], std::byte{0x22});
+
+  // Quiesce the buffer before teardown (it still holds dirty frame b).
+  ASSERT_TRUE(buffer->ForceDirty(ctx_).ok());
+}
+
+TEST_F(WritePathTest, FlushAllCommitsBeforeWritingBack) {
+  {
+    auto buffer = MakeBuffer(disk_, 4);
+    buffer->AttachWal(&wal_);
+    PageHandle page = buffer->NewOrDie(ctx_);
+    FillPage(page, 0x33);
+    page.Release();
+    // Destructor runs FlushAll: with a WAL attached that must commit first
+    // (write-ahead rule), then write back.
+  }
+  EXPECT_EQ(wal_.stats().commits, 1u);
+  EXPECT_EQ(wal_.stats().forced_steals, 0u)
+      << "FlushAll commits as one group, not per-frame steals";
+  EXPECT_EQ(ReadPage(disk_, 0)[0], std::byte{0x33});
+}
+
+// ---------------------------------------------------------------------------
+// Writable sharded service
+
+svc::BufferServiceConfig WritableConfig(size_t shards, size_t frames) {
+  svc::BufferServiceConfig config;
+  config.shard_count = shards;
+  config.total_frames = frames;
+  config.policy_spec = "LRU";
+  return config;
+}
+
+TEST(WritableServiceTest, NewAllocatesAcrossShardsAndCommitIsOneGroup) {
+  DiskManager disk;
+  DiskManager log;
+  wal::WalManager wal(&log);
+  svc::BufferService service(&disk, &wal, WritableConfig(4, 64));
+  ASSERT_TRUE(service.writable());
+  const AccessContext ctx{9};
+
+  std::vector<PageId> pages;
+  for (int i = 0; i < 12; ++i) {
+    core::StatusOr<PageHandle> page = service.New(ctx);
+    ASSERT_TRUE(page.ok());
+    std::memset(page->bytes().data(), 0x40 + i, page->bytes().size());
+    page->MarkDirty();
+    pages.push_back(page->page_id());
+    page->Release();
+  }
+  EXPECT_EQ(disk.page_count(), 12u);
+
+  // One commit covers the dirty pages of every shard atomically.
+  ASSERT_TRUE(service.Commit(ctx).ok());
+  EXPECT_EQ(wal.stats().commits, 1u);
+  EXPECT_EQ(wal.stats().appends, 13u);  // 12 images + 1 commit record
+
+  // Byte-exactness of redo: replaying the (pre-checkpoint) log onto a
+  // fresh device reproduces all 12 committed pages.
+  {
+    DiskManager recovered;
+    ASSERT_TRUE(wal::Recover(log, recovered).ok());
+    ASSERT_EQ(recovered.page_count(), disk.page_count());
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_EQ(ReadPage(recovered, pages[i])[0],
+                std::byte{static_cast<uint8_t>(0x40 + i)});
+    }
+  }
+
+  // Checkpoint forces the same bytes onto the data device — and from then
+  // on recovery of the log replays nothing (the checkpoint asserts the
+  // device already holds the committed state).
+  ASSERT_TRUE(service.Checkpoint(ctx).ok());
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(ReadPage(disk, pages[i])[0],
+              std::byte{static_cast<uint8_t>(0x40 + i)});
+  }
+  DiskManager post_checkpoint;
+  const core::StatusOr<wal::RecoveryResult> result =
+      wal::Recover(log, post_checkpoint);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->replayed_pages, 0u);
+}
+
+TEST(WritableServiceTest, ReadOnlyServiceStillRefusesNew) {
+  DiskManager disk;
+  test::StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1));
+  svc::BufferService service(disk, WritableConfig(2, 16));
+  EXPECT_FALSE(service.writable());
+  const core::StatusOr<PageHandle> page = service.New(AccessContext{1});
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), core::StatusCode::kUnimplemented);
+  EXPECT_EQ(service.Commit().code(), core::StatusCode::kUnimplemented);
+}
+
+/// Churn an R-tree through the writable service with periodic commits and
+/// checkpoints, crash (snapshot devices mid-flight), recover, and demand
+/// the recovered tree equals the last committed tree: valid structure and
+/// the exact same query answer.
+TEST(WritableServiceTest, ChurnCrashRecoverRoundTrip) {
+  const geom::Rect space(0, 0, 100, 100);
+  DiskManager disk;
+  DiskManager log;
+  wal::WalManager wal(&log);
+  svc::BufferService service(&disk, &wal, WritableConfig(2, 128));
+  const AccessContext ctx{3};
+
+  rtree::RTree tree(&disk, &service);
+  sim::ChurnOptions options;
+  options.operations = 400;
+  options.delete_fraction = 0.35;
+  options.seed = 1234;
+  options.commit_every = 25;
+  options.checkpoint_every = 100;
+  sim::ChurnHooks hooks;
+  hooks.commit = [&] {
+    tree.PersistMeta();
+    return service.Commit(ctx);
+  };
+  hooks.checkpoint = [&] {
+    tree.PersistMeta();
+    return service.Checkpoint(ctx);
+  };
+  const core::StatusOr<sim::ChurnResult> churn =
+      sim::RunChurn(tree, space, options, hooks, ctx);
+  ASSERT_TRUE(churn.ok());
+  EXPECT_GT(churn->inserts, 0u);
+  EXPECT_GT(churn->deletes, 0u);
+  EXPECT_GT(churn->checkpoints, 0u);
+
+  // Final commit: this is the state recovery must reproduce.
+  tree.PersistMeta();
+  ASSERT_TRUE(service.Commit(ctx).ok());
+  const std::vector<rtree::Entry> committed = tree.WindowQuery(space, ctx);
+  EXPECT_EQ(committed.size(), churn->live);
+
+  // Crash: snapshot both devices while the service still holds dirty
+  // frames, then recover the snapshots. SaveImage walks the device without
+  // flushing anything, which is exactly a power-cut's view.
+  const std::string data_path = ::testing::TempDir() + "/churn_data.img";
+  const std::string log_path = ::testing::TempDir() + "/churn_log.img";
+  ASSERT_TRUE(disk.SaveImage(data_path));
+  ASSERT_TRUE(log.SaveImage(log_path));
+  auto crashed_data = DiskManager::LoadImage(data_path);
+  auto crashed_log = DiskManager::LoadImage(log_path);
+  ASSERT_TRUE(crashed_data.has_value());
+  ASSERT_TRUE(crashed_log.has_value());
+
+  const core::StatusOr<wal::RecoveryResult> result =
+      wal::Recover(*crashed_log, *crashed_data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->torn_tail);
+  EXPECT_GT(result->replayed_pages, 0u);
+
+  // Reopen the recovered database read-only and compare against the
+  // committed answer.
+  svc::BufferServiceConfig read_config = WritableConfig(2, 128);
+  svc::BufferService reader(*crashed_data, read_config);
+  rtree::RTree recovered =
+      rtree::RTree::Open(&*crashed_data, &reader, tree.meta_page());
+  EXPECT_EQ(recovered.Validate(), "");
+  std::vector<rtree::Entry> replayed = recovered.WindowQuery(space, ctx);
+  ASSERT_EQ(replayed.size(), committed.size());
+  auto by_id = [](const rtree::Entry& a, const rtree::Entry& b) {
+    return a.id < b.id;
+  };
+  std::vector<rtree::Entry> expected = committed;
+  std::sort(expected.begin(), expected.end(), by_id);
+  std::sort(replayed.begin(), replayed.end(), by_id);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(replayed[i].id, expected[i].id);
+  }
+
+  // Quiesce the writable service before teardown.
+  ASSERT_TRUE(service.Checkpoint(ctx).ok());
+  std::remove(data_path.c_str());
+  std::remove(log_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: optimistic FetchBatch must preserve per-shard access order
+
+/// Serial-equality regression: one thread, identical batch sequences, a
+/// mutex service and an optimistic service must report bit-identical
+/// hit/miss counts. The optimistic batch path probes hits latch-free
+/// first; if that probe reordered a shard's accesses (hits before misses),
+/// LRU state — and with it every subsequent eviction — would diverge.
+TEST(WritableServiceTest, OptimisticBatchMatchesMutexHitForHitSerially) {
+  DiskManager disk;
+  std::vector<PageId> pages;
+  for (int i = 0; i < 48; ++i) {
+    pages.push_back(test::StagePage(disk, PageType::kData, 0,
+                                    geom::Rect(0, 0, 1.0 + i, 1.0)));
+  }
+
+  auto run = [&](svc::LatchMode mode) {
+    svc::BufferServiceConfig config = WritableConfig(2, 16);
+    config.latch_mode = mode;
+    svc::BufferService service(disk, config);
+    const AccessContext ctx{5};
+    uint64_t state = 0x9E3779B97F4A7C15ull;
+    auto next = [&state] {
+      state += 0x9E3779B97F4A7C15ull;
+      uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    std::vector<core::StatusOr<PageHandle>> out;
+    for (int round = 0; round < 200; ++round) {
+      std::vector<PageId> batch;
+      for (int i = 0; i < 6; ++i) {
+        batch.push_back(pages[next() % pages.size()]);
+      }
+      out.clear();
+      service.FetchBatch(batch, ctx, &out);
+      for (auto& handle : out) EXPECT_TRUE(handle.ok());
+      out.clear();  // release every pin before the next batch
+    }
+    const svc::ShardStats stats = service.AggregateStats();
+    return std::pair<uint64_t, uint64_t>(stats.buffer.hits,
+                                         stats.buffer.misses);
+  };
+
+  const auto mutex_counts = run(svc::LatchMode::kMutex);
+  const auto optimistic_counts = run(svc::LatchMode::kOptimistic);
+  EXPECT_EQ(optimistic_counts.first, mutex_counts.first)
+      << "identical serial batch streams must hit identically";
+  EXPECT_EQ(optimistic_counts.second, mutex_counts.second);
+}
+
+}  // namespace
+}  // namespace sdb
