@@ -14,6 +14,13 @@ Two modes:
       by more than the fraction --max-drop relative to A (group commit
       must keep paying for itself).
 
+  writeback BENCH_wal.json [--max-p99-ratio 1.0]
+      Reads the bench:"wal_writeback" pair (flusher off/on) from one run
+      and fails unless the flusher-on row shows ZERO steady-state
+      sync_writeback_fallbacks and forced_steals, flushed at least one
+      page in the background, and kept p99 pin latency at or under
+      --max-p99-ratio times the flusher-off row.
+
   compare A.json B.json [--field hit_rate] [--tol 0]
       Joins two BENCH_sweep.json runs on the row key
       (bench, database, fraction, query_set, policy, baseline,
@@ -158,6 +165,64 @@ def check_wal(args):
     return 1 if failures else 0
 
 
+def check_writeback(args):
+    rows = {}
+    for row in read_rows(args.file):
+        if row.get("bench") != "wal_writeback":
+            continue
+        key = (row.get("operations"), row.get("frames"), row.get("flusher"))
+        rows[key] = row
+    pairs = sorted({(ops, frames) for (ops, frames, _) in rows}, key=repr)
+    if not pairs:
+        print(f"{args.file}: no wal_writeback rows found", file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for ops, frames in pairs:
+        off = rows.get((ops, frames, 0))
+        on = rows.get((ops, frames, 1))
+        label = f"ops={ops}/frames={frames}"
+        if off is None or on is None:
+            print(f"FAIL {label}: missing flusher "
+                  f"{'off' if off is None else 'on'} row", file=sys.stderr)
+            failures += 1
+            continue
+        checked += 1
+        for counter in ("sync_writeback_fallbacks", "forced_steals"):
+            value = on.get(counter)
+            if value != 0:
+                print(f"FAIL {label}: flusher-on {counter} = {value} "
+                      f"(expected 0 in steady state)", file=sys.stderr)
+                failures += 1
+            else:
+                print(f"ok   {label}: flusher-on {counter} = 0")
+        flushed = on.get("pages_flushed")
+        if not flushed:
+            print(f"FAIL {label}: flusher-on pages_flushed = {flushed} "
+                  f"(background flusher did no work)", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {label}: pages_flushed = {flushed}")
+        base = off.get("p99_pin_ns")
+        cand = on.get("p99_pin_ns")
+        if not base or cand is None:
+            print(f"FAIL {label}: rows missing p99_pin_ns", file=sys.stderr)
+            failures += 1
+            continue
+        ceiling = args.max_p99_ratio * base
+        if cand > ceiling:
+            print(f"FAIL {label}: flusher-on p99_pin_ns {cand:.0f} > "
+                  f"{ceiling:.0f} ({base:.0f} x {args.max_p99_ratio:g})",
+                  file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {label}: p99_pin_ns {cand:.0f} <= {ceiling:.0f} "
+                  f"(off: {base:.0f})")
+    if checked == 0:
+        return 2
+    return 1 if failures else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="mode", required=True)
@@ -180,11 +245,18 @@ def main():
     wal.add_argument("file_b")
     wal.add_argument("--max-drop", type=float, default=0.5)
 
+    wb = sub.add_parser("writeback",
+                        help="guard the background-flusher churn rows")
+    wb.add_argument("file")
+    wb.add_argument("--max-p99-ratio", type=float, default=1.0)
+
     args = parser.parse_args()
     if args.mode == "obs-overhead":
         sys.exit(check_obs_overhead(args))
     if args.mode == "wal":
         sys.exit(check_wal(args))
+    if args.mode == "writeback":
+        sys.exit(check_writeback(args))
     sys.exit(check_compare(args))
 
 

@@ -14,16 +14,28 @@
 //                   writes instead of window queries. The paper evaluates
 //                   read-only replays; this probes whether ASB's spatial
 //                   criterion survives a mutating working set.
+//   wal_writeback — foreground pin latency (p99) under write churn with
+//                   the background flusher off vs on. The flusher-on row
+//                   must show zero sync write-back fallbacks and zero
+//                   forced steals after warm-up; CI gates both plus the
+//                   p99 ratio.
+//   wal_redo      — recovery wall time vs redo worker count {1, 2, 4, 8}
+//                   over one churn-built log, with byte-identity of every
+//                   parallel replay against the serial device asserted.
 //
 // Knobs: SDB_WAL_THREADS (committers, default 4), SDB_WAL_COMMITS
 // (commits per thread, default 250), SDB_WAL_MIX_OPS (mixed-workload
-// operations per cell, default 1500).
+// operations per cell, default 1500), SDB_WAL_CHURN_OPS (write-back cell
+// operations, default 24000), SDB_REDO_WORKERS is deliberately ignored
+// here (the redo sweep sets worker counts explicitly).
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,10 +44,14 @@
 #include "common/random.h"
 #include "core/buffer_manager.h"
 #include "core/policy_factory.h"
+#include "obs/metrics.h"
 #include "rtree/rtree.h"
 #include "sim/churn.h"
 #include "sim/report.h"
 #include "storage/disk_manager.h"
+#include "svc/buffer_service.h"
+#include "svc/flush_coordinator.h"
+#include "svc/session_executor.h"
 #include "wal/recovery.h"
 #include "wal/wal.h"
 
@@ -283,6 +299,211 @@ std::string MixJson(const MixCell& cell) {
   return buffer;
 }
 
+// ---------------------------------------------------------------------------
+// wal_writeback: foreground pin latency with the flusher off vs on
+
+struct WritebackCell {
+  bool flusher = false;
+  size_t operations = 0;
+  size_t frames = 0;
+  uint64_t pins = 0;  ///< steady-state pins the latency stats cover
+  double p99_pin_ns = 0.0;
+  double mean_pin_ns = 0.0;
+  uint64_t sync_fallbacks = 0;  ///< steady-state delta
+  uint64_t forced_steals = 0;   ///< steady-state delta
+  uint64_t pages_flushed = 0;
+  uint64_t dirty_writebacks = 0;
+  double elapsed_ms = 0.0;
+};
+
+/// p99 of the steady-state window: the per-bucket difference between the
+/// end-of-run histogram and its warm-up snapshot.
+double SteadyStateQuantile(const svc::PinLatencyHistogram& end,
+                           const svc::PinLatencyHistogram& warm, double q) {
+  uint64_t counts[svc::PinLatencyHistogram::kBuckets];
+  for (size_t i = 0; i < svc::PinLatencyHistogram::kBuckets; ++i) {
+    counts[i] = end.counts[i] - warm.counts[i];
+  }
+  return obs::HistogramQuantile(
+      std::span<const double>(svc::kPinLatencyBoundsNs),
+      std::span<const uint64_t>(counts), q);
+}
+
+WritebackCell RunWritebackCell(bool flusher_on, size_t operations,
+                               size_t frames) {
+  storage::DiskManager disk;
+  storage::DiskManager log;
+  wal::WalOptions wal_options;
+  wal_options.group_commit = true;
+  wal::WalManager wal(&log, wal_options);
+  svc::BufferServiceConfig config;
+  config.shard_count = 2;
+  config.total_frames = frames;
+  config.policy_spec = "LRU";
+  if (flusher_on) {
+    config.flusher_threads = 2;
+    config.dirty_low_watermark = 0.02;
+  }
+  svc::BufferService service(&disk, &wal, config);
+  svc::CountingSource source(&service, /*time_pins=*/true);
+  const core::AccessContext ctx{11};
+  rtree::RTree tree(&disk, &source);
+
+  sim::ChurnOptions options;
+  options.operations = operations;
+  options.delete_fraction = 0.3;
+  options.seed = 20260807;
+  options.commit_every = 32;
+  options.warmup_operations = operations / 4;
+  svc::PinLatencyHistogram warm;
+  uint64_t warm_fallbacks = 0;
+  uint64_t warm_steals = 0;
+  sim::ChurnHooks hooks;
+  hooks.commit = [&] {
+    tree.PersistMeta();
+    return service.Commit(ctx);
+  };
+  hooks.on_steady_state = [&] {
+    warm = source.pin_latency();
+    warm_fallbacks =
+        service.AggregateStats().buffer.sync_writeback_fallbacks;
+    warm_steals = wal.stats().forced_steals;
+    return core::Status::Ok();
+  };
+  const auto start = std::chrono::steady_clock::now();
+  const core::StatusOr<sim::ChurnResult> churn = sim::RunChurn(
+      tree, geom::Rect(0, 0, 100, 100), options, hooks, ctx);
+  SDB_CHECK_MSG(churn.ok(), "writeback bench churn failed");
+  tree.PersistMeta();
+  SDB_CHECK_MSG(service.Commit(ctx).ok(), "writeback bench commit failed");
+
+  WritebackCell cell;
+  cell.flusher = flusher_on;
+  cell.operations = operations;
+  cell.frames = frames;
+  cell.elapsed_ms = ElapsedMs(start);
+  if (flusher_on) {
+    service.flusher()->Stop();  // quiesce so the flushed count is final
+    cell.pages_flushed = service.flusher()->stats().pages_flushed;
+  }
+  const svc::PinLatencyHistogram end = source.pin_latency();
+  cell.pins = end.observations - warm.observations;
+  cell.p99_pin_ns = SteadyStateQuantile(end, warm, 0.99);
+  cell.mean_pin_ns =
+      cell.pins == 0 ? 0.0 : (end.sum_ns - warm.sum_ns) /
+                                 static_cast<double>(cell.pins);
+  const svc::ShardStats stats = service.AggregateStats();
+  cell.sync_fallbacks =
+      stats.buffer.sync_writeback_fallbacks - warm_fallbacks;
+  cell.forced_steals = wal.stats().forced_steals - warm_steals;
+  cell.dirty_writebacks = stats.buffer.dirty_writebacks;
+  SDB_CHECK_MSG(service.Checkpoint(ctx).ok(),
+                "writeback bench quiesce failed");
+  return cell;
+}
+
+std::string WritebackJson(const WritebackCell& cell) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"bench\":\"wal_writeback\",\"flusher\":%d,\"operations\":%zu,"
+      "\"frames\":%zu,\"pins\":%llu,\"p99_pin_ns\":%.1f,"
+      "\"mean_pin_ns\":%.1f,\"sync_writeback_fallbacks\":%llu,"
+      "\"forced_steals\":%llu,\"pages_flushed\":%llu,"
+      "\"dirty_writebacks\":%llu,\"elapsed_ms\":%.3f}",
+      cell.flusher ? 1 : 0, cell.operations, cell.frames,
+      static_cast<unsigned long long>(cell.pins), cell.p99_pin_ns,
+      cell.mean_pin_ns, static_cast<unsigned long long>(cell.sync_fallbacks),
+      static_cast<unsigned long long>(cell.forced_steals),
+      static_cast<unsigned long long>(cell.pages_flushed),
+      static_cast<unsigned long long>(cell.dirty_writebacks),
+      cell.elapsed_ms);
+  return buffer;
+}
+
+// ---------------------------------------------------------------------------
+// wal_redo: recovery wall time vs redo worker count
+
+struct RedoCell {
+  size_t workers = 0;
+  uint64_t replayed = 0;
+  double recover_ms = 0.0;
+  bool byte_identical = true;
+};
+
+std::string RedoJson(const RedoCell& cell) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"bench\":\"wal_redo\",\"workers\":%zu,"
+                "\"replayed_pages\":%llu,\"recover_ms\":%.3f,"
+                "\"byte_identical\":%d}",
+                cell.workers,
+                static_cast<unsigned long long>(cell.replayed),
+                cell.recover_ms, cell.byte_identical ? 1 : 0);
+  return buffer;
+}
+
+std::vector<RedoCell> RunRedoSweep(size_t churn_ops) {
+  // One churn-built log, recovered once per worker count onto a fresh
+  // device; every parallel device is compared byte-for-byte to serial.
+  storage::DiskManager data;
+  storage::DiskManager log;
+  {
+    wal::WalManager wal(&log);
+    core::BufferManager buffer(&data, /*frames=*/128,
+                               core::CreatePolicy("LRU"));
+    buffer.AttachWal(&wal);
+    const core::AccessContext ctx{13};
+    rtree::RTree tree(&data, &buffer);
+    sim::ChurnOptions options;
+    options.operations = churn_ops;
+    options.delete_fraction = 0.3;
+    options.seed = 1789;
+    options.commit_every = 16;
+    sim::ChurnHooks hooks;
+    hooks.commit = [&] {
+      tree.PersistMeta();
+      return buffer.Commit(ctx);
+    };
+    const core::StatusOr<sim::ChurnResult> churn = sim::RunChurn(
+        tree, geom::Rect(0, 0, 100, 100), options, hooks, ctx);
+    SDB_CHECK_MSG(churn.ok(), "redo bench churn failed");
+    tree.PersistMeta();
+    SDB_CHECK_MSG(buffer.Commit(ctx).ok(), "redo bench commit failed");
+  }
+
+  std::vector<RedoCell> cells;
+  storage::DiskManager serial;
+  for (const size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    storage::DiskManager recovered;
+    storage::DiskManager& target = workers == 1 ? serial : recovered;
+    wal::RecoveryOptions options;
+    options.redo_workers = workers;
+    const auto start = std::chrono::steady_clock::now();
+    const core::StatusOr<wal::RecoveryResult> result =
+        wal::Recover(log, target, {}, nullptr, options);
+    RedoCell cell;
+    cell.recover_ms = ElapsedMs(start);
+    SDB_CHECK_MSG(result.ok(), "redo bench recovery failed");
+    cell.workers = result->redo_workers;
+    cell.replayed = result->replayed_pages;
+    if (workers > 1) {
+      cell.byte_identical = target.page_count() == serial.page_count();
+      std::vector<std::byte> a(serial.page_size());
+      std::vector<std::byte> b(serial.page_size());
+      for (storage::PageId p = 0;
+           cell.byte_identical && p < serial.page_count(); ++p) {
+        SDB_CHECK(serial.Read(p, a).ok() && target.Read(p, b).ok());
+        cell.byte_identical = std::memcmp(a.data(), b.data(), a.size()) == 0;
+      }
+      SDB_CHECK_MSG(cell.byte_identical,
+                    "parallel redo diverged from serial");
+    }
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
 }  // namespace
 
 int main() {
@@ -330,6 +551,40 @@ int main() {
                            sim::FormatDouble(cell.recover_ms, 2) + " ms"});
   }
   recovery_table.Print("WAL — redo recovery vs churn volume");
+
+  // --- wal_writeback ------------------------------------------------------
+  const size_t churn_ops = bench::EnvSizeT("SDB_WAL_CHURN_OPS", 24000);
+  sim::Table writeback_table({"flusher", "pins", "p99 pin", "mean pin",
+                              "fallbacks", "steals", "bg flushed",
+                              "elapsed"});
+  for (const bool flusher_on : {false, true}) {
+    const WritebackCell cell =
+        RunWritebackCell(flusher_on, churn_ops, /*frames=*/96);
+    emit(WritebackJson(cell));
+    writeback_table.AddRow(
+        {flusher_on ? "on" : "off", std::to_string(cell.pins),
+         sim::FormatDouble(cell.p99_pin_ns / 1000.0, 1) + " us",
+         sim::FormatDouble(cell.mean_pin_ns / 1000.0, 2) + " us",
+         std::to_string(cell.sync_fallbacks),
+         std::to_string(cell.forced_steals),
+         std::to_string(cell.pages_flushed),
+         sim::FormatDouble(cell.elapsed_ms, 1) + " ms"});
+  }
+  writeback_table.Print(
+      "WAL — steady-state pin latency, background flusher off vs on");
+
+  // --- wal_redo -----------------------------------------------------------
+  sim::Table redo_table({"workers", "replayed", "recover", "identical"});
+  for (const RedoCell& cell : RunRedoSweep(/*churn_ops=*/2048)) {
+    emit(RedoJson(cell));
+    redo_table.AddRow({std::to_string(cell.workers),
+                       std::to_string(cell.replayed),
+                       sim::FormatDouble(cell.recover_ms, 2) + " ms",
+                       cell.workers == 1 ? "baseline"
+                                         : (cell.byte_identical ? "yes"
+                                                                : "NO")});
+  }
+  redo_table.Print("WAL — parallel redo vs worker count");
 
   // --- wal_write_mix ------------------------------------------------------
   const sim::Scenario scenario =

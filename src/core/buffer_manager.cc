@@ -198,6 +198,7 @@ void BufferManager::InstallLoadedPage(FrameId f, storage::PageId page,
   Frame& frame = frames_[f];
   frame.page = page;
   frame.dirty = dirty;
+  if (dirty) ++dirty_frames_;  // frames outside the page table are clean
   frame.wal_logged = false;
   frame.page_lsn = 0;
   frame.rec_lsn =
@@ -290,9 +291,31 @@ StatusOr<FrameId> BufferManager::AcquireFrame(const AccessContext& ctx,
   // can lag the atomic pin counts, so a transiently victimless policy view
   // is drained and re-scanned before the seed's all-pinned abort fires.
   size_t starved_scans = 0;
+  // Clean-victim preference: with background write-back enabled and the
+  // pool at or below the high watermark, dirty victims are set aside
+  // (temporarily unevictable) so the flusher — not the foreground pin
+  // path — pays for their device writes.
+  std::vector<FrameId> dirty_skipped;
+  const auto restore_skipped = [&] {
+    for (const FrameId skipped : dirty_skipped) {
+      if (frames_[skipped].page != storage::kInvalidPageId &&
+          !frames_[skipped].quarantined && PinCount(skipped) == 0) {
+        policy_->SetEvictable(skipped, true);
+      }
+    }
+    dirty_skipped.clear();
+  };
+  bool prefer_clean = writeback_.enabled && !PastHighWatermark();
   for (;;) {
     const std::optional<FrameId> victim = policy_->ChooseVictim(ctx, incoming);
     if (!victim.has_value()) {
+      if (!dirty_skipped.empty()) {
+        // Everything the policy had left was a dirty frame we set aside:
+        // restore the flags and accept a dirty victim after all.
+        restore_skipped();
+        prefer_clean = false;
+        continue;
+      }
       if (concurrent_ && ++starved_scans < kVictimScanLimit) {
         DrainDeferred();
         if (starved_scans > 1) {
@@ -337,12 +360,29 @@ StatusOr<FrameId> BufferManager::AcquireFrame(const AccessContext& ctx,
       SDB_CHECK_MSG(frame.pin_count == 0, "policy evicted a pinned page");
     }
     SDB_CHECK(frame.page != storage::kInvalidPageId);
+    if (prefer_clean && frame.dirty &&
+        dirty_skipped.size() < writeback_.max_clean_scan) {
+      if (concurrent_) sync_[f].Unlock();
+      policy_->SetEvictable(f, false);
+      dirty_skipped.push_back(f);
+      continue;
+    }
     const bool was_dirty = frame.dirty;
     if (frame.dirty) {
+      if (writeback_.enabled) {
+        // The flusher should have cleaned this frame before eviction
+        // reached it — a synchronous foreground write is the fallback the
+        // watermark bench gates on.
+        ++stats_.sync_writeback_fallbacks;
+        if constexpr (obs::kEnabled) {
+          if (obs_sync_fallbacks_ != nullptr) obs_sync_fallbacks_->Add();
+        }
+      }
       if (Status written = WriteBackLocked(f, ctx); !written.ok()) {
         // The victim keeps its bytes and residency; the fetch that wanted
         // the frame fails instead of evicting a page the device refused.
         if (concurrent_) sync_[f].Unlock();
+        restore_skipped();
         return written;
       }
     }
@@ -366,6 +406,7 @@ StatusOr<FrameId> BufferManager::AcquireFrame(const AccessContext& ctx,
     }
     policy_->OnPageEvicted(f, frame.page);
     frame.page = storage::kInvalidPageId;
+    restore_skipped();
     // In concurrent mode the frame stays version-locked: the caller fills
     // the bytes and unlocks, which is what publishes them to readers.
     return f;
@@ -600,6 +641,7 @@ void BufferManager::MarkFrameDirty(FrameId f) {
 
 void BufferManager::NoteDirtyLocked(FrameId f) {
   Frame& frame = frames_[f];
+  if (!frame.dirty) ++dirty_frames_;
   frame.dirty = true;
   // Any committed image of this page is stale now; the next commit (or a
   // forced steal at eviction) must re-log the bytes.
@@ -634,6 +676,8 @@ Status BufferManager::WriteBackLocked(FrameId f, const AccessContext& ctx) {
     return written;
   }
   frame.dirty = false;
+  SDB_DCHECK(dirty_frames_ > 0);
+  --dirty_frames_;
   frame.rec_lsn = 0;
   ++stats_.dirty_writebacks;
   if constexpr (obs::kEnabled) {
@@ -762,6 +806,92 @@ void BufferManager::MarkFramesCommitted(std::span<const FrameId> frames,
     frame.wal_logged = true;
     frame.page_lsn = end_lsn;
   }
+}
+
+void BufferManager::ConfigureBackgroundWriteback(
+    const WritebackOptions& options) {
+  SDB_CHECK_MSG(
+      !options.enabled || options.low_watermark <= options.high_watermark,
+      "low watermark must not exceed the high watermark");
+  writeback_ = options;
+  if constexpr (obs::kEnabled) {
+    if (obs_ != nullptr && options.enabled && obs_sync_fallbacks_ == nullptr) {
+      obs_sync_fallbacks_ =
+          obs_->metrics().GetCounter("wal.sync_writeback_fallbacks");
+    }
+  }
+}
+
+size_t BufferManager::HarvestFlushCandidates(size_t max,
+                                             std::vector<DirtyCandidate>* out) {
+  if (concurrent_) DrainDeferred();
+  const size_t before = out->size();
+  for (FrameId f = 0; f < frames_.size(); ++f) {
+    const Frame& frame = frames_[f];
+    // Only wal_logged frames qualify: their current bytes already sit in a
+    // durable committed image, so flushing them never forces a steal commit
+    // (the flusher's steal-avoidance invariant) and never blocks on the log.
+    if (frame.page == storage::kInvalidPageId || !frame.dirty ||
+        frame.quarantined || !frame.wal_logged || PinCount(f) != 0) {
+      continue;
+    }
+    out->push_back(
+        DirtyCandidate{f, frame.page, frame.rec_lsn, frame.page_lsn});
+  }
+  // Oldest rec_lsn first: flushing those frames lifts the checkpoint
+  // low-water mark (and thus how much log truncation can reclaim) fastest.
+  std::sort(out->begin() + before, out->end(),
+            [](const DirtyCandidate& a, const DirtyCandidate& b) {
+              return a.rec_lsn != b.rec_lsn ? a.rec_lsn < b.rec_lsn
+                                            : a.page < b.page;
+            });
+  if (out->size() - before > max) out->resize(before + max);
+  return out->size() - before;
+}
+
+StatusOr<size_t> BufferManager::FlushFrames(
+    std::span<const DirtyCandidate> candidates, const AccessContext& ctx) {
+  if (concurrent_) DrainDeferred();
+  // Device writes go out in ascending page-id order so adjacent dirty pages
+  // coalesce into sequential device writes (write clustering) regardless of
+  // the rec_lsn order the harvest selected them in.
+  std::vector<DirtyCandidate> ordered(candidates.begin(), candidates.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const DirtyCandidate& a, const DirtyCandidate& b) {
+              return a.page < b.page;
+            });
+  size_t flushed = 0;
+  for (const DirtyCandidate& candidate : ordered) {
+    const FrameId f = candidate.frame;
+    Frame& frame = frames_[f];
+    // Re-validate: the frame may have been evicted, re-pinned, or re-dirtied
+    // past its logged image (wal_logged cleared) since the harvest. Skipping
+    // is always safe — the page stays dirty and a later round, a commit, or
+    // the eviction fallback picks it up.
+    if (frame.page != candidate.page || !frame.dirty || !frame.wal_logged ||
+        frame.quarantined) {
+      continue;
+    }
+    if (concurrent_) {
+      // Same protocol as eviction: the version lock fences out optimistic
+      // pins (their validation fails while it is held), and the live pin
+      // count is re-checked under it — so nobody can be mutating the bytes
+      // while they stream to the device.
+      sync_[f].Lock();
+      if (sync_[f].pins.load(std::memory_order_acquire) != 0 ||
+          frame.page != candidate.page || !frame.dirty || !frame.wal_logged) {
+        sync_[f].Unlock();
+        continue;
+      }
+    } else if (frame.pin_count != 0) {
+      continue;
+    }
+    const Status written = WriteBackLocked(f, ctx);
+    if (concurrent_) sync_[f].Unlock();
+    if (!written.ok()) return written;
+    ++flushed;
+  }
+  return flushed;
 }
 
 void BufferManager::EnableConcurrency(const ConcurrentOptions& options) {

@@ -77,6 +77,11 @@ struct BufferStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  /// Dirty victims written back synchronously on the foreground eviction
+  /// path while background write-back was enabled — the stalls the flusher
+  /// exists to prevent (only counted past the high watermark or when no
+  /// clean victim could be found).
+  uint64_t sync_writeback_fallbacks = 0;
   uint64_t io_read_retries = 0;        ///< failed read attempts that were retried
   uint64_t io_checksum_mismatches = 0; ///< verify failures (incl. terminal ones)
   uint64_t io_recovered_reads = 0;     ///< fetches that succeeded after >=1 retry
@@ -155,6 +160,36 @@ struct ConcurrentOptions {
   storage::AsyncDeviceOptions async;
 };
 
+/// Background write-back knobs (ConfigureBackgroundWriteback). Disabled by
+/// default: eviction then writes dirty victims back synchronously inside
+/// the pin path, the pre-flusher behaviour.
+struct WritebackOptions {
+  /// When on, eviction prefers clean victims while the dirty ratio is at or
+  /// below `high_watermark`, leaving dirty pages to the background flusher;
+  /// a synchronous foreground write-back only happens past the high
+  /// watermark or when no clean victim exists within `max_clean_scan`
+  /// skips, counted in BufferStats::sync_writeback_fallbacks.
+  bool enabled = false;
+  /// Dirty ratio (dirty frames / usable frames) at or below which the
+  /// flusher leaves the pool alone — a small dirty set is free write
+  /// combining for re-dirtied pages.
+  double low_watermark = 0.10;
+  /// Dirty ratio above which eviction stops waiting for the flusher.
+  double high_watermark = 0.50;
+  /// Dirty victims one frame acquisition will set aside while hunting for
+  /// a clean victim before giving up and writing back synchronously.
+  size_t max_clean_scan = 8;
+};
+
+/// One dirty frame selected by HarvestFlushCandidates for background
+/// write-back.
+struct DirtyCandidate {
+  FrameId frame = kInvalidFrameId;
+  storage::PageId page = storage::kInvalidPageId;
+  uint64_t rec_lsn = 0;   ///< 1-based recovery LSN at harvest time
+  uint64_t page_lsn = 0;  ///< durable-image LSN the write-ahead rule needs
+};
+
 /// Source of pinned pages — the interface query execution (the R-tree)
 /// traverses through. Implemented by BufferManager (one private,
 /// single-threaded buffer: the paper's experimental setup) and by
@@ -190,6 +225,14 @@ class PageSource {
   /// sharded service). Callers honoring this keeps the single-threaded
   /// figure replications bit-identical to the sequential traversal.
   virtual bool PrefersBatchedReads() const { return false; }
+
+  /// Most handles a caller should keep alive out of one FetchBatch call.
+  /// 0 (the default) means unbounded; a sharded source answers its
+  /// per-shard frame count minus headroom, because a batch can land
+  /// entirely on one shard and a batch wider than the shard genuinely
+  /// exhausts it (every frame pinned, no victim possible). Callers chunk
+  /// their batches to this budget.
+  virtual size_t BatchPinBudget() const { return 0; }
 
   /// Allocates a fresh zeroed page and pins it. Sources serving read-only
   /// traffic return kUnimplemented.
@@ -364,6 +407,33 @@ class BufferManager : public FrameMetaSource, public PageSource {
   /// would need, which sizes the recovery-time-vs-dirty-set bench axis.
   size_t dirty_count() const;
   uint64_t min_rec_lsn() const;
+
+  /// Switches watermark-driven background write-back on or off. Changes
+  /// only eviction's victim preference and unlocks the harvest API below —
+  /// the flusher threads themselves belong to the owning service.
+  void ConfigureBackgroundWriteback(const WritebackOptions& options);
+  const WritebackOptions& writeback_options() const { return writeback_; }
+
+  /// O(1) dirty census for watermark math, maintained on every
+  /// clean<->dirty edge (dirty_count() scans and is for reporting).
+  size_t dirty_frame_count() const { return dirty_frames_; }
+
+  /// Selects up to `max` background-flush candidates: dirty, unpinned,
+  /// non-quarantined frames whose current bytes are already logged
+  /// (wal_logged) — flushing only those never needs a steal commit, the
+  /// flusher's steal-avoidance invariant. Ordered oldest rec_lsn first, so
+  /// flushing them advances the checkpoint low-water mark fastest. Caller
+  /// holds the external latch. Appends to `out`, returns the count added.
+  size_t HarvestFlushCandidates(size_t max, std::vector<DirtyCandidate>* out);
+
+  /// Writes harvested candidates to the data device in ascending page-id
+  /// order (write clustering), honoring the write-ahead rule, skipping —
+  /// without error — any candidate that was evicted, re-pinned or
+  /// re-dirtied past its logged image since the harvest (the page stays
+  /// dirty; a later round picks it up). Caller holds the external latch.
+  /// Returns the number written back.
+  StatusOr<size_t> FlushFrames(std::span<const DirtyCandidate> candidates,
+                               const AccessContext& ctx);
 
   /// The two halves of Commit, exposed so a sharded service can gather
   /// images from every shard (all latches held) into ONE atomic commit
@@ -562,6 +632,15 @@ class BufferManager : public FrameMetaSource, public PageSource {
   /// frames, a forced steal commit for unlogged ones). No-op when clean.
   Status WriteBackLocked(FrameId frame, const AccessContext& ctx);
 
+  /// True when the dirty ratio exceeds the configured high watermark (the
+  /// point where eviction stops deferring to the background flusher).
+  bool PastHighWatermark() const {
+    const size_t usable = frames_.size() - quarantined_count_;
+    if (usable == 0) return true;
+    return static_cast<double>(dirty_frames_) >
+           writeback_.high_watermark * static_cast<double>(usable);
+  }
+
   /// Marks the frame's cached metadata stale (in-place page update); the
   /// next GetMeta re-decodes the header.
   void InvalidateMeta(FrameId frame) { ++meta_versions_[frame]; }
@@ -587,6 +666,10 @@ class BufferManager : public FrameMetaSource, public PageSource {
   std::vector<FrameId> free_frames_;
   std::unordered_map<storage::PageId, FrameId> page_table_;
   BufferStats stats_;
+  // Background write-back state: knobs plus the O(1) dirty census the
+  // watermark checks read on every eviction.
+  WritebackOptions writeback_;
+  size_t dirty_frames_ = 0;
   // The metadata cache proper: entries are re-decoded lazily inside the
   // logically-const GetMeta, hence mutable.
   std::vector<uint64_t> meta_versions_;
@@ -599,6 +682,9 @@ class BufferManager : public FrameMetaSource, public PageSource {
   obs::Collector* obs_ = nullptr;
   obs::Counter* obs_evictions_ = nullptr;
   obs::Counter* obs_writebacks_ = nullptr;
+  // Registered by ConfigureBackgroundWriteback(enabled), so runs without a
+  // flusher export an unchanged metric set.
+  obs::Counter* obs_sync_fallbacks_ = nullptr;
   // io.* fault counters, registered lazily by EnsureIoObs on first fault so
   // healthy runs export an unchanged metric set.
   obs::Counter* obs_io_retries_ = nullptr;

@@ -58,6 +58,8 @@ const char* SpanName(SpanKind kind) {
       return "checkpoint";
     case SpanKind::kRecovery:
       return "recovery";
+    case SpanKind::kFlush:
+      return "flush";
   }
   return "span";
 }

@@ -32,6 +32,9 @@ enum class SpanKind : int8_t {
   kCheckpoint = 6,
   /// Redo recovery pass (payload = replayed pages, flag = torn tail).
   kRecovery = 7,
+  /// One background flusher round over a shard (payload = pages flushed,
+  /// flag = harvest hit the per-round batch cap).
+  kFlush = 8,
 };
 
 /// Field packing of a kSpan event (see EventKind::kSpan):

@@ -780,10 +780,14 @@ void RTree::WindowQueryVisit(
         if (mask[i - 1]) leaf_batch.push_back(node.GetEntry(i - 1).child());
       }
       page.Release();
-      for (size_t begin = 0; begin < leaf_batch.size();
-           begin += kLeafBatchPins) {
-        const size_t count =
-            std::min(leaf_batch.size() - begin, kLeafBatchPins);
+      // Chunk to the source's pin budget when it advertises one: a sharded
+      // source can land a whole chunk on one shard, and a chunk wider than
+      // the shard pins it wall-to-wall.
+      const size_t budget = buffer_->BatchPinBudget();
+      const size_t chunk =
+          budget == 0 ? kLeafBatchPins : std::min(kLeafBatchPins, budget);
+      for (size_t begin = 0; begin < leaf_batch.size(); begin += chunk) {
+        const size_t count = std::min(leaf_batch.size() - begin, chunk);
         leaves.clear();
         buffer_->FetchBatch(
             std::span<const PageId>(leaf_batch.data() + begin, count), ctx,

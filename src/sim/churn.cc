@@ -70,6 +70,11 @@ core::StatusOr<ChurnResult> RunChurn(rtree::RTree& tree,
       }
       ++result.checkpoints;
     }
+    if (op == options.warmup_operations && hooks.on_steady_state) {
+      if (core::Status status = hooks.on_steady_state(); !status.ok()) {
+        return status;
+      }
+    }
   }
   result.live = live.size();
   return result;

@@ -30,6 +30,11 @@ struct ChurnOptions {
   uint64_t first_id = 1ull << 40;
   /// Inserted rectangle extent as a fraction of the data-space extent.
   double extent_fraction = 0.002;
+  /// Operations considered warm-up: after this many, the on_steady_state
+  /// hook fires once. Benches reset their counters there so watermark and
+  /// fallback gates measure steady state, not the cold ramp where the pool
+  /// fills with first-touch dirty pages. 0 = no warm-up phase.
+  size_t warmup_operations = 0;
 };
 
 /// Durability callbacks fired on the commit_every / checkpoint_every
@@ -37,6 +42,10 @@ struct ChurnOptions {
 struct ChurnHooks {
   std::function<core::Status()> commit;
   std::function<core::Status()> checkpoint;
+  /// Fired once, right after warmup_operations operations completed (their
+  /// cadence hooks included). Never fired when warmup_operations is 0 or
+  /// exceeds the run length.
+  std::function<core::Status()> on_steady_state;
 };
 
 struct ChurnResult {

@@ -67,6 +67,26 @@ core::Status DiskManager::Write(PageId id, std::span<const std::byte> in) {
   return core::Status::Ok();
 }
 
+core::Status DiskManager::WriteConcurrent(PageId id,
+                                          std::span<const std::byte> in) {
+  // Parallel-redo variant of Write: identical page/sidecar update, minus
+  // the IoStats counters and last_write_ run tracking — the only members
+  // shared between pages. Callers partition page ids across threads, so
+  // pages_[id]/checksums_[id] are single-writer here.
+  if (in.size() != page_size_) {
+    return core::Status::InvalidArgument("short write: buffer size mismatch");
+  }
+  if (id >= pages_.size()) {
+    return core::Status::InvalidArgument("write to unallocated page");
+  }
+  std::memcpy(PagePtr(id), in.data(), page_size_);
+  checksums_[id] = crc32c::Checksum(in);
+  if (crc32c::Checksum({PagePtr(id), page_size_}) != checksums_[id]) {
+    return core::Status::DataLoss("page rewrite failed checksum verification");
+  }
+  return core::Status::Ok();
+}
+
 std::optional<uint32_t> DiskManager::PageChecksum(PageId id) const {
   SDB_CHECK_MSG(id < checksums_.size(), "page id out of range");
   return checksums_[id];

@@ -66,6 +66,21 @@ class PageDevice {
   /// re-stamp does not verify, kUnimplemented on read-only devices.
   virtual core::Status Write(PageId id, std::span<const std::byte> in) = 0;
 
+  /// True when WriteConcurrent may be called from several threads at once
+  /// for *distinct* page ids. Devices whose write path mutates shared state
+  /// beyond the page itself (fault schedules, wrapped views) answer false,
+  /// and parallel writers must serialize through Write instead.
+  virtual bool SupportsConcurrentWrites() const { return false; }
+
+  /// Write variant that parallel redo calls concurrently for distinct page
+  /// ids when SupportsConcurrentWrites(). Implementations skip the shared
+  /// sequential-access accounting; the default forwards to Write for
+  /// devices that never claim concurrency.
+  virtual core::Status WriteConcurrent(PageId id,
+                                       std::span<const std::byte> in) {
+    return Write(id, in);
+  }
+
   /// Number of allocated pages, when the device can tell (0 otherwise).
   /// The WAL stamps this into commit records so recovery can bound its
   /// byte-exactness check to pages that were committed.
@@ -96,6 +111,13 @@ class DiskManager : public PageDevice {
   PageId Allocate() override;
   core::Status Read(PageId id, std::span<std::byte> out) override;
   core::Status Write(PageId id, std::span<const std::byte> in) override;
+
+  /// Distinct page ids touch distinct pages_/checksums_ slots, so writes to
+  /// different pages need no synchronization once the shared IoStats and
+  /// sequential-run bookkeeping are skipped.
+  bool SupportsConcurrentWrites() const override { return true; }
+  core::Status WriteConcurrent(PageId id,
+                               std::span<const std::byte> in) override;
 
   /// CRC-32C sidecar, maintained eagerly: stamped on Allocate/Write (and in
   /// one pass by LoadImage), so concurrent ReadOnlyDiskViews can verify

@@ -1,5 +1,6 @@
 #include "svc/buffer_service.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -8,6 +9,7 @@
 #include "core/policy_factory.h"
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "svc/flush_coordinator.h"
 
 namespace sdb::svc {
 
@@ -107,7 +109,23 @@ void BufferService::Init(const storage::DiskManager& disk,
       shard->buffer->EnableConcurrency(concurrent);
     }
     if (wal_ != nullptr) shard->buffer->AttachWal(wal_);
+    if (writable_disk_ != nullptr && config.flusher_threads > 0) {
+      core::WritebackOptions writeback;
+      writeback.enabled = true;
+      writeback.low_watermark = config.dirty_low_watermark;
+      writeback.high_watermark = config.dirty_high_watermark;
+      shard->buffer->ConfigureBackgroundWriteback(writeback);
+    }
     shards_.push_back(std::move(shard));
+  }
+  fuzzy_checkpoints_ = config.fuzzy_checkpoints && writable_disk_ != nullptr;
+  truncate_wal_ = config.truncate_wal && fuzzy_checkpoints_;
+  if (writable_disk_ != nullptr && config.flusher_threads > 0) {
+    FlushCoordinatorOptions flusher;
+    flusher.threads = std::min(config.flusher_threads, shards_.size());
+    flusher.idle_wait_us = config.flusher_idle_us;
+    flusher.batch_pages = config.flusher_batch_pages;
+    flusher_ = std::make_unique<FlushCoordinator>(this, flusher);
   }
 }
 
@@ -258,6 +276,10 @@ core::Status BufferService::Commit(const core::AccessContext& ctx) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->buffer->MarkFramesCommitted(frames[s], *end);
   }
+  // The commit just turned its dirty pages into flush candidates (logged,
+  // so the flusher can write them without a steal): wake the workers now
+  // rather than waiting out the idle timer.
+  if (flusher_ != nullptr) flusher_->Nudge();
   return core::Status::Ok();
 }
 
@@ -267,6 +289,34 @@ core::Status BufferService::Checkpoint(const core::AccessContext& ctx) {
         "BufferService is read-only: nothing to checkpoint");
   }
   if (core::Status committed = Commit(ctx); !committed.ok()) return committed;
+  if (fuzzy_checkpoints_) {
+    // Fuzzy: no force pass, no whole-service latch hold. The redo horizon
+    // is min(floor, min rec_lsn - 1) with the floor sampled BEFORE the
+    // shard scan: a frame dirtied after the sample stamps rec_lsn past the
+    // floor, so scanning one shard at a time — mutators running on the
+    // others — can never push the horizon past a record recovery still
+    // needs. Flushed-meanwhile frames only *raise* the min, which is safe:
+    // their bytes are already on the device.
+    const wal::Lsn floor = wal_->next_lsn();
+    wal::Lsn redo = floor;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      const std::unique_lock<std::mutex> lock = LockShard(*shard);
+      const uint64_t min_rec = shard->buffer->min_rec_lsn();
+      if (min_rec != 0) redo = std::min<wal::Lsn>(redo, min_rec - 1);
+    }
+    uint64_t page_count;
+    {
+      const std::lock_guard<std::mutex> device_lock(device_mu_);
+      page_count = writable_disk_->page_count();
+    }
+    core::StatusOr<wal::Lsn> end =
+        wal_->AppendCheckpoint(page_count, ctx, redo);
+    if (!end.ok()) return end.status();
+    // The checkpoint record is durable, so every record below its carried
+    // horizon is dead — whole segments of it may be reclaimed.
+    if (truncate_wal_) return wal_->TruncateBelow(redo);
+    return core::Status::Ok();
+  }
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(shards_.size());
   for (const std::unique_ptr<Shard>& shard : shards_) {
@@ -287,6 +337,29 @@ core::Status BufferService::Checkpoint(const core::AccessContext& ctx) {
   }
   core::StatusOr<wal::Lsn> end = wal_->AppendCheckpoint(page_count, ctx);
   return end.ok() ? core::Status::Ok() : end.status();
+}
+
+core::StatusOr<size_t> BufferService::FlushShardBatch(
+    size_t s, size_t max_pages, const core::AccessContext& ctx) {
+  Shard& shard = *shards_[s];
+  const std::unique_lock<std::mutex> lock = LockShard(shard);
+  core::BufferManager& buffer = *shard.buffer;
+  const core::WritebackOptions& writeback = buffer.writeback_options();
+  if (!writeback.enabled) return size_t{0};
+  const size_t usable = buffer.frame_count() - buffer.quarantined_count();
+  if (usable == 0) return size_t{0};
+  const double ratio =
+      static_cast<double>(buffer.dirty_frame_count()) / usable;
+  if (ratio <= writeback.low_watermark) return size_t{0};
+  obs::ScopedSpan span(ctx.span, obs::SpanKind::kFlush);
+  std::vector<core::DirtyCandidate> candidates;
+  const size_t harvested =
+      buffer.HarvestFlushCandidates(max_pages, &candidates);
+  span.set_flag(harvested == max_pages);
+  if (harvested == 0) return size_t{0};
+  core::StatusOr<size_t> flushed = buffer.FlushFrames(candidates, ctx);
+  if (flushed.ok()) span.set_payload(*flushed);
+  return flushed;
 }
 
 std::span<const std::byte> BufferService::Peek(storage::PageId page) const {
@@ -332,6 +405,8 @@ ShardStats BufferService::AggregateStats() const {
     total.buffer.misses += one.buffer.misses;
     total.buffer.evictions += one.buffer.evictions;
     total.buffer.dirty_writebacks += one.buffer.dirty_writebacks;
+    total.buffer.sync_writeback_fallbacks +=
+        one.buffer.sync_writeback_fallbacks;
     total.buffer.io_read_retries += one.buffer.io_read_retries;
     total.buffer.io_checksum_mismatches += one.buffer.io_checksum_mismatches;
     total.buffer.io_recovered_reads += one.buffer.io_recovered_reads;
@@ -458,6 +533,12 @@ std::string BufferService::StatsText() {
     registry.GetCounter("buffer.hits")->Add(stats.buffer.hits);
     registry.GetCounter("buffer.misses")->Add(stats.buffer.misses);
     registry.GetCounter("buffer.evictions")->Add(stats.buffer.evictions);
+    if (flusher_ != nullptr) {
+      registry.GetCounter("wal.sync_writeback_fallbacks")
+          ->Add(stats.buffer.sync_writeback_fallbacks);
+      registry.GetCounter("wal.flusher_pages")
+          ->Add(flusher_->stats().pages_flushed);
+    }
     registry.GetCounter("svc.latch_waits")->Add(stats.latch_waits);
     registry.GetCounter("svc.latch_acquires")->Add(stats.latch_acquires);
     registry.GetCounter("svc.disk_reads")->Add(stats.io.reads);

@@ -22,6 +22,8 @@
 
 namespace sdb::svc {
 
+class FlushCoordinator;
+
 /// How the service guards each shard's buffer on the pin/unpin hot path.
 enum class LatchMode : uint8_t {
   /// Every fetch takes the shard's std::mutex (the pre-optimistic
@@ -75,6 +77,34 @@ struct BufferServiceConfig {
   /// index so shards draw independent fault sequences but the whole service
   /// remains replayable for a fixed seed.
   storage::FaultProfile fault_profile;
+  /// Background write-back (writable service only): flusher threads that
+  /// harvest each shard's dirty frames off the pin path, so eviction finds
+  /// clean victims instead of stalling on device writes. 0 (the default)
+  /// keeps the synchronous-eviction behaviour, bit-for-bit.
+  size_t flusher_threads = 0;
+  /// Watermarks on the per-shard dirty ratio (dirty / usable frames): the
+  /// flusher idles at or below the low mark; between the marks it drains
+  /// while eviction skips dirty victims; above the high mark eviction stops
+  /// waiting and writes back synchronously (counted as
+  /// sync_writeback_fallbacks — the bench gate expects zero in steady
+  /// state under the defaults).
+  double dirty_low_watermark = 0.10;
+  double dirty_high_watermark = 0.50;
+  /// Pages one flusher round harvests from one shard (bounds the latch
+  /// hold; a capped round re-runs immediately).
+  size_t flusher_batch_pages = 16;
+  /// Idle poll cadence of the flusher between commit nudges.
+  uint32_t flusher_idle_us = 200;
+  /// Fuzzy checkpoints: Checkpoint() appends a record carrying the redo
+  /// low-water mark (min rec_lsn over all shards) instead of forcing every
+  /// dirty page to the device first — so it runs concurrently with
+  /// mutators. OFF preserves the strict force-checkpoint behaviour (and
+  /// its "recovery after checkpoint replays nothing" guarantee).
+  bool fuzzy_checkpoints = false;
+  /// After each durable fuzzy checkpoint, zero whole WAL segments below
+  /// the redo horizon (wal::WalManager::TruncateBelow), bounding log
+  /// growth. Requires fuzzy_checkpoints.
+  bool truncate_wal = false;
 };
 
 /// Counters of one shard (or the shard-summed aggregate).
@@ -161,6 +191,15 @@ class BufferService final : public core::PageSource {
   /// protocol rather than the batching.
   bool PrefersBatchedReads() const override { return true; }
 
+  /// Per-shard pin budget: the page-id hash can land a whole batch on one
+  /// shard, so the safe chunk is the smallest shard's frame count minus
+  /// headroom for the caller's own enclosing pins. A batch wider than this
+  /// can pin a shard wall-to-wall and trip the all-pinned abort.
+  size_t BatchPinBudget() const override {
+    const size_t per_shard = total_frames_ / shards_.size();
+    return per_shard > 3 ? per_shard - 2 : 1;
+  }
+
   /// Writable service: allocates a fresh page on the shared device and
   /// installs it zero-filled and dirty in its shard. Read-only service:
   /// always kUnimplemented.
@@ -173,9 +212,28 @@ class BufferService final : public core::PageSource {
   /// read-only service.
   core::Status Commit(const core::AccessContext& ctx = {});
 
-  /// Commit, then force every shard's dirty frames to the data device and
-  /// append one durable checkpoint record covering the whole service.
+  /// Commit, then append one durable checkpoint record covering the whole
+  /// service. Strict mode (the default) first forces every shard's dirty
+  /// frames to the data device; fuzzy mode instead scans the shards —
+  /// one latch at a time, concurrently with mutators — for the redo
+  /// low-water mark, stamps it into the record, and leaves the dirty pages
+  /// to the background flusher. With truncate_wal the fuzzy path then
+  /// zeros the dead log segments below the horizon.
   core::Status Checkpoint(const core::AccessContext& ctx = {});
+
+  /// One background write-back round over shard `s` (writable service with
+  /// background write-back configured; returns 0 otherwise): when the
+  /// shard's dirty ratio is above the low watermark, harvests up to
+  /// `max_pages` flush candidates (oldest rec_lsn first) and writes them
+  /// out in page-id order under the shard latch. Returns the number of
+  /// pages written back. Called by the FlushCoordinator workers; exposed
+  /// for tests.
+  core::StatusOr<size_t> FlushShardBatch(size_t s, size_t max_pages,
+                                         const core::AccessContext& ctx = {});
+
+  /// The background flusher (nullptr when flusher_threads == 0 or the
+  /// service is read-only).
+  FlushCoordinator* flusher() const { return flusher_.get(); }
 
   /// True when the service was constructed writable.
   bool writable() const { return writable_disk_ != nullptr; }
@@ -303,10 +361,15 @@ class BufferService final : public core::PageSource {
   LatchMode latch_mode_ = LatchMode::kOptimistic;
   bool collect_metrics_ = false;
   bool asb_shared_ = false;
+  bool fuzzy_checkpoints_ = false;
+  bool truncate_wal_ = false;
   core::AsbSharedTuning asb_tuning_;
   // unique_ptr elements: Shard holds a mutex and atomics (immovable), and
   // handles outstanding anywhere keep raw pointers into the shard.
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Declared after shards_ so it destructs first: the workers are joined
+  // before any shard they might be flushing goes away.
+  std::unique_ptr<FlushCoordinator> flusher_;
 };
 
 }  // namespace sdb::svc

@@ -92,6 +92,9 @@ class CountingSource final : public core::PageSource {
   bool PrefersBatchedReads() const override {
     return inner_->PrefersBatchedReads();
   }
+  // Same reasoning: swallowing the budget would let batch callers pin a
+  // shard of the decorated service wall-to-wall.
+  size_t BatchPinBudget() const override { return inner_->BatchPinBudget(); }
 
   uint64_t fetches() const { return fetches_; }
   uint64_t io_errors() const { return io_errors_; }

@@ -178,6 +178,20 @@ inline std::optional<ParsedRecord> ParseRecordAt(
   return record;
 }
 
+/// Payload size of a fuzzy checkpoint record: one little-endian u64 redo
+/// low-water mark (the min rec_lsn across dirty frames when the checkpoint
+/// scanned them). A strict checkpoint has an empty payload.
+inline constexpr size_t kCheckpointRedoPayloadSize = 8;
+
+/// Redo low-water mark carried by a fuzzy checkpoint record, or nullopt for
+/// a strict checkpoint (empty payload), whose redo horizon is the record's
+/// own end — every committed image before it is already on the data device.
+inline std::optional<Lsn> CheckpointRedoLsn(const ParsedRecord& record) {
+  if (record.header.type != RecordType::kCheckpoint) return std::nullopt;
+  if (record.payload.size() < kCheckpointRedoPayloadSize) return std::nullopt;
+  return detail::GetU64(record.payload.data());
+}
+
 }  // namespace sdb::wal
 
 #endif  // SPATIALBUFFER_WAL_LOG_RECORD_H_

@@ -11,6 +11,18 @@
 
 namespace sdb::wal {
 
+/// Knobs of one Recover call.
+struct RecoveryOptions {
+  /// Worker threads for the replay pass. 0 (the default) reads
+  /// SDB_REDO_WORKERS from the environment, falling back to 1. With 1 the
+  /// replay runs serially on the calling thread, byte-for-byte the legacy
+  /// path. More than one partitions committed images by page-id hash across
+  /// a thread pool — byte-identical to serial because each page's images
+  /// all land on one worker, in log order — and requires the data device to
+  /// answer SupportsConcurrentWrites(); otherwise the replay stays serial.
+  size_t redo_workers = 0;
+};
+
 /// Outcome of one redo pass.
 struct RecoveryResult {
   /// Records in the valid log prefix (images + commits + checkpoints).
@@ -31,6 +43,17 @@ struct RecoveryResult {
   /// True when invalid bytes followed the valid prefix within the allocated
   /// log pages — the signature of a torn tail, as opposed to a clean end.
   bool torn_tail = false;
+  /// Offset of the first valid record. Nonzero only after segment
+  /// truncation zeroed a log prefix: the scan skips the zeros plus the
+  /// bounded garbage window a record straddling the truncation boundary
+  /// can leave behind.
+  Lsn start_lsn = kNullLsn;
+  /// Redo horizon the replay used: committed images at or past this offset
+  /// were replayed. The last checkpoint's carried redo_lsn (fuzzy) or its
+  /// record end (strict); start_lsn when the log holds no checkpoint.
+  Lsn redo_lsn = kNullLsn;
+  /// Threads that ran the replay pass (1 = serial on the caller).
+  size_t redo_workers = 1;
 };
 
 /// ARIES-style redo-only recovery: scans the log's valid prefix, then
@@ -46,7 +69,8 @@ struct RecoveryResult {
 core::StatusOr<RecoveryResult> Recover(storage::PageDevice& log,
                                        storage::PageDevice& data,
                                        const core::AccessContext& ctx = {},
-                                       obs::Collector* collector = nullptr);
+                                       obs::Collector* collector = nullptr,
+                                       const RecoveryOptions& options = {});
 
 }  // namespace sdb::wal
 

@@ -46,16 +46,22 @@ WalManager::WalManager(storage::PageDevice* device, WalOptions options,
   }
 }
 
-WalManager::~WalManager() {
+WalManager::~WalManager() { Shutdown(); }
+
+void WalManager::Shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!tail_.empty() && sticky_error_.ok()) FlushLocked();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;  // idempotent: first caller did the work below
     stop_ = true;
   }
   writer_cv_.notify_all();
   durable_cv_.notify_all();
   space_cv_.notify_all();
   if (writer_.joinable()) writer_.join();
+  // Final flush after the writer is gone: everything appended before the
+  // shutdown reaches the device, so a clean close never loses records —
+  // only the *acknowledgement* of commits caught mid-queue is withdrawn.
+  Flush();
 }
 
 Lsn WalManager::AppendLocked(RecordType type, uint64_t page,
@@ -73,18 +79,34 @@ Lsn WalManager::AppendLocked(RecordType type, uint64_t page,
   return lsn;
 }
 
-void WalManager::FlushLocked() {
-  if (tail_.empty() || !sticky_error_.ok()) return;
+void WalManager::Flush() {
+  std::lock_guard<std::mutex> file_lock(file_mu_);
+
+  // Claim the appended-but-unflushed bytes under the queue latch, then do
+  // the device writes holding only the file latch: appenders and new
+  // committers keep queueing while this block is on its way out. The
+  // covered-commit count is snapshotted with the claim — a commit record is
+  // in the claimed chunk iff its CommitPages call incremented
+  // pending_commits_ in the same mu_ hold that appended it.
+  std::vector<std::byte> chunk;
+  Lsn flush_begin = 0;
+  size_t covered = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tail_.empty() || !sticky_error_.ok()) return;
+    chunk.swap(tail_);
+    flush_begin = durable_lsn_ - partial_.size();
+    covered = pending_commits_;
+  }
+  SDB_CHECK(flush_begin % page_size_ == 0);
 
   // Compose the dirty device pages: the already-durable head of the current
-  // tail page, then everything appended since the last flush.
-  const Lsn flush_begin = durable_lsn_ - partial_.size();
-  SDB_CHECK(flush_begin % page_size_ == 0);
-  std::vector<std::byte> block(partial_.size() + tail_.size());
+  // tail page, then everything claimed above.
+  std::vector<std::byte> block(partial_.size() + chunk.size());
   if (!partial_.empty()) {
     std::memcpy(block.data(), partial_.data(), partial_.size());
   }
-  std::memcpy(block.data() + partial_.size(), tail_.data(), tail_.size());
+  std::memcpy(block.data() + partial_.size(), chunk.data(), chunk.size());
 
   const size_t page_count = (block.size() + page_size_ - 1) / page_size_;
   const storage::PageId first_page =
@@ -101,27 +123,71 @@ void WalManager::FlushLocked() {
     const core::Status status =
         device_->Write(static_cast<storage::PageId>(first_page + p), image);
     if (!status.ok()) {
-      sticky_error_ = status;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        sticky_error_ = status;
+      }
       durable_cv_.notify_all();
+      space_cv_.notify_all();
       return;
     }
   }
 
-  durable_lsn_ += tail_.size();
-  tail_.clear();
   partial_.assign(block.end() - (block.size() % page_size_), block.end());
 
-  ++stats_.fsyncs;
-  if (fsyncs_metric_ != nullptr) fsyncs_metric_->Add();
-  if (pending_commits_ > 0) {
-    stats_.grouped_commits += pending_commits_;
-    if (group_size_metric_ != nullptr) {
-      group_size_metric_->Observe(static_cast<double>(pending_commits_));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    durable_lsn_ += chunk.size();
+    ++stats_.fsyncs;
+    if (fsyncs_metric_ != nullptr) fsyncs_metric_->Add();
+    if (covered > 0) {
+      stats_.grouped_commits += covered;
+      if (group_size_metric_ != nullptr) {
+        group_size_metric_->Observe(static_cast<double>(covered));
+      }
+      pending_commits_ -= covered;
     }
-    pending_commits_ = 0;
-    space_cv_.notify_all();
   }
+  if (covered > 0) space_cv_.notify_all();
   durable_cv_.notify_all();
+}
+
+core::Status WalManager::TruncateBelow(Lsn lsn) {
+  std::lock_guard<std::mutex> file_lock(file_mu_);
+  Lsn durable = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!sticky_error_.ok()) return sticky_error_;
+    durable = durable_lsn_;
+  }
+  const uint64_t segment_bytes = options_.segment_pages * page_size_;
+  const Lsn bound = std::min(lsn, durable);
+  const Lsn target = bound - bound % segment_bytes;
+  if (target <= truncated_lsn_) return core::Status::Ok();
+
+  // Zero whole segments in ascending page order: a crash at any point
+  // leaves zeros in [0, k) for some k and intact records past it — the
+  // zero-prefix shape recovery's start discovery expects.
+  std::vector<std::byte> zero(page_size_, std::byte{0});
+  const auto first = static_cast<storage::PageId>(truncated_lsn_ / page_size_);
+  const auto last = static_cast<storage::PageId>(target / page_size_);
+  for (storage::PageId p = first; p < last; ++p) {
+    const core::Status status = device_->Write(p, zero);
+    if (!status.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        sticky_error_ = status;
+      }
+      durable_cv_.notify_all();
+      space_cv_.notify_all();
+      return status;
+    }
+  }
+  const uint64_t segments = (target - truncated_lsn_) / segment_bytes;
+  truncated_lsn_ = target;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.segments_truncated += segments;
+  return core::Status::Ok();
 }
 
 void WalManager::WriterLoop() {
@@ -139,8 +205,13 @@ void WalManager::WriterLoop() {
                           [this] { return stop_ || urgent_flush_; });
       if (stop_) return;
     }
-    FlushLocked();
+    // Reset the urgent flag before dropping the latch: the flush below
+    // claims everything appended up to its swap, so any request raised
+    // before this point is covered, and one raised later re-wakes the loop.
     urgent_flush_ = false;
+    lock.unlock();
+    Flush();
+    lock.lock();
   }
 }
 
@@ -183,8 +254,14 @@ core::StatusOr<Lsn> WalManager::CommitPages(
 
   if (!options_.group_commit) {
     ++pending_commits_;
-    FlushLocked();
+    lock.unlock();
+    Flush();
+    lock.lock();
     if (!sticky_error_.ok()) return sticky_error_;
+    // Our record was in the tail when Flush was called, and every flush
+    // claims the whole tail — so whichever flusher won the file latch
+    // first, the prefix through `end` is durable by now.
+    SDB_CHECK(durable_lsn_ >= end);
     return end;
   }
 
@@ -201,36 +278,59 @@ core::StatusOr<Lsn> WalManager::CommitPages(
 }
 
 core::StatusOr<Lsn> WalManager::AppendCheckpoint(
-    uint64_t data_page_count, const core::AccessContext& ctx) {
+    uint64_t data_page_count, const core::AccessContext& ctx,
+    std::optional<Lsn> redo_lsn) {
   obs::ScopedSpan span(ctx.span, obs::SpanKind::kCheckpoint);
-  std::unique_lock<std::mutex> lock(mu_);
+  span.set_payload(redo_lsn.value_or(kNullLsn));
+  Lsn end = kNullLsn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!sticky_error_.ok()) return sticky_error_;
+    std::byte payload[kCheckpointRedoPayloadSize];
+    std::span<const std::byte> body;
+    if (redo_lsn.has_value()) {
+      // Fuzzy checkpoint: carry the redo low-water mark instead of
+      // asserting that the data device is clean.
+      detail::PutU64(payload, *redo_lsn);
+      body = {payload, sizeof(payload)};
+    }
+    AppendLocked(RecordType::kCheckpoint, data_page_count, body);
+    end = next_lsn_;
+    ++stats_.checkpoints;
+  }
+  // Flush on the checkpointing thread, holding only the file latch for the
+  // device writes: group commits keep queueing and draining meanwhile.
+  Flush();
+  std::lock_guard<std::mutex> lock(mu_);
   if (!sticky_error_.ok()) return sticky_error_;
-  AppendLocked(RecordType::kCheckpoint, data_page_count, {});
-  const Lsn end = next_lsn_;
-  ++stats_.checkpoints;
-  FlushLocked();
-  if (!sticky_error_.ok()) return sticky_error_;
+  SDB_CHECK(durable_lsn_ >= end);
   return end;
 }
 
 core::Status WalManager::EnsureDurable(Lsn lsn) {
-  std::unique_lock<std::mutex> lock(mu_);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!sticky_error_.ok()) return sticky_error_;
+    if (durable_lsn_ >= lsn) return core::Status::Ok();
+    if (options_.group_commit && !stop_) {
+      urgent_flush_ = true;
+      writer_cv_.notify_one();
+      durable_cv_.wait(lock, [this, lsn] {
+        return durable_lsn_ >= lsn || !sticky_error_.ok() || stop_;
+      });
+      if (!sticky_error_.ok()) return sticky_error_;
+      if (durable_lsn_ < lsn) {
+        return core::Status::Unavailable("wal shut down before flush");
+      }
+      return core::Status::Ok();
+    }
+  }
+  // Inline mode (or a stopped writer): flush on the calling thread.
+  Flush();
+  std::lock_guard<std::mutex> lock(mu_);
   if (!sticky_error_.ok()) return sticky_error_;
   if (durable_lsn_ >= lsn) return core::Status::Ok();
-  if (!options_.group_commit) {
-    FlushLocked();
-    return sticky_error_;
-  }
-  urgent_flush_ = true;
-  writer_cv_.notify_one();
-  durable_cv_.wait(lock, [this, lsn] {
-    return durable_lsn_ >= lsn || !sticky_error_.ok() || stop_;
-  });
-  if (!sticky_error_.ok()) return sticky_error_;
-  if (durable_lsn_ < lsn) {
-    return core::Status::Unavailable("wal shut down before flush");
-  }
-  return core::Status::Ok();
+  return core::Status::Unavailable("wal shut down before flush");
 }
 
 Lsn WalManager::next_lsn() const {
@@ -241,6 +341,11 @@ Lsn WalManager::next_lsn() const {
 Lsn WalManager::durable_lsn() const {
   std::lock_guard<std::mutex> lock(mu_);
   return durable_lsn_;
+}
+
+Lsn WalManager::truncated_lsn() const {
+  std::lock_guard<std::mutex> lock(file_mu_);
+  return truncated_lsn_;
 }
 
 WalStats WalManager::stats() const {

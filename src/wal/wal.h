@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -47,6 +48,7 @@ struct WalStats {
   uint64_t grouped_commits = 0;  ///< commits covered by those fsyncs
   uint64_t bytes_appended = 0;
   uint64_t segments_opened = 0;
+  uint64_t segments_truncated = 0;  ///< whole segments zeroed by TruncateBelow
 };
 
 /// One page image queued for a commit group.
@@ -70,9 +72,15 @@ struct PageImageRef {
 /// next batched flush covers its commit record; many committers share one
 /// device flush ("fsync"), which is the throughput lever the bench measures.
 ///
-/// Thread-safe. All appends, flushes and stats share one mutex; the writer
-/// thread (group-commit mode only) is joined by the destructor after a final
-/// flush.
+/// Thread-safe, with two latches: the queue latch `mu_` covers the append
+/// tail, LSN bookkeeping and the commit queue, while the file latch
+/// `file_mu_` covers device writes (flushes and truncation). A flush claims
+/// the tail under `mu_`, writes it out holding only `file_mu_`, then
+/// re-acquires `mu_` to publish durability — so committers keep appending
+/// (and the queue keeps draining) while a flush or checkpoint is writing
+/// pages. Lock order is file_mu_ -> mu_; mu_ is never held across a device
+/// write. The writer thread (group-commit mode only) is joined by
+/// Shutdown()/the destructor, which then runs one final flush.
 class WalManager {
  public:
   /// `device` must outlive the manager and must start empty (recovery
@@ -97,11 +105,34 @@ class WalManager {
                                   const core::AccessContext& ctx,
                                   bool forced_steal = false);
 
-  /// Appends a checkpoint record and makes it durable. The caller must have
-  /// forced every committed dirty page to the data device first — that is
-  /// what the record asserts to recovery.
+  /// Appends a checkpoint record and makes it durable. Without a `redo_lsn`
+  /// the record is *strict* (empty payload): the caller must have forced
+  /// every committed dirty page to the data device first, and recovery
+  /// redoes nothing before it. With one the checkpoint is *fuzzy*: the
+  /// record carries that redo low-water mark (a value of 0 is legal and
+  /// just means "replay everything"), dirty pages stay in the pool, and
+  /// recovery replays committed images from `redo_lsn` on. Fuzzy
+  /// checkpoints run concurrently with mutators and license
+  /// TruncateBelow(redo_lsn) once durable.
   core::StatusOr<Lsn> AppendCheckpoint(uint64_t data_page_count,
-                                       const core::AccessContext& ctx);
+                                       const core::AccessContext& ctx,
+                                       std::optional<Lsn> redo_lsn = {});
+
+  /// Zeros every whole log segment strictly below `lsn` (clamped to the
+  /// durable prefix), reclaiming the space a durable fuzzy checkpoint made
+  /// dead. Segments are zeroed in ascending page order, so a crash at any
+  /// point leaves the log with a zero prefix — which recovery's start
+  /// discovery skips — never a gap that could resurrect stale records. The
+  /// caller must only pass a redo_lsn whose checkpoint record is durable.
+  core::Status TruncateBelow(Lsn lsn);
+
+  /// Stops accepting group commits, joins the writer thread and runs one
+  /// final flush, so everything appended before the call is durable when it
+  /// returns. Committers blocked in CommitPages observe the shutdown and
+  /// return Unavailable (their records may still become durable — an
+  /// unacknowledged commit is replayed by recovery, which is the usual
+  /// weakening). Idempotent; the destructor calls it.
+  void Shutdown();
 
   /// Blocks until the stream prefix [0, lsn) is on the device. The
   /// write-ahead rule: eviction write-back of a logged page calls this with
@@ -112,6 +143,8 @@ class WalManager {
   Lsn next_lsn() const;
   /// End of the durable prefix.
   Lsn durable_lsn() const;
+  /// End of the zeroed (truncated) prefix; always a segment boundary.
+  Lsn truncated_lsn() const;
 
   WalStats stats() const;
   const WalOptions& options() const { return options_; }
@@ -126,9 +159,10 @@ class WalManager {
   /// Appends one record to the tail. Caller holds mu_.
   Lsn AppendLocked(RecordType type, uint64_t page,
                    std::span<const std::byte> payload);
-  /// Writes the tail out in page-size blocks and advances durable_lsn_.
-  /// Caller holds mu_. Sets sticky_error_ on device failure.
-  void FlushLocked();
+  /// Claims the tail (under mu_), writes it out in page-size blocks (under
+  /// file_mu_ only) and publishes the new durable_lsn_. Caller must hold
+  /// NEITHER latch. Sets sticky_error_ on device failure.
+  void Flush();
   /// Group-commit writer thread body.
   void WriterLoop();
 
@@ -136,13 +170,19 @@ class WalManager {
   const WalOptions options_;
   const size_t page_size_;
 
+  /// File latch: serializes device writes (flush blocks, truncation) and
+  /// guards partial_/truncated_lsn_. Acquired before mu_, never inside it.
+  mutable std::mutex file_mu_;
+  std::vector<std::byte> partial_;  ///< durable bytes of the tail page
+  Lsn truncated_lsn_ = 0;           ///< zeroed prefix end (segment-aligned)
+
+  /// Queue latch: append tail, LSN bookkeeping, commit queue, stats.
   mutable std::mutex mu_;
   std::condition_variable writer_cv_;   ///< wakes the writer thread
   std::condition_variable durable_cv_;  ///< wakes committers / EnsureDurable
   std::condition_variable space_cv_;    ///< wakes committers on queue space
 
-  std::vector<std::byte> tail_;     ///< appended, not yet durable
-  std::vector<std::byte> partial_;  ///< durable bytes of the tail page
+  std::vector<std::byte> tail_;  ///< appended, not yet claimed by a flush
   Lsn next_lsn_ = 0;
   Lsn durable_lsn_ = 0;
   size_t pending_commits_ = 0;  ///< commits waiting on the writer thread

@@ -9,10 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/buffer_manager.h"
@@ -24,6 +27,7 @@
 #include "storage/disk_view.h"
 #include "storage/fault_injection.h"
 #include "svc/buffer_service.h"
+#include "svc/flush_coordinator.h"
 #include "test_util.h"
 #include "wal/recovery.h"
 #include "wal/wal.h"
@@ -39,6 +43,15 @@ using core::UnpinStatus;
 using storage::DiskManager;
 using storage::PageId;
 using storage::PageType;
+
+/// The CI flusher soak varies the churn seed run-to-run; locally the
+/// default is fixed so failures reproduce.
+uint64_t SoakSeed(uint64_t fallback) {
+  if (const char* env = std::getenv("SDB_SOAK_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
 
 std::unique_ptr<BufferManager> MakeBuffer(storage::PageDevice& disk,
                                           size_t frames) {
@@ -312,6 +325,142 @@ TEST_F(WritePathTest, FlushAllCommitsBeforeWritingBack) {
 }
 
 // ---------------------------------------------------------------------------
+// Background write-back: harvest, flush, and eviction victim preference
+
+TEST_F(WritePathTest, HarvestSelectsLoggedUnpinnedDirtyOldestFirst) {
+  auto buffer = MakeBuffer(disk_, 8);
+  buffer->AttachWal(&wal_);
+  core::WritebackOptions writeback;
+  writeback.enabled = true;
+  buffer->ConfigureBackgroundWriteback(writeback);
+
+  // Page A: dirtied on the empty log (rec_lsn 1), then committed.
+  PageHandle a = buffer->NewOrDie(ctx_);
+  const PageId id_a = a.page_id();
+  FillPage(a, 0x0A);
+  a.Release();
+  ASSERT_TRUE(buffer->Commit(ctx_).ok());
+  // Page B: dirtied after that commit, so its rec_lsn is strictly younger.
+  PageHandle b = buffer->NewOrDie(ctx_);
+  const PageId id_b = b.page_id();
+  FillPage(b, 0x0B);
+  b.Release();
+  ASSERT_TRUE(buffer->Commit(ctx_).ok());
+  // Page C: dirty but never committed (unlogged) AND still pinned — two
+  // independent reasons the harvest must pass it over.
+  PageHandle c = buffer->NewOrDie(ctx_);
+  FillPage(c, 0x0C);
+
+  std::vector<core::DirtyCandidate> candidates;
+  EXPECT_EQ(buffer->HarvestFlushCandidates(1, &candidates), 1u)
+      << "the cap bounds one harvest round";
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].page, id_a) << "oldest rec_lsn first";
+  candidates.clear();
+  ASSERT_EQ(buffer->HarvestFlushCandidates(8, &candidates), 2u);
+  EXPECT_EQ(candidates[0].page, id_a);
+  EXPECT_EQ(candidates[1].page, id_b);
+  EXPECT_LT(candidates[0].rec_lsn, candidates[1].rec_lsn);
+
+  const core::StatusOr<size_t> flushed =
+      buffer->FlushFrames(candidates, ctx_);
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(*flushed, 2u);
+  EXPECT_EQ(buffer->dirty_count(), 1u) << "only the pinned page stays dirty";
+  EXPECT_EQ(buffer->dirty_frame_count(), 1u) << "the O(1) census agrees";
+  EXPECT_EQ(ReadPage(disk_, id_a)[0], std::byte{0x0A});
+  EXPECT_EQ(ReadPage(disk_, id_b)[0], std::byte{0x0B});
+  EXPECT_EQ(buffer->stats().sync_writeback_fallbacks, 0u)
+      << "background flushing is not a fallback";
+  EXPECT_EQ(wal_.stats().forced_steals, 0u)
+      << "harvesting logged-only frames never steals";
+
+  // A re-harvest finds nothing: the flushed frames are clean, C is pinned.
+  candidates.clear();
+  EXPECT_EQ(buffer->HarvestFlushCandidates(8, &candidates), 0u);
+  c.Release();
+}
+
+TEST_F(WritePathTest, EvictionPrefersCleanVictimsUnderTheHighWatermark) {
+  // 4-frame pool holding two dirty committed pages (LRU-oldest) and two
+  // clean pages. With write-back configured and the dirty ratio at the
+  // high watermark, eviction must pass over the dirty frames and take a
+  // clean victim — zero foreground device writes.
+  DiskManager base;
+  const PageId clean_a = test::StagePage(base, PageType::kData, 0,
+                                         geom::Rect(0, 0, 1, 1));
+  const PageId clean_b = test::StagePage(base, PageType::kData, 0,
+                                         geom::Rect(0, 0, 2, 1));
+  const PageId extra = test::StagePage(base, PageType::kData, 0,
+                                       geom::Rect(0, 0, 3, 1));
+  DiskManager log;
+  wal::WalManager wal(&log);
+  auto buffer = MakeBuffer(base, 4);
+  buffer->AttachWal(&wal);
+  core::WritebackOptions writeback;
+  writeback.enabled = true;
+  buffer->ConfigureBackgroundWriteback(writeback);
+
+  PageHandle dirty_a = buffer->NewOrDie(ctx_);
+  const PageId id_a = dirty_a.page_id();
+  FillPage(dirty_a, 0xA1);
+  dirty_a.Release();
+  PageHandle dirty_b = buffer->NewOrDie(ctx_);
+  const PageId id_b = dirty_b.page_id();
+  FillPage(dirty_b, 0xB2);
+  dirty_b.Release();
+  ASSERT_TRUE(buffer->Commit(ctx_).ok());
+  buffer->FetchOrDie(clean_a, ctx_).Release();
+  buffer->FetchOrDie(clean_b, ctx_).Release();
+
+  // dirty ratio 2/4 == watermark 0.5: not yet past it, so prefer clean.
+  buffer->FetchOrDie(extra, ctx_).Release();
+  EXPECT_TRUE(buffer->Contains(id_a)) << "dirty frames were passed over";
+  EXPECT_TRUE(buffer->Contains(id_b));
+  EXPECT_FALSE(buffer->Contains(clean_a)) << "the oldest CLEAN page went";
+  EXPECT_EQ(buffer->stats().sync_writeback_fallbacks, 0u);
+  EXPECT_EQ(buffer->stats().dirty_writebacks, 0u)
+      << "no device write on the foreground path";
+  ASSERT_TRUE(buffer->ForceDirty(ctx_).ok());
+}
+
+TEST_F(WritePathTest, SyncWritebackFallbackIsCountedPastTheHighWatermark) {
+  DiskManager base;
+  const PageId staged = test::StagePage(base, PageType::kData, 0,
+                                        geom::Rect(0, 0, 1, 1));
+  DiskManager log;
+  wal::WalManager wal(&log);
+  auto buffer = MakeBuffer(base, 4);
+  buffer->AttachWal(&wal);
+  core::WritebackOptions writeback;
+  writeback.enabled = true;
+  buffer->ConfigureBackgroundWriteback(writeback);
+
+  // Three of four frames dirty: past the 0.5 high watermark, so eviction
+  // stops preferring clean victims and writes back in the foreground —
+  // correct, but counted, because steady state should never get here.
+  std::vector<PageId> ids;
+  for (uint8_t i = 0; i < 3; ++i) {
+    PageHandle page = buffer->NewOrDie(ctx_);
+    ids.push_back(page.page_id());
+    FillPage(page, static_cast<uint8_t>(0x10 + i));
+    page.Release();
+  }
+  ASSERT_TRUE(buffer->Commit(ctx_).ok());
+  buffer->FetchOrDie(staged, ctx_).Release();  // fills the 4th frame, clean
+
+  // The LRU victim is ids[0] — dirty and logged. Past the watermark the
+  // clean-preference scan is off, so the eviction writes it back inline.
+  PageHandle fresh = buffer->NewOrDie(ctx_);
+  fresh.Release();
+  EXPECT_FALSE(buffer->Contains(ids[0]));
+  EXPECT_EQ(buffer->stats().sync_writeback_fallbacks, 1u);
+  EXPECT_EQ(buffer->stats().dirty_writebacks, 1u);
+  EXPECT_EQ(ReadPage(base, ids[0])[0], std::byte{0x10});
+  ASSERT_TRUE(buffer->ForceDirty(ctx_).ok());
+}
+
+// ---------------------------------------------------------------------------
 // Writable sharded service
 
 svc::BufferServiceConfig WritableConfig(size_t shards, size_t frames) {
@@ -466,6 +615,215 @@ TEST(WritableServiceTest, ChurnCrashRecoverRoundTrip) {
   ASSERT_TRUE(service.Checkpoint(ctx).ok());
   std::remove(data_path.c_str());
   std::remove(log_path.c_str());
+}
+
+/// Spins until the flusher has written at least `target` pages (bounded).
+void WaitForFlushedPages(svc::FlushCoordinator* flusher, uint64_t target) {
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (flusher->stats().pages_flushed >= target) return;
+    flusher->Nudge();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "flusher never reached " << target << " flushed pages";
+}
+
+/// Churn through a writable service with the background flusher running
+/// (concurrent flush + group commit — the write-ahead rule under real
+/// threads), demand zero foreground write-backs and zero steals after
+/// warm-up, then crash and recover byte-exactly.
+TEST(WritableServiceTest, ChurnWithBackgroundFlusherAvoidsForegroundWrites) {
+  const geom::Rect space(0, 0, 100, 100);
+  DiskManager disk;
+  DiskManager log;
+  wal::WalOptions wal_options;
+  wal_options.group_commit = true;
+  wal::WalManager wal(&log, wal_options);
+  svc::BufferServiceConfig config = WritableConfig(2, 128);
+  config.flusher_threads = 2;
+  config.dirty_low_watermark = 0.0;  // flush whenever anything is dirty
+  svc::BufferService service(&disk, &wal, config);
+  ASSERT_NE(service.flusher(), nullptr);
+  const AccessContext ctx{3};
+
+  rtree::RTree tree(&disk, &service);
+  sim::ChurnOptions options;
+  options.operations = 600;
+  options.delete_fraction = 0.35;
+  options.seed = SoakSeed(4321);
+  options.commit_every = 20;
+  options.warmup_operations = 200;
+  uint64_t fallbacks_at_warmup = 0;
+  uint64_t steals_at_warmup = 0;
+  sim::ChurnHooks hooks;
+  hooks.commit = [&] {
+    tree.PersistMeta();
+    return service.Commit(ctx);
+  };
+  hooks.on_steady_state = [&] {
+    fallbacks_at_warmup =
+        service.AggregateStats().buffer.sync_writeback_fallbacks;
+    steals_at_warmup = wal.stats().forced_steals;
+    return core::Status::Ok();
+  };
+  const core::StatusOr<sim::ChurnResult> churn =
+      sim::RunChurn(tree, space, options, hooks, ctx);
+  ASSERT_TRUE(churn.ok());
+
+  tree.PersistMeta();
+  ASSERT_TRUE(service.Commit(ctx).ok());
+  const std::vector<rtree::Entry> committed = tree.WindowQuery(space, ctx);
+  EXPECT_EQ(committed.size(), churn->live);
+
+  // Steady state never touched the device from the foreground path.
+  const svc::ShardStats stats = service.AggregateStats();
+  EXPECT_EQ(stats.buffer.sync_writeback_fallbacks, fallbacks_at_warmup)
+      << "steady state must not fall back to synchronous write-back";
+  EXPECT_EQ(wal.stats().forced_steals, steals_at_warmup)
+      << "every flushed frame was already logged";
+  WaitForFlushedPages(service.flusher(), 1);
+
+  // Crash: stop the flusher (its workers write the data device; a snapshot
+  // mid-write would be a race, and a real crash stops them too), snapshot
+  // both devices, and recover.
+  service.flusher()->Stop();
+  const std::string data_path = ::testing::TempDir() + "/flusher_data.img";
+  const std::string log_path = ::testing::TempDir() + "/flusher_log.img";
+  ASSERT_TRUE(disk.SaveImage(data_path));
+  ASSERT_TRUE(log.SaveImage(log_path));
+  auto crashed_data = DiskManager::LoadImage(data_path);
+  auto crashed_log = DiskManager::LoadImage(log_path);
+  ASSERT_TRUE(crashed_data.has_value());
+  ASSERT_TRUE(crashed_log.has_value());
+  const core::StatusOr<wal::RecoveryResult> result =
+      wal::Recover(*crashed_log, *crashed_data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->replayed_pages, 0u);
+
+  svc::BufferService reader(*crashed_data, WritableConfig(2, 128));
+  rtree::RTree recovered =
+      rtree::RTree::Open(&*crashed_data, &reader, tree.meta_page());
+  EXPECT_EQ(recovered.Validate(), "");
+  std::vector<rtree::Entry> replayed = recovered.WindowQuery(space, ctx);
+  ASSERT_EQ(replayed.size(), committed.size());
+  auto by_id = [](const rtree::Entry& a, const rtree::Entry& b) {
+    return a.id < b.id;
+  };
+  std::vector<rtree::Entry> expected = committed;
+  std::sort(expected.begin(), expected.end(), by_id);
+  std::sort(replayed.begin(), replayed.end(), by_id);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(replayed[i].id, expected[i].id);
+  }
+
+  ASSERT_TRUE(service.Checkpoint(ctx).ok());
+  std::remove(data_path.c_str());
+  std::remove(log_path.c_str());
+}
+
+/// Fuzzy checkpoints under churn: the checkpoint hook drains the dirty
+/// census through FlushShardBatch (the flusher's own entry point), so the
+/// sampled redo horizon advances and TruncateBelow reclaims whole log
+/// segments — and a crash after all of that still recovers exactly.
+TEST(WritableServiceTest, FuzzyCheckpointsTruncateTheLogAndStayRecoverable) {
+  const geom::Rect space(0, 0, 100, 100);
+  DiskManager disk;
+  DiskManager log;
+  wal::WalOptions wal_options;
+  wal_options.segment_pages = 2;  // small segments so truncation triggers
+  wal::WalManager wal(&log, wal_options);
+  svc::BufferServiceConfig config = WritableConfig(2, 128);
+  config.flusher_threads = 1;
+  config.dirty_low_watermark = 0.0;
+  config.fuzzy_checkpoints = true;
+  config.truncate_wal = true;
+  svc::BufferService service(&disk, &wal, config);
+  const AccessContext ctx{6};
+
+  rtree::RTree tree(&disk, &service);
+  sim::ChurnOptions options;
+  options.operations = 400;
+  options.delete_fraction = 0.35;
+  options.seed = SoakSeed(98765);
+  options.commit_every = 20;
+  options.checkpoint_every = 80;
+  sim::ChurnHooks hooks;
+  hooks.commit = [&] {
+    tree.PersistMeta();
+    return service.Commit(ctx);
+  };
+  hooks.checkpoint = [&] {
+    tree.PersistMeta();
+    if (core::Status status = service.Commit(ctx); !status.ok()) {
+      return status;
+    }
+    // Drain every shard so the horizon is fresh when Checkpoint samples it.
+    for (size_t s = 0; s < service.shard_count(); ++s) {
+      while (true) {
+        const core::StatusOr<size_t> flushed =
+            service.FlushShardBatch(s, 32, ctx);
+        if (!flushed.ok()) return flushed.status();
+        if (*flushed == 0) break;
+      }
+    }
+    return service.Checkpoint(ctx);
+  };
+  const core::StatusOr<sim::ChurnResult> churn =
+      sim::RunChurn(tree, space, options, hooks, ctx);
+  ASSERT_TRUE(churn.ok());
+  EXPECT_GT(churn->checkpoints, 0u);
+  EXPECT_GE(wal.stats().segments_truncated, 1u)
+      << "fuzzy checkpoints must reclaim log segments";
+  EXPECT_GT(wal.truncated_lsn(), 0u);
+
+  // Post-truncation commits, then crash and recover from the shortened log.
+  tree.PersistMeta();
+  ASSERT_TRUE(service.Commit(ctx).ok());
+  const std::vector<rtree::Entry> committed = tree.WindowQuery(space, ctx);
+  service.flusher()->Stop();
+  const std::string data_path = ::testing::TempDir() + "/fuzzy_data.img";
+  const std::string log_path = ::testing::TempDir() + "/fuzzy_log.img";
+  ASSERT_TRUE(disk.SaveImage(data_path));
+  ASSERT_TRUE(log.SaveImage(log_path));
+  auto crashed_data = DiskManager::LoadImage(data_path);
+  auto crashed_log = DiskManager::LoadImage(log_path);
+  ASSERT_TRUE(crashed_data.has_value());
+  ASSERT_TRUE(crashed_log.has_value());
+  const core::StatusOr<wal::RecoveryResult> result =
+      wal::Recover(*crashed_log, *crashed_data);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->start_lsn, 0u) << "the scan skipped the zeroed prefix";
+
+  svc::BufferService reader(*crashed_data, WritableConfig(2, 128));
+  rtree::RTree recovered =
+      rtree::RTree::Open(&*crashed_data, &reader, tree.meta_page());
+  EXPECT_EQ(recovered.Validate(), "");
+  std::vector<rtree::Entry> replayed = recovered.WindowQuery(space, ctx);
+  ASSERT_EQ(replayed.size(), committed.size());
+  auto by_id = [](const rtree::Entry& a, const rtree::Entry& b) {
+    return a.id < b.id;
+  };
+  std::vector<rtree::Entry> expected = committed;
+  std::sort(expected.begin(), expected.end(), by_id);
+  std::sort(replayed.begin(), replayed.end(), by_id);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(replayed[i].id, expected[i].id);
+  }
+
+  ASSERT_TRUE(service.Checkpoint(ctx).ok());
+  std::remove(data_path.c_str());
+  std::remove(log_path.c_str());
+}
+
+TEST(WritableServiceTest, BatchPinBudgetLeavesEvictionHeadroom) {
+  DiskManager disk;
+  test::StagePage(disk, PageType::kData, 0, geom::Rect(0, 0, 1, 1));
+  // 64 frames over 4 shards = 16 per shard; the budget keeps 2 in reserve
+  // so a full-width batch can never pin a shard wall-to-wall.
+  svc::BufferService service(disk, WritableConfig(4, 64));
+  EXPECT_EQ(service.BatchPinBudget(), 14u);
+  // Tiny shards degrade to single-page batches, never to zero.
+  svc::BufferService tiny(disk, WritableConfig(4, 12));
+  EXPECT_EQ(tiny.BatchPinBudget(), 1u);
 }
 
 // ---------------------------------------------------------------------------
