@@ -21,6 +21,14 @@ Two modes:
       page in the background, and kept p99 pin latency at or under
       --max-p99-ratio times the flusher-off row.
 
+  writefault BENCH_fault.json
+      Reads the bench:"fault_write" chaos-soak rows (churn x write faults
+      x crash x recover) and fails unless every row recovered the last
+      acknowledged commit exactly, every sticky-outage row entered
+      degraded mode while still serving reads, and the fault matrix as a
+      whole demonstrably injected write faults (a soak that injected
+      nothing proves nothing).
+
   compare A.json B.json [--field hit_rate] [--tol 0]
       Joins two BENCH_sweep.json runs on the row key
       (bench, database, fraction, query_set, policy, baseline,
@@ -223,6 +231,54 @@ def check_writeback(args):
     return 1 if failures else 0
 
 
+def check_writefault(args):
+    rows = [r for r in read_rows(args.file)
+            if r.get("bench") == "fault_write"]
+    if not rows:
+        print(f"{args.file}: no fault_write rows found", file=sys.stderr)
+        return 2
+    failures = 0
+    injected_total = 0
+    faulty_rows = 0
+    for row in rows:
+        label = f"{row.get('profile', '?')}/seed={row.get('seed', '?')}"
+        if row.get("recovered_match") != 1:
+            print(f"FAIL {label}: recovery diverged from the last "
+                  f"acknowledged commit", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {label}: recovered {row.get('recovered_entries')} "
+                  f"entries exactly ({row.get('commits_acked')} commits "
+                  f"acked)")
+        if row.get("sticky") == 1:
+            if not row.get("degraded"):
+                print(f"FAIL {label}: fsync outage never entered degraded "
+                      f"mode", file=sys.stderr)
+                failures += 1
+            if not row.get("degraded_reads_served"):
+                print(f"FAIL {label}: degraded service served no reads "
+                      f"(read availability floor)", file=sys.stderr)
+                failures += 1
+        elif row.get("degraded"):
+            print(f"FAIL {label}: transient-only profile entered degraded "
+                  f"mode", file=sys.stderr)
+            failures += 1
+        is_faulty = (row.get("wal_write_rate") or row.get("sync_fail_rate")
+                     or row.get("data_write_rate") or row.get("sticky"))
+        if is_faulty:
+            faulty_rows += 1
+            injected_total += (row.get("wal_faults_injected", 0)
+                              + row.get("data_faults_injected", 0))
+    if faulty_rows and injected_total == 0:
+        print("FAIL soak injected zero write faults across every faulty "
+              "profile: the matrix proved nothing", file=sys.stderr)
+        failures += 1
+    elif faulty_rows:
+        print(f"ok   {injected_total} write faults injected across "
+              f"{faulty_rows} faulty cells")
+    return 1 if failures else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="mode", required=True)
@@ -250,6 +306,10 @@ def main():
     wb.add_argument("file")
     wb.add_argument("--max-p99-ratio", type=float, default=1.0)
 
+    wf = sub.add_parser("writefault",
+                        help="guard the write-fault chaos-soak rows")
+    wf.add_argument("file")
+
     args = parser.parse_args()
     if args.mode == "obs-overhead":
         sys.exit(check_obs_overhead(args))
@@ -257,6 +317,8 @@ def main():
         sys.exit(check_wal(args))
     if args.mode == "writeback":
         sys.exit(check_writeback(args))
+    if args.mode == "writefault":
+        sys.exit(check_writefault(args))
     sys.exit(check_compare(args))
 
 

@@ -50,7 +50,7 @@ std::unique_ptr<storage::DiskManager> StageDisk(size_t n) {
     agg.sum_entry_area = side * side;
     agg.sum_entry_margin = 2 * side;
     header.set_aggregates(agg);
-    const storage::PageId id = disk->Allocate();
+    const storage::PageId id = disk->AllocateOrDie();
     SDB_CHECK(disk->Write(id, image).ok());
   }
   return disk;

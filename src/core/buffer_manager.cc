@@ -163,11 +163,20 @@ StatusOr<PageHandle> BufferManager::New(const AccessContext& ctx) {
   ++stats_.misses;  // a new page is never a hit
   StatusOr<FrameId> acquired = AcquireFrame(ctx, storage::kInvalidPageId);
   if (!acquired.ok()) return acquired.status();
-  const storage::PageId page = disk_->Allocate();
+  const FrameId f = *acquired;
+  const StatusOr<storage::PageId> allocated = disk_->Allocate();
+  if (!allocated.ok()) {
+    // Disk-full backpressure: hand the acquired frame back and surface the
+    // status — the caller's New fails, the pool (and its resident pages)
+    // stays intact and keeps serving reads.
+    free_frames_.push_back(f);
+    if (concurrent_) sync_[f].Unlock();
+    return allocated.status();
+  }
+  const storage::PageId page = *allocated;
   if constexpr (obs::kEnabled) {
     if (obs_ != nullptr) obs_->OnBufferRequest(page, ctx.query_id, false);
   }
-  const FrameId f = *acquired;
   std::memset(FrameData(f), 0, page_size_);
   InstallLoadedPage(f, page, ctx,
                     /*dirty=*/true);  // must reach disk even if never modified
@@ -229,13 +238,22 @@ std::span<const std::byte> BufferManager::Peek(storage::PageId page) const {
 void BufferManager::FlushAll() {
   if (wal_ != nullptr && dirty_count() > 0) {
     const Status committed = Commit();
-    SDB_CHECK_MSG(committed.ok(), "FlushAll could not commit dirty pages");
+    if (!committed.ok()) {
+      // A log that cannot commit (sticky WAL error, full log device) means
+      // these frames can never be made durable under the write-ahead rule.
+      // Nothing here was acknowledged to a caller, so dropping the frames
+      // loses nothing that was promised — while aborting would turn a
+      // degraded service into a crash at shutdown.
+      return;
+    }
   }
   for (FrameId f = 0; f < frames_.size(); ++f) {
     Frame& frame = frames_[f];
     if (frame.page != storage::kInvalidPageId && frame.dirty) {
-      const Status written = WriteBackLocked(f, AccessContext{});
-      SDB_CHECK_MSG(written.ok(), "FlushAll could not write back a dirty page");
+      // Best-effort: a frame whose device refuses the write stays dirty and
+      // is dropped with the pool. Its committed image lives in the log and
+      // recovery replays it; quarantine bookkeeping already counted it.
+      (void)WriteBackLocked(f, AccessContext{});
     }
   }
 }
@@ -533,6 +551,56 @@ void BufferManager::EnsureIoObs() {
   }
 }
 
+void BufferManager::EnsureWriteObs() {
+  if constexpr (obs::kEnabled) {
+    if (obs_ == nullptr || obs_io_write_retries_ != nullptr) return;
+    obs_io_write_retries_ = obs_->metrics().GetCounter("io.write_retries");
+    obs_io_write_quarantined_ =
+        obs_->metrics().GetCounter("io.write_quarantined");
+  }
+}
+
+void BufferManager::QuarantineWriteFailure(FrameId f) {
+  Frame& frame = frames_[f];
+  const storage::PageId page = frame.page;
+  SDB_DCHECK(page != storage::kInvalidPageId);
+  SDB_DCHECK(frame.dirty);
+  // The page's only current image is its committed WAL record now — the
+  // device copy is stale and the device refuses updates. Pin the redo
+  // low-water mark so fuzzy-checkpoint truncation can never reclaim that
+  // record, and remember the page as bad so the stale device copy is never
+  // served to a reader. Recovery (which replays the WAL onto the device
+  // region that works, or a replacement) is the only way the page comes
+  // back.
+  if (frame.rec_lsn != 0 && (write_quarantined_rec_lsn_floor_ == 0 ||
+                             frame.rec_lsn < write_quarantined_rec_lsn_floor_)) {
+    write_quarantined_rec_lsn_floor_ = frame.rec_lsn;
+  }
+  bad_pages_.emplace(page, StatusCode::kPermanentFailure);
+  page_table_.erase(page);
+  if (concurrent_) {
+    concurrent_table_->Erase(page);
+    sync_[f].page.store(storage::kInvalidPageId, std::memory_order_release);
+  }
+  policy_->OnPageEvicted(f, page);
+  SDB_DCHECK(dirty_frames_ > 0);
+  --dirty_frames_;
+  frame.dirty = false;
+  frame.wal_logged = false;
+  frame.page_lsn = 0;
+  frame.rec_lsn = 0;
+  frame.write_failures = 0;
+  frame.page = storage::kInvalidPageId;
+  ++stats_.io_write_quarantined;
+  if constexpr (obs::kEnabled) {
+    if (obs_ != nullptr) {
+      EnsureWriteObs();
+      obs_io_write_quarantined_->Add();
+    }
+  }
+  QuarantineFrame(f, page);
+}
+
 void BufferManager::BackoffBeforeRetry(uint32_t failures,
                                        storage::PageId page) {
   if (resilience_.backoff_base_us == 0) return;
@@ -651,7 +719,8 @@ void BufferManager::NoteDirtyLocked(FrameId f) {
   }
 }
 
-Status BufferManager::WriteBackLocked(FrameId f, const AccessContext& ctx) {
+Status BufferManager::WriteBackLocked(FrameId f, const AccessContext& ctx,
+                                      bool* device_write_failed) {
   Frame& frame = frames_[f];
   if (!frame.dirty) return Status::Ok();
   if (wal_ != nullptr) {
@@ -671,10 +740,28 @@ Status BufferManager::WriteBackLocked(FrameId f, const AccessContext& ctx) {
       return durable;
     }
   }
-  if (Status written = disk_->Write(frame.page, {FrameData(f), page_size_});
-      !written.ok()) {
+  // Bounded retry of the data-device write, mirroring the read path:
+  // transient faults clear on a fresh draw, everything else fails through.
+  Status written = disk_->Write(frame.page, {FrameData(f), page_size_});
+  uint32_t failures = 0;
+  while (!written.ok() && written.retryable() &&
+         failures < resilience_.max_write_retries) {
+    ++failures;
+    ++stats_.io_write_retries;
+    if constexpr (obs::kEnabled) {
+      if (obs_ != nullptr) {
+        EnsureWriteObs();
+        obs_io_write_retries_->Add();
+      }
+    }
+    BackoffBeforeRetry(failures, frame.page);
+    written = disk_->Write(frame.page, {FrameData(f), page_size_});
+  }
+  if (!written.ok()) {
+    if (device_write_failed != nullptr) *device_write_failed = true;
     return written;
   }
+  frame.write_failures = 0;
   frame.dirty = false;
   SDB_DCHECK(dirty_frames_ > 0);
   --dirty_frames_;
@@ -770,7 +857,9 @@ size_t BufferManager::dirty_count() const {
 }
 
 uint64_t BufferManager::min_rec_lsn() const {
-  uint64_t min_lsn = 0;
+  // Seeded with the write-quarantine floor: a quarantined page's only
+  // current image is in the WAL, so truncation must keep its records.
+  uint64_t min_lsn = write_quarantined_rec_lsn_floor_;
   for (const Frame& frame : frames_) {
     if (frame.page == storage::kInvalidPageId || !frame.dirty ||
         frame.rec_lsn == 0) {
@@ -886,7 +975,22 @@ StatusOr<size_t> BufferManager::FlushFrames(
     } else if (frame.pin_count != 0) {
       continue;
     }
-    const Status written = WriteBackLocked(f, ctx);
+    bool device_write_failed = false;
+    const Status written = WriteBackLocked(f, ctx, &device_write_failed);
+    if (!written.ok() && device_write_failed) {
+      // The WAL half succeeded (the current bytes sit in a durable image);
+      // only the data device refuses this page. A permanent refusal — or a
+      // transient one that keeps exhausting whole retry rounds — escalates
+      // to write-quarantine, otherwise the coordinator's next round (after
+      // its backoff) retries the same frame.
+      ++frame.write_failures;
+      if (!written.retryable() ||
+          frame.write_failures > resilience_.max_write_retries) {
+        QuarantineWriteFailure(f);
+        if (concurrent_) sync_[f].Unlock();
+        continue;  // the page is absorbed, keep flushing the rest
+      }
+    }
     if (concurrent_) sync_[f].Unlock();
     if (!written.ok()) return written;
     ++flushed;

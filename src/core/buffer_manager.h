@@ -87,6 +87,8 @@ struct BufferStats {
   uint64_t io_recovered_reads = 0;     ///< fetches that succeeded after >=1 retry
   uint64_t io_permanent_failures = 0;  ///< fetches that failed terminally
   uint64_t io_quarantined_frames = 0;  ///< frames taken out of service
+  uint64_t io_write_retries = 0;       ///< failed write-back attempts retried
+  uint64_t io_write_quarantined = 0;   ///< frames quarantined for write failure
 
   double HitRate() const {
     return requests == 0 ? 0.0
@@ -130,6 +132,11 @@ struct ResilienceOptions {
   /// Failed-read retries beyond the first attempt (so a fetch performs at
   /// most 1 + max_read_retries device reads).
   uint32_t max_read_retries = 3;
+  /// Failed write-back retries beyond the first attempt, applied only to
+  /// retryable device errors. Doubles as the escalation threshold of the
+  /// background flusher: a frame whose write-back rounds keep failing past
+  /// this count is write-quarantined instead of re-harvested forever.
+  uint32_t max_write_retries = 3;
   /// Base of the exponential backoff between retries, in microseconds;
   /// 0 disables sleeping entirely (the default — simulated devices fail
   /// deterministically, not because of load).
@@ -468,6 +475,11 @@ class BufferManager : public FrameMetaSource, public PageSource {
   /// never on the free list and never become policy candidates, so the
   /// effective pool is frame_count() - quarantined_count().
   size_t quarantined_count() const { return quarantined_count_; }
+  /// The quarantine ceiling this buffer was configured with (resolved from
+  /// ResilienceOptions::max_quarantined_frames; 0 there = half the pool).
+  /// quarantined_count() == quarantine_cap() is the saturation signal the
+  /// service's degraded mode watches.
+  size_t quarantine_cap() const { return quarantine_cap_; }
 
   /// True if `page` previously failed terminally; fetches of it fail fast.
   bool IsBadPage(storage::PageId page) const {
@@ -531,6 +543,11 @@ class BufferManager : public FrameMetaSource, public PageSource {
     /// Recovery LSN + 1 (0 = clean): the log position when the frame first
     /// became dirty, i.e. where redo for this page would have to start.
     uint64_t rec_lsn = 0;
+    /// Consecutive failed write-back rounds (each round is one bounded
+    /// retry loop). Reset on a successful write-back; past
+    /// ResilienceOptions::max_write_retries the flusher escalates to
+    /// write-quarantine.
+    uint32_t write_failures = 0;
   };
 
   /// Cached decoded header of the resident page; valid iff `version`
@@ -575,9 +592,20 @@ class BufferManager : public FrameMetaSource, public PageSource {
   /// is hit) after a terminal read failure.
   void QuarantineFrame(FrameId frame, storage::PageId page);
 
+  /// Write-side escalation: detaches the (dirty, wal_logged) page from the
+  /// tables, pins the redo low-water mark so log truncation cannot drop the
+  /// page's only current image, remembers the page as bad, then hands the
+  /// frame to QuarantineFrame. Caller holds the latch (and, in concurrent
+  /// mode, the frame's version lock with a zero pin count).
+  void QuarantineWriteFailure(FrameId frame);
+
   /// Registers the io.* counters in the collector on first fault — lazily,
   /// so fault-free runs export exactly the metric set they always did.
   void EnsureIoObs();
+
+  /// Same lazy registration for the write-side io.* counters, kept separate
+  /// so read-fault-only runs keep their exact exported metric set.
+  void EnsureWriteObs();
 
   /// Deterministic exponential backoff with jitter before retry number
   /// `failures` (1-based); no-op when backoff_base_us is 0.
@@ -629,8 +657,13 @@ class BufferManager : public FrameMetaSource, public PageSource {
 
   /// Writes one dirty frame back to the data device, honoring the
   /// write-ahead rule when a WAL is attached (EnsureDurable for logged
-  /// frames, a forced steal commit for unlogged ones). No-op when clean.
-  Status WriteBackLocked(FrameId frame, const AccessContext& ctx);
+  /// frames, a forced steal commit for unlogged ones). Retryable device
+  /// failures are retried up to max_write_retries times with backoff.
+  /// No-op when clean. `device_write_failed`, when given, is set iff the
+  /// returned error came from the data-device write (as opposed to the WAL
+  /// half) — the distinction the flusher's quarantine escalation needs.
+  Status WriteBackLocked(FrameId frame, const AccessContext& ctx,
+                         bool* device_write_failed = nullptr);
 
   /// True when the dirty ratio exceeds the configured high watermark (the
   /// point where eviction stops deferring to the background flusher).
@@ -691,6 +724,13 @@ class BufferManager : public FrameMetaSource, public PageSource {
   obs::Counter* obs_io_mismatches_ = nullptr;
   obs::Counter* obs_io_quarantined_ = nullptr;
   obs::Counter* obs_io_permanent_ = nullptr;
+  // Write-side io.* counters, registered lazily by EnsureWriteObs.
+  obs::Counter* obs_io_write_retries_ = nullptr;
+  obs::Counter* obs_io_write_quarantined_ = nullptr;
+  // Smallest rec_lsn among write-quarantined pages (0 = none): their only
+  // current image lives in the WAL, so min_rec_lsn() — and with it fuzzy
+  // checkpoint truncation — must never advance past it.
+  uint64_t write_quarantined_rec_lsn_floor_ = 0;
   uint64_t flushed_header_decodes_ = 0;
   // --- concurrent mode (EnableConcurrency; all null/false otherwise) ---
   bool concurrent_ = false;

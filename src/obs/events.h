@@ -44,6 +44,14 @@ enum class EventKind : uint8_t {
   /// a = track << 32 | kind-specific payload, b = begin ns (tracer epoch),
   /// c = duration ns, page = page id when the span covers one page.
   kSpan,
+  /// The service entered degraded read-only mode. a = the trigger
+  /// (svc::DegradedState as an integer), b = core::StatusCode of the error
+  /// that tripped it, frame = the shard that observed the trigger.
+  kDegraded,
+  /// The background flusher backed off a persistently failing shard instead
+  /// of hot-spinning on it. frame = the shard, a = consecutive failed flush
+  /// rounds, b = harvest rounds the shard will now be skipped for.
+  kFlushBackoff,
 };
 
 /// One structured event. Plain 48-byte POD; pushing is a copy into a

@@ -21,8 +21,14 @@ DiskManager::DiskManager(size_t page_size)
                 "page must fit its header");
 }
 
-PageId DiskManager::Allocate() {
-  SDB_CHECK_MSG(pages_.size() < kInvalidPageId, "disk full");
+core::StatusOr<PageId> DiskManager::Allocate() {
+  // Disk-full is an operational condition, not a harness bug: the write
+  // path surfaces it as backpressure (New() fails, the service stays up)
+  // instead of aborting the process.
+  if (pages_.size() >= kInvalidPageId ||
+      (page_capacity_ != 0 && pages_.size() >= page_capacity_)) {
+    return core::Status::ResourceExhausted("disk full");
+  }
   auto page = std::make_unique<std::byte[]>(page_size_);
   std::memset(page.get(), 0, page_size_);
   pages_.push_back(std::move(page));

@@ -50,8 +50,16 @@ class PageDevice {
   virtual size_t page_size() const = 0;
 
   /// Appends a zeroed page and returns its id. Allocation is not counted as
-  /// I/O (the zero page materializes in the buffer).
-  virtual PageId Allocate() = 0;
+  /// I/O (the zero page materializes in the buffer). Returns
+  /// kResourceExhausted when the device is full (capacity reached or an
+  /// injected disk-full fault) and kUnimplemented on read-only devices —
+  /// callers surface the failure as backpressure instead of aborting.
+  virtual core::StatusOr<PageId> Allocate() = 0;
+
+  /// Allocate for call sites where a full disk indicates a harness bug
+  /// (index builds and tests over an unbounded simulated device): unwraps
+  /// or aborts with the error text.
+  PageId AllocateOrDie() { return Allocate().ValueOrDie(); }
 
   /// Copies a page into `out` (which must be page_size() bytes). Returns
   /// non-OK when the device could not deliver the page — kUnavailable for
@@ -81,6 +89,14 @@ class PageDevice {
     return Write(id, in);
   }
 
+  /// Makes every acknowledged Write durable ("fsync"). The in-memory
+  /// devices are trivially durable, so the default succeeds; the fault
+  /// layer overrides this to model failing fsyncs. The fsyncgate contract
+  /// for callers: after a non-OK Sync, NONE of the writes since the last
+  /// successful Sync may be assumed durable — re-write them from memory
+  /// before the next Sync, or stop claiming durability.
+  virtual core::Status Sync() { return core::Status::Ok(); }
+
   /// Number of allocated pages, when the device can tell (0 otherwise).
   /// The WAL stamps this into commit records so recovery can bound its
   /// byte-exactness check to pages that were committed.
@@ -108,9 +124,15 @@ class DiskManager : public PageDevice {
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
-  PageId Allocate() override;
+  core::StatusOr<PageId> Allocate() override;
   core::Status Read(PageId id, std::span<std::byte> out) override;
   core::Status Write(PageId id, std::span<const std::byte> in) override;
+
+  /// Artificial capacity in pages (0 = unbounded, the default): Allocate
+  /// fails with kResourceExhausted once page_count() reaches it. The
+  /// deterministic disk-full knob of the write-path fault tests.
+  void set_page_capacity(size_t pages) { page_capacity_ = pages; }
+  size_t page_capacity() const { return page_capacity_; }
 
   /// Distinct page ids touch distinct pages_/checksums_ slots, so writes to
   /// different pages need no synchronization once the shared IoStats and
@@ -163,6 +185,7 @@ class DiskManager : public PageDevice {
   std::vector<uint32_t> checksums_;
   // CRC of the all-zero page, computed once so Allocate stays O(1).
   const uint32_t zero_page_crc_;
+  size_t page_capacity_ = 0;  ///< 0 = unbounded
   IoStats stats_;
   PageId last_read_ = kInvalidPageId;
   PageId last_write_ = kInvalidPageId;

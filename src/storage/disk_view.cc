@@ -6,9 +6,9 @@
 
 namespace sdb::storage {
 
-PageId ReadOnlyDiskView::Allocate() {
-  SDB_CHECK_MSG(false, "read-only disk view cannot allocate pages");
-  return kInvalidPageId;
+core::StatusOr<PageId> ReadOnlyDiskView::Allocate() {
+  return core::Status::Unimplemented(
+      "read-only disk view cannot allocate pages");
 }
 
 core::Status ReadOnlyDiskView::Read(PageId id, std::span<std::byte> out) {
@@ -32,9 +32,14 @@ void ReadOnlyDiskView::ResetStats() {
   last_read_ = kInvalidPageId;
 }
 
-PageId WritableDiskView::Allocate() {
+core::StatusOr<PageId> WritableDiskView::Allocate() {
   std::lock_guard<std::mutex> lock(*mu_);
   return base_->Allocate();
+}
+
+core::Status WritableDiskView::Sync() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return base_->Sync();
 }
 
 core::Status WritableDiskView::Read(PageId id, std::span<std::byte> out) {

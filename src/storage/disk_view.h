@@ -18,8 +18,8 @@ namespace sdb::storage {
 /// metrics. Each replay instead wraps the manager in its own view: reads are
 /// served straight from the shared page array (which must not be mutated
 /// while views exist), while read counts and sequential-run detection are
-/// tracked per view. Write returns kUnimplemented and Allocate aborts — a
-/// replay that dirties pages is a harness bug.
+/// tracked per view. Write and Allocate return kUnimplemented — a replay
+/// that dirties pages is a harness bug, reported as a status.
 class ReadOnlyDiskView final : public PageDevice {
  public:
   explicit ReadOnlyDiskView(const DiskManager& base) : base_(&base) {}
@@ -27,7 +27,7 @@ class ReadOnlyDiskView final : public PageDevice {
   size_t page_size() const override { return base_->page_size(); }
   size_t page_count() const override { return base_->page_count(); }
 
-  PageId Allocate() override;
+  core::StatusOr<PageId> Allocate() override;
   core::Status Read(PageId id, std::span<std::byte> out) override;
   core::Status Write(PageId id, std::span<const std::byte> in) override;
 
@@ -68,9 +68,10 @@ class WritableDiskView final : public PageDevice {
     return base_->page_count();
   }
 
-  PageId Allocate() override;
+  core::StatusOr<PageId> Allocate() override;
   core::Status Read(PageId id, std::span<std::byte> out) override;
   core::Status Write(PageId id, std::span<const std::byte> in) override;
+  core::Status Sync() override;
 
   std::optional<uint32_t> PageChecksum(PageId id) const override {
     std::lock_guard<std::mutex> lock(*mu_);

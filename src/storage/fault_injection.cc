@@ -35,6 +35,9 @@ constexpr uint64_t kSaltBitFlip = 0xC3;
 constexpr uint64_t kSaltLatency = 0xD4;
 constexpr uint64_t kSaltFlipPos = 0xE5;
 constexpr uint64_t kSaltTornWrite = 0xF6;
+constexpr uint64_t kSaltWriteTransient = 0x107;
+constexpr uint64_t kSaltSyncFail = 0x218;
+constexpr uint64_t kSaltDiskFull = 0x329;
 
 }  // namespace
 
@@ -54,6 +57,14 @@ std::string_view FaultKindName(FaultKind kind) {
       return "latency";
     case FaultKind::kTornWrite:
       return "torn_write";
+    case FaultKind::kWriteTransient:
+      return "write_transient";
+    case FaultKind::kWriteBadSector:
+      return "write_bad_sector";
+    case FaultKind::kSyncFailure:
+      return "sync_failure";
+    case FaultKind::kDiskFull:
+      return "disk_full";
   }
   return "unknown";
 }
@@ -97,6 +108,15 @@ std::optional<FaultKind> ParseKind(std::string_view text) {
   return std::nullopt;
 }
 
+/// Kinds a `wsched=N:kind` entry may script; `transient`/`permanent` here
+/// mean their write-side variants.
+std::optional<FaultKind> ParseWriteKind(std::string_view text) {
+  if (text == "torn_write" || text == "torn") return FaultKind::kTornWrite;
+  if (text == "transient") return FaultKind::kWriteTransient;
+  if (text == "permanent") return FaultKind::kWriteBadSector;
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::optional<FaultProfile> FaultProfile::Parse(std::string_view spec) {
@@ -129,8 +149,23 @@ std::optional<FaultProfile> FaultProfile::Parse(std::string_view spec) {
     } else if (key == "latency_us") {
       if (!ParseU64(value, &u64)) return std::nullopt;
       profile.latency_spike_us = static_cast<uint32_t>(u64);
+    } else if (key == "wtransient") {
+      if (!ParseDouble(value, &profile.write_transient_prob)) {
+        return std::nullopt;
+      }
+    } else if (key == "sync_fail") {
+      if (!ParseDouble(value, &profile.sync_failure_prob)) return std::nullopt;
+    } else if (key == "disk_full") {
+      if (!ParseDouble(value, &profile.disk_full_prob)) return std::nullopt;
+    } else if (key == "full_after") {
+      if (!ParseU64(value, &profile.disk_full_after)) return std::nullopt;
     } else if (key == "bad") {
       if (!ParseRange(value, &profile.bad_begin, &profile.bad_end)) {
+        return std::nullopt;
+      }
+    } else if (key == "wbad") {
+      if (!ParseRange(value, &profile.write_bad_begin,
+                      &profile.write_bad_end)) {
         return std::nullopt;
       }
     } else if (key == "target") {
@@ -149,8 +184,22 @@ std::optional<FaultProfile> FaultProfile::Parse(std::string_view spec) {
       entry.kind = *kind;
       profile.schedule.push_back(entry);
     } else if (key == "wsched") {
+      const size_t colon = value.find(':');
+      ScheduledWriteFault entry;
+      if (colon == std::string_view::npos) {
+        if (!ParseU64(value, &entry.write_index)) return std::nullopt;
+      } else {
+        const auto kind = ParseWriteKind(value.substr(colon + 1));
+        if (!ParseU64(value.substr(0, colon), &entry.write_index) ||
+            !kind.has_value()) {
+          return std::nullopt;
+        }
+        entry.kind = *kind;
+      }
+      profile.write_schedule.push_back(entry);
+    } else if (key == "ssched") {
       if (!ParseU64(value, &u64)) return std::nullopt;
-      profile.write_schedule.push_back(u64);
+      profile.sync_schedule.push_back(u64);
     } else {
       return std::nullopt;
     }
@@ -245,20 +294,63 @@ core::Status FaultInjectingDevice::Read(PageId id, std::span<std::byte> out) {
   return core::Status::Ok();
 }
 
+FaultKind FaultInjectingDevice::DecideWrite(uint64_t write_index,
+                                            PageId id) const {
+  for (const ScheduledWriteFault& entry : profile_.write_schedule) {
+    if (entry.write_index == write_index) return entry.kind;
+  }
+  // Unwritable sectors are driven by the page id alone: retries cannot
+  // clear them, so the layer above must quarantine the frame.
+  if (id >= profile_.write_bad_begin && id < profile_.write_bad_end) {
+    return FaultKind::kWriteBadSector;
+  }
+  if (id < profile_.target_begin || id >= profile_.target_end) {
+    return FaultKind::kNone;
+  }
+  if (profile_.write_transient_prob > 0.0 &&
+      Draw(profile_.seed, write_index, id, kSaltWriteTransient) <
+          profile_.write_transient_prob) {
+    return FaultKind::kWriteTransient;
+  }
+  if (profile_.torn_write_prob > 0.0 &&
+      Draw(profile_.seed, write_index, id, kSaltTornWrite) <
+          profile_.torn_write_prob) {
+    return FaultKind::kTornWrite;
+  }
+  return FaultKind::kNone;
+}
+
+void FaultInjectingDevice::StashPreImage(PageId id) {
+  if (!profile_.sync_faults_enabled()) return;
+  if (id >= base_->page_count()) return;  // base will reject the write
+  for (const auto& [page, image] : presync_images_) {
+    if (page == id) return;  // keep the oldest image since the last sync
+  }
+  std::vector<std::byte> image(base_->page_size());
+  // Reads the pre-write bytes through the base device (outside clean_stats_,
+  // so the fault ledger is unperturbed; base counters only move on runs that
+  // configure sync faults).
+  if (base_->Read(id, image).ok()) {
+    presync_images_.emplace_back(id, std::move(image));
+  }
+}
+
 core::Status FaultInjectingDevice::Write(PageId id,
                                          std::span<const std::byte> in) {
   const uint64_t write_index = write_seq_++;
-  bool torn = false;
-  for (const uint64_t scheduled : profile_.write_schedule) {
-    if (scheduled == write_index) torn = true;
+  const FaultKind fault = DecideWrite(write_index, id);
+
+  if (fault == FaultKind::kWriteTransient) {
+    ++fault_stats_.write_transient_errors;
+    return core::Status::Unavailable("injected transient write error");
   }
-  if (!torn && profile_.torn_write_prob > 0.0 &&
-      id >= profile_.target_begin && id < profile_.target_end &&
-      Draw(profile_.seed, write_index, id, kSaltTornWrite) <
-          profile_.torn_write_prob) {
-    torn = true;
+  if (fault == FaultKind::kWriteBadSector) {
+    ++fault_stats_.write_permanent_errors;
+    return core::Status::PermanentFailure("injected unwritable sector");
   }
-  if (torn) {
+
+  StashPreImage(id);
+  if (fault == FaultKind::kTornWrite) {
     // The head half reaches the device, the tail half never does, and the
     // device acknowledges anyway — the silent mid-transfer crash model.
     // Nothing downstream notices until recovery walks the record checksums.
@@ -277,6 +369,51 @@ core::Status FaultInjectingDevice::Write(PageId id,
   }
   last_write_ = id;
   return core::Status::Ok();
+}
+
+core::StatusOr<PageId> FaultInjectingDevice::Allocate() {
+  const uint64_t alloc_index = alloc_seq_++;
+  if (profile_.disk_full_after > 0 &&
+      base_->page_count() >= profile_.disk_full_after) {
+    ++fault_stats_.disk_full_errors;
+    return core::Status::ResourceExhausted("injected disk full (capacity)");
+  }
+  if (profile_.disk_full_prob > 0.0 &&
+      Draw(profile_.seed, alloc_index, 0, kSaltDiskFull) <
+          profile_.disk_full_prob) {
+    ++fault_stats_.disk_full_errors;
+    return core::Status::ResourceExhausted("injected disk full");
+  }
+  return base_->Allocate();
+}
+
+core::Status FaultInjectingDevice::Sync() {
+  const uint64_t sync_index = sync_seq_++;
+  bool fail = false;
+  for (const uint64_t scheduled : profile_.sync_schedule) {
+    if (scheduled == sync_index) fail = true;
+  }
+  if (!fail && profile_.sync_failure_prob > 0.0 &&
+      Draw(profile_.seed, sync_index, 0, kSaltSyncFail) <
+          profile_.sync_failure_prob) {
+    fail = true;
+  }
+  if (fail) {
+    // fsyncgate: the failed fsync dropped every dirty page. Model it by
+    // restoring the pre-write image of each page written since the last
+    // successful Sync — a caller that retries Sync without re-writing the
+    // pages "durably persists" stale bytes, exactly the bug class the WAL
+    // must defend against.
+    ++fault_stats_.sync_failures;
+    for (const auto& [page, image] : presync_images_) {
+      (void)base_->Write(page, image);
+    }
+    presync_images_.clear();
+    return core::Status::Unavailable("injected sync failure");
+  }
+  const core::Status status = base_->Sync();
+  if (status.ok()) presync_images_.clear();
+  return status;
 }
 
 void FaultInjectingDevice::ResetStats() {

@@ -7,6 +7,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "storage/disk_manager.h"
@@ -35,6 +36,21 @@ enum class FaultKind : uint8_t {
   /// reaches the device — the mid-commit crash model for the WAL tail.
   /// Detected only later, by record checksums during recovery.
   kTornWrite,
+  /// Write fails with kUnavailable before touching the device; a retry
+  /// draws fresh randomness and will eventually succeed.
+  kWriteTransient,
+  /// Write fails with kPermanentFailure; every retry fails the same way
+  /// (bad-sector semantics, driven by the page id, not the write sequence).
+  kWriteBadSector,
+  /// Sync fails with kUnavailable AND the device reverts every page written
+  /// since the last successful Sync to its pre-write image — the fsyncgate
+  /// model: after a failed fsync the kernel may have dropped your dirty
+  /// pages, so callers must re-write from memory before claiming durability.
+  kSyncFailure,
+  /// Allocate fails with kResourceExhausted — disk-full backpressure. Not
+  /// retryable: the layer above surfaces it to the caller instead of
+  /// spinning.
+  kDiskFull,
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -45,6 +61,21 @@ std::string_view FaultKindName(FaultKind kind);
 struct ScheduledFault {
   uint64_t read_index = 0;
   FaultKind kind = FaultKind::kNone;
+};
+
+/// One scripted write-side fault at the `write_index`-th Write call. The
+/// implicit single-argument form keeps the historical `write_schedule =
+/// {index}` spelling meaning "tear this write" — the crash knob of the
+/// recovery soak — while `{index, kind}` scripts the newer write faults.
+struct ScheduledWriteFault {
+  ScheduledWriteFault() = default;
+  ScheduledWriteFault(uint64_t index)  // NOLINT(google-explicit-constructor)
+      : write_index(index) {}
+  ScheduledWriteFault(uint64_t index, FaultKind fault)
+      : write_index(index), kind(fault) {}
+
+  uint64_t write_index = 0;
+  FaultKind kind = FaultKind::kTornWrite;
 };
 
 /// Deterministic fault configuration. All probabilistic decisions are pure
@@ -64,9 +95,28 @@ struct FaultProfile {
   /// (counted but no wall-clock delay), which tests use for determinism.
   uint32_t latency_spike_us = 0;
 
+  /// Per-write probability of a transient write error (kWriteTransient),
+  /// keyed on (seed, write sequence, page id) — retries re-draw.
+  double write_transient_prob = 0.0;
+  /// Per-sync probability of an fsyncgate failure (kSyncFailure), keyed on
+  /// (seed, sync sequence).
+  double sync_failure_prob = 0.0;
+  /// Per-allocate probability of injected disk-full (kDiskFull), keyed on
+  /// (seed, allocate sequence).
+  double disk_full_prob = 0.0;
+  /// Hard capacity: once the base device holds this many pages, every
+  /// Allocate fails with kResourceExhausted (0 = unbounded). The
+  /// deterministic "disk fills up mid-run" knob.
+  uint64_t disk_full_after = 0;
+
   /// Pages in [bad_begin, bad_end) are permanently unreadable bad sectors.
   PageId bad_begin = 0;
   PageId bad_end = 0;
+
+  /// Pages in [write_bad_begin, write_bad_end) are permanently unwritable
+  /// bad sectors (kWriteBadSector); reads of them still succeed.
+  PageId write_bad_begin = 0;
+  PageId write_bad_end = 0;
 
   /// Probabilistic faults apply only to pages in [target_begin, target_end).
   /// Default targets every page.
@@ -76,26 +126,43 @@ struct FaultProfile {
   /// Exact overrides by read index; checked before the probabilistic draws.
   std::vector<ScheduledFault> schedule;
 
-  /// Exact torn-write overrides by *write* index (0-based, counted across
-  /// all Write calls). The seeded "crash here" knob of the recovery soak:
-  /// pointing one at the WAL tail tears a commit mid-flush, replayably.
-  std::vector<uint64_t> write_schedule;
+  /// Exact overrides by *write* index (0-based, counted across all Write
+  /// calls); default kind is kTornWrite. The seeded "crash here" knob of
+  /// the recovery soak: pointing one at the WAL tail tears a commit
+  /// mid-flush, replayably.
+  std::vector<ScheduledWriteFault> write_schedule;
+
+  /// Exact sync-failure overrides by *Sync* index (0-based): the scripted
+  /// "this fsync lies" knob of the fsyncgate tests.
+  std::vector<uint64_t> sync_schedule;
 
   /// A profile with every probability 0, no bad range and no schedule
   /// injects nothing (the wrapper then only forwards).
   bool enabled() const {
     return transient_prob > 0.0 || torn_read_prob > 0.0 ||
            torn_write_prob > 0.0 || bit_flip_prob > 0.0 ||
-           latency_spike_prob > 0.0 || bad_end > bad_begin ||
-           !schedule.empty() || !write_schedule.empty();
+           latency_spike_prob > 0.0 || write_transient_prob > 0.0 ||
+           sync_failure_prob > 0.0 || disk_full_prob > 0.0 ||
+           disk_full_after > 0 || bad_end > bad_begin ||
+           write_bad_end > write_bad_begin || !schedule.empty() ||
+           !write_schedule.empty() || !sync_schedule.empty();
+  }
+
+  /// True when the profile can fail a Sync — the wrapper then stashes
+  /// pre-write images so an injected sync failure can drop them.
+  bool sync_faults_enabled() const {
+    return sync_failure_prob > 0.0 || !sync_schedule.empty();
   }
 
   /// Parses a comma-separated spec, e.g.
   ///   "seed=7,transient=0.01,bitflip=0.001,torn=0.001,torn_write=0.001,
-  ///    latency=0.05,latency_us=200,bad=18-20,target=0-4096,
-  ///    sched=12:transient,wsched=3"
-  /// (`sched=`/`wsched=` may repeat). Returns nullopt on a malformed spec.
-  /// This is the format of the SDB_FAULT_PROFILE env knob.
+  ///    wtransient=0.01,sync_fail=0.001,disk_full=0.0001,full_after=4096,
+  ///    latency=0.05,latency_us=200,bad=18-20,wbad=30-32,target=0-4096,
+  ///    sched=12:transient,wsched=3,wsched=9:transient,ssched=2"
+  /// (`sched=`/`wsched=`/`ssched=` may repeat; `wsched=N` defaults to a
+  /// torn write, `wsched=N:kind` scripts transient/permanent write faults).
+  /// Returns nullopt on a malformed spec. This is the format of the
+  /// SDB_FAULT_PROFILE env knob.
   static std::optional<FaultProfile> Parse(std::string_view spec);
 };
 
@@ -109,23 +176,39 @@ struct FaultStats {
   uint64_t torn_writes = 0;
   uint64_t bit_flips = 0;
   uint64_t latency_spikes = 0;
+  uint64_t write_transient_errors = 0;
+  uint64_t write_permanent_errors = 0;
+  uint64_t sync_failures = 0;
+  uint64_t disk_full_errors = 0;
 
-  /// Data faults only; latency spikes return correct data.
+  /// Read-side data faults only; latency spikes return correct data.
   uint64_t injected() const {
     return transient_errors + permanent_errors + torn_reads + bit_flips;
   }
+
+  /// Write-side injections: every one must show up downstream as a WAL
+  /// retry, a write-quarantine, a degraded-mode entry, or a reported
+  /// commit/New failure — never as silent loss.
+  uint64_t write_injected() const {
+    return write_transient_errors + write_permanent_errors + torn_writes +
+           sync_failures + disk_full_errors;
+  }
 };
 
-/// PageDevice decorator that injects deterministic seeded faults into reads.
+/// PageDevice decorator that injects deterministic seeded faults into both
+/// halves of the I/O path.
 ///
-/// Wraps any device; Write/Allocate forward untouched (the fault model is
-/// read-side). Read consults the scripted schedule, then the bad-sector
-/// range, then per-kind probability draws keyed on (seed, read sequence,
-/// page id) — retries of the same page are fresh draws, so transient faults
-/// clear, while bad sectors fail forever.
+/// Read consults the scripted schedule, then the bad-sector range, then
+/// per-kind probability draws keyed on (seed, read sequence, page id) —
+/// retries of the same page are fresh draws, so transient faults clear,
+/// while bad sectors fail forever. Write mirrors that structure with its own
+/// schedule, bad range and draws (torn, transient, permanent), Allocate can
+/// inject disk-full, and Sync can fail fsyncgate-style: pages written since
+/// the last successful Sync revert to their pre-write images, exactly as if
+/// the kernel dropped the dirty pages on the failed fsync.
 ///
-/// stats() reports *clean* I/O only: reads that returned correct data,
-/// with sequential-run detection over that clean sequence. When every
+/// stats() reports *clean* I/O only: reads/writes that transferred correct
+/// data, with sequential-run detection over that clean sequence. When every
 /// injected fault is recovered by the layer above, these counters are
 /// bit-identical to the same run over the bare device — the paper's
 /// disk-access metric is not perturbed by retry traffic. Attempt counts and
@@ -137,10 +220,11 @@ class FaultInjectingDevice final : public PageDevice {
       : base_(&base), profile_(std::move(profile)) {}
 
   size_t page_size() const override { return base_->page_size(); }
-  PageId Allocate() override { return base_->Allocate(); }
+  core::StatusOr<PageId> Allocate() override;
 
   core::Status Read(PageId id, std::span<std::byte> out) override;
   core::Status Write(PageId id, std::span<const std::byte> in) override;
+  core::Status Sync() override;
 
   size_t page_count() const override { return base_->page_count(); }
 
@@ -155,13 +239,19 @@ class FaultInjectingDevice final : public PageDevice {
   const FaultStats& fault_stats() const { return fault_stats_; }
   /// Total Read calls, including faulted attempts.
   uint64_t reads_attempted() const { return read_seq_; }
-  /// Total Write calls, including torn ones.
+  /// Total Write calls, including faulted/torn ones.
   uint64_t writes_attempted() const { return write_seq_; }
+  /// Total Sync calls, including failed ones.
+  uint64_t syncs_attempted() const { return sync_seq_; }
+  /// Total Allocate calls, including disk-full rejections.
+  uint64_t allocs_attempted() const { return alloc_seq_; }
 
   const FaultProfile& profile() const { return profile_; }
 
  private:
   FaultKind Decide(uint64_t read_index, PageId id) const;
+  FaultKind DecideWrite(uint64_t write_index, PageId id) const;
+  void StashPreImage(PageId id);
 
   PageDevice* base_;
   FaultProfile profile_;
@@ -171,6 +261,12 @@ class FaultInjectingDevice final : public PageDevice {
   PageId last_write_ = kInvalidPageId;
   uint64_t read_seq_ = 0;
   uint64_t write_seq_ = 0;
+  uint64_t sync_seq_ = 0;
+  uint64_t alloc_seq_ = 0;
+  /// Pre-write image of every page first written since the last successful
+  /// Sync, kept only when the profile can fail syncs. An injected sync
+  /// failure writes these back — the dirty pages the kernel "dropped".
+  std::vector<std::pair<PageId, std::vector<std::byte>>> presync_images_;
 };
 
 }  // namespace sdb::storage

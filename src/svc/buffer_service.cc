@@ -234,11 +234,21 @@ core::StatusOr<core::PageHandle> BufferService::New(
     return core::Status::Unimplemented(
         "BufferService is read-only: New() is not served");
   }
+  if (degraded()) {
+    return core::Status::Unavailable(
+        "service degraded: read-only mode, New() refused");
+  }
   // Allocate on the shared device first — the page id decides the shard.
+  // A failed allocation (disk full) is backpressure, not degradation: the
+  // caller may free space or retry later, and commits of existing pages
+  // keep working.
   storage::PageId page;
   {
     const std::lock_guard<std::mutex> device_lock(device_mu_);
-    page = writable_disk_->Allocate();
+    const core::StatusOr<storage::PageId> allocated =
+        writable_disk_->Allocate();
+    if (!allocated.ok()) return allocated.status();
+    page = *allocated;
   }
   Shard& shard = *shards_[ShardOf(page)];
   obs::ScopedSpan span(ctx.span, obs::SpanKind::kShardFetch);
@@ -252,6 +262,10 @@ core::Status BufferService::Commit(const core::AccessContext& ctx) {
   if (wal_ == nullptr) {
     return core::Status::Unimplemented(
         "BufferService is read-only: nothing to commit");
+  }
+  if (degraded()) {
+    return core::Status::Unavailable(
+        "service degraded: read-only mode, Commit() refused");
   }
   // All shard latches, in index order (the service-wide lock order), so the
   // gathered images are a consistent cross-shard snapshot and stay frozen
@@ -272,7 +286,15 @@ core::Status BufferService::Commit(const core::AccessContext& ctx) {
     page_count = writable_disk_->page_count();
   }
   core::StatusOr<wal::Lsn> end = wal_->CommitPages(images, page_count, ctx);
-  if (!end.ok()) return end.status();
+  if (!end.ok()) {
+    // A commit can fail transiently (shutdown race); only a sticky WAL
+    // error — durability is gone for good — trips degraded mode. All shard
+    // latches are held here, satisfying EnterDegraded's contract.
+    if (!wal_->sticky_error().ok()) {
+      EnterDegraded(DegradedState::kWalError, 0, end.status().code());
+    }
+    return end.status();
+  }
   for (size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->buffer->MarkFramesCommitted(frames[s], *end);
   }
@@ -311,10 +333,23 @@ core::Status BufferService::Checkpoint(const core::AccessContext& ctx) {
     }
     core::StatusOr<wal::Lsn> end =
         wal_->AppendCheckpoint(page_count, ctx, redo);
-    if (!end.ok()) return end.status();
+    if (!end.ok()) {
+      if (!wal_->sticky_error().ok()) {
+        const std::unique_lock<std::mutex> lock = LockShard(*shards_[0]);
+        EnterDegraded(DegradedState::kWalError, 0, end.status().code());
+      }
+      return end.status();
+    }
     // The checkpoint record is durable, so every record below its carried
     // horizon is dead — whole segments of it may be reclaimed.
-    if (truncate_wal_) return wal_->TruncateBelow(redo);
+    if (truncate_wal_) {
+      core::Status truncated = wal_->TruncateBelow(redo);
+      if (!truncated.ok() && !wal_->sticky_error().ok()) {
+        const std::unique_lock<std::mutex> lock = LockShard(*shards_[0]);
+        EnterDegraded(DegradedState::kWalError, 0, truncated.code());
+      }
+      return truncated;
+    }
     return core::Status::Ok();
   }
   std::vector<std::unique_lock<std::mutex>> locks;
@@ -336,7 +371,15 @@ core::Status BufferService::Checkpoint(const core::AccessContext& ctx) {
     page_count = writable_disk_->page_count();
   }
   core::StatusOr<wal::Lsn> end = wal_->AppendCheckpoint(page_count, ctx);
-  return end.ok() ? core::Status::Ok() : end.status();
+  if (!end.ok()) {
+    // Every shard latch is still held (`locks` above), so EnterDegraded's
+    // collector access is covered.
+    if (!wal_->sticky_error().ok()) {
+      EnterDegraded(DegradedState::kWalError, 0, end.status().code());
+    }
+    return end.status();
+  }
+  return core::Status::Ok();
 }
 
 core::StatusOr<size_t> BufferService::FlushShardBatch(
@@ -346,6 +389,14 @@ core::StatusOr<size_t> BufferService::FlushShardBatch(
   core::BufferManager& buffer = *shard.buffer;
   const core::WritebackOptions& writeback = buffer.writeback_options();
   if (!writeback.enabled) return size_t{0};
+  if (wal_ != nullptr && !wal_->sticky_error().ok()) {
+    // The write-ahead rule makes every flush of a logged page wait on WAL
+    // durability, which a sticky log can never grant: flushing now would
+    // just spin each candidate through EnsureDurable failures. Park the
+    // dirty set — it is the only current copy of that data.
+    EnterDegraded(DegradedState::kWalError, s, wal_->sticky_error().code());
+    return size_t{0};
+  }
   const size_t usable = buffer.frame_count() - buffer.quarantined_count();
   if (usable == 0) return size_t{0};
   const double ratio =
@@ -359,6 +410,14 @@ core::StatusOr<size_t> BufferService::FlushShardBatch(
   if (harvested == 0) return size_t{0};
   core::StatusOr<size_t> flushed = buffer.FlushFrames(candidates, ctx);
   if (flushed.ok()) span.set_payload(*flushed);
+  // FlushFrames may have escalated persistent write failures to frame
+  // quarantine; when that exhausts the shard's quarantine budget the write
+  // path has lost the race against the device for good.
+  if (buffer.quarantine_cap() > 0 &&
+      buffer.quarantined_count() >= buffer.quarantine_cap()) {
+    EnterDegraded(DegradedState::kQuarantineSaturated, s,
+                  core::StatusCode::kPermanentFailure);
+  }
   return flushed;
 }
 
@@ -393,6 +452,8 @@ ShardStats BufferService::StatsOfShard(size_t s) const {
     stats.batch_submits = async->stats().batch_submits;
     stats.async_reads = async->stats().completed;
   }
+  stats.degraded = static_cast<uint64_t>(degraded_state());
+  stats.degraded_entries = degraded_entries();
   return stats;
 }
 
@@ -412,6 +473,8 @@ ShardStats BufferService::AggregateStats() const {
     total.buffer.io_recovered_reads += one.buffer.io_recovered_reads;
     total.buffer.io_permanent_failures += one.buffer.io_permanent_failures;
     total.buffer.io_quarantined_frames += one.buffer.io_quarantined_frames;
+    total.buffer.io_write_retries += one.buffer.io_write_retries;
+    total.buffer.io_write_quarantined += one.buffer.io_write_quarantined;
     total.io.reads += one.io.reads;
     total.io.writes += one.io.writes;
     total.io.sequential_reads += one.io.sequential_reads;
@@ -427,6 +490,9 @@ ShardStats BufferService::AggregateStats() const {
     total.batch_submits += one.batch_submits;
     total.async_reads += one.async_reads;
   }
+  // Service-level, not per-shard: copied rather than summed.
+  total.degraded = static_cast<uint64_t>(degraded_state());
+  total.degraded_entries = degraded_entries();
   return total;
 }
 
@@ -439,10 +505,50 @@ storage::FaultStats BufferService::AggregateFaultStats() const {
     total.transient_errors += one.transient_errors;
     total.permanent_errors += one.permanent_errors;
     total.torn_reads += one.torn_reads;
+    total.torn_writes += one.torn_writes;
     total.bit_flips += one.bit_flips;
     total.latency_spikes += one.latency_spikes;
+    total.write_transient_errors += one.write_transient_errors;
+    total.write_permanent_errors += one.write_permanent_errors;
+    total.sync_failures += one.sync_failures;
+    total.disk_full_errors += one.disk_full_errors;
   }
   return total;
+}
+
+void BufferService::EnterDegraded(DegradedState why, size_t s,
+                                  core::StatusCode code) {
+  uint8_t expected = static_cast<uint8_t>(DegradedState::kHealthy);
+  if (!degraded_.compare_exchange_strong(expected, static_cast<uint8_t>(why),
+                                         std::memory_order_acq_rel)) {
+    return;  // already degraded; the first trigger named the cause
+  }
+  degraded_entries_.fetch_add(1, std::memory_order_relaxed);
+  obs::Collector* collector = shards_[s]->collector.get();
+  if (!collect_metrics_ || collector == nullptr) return;
+  // Registered here, not up front: a healthy run's exported metric set
+  // must not change just because degraded mode exists.
+  collector->metrics().GetCounter("wal.degraded_entries")->Add();
+  obs::Event event;
+  event.kind = obs::EventKind::kDegraded;
+  event.frame = static_cast<uint32_t>(s);
+  event.a = static_cast<uint64_t>(why);
+  event.b = static_cast<uint64_t>(code);
+  collector->events().Push(event);
+}
+
+void BufferService::NoteFlushBackoff(size_t shard, uint64_t consecutive_errors,
+                                     uint64_t skip_rounds) {
+  if (!collect_metrics_) return;
+  Shard& s = *shards_[shard];
+  if (s.collector == nullptr) return;
+  const std::unique_lock<std::mutex> lock = LockShard(s);
+  obs::Event event;
+  event.kind = obs::EventKind::kFlushBackoff;
+  event.frame = static_cast<uint32_t>(shard);
+  event.a = consecutive_errors;
+  event.b = skip_rounds;
+  s.collector->events().Push(event);
 }
 
 size_t BufferService::shared_candidate() const {
@@ -544,6 +650,24 @@ std::string BufferService::StatsText() {
     registry.GetCounter("svc.disk_reads")->Add(stats.io.reads);
     registry.GetCounter("io.quarantined_frames")
         ->Add(stats.quarantined_frames);
+    // Write-path series, synthesized only once they have something to say
+    // (healthy read-only runs keep their exact exposition).
+    if (stats.buffer.io_write_retries > 0) {
+      registry.GetCounter("io.write_retries")
+          ->Add(stats.buffer.io_write_retries);
+    }
+    if (stats.buffer.io_write_quarantined > 0) {
+      registry.GetCounter("io.write_quarantined")
+          ->Add(stats.buffer.io_write_quarantined);
+    }
+    if (wal_ != nullptr && wal_->stats().write_retries > 0) {
+      registry.GetCounter("wal.write_retries")
+          ->Add(wal_->stats().write_retries);
+    }
+    if (stats.degraded_entries > 0) {
+      registry.GetCounter("wal.degraded_entries")
+          ->Add(stats.degraded_entries);
+    }
   }
   registry.GetGauge("svc.shards")
       ->Set(static_cast<double>(shards_.size()));
@@ -552,6 +676,12 @@ std::string BufferService::StatsText() {
   if (asb_shared_) {
     registry.GetGauge("svc.shared_candidate")
         ->Set(static_cast<double>(shared_candidate()));
+  }
+  // The degraded gauge appears only once the service has degraded: a
+  // healthy run's exposition stays byte-identical to the pre-fault builds.
+  if (degraded()) {
+    registry.GetGauge("svc.degraded")
+        ->Set(static_cast<double>(degraded_state()));
   }
   return obs::PrometheusText(registry.Snapshot());
 }

@@ -34,6 +34,24 @@ enum class LatchMode : uint8_t {
   kOptimistic,
 };
 
+/// Health of the whole service's write path. The service degrades instead
+/// of dying: once a write-side failure survives every retry budget below it
+/// (WAL sticky error) or quarantine eats the last spare frame of a shard,
+/// New/Commit/Checkpoint return kUnavailable while the read path keeps
+/// serving every page it can. Degradation is one-way for the life of the
+/// process — the data needed to leave it safely (the unflushed WAL tail,
+/// the quarantined frames' images) is exactly what the trigger proved the
+/// device cannot persist.
+enum class DegradedState : uint8_t {
+  kHealthy = 0,
+  /// The WAL hit a terminal device failure: nothing can be made durable,
+  /// so nothing new may be acknowledged.
+  kWalError,
+  /// A shard's write-quarantine hit its cap: frames are leaving service
+  /// faster than the device accepts pages back.
+  kQuarantineSaturated,
+};
+
 /// Construction knobs of a BufferService.
 struct BufferServiceConfig {
   /// Logical buffer capacity in frames, split over the shards (every shard
@@ -133,6 +151,12 @@ struct ShardStats {
   /// (zero when async reads are off).
   uint64_t batch_submits = 0;
   uint64_t async_reads = 0;
+  /// Service-wide degraded-mode accounting, mirrored into every shard's
+  /// stats (degradation is a service property, not a shard one):
+  /// the current DegradedState as an integer and how many times the
+  /// service has entered degraded mode (0 or 1 today — one-way).
+  uint64_t degraded = 0;
+  uint64_t degraded_entries = 0;
 };
 
 /// Thread-safe shared buffer: one logical pool sharded across N
@@ -238,6 +262,23 @@ class BufferService final : public core::PageSource {
   /// True when the service was constructed writable.
   bool writable() const { return writable_disk_ != nullptr; }
   wal::WalManager* wal() const { return wal_; }
+
+  /// Write-path health (see DegradedState). Lock-free reads; safe from any
+  /// thread.
+  DegradedState degraded_state() const {
+    return static_cast<DegradedState>(
+        degraded_.load(std::memory_order_acquire));
+  }
+  bool degraded() const { return degraded_state() != DegradedState::kHealthy; }
+  uint64_t degraded_entries() const {
+    return degraded_entries_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by the FlushCoordinator when it backs off a persistently
+  /// failing shard: records a kFlushBackoff event in the shard's collector
+  /// (takes the shard latch; no-op without metrics).
+  void NoteFlushBackoff(size_t shard, uint64_t consecutive_errors,
+                        uint64_t skip_rounds);
 
   /// Buffered image of a resident page. Quiescent use only — the returned
   /// span is unprotected against concurrent eviction.
@@ -351,6 +392,12 @@ class BufferService final : public core::PageSource {
   /// already taken by the caller).
   void FlushShardLocked(Shard& shard);
 
+  /// One-way transition into degraded read-only mode: first trigger wins
+  /// (CAS from kHealthy), records the wal.degraded_entries counter and a
+  /// kDegraded event in shard `s`'s collector. The caller must hold shard
+  /// `s`'s latch (collector access). Idempotent once degraded.
+  void EnterDegraded(DegradedState why, size_t s, core::StatusCode code);
+
   size_t total_frames_ = 0;
   // Write mode (both null on a read-only service). The device mutex
   // serializes every shard's view over the one mutable DiskManager.
@@ -364,6 +411,11 @@ class BufferService final : public core::PageSource {
   bool fuzzy_checkpoints_ = false;
   bool truncate_wal_ = false;
   core::AsbSharedTuning asb_tuning_;
+  /// DegradedState of the write path, stored widened so the CAS in
+  /// EnterDegraded stays on a plain integer. kHealthy until the first
+  /// terminal write-path failure; never goes back.
+  std::atomic<uint8_t> degraded_{0};
+  std::atomic<uint64_t> degraded_entries_{0};
   // unique_ptr elements: Shard holds a mutex and atomics (immovable), and
   // handles outstanding anywhere keep raw pointers into the shard.
   std::vector<std::unique_ptr<Shard>> shards_;

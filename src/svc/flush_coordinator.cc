@@ -1,6 +1,8 @@
 #include "svc/flush_coordinator.h"
 
+#include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "common/macros.h"
 #include "svc/buffer_service.h"
@@ -47,6 +49,11 @@ FlushCoordinatorStats FlushCoordinator::stats() const {
 void FlushCoordinator::WorkerLoop(size_t worker) {
   const core::AccessContext ctx;  // background traffic: query id 0
   uint64_t seen_nudges = 0;
+  // Per-shard failure state, worker-local: shards are owned round-robin, so
+  // no other worker ever touches these slots. A persistently failing shard
+  // backs off exponentially instead of burning a core against its device.
+  std::vector<uint64_t> consecutive_errors(service_->shard_count(), 0);
+  std::vector<uint64_t> skip_rounds(service_->shard_count(), 0);
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -66,16 +73,41 @@ void FlushCoordinator::WorkerLoop(size_t worker) {
       saturated = false;
       for (size_t s = worker; s < service_->shard_count();
            s += options_.threads) {
+        if (skip_rounds[s] > 0) {
+          --skip_rounds[s];
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.backoff_skips;
+          continue;
+        }
         const core::StatusOr<size_t> flushed =
             service_->FlushShardBatch(s, options_.batch_pages, ctx);
-        std::lock_guard<std::mutex> lock(mu_);
         if (!flushed.ok()) {
           // The shard keeps its dirty frames (FlushFrames failed mid-batch
           // leaves unflushed candidates dirty); eviction's synchronous
-          // fallback still guards correctness, so record and move on.
-          ++stats_.flush_errors;
+          // fallback still guards correctness, so record, back off the
+          // shard if it keeps failing, and move on.
+          ++consecutive_errors[s];
+          uint64_t backoff = 0;
+          if (consecutive_errors[s] > options_.max_consecutive_errors) {
+            const uint64_t over =
+                consecutive_errors[s] - options_.max_consecutive_errors;
+            backoff = over >= 63 ? options_.max_backoff_rounds
+                                 : std::min<uint64_t>(
+                                       uint64_t{1} << over,
+                                       options_.max_backoff_rounds);
+            skip_rounds[s] = backoff;
+          }
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.flush_errors;
+          }
+          if (backoff > 0) {
+            service_->NoteFlushBackoff(s, consecutive_errors[s], backoff);
+          }
           continue;
         }
+        consecutive_errors[s] = 0;
+        std::lock_guard<std::mutex> lock(mu_);
         if (*flushed > 0) {
           ++stats_.harvest_rounds;
           stats_.pages_flushed += *flushed;

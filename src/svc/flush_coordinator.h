@@ -25,6 +25,13 @@ struct FlushCoordinatorOptions {
   /// Pages harvested per shard per round. Bounds how long one round holds
   /// a shard latch; a capped round simply re-runs without waiting.
   size_t batch_pages = 16;
+  /// Failed rounds in a row on one shard before the worker starts skipping
+  /// it instead of hot-spinning its failing device: after the threshold the
+  /// shard sits out 2, 4, 8, ... rounds (doubling per further failure, flat
+  /// at max_backoff_rounds). Any successful round resets the shard to full
+  /// cadence. 0 backs off on the first failure.
+  uint32_t max_consecutive_errors = 3;
+  uint64_t max_backoff_rounds = 64;
 };
 
 /// Aggregate counters of one coordinator (sampled under its mutex).
@@ -33,6 +40,7 @@ struct FlushCoordinatorStats {
   uint64_t harvest_rounds = 0;  ///< per-shard rounds that harvested anything
   uint64_t wakeups = 0;         ///< worker wakeups (nudges + idle timer)
   uint64_t flush_errors = 0;    ///< rounds abandoned on a device error
+  uint64_t backoff_skips = 0;   ///< rounds a backed-off shard sat out
 };
 
 /// Background write-back pump of a writable BufferService: N threads that

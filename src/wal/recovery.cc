@@ -162,7 +162,10 @@ core::StatusOr<RecoveryResult> Recover(storage::PageDevice& log,
       // Serial replay, page allocation interleaved with the writes —
       // byte-for-byte (and stats-for-stats) the single-threaded path.
       for (const ReplayImage& image : images) {
-        while (data.page_count() <= image.page) data.Allocate();
+        while (data.page_count() <= image.page) {
+          const core::StatusOr<storage::PageId> allocated = data.Allocate();
+          if (!allocated.ok()) return allocated.status();
+        }
         const core::Status status = data.Write(image.page, image.bytes);
         if (!status.ok()) return status;
         ++result.replayed_pages;
@@ -177,7 +180,10 @@ core::StatusOr<RecoveryResult> Recover(storage::PageDevice& log,
       for (const ReplayImage& image : images) {
         max_page = std::max(max_page, image.page);
       }
-      while (data.page_count() <= max_page) data.Allocate();
+      while (data.page_count() <= max_page) {
+        const core::StatusOr<storage::PageId> allocated = data.Allocate();
+        if (!allocated.ok()) return allocated.status();
+      }
       std::vector<core::Status> statuses(workers, core::Status::Ok());
       std::vector<uint64_t> replayed(workers, 0);
       std::vector<std::thread> pool;

@@ -3,11 +3,22 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/macros.h"
 #include "obs/trace.h"
 
 namespace sdb::wal {
+
+namespace {
+/// splitmix64 finalizer, for the deterministic retry-backoff jitter.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
 
 std::string_view RecordTypeName(RecordType type) {
   switch (type) {
@@ -111,26 +122,46 @@ void WalManager::Flush() {
   const size_t page_count = (block.size() + page_size_ - 1) / page_size_;
   const storage::PageId first_page =
       static_cast<storage::PageId>(flush_begin / page_size_);
-  while (device_->page_count() < first_page + page_count) {
-    device_->Allocate();
+
+  // Whole-attempt retry loop. Each attempt rewrites EVERY page of the block
+  // and then syncs: after a failed sync the device may have dropped any page
+  // written since the last successful one (fsyncgate), so resuming from the
+  // page that errored — or re-syncing without rewriting — could persist a
+  // hole while claiming durability.
+  core::Status status = core::Status::Ok();
+  uint32_t retries = 0;
+  for (uint32_t attempt = 0;; ++attempt) {
+    status = WriteBlockAndSync(first_page, page_count, block);
+    if (status.ok()) break;
+    if (!status.retryable() || attempt >= options_.max_flush_retries) break;
+    ++retries;
+    BackoffBeforeRetry(attempt);
   }
-  std::vector<std::byte> image(page_size_);
-  for (size_t p = 0; p < page_count; ++p) {
-    const size_t offset = p * page_size_;
-    const size_t n = std::min(page_size_, block.size() - offset);
-    std::memcpy(image.data(), block.data() + offset, n);
-    std::memset(image.data() + n, 0, page_size_ - n);
-    const core::Status status =
-        device_->Write(static_cast<storage::PageId>(first_page + p), image);
-    if (!status.ok()) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        sticky_error_ = status;
+
+  if (!status.ok()) {
+    // Terminal: restore the claimed bytes to the front of the tail so the
+    // invariant "tail_ holds exactly [durable_lsn_, next_lsn_)" survives —
+    // the in-memory tail stays the single source of truth for what was
+    // never acknowledged. Then go sticky and wake everyone: committers and
+    // EnsureDurable callers return the error instead of hanging, and the
+    // writer thread parks until shutdown.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tail_.insert(tail_.begin(), chunk.begin(), chunk.end());
+      sticky_error_ = status;
+      stats_.write_retries += retries;
+      if (retries > 0 && collector_ != nullptr) {
+        if (write_retries_metric_ == nullptr) {
+          write_retries_metric_ =
+              collector_->metrics().GetCounter("wal.write_retries");
+        }
+        write_retries_metric_->Add(retries);
       }
-      durable_cv_.notify_all();
-      space_cv_.notify_all();
-      return;
     }
+    durable_cv_.notify_all();
+    space_cv_.notify_all();
+    writer_cv_.notify_all();
+    return;
   }
 
   partial_.assign(block.end() - (block.size() % page_size_), block.end());
@@ -140,6 +171,14 @@ void WalManager::Flush() {
     durable_lsn_ += chunk.size();
     ++stats_.fsyncs;
     if (fsyncs_metric_ != nullptr) fsyncs_metric_->Add();
+    stats_.write_retries += retries;
+    if (retries > 0 && collector_ != nullptr) {
+      if (write_retries_metric_ == nullptr) {
+        write_retries_metric_ =
+            collector_->metrics().GetCounter("wal.write_retries");
+      }
+      write_retries_metric_->Add(retries);
+    }
     if (covered > 0) {
       stats_.grouped_commits += covered;
       if (group_size_metric_ != nullptr) {
@@ -150,6 +189,41 @@ void WalManager::Flush() {
   }
   if (covered > 0) space_cv_.notify_all();
   durable_cv_.notify_all();
+}
+
+core::Status WalManager::WriteBlockAndSync(storage::PageId first_page,
+                                           size_t page_count,
+                                           std::span<const std::byte> block) {
+  while (device_->page_count() < first_page + page_count) {
+    const core::StatusOr<storage::PageId> page = device_->Allocate();
+    // A full log device is terminal, not retryable: surface it unchanged so
+    // the flush goes sticky and the service degrades.
+    if (!page.ok()) return page.status();
+  }
+  std::vector<std::byte> image(page_size_);
+  for (size_t p = 0; p < page_count; ++p) {
+    const size_t offset = p * page_size_;
+    const size_t n = std::min(page_size_, block.size() - offset);
+    std::memcpy(image.data(), block.data() + offset, n);
+    std::memset(image.data() + n, 0, page_size_ - n);
+    const core::Status status =
+        device_->Write(static_cast<storage::PageId>(first_page + p), image);
+    if (!status.ok()) return status;
+  }
+  // Durability is claimed only after the sync reports success; the caller
+  // publishes durable_lsn_ strictly after this returns Ok.
+  return device_->Sync();
+}
+
+void WalManager::BackoffBeforeRetry(uint32_t failures) const {
+  if (options_.retry_backoff_us == 0) return;
+  const uint64_t exp = std::min<uint32_t>(failures, 6);
+  const uint64_t ceiling = static_cast<uint64_t>(options_.retry_backoff_us)
+                           << exp;
+  const uint64_t jitter =
+      Mix64(options_.retry_backoff_seed ^ Mix64(failures + 1)) %
+      (options_.retry_backoff_us / 2 + 1);
+  std::this_thread::sleep_for(std::chrono::microseconds(ceiling + jitter));
 }
 
 core::Status WalManager::TruncateBelow(Lsn lsn) {
@@ -172,7 +246,22 @@ core::Status WalManager::TruncateBelow(Lsn lsn) {
   const auto first = static_cast<storage::PageId>(truncated_lsn_ / page_size_);
   const auto last = static_cast<storage::PageId>(target / page_size_);
   for (storage::PageId p = first; p < last; ++p) {
-    const core::Status status = device_->Write(p, zero);
+    // Transient zeroing failures retry with the flush backoff policy; only
+    // a persistent failure turns sticky. (Losing a zeroing write in a crash
+    // is harmless — recovery just replays records the checkpoint already
+    // covered — but a device that cannot be written at all is the same
+    // terminal condition a failed flush is.)
+    core::Status status = core::Status::Ok();
+    for (uint32_t attempt = 0;; ++attempt) {
+      status = device_->Write(p, zero);
+      if (status.ok()) break;
+      if (!status.retryable() || attempt >= options_.max_flush_retries) break;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.write_retries;
+      }
+      BackoffBeforeRetry(attempt);
+    }
     if (!status.ok()) {
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -180,6 +269,7 @@ core::Status WalManager::TruncateBelow(Lsn lsn) {
       }
       durable_cv_.notify_all();
       space_cv_.notify_all();
+      writer_cv_.notify_all();
       return status;
     }
   }
@@ -194,7 +284,10 @@ void WalManager::WriterLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     writer_cv_.wait(lock, [this] {
-      return stop_ || pending_commits_ > 0 || urgent_flush_;
+      // Once the log is sticky there is nothing useful to flush: park until
+      // shutdown instead of hot-spinning on the undrainable commit queue.
+      return stop_ ||
+             ((pending_commits_ > 0 || urgent_flush_) && sticky_error_.ok());
     });
     if (stop_) return;
     if (options_.group_window_us > 0 && !urgent_flush_) {
@@ -260,8 +353,12 @@ core::StatusOr<Lsn> WalManager::CommitPages(
     if (!sticky_error_.ok()) return sticky_error_;
     // Our record was in the tail when Flush was called, and every flush
     // claims the whole tail — so whichever flusher won the file latch
-    // first, the prefix through `end` is durable by now.
-    SDB_CHECK(durable_lsn_ >= end);
+    // first, the prefix through `end` is durable by now unless the log
+    // went sticky (checked above). Report, never abort: a short durable
+    // horizon here is a failed commit, not a harness bug.
+    if (durable_lsn_ < end) {
+      return core::Status::Unavailable("wal flush fell short of commit");
+    }
     return end;
   }
 
@@ -303,7 +400,9 @@ core::StatusOr<Lsn> WalManager::AppendCheckpoint(
   Flush();
   std::lock_guard<std::mutex> lock(mu_);
   if (!sticky_error_.ok()) return sticky_error_;
-  SDB_CHECK(durable_lsn_ >= end);
+  if (durable_lsn_ < end) {
+    return core::Status::Unavailable("wal flush fell short of checkpoint");
+  }
   return end;
 }
 
@@ -346,6 +445,11 @@ Lsn WalManager::durable_lsn() const {
 Lsn WalManager::truncated_lsn() const {
   std::lock_guard<std::mutex> lock(file_mu_);
   return truncated_lsn_;
+}
+
+core::Status WalManager::sticky_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sticky_error_;
 }
 
 WalStats WalManager::stats() const {

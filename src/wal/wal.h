@@ -36,6 +36,17 @@ struct WalOptions {
   /// on one PageDevice), but the boundary is observable: stats count every
   /// segment the tail crosses, matching a file-per-segment layout.
   size_t segment_pages = 1024;
+  /// Retry budget for one flush: a retryable device failure (transient
+  /// write, failed sync) re-runs the whole write+sync attempt up to this
+  /// many extra times before the error turns sticky. Each attempt rewrites
+  /// every page of the block — the fsyncgate rule: a failed sync may have
+  /// dropped anything written since the last successful one.
+  uint32_t max_flush_retries = 3;
+  /// Backoff before the k-th flush retry: retry_backoff_us << min(k, 6)
+  /// plus a small deterministic jitter drawn from retry_backoff_seed.
+  /// 0 (the default) disables the sleep entirely — tests stay exact.
+  uint32_t retry_backoff_us = 0;
+  uint64_t retry_backoff_seed = 0;
 };
 
 /// Counters of one WalManager, all maintained under its mutex.
@@ -49,6 +60,7 @@ struct WalStats {
   uint64_t bytes_appended = 0;
   uint64_t segments_opened = 0;
   uint64_t segments_truncated = 0;  ///< whole segments zeroed by TruncateBelow
+  uint64_t write_retries = 0;  ///< flush attempts re-run after retryable faults
 };
 
 /// One page image queued for a commit group.
@@ -145,6 +157,13 @@ class WalManager {
   Lsn durable_lsn() const;
   /// End of the zeroed (truncated) prefix; always a segment boundary.
   Lsn truncated_lsn() const;
+  /// The sticky terminal error, Ok while the log is healthy. Once set (a
+  /// device failure that survived the retry budget) the log stops flushing
+  /// and every commit/durability call returns this error — the service's
+  /// trigger for degraded read-only mode. The in-memory tail still holds
+  /// every unflushed byte (the failed flush restores its claim), so nothing
+  /// acknowledged was lost: it was never acknowledged.
+  core::Status sticky_error() const;
 
   WalStats stats() const;
   const WalOptions& options() const { return options_; }
@@ -161,8 +180,18 @@ class WalManager {
                    std::span<const std::byte> payload);
   /// Claims the tail (under mu_), writes it out in page-size blocks (under
   /// file_mu_ only) and publishes the new durable_lsn_. Caller must hold
-  /// NEITHER latch. Sets sticky_error_ on device failure.
+  /// NEITHER latch. Retries retryable device failures up to
+  /// max_flush_retries; a terminal failure restores the claimed bytes to
+  /// the tail, sets sticky_error_ and wakes every waiter.
   void Flush();
+  /// One flush attempt: allocate missing log pages, write the whole block,
+  /// then Sync. Caller holds file_mu_. Never publishes durability — a
+  /// non-OK return means nothing in the block may be assumed on the device.
+  core::Status WriteBlockAndSync(storage::PageId first_page, size_t page_count,
+                                 std::span<const std::byte> block);
+  /// Deterministic sleep before the `failures`-th retry; no-op when
+  /// retry_backoff_us is 0.
+  void BackoffBeforeRetry(uint32_t failures) const;
   /// Group-commit writer thread body.
   void WriterLoop();
 
@@ -198,6 +227,9 @@ class WalManager {
   obs::Counter* fsyncs_metric_ = nullptr;
   obs::Counter* steals_metric_ = nullptr;
   obs::Histogram* group_size_metric_ = nullptr;
+  /// Registered lazily on the first retry so the exported metric set of a
+  /// healthy run is unchanged. Guarded by mu_.
+  obs::Counter* write_retries_metric_ = nullptr;
 
   std::thread writer_;
 };

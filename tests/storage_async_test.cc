@@ -20,7 +20,7 @@ std::unique_ptr<DiskManager> StageDisk(size_t n) {
   std::vector<std::byte> image(disk->page_size(), std::byte{0});
   for (size_t i = 0; i < n; ++i) {
     image[0] = static_cast<std::byte>(i);
-    const PageId id = disk->Allocate();
+    const PageId id = disk->AllocateOrDie();
     EXPECT_TRUE(disk->Write(id, image).ok());
   }
   return disk;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <limits>
 #include <memory>
@@ -84,13 +85,13 @@ class ChecksumSidecarTest : public ::testing::Test {
 
 TEST_F(ChecksumSidecarTest, EmptyPage) {
   DiskManager disk;
-  const PageId id = disk.Allocate();  // all-zero page, stamped at allocation
+  const PageId id = disk.AllocateOrDie();  // all-zero page, stamped at allocation
   ExpectVerifiedFetch(disk, id);
 }
 
 TEST_F(ChecksumSidecarTest, FullFanoutNode) {
   DiskManager disk;
-  const PageId id = disk.Allocate();
+  const PageId id = disk.AllocateOrDie();
   std::vector<std::byte> image(disk.page_size(), std::byte{0});
   rtree::NodeView node({image.data(), image.size()});
   node.Init(/*level=*/0);
@@ -107,7 +108,7 @@ TEST_F(ChecksumSidecarTest, FullFanoutNode) {
 
 TEST_F(ChecksumSidecarTest, NonFiniteCoordinates) {
   DiskManager disk;
-  const PageId id = disk.Allocate();
+  const PageId id = disk.AllocateOrDie();
   std::vector<std::byte> image(disk.page_size(), std::byte{0});
   rtree::NodeView node({image.data(), image.size()});
   node.Init(/*level=*/0);
@@ -122,7 +123,7 @@ TEST_F(ChecksumSidecarTest, NonFiniteCoordinates) {
 
 TEST_F(ChecksumSidecarTest, WriteRestampsAndViewForwards) {
   DiskManager disk;
-  const PageId id = disk.Allocate();
+  const PageId id = disk.AllocateOrDie();
   const uint32_t zero_crc = *disk.PageChecksum(id);
   std::vector<std::byte> image(disk.page_size(), std::byte{0});
   image[100] = std::byte{0x5A};
@@ -501,6 +502,201 @@ TEST(ServiceFaultTest, ConcurrentFetchesDegradeInsteadOfAborting) {
   const FaultStats faults = service.AggregateFaultStats();
   EXPECT_EQ(faults.injected(),
             total.buffer.io_read_retries + total.buffer.io_permanent_failures);
+}
+
+// ---------------------------------------------------------------------------
+// Write-path fault injection: profile grammar, determinism, fsyncgate
+
+TEST(FaultProfileTest, ParsesWriteSpec) {
+  const auto profile = FaultProfile::Parse(
+      "seed=11,wtransient=0.01,sync_fail=0.02,disk_full=0.003,full_after=100,"
+      "wbad=3-5,wsched=7:torn_write,wsched=9:transient,wsched=11:permanent,"
+      "wsched=13,ssched=2");
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_DOUBLE_EQ(profile->write_transient_prob, 0.01);
+  EXPECT_DOUBLE_EQ(profile->sync_failure_prob, 0.02);
+  EXPECT_DOUBLE_EQ(profile->disk_full_prob, 0.003);
+  EXPECT_EQ(profile->disk_full_after, 100u);
+  EXPECT_EQ(profile->write_bad_begin, 3u);
+  EXPECT_EQ(profile->write_bad_end, 5u);
+  ASSERT_EQ(profile->write_schedule.size(), 4u);
+  EXPECT_EQ(profile->write_schedule[0].write_index, 7u);
+  EXPECT_EQ(profile->write_schedule[0].kind, FaultKind::kTornWrite);
+  EXPECT_EQ(profile->write_schedule[1].kind, FaultKind::kWriteTransient);
+  EXPECT_EQ(profile->write_schedule[2].kind, FaultKind::kWriteBadSector);
+  EXPECT_EQ(profile->write_schedule[3].kind, FaultKind::kTornWrite)
+      << "a bare wsched index defaults to the legacy torn write";
+  ASSERT_EQ(profile->sync_schedule.size(), 1u);
+  EXPECT_EQ(profile->sync_schedule[0], 2u);
+  EXPECT_TRUE(profile->enabled());
+  EXPECT_TRUE(profile->sync_faults_enabled());
+  EXPECT_FALSE(FaultProfile::Parse("wsched=5:frob").has_value());
+  EXPECT_FALSE(FaultProfile::Parse("wbad=9").has_value());
+}
+
+class WriteFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 8; ++i) {
+      pages_.push_back(test::StagePage(disk_, PageType::kData, 0,
+                                       geom::Rect(0, 0, i + 1.0, 1.0)));
+    }
+    image_.assign(disk_.page_size(), std::byte{0x7C});
+  }
+
+  DiskManager disk_;
+  std::vector<PageId> pages_;
+  std::vector<std::byte> image_;
+};
+
+TEST_F(WriteFaultTest, SameSeedReplaysWriteOutcomes) {
+  FaultProfile profile;
+  profile.seed = 33;
+  profile.write_transient_prob = 0.25;
+  const auto run = [&] {
+    FaultInjectingDevice device(disk_, profile);
+    std::vector<StatusCode> outcomes;
+    for (int round = 0; round < 8; ++round) {
+      for (const PageId page : pages_) {
+        outcomes.push_back(device.Write(page, image_).code());
+      }
+    }
+    return outcomes;
+  };
+  const auto first = run();
+  EXPECT_EQ(first, run()) << "fixed seed must replay bit-identically";
+  EXPECT_TRUE(std::find(first.begin(), first.end(),
+                        StatusCode::kUnavailable) != first.end());
+}
+
+TEST_F(WriteFaultTest, ScriptedWriteScheduleAndBadRange) {
+  FaultProfile profile;  // no probabilistic faults
+  profile.write_schedule.push_back({2, FaultKind::kWriteTransient});
+  profile.write_bad_begin = pages_[5];
+  profile.write_bad_end = pages_[5] + 1;
+  FaultInjectingDevice device(disk_, profile);
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    const core::Status status = device.Write(pages_[i], image_);
+    if (i == 2) {
+      EXPECT_EQ(status.code(), StatusCode::kUnavailable) << i;
+      EXPECT_TRUE(status.retryable());
+    } else if (pages_[i] == pages_[5]) {
+      EXPECT_EQ(status.code(), StatusCode::kPermanentFailure) << i;
+      EXPECT_FALSE(status.retryable());
+    } else {
+      EXPECT_TRUE(status.ok()) << i;
+    }
+  }
+  EXPECT_EQ(device.fault_stats().write_transient_errors, 1u);
+  EXPECT_EQ(device.fault_stats().write_permanent_errors, 1u);
+  // A failed write must not reach the device: clean stats count clean I/O.
+  EXPECT_EQ(device.stats().writes, pages_.size() - 2);
+}
+
+TEST_F(WriteFaultTest, TransientWriteLeavesDeviceUntouched) {
+  FaultProfile profile;
+  profile.write_schedule.push_back({0, FaultKind::kWriteTransient});
+  FaultInjectingDevice device(disk_, profile);
+  const uint32_t before = crc32c::Checksum(disk_.PeekPage(pages_[0]));
+  EXPECT_EQ(device.Write(pages_[0], image_).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(crc32c::Checksum(disk_.PeekPage(pages_[0])), before)
+      << "a rejected write must not have partially landed";
+}
+
+TEST_F(WriteFaultTest, DiskFullByCapacityAndByDraw) {
+  FaultProfile capacity;
+  capacity.disk_full_after = disk_.page_count() + 2;
+  {
+    FaultInjectingDevice device(disk_, capacity);
+    EXPECT_TRUE(device.Allocate().ok());
+    EXPECT_TRUE(device.Allocate().ok());
+    const StatusOr<PageId> full = device.Allocate();
+    EXPECT_EQ(full.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_FALSE(full.status().retryable())
+        << "disk full is backpressure, not a retry candidate";
+    EXPECT_EQ(device.fault_stats().disk_full_errors, 1u);
+  }
+  FaultProfile draws;
+  draws.seed = 5;
+  draws.disk_full_prob = 0.5;
+  FaultInjectingDevice device(disk_, draws);
+  uint64_t failed = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (!device.Allocate().ok()) ++failed;
+  }
+  EXPECT_GT(failed, 0u);
+  EXPECT_LT(failed, 32u);
+  EXPECT_EQ(device.fault_stats().disk_full_errors, failed);
+}
+
+TEST_F(WriteFaultTest, DiskManagerCapacityReturnsResourceExhausted) {
+  DiskManager disk;
+  disk.set_page_capacity(2);
+  EXPECT_TRUE(disk.Allocate().ok());
+  EXPECT_TRUE(disk.Allocate().ok());
+  const StatusOr<PageId> full = disk.Allocate();
+  EXPECT_EQ(full.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(disk.page_count(), 2u);
+}
+
+TEST_F(WriteFaultTest, FailedSyncRevertsWritesSinceLastSync) {
+  FaultProfile profile;
+  profile.sync_schedule.push_back(0);  // first Sync fails, second succeeds
+  FaultInjectingDevice device(disk_, profile);
+  const uint32_t before_a = crc32c::Checksum(disk_.PeekPage(pages_[0]));
+  const uint32_t before_b = crc32c::Checksum(disk_.PeekPage(pages_[1]));
+  ASSERT_TRUE(device.Write(pages_[0], image_).ok());
+  ASSERT_TRUE(device.Write(pages_[1], image_).ok());
+  // The acknowledged writes are in the page cache; the lying fsync drops
+  // them, exactly like a kernel discarding dirty pages on fsync failure.
+  const core::Status synced = device.Sync();
+  EXPECT_EQ(synced.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(synced.retryable());
+  EXPECT_EQ(crc32c::Checksum(disk_.PeekPage(pages_[0])), before_a);
+  EXPECT_EQ(crc32c::Checksum(disk_.PeekPage(pages_[1])), before_b);
+  EXPECT_EQ(device.fault_stats().sync_failures, 1u);
+  // Rewriting and syncing again (the fsyncgate-correct recovery protocol)
+  // makes the bytes stick.
+  ASSERT_TRUE(device.Write(pages_[0], image_).ok());
+  ASSERT_TRUE(device.Write(pages_[1], image_).ok());
+  ASSERT_TRUE(device.Sync().ok());
+  EXPECT_EQ(crc32c::Checksum(disk_.PeekPage(pages_[0])),
+            crc32c::Checksum({image_.data(), image_.size()}));
+}
+
+TEST_F(WriteFaultTest, SuccessfulSyncKeepsBytesAndClearsStash) {
+  FaultProfile profile;
+  profile.sync_schedule.push_back(1);  // second Sync fails
+  FaultInjectingDevice device(disk_, profile);
+  ASSERT_TRUE(device.Write(pages_[0], image_).ok());
+  ASSERT_TRUE(device.Sync().ok());
+  // The page was durable before the failing sync: nothing to revert.
+  EXPECT_EQ(device.Sync().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(crc32c::Checksum(disk_.PeekPage(pages_[0])),
+            crc32c::Checksum({image_.data(), image_.size()}))
+      << "a failed sync must only drop writes since the last good sync";
+}
+
+TEST_F(WriteFaultTest, WriteFaultRunKeepsReadStatsClean) {
+  // A run that recovers every write fault upstream must report the same
+  // *clean* stats as a fault-free run — the paper's disk-access metric is
+  // not perturbed by retry traffic.
+  FaultProfile profile;
+  profile.seed = 77;
+  profile.write_transient_prob = 0.3;
+  FaultInjectingDevice device(disk_, profile);
+  std::vector<std::byte> out(disk_.page_size());
+  uint64_t clean_writes = 0;
+  for (const PageId page : pages_) {
+    ASSERT_TRUE(device.Read(page, out).ok());
+    while (!device.Write(page, image_).ok()) {
+    }
+    ++clean_writes;
+  }
+  EXPECT_EQ(device.stats().reads, pages_.size());
+  EXPECT_EQ(device.stats().writes, clean_writes);
+  EXPECT_GT(device.fault_stats().write_transient_errors, 0u);
+  EXPECT_GT(device.writes_attempted(), clean_writes);
 }
 
 }  // namespace

@@ -65,8 +65,8 @@ TEST(PageTypeTest, Names) {
 TEST(DiskManagerTest, AllocateGrowsFile) {
   DiskManager disk;
   EXPECT_EQ(disk.page_count(), 0u);
-  const PageId a = disk.Allocate();
-  const PageId b = disk.Allocate();
+  const PageId a = disk.AllocateOrDie();
+  const PageId b = disk.AllocateOrDie();
   EXPECT_EQ(a, 0u);
   EXPECT_EQ(b, 1u);
   EXPECT_EQ(disk.page_count(), 2u);
@@ -75,7 +75,7 @@ TEST(DiskManagerTest, AllocateGrowsFile) {
 
 TEST(DiskManagerTest, ReadWriteRoundTrip) {
   DiskManager disk;
-  const PageId id = disk.Allocate();
+  const PageId id = disk.AllocateOrDie();
   const auto out = MakeImage(disk.page_size(), 0xAB);
   ASSERT_TRUE(disk.Write(id, out).ok());
   auto in = MakeImage(disk.page_size(), 0);
@@ -85,7 +85,7 @@ TEST(DiskManagerTest, ReadWriteRoundTrip) {
 
 TEST(DiskManagerTest, FreshPageIsZeroed) {
   DiskManager disk;
-  const PageId id = disk.Allocate();
+  const PageId id = disk.AllocateOrDie();
   auto in = MakeImage(disk.page_size(), 0xFF);
   disk.Read(id, in);
   for (std::byte b : in) EXPECT_EQ(b, std::byte{0});
@@ -93,8 +93,8 @@ TEST(DiskManagerTest, FreshPageIsZeroed) {
 
 TEST(DiskManagerTest, CountsReadsAndWrites) {
   DiskManager disk;
-  const PageId a = disk.Allocate();
-  const PageId b = disk.Allocate();
+  const PageId a = disk.AllocateOrDie();
+  const PageId b = disk.AllocateOrDie();
   auto image = MakeImage(disk.page_size(), 1);
   ASSERT_TRUE(disk.Write(a, image).ok());
   ASSERT_TRUE(disk.Write(b, image).ok());
@@ -108,7 +108,7 @@ TEST(DiskManagerTest, CountsReadsAndWrites) {
 
 TEST(DiskManagerTest, DetectsSequentialReads) {
   DiskManager disk;
-  for (int i = 0; i < 5; ++i) disk.Allocate();
+  for (int i = 0; i < 5; ++i) disk.AllocateOrDie();
   auto image = MakeImage(disk.page_size(), 0);
   disk.Read(0, image);
   disk.Read(1, image);  // sequential
@@ -121,7 +121,7 @@ TEST(DiskManagerTest, DetectsSequentialReads) {
 
 TEST(DiskManagerTest, DetectsSequentialWrites) {
   DiskManager disk;
-  for (int i = 0; i < 4; ++i) disk.Allocate();
+  for (int i = 0; i < 4; ++i) disk.AllocateOrDie();
   auto image = MakeImage(disk.page_size(), 0);
   ASSERT_TRUE(disk.Write(2, image).ok());
   ASSERT_TRUE(disk.Write(3, image).ok());  // sequential
@@ -140,7 +140,7 @@ TEST(DiskManagerTest, WeightedCostModel) {
 
 TEST(DiskManagerTest, ResetStatsClearsEverything) {
   DiskManager disk;
-  disk.Allocate();
+  disk.AllocateOrDie();
   auto image = MakeImage(disk.page_size(), 0);
   disk.Read(0, image);
   disk.ResetStats();
@@ -153,7 +153,7 @@ TEST(DiskManagerTest, ResetStatsClearsEverything) {
 
 TEST(DiskManagerTest, PeekDoesNotCountIo) {
   DiskManager disk;
-  const PageId id = disk.Allocate();
+  const PageId id = disk.AllocateOrDie();
   std::vector<std::byte> image(disk.page_size(), std::byte{0});
   PageHeaderView(image.data()).set_type(PageType::kData);
   PageHeaderView(image.data()).set_level(0);
@@ -167,7 +167,7 @@ TEST(DiskManagerTest, PeekDoesNotCountIo) {
 TEST(DiskManagerTest, CustomPageSize) {
   DiskManager disk(512);
   EXPECT_EQ(disk.page_size(), 512u);
-  const PageId id = disk.Allocate();
+  const PageId id = disk.AllocateOrDie();
   auto image = MakeImage(512, 0x5A);
   ASSERT_TRUE(disk.Write(id, image).ok());
   auto in = MakeImage(512, 0);
@@ -177,7 +177,7 @@ TEST(DiskManagerTest, CustomPageSize) {
 
 TEST(DiskImageTest, SaveLoadRoundTrip) {
   DiskManager disk(512);
-  for (int i = 0; i < 5; ++i) disk.Allocate();
+  for (int i = 0; i < 5; ++i) disk.AllocateOrDie();
   std::vector<std::byte> image(512);
   for (int i = 0; i < 5; ++i) {
     std::fill(image.begin(), image.end(),
@@ -202,7 +202,7 @@ TEST(DiskImageTest, SaveLoadRoundTrip) {
 
 TEST(DiskImageTest, LoadedImageStartsWithCleanStats) {
   DiskManager disk;
-  disk.Allocate();
+  disk.AllocateOrDie();
   std::vector<std::byte> image(disk.page_size(), std::byte{1});
   ASSERT_TRUE(disk.Write(0, image).ok());
   const std::string path = ::testing::TempDir() + "/sdb_disk_image2.bin";
@@ -226,8 +226,8 @@ TEST(DiskImageTest, MissingOrCorruptFilesAreRejected) {
 
 TEST(ReadOnlyDiskViewTest, ReadsSameBytesAsBase) {
   DiskManager disk;
-  const PageId a = disk.Allocate();
-  const PageId b = disk.Allocate();
+  const PageId a = disk.AllocateOrDie();
+  const PageId b = disk.AllocateOrDie();
   ASSERT_TRUE(disk.Write(a, MakeImage(disk.page_size(), 0x11)).ok());
   ASSERT_TRUE(disk.Write(b, MakeImage(disk.page_size(), 0x22)).ok());
 
@@ -245,7 +245,7 @@ TEST(ReadOnlyDiskViewTest, ReadsSameBytesAsBase) {
 
 TEST(ReadOnlyDiskViewTest, CountersArePerViewAndLeaveBaseUntouched) {
   DiskManager disk;
-  for (int i = 0; i < 4; ++i) disk.Allocate();
+  for (int i = 0; i < 4; ++i) disk.AllocateOrDie();
   disk.ResetStats();
 
   ReadOnlyDiskView first(disk);
@@ -270,14 +270,16 @@ TEST(ReadOnlyDiskViewTest, CountersArePerViewAndLeaveBaseUntouched) {
   EXPECT_EQ(first.stats().sequential_reads, 0u);
 }
 
-TEST(ReadOnlyDiskViewDeathTest, WriteFailsAndAllocateAborts) {
+TEST(ReadOnlyDiskViewTest, WriteAndAllocateReturnUnimplemented) {
   DiskManager disk;
-  disk.Allocate();
+  disk.AllocateOrDie();
   ReadOnlyDiskView view(disk);
   auto image = MakeImage(disk.page_size(), 0);
   const core::Status written = view.Write(0, image);
   EXPECT_EQ(written.code(), core::StatusCode::kUnimplemented);
-  EXPECT_DEATH(view.Allocate(), "read-only");
+  const core::StatusOr<PageId> allocated = view.Allocate();
+  EXPECT_EQ(allocated.status().code(), core::StatusCode::kUnimplemented);
+  EXPECT_EQ(disk.page_count(), 1u) << "the refusal must not touch the device";
 }
 
 TEST(DiskManagerDeathTest, OutOfRangeAborts) {
@@ -288,7 +290,7 @@ TEST(DiskManagerDeathTest, OutOfRangeAborts) {
 
 TEST(DiskManagerDeathTest, WrongBufferSizeAborts) {
   DiskManager disk;
-  disk.Allocate();
+  disk.AllocateOrDie();
   auto small = MakeImage(16, 0);
   EXPECT_DEATH(disk.Read(0, small), "SDB_CHECK");
 }

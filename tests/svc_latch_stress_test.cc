@@ -34,7 +34,7 @@ class LatchStressTest : public ::testing::Test {
     std::vector<std::byte> image(disk_->page_size(), std::byte{0});
     for (size_t i = 0; i < kPages; ++i) {
       image[0] = static_cast<std::byte>(i);
-      ASSERT_TRUE(disk_->Write(disk_->Allocate(), image).ok());
+      ASSERT_TRUE(disk_->Write(disk_->AllocateOrDie(), image).ok());
     }
   }
   static void TearDownTestSuite() {

@@ -24,7 +24,7 @@ inline storage::PageId StagePage(storage::DiskManager& disk,
                                  double sum_entry_area = 0.0,
                                  double sum_entry_margin = 0.0,
                                  double entry_overlap = 0.0) {
-  const storage::PageId id = disk.Allocate();
+  const storage::PageId id = disk.AllocateOrDie();
   std::vector<std::byte> image(disk.page_size(), std::byte{0});
   storage::PageHeaderView header(image.data());
   header.set_type(type);

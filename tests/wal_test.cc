@@ -37,7 +37,7 @@ void WriteStream(storage::DiskManager& log,
   const size_t pages = (stream.size() + page_size - 1) / page_size;
   std::vector<std::byte> image(page_size);
   for (size_t p = 0; p < pages; ++p) {
-    while (log.page_count() <= p) log.Allocate();
+    while (log.page_count() <= p) log.AllocateOrDie();
     const size_t offset = p * page_size;
     const size_t n = std::min(page_size, stream.size() - offset);
     std::memcpy(image.data(), stream.data() + offset, n);
@@ -400,7 +400,7 @@ TEST(WalManagerTest, TruncateBelowZerosWholeSegmentsAndRecoveryStillWorks) {
   // prefix state, reproduces all four pages byte-exactly.
   storage::DiskManager data(kPageSize);
   for (uint8_t p = 0; p < 2; ++p) {
-    data.Allocate();
+    data.AllocateOrDie();
     ASSERT_TRUE(data.Write(p, MakeImage(kPageSize, p + 1)).ok());
   }
   const core::StatusOr<RecoveryResult> result = Recover(log, data);
@@ -462,7 +462,7 @@ TEST(WalCrashTest, CrashMidTruncationLeavesARecoverableLog) {
 
     storage::DiskManager data(kPageSize);
     for (size_t p = 0; p < kFlushed; ++p) {
-      data.Allocate();
+      data.AllocateOrDie();
       ASSERT_TRUE(
           data.Write(static_cast<storage::PageId>(p),
                      MakeImage(kPageSize, static_cast<uint8_t>(p + 1)))
@@ -531,7 +531,7 @@ TEST(RecoveryTest, CheckpointBoundsTheReplay) {
   storage::DiskManager data(kPageSize);
   // The data device is in its checkpoint state: page 0 already holds the
   // forced image (that is what the checkpoint record asserts).
-  data.Allocate();
+  data.AllocateOrDie();
   ASSERT_TRUE(data.Write(0, before).ok());
 
   const core::StatusOr<RecoveryResult> result = Recover(log, data);
@@ -599,7 +599,7 @@ TEST(RecoveryTest, FuzzyCheckpointRedoHorizonSkipsFlushedImages) {
   EXPECT_EQ(wal.stats().checkpoints, 1u);
 
   storage::DiskManager data(kPageSize);
-  data.Allocate();
+  data.AllocateOrDie();
   ASSERT_TRUE(data.Write(0, flushed).ok());
   const core::StatusOr<RecoveryResult> result = Recover(log, data);
   ASSERT_TRUE(result.ok());

@@ -181,7 +181,7 @@ class WriteFailingDevice final : public storage::PageDevice {
   explicit WriteFailingDevice(DiskManager& base) : base_(&base) {}
 
   size_t page_size() const override { return base_->page_size(); }
-  PageId Allocate() override { return base_->Allocate(); }
+  core::StatusOr<PageId> Allocate() override { return base_->Allocate(); }
   core::Status Read(PageId id, std::span<std::byte> out) override {
     return base_->Read(id, out);
   }
@@ -876,6 +876,249 @@ TEST(WritableServiceTest, OptimisticBatchMatchesMutexHitForHitSerially) {
   EXPECT_EQ(optimistic_counts.first, mutex_counts.first)
       << "identical serial batch streams must hit identically";
   EXPECT_EQ(optimistic_counts.second, mutex_counts.second);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded read-only mode: failing writes, lying fsyncs, disk-full
+// backpressure
+
+TEST(DegradedServiceTest, DiskFullNewIsBackpressureNotDegradation) {
+  DiskManager disk;
+  DiskManager log;
+  wal::WalManager wal(&log);
+  svc::BufferService service(&disk, &wal, WritableConfig(2, 32));
+  const AccessContext ctx{1};
+  disk.set_page_capacity(3);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 3; ++i) {
+    core::StatusOr<PageHandle> page = service.New(ctx);
+    ASSERT_TRUE(page.ok());
+    std::memset(page->bytes().data(), 0x50 + i, page->bytes().size());
+    page->MarkDirty();
+    pages.push_back(page->page_id());
+  }
+  const core::StatusOr<PageHandle> full = service.New(ctx);
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.status().code(), core::StatusCode::kResourceExhausted);
+  // Backpressure, not a health event: the service stays writable for the
+  // pages that exist, and commits keep working.
+  EXPECT_FALSE(service.degraded());
+  EXPECT_TRUE(service.Commit(ctx).ok());
+  EXPECT_TRUE(service.Fetch(pages[0], ctx).ok());
+}
+
+TEST(DegradedServiceTest, DegradedReadAvailability) {
+  // Reads must keep serving after the WAL goes sticky: the acceptance bar
+  // for "degrade, don't die".
+  DiskManager disk;
+  std::vector<PageId> pages;
+  for (int i = 0; i < 12; ++i) {
+    pages.push_back(test::StagePage(disk, PageType::kData, 0,
+                                    geom::Rect(0, 0, i + 1.0, 1.0)));
+  }
+  DiskManager log;
+  storage::FaultProfile log_faults;
+  log_faults.sync_failure_prob = 1.0;  // every fsync lies, forever
+  log_faults.seed = 13;
+  storage::FaultInjectingDevice faulty_log(log, log_faults);
+  wal::WalOptions wal_options;
+  wal_options.max_flush_retries = 2;
+  wal::WalManager wal(&faulty_log, wal_options);
+  svc::BufferService service(&disk, &wal, WritableConfig(2, 64));
+  const AccessContext ctx{2};
+
+  // Warm half the working set before the failure.
+  for (size_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(service.Fetch(pages[i], ctx).ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    core::StatusOr<PageHandle> page = service.New(ctx);
+    ASSERT_TRUE(page.ok());
+    std::memset(page->bytes().data(), 0x77, page->bytes().size());
+    page->MarkDirty();
+  }
+  const core::Status committed = service.Commit(ctx);
+  ASSERT_FALSE(committed.ok());
+  EXPECT_EQ(committed.code(), core::StatusCode::kUnavailable);
+  ASSERT_TRUE(service.degraded());
+  EXPECT_EQ(service.degraded_state(), svc::DegradedState::kWalError);
+  EXPECT_EQ(service.degraded_entries(), 1u);
+
+  // Mutations are refused fast — no second trip through the retry gauntlet.
+  EXPECT_EQ(service.New(ctx).status().code(),
+            core::StatusCode::kUnavailable);
+  EXPECT_EQ(service.Commit(ctx).code(), core::StatusCode::kUnavailable);
+  EXPECT_EQ(service.Checkpoint(ctx).code(), core::StatusCode::kUnavailable);
+
+  // Reads: warm pages hit, cold pages still miss in cleanly — every staged
+  // page is served while the service is degraded.
+  for (const PageId page : pages) {
+    const core::StatusOr<PageHandle> fetched = service.Fetch(page, ctx);
+    EXPECT_TRUE(fetched.ok()) << fetched.status().ToString();
+  }
+
+  // Background flushing parks instead of spinning EnsureDurable failures.
+  const core::StatusOr<size_t> flushed = service.FlushShardBatch(0, 8, ctx);
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(*flushed, 0u);
+
+  // The state is surfaced: stats carry it, and the Prometheus dump grows a
+  // degraded gauge (absent on healthy services).
+  const svc::ShardStats stats = service.AggregateStats();
+  EXPECT_EQ(stats.degraded,
+            static_cast<uint64_t>(svc::DegradedState::kWalError));
+  EXPECT_EQ(stats.degraded_entries, 1u);
+  EXPECT_NE(service.StatsText().find("degraded"), std::string::npos);
+}
+
+TEST(DegradedServiceTest, PersistentWriteFaultsQuarantineBackoffSaturate) {
+  // Data-device writes fail every time (retryable, so each round burns the
+  // full retry budget): the flusher must escalate frames to
+  // write-quarantine instead of dropping them, back off the failing shard
+  // instead of hot-spinning, and saturating the quarantine must trip
+  // degraded mode while reads keep serving.
+  DiskManager disk;
+  std::vector<PageId> staged;
+  for (int i = 0; i < 4; ++i) {
+    staged.push_back(test::StagePage(disk, PageType::kData, 0,
+                                     geom::Rect(0, 0, i + 1.0, 1.0)));
+  }
+  DiskManager log;
+  wal::WalManager wal(&log);
+  svc::BufferServiceConfig config = WritableConfig(1, 8);
+  config.fault_profile.seed = 91;
+  config.fault_profile.write_transient_prob = 1.0;
+  config.flusher_threads = 1;
+  config.flusher_batch_pages = 4;
+  config.resilience.max_write_retries = 1;  // keep each failing round cheap
+  svc::BufferService service(&disk, &wal, config);
+  const AccessContext ctx{3};
+
+  for (int i = 0; i < 5; ++i) {
+    core::StatusOr<PageHandle> page = service.New(ctx);
+    ASSERT_TRUE(page.ok());
+    std::memset(page->bytes().data(), 0x60 + i, page->bytes().size());
+    page->MarkDirty();
+  }
+  ASSERT_TRUE(service.Commit(ctx).ok())
+      << "the WAL device is healthy: commits must keep succeeding";
+
+  // cap = half of 8 frames = 4: wait for the quarantine to saturate.
+  for (int spin = 0; spin < 10000 && !service.degraded(); ++spin) {
+    service.flusher()->Nudge();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(service.degraded()) << "quarantine saturation never tripped";
+  EXPECT_EQ(service.degraded_state(),
+            svc::DegradedState::kQuarantineSaturated);
+
+  const svc::ShardStats stats = service.AggregateStats();
+  EXPECT_GE(stats.buffer.io_write_quarantined, 4u);
+  EXPECT_GE(stats.buffer.io_write_retries, 4u);
+  EXPECT_GE(stats.quarantined_frames, 4u);
+  const svc::FlushCoordinatorStats flusher = service.flusher()->stats();
+  EXPECT_GT(flusher.flush_errors, 0u);
+  EXPECT_GT(flusher.backoff_skips, 0u)
+      << "a persistently failing shard must be skipped, not hot-spun";
+  // Degraded read-only: New refused, reads of device-resident pages serve.
+  EXPECT_EQ(service.New(ctx).status().code(),
+            core::StatusCode::kUnavailable);
+  for (const PageId page : staged) {
+    EXPECT_TRUE(service.Fetch(page, ctx).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak: churn x write faults x crash — no silent loss, no aborts
+
+/// The tentpole proof, test-sized: drive the churn-crash-recover round trip
+/// with transient write faults and lying fsyncs on the WAL device plus
+/// transient write faults on the data device. Every acknowledged commit
+/// must survive recovery byte-exact; the fault counters must show the run
+/// actually injected; and nothing may abort or hang on the way.
+TEST(WritableServiceTest, ChurnCrashRecoverSurvivesWriteFaults) {
+  const geom::Rect space(0, 0, 100, 100);
+  DiskManager disk;
+  DiskManager log;
+  storage::FaultProfile log_faults;
+  log_faults.seed = SoakSeed(20260807);
+  log_faults.write_transient_prob = 0.05;
+  log_faults.sync_failure_prob = 0.02;
+  storage::FaultInjectingDevice faulty_log(log, log_faults);
+  wal::WalOptions wal_options;
+  wal_options.max_flush_retries = 8;  // 0.05^9: exhaustion impossible
+  wal::WalManager wal(&faulty_log, wal_options);
+  svc::BufferServiceConfig config = WritableConfig(2, 128);
+  config.fault_profile.seed = SoakSeed(20260807) ^ 0xD15EA5E;
+  config.fault_profile.write_transient_prob = 0.02;
+  svc::BufferService service(&disk, &wal, config);
+  const AccessContext ctx{4};
+
+  rtree::RTree tree(&disk, &service);
+  sim::ChurnOptions options;
+  options.operations = 400;
+  options.delete_fraction = 0.35;
+  options.seed = SoakSeed(1234);
+  options.commit_every = 25;
+  options.checkpoint_every = 100;
+  sim::ChurnHooks hooks;
+  hooks.commit = [&] {
+    tree.PersistMeta();
+    return service.Commit(ctx);
+  };
+  hooks.checkpoint = [&] {
+    tree.PersistMeta();
+    return service.Checkpoint(ctx);
+  };
+  const core::StatusOr<sim::ChurnResult> churn =
+      sim::RunChurn(tree, space, options, hooks, ctx);
+  ASSERT_TRUE(churn.ok())
+      << "transient-only faults must never fail a commit: "
+      << churn.status().ToString();
+  EXPECT_FALSE(service.degraded());
+
+  tree.PersistMeta();
+  ASSERT_TRUE(service.Commit(ctx).ok());
+  const std::vector<rtree::Entry> committed = tree.WindowQuery(space, ctx);
+
+  // The run must actually have been under fire, and every injection must
+  // be visible as absorbed retry work — never as silent loss.
+  EXPECT_GT(faulty_log.fault_stats().write_injected(), 0u);
+  EXPECT_GT(wal.stats().write_retries, 0u);
+  EXPECT_GT(service.AggregateFaultStats().write_injected(), 0u);
+
+  // Crash and recover from the *underlying* devices (the power-cut view).
+  const std::string data_path = ::testing::TempDir() + "/wfault_data.img";
+  const std::string log_path = ::testing::TempDir() + "/wfault_log.img";
+  ASSERT_TRUE(disk.SaveImage(data_path));
+  ASSERT_TRUE(log.SaveImage(log_path));
+  auto crashed_data = DiskManager::LoadImage(data_path);
+  auto crashed_log = DiskManager::LoadImage(log_path);
+  ASSERT_TRUE(crashed_data.has_value());
+  ASSERT_TRUE(crashed_log.has_value());
+  const core::StatusOr<wal::RecoveryResult> result =
+      wal::Recover(*crashed_log, *crashed_data);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  svc::BufferService reader(*crashed_data, WritableConfig(2, 128));
+  rtree::RTree recovered =
+      rtree::RTree::Open(&*crashed_data, &reader, tree.meta_page());
+  EXPECT_EQ(recovered.Validate(), "");
+  std::vector<rtree::Entry> replayed = recovered.WindowQuery(space, ctx);
+  ASSERT_EQ(replayed.size(), committed.size())
+      << "acknowledged commits must survive recovery exactly";
+  auto by_id = [](const rtree::Entry& a, const rtree::Entry& b) {
+    return a.id < b.id;
+  };
+  std::vector<rtree::Entry> expected = committed;
+  std::sort(expected.begin(), expected.end(), by_id);
+  std::sort(replayed.begin(), replayed.end(), by_id);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(replayed[i].id, expected[i].id);
+  }
+  ASSERT_TRUE(service.Checkpoint(ctx).ok());
+  std::remove(data_path.c_str());
+  std::remove(log_path.c_str());
 }
 
 }  // namespace
